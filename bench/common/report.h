@@ -1,0 +1,20 @@
+#ifndef DIRECTLOAD_BENCH_COMMON_REPORT_H_
+#define DIRECTLOAD_BENCH_COMMON_REPORT_H_
+
+#include <cstdio>
+
+namespace directload::bench {
+
+/// Prints the standard header every figure benchmark starts with.
+inline void PrintBanner(const char* experiment, const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("(Simulated SSD + simulated time; compare shapes and ratios,\n");
+  std::printf(" not absolute magnitudes. See EXPERIMENTS.md.)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace directload::bench
+
+#endif  // DIRECTLOAD_BENCH_COMMON_REPORT_H_

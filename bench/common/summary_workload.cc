@@ -1,0 +1,163 @@
+#include "bench/common/summary_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace directload::bench {
+
+namespace {
+
+struct TracePoint {
+  uint64_t t_micros;
+  uint64_t user_bytes;
+  uint64_t device_write_pages;
+  uint64_t device_read_pages;
+  uint64_t disk_bytes;
+};
+
+}  // namespace
+
+WorkloadResult RunSummaryWorkload(EngineAdapter* engine,
+                                  const SummaryWorkloadOptions& options) {
+  Random rnd(options.seed);
+  std::vector<std::string> keys;
+  keys.reserve(options.num_keys);
+  for (uint64_t i = 0; i < options.num_keys; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "url:%016llu",
+                  static_cast<unsigned long long>(i));
+    keys.emplace_back(key, 20);  // 20-byte keys (paper Section 4.1).
+  }
+
+  std::vector<TracePoint> trace;
+  auto record = [&]() {
+    const ssd::SsdStats& stats = engine->env()->stats();
+    trace.push_back(TracePoint{engine->clock()->NowMicros(),
+                               engine->user_bytes(),
+                               stats.device_pages_written(),
+                               stats.device_pages_read(),
+                               engine->disk_bytes()});
+  };
+  record();
+
+  // Each version arrives in crawl order (a fresh shuffle per round, which
+  // is also how the seven concurrent insertion streams interleave from the
+  // engine's point of view). Unchanged documents arrive as deduplicated
+  // value-less pairs.
+  std::vector<uint64_t> order(options.num_keys);
+  for (uint64_t i = 0; i < options.num_keys; ++i) order[i] = i;
+  double next_arrival_us = static_cast<double>(engine->clock()->NowMicros());
+  for (int version = 1; version <= options.versions; ++version) {
+    for (uint64_t i = options.num_keys - 1; i > 0; --i) {
+      std::swap(order[i], order[rnd.Uniform(i + 1)]);
+    }
+    for (uint64_t step = 0; step < options.num_keys; ++step) {
+      const uint64_t key_index = order[step];
+      const bool changed =
+          version == 1 || rnd.Bernoulli(options.change_rate);
+      std::string value;
+      if (changed) {
+        // Value sizes vary around the 20 KB mean, fresh content.
+        const uint32_t size = options.value_bytes / 2 +
+                              static_cast<uint32_t>(
+                                  rnd.Uniform(options.value_bytes));
+        value = rnd.NextString(size);
+      }
+      if (options.arrival_bytes_per_sec > 0) {
+        // Open loop: the pair arrives on the stream's schedule; the device
+        // may still be busy from earlier work, in which case this op (and
+        // the stream) queues behind it.
+        const double bytes =
+            static_cast<double>(keys[key_index].size() + value.size());
+        if (engine->clock()->NowMicros() <
+            static_cast<uint64_t>(next_arrival_us)) {
+          engine->clock()->AdvanceTo(static_cast<uint64_t>(next_arrival_us));
+        }
+        next_arrival_us += bytes / options.arrival_bytes_per_sec * 1e6;
+      }
+      Status s = changed ? engine->Put(keys[key_index], version, value)
+                         : engine->Put(keys[key_index], version, Slice(),
+                                       /*dedup=*/true);
+      DL_CHECK(s.ok());
+      record();
+    }
+    // Deletion stream: once `retained_versions` are on disk, the oldest one
+    // goes.
+    if (version > options.retained_versions) {
+      Status s = engine->DropVersion(version - options.retained_versions, keys);
+      DL_CHECK(s.ok());
+      record();
+    }
+  }
+
+  // Resample the trace into fixed-width time buckets.
+  WorkloadResult result;
+  result.engine = std::string(engine->name());
+  const uint64_t t0 = trace.front().t_micros;
+  const uint64_t t1 = trace.back().t_micros;
+  result.total_seconds = static_cast<double>(t1 - t0) * 1e-6;
+  result.user_bytes = trace.back().user_bytes - trace.front().user_bytes;
+  const uint32_t page = engine->env()->geometry().page_size;
+  result.device_write_bytes =
+      (trace.back().device_write_pages - trace.front().device_write_pages) *
+      page;
+  result.device_read_bytes =
+      (trace.back().device_read_pages - trace.front().device_read_pages) *
+      page;
+  result.write_amplification =
+      result.user_bytes == 0
+          ? 0
+          : static_cast<double>(result.device_write_bytes) /
+                static_cast<double>(result.user_bytes);
+  result.avg_user_mbps =
+      static_cast<double>(result.user_bytes) / result.total_seconds / 1e6;
+  result.avg_sys_write_mbps =
+      static_cast<double>(result.device_write_bytes) / result.total_seconds /
+      1e6;
+  result.avg_sys_read_mbps =
+      static_cast<double>(result.device_read_bytes) / result.total_seconds /
+      1e6;
+
+  const int buckets = std::max(1, options.sample_buckets);
+  const double bucket_micros =
+      static_cast<double>(t1 - t0) / static_cast<double>(buckets);
+  size_t cursor = 0;
+  TracePoint prev = trace.front();
+  RunningStat user_rate_stat;
+  for (int b = 1; b <= buckets; ++b) {
+    const auto bucket_end =
+        t0 + static_cast<uint64_t>(bucket_micros * b);
+    // Last trace point at or before the bucket end.
+    while (cursor + 1 < trace.size() &&
+           trace[cursor + 1].t_micros <= bucket_end) {
+      ++cursor;
+    }
+    const TracePoint& cur = trace[cursor];
+    const double dt = bucket_micros * 1e-6;
+    WorkloadSample sample;
+    sample.t_seconds = static_cast<double>(bucket_end - t0) * 1e-6;
+    sample.user_mbps =
+        static_cast<double>(cur.user_bytes - prev.user_bytes) / dt / 1e6;
+    sample.sys_write_mbps =
+        static_cast<double>(cur.device_write_pages - prev.device_write_pages) *
+        page / dt / 1e6;
+    sample.sys_read_mbps =
+        static_cast<double>(cur.device_read_pages - prev.device_read_pages) *
+        page / dt / 1e6;
+    sample.disk_mb = static_cast<double>(cur.disk_bytes) / 1e6;
+    result.peak_disk_mb = std::max(result.peak_disk_mb, sample.disk_mb);
+    result.samples.push_back(sample);
+    user_rate_stat.Add(sample.user_mbps);
+    prev = cur;
+  }
+  result.user_mbps_stddev = user_rate_stat.StdDev();
+  result.final_disk_mb = static_cast<double>(trace.back().disk_bytes) / 1e6;
+  return result;
+}
+
+}  // namespace directload::bench

@@ -1,0 +1,74 @@
+#ifndef DIRECTLOAD_BENCH_COMMON_SUMMARY_WORKLOAD_H_
+#define DIRECTLOAD_BENCH_COMMON_SUMMARY_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/common/engine_adapter.h"
+
+namespace directload::bench {
+
+/// The paper's Section 4.1 micro-benchmark workload: a replayed summary
+/// index update — 20-byte keys, ~20 KB values, 11 versions inserted by
+/// seven logical insertion streams while a deletion stream drops the oldest
+/// version once four are on disk.
+struct SummaryWorkloadOptions {
+  uint64_t num_keys = 600;
+  uint32_t value_bytes = 20 << 10;
+  /// The paper's run inserts 11 versions; the default here is a bit longer
+  /// so the lazy GC reaches steady state at this scale.
+  int versions = 15;
+  int retained_versions = 4;
+  int insert_streams = 7;  // Logical streams (round-robin interleave).
+  /// Fraction of keys whose value changes between versions; the rest arrive
+  /// as deduplicated (value-less) pairs, as the production replay would
+  /// (Section 2.2: ~70% of pairs unchanged).
+  double change_rate = 0.3;
+  uint64_t seed = 123;
+  /// Number of equal simulated-time buckets the trace is resampled into.
+  int sample_buckets = 80;
+
+  /// When nonzero, pairs *arrive* open-loop at this application-byte rate
+  /// (the production stream is arrival-limited); the engine falls behind
+  /// whenever compaction/GC occupies the device, which is what Figure 6's
+  /// throughput dynamics display. Zero means closed-loop (device-limited),
+  /// which Figures 5 and 7 use.
+  double arrival_bytes_per_sec = 0;
+};
+
+/// One resampled time-series point.
+struct WorkloadSample {
+  double t_seconds = 0;       // Bucket end, simulated device time.
+  double user_mbps = 0;       // Application ingest rate.
+  double sys_write_mbps = 0;  // Device (flash) program rate.
+  double sys_read_mbps = 0;   // Device read rate.
+  double disk_mb = 0;         // On-device footprint at bucket end.
+};
+
+struct WorkloadResult {
+  std::string engine;
+  std::vector<WorkloadSample> samples;
+  double total_seconds = 0;
+  uint64_t user_bytes = 0;
+  uint64_t device_write_bytes = 0;
+  uint64_t device_read_bytes = 0;
+  double avg_user_mbps = 0;
+  double avg_sys_write_mbps = 0;
+  double avg_sys_read_mbps = 0;
+  /// Standard deviation of the per-bucket user-write rate (Figure 6).
+  double user_mbps_stddev = 0;
+  /// device writes / user writes (Figure 5's amplification).
+  double write_amplification = 0;
+  double peak_disk_mb = 0;
+  double final_disk_mb = 0;
+};
+
+/// Replays the workload against `engine`, tracing device counters after
+/// every operation and resampling into fixed-width buckets.
+WorkloadResult RunSummaryWorkload(EngineAdapter* engine,
+                                  const SummaryWorkloadOptions& options);
+
+}  // namespace directload::bench
+
+#endif  // DIRECTLOAD_BENCH_COMMON_SUMMARY_WORKLOAD_H_

@@ -1,0 +1,126 @@
+// Reproduces Figure 10: (a) the update throughput improvement of DirectLoad
+// (dedup + QinDB) over the baseline pipeline, up to ~5x on high-redundancy
+// days; (b) DirectLoad's miss ratio (slices later than the one-hour
+// deadline) staying well under the 0.6% SLO.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/report.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/directload.h"
+
+namespace directload::bench {
+namespace {
+
+core::DirectLoadOptions Pipeline(bool dedup) {
+  core::DirectLoadOptions o;
+  o.corpus.num_docs = 500;
+  o.corpus.vocab_size = 4000;
+  o.corpus.terms_per_doc = 20;
+  o.corpus.abstract_bytes = 4096;
+  o.corpus.seed = 313;
+  o.delivery.backbone_bytes_per_sec = 900.0;
+  o.delivery.interregion_bytes_per_sec = 900.0;
+  o.delivery.regional_bytes_per_sec = 3600.0;
+  o.delivery.tick_seconds = 5.0;
+  o.delivery.monitor_interval_seconds = 30.0;
+  // Slices are generated across a half-hour build window and each must
+  // arrive within an hour of its generation; congestion bursts push a thin
+  // tail of slices past that — the regime the paper's 0.24% (vs 0.6% SLO)
+  // lives in.
+  o.delivery.generation_window_seconds = 900.0;
+  o.delivery.miss_deadline_seconds = 3600.0;
+  o.delivery.max_seconds = 48 * 3600.0;
+  o.delivery.corruption_prob = 0.004;  // Rare relay corruption.
+  o.slice_bytes = 64 << 10;
+  o.dedup_enabled = dedup;
+  o.mint.num_groups = 1;
+  o.mint.nodes_per_group = 3;
+  o.mint.node_geometry.num_blocks = 4096;
+  o.mint.engine.aof.segment_bytes = 4 << 20;
+  o.gray_probe_queries = 10;
+  return o;
+}
+
+std::vector<double> MonthProfile() {
+  std::vector<double> rates;
+  for (int day = 1; day <= 30; ++day) {
+    double rate = 0.30 + 0.06 * std::sin(day * 0.9);
+    if (day == 9 || day == 22) rate = 0.08;  // High-redundancy days.
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+int Main() {
+  PrintBanner(
+      "Figure 10 — update throughput and data availability",
+      "(a) update throughput improved up to 5x with DirectLoad; (b) miss "
+      "ratio 0.24% vs the 0.6% SLO");
+
+  core::DirectLoad with_dl(Pipeline(/*dedup=*/true));
+  core::DirectLoad without_dl(Pipeline(/*dedup=*/false));
+  DL_CHECK(with_dl.Start().ok());
+  DL_CHECK(without_dl.Start().ok());
+  DL_CHECK(with_dl.RunUpdateCycle().ok());     // Bootstrap version.
+  DL_CHECK(without_dl.RunUpdateCycle().ok());
+
+  // Occasional backbone congestion, identical for both pipelines.
+  Random congestion(5);
+
+  std::printf("\n%5s %16s %16s %8s %14s\n", "day", "with DL (kps)",
+              "without (kps)", "ratio", "DL miss ratio");
+  double max_ratio = 0, sum_ratio = 0;
+  double worst_miss = 0, sum_miss = 0;
+  const std::vector<double> profile = MonthProfile();
+  for (size_t day = 0; day < profile.size(); ++day) {
+    // Occasional backbone congestion bursts, applied identically to both
+    // pipelines (the monitor-driven scheduler may detour around them).
+    const double bg = congestion.Bernoulli(0.2)
+                          ? 0.3 + congestion.NextDouble() * 0.3
+                          : 0.0;
+    const int region = static_cast<int>(congestion.Uniform(3));
+    for (core::DirectLoad* dl : {&with_dl, &without_dl}) {
+      for (int r = 0; r < 3; ++r) {
+        dl->delivery()->SetBackboneBackground(r, r == region ? bg : 0.0);
+      }
+    }
+    Result<core::UpdateReport> with_report =
+        with_dl.RunUpdateCycle(profile[day]);
+    Result<core::UpdateReport> without_report =
+        without_dl.RunUpdateCycle(profile[day]);
+    DL_CHECK(with_report.ok());
+    DL_CHECK(without_report.ok());
+
+    const double with_kps = with_report->throughput_kps / 1000.0;
+    const double without_kps = without_report->throughput_kps / 1000.0;
+    const double ratio = without_kps > 0 ? with_kps / without_kps : 0;
+    max_ratio = std::max(max_ratio, ratio);
+    sum_ratio += ratio;
+    const double miss = with_report->delivery.miss_ratio * 100.0;
+    worst_miss = std::max(worst_miss, miss);
+    sum_miss += miss;
+    std::printf("%5zu %16.2f %16.2f %7.2fx %13.3f%%\n", day + 1, with_kps,
+                without_kps, ratio, miss);
+  }
+
+  std::printf("\n=== Figure 10 verdict ===\n");
+  std::printf("mean throughput improvement: %.2fx; peak: %.2fx (paper: up to 5x)\n",
+              sum_ratio / profile.size(), max_ratio);
+  std::printf("mean DirectLoad miss ratio: %.3f%%; worst day: %.3f%% "
+              "(paper: 0.24%%, SLO 0.6%%)\n",
+              sum_miss / profile.size(), worst_miss);
+  std::printf("paper shape: multi-x throughput gain -> %s\n",
+              max_ratio >= 2.0 ? "REPRODUCED" : "NOT reproduced");
+  std::printf("paper shape: miss ratio under the 0.6%% SLO -> %s\n",
+              sum_miss / profile.size() < 0.6 ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}
+
+}  // namespace
+}  // namespace directload::bench
+
+int main() { return directload::bench::Main(); }

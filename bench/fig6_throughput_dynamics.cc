@@ -1,0 +1,64 @@
+// Reproduces Figure 6: user-write throughput dynamics. LevelDB's foreground
+// throughput oscillates violently because writes stall behind LSM
+// compactions; QinDB's stays flat because sorting lives in memory and the
+// lazy GC defers disk reorganization.
+
+#include <cstdio>
+
+#include "bench/common/engine_adapter.h"
+#include "bench/common/report.h"
+#include "bench/common/summary_workload.h"
+
+namespace directload::bench {
+namespace {
+
+int Main() {
+  PrintBanner(
+      "Figure 6 — user-write throughput dynamics",
+      "stddev of per-minute user-write rate: LevelDB 0.6616 MB/s vs "
+      "QinDB 0.0501 MB/s (13x smoother)");
+
+  EngineConfig config;
+  config.geometry.num_blocks = 4096;  // 1 GiB.
+  SummaryWorkloadOptions workload;
+  workload.sample_buckets = 60;
+  // The production stream is arrival-limited: both engines receive pairs at
+  // the same rate, set just below the LSM baseline's sustainable average so
+  // its compaction stalls show up as throughput dips.
+  workload.arrival_bytes_per_sec = 1.2e6;
+
+  auto lsm = NewLsmAdapter(config);
+  WorkloadResult lsm_result = RunSummaryWorkload(lsm.get(), workload);
+  auto qindb = NewQinDbAdapter(config);
+  WorkloadResult qindb_result = RunSummaryWorkload(qindb.get(), workload);
+
+  std::printf("\nPer-bucket user-write rate (MB/s), normalized time axis:\n");
+  std::printf("%8s %16s %16s\n", "bucket", "LSM", "QinDB");
+  for (size_t i = 0; i < lsm_result.samples.size(); i += 4) {
+    // The two runs take different total simulated time; compare bucket by
+    // bucket on the normalized axis.
+    std::printf("%8zu %16.2f %16.2f\n", i, lsm_result.samples[i].user_mbps,
+                i < qindb_result.samples.size()
+                    ? qindb_result.samples[i].user_mbps
+                    : 0.0);
+  }
+
+  const double cv_lsm = lsm_result.user_mbps_stddev /
+                        (lsm_result.avg_user_mbps + 1e-12);
+  const double cv_qindb = qindb_result.user_mbps_stddev /
+                          (qindb_result.avg_user_mbps + 1e-12);
+  std::printf("\n=== Figure 6 verdict ===\n");
+  std::printf("%-34s %12s %12s\n", "", "LSM", "QinDB");
+  std::printf("%-34s %12.4f %12.4f\n", "user-write stddev (MB/s)",
+              lsm_result.user_mbps_stddev, qindb_result.user_mbps_stddev);
+  std::printf("%-34s %12.4f %12.4f\n", "coefficient of variation", cv_lsm,
+              cv_qindb);
+  std::printf("paper shape: QinDB much smoother than LSM -> %s\n",
+              cv_qindb < cv_lsm / 2 ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}
+
+}  // namespace
+}  // namespace directload::bench
+
+int main() { return directload::bench::Main(); }

@@ -1,0 +1,72 @@
+// Reproduces Figure 7: storage occupation over time. QinDB's lazy GC lets
+// disk usage run ahead (space is the price of its write throughput under
+// the RUM framework) until segments hit the 25% occupancy threshold; the
+// baseline's eager compaction keeps the footprint smaller throughout.
+
+#include <cstdio>
+
+#include "bench/common/engine_adapter.h"
+#include "bench/common/report.h"
+#include "bench/common/summary_workload.h"
+
+namespace directload::bench {
+namespace {
+
+int Main() {
+  PrintBanner(
+      "Figure 7 — storage occupation during data processing",
+      "QinDB grows fast, flattens when GC starts (~185 min), ends ~80 GB; "
+      "LevelDB ends ~40 GB (2x less) thanks to eager compaction");
+
+  EngineConfig config;
+  config.geometry.num_blocks = 4096;  // 1 GiB.
+  SummaryWorkloadOptions workload;
+
+  auto lsm = NewLsmAdapter(config);
+  WorkloadResult lsm_result = RunSummaryWorkload(lsm.get(), workload);
+  auto qindb = NewQinDbAdapter(config);
+  WorkloadResult qindb_result = RunSummaryWorkload(qindb.get(), workload);
+
+  std::printf("\nDisk footprint over normalized run progress:\n");
+  std::printf("%12s %14s %14s\n", "progress(%)", "LSM (MB)", "QinDB (MB)");
+  const size_t n = lsm_result.samples.size();
+  for (size_t i = 0; i < n; i += 4) {
+    const size_t j = i * qindb_result.samples.size() / n;
+    std::printf("%12.0f %14.1f %14.1f\n", 100.0 * i / n,
+                lsm_result.samples[i].disk_mb,
+                qindb_result.samples[j].disk_mb);
+  }
+
+  std::printf("\n=== Figure 7 verdict ===\n");
+  std::printf("%-28s %12s %12s\n", "", "LSM", "QinDB");
+  std::printf("%-28s %10.1fMB %10.1fMB\n", "final footprint",
+              lsm_result.final_disk_mb, qindb_result.final_disk_mb);
+  std::printf("%-28s %10.1fMB %10.1fMB\n", "peak footprint",
+              lsm_result.peak_disk_mb, qindb_result.peak_disk_mb);
+  std::printf("%-28s %11.2fx\n", "QinDB/LSM final ratio",
+              qindb_result.final_disk_mb / (lsm_result.final_disk_mb + 1e-9));
+  std::printf("paper shape: QinDB trades meaningfully more space (paper: 2x "
+              "at 6h scale) -> %s\n",
+              qindb_result.final_disk_mb > 1.2 * lsm_result.final_disk_mb
+                  ? "REPRODUCED"
+                  : "NOT reproduced");
+
+  // The growth-then-flatten knee: compare first-half vs second-half growth
+  // rate of QinDB's footprint.
+  const auto& qs = qindb_result.samples;
+  const double first_half_growth =
+      qs[qs.size() / 2].disk_mb - qs.front().disk_mb;
+  const double second_half_growth =
+      qs.back().disk_mb - qs[qs.size() / 2].disk_mb;
+  std::printf(
+      "QinDB growth first half %.1f MB vs second half %.1f MB "
+      "(lazy GC kicks in) -> %s\n",
+      first_half_growth, second_half_growth,
+      second_half_growth < first_half_growth ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}
+
+}  // namespace
+}  // namespace directload::bench
+
+int main() { return directload::bench::Main(); }

@@ -1,0 +1,179 @@
+// Reproduces Figure 8: read latency (average / p99 / p99.9) with and
+// without a concurrent update stream. Reads arrive open-loop (Poisson) and
+// queue behind whatever the device is doing — in the LSM baseline that
+// includes compaction bursts, which is where its tail latency comes from;
+// QinDB resolves keys in memory and reads exactly the value's pages.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common/engine_adapter.h"
+#include "bench/common/report.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace directload::bench {
+namespace {
+
+constexpr uint64_t kNumKeys = 400;
+constexpr uint32_t kValueBytes = 20 << 10;
+constexpr int kLoadedVersions = 4;
+constexpr int kReads = 5000;
+constexpr double kReadRatePerSec = 60.0;
+// The paper runs a 5 MB/s stream against its production SSDs; scaled to the
+// simulated device this is the equivalent moderate-utilization stream (just
+// below the LSM baseline's sustainable ingest, as in Figure 6).
+constexpr double kUpdateBytesPerSec = 0.8e6;
+
+std::vector<std::string> MakeKeys() {
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < kNumKeys; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "url:%016llu",
+                  static_cast<unsigned long long>(i));
+    keys.emplace_back(key, 20);
+  }
+  return keys;
+}
+
+void LoadInitialVersions(EngineAdapter* engine,
+                         const std::vector<std::string>& keys, Random* rnd) {
+  for (int version = 1; version <= kLoadedVersions; ++version) {
+    for (const std::string& key : keys) {
+      DL_CHECK(engine->Put(key, version, rnd->NextString(kValueBytes)).ok());
+    }
+  }
+}
+
+struct LatencyStats {
+  double avg_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
+LatencyStats MeasureReads(EngineAdapter* engine,
+                          const std::vector<std::string>& keys,
+                          bool with_updates, uint64_t seed) {
+  Random rnd(seed);
+  Histogram hist;
+  SimClock* clock = engine->clock();
+
+  // Update-stream state (only used when with_updates).
+  uint64_t oldest_version = 1;
+  uint64_t writing_version = kLoadedVersions + 1;
+  size_t write_cursor = 0;
+  const double update_interval_us = kValueBytes / kUpdateBytesPerSec * 1e6;
+  double next_update_us = static_cast<double>(clock->NowMicros());
+
+  double arrival_us = static_cast<double>(clock->NowMicros());
+  for (int i = 0; i < kReads; ++i) {
+    arrival_us += rnd.Exponential(1e6 / kReadRatePerSec);
+
+    if (with_updates) {
+      while (next_update_us <= arrival_us) {
+        if (clock->NowMicros() < static_cast<uint64_t>(next_update_us)) {
+          clock->AdvanceTo(static_cast<uint64_t>(next_update_us));
+        }
+        DL_CHECK(engine
+                     ->Put(keys[write_cursor], writing_version,
+                           rnd.NextString(kValueBytes))
+                     .ok());
+        next_update_us += update_interval_us;
+        if (++write_cursor == keys.size()) {
+          write_cursor = 0;
+          ++writing_version;
+          // The deletion stream drops the oldest version once a new one is
+          // complete (at most four versions persist).
+          DL_CHECK(engine->DropVersion(oldest_version, keys).ok());
+          ++oldest_version;
+        }
+      }
+    }
+
+    // Open-loop read: it starts no earlier than its arrival, and no earlier
+    // than whenever the device finishes prior work (queueing delay).
+    if (clock->NowMicros() < static_cast<uint64_t>(arrival_us)) {
+      clock->AdvanceTo(static_cast<uint64_t>(arrival_us));
+    }
+    const std::string& key = keys[rnd.Uniform(keys.size())];
+    const uint64_t newest_complete = writing_version - 1;
+    const uint64_t version =
+        oldest_version + rnd.Uniform(newest_complete - oldest_version + 1);
+    Result<std::string> got = engine->Get(key, version);
+    DL_CHECK(got.ok());
+    hist.Add(static_cast<double>(clock->NowMicros()) - arrival_us);
+  }
+
+  LatencyStats stats;
+  stats.avg_us = hist.Mean();
+  stats.p99_us = hist.Percentile(99);
+  stats.p999_us = hist.Percentile(99.9);
+  return stats;
+}
+
+void PrintScenario(const char* title, const LatencyStats& lsm,
+                   const LatencyStats& qindb) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%-14s %14s %14s\n", "latency (us)", "LSM", "QinDB");
+  std::printf("%-14s %14.0f %14.0f\n", "average", lsm.avg_us, qindb.avg_us);
+  std::printf("%-14s %14.0f %14.0f\n", "p99", lsm.p99_us, qindb.p99_us);
+  std::printf("%-14s %14.0f %14.0f\n", "p99.9", lsm.p999_us, qindb.p999_us);
+}
+
+int Main() {
+  PrintBanner(
+      "Figure 8 — read latency with and without update streams",
+      "no updates: QinDB 1803/3558/6574 us vs LevelDB 1846/3909/15081 us "
+      "(avg/p99/p99.9); with updates: QinDB 2104/4397/13663 vs LevelDB "
+      "2668/12789/26458");
+
+  EngineConfig config;
+  config.geometry.num_blocks = 8192;  // 2 GiB.
+
+  Random load_rnd(77);
+  const std::vector<std::string> keys = MakeKeys();
+
+  auto lsm = NewLsmAdapter(config);
+  LoadInitialVersions(lsm.get(), keys, &load_rnd);
+  auto qindb = NewQinDbAdapter(config);
+  LoadInitialVersions(qindb.get(), keys, &load_rnd);
+
+  const LatencyStats lsm_idle = MeasureReads(lsm.get(), keys, false, 101);
+  const LatencyStats qindb_idle = MeasureReads(qindb.get(), keys, false, 101);
+  PrintScenario("Figure 8a: no updating data stream", lsm_idle, qindb_idle);
+
+  const LatencyStats lsm_busy = MeasureReads(lsm.get(), keys, true, 202);
+  const LatencyStats qindb_busy = MeasureReads(qindb.get(), keys, true, 202);
+  PrintScenario(
+      "Figure 8b: with updating data stream (paper: 5 MB/s, scaled here)",
+      lsm_busy, qindb_busy);
+
+  std::printf("\n=== Figure 8 verdict ===\n");
+  std::printf("no-updates p99.9: QinDB below LSM -> %s\n",
+              qindb_idle.p999_us < lsm_idle.p999_us ? "REPRODUCED"
+                                                    : "NOT reproduced");
+  std::printf("with-updates p99/p99.9: QinDB well below LSM -> %s\n",
+              qindb_busy.p999_us < lsm_busy.p999_us &&
+                      qindb_busy.p99_us < lsm_busy.p99_us
+                  ? "REPRODUCED"
+                  : "NOT reproduced");
+  // The paper's 8b shows the update stream hurting LevelDB's latencies far
+  // more than QinDB's (LevelDB avg +45%, p99 +227%; QinDB avg +17%).
+  const double lsm_degradation = lsm_busy.avg_us / lsm_idle.avg_us;
+  const double qindb_degradation = qindb_busy.avg_us / qindb_idle.avg_us;
+  std::printf(
+      "update stream degrades LSM avg %.1fx vs QinDB avg %.1fx -> %s\n"
+      "(note: the simulator serializes whole compaction bursts ahead of\n"
+      " queued reads, so LSM queueing delays are overstated vs production;\n"
+      " see EXPERIMENTS.md)\n",
+      lsm_degradation, qindb_degradation,
+      lsm_degradation > qindb_degradation ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}
+
+}  // namespace
+}  // namespace directload::bench
+
+int main() { return directload::bench::Main(); }

@@ -1,0 +1,294 @@
+// The Section 5 RUM analysis plus the ablations DESIGN.md calls out:
+//   * QinDB on the native block interface vs a conventional page-mapped FTL
+//     (isolates hardware-level write amplification);
+//   * the lazy-GC occupancy threshold (space <-> write-amplification trade);
+//   * recovery time with and without checkpoints, vs data volume (the RUM
+//     "cost" QinDB pays for its R and U).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/common/engine_adapter.h"
+#include "bench/common/report.h"
+#include "bench/common/summary_workload.h"
+#include "common/logging.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "mint/cluster.h"
+#include "qindb/qindb.h"
+#include "ssd/ftl.h"
+#include "ssd/native.h"
+#include "ssd/env.h"
+
+namespace directload::bench {
+namespace {
+
+struct Row {
+  std::string name;
+  double user_mbps;
+  double write_amp;
+  double read_avg_us;
+  double peak_disk_mb;
+  uint64_t device_gc_pages;  // Pages migrated by the device's internal GC.
+};
+
+double MeasureReadAvg(EngineAdapter* engine, uint64_t num_keys, int versions) {
+  Random rnd(999);
+  SimClock* clock = engine->clock();
+  const int kReads = 800;
+  double total_us = 0;
+  int hits = 0;
+  // The workload retains the last `retained` versions; probe those.
+  for (int i = 0; i < kReads; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "url:%016llu",
+                  static_cast<unsigned long long>(rnd.Uniform(num_keys)));
+    const uint64_t version = versions - 3 + rnd.Uniform(4);
+    const uint64_t before = clock->NowMicros();
+    Result<std::string> got = engine->Get(Slice(key, 20), version);
+    if (got.ok()) {
+      total_us += static_cast<double>(clock->NowMicros() - before);
+      ++hits;
+    }
+  }
+  return hits == 0 ? 0 : total_us / hits;
+}
+
+Row RunConfig(const std::string& name,
+              const std::function<std::unique_ptr<EngineAdapter>()>& make) {
+  SummaryWorkloadOptions workload;
+  workload.num_keys = 300;
+  workload.versions = 8;
+  auto engine = make();
+  const WorkloadResult result = RunSummaryWorkload(engine.get(), workload);
+  Row row;
+  row.name = name;
+  row.user_mbps = result.avg_user_mbps;
+  row.write_amp = result.write_amplification;
+  row.read_avg_us =
+      MeasureReadAvg(engine.get(), workload.num_keys, workload.versions);
+  row.peak_disk_mb = result.peak_disk_mb;
+  row.device_gc_pages = engine->env()->stats().gc_pages_migrated;
+  return row;
+}
+
+/// The paper's Figure 3/4 physics in isolation: at matched space
+/// utilization, page-granular overwrites force the FTL's internal GC to
+/// migrate the surviving pages of victim blocks, while QinDB's
+/// block-aligned allocate/append/erase pattern never does. This is the
+/// hardware-level write amplification the native interface removes.
+void HardwareWaDemo() {
+  std::printf(
+      "\n--- Hardware-level WA: page-granular vs block-aligned churn ---\n");
+  std::printf("%14s %26s %26s\n", "utilization", "page-mapped FTL (WA)",
+              "native block-aligned (WA)");
+  ssd::Geometry geometry;
+  geometry.num_blocks = 256;  // 64 MiB.
+  for (double utilization : {0.70, 0.85, 0.95}) {
+    // FTL: a working set of `utilization` x logical pages updated in place,
+    // in random order, for 3 full turnover rounds.
+    SimClock ftl_clock;
+    ssd::FtlDevice ftl(geometry, ssd::LatencyModel(), &ftl_clock);
+    Random rnd(31);
+    const uint64_t working_set =
+        static_cast<uint64_t>(utilization * static_cast<double>(
+                                                ftl.logical_pages()));
+    const std::string payload(geometry.page_size, 'x');
+    for (uint64_t lpa = 0; lpa < working_set; ++lpa) {
+      DL_CHECK(ftl.Write(lpa, payload).ok());
+    }
+    for (uint64_t i = 0; i < working_set * 3; ++i) {
+      DL_CHECK(ftl.Write(rnd.Uniform(working_set), payload).ok());
+    }
+    const double ftl_wa = ftl.stats().write_amplification();
+
+    // Native: the same byte volume churned block-at-a-time (QinDB's AOF
+    // pattern: allocate, fill, erase whole blocks).
+    SimClock native_clock;
+    ssd::NativeSsd native(geometry, ssd::LatencyModel(), &native_clock);
+    const uint64_t working_blocks = working_set / geometry.pages_per_block;
+    std::vector<uint32_t> blocks;
+    for (uint64_t b = 0; b < working_blocks; ++b) {
+      Result<uint32_t> block = native.AllocateBlock();
+      DL_CHECK(block.ok());
+      for (uint32_t p = 0; p < geometry.pages_per_block; ++p) {
+        DL_CHECK(native.AppendPage(*block, payload).ok());
+      }
+      blocks.push_back(*block);
+    }
+    Random native_rnd(32);
+    for (uint64_t i = 0; i < working_blocks * 3; ++i) {
+      const size_t victim = native_rnd.Uniform(blocks.size());
+      DL_CHECK(native.ReleaseBlock(blocks[victim]).ok());
+      Result<uint32_t> block = native.AllocateBlock();
+      DL_CHECK(block.ok());
+      for (uint32_t p = 0; p < geometry.pages_per_block; ++p) {
+        DL_CHECK(native.AppendPage(*block, payload).ok());
+      }
+      blocks[victim] = *block;
+    }
+    const double native_wa = native.stats().write_amplification();
+    std::printf("%13.0f%% %25.2fx %25.2fx\n", utilization * 100, ftl_wa,
+                native_wa);
+  }
+  std::printf("(the FTL's GC migrations grow sharply with utilization; the\n"
+              " block-aligned pattern stays at exactly 1.0x — Figure 4's\n"
+              " read-and-rewrite cost vs Figure 3's clean-erase best case)\n");
+}
+
+/// Replica-count ablation: parallel reads take the fastest of r replicas,
+/// so the read tail shrinks as r grows — and with r >= 2 a node failure is
+/// invisible to readers (the paper's Section 2.3 availability argument).
+void ReplicaAblation() {
+  std::printf("\n--- Replica count vs read latency and availability ---\n");
+  std::printf("%10s %14s %14s %22s\n", "replicas", "avg (us)", "p99 (us)",
+              "avail. after 1 crash");
+  for (int replicas = 1; replicas <= 3; ++replicas) {
+    mint::MintOptions options;
+    options.num_groups = 1;
+    options.nodes_per_group = 3;
+    options.replicas = replicas;
+    options.node_geometry.pages_per_block = 8;
+    options.node_geometry.num_blocks = 4096;
+    options.engine.aof.segment_bytes = 1 << 20;
+    mint::MintCluster cluster(options);
+    DL_CHECK(cluster.Start().ok());
+    Random rnd(21);
+    for (int i = 0; i < 200; ++i) {
+      DL_CHECK(cluster.Put("url:" + std::to_string(i), 1,
+                           rnd.NextString(8192))
+                   .ok());
+    }
+    Histogram hist;
+    for (int i = 0; i < 1000; ++i) {
+      Result<mint::MintCluster::ReadResult> got =
+          cluster.Get("url:" + std::to_string(rnd.Uniform(200)), 1);
+      DL_CHECK(got.ok());
+      hist.Add(got->latency_micros);
+    }
+    // Crash one node; count how many keys are still readable.
+    DL_CHECK(cluster.FailNode(0).ok());
+    int readable = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (cluster.Get("url:" + std::to_string(i), 1).ok()) ++readable;
+    }
+    std::printf("%10d %14.0f %14.0f %20d/200\n", replicas, hist.Mean(),
+                hist.Percentile(99), readable);
+  }
+  std::printf("(with r >= 2 a single-node failure is invisible to readers —\n"
+              " the paper's \"parallel requests to the replicas hide the\n"
+              " node recovery\"; latency is flat here because idle simulated\n"
+              " devices have no service-time variance to race against)\n");
+}
+
+void RecoveryAblation() {
+  std::printf("\n--- Recovery time vs data volume (the RUM cost) ---\n");
+  std::printf("%12s %22s %22s\n", "volume (MB)", "full AOF scan (s)",
+              "with checkpoint (s)");
+  for (uint64_t data_mb : {8, 32, 96}) {
+    SimClock clock;
+    ssd::Geometry geometry;
+    geometry.num_blocks = 4096;  // 1 GiB.
+    auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
+                              ssd::LatencyModel(), &clock);
+    qindb::QinDbOptions options;
+    options.aof.segment_bytes = 8 << 20;
+    Random rnd(42);
+    {
+      auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
+      const uint64_t pairs = data_mb * 1024 / 16;  // 16 KB values.
+      for (uint64_t i = 0; i < pairs; ++i) {
+        char key[32];
+        std::snprintf(key, sizeof(key), "url:%016llu",
+                      static_cast<unsigned long long>(i));
+        DL_CHECK(db->Put(Slice(key, 20), 1, rnd.NextString(16 << 10)).ok());
+      }
+    }
+    // Full-scan recovery.
+    const uint64_t t0 = clock.NowMicros();
+    auto recovered = std::move(qindb::QinDb::Open(env.get(), options)).value();
+    const double scan_seconds =
+        static_cast<double>(clock.NowMicros() - t0) * 1e-6;
+    // Checkpoint, then recover again.
+    DL_CHECK(recovered->Checkpoint().ok());
+    recovered.reset();
+    const uint64_t t1 = clock.NowMicros();
+    auto fast = std::move(qindb::QinDb::Open(env.get(), options)).value();
+    const double ckpt_seconds =
+        static_cast<double>(clock.NowMicros() - t1) * 1e-6;
+    std::printf("%12llu %22.3f %22.3f\n",
+                static_cast<unsigned long long>(data_mb), scan_seconds,
+                ckpt_seconds);
+  }
+}
+
+int Main() {
+  PrintBanner(
+      "RUM ablation (Section 5) — read/update/memory trade-offs",
+      "QinDB optimizes R and U at the cost of space and recovery time; "
+      "block-aligned native writes remove hardware WA");
+
+  EngineConfig base;
+  base.geometry.num_blocks = 4096;
+
+  std::vector<Row> rows;
+  rows.push_back(RunConfig("QinDB native, GC@25% (paper)", [&] {
+    EngineConfig c = base;
+    return NewQinDbAdapter(c);
+  }));
+  rows.push_back(RunConfig("QinDB native, GC@10% (lazier)", [&] {
+    EngineConfig c = base;
+    c.qindb_gc_threshold = 0.10;
+    return NewQinDbAdapter(c);
+  }));
+  rows.push_back(RunConfig("QinDB native, GC@50% (eager)", [&] {
+    EngineConfig c = base;
+    c.qindb_gc_threshold = 0.50;
+    return NewQinDbAdapter(c);
+  }));
+  rows.push_back(RunConfig("QinDB on page-mapped FTL", [&] {
+    EngineConfig c = base;
+    c.qindb_on_ftl = true;
+    return NewQinDbAdapter(c);
+  }));
+  rows.push_back(RunConfig("LSM baseline", [&] {
+    EngineConfig c = base;
+    return NewLsmAdapter(c);
+  }));
+
+  std::printf("\n%-34s %10s %8s %12s %12s %12s\n", "configuration", "U (MB/s)",
+              "WA", "R avg (us)", "M peak (MB)", "devGC pages");
+  for (const Row& row : rows) {
+    std::printf("%-34s %10.2f %7.2fx %12.0f %12.1f %12llu\n", row.name.c_str(),
+                row.user_mbps, row.write_amp, row.read_avg_us,
+                row.peak_disk_mb,
+                static_cast<unsigned long long>(row.device_gc_pages));
+  }
+
+  const Row& gc25 = rows[0];
+  const Row& gc10 = rows[1];
+  const Row& gc50 = rows[2];
+  const Row& lsm = rows[4];
+  std::printf("\n=== Ablation verdicts ===\n");
+  std::printf("eager GC (50%%) costs more WA than lazy (10%%) -> %s\n",
+              gc50.write_amp > gc10.write_amp ? "CONFIRMED" : "not confirmed");
+  std::printf("lazy GC (10%%) uses more space than eager (50%%) -> %s\n",
+              gc10.peak_disk_mb > gc50.peak_disk_mb ? "CONFIRMED"
+                                                    : "not confirmed");
+  std::printf("native interface never migrates pages (zero device GC) -> %s\n",
+              gc25.device_gc_pages == 0 ? "CONFIRMED" : "not confirmed");
+  std::printf("QinDB (any config) beats LSM on U -> %s\n",
+              gc25.user_mbps > lsm.user_mbps ? "CONFIRMED" : "not confirmed");
+
+  HardwareWaDemo();
+  ReplicaAblation();
+  RecoveryAblation();
+  return 0;
+}
+
+}  // namespace
+}  // namespace directload::bench
+
+int main() { return directload::bench::Main(); }

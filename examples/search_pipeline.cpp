@@ -1,0 +1,93 @@
+// The index-building and serving path of the paper's Figure 1 on one node:
+// crawl a synthetic web corpus, build forward/inverted/summary indices,
+// store them in QinDB, and answer search queries — a term is resolved to
+// URLs via the inverted index, and each URL's abstract is fetched from the
+// summary index.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/sim_clock.h"
+#include "index/builders.h"
+#include "index/corpus.h"
+#include "qindb/qindb.h"
+#include "ssd/env.h"
+
+using namespace directload;
+
+int main() {
+  // 1. Crawl round: a small synthetic web.
+  webindex::CorpusOptions corpus_options;
+  corpus_options.num_docs = 300;
+  corpus_options.vocab_size = 2000;
+  corpus_options.terms_per_doc = 15;
+  corpus_options.abstract_bytes = 256;
+  webindex::Corpus corpus(corpus_options);
+
+  // 2. Index building engine: forward -> inverted, plus summary.
+  webindex::IndexDataset forward = webindex::BuildForwardIndex(corpus);
+  webindex::IndexDataset inverted =
+      webindex::BuildInvertedIndex(corpus, forward);
+  webindex::IndexDataset summary = webindex::BuildSummaryIndex(corpus);
+  std::printf("built indices for version %llu: %zu forward, %zu inverted, "
+              "%zu summary pairs\n",
+              (unsigned long long)corpus.version(), forward.pairs.size(),
+              inverted.pairs.size(), summary.pairs.size());
+
+  // 3. Store inverted + summary indices in a QinDB storage node.
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.num_blocks = 2048;
+  auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
+                            ssd::LatencyModel(), &clock);
+  auto db = std::move(qindb::QinDb::Open(env.get(), {})).value();
+  for (const webindex::KvPair& kv : inverted.pairs) {
+    DL_CHECK_OK(db->Put(kv.key, corpus.version(), kv.value));
+  }
+  for (const webindex::KvPair& kv : summary.pairs) {
+    DL_CHECK_OK(db->Put(kv.key, corpus.version(), kv.value));
+  }
+
+  // 4. Serve a search request: break it into terms, gather URL postings,
+  //    rank by how many query terms a document matches, return abstracts.
+  const webindex::Document& sample_doc = corpus.documents()[42];
+  const std::vector<uint32_t> doc_terms = corpus.TermsOf(sample_doc);
+  const std::vector<uint32_t> query = {doc_terms[0], doc_terms[1],
+                                       doc_terms[2]};
+  std::printf("\nquery terms: %u %u %u\n", query[0], query[1], query[2]);
+
+  std::map<std::string, int> matches;
+  for (uint32_t term : query) {
+    Result<std::string> postings =
+        db->Get(webindex::TermKey(term), corpus.version());
+    if (!postings.ok()) continue;
+    std::vector<std::string> urls;
+    DL_CHECK_OK(webindex::DecodeUrlList(*postings, &urls));
+    for (const std::string& url : urls) ++matches[url];
+  }
+
+  // Rank: most matched terms first.
+  std::vector<std::pair<int, std::string>> ranked;
+  for (const auto& [url, count] : matches) ranked.emplace_back(count, url);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("top results (%zu candidates):\n", ranked.size());
+  for (size_t i = 0; i < ranked.size() && i < 5; ++i) {
+    Result<std::string> abstract = db->Get(ranked[i].second, corpus.version());
+    std::printf("  #%zu [%d/3 terms] %s\n      abstract: %.48s...\n", i + 1,
+                ranked[i].first, ranked[i].second.c_str(),
+                abstract.ok() ? abstract->c_str() : "(unavailable)");
+  }
+  // The document the query terms came from must be a full (3/3) match;
+  // other documents may legitimately tie on popular terms.
+  bool found_full_match = false;
+  for (const auto& [count, url] : ranked) {
+    if (url == sample_doc.url) {
+      found_full_match = count == 3;
+      break;
+    }
+  }
+  DL_CHECK(found_full_match);
+  std::printf("\nthe document the query was drawn from is a full match: OK\n");
+  return 0;
+}

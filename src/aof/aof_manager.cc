@@ -1,0 +1,363 @@
+#include "aof/aof_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace directload::aof {
+
+namespace {
+constexpr char kSegmentPrefix[] = "aof_";
+constexpr uint64_t kScanChunkBytes = 64 << 10;
+}  // namespace
+
+AofManager::AofManager(ssd::SsdEnv* env, const AofOptions& options)
+    : env_(env), options_(options) {}
+
+AofManager::~AofManager() {
+  if (active_writer_ != nullptr) active_writer_->Close();
+}
+
+std::string AofManager::SegmentName(uint32_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08u.dat", kSegmentPrefix, id);
+  return buf;
+}
+
+Result<std::unique_ptr<AofManager>> AofManager::Open(
+    ssd::SsdEnv* env, const AofOptions& options,
+    const std::map<uint32_t, SegmentMeta>* known) {
+  if (options.segment_bytes < RecordHeader::kSize) {
+    return Status::InvalidArgument("segment_bytes too small");
+  }
+  std::unique_ptr<AofManager> mgr(new AofManager(env, options));
+  Status s = mgr->AdoptExistingSegments(known);
+  if (!s.ok()) return s;
+  return mgr;
+}
+
+Status AofManager::AdoptExistingSegments(
+    const std::map<uint32_t, SegmentMeta>* known) {
+  uint32_t max_id = 0;
+  bool any = false;
+  for (const std::string& name : env_->ListFiles()) {
+    if (name.rfind(kSegmentPrefix, 0) != 0) continue;
+    const uint32_t id =
+        static_cast<uint32_t>(std::strtoul(name.c_str() + 4, nullptr, 10));
+    any = true;
+    max_id = std::max(max_id, id);
+    SegmentInfo info;
+    info.sealed = true;
+    segments_[id] = std::move(info);
+    if (known != nullptr) {
+      auto it = known->find(id);
+      if (it != known->end()) {
+        // Checkpointed accounting: no scan needed.
+        segments_[id].total_bytes = it->second.total_bytes;
+        segments_[id].live_bytes = it->second.live_bytes;
+        continue;
+      }
+    }
+    // Determine the record extent of the segment by scanning headers; the
+    // file itself may be longer due to block/page padding.
+    uint64_t end = 0;
+    Status s = ScanSegment(id, [&end](const RecordAddress& addr,
+                                      const RecordView& rec) {
+      end = addr.offset + RecordExtent(rec.header.key_len, rec.header.value_len);
+      return true;
+    });
+    if (!s.ok()) return s;
+    segments_[id].total_bytes = end;
+    // Everything is presumed live until the engine's recovery pass marks
+    // superseded records dead.
+    segments_[id].live_bytes = end;
+  }
+  active_id_ = any ? max_id + 1 : 0;
+  return Status::OK();
+}
+
+Status AofManager::OpenNewSegment() {
+  const std::string name = SegmentName(active_id_);
+  Result<std::unique_ptr<ssd::WritableFile>> file = env_->NewWritableFile(name);
+  if (!file.ok()) return file.status();
+  active_writer_ = std::move(file).value();
+  segments_[active_id_] = SegmentInfo{};
+  active_mirror_.clear();
+  mirror_offset_ = 0;
+  return Status::OK();
+}
+
+Result<RecordAddress> AofManager::AppendRecord(const Slice& key,
+                                               uint64_t version, uint8_t flags,
+                                               const Slice& value) {
+  const uint64_t extent = RecordExtent(key.size(), value.size());
+  if (extent > options_.segment_bytes) {
+    return Status::InvalidArgument("record exceeds segment capacity");
+  }
+  if (key.size() > UINT16_MAX) {
+    return Status::InvalidArgument("key too long");
+  }
+  if (active_writer_ != nullptr &&
+      active_writer_->Size() + extent > options_.segment_bytes) {
+    Status s = SealActive();
+    if (!s.ok()) return s;
+  }
+  if (active_writer_ == nullptr) {
+    Status s = OpenNewSegment();
+    if (!s.ok()) return s;
+  }
+
+  std::string rec;
+  rec.reserve(extent);
+  EncodeRecord(key, version, flags, value, &rec);
+
+  const auto offset = static_cast<uint32_t>(active_writer_->Size());
+  Status s = active_writer_->Append(rec);
+  if (!s.ok()) return s;
+
+  // Maintain the unpersisted-tail mirror: [mirror_offset_, Size).
+  active_mirror_.append(rec);
+  const uint64_t persisted = active_writer_->PersistedSize();
+  if (persisted > mirror_offset_) {
+    active_mirror_.erase(0, persisted - mirror_offset_);
+    mirror_offset_ = persisted;
+  }
+
+  SegmentInfo& seg = segments_[active_id_];
+  seg.total_bytes += extent;
+  seg.live_bytes += extent;
+  return RecordAddress{active_id_, offset};
+}
+
+Status AofManager::SealActive() {
+  if (active_writer_ == nullptr) return Status::OK();
+  Status s = active_writer_->Close();
+  if (!s.ok()) return s;
+  active_writer_.reset();
+  segments_[active_id_].sealed = true;
+  active_mirror_.clear();
+  mirror_offset_ = 0;
+  ++active_id_;
+  return Status::OK();
+}
+
+ssd::RandomAccessFile* AofManager::ReaderFor(uint32_t segment_id) const {
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return nullptr;
+  if (it->second.reader == nullptr) {
+    auto file = env_->NewRandomAccessFile(SegmentName(segment_id));
+    if (!file.ok()) return nullptr;
+    it->second.reader = std::move(file).value();
+  }
+  return it->second.reader.get();
+}
+
+Status AofManager::ReadBytes(uint32_t segment_id, uint64_t offset, uint64_t n,
+                             std::string* out) const {
+  out->clear();
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) {
+    return Status::NotFound("unknown segment");
+  }
+  const uint64_t end = offset + n;
+  const bool is_active =
+      segment_id == active_id_ && active_writer_ != nullptr;
+  const uint64_t persisted =
+      is_active ? active_writer_->PersistedSize() : UINT64_MAX;
+
+  if (offset < persisted) {
+    ssd::RandomAccessFile* reader = ReaderFor(segment_id);
+    if (reader == nullptr) return Status::IOError("cannot open segment");
+    const uint64_t device_end = std::min(end, persisted);
+    Status s = reader->Read(offset, device_end - offset, out);
+    if (!s.ok()) return s;
+  }
+  if (is_active && end > persisted) {
+    // Serve the rest from the in-memory tail mirror.
+    const uint64_t lo = std::max(offset, mirror_offset_);
+    if (lo < mirror_offset_ || lo - mirror_offset_ > active_mirror_.size()) {
+      return Status::Internal("mirror does not cover requested range");
+    }
+    const uint64_t avail = mirror_offset_ + active_mirror_.size();
+    const uint64_t hi = std::min(end, avail);
+    if (hi > lo) {
+      out->append(active_mirror_.data() + (lo - mirror_offset_), hi - lo);
+    }
+  }
+  if (out->size() < n) {
+    return Status::InvalidArgument("read past end of segment");
+  }
+  return Status::OK();
+}
+
+Status AofManager::ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
+                              RecordView* out) const {
+  uint64_t extent = extent_hint;
+  if (extent == 0) {
+    std::string hdr;
+    Status s = ReadBytes(addr.segment_id, addr.offset, RecordHeader::kSize,
+                         &hdr);
+    if (!s.ok()) return s;
+    RecordHeader header;
+    s = DecodeHeader(hdr, &header);
+    if (!s.ok()) return s;
+    extent = RecordExtent(header.key_len, header.value_len);
+  }
+  std::string body;
+  Status s = ReadBytes(addr.segment_id, addr.offset, extent, &body);
+  if (!s.ok()) return s;
+  return DecodeRecord(body, out);
+}
+
+void AofManager::MarkDead(const RecordAddress& addr, uint64_t extent) {
+  auto it = segments_.find(addr.segment_id);
+  if (it == segments_.end()) return;
+  it->second.live_bytes =
+      extent > it->second.live_bytes ? 0 : it->second.live_bytes - extent;
+}
+
+double AofManager::Occupancy(uint32_t segment_id) const {
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return 1.0;
+  return static_cast<double>(it->second.live_bytes) /
+         static_cast<double>(options_.segment_bytes);
+}
+
+std::vector<uint32_t> AofManager::GcVictims() const {
+  std::vector<uint32_t> victims;
+  for (const auto& [id, seg] : segments_) {
+    if (!seg.sealed) continue;
+    if (Occupancy(id) <= options_.gc_occupancy_threshold) {
+      victims.push_back(id);
+    }
+  }
+  std::sort(victims.begin(), victims.end(), [this](uint32_t a, uint32_t b) {
+    return Occupancy(a) < Occupancy(b);
+  });
+  return victims;
+}
+
+Status AofManager::ScanSegment(uint32_t segment_id, const ScanFn& fn) const {
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return Status::NotFound("unknown segment");
+  const bool adopted = it->second.total_bytes == 0 && it->second.sealed;
+  // For adopted (recovery) segments the logical extent is unknown; fall back
+  // to the persisted file size and stop at the first undecodable record.
+  uint64_t limit = it->second.total_bytes;
+  if (adopted || limit == 0) {
+    Result<uint64_t> size = env_->GetFileSize(SegmentName(segment_id));
+    if (!size.ok()) return size.status();
+    limit = *size;
+    // A crashed writer may have lost its unflushed tail: only the persisted
+    // prefix is readable (record checksums cover torn records inside it).
+    ssd::RandomAccessFile* reader = ReaderFor(segment_id);
+    if (reader != nullptr) limit = std::min(limit, reader->Size());
+  }
+  if (segment_id == active_id_ && active_writer_ != nullptr) {
+    limit = it->second.total_bytes;
+  }
+
+  std::string buf;
+  uint64_t buf_start = 0;
+  uint64_t offset = 0;
+  while (offset + RecordHeader::kSize <= limit) {
+    auto ensure = [&](uint64_t need) -> Status {
+      const uint64_t have = buf_start + buf.size();
+      if (offset + need <= have && offset >= buf_start) return Status::OK();
+      const uint64_t want =
+          std::min(std::max(need, kScanChunkBytes), limit - offset);
+      buf_start = offset;
+      return ReadBytes(segment_id, offset, want, &buf);
+    };
+    Status s = ensure(RecordHeader::kSize);
+    if (!s.ok()) return s;
+    RecordHeader header;
+    s = DecodeHeader(Slice(buf.data() + (offset - buf_start),
+                           buf.size() - (offset - buf_start)),
+                     &header);
+    if (!s.ok()) break;
+    const uint64_t extent = RecordExtent(header.key_len, header.value_len);
+    if (offset + extent > limit) break;  // Torn tail or padding.
+    s = ensure(extent);
+    if (!s.ok()) return s;
+    RecordView view;
+    s = DecodeRecord(Slice(buf.data() + (offset - buf_start),
+                           buf.size() - (offset - buf_start)),
+                     &view);
+    if (!s.ok()) break;  // Checksum failure: treat as end of valid data.
+    if (!fn(RecordAddress{segment_id, static_cast<uint32_t>(offset)}, view)) {
+      return Status::OK();
+    }
+    offset += extent;
+  }
+  return Status::OK();
+}
+
+Status AofManager::Scan(const ScanFn& fn, uint32_t min_segment) const {
+  for (const auto& [id, seg] : segments_) {
+    if (id < min_segment) continue;
+    Status s = ScanSegment(id, fn);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status AofManager::CollectSegment(uint32_t segment_id,
+                                  const Classifier& classify,
+                                  const RelocateFn& relocate,
+                                  const DropFn& drop) {
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return Status::NotFound("unknown segment");
+  if (!it->second.sealed) {
+    return Status::InvalidArgument("cannot collect the active segment");
+  }
+
+  Status append_error;
+  Status s = ScanSegment(
+      segment_id, [&](const RecordAddress& addr, const RecordView& rec) {
+        if (classify(addr, rec)) {
+          Result<RecordAddress> new_addr =
+              AppendRecord(rec.key, rec.header.version, rec.header.flags,
+                           rec.value);
+          if (!new_addr.ok()) {
+            append_error = new_addr.status();
+            return false;
+          }
+          ++gc_stats_.records_rewritten;
+          gc_stats_.bytes_rewritten +=
+              RecordExtent(rec.key.size(), rec.value.size());
+          relocate(addr, *new_addr, rec);
+        } else {
+          ++gc_stats_.records_dropped;
+          gc_stats_.bytes_dropped +=
+              RecordExtent(rec.key.size(), rec.value.size());
+          drop(addr, rec);
+        }
+        return true;
+      });
+  if (!s.ok()) return s;
+  if (!append_error.ok()) return append_error;
+
+  // Destroy the cached reader before the file disappears.
+  it->second.reader.reset();
+  segments_.erase(it);
+  s = env_->DeleteFile(SegmentName(segment_id));
+  if (!s.ok()) return s;
+  ++gc_stats_.segments_reclaimed;
+  return Status::OK();
+}
+
+std::map<uint32_t, SegmentMeta> AofManager::SegmentMetas() const {
+  std::map<uint32_t, SegmentMeta> out;
+  for (const auto& [id, seg] : segments_) {
+    out[id] = SegmentMeta{seg.total_bytes, seg.live_bytes};
+  }
+  return out;
+}
+
+uint64_t AofManager::LiveBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, seg] : segments_) total += seg.live_bytes;
+  return total;
+}
+
+}  // namespace directload::aof

@@ -1,0 +1,168 @@
+#ifndef DIRECTLOAD_AOF_AOF_MANAGER_H_
+#define DIRECTLOAD_AOF_AOF_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aof/record.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "ssd/env.h"
+
+namespace directload::aof {
+
+struct AofOptions {
+  /// Fixed segment capacity; the paper uses 64 MB AOFs (Section 2.3).
+  uint64_t segment_bytes = 64ull << 20;
+
+  /// A sealed segment becomes a GC victim once live bytes / capacity falls
+  /// to this ratio (the paper recycles at 25 %, Section 4.1.2).
+  double gc_occupancy_threshold = 0.25;
+
+  /// When true, DELs append small tombstone records so deletions survive a
+  /// crash without a checkpoint. Off by default, matching the paper's
+  /// memory-only DEL.
+  bool log_deletes = false;
+};
+
+struct GcStats {
+  uint64_t segments_reclaimed = 0;
+  uint64_t records_rewritten = 0;
+  uint64_t bytes_rewritten = 0;
+  uint64_t records_dropped = 0;
+  uint64_t bytes_dropped = 0;
+};
+
+/// Manages the append-only files of one QinDB instance: record appends with
+/// automatic segment rollover, positional reads (including the unpersisted
+/// tail of the active segment), per-segment occupancy accounting, victim
+/// selection, and segment collection (the re-append + offset-patch + erase
+/// cycle of Figure 2, steps 4-6).
+///
+/// Occupancy bookkeeping for one segment, as persisted by engine
+/// checkpoints so recovery can skip re-scanning old segments.
+struct SegmentMeta {
+  uint64_t total_bytes = 0;
+  uint64_t live_bytes = 0;
+};
+
+/// The manager is policy-free about liveness: the engine supplies a
+/// classifier when collecting, because only the engine knows about delete
+/// flags and referents.
+class AofManager {
+ public:
+  /// Opens over `env`, adopting any existing aof_*.dat segments (crash
+  /// recovery). Newly appended records go to a fresh segment. Segments
+  /// listed in `known` (from a checkpoint) adopt the recorded accounting
+  /// without being re-scanned.
+  static Result<std::unique_ptr<AofManager>> Open(
+      ssd::SsdEnv* env, const AofOptions& options,
+      const std::map<uint32_t, SegmentMeta>* known = nullptr);
+
+  ~AofManager();
+
+  AofManager(const AofManager&) = delete;
+  AofManager& operator=(const AofManager&) = delete;
+
+  /// Appends one record, rolling to a new segment when the active one is
+  /// full. Returns the record's address.
+  Result<RecordAddress> AppendRecord(const Slice& key, uint64_t version,
+                                     uint8_t flags, const Slice& value);
+
+  /// Reads and verifies the record at `addr`. `extent_hint`, when nonzero,
+  /// is the record's full extent (saving a separate header read); the
+  /// engine computes it from the memtable item.
+  Status ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
+                    RecordView* out) const;
+
+  /// Tells the occupancy accounting that the record at `addr` (with the
+  /// given extent) no longer holds live data.
+  void MarkDead(const RecordAddress& addr, uint64_t extent);
+
+  /// Live-bytes / capacity of a segment. Returns 1.0 for unknown segments.
+  double Occupancy(uint32_t segment_id) const;
+
+  /// Sealed segments at or below the GC occupancy threshold, lowest
+  /// occupancy first.
+  std::vector<uint32_t> GcVictims() const;
+
+  /// Decides a record's fate during collection: true keeps it (valid, or an
+  /// invalid record still referenced by a later deduplicated version).
+  using Classifier =
+      std::function<bool(const RecordAddress&, const RecordView&)>;
+  /// Invoked for each kept record after it is re-appended.
+  using RelocateFn = std::function<void(const RecordAddress& old_addr,
+                                        const RecordAddress& new_addr,
+                                        const RecordView& record)>;
+  /// Invoked for each dropped record.
+  using DropFn =
+      std::function<void(const RecordAddress& old_addr, const RecordView&)>;
+
+  /// Collects one sealed segment: live records are re-appended to the
+  /// current end of the AOFs, the caller patches memtable offsets in
+  /// `relocate`, and the segment file is erased.
+  Status CollectSegment(uint32_t segment_id, const Classifier& classify,
+                        const RelocateFn& relocate, const DropFn& drop);
+
+  /// Sequentially scans every record in every segment with id >=
+  /// `min_segment` (recovery path). Stops early if `fn` returns false.
+  using ScanFn =
+      std::function<bool(const RecordAddress&, const RecordView&)>;
+  Status Scan(const ScanFn& fn, uint32_t min_segment = 0) const;
+
+  /// Flushes and seals the active segment (e.g., before checkpointing).
+  Status SealActive();
+
+  uint32_t active_segment() const { return active_id_; }
+  size_t segment_count() const { return segments_.size(); }
+
+  /// Current accounting of every segment (for checkpoints).
+  std::map<uint32_t, SegmentMeta> SegmentMetas() const;
+  const GcStats& gc_stats() const { return gc_stats_; }
+  const AofOptions& options() const { return options_; }
+
+  /// On-device footprint of all segments.
+  uint64_t DiskBytes() const { return env_->TotalFileBytes(); }
+
+  /// Sum of live bytes across segments.
+  uint64_t LiveBytes() const;
+
+ private:
+  struct SegmentInfo {
+    uint64_t total_bytes = 0;  // Record bytes appended.
+    uint64_t live_bytes = 0;
+    bool sealed = false;
+    mutable std::unique_ptr<ssd::RandomAccessFile> reader;  // Lazy.
+  };
+
+  AofManager(ssd::SsdEnv* env, const AofOptions& options);
+
+  static std::string SegmentName(uint32_t id);
+  Status OpenNewSegment();
+  Status AdoptExistingSegments(const std::map<uint32_t, SegmentMeta>* known);
+  /// Raw byte read covering [offset, offset+n) of a segment, merging the
+  /// device contents with the active segment's in-memory tail.
+  Status ReadBytes(uint32_t segment_id, uint64_t offset, uint64_t n,
+                   std::string* out) const;
+  Status ScanSegment(uint32_t segment_id, const ScanFn& fn) const;
+  ssd::RandomAccessFile* ReaderFor(uint32_t segment_id) const;
+
+  ssd::SsdEnv* env_;
+  AofOptions options_;
+  std::map<uint32_t, SegmentInfo> segments_;
+  uint32_t active_id_ = 0;
+  std::unique_ptr<ssd::WritableFile> active_writer_;
+  // Mirror of the active segment's bytes that the env has not yet persisted
+  // (at most one page), so just-PUT values are immediately readable.
+  std::string active_mirror_;
+  uint64_t mirror_offset_ = 0;
+  GcStats gc_stats_;
+};
+
+}  // namespace directload::aof
+
+#endif  // DIRECTLOAD_AOF_AOF_MANAGER_H_

@@ -1,0 +1,37 @@
+#include "bifrost/dedup.h"
+
+#include "common/hash.h"
+
+namespace directload::bifrost {
+
+std::vector<ShippedPair> Deduplicator::Process(
+    const webindex::IndexDataset& dataset, DedupStats* stats) {
+  std::vector<ShippedPair> out;
+  out.reserve(dataset.pairs.size());
+  for (const webindex::KvPair& kv : dataset.pairs) {
+    const uint64_t signature = ValueSignature(kv.value);
+    ShippedPair shipped;
+    shipped.key = kv.key;
+    if (enabled_) {
+      auto it = signatures_.find(kv.key);
+      if (it != signatures_.end() && it->second == signature) {
+        shipped.dedup = true;  // Value field removed before delivery.
+      } else {
+        shipped.value = kv.value;
+      }
+      signatures_[kv.key] = signature;
+    } else {
+      shipped.value = kv.value;
+    }
+    if (stats != nullptr) {
+      ++stats->pairs_total;
+      stats->pairs_deduped += shipped.dedup ? 1 : 0;
+      stats->bytes_total += kv.key.size() + kv.value.size();
+      stats->bytes_shipped += shipped.key.size() + shipped.value.size();
+    }
+    out.push_back(std::move(shipped));
+  }
+  return out;
+}
+
+}  // namespace directload::bifrost

@@ -1,0 +1,70 @@
+#ifndef DIRECTLOAD_BIFROST_DEDUP_H_
+#define DIRECTLOAD_BIFROST_DEDUP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/builders.h"
+
+namespace directload::bifrost {
+
+/// A key-value pair as shipped by Bifrost: either complete, or with the
+/// value removed because its signature matched the previous version
+/// (Section 2.2). Deduplicated pairs become QinDB PUTs with the `r` flag.
+struct ShippedPair {
+  std::string key;
+  std::string value;  // Empty when deduplicated.
+  bool dedup = false;
+};
+
+struct DedupStats {
+  uint64_t pairs_total = 0;
+  uint64_t pairs_deduped = 0;
+  uint64_t bytes_total = 0;    // Key+value bytes before dedup.
+  uint64_t bytes_shipped = 0;  // After removing deduplicated values.
+
+  /// "The proportion of data removed by the deduplication module before
+  /// network transmission" (Section 4.2.1).
+  double dedup_ratio() const {
+    return bytes_total == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(bytes_shipped) /
+                           static_cast<double>(bytes_total);
+  }
+
+  void Merge(const DedupStats& other) {
+    pairs_total += other.pairs_total;
+    pairs_deduped += other.pairs_deduped;
+    bytes_total += other.bytes_total;
+    bytes_shipped += other.bytes_shipped;
+  }
+};
+
+/// Removes redundancy across consecutive index versions by comparing value
+/// signatures. One deduplicator instance tracks one index dataset's
+/// signature history (keyed per index type by the caller).
+class Deduplicator {
+ public:
+  /// `enabled=false` passes everything through (the paper's "without
+  /// DirectLoad" baseline in Figure 10).
+  explicit Deduplicator(bool enabled = true) : enabled_(enabled) {}
+
+  /// Processes one version of a dataset: pairs whose value signature equals
+  /// the previous version's are shipped value-less. Updates the signature
+  /// store to this version.
+  std::vector<ShippedPair> Process(const webindex::IndexDataset& dataset,
+                                   DedupStats* stats);
+
+  size_t tracked_keys() const { return signatures_.size(); }
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  std::unordered_map<std::string, uint64_t> signatures_;
+};
+
+}  // namespace directload::bifrost
+
+#endif  // DIRECTLOAD_BIFROST_DEDUP_H_

@@ -1,0 +1,80 @@
+#include "bifrost/slicer.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace directload::bifrost {
+
+namespace {
+
+void AppendPair(std::string* payload, const ShippedPair& pair) {
+  PutLengthPrefixedSlice(payload, pair.key);
+  payload->push_back(pair.dedup ? 1 : 0);
+  PutLengthPrefixedSlice(payload, pair.value);
+}
+
+}  // namespace
+
+std::vector<SlicePacket> PackSlices(const std::vector<ShippedPair>& pairs,
+                                    webindex::IndexType type, uint64_t version,
+                                    uint64_t slice_bytes,
+                                    uint64_t first_slice_id) {
+  std::vector<SlicePacket> slices;
+  SlicePacket current;
+  current.slice_id = first_slice_id;
+  current.type = type;
+  current.version = version;
+  auto seal = [&]() {
+    if (current.payload.empty()) return;
+    current.checksum =
+        crc32c::Mask(crc32c::Value(current.payload.data(), current.payload.size()));
+    slices.push_back(std::move(current));
+    current = SlicePacket();
+    current.slice_id = first_slice_id + slices.size();
+    current.type = type;
+    current.version = version;
+  };
+  for (const ShippedPair& pair : pairs) {
+    AppendPair(&current.payload, pair);
+    if (current.payload.size() >= slice_bytes) seal();
+  }
+  seal();
+  return slices;
+}
+
+bool VerifySlice(const SlicePacket& slice) {
+  return crc32c::Mask(crc32c::Value(slice.payload.data(),
+                                    slice.payload.size())) == slice.checksum;
+}
+
+Status UnpackSlice(const SlicePacket& slice, std::vector<ShippedPair>* pairs) {
+  pairs->clear();
+  if (!VerifySlice(slice)) {
+    return Status::Corruption("slice checksum mismatch");
+  }
+  Slice in(slice.payload);
+  while (!in.empty()) {
+    ShippedPair pair;
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&in, &key) || in.empty()) {
+      return Status::Corruption("bad slice pair key");
+    }
+    pair.dedup = in[0] != 0;
+    in.remove_prefix(1);
+    if (!GetLengthPrefixedSlice(&in, &value)) {
+      return Status::Corruption("bad slice pair value");
+    }
+    pair.key = key.ToString();
+    pair.value = value.ToString();
+    pairs->push_back(std::move(pair));
+  }
+  return Status::OK();
+}
+
+void CorruptSlice(SlicePacket* slice, Random* rng) {
+  if (slice->payload.empty()) return;
+  const size_t pos = rng->Uniform(slice->payload.size());
+  slice->payload[pos] = static_cast<char>(slice->payload[pos] ^ 0x20);
+}
+
+}  // namespace directload::bifrost

@@ -1,0 +1,56 @@
+#include "common/arena.h"
+
+#include <cassert>
+
+namespace directload {
+
+Arena::Arena() = default;
+
+char* Arena::Allocate(size_t bytes) {
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(void*);
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be power of 2");
+  const size_t current_mod =
+      reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  const size_t slop = current_mod == 0 ? 0 : kAlign - current_mod;
+  const size_t needed = bytes + slop;
+  if (needed <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+    return result;
+  }
+  // Fallback blocks are max_align-aligned by operator new[].
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so the current block's remaining
+    // space is not wasted.
+    return AllocateNewBlock(bytes);
+  }
+  alloc_ptr_ = AllocateNewBlock(kBlockSize);
+  alloc_bytes_remaining_ = kBlockSize;
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_bytes_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.push_back(std::make_unique<char[]>(block_bytes));
+  memory_usage_ += block_bytes + sizeof(char*);
+  return blocks_.back().get();
+}
+
+}  // namespace directload

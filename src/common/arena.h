@@ -1,0 +1,44 @@
+#ifndef DIRECTLOAD_COMMON_ARENA_H_
+#define DIRECTLOAD_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace directload {
+
+/// Bump allocator backing the skip-list memtable: allocations live until the
+/// arena is destroyed, which matches the memtable lifetime and removes
+/// per-node heap overhead.
+class Arena {
+ public:
+  Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage (never nullptr; bytes may be 0).
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate but aligned for pointer-sized objects.
+  char* AllocateAligned(size_t bytes);
+
+  /// Total bytes reserved from the heap (capacity, not just handed out).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_ARENA_H_

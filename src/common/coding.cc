@@ -1,0 +1,79 @@
+#include "common/coding.h"
+
+namespace directload {
+
+namespace {
+
+char* EncodeVarint64To(char* dst, uint64_t v) {
+  auto* ptr = reinterpret_cast<unsigned char*>(dst);
+  while (v >= 0x80) {
+    *(ptr++) = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+}  // namespace
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  char* end = EncodeVarint64To(buf, value);
+  dst->append(buf, static_cast<size_t>(end - buf));
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const auto byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      input->remove_prefix(static_cast<size_t>(p - input->data()));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64 = 0;
+  Slice copy = *input;
+  if (!GetVarint64(&copy, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  *input = copy;
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len = 0;
+  if (!GetVarint32(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace directload

@@ -1,0 +1,72 @@
+#ifndef DIRECTLOAD_COMMON_CODING_H_
+#define DIRECTLOAD_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace directload {
+
+// Little-endian fixed-width and varint encodings used by every on-"disk"
+// record format in the project (AOF records, WAL records, SSTable blocks).
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));  // Little-endian hosts only.
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+/// Appends `value` as a base-128 varint (1-5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Appends `value` as a base-128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends varint32(len) followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses a varint32 from the front of `input`, advancing it past the
+/// encoding. Returns false on truncated/overlong input.
+bool GetVarint32(Slice* input, uint32_t* value);
+
+/// Parses a varint64 from the front of `input`, advancing it.
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed slice from the front of `input`, advancing it.
+/// `result` aliases `input`'s underlying bytes.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint32/64 would append for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_CODING_H_

@@ -1,0 +1,37 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace directload::crc32c {
+
+namespace {
+
+// CRC-32C uses the Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78).
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace directload::crc32c

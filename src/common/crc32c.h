@@ -1,0 +1,30 @@
+#ifndef DIRECTLOAD_COMMON_CRC32C_H_
+#define DIRECTLOAD_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace directload::crc32c {
+
+/// Returns the CRC-32C (Castagnoli) of data[0, n), continuing from `init_crc`
+/// (pass 0 to start a fresh checksum).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC-32C of data[0, n).
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masks a CRC so that a checksum of bytes that themselves embed a checksum
+/// does not degenerate (the LevelDB trick: rotate + offset).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace directload::crc32c
+
+#endif  // DIRECTLOAD_COMMON_CRC32C_H_

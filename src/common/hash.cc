@@ -1,0 +1,36 @@
+#include "common/hash.h"
+
+namespace directload {
+
+namespace {
+
+// Final avalanche from MurmurHash3's fmix64; spreads FNV's weak low bits.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  constexpr uint64_t kPrime = 0x100000001b3ull;
+  uint64_t h = kOffsetBasis ^ seed;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return Mix64(h);
+}
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  const uint64_t h = Hash64(data, n, seed);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace directload

@@ -1,0 +1,37 @@
+#ifndef DIRECTLOAD_COMMON_HASH_H_
+#define DIRECTLOAD_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace directload {
+
+/// 64-bit FNV-1a over arbitrary bytes. Used for value signatures in Bifrost's
+/// deduplicator and as the H(k) dispatch hash in Mint. The paper only
+/// requires a collision-resistant-in-practice content signature; 64-bit
+/// FNV-1a with an avalanche finalizer is sufficient for the simulated corpus
+/// sizes and is dependency-free.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// 32-bit hash for bloom filters and in-memory tables.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed = 0xbc9f1d34u);
+
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0xbc9f1d34u) {
+  return Hash32(s.data(), s.size(), seed);
+}
+
+/// Content signature of a value field, as compared across consecutive index
+/// versions by Bifrost (Section 2.2 of the paper).
+inline uint64_t ValueSignature(const Slice& value) {
+  return Hash64(value, /*seed=*/0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_HASH_H_

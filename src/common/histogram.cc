@@ -1,0 +1,117 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace directload {
+
+namespace {
+
+// Geometric bucket limits: 1, 2, 3, ..., 10, 12, 14, ... doubling decade
+// pattern out to ~1e12 (LevelDB's histogram layout, enough for microsecond
+// latencies up to days).
+std::vector<double> MakeLimits() {
+  std::vector<double> limits;
+  double v = 1.0;
+  while (limits.size() < 153) {
+    limits.push_back(v);
+    double step = std::pow(10.0, std::floor(std::log10(v))) / 1.0;
+    if (v < 10) {
+      step = 1;
+    } else {
+      step = v / 5.0;
+    }
+    v += step;
+  }
+  limits.push_back(std::numeric_limits<double>::infinity());
+  return limits;
+}
+
+const std::vector<double>& Limits() {
+  static const auto& limits = *new std::vector<double>(MakeLimits());
+  return limits;
+}
+
+}  // namespace
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0.0;
+  count_ = 0;
+  sum_ = 0.0;
+  sum_squares_ = 0.0;
+  buckets_.assign(Limits().size(), 0.0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = Limits();
+  size_t b = 0;
+  while (b < limits.size() - 1 && limits[b] <= value) ++b;
+  buckets_[b] += 1.0;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance <= 0.0 ? 0.0 : std::sqrt(variance);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = Limits();
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      // Interpolate within the bucket.
+      const double left_point = b == 0 ? 0.0 : limits[b - 1];
+      const double right_point = limits[b];
+      if (!std::isfinite(right_point)) return max_;
+      const double left_sum = cumulative - buckets_[b];
+      double pos = buckets_[b] == 0.0
+                       ? 0.0
+                       : (threshold - left_sum) / buckets_[b];
+      double r = left_point + (right_point - left_point) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p99=%.2f p999=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(50), Percentile(99), Percentile(99.9), max());
+  return buf;
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace directload

@@ -1,0 +1,68 @@
+#ifndef DIRECTLOAD_COMMON_HISTOGRAM_H_
+#define DIRECTLOAD_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace directload {
+
+/// A log-bucketed histogram for latency measurements. Records values (in any
+/// unit, conventionally microseconds) and reports mean and percentiles —
+/// the avg/p99/p99.9 statistics the paper's Figure 8 uses.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double Mean() const;
+  double StdDev() const;
+  /// Linear-interpolated percentile; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: "count=N mean=X p50=... p99=... p999=... max=...".
+  std::string ToString() const;
+
+ private:
+  double min_;
+  double max_;
+  uint64_t count_;
+  double sum_;
+  double sum_squares_;
+  std::vector<double> buckets_;
+};
+
+/// Streaming mean / standard deviation (Welford), used for the Figure 6
+/// throughput-jitter statistic.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double StdDev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_HISTOGRAM_H_

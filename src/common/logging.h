@@ -1,0 +1,33 @@
+#ifndef DIRECTLOAD_COMMON_LOGGING_H_
+#define DIRECTLOAD_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace directload {
+
+/// Aborts with a message when an internal invariant is violated. Used for
+/// conditions that indicate bugs (never for recoverable, data-dependent
+/// failures, which return Status).
+#define DL_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "DL_CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define DL_CHECK_OK(status_expr)                                              \
+  do {                                                                        \
+    const ::directload::Status _dl_s = (status_expr);                         \
+    if (!_dl_s.ok()) {                                                        \
+      std::fprintf(stderr, "DL_CHECK_OK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, _dl_s.ToString().c_str());                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#ifndef DIRECTLOAD_COMMON_RESULT_H_
+#define DIRECTLOAD_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace directload {
+
+/// A value-or-error return type: either holds a `T` (and an OK status) or a
+/// non-OK `Status`. Mirrors the absl::StatusOr idiom at the size this project
+/// needs.
+///
+/// Usage:
+///   Result<int> r = ParsePort(text);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicitly constructible from a value (success) or a Status (failure),
+  /// so `return value;` and `return Status::NotFound();` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) Die("Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Accessing the value of an error Result aborts (loudly, in every build
+  // mode): continuing would be undefined behavior.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Die(status_.ToString().c_str());
+  }
+
+  [[noreturn]] static void Die(const char* msg) {
+    std::fprintf(stderr, "Result misuse: %s\n", msg);
+    std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_RESULT_H_

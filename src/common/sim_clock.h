@@ -1,0 +1,42 @@
+#ifndef DIRECTLOAD_COMMON_SIM_CLOCK_H_
+#define DIRECTLOAD_COMMON_SIM_CLOCK_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace directload {
+
+/// A discrete simulated clock, shared by the SSD simulator and the network
+/// simulator so that all reported throughputs and latencies are in the same
+/// (deterministic, machine-independent) time base. Time only moves when a
+/// simulated device or channel performs work.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  uint64_t NowMicros() const { return now_micros_; }
+  double NowSeconds() const { return static_cast<double>(now_micros_) * 1e-6; }
+
+  /// Advances the clock by `micros`. Simulated work always moves time
+  /// forward.
+  void AdvanceMicros(uint64_t micros) { now_micros_ += micros; }
+
+  /// Jumps the clock to an absolute time point; used by the discrete-event
+  /// scheduler when dequeuing the next event. Never moves backwards.
+  void AdvanceTo(uint64_t abs_micros) {
+    assert(abs_micros >= now_micros_);
+    now_micros_ = abs_micros;
+  }
+
+  void Reset() { now_micros_ = 0; }
+
+ private:
+  uint64_t now_micros_ = 0;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_SIM_CLOCK_H_

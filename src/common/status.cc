@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace directload {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kDeduplicated:
+      return "Deduplicated";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace directload

@@ -1,0 +1,111 @@
+#ifndef DIRECTLOAD_COMMON_STATUS_H_
+#define DIRECTLOAD_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace directload {
+
+/// Error taxonomy shared by every DirectLoad subsystem. The project does not
+/// use exceptions; fallible operations return a `Status` (or a `Result<T>`,
+/// see result.h) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // Key/version/file absent.
+  kCorruption,      // Checksum mismatch or malformed on-disk record.
+  kInvalidArgument, // Caller violated an API precondition.
+  kIOError,         // Simulated-device or filesystem failure.
+  kNoSpace,         // Device or segment out of capacity.
+  kBusy,            // Resource temporarily unavailable (e.g., GC deferred).
+  kUnavailable,     // Node/replica down or unreachable.
+  kTimedOut,        // Operation exceeded its (simulated) deadline.
+  kAborted,         // Operation cancelled, e.g., by version rollback.
+  kDeduplicated,    // Value field removed by Bifrost; traceback required.
+  kInternal,        // Invariant violation; indicates a bug.
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Cheap value-type status: a code plus an optional context message.
+/// The OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = {}) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = {}) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = {}) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = {}) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status NoSpace(std::string_view msg = {}) {
+    return Status(StatusCode::kNoSpace, msg);
+  }
+  static Status Busy(std::string_view msg = {}) {
+    return Status(StatusCode::kBusy, msg);
+  }
+  static Status Unavailable(std::string_view msg = {}) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status TimedOut(std::string_view msg = {}) {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+  static Status Aborted(std::string_view msg = {}) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Deduplicated(std::string_view msg = {}) {
+    return Status(StatusCode::kDeduplicated, msg);
+  }
+  static Status Internal(std::string_view msg = {}) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeduplicated() const { return code_ == StatusCode::kDeduplicated; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_STATUS_H_

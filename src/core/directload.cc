@@ -1,0 +1,253 @@
+#include "core/directload.h"
+
+#include <algorithm>
+
+namespace directload::core {
+
+DirectLoad::DirectLoad(const DirectLoadOptions& options)
+    : options_(options),
+      summary_dedup_(options.dedup_enabled),
+      inverted_dedup_(options.dedup_enabled),
+      forward_dedup_(options.dedup_enabled),
+      rng_(options.seed) {
+  corpus_ = std::make_unique<webindex::Corpus>(options_.corpus);
+  delivery_ =
+      std::make_unique<bifrost::DeliveryService>(&net_clock_, options_.delivery);
+  for (int dc = 0; dc < bifrost::kNumDataCenters; ++dc) {
+    mint::MintOptions mint_options = options_.mint;
+    mint_options.seed = options_.mint.seed + dc;
+    clusters_.push_back(std::make_unique<mint::MintCluster>(mint_options));
+  }
+  active_version_.assign(bifrost::kNumDataCenters, 0);
+  stored_versions_.assign(bifrost::kNumDataCenters, 0);
+}
+
+Status DirectLoad::Start() {
+  for (auto& cluster : clusters_) {
+    Status s = cluster->Start();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<UpdateReport> DirectLoad::RunUpdateCycle(double change_rate,
+                                                bool vip_only) {
+  UpdateReport report;
+
+  // 1. Crawl round. The corpus starts at version 1; the first cycle ships
+  //    that initial build, later cycles advance it.
+  if (active_version_[0] != 0 || stored_versions_[0] != 0) {
+    const double rate =
+        change_rate < 0 ? options_.corpus.change_rate : change_rate;
+    corpus_->AdvanceVersionTiered(rate, vip_only ? 0.0 : rate);
+  }
+  report.version = corpus_->version();
+  report.docs_changed = corpus_->docs_changed_last_round();
+
+  // 2. Index building (Figure 1's build engine).
+  std::vector<bifrost::SlicePacket> summary_slices;
+  std::vector<bifrost::SlicePacket> inverted_slices;
+  uint64_t pairs_built = 0;
+  if (options_.build_summary) {
+    webindex::IndexDataset summary = webindex::BuildSummaryIndex(*corpus_);
+    pairs_built += summary.pairs.size();
+    std::vector<bifrost::ShippedPair> shipped =
+        summary_dedup_.Process(summary, &report.dedup);
+    summary_slices =
+        bifrost::PackSlices(shipped, summary.type, summary.version,
+                            options_.slice_bytes, next_slice_id_);
+    next_slice_id_ += summary_slices.size();
+  }
+  if (options_.build_inverted) {
+    webindex::IndexDataset forward = webindex::BuildForwardIndex(*corpus_);
+    webindex::IndexDataset inverted =
+        webindex::BuildInvertedIndex(*corpus_, forward);
+    pairs_built += inverted.pairs.size();
+    std::vector<bifrost::ShippedPair> shipped =
+        inverted_dedup_.Process(inverted, &report.dedup);
+    inverted_slices =
+        bifrost::PackSlices(shipped, inverted.type, inverted.version,
+                            options_.slice_bytes, next_slice_id_);
+    next_slice_id_ += inverted_slices.size();
+    if (options_.ship_forward) {
+      // Forward indices travel with the inverted stream (Figure 1's blue
+      // arrows) and land at all six data centers.
+      pairs_built += forward.pairs.size();
+      std::vector<bifrost::ShippedPair> fwd_shipped =
+          forward_dedup_.Process(forward, &report.dedup);
+      // Forward and summary indices both key on the URL; prefix the
+      // forward entries so the two datasets coexist in one store.
+      for (bifrost::ShippedPair& pair : fwd_shipped) {
+        pair.key = "fwd:" + pair.key;
+      }
+      std::vector<bifrost::SlicePacket> fwd_slices = bifrost::PackSlices(
+          fwd_shipped, forward.type, forward.version, options_.slice_bytes,
+          next_slice_id_);
+      next_slice_id_ += fwd_slices.size();
+      inverted_slices.insert(inverted_slices.end(),
+                             std::make_move_iterator(fwd_slices.begin()),
+                             std::make_move_iterator(fwd_slices.end()));
+    }
+  }
+
+  // 3. Cross-region delivery with on-arrival ingestion (transmission and
+  //    storage are pipelined; each storage node has its own clock).
+  std::vector<uint64_t> node_clock_before;
+  for (auto& cluster : clusters_) {
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      node_clock_before.push_back(cluster->node(n)->clock()->NowMicros());
+    }
+  }
+
+  Status ingest_error;
+  const uint64_t version = report.version;
+  report.delivery = delivery_->DeliverVersion(
+      summary_slices, inverted_slices,
+      [&](int dc, const bifrost::SlicePacket& slice) {
+        std::vector<bifrost::ShippedPair> pairs;
+        Status s = bifrost::UnpackSlice(slice, &pairs);
+        if (!s.ok()) {
+          if (ingest_error.ok()) ingest_error = s;
+          return;
+        }
+        for (const bifrost::ShippedPair& pair : pairs) {
+          s = clusters_[dc]->Put(pair.key, version, pair.value, pair.dedup);
+          if (!s.ok() && ingest_error.ok()) ingest_error = s;
+        }
+        report.pairs_ingested += pairs.size();
+      });
+  if (!ingest_error.ok()) return ingest_error;
+  if (!report.delivery.completed) {
+    return Status::TimedOut("delivery did not finish in time");
+  }
+
+  size_t idx = 0;
+  for (auto& cluster : clusters_) {
+    for (int n = 0; n < cluster->num_nodes(); ++n, ++idx) {
+      const double node_seconds =
+          static_cast<double>(cluster->node(n)->clock()->NowMicros() -
+                              node_clock_before[idx]) *
+          1e-6;
+      report.ingest_seconds = std::max(report.ingest_seconds, node_seconds);
+    }
+  }
+  report.update_time_seconds =
+      std::max(report.delivery.update_time_seconds, report.ingest_seconds);
+  if (report.update_time_seconds > 0) {
+    report.throughput_kps =
+        static_cast<double>(report.pairs_ingested) /
+        report.update_time_seconds;
+  }
+
+  // 4. Gray release: probe one data center with realistic queries before
+  //    activating the version everywhere (Section 3).
+  Result<double> inconsistency = ProbeInconsistency(
+      options_.gray_dc, version, options_.gray_probe_queries);
+  if (!inconsistency.ok()) return inconsistency.status();
+  report.gray_inconsistency = *inconsistency;
+  report.gray_release_passed =
+      *inconsistency <= options_.gray_max_inconsistency;
+  if (report.gray_release_passed) {
+    for (int dc = 0; dc < bifrost::kNumDataCenters; ++dc) {
+      active_version_[dc] = version;
+    }
+  }
+
+  // 5. Version pruning: at most max_versions persist per node.
+  for (int dc = 0; dc < bifrost::kNumDataCenters; ++dc) {
+    ++stored_versions_[dc];
+  }
+  if (stored_versions_[0] > static_cast<uint64_t>(options_.max_versions)) {
+    report.version_pruned = oldest_version_;
+    for (auto& cluster : clusters_) {
+      Status s = cluster->DropVersion(oldest_version_);
+      if (!s.ok()) return s;
+    }
+    ++oldest_version_;
+    for (int dc = 0; dc < bifrost::kNumDataCenters; ++dc) {
+      --stored_versions_[dc];
+    }
+  }
+  (void)pairs_built;
+  return report;
+}
+
+Result<double> DirectLoad::ProbeInconsistency(int dc, uint64_t version,
+                                              int probes) {
+  if (probes <= 0) return 0.0;
+  const auto& docs = corpus_->documents();
+  int mismatches = 0;
+  for (int i = 0; i < probes; ++i) {
+    const webindex::Document& doc = docs[rng_.Uniform(docs.size())];
+    // Inverted-index probe: one of the document's terms must list its URL.
+    if (options_.build_inverted) {
+      const std::vector<uint32_t> terms = corpus_->TermsOf(doc);
+      const uint32_t term =
+          terms[rng_.Uniform(terms.size())];
+      Result<mint::MintCluster::ReadResult> got =
+          clusters_[dc]->Get(webindex::TermKey(term), version);
+      bool consistent = false;
+      if (got.ok()) {
+        std::vector<std::string> urls;
+        if (webindex::DecodeUrlList(got->value, &urls).ok()) {
+          consistent = std::find(urls.begin(), urls.end(), doc.url) != urls.end();
+        }
+      }
+      if (!consistent) ++mismatches;
+    }
+    // Summary probe where this DC stores summaries.
+    if (options_.build_summary && dc % bifrost::kDcsPerRegion == 0) {
+      Result<mint::MintCluster::ReadResult> got =
+          clusters_[dc]->Get(doc.url, version);
+      if (!got.ok() || got->value != corpus_->AbstractOf(doc)) ++mismatches;
+    }
+  }
+  const int checks =
+      probes * ((options_.build_inverted ? 1 : 0) +
+                ((options_.build_summary && dc % bifrost::kDcsPerRegion == 0)
+                     ? 1
+                     : 0));
+  return checks == 0 ? 0.0
+                     : static_cast<double>(mismatches) /
+                           static_cast<double>(checks);
+}
+
+Result<DirectLoad::QueryResult> DirectLoad::Query(int dc, uint32_t term,
+                                                  size_t top_k) {
+  if (dc < 0 || dc >= bifrost::kNumDataCenters) {
+    return Status::InvalidArgument("no such data center");
+  }
+  const uint64_t version = active_version_[dc];
+  if (version == 0) return Status::Unavailable("no active version");
+
+  QueryResult result;
+  Result<mint::MintCluster::ReadResult> postings =
+      clusters_[dc]->Get(webindex::TermKey(term), version);
+  if (!postings.ok()) return postings.status();
+  std::vector<std::string> urls;
+  Status s = webindex::DecodeUrlList(postings->value, &urls);
+  if (!s.ok()) return s;
+  if (urls.size() > top_k) urls.resize(top_k);
+  result.urls = urls;
+
+  // Abstracts come from the summary-holding data center of this region.
+  const int summary_dc = dc - dc % bifrost::kDcsPerRegion;
+  for (const std::string& url : result.urls) {
+    Result<mint::MintCluster::ReadResult> abstract =
+        clusters_[summary_dc]->Get(url, active_version_[summary_dc]);
+    result.abstracts.push_back(abstract.ok() ? abstract->value : "");
+  }
+  return result;
+}
+
+Status DirectLoad::Rollback() {
+  for (int dc = 0; dc < bifrost::kNumDataCenters; ++dc) {
+    if (active_version_[dc] <= oldest_version_) {
+      return Status::InvalidArgument("no older version to roll back to");
+    }
+    --active_version_[dc];
+  }
+  return Status::OK();
+}
+
+}  // namespace directload::core

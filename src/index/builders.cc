@@ -1,0 +1,125 @@
+#include "index/builders.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/coding.h"
+
+namespace directload::webindex {
+
+std::string_view IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kForward:
+      return "forward";
+    case IndexType::kInverted:
+      return "inverted";
+    case IndexType::kSummary:
+      return "summary";
+  }
+  return "unknown";
+}
+
+uint64_t IndexDataset::TotalBytes() const {
+  uint64_t total = 0;
+  for (const KvPair& kv : pairs) total += kv.key.size() + kv.value.size();
+  return total;
+}
+
+std::string EncodeTermList(const std::vector<uint32_t>& terms) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(terms.size()));
+  uint32_t prev = 0;
+  for (uint32_t term : terms) {  // Delta-encoded (terms are sorted).
+    PutVarint32(&out, term - prev);
+    prev = term;
+  }
+  return out;
+}
+
+Status DecodeTermList(const Slice& value, std::vector<uint32_t>* terms) {
+  terms->clear();
+  Slice in = value;
+  uint32_t count = 0;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("term count");
+  terms->reserve(count);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t delta = 0;
+    if (!GetVarint32(&in, &delta)) return Status::Corruption("term delta");
+    prev += delta;
+    terms->push_back(prev);
+  }
+  return Status::OK();
+}
+
+std::string EncodeUrlList(const std::vector<std::string>& urls) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(urls.size()));
+  for (const std::string& url : urls) PutLengthPrefixedSlice(&out, url);
+  return out;
+}
+
+Status DecodeUrlList(const Slice& value, std::vector<std::string>* urls) {
+  urls->clear();
+  Slice in = value;
+  uint32_t count = 0;
+  if (!GetVarint32(&in, &count)) return Status::Corruption("url count");
+  urls->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice url;
+    if (!GetLengthPrefixedSlice(&in, &url)) return Status::Corruption("url");
+    urls->push_back(url.ToString());
+  }
+  return Status::OK();
+}
+
+std::string TermKey(uint32_t term) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "term:%08u", term);
+  return buf;
+}
+
+IndexDataset BuildForwardIndex(const Corpus& corpus) {
+  IndexDataset dataset;
+  dataset.type = IndexType::kForward;
+  dataset.version = corpus.version();
+  dataset.pairs.reserve(corpus.documents().size());
+  for (const Document& doc : corpus.documents()) {
+    dataset.pairs.push_back(
+        KvPair{doc.url, EncodeTermList(corpus.TermsOf(doc))});
+  }
+  return dataset;
+}
+
+IndexDataset BuildSummaryIndex(const Corpus& corpus) {
+  IndexDataset dataset;
+  dataset.type = IndexType::kSummary;
+  dataset.version = corpus.version();
+  dataset.pairs.reserve(corpus.documents().size());
+  for (const Document& doc : corpus.documents()) {
+    dataset.pairs.push_back(KvPair{doc.url, corpus.AbstractOf(doc)});
+  }
+  return dataset;
+}
+
+IndexDataset BuildInvertedIndex(const Corpus& corpus,
+                                const IndexDataset& forward) {
+  std::map<uint32_t, std::vector<std::string>> postings;
+  std::vector<uint32_t> terms;
+  for (const KvPair& kv : forward.pairs) {
+    if (!DecodeTermList(kv.value, &terms).ok()) continue;
+    for (uint32_t term : terms) postings[term].push_back(kv.key);
+  }
+  IndexDataset dataset;
+  dataset.type = IndexType::kInverted;
+  dataset.version = corpus.version();
+  dataset.pairs.reserve(postings.size());
+  for (auto& [term, urls] : postings) {
+    std::sort(urls.begin(), urls.end());
+    dataset.pairs.push_back(KvPair{TermKey(term), EncodeUrlList(urls)});
+  }
+  return dataset;
+}
+
+}  // namespace directload::webindex

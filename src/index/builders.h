@@ -1,0 +1,57 @@
+#ifndef DIRECTLOAD_INDEX_BUILDERS_H_
+#define DIRECTLOAD_INDEX_BUILDERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/corpus.h"
+
+namespace directload::webindex {
+
+/// The three index datasets of the paper's Section 1.1.1:
+///   forward  — <URL, terms>      (input to inverted-index construction)
+///   inverted — <term, URLs>      (stored in all six data centers)
+///   summary  — <URL, abstract>   (stored in three data centers)
+enum class IndexType { kForward, kInverted, kSummary };
+
+std::string_view IndexTypeName(IndexType type);
+
+struct KvPair {
+  std::string key;
+  std::string value;
+};
+
+/// One version's worth of one index dataset.
+struct IndexDataset {
+  IndexType type = IndexType::kForward;
+  uint64_t version = 0;
+  std::vector<KvPair> pairs;
+
+  uint64_t TotalBytes() const;
+};
+
+/// Builds the forward index <URL, terms> for the corpus's current version.
+IndexDataset BuildForwardIndex(const Corpus& corpus);
+
+/// Builds the summary index <URL, abstract>.
+IndexDataset BuildSummaryIndex(const Corpus& corpus);
+
+/// Builds the inverted index <term, URLs> from a forward index.
+IndexDataset BuildInvertedIndex(const Corpus& corpus,
+                                const IndexDataset& forward);
+
+/// Serialization helpers for index values.
+std::string EncodeTermList(const std::vector<uint32_t>& terms);
+Status DecodeTermList(const Slice& value, std::vector<uint32_t>* terms);
+std::string EncodeUrlList(const std::vector<std::string>& urls);
+Status DecodeUrlList(const Slice& value, std::vector<std::string>* urls);
+
+/// Key of a term in the inverted index ("term:%08u").
+std::string TermKey(uint32_t term);
+
+}  // namespace directload::webindex
+
+#endif  // DIRECTLOAD_INDEX_BUILDERS_H_

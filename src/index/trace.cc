@@ -1,0 +1,141 @@
+#include "index/trace.h"
+
+#include <fstream>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace directload::webindex {
+
+namespace {
+// Frame: fixed32 masked CRC (over everything after) | op byte |
+//        varint64 version | lp key | lp value.
+}  // namespace
+
+void AppendTraceRecord(std::string* buffer, const TraceRecord& record) {
+  std::string body;
+  body.push_back(static_cast<char>(record.op));
+  PutVarint64(&body, record.version);
+  PutLengthPrefixedSlice(&body, record.key);
+  PutLengthPrefixedSlice(&body, record.value);
+  PutFixed32(buffer, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  PutVarint32(buffer, static_cast<uint32_t>(body.size()));
+  buffer->append(body);
+}
+
+Status ReadTraceRecord(Slice* input, TraceRecord* record) {
+  Slice in = *input;
+  if (in.size() < 5) return Status::Corruption("truncated trace frame");
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(in.data()));
+  in.remove_prefix(4);
+  uint32_t body_len = 0;
+  if (!GetVarint32(&in, &body_len) || in.size() < body_len) {
+    return Status::Corruption("truncated trace body");
+  }
+  const Slice body(in.data(), body_len);
+  if (crc32c::Value(body.data(), body.size()) != expected) {
+    return Status::Corruption("trace record checksum mismatch");
+  }
+  Slice cursor = body;
+  if (cursor.empty()) return Status::Corruption("empty trace body");
+  const auto op = static_cast<TraceOp>(cursor[0]);
+  cursor.remove_prefix(1);
+  uint64_t version = 0;
+  Slice key, value;
+  if (!GetVarint64(&cursor, &version) ||
+      !GetLengthPrefixedSlice(&cursor, &key) ||
+      !GetLengthPrefixedSlice(&cursor, &value)) {
+    return Status::Corruption("bad trace fields");
+  }
+  switch (op) {
+    case TraceOp::kPut:
+    case TraceOp::kDedupPut:
+    case TraceOp::kDel:
+    case TraceOp::kGet:
+    case TraceOp::kDropVersion:
+      break;
+    default:
+      return Status::Corruption("unknown trace op");
+  }
+  record->op = op;
+  record->version = version;
+  record->key = key.ToString();
+  record->value = value.ToString();
+  input->remove_prefix((body.data() + body_len) - input->data());
+  return Status::OK();
+}
+
+Result<std::vector<TraceRecord>> ParseTrace(const Slice& buffer) {
+  std::vector<TraceRecord> records;
+  Slice in = buffer;
+  while (!in.empty()) {
+    TraceRecord record;
+    Status s = ReadTraceRecord(&in, &record);
+    if (!s.ok()) return s;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<TraceReplayStats> ReplayTrace(const Slice& buffer, qindb::QinDb* db) {
+  TraceReplayStats stats;
+  Slice in = buffer;
+  while (!in.empty()) {
+    TraceRecord record;
+    Status s = ReadTraceRecord(&in, &record);
+    if (!s.ok()) return s;
+    switch (record.op) {
+      case TraceOp::kPut:
+        s = db->Put(record.key, record.version, record.value);
+        if (!s.ok()) return s;
+        ++stats.puts;
+        break;
+      case TraceOp::kDedupPut:
+        s = db->Put(record.key, record.version, Slice(), /*dedup=*/true);
+        if (!s.ok()) return s;
+        ++stats.dedup_puts;
+        break;
+      case TraceOp::kDel: {
+        Status del = db->Del(record.key, record.version);
+        if (!del.ok() && !del.IsNotFound()) return del;
+        ++stats.dels;
+        break;
+      }
+      case TraceOp::kGet: {
+        Result<std::string> got = db->Get(record.key, record.version);
+        ++stats.gets;
+        if (!got.ok()) {
+          if (!got.status().IsNotFound()) return got.status();
+          ++stats.get_misses;
+        }
+        break;
+      }
+      case TraceOp::kDropVersion: {
+        Result<uint64_t> n = db->DropVersion(record.version);
+        if (!n.ok()) return n.status();
+        ++stats.versions_dropped;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+Status SaveTraceFile(const std::string& path, const Slice& buffer) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::string> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  return contents;
+}
+
+}  // namespace directload::webindex

@@ -1,0 +1,63 @@
+#ifndef DIRECTLOAD_INDEX_TRACE_H_
+#define DIRECTLOAD_INDEX_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "qindb/qindb.h"
+
+namespace directload::webindex {
+
+/// A serializable operation trace. The paper's evaluation replays
+/// production workloads against the storage engines; this format lets a
+/// user capture their own stream (or a synthetic one) and replay it
+/// deterministically — the substitute for Baidu's internal traces.
+enum class TraceOp : uint8_t {
+  kPut = 1,       // Complete pair.
+  kDedupPut = 2,  // Value removed upstream (the 'r' flag).
+  kDel = 3,
+  kGet = 4,
+  kDropVersion = 5,  // key unused.
+};
+
+struct TraceRecord {
+  TraceOp op = TraceOp::kPut;
+  std::string key;
+  uint64_t version = 0;
+  std::string value;  // kPut only.
+};
+
+/// Appends one checksum-framed record to `buffer`.
+void AppendTraceRecord(std::string* buffer, const TraceRecord& record);
+
+/// Parses the next record from the front of `input`, advancing it.
+/// Corruption (bad checksum / truncation) fails without consuming.
+Status ReadTraceRecord(Slice* input, TraceRecord* record);
+
+/// Parses a whole trace buffer.
+Result<std::vector<TraceRecord>> ParseTrace(const Slice& buffer);
+
+/// Replays a trace against a QinDB engine. GETs tolerate NotFound (the
+/// trace may reference pruned versions); any other error aborts the replay.
+struct TraceReplayStats {
+  uint64_t puts = 0;
+  uint64_t dedup_puts = 0;
+  uint64_t dels = 0;
+  uint64_t gets = 0;
+  uint64_t get_misses = 0;
+  uint64_t versions_dropped = 0;
+};
+Result<TraceReplayStats> ReplayTrace(const Slice& buffer, qindb::QinDb* db);
+
+/// Host-filesystem persistence (traces are operator artifacts, not
+/// simulated-device contents).
+Status SaveTraceFile(const std::string& path, const Slice& buffer);
+Result<std::string> LoadTraceFile(const std::string& path);
+
+}  // namespace directload::webindex
+
+#endif  // DIRECTLOAD_INDEX_TRACE_H_

@@ -1,0 +1,182 @@
+#include "lsm/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace directload::lsm {
+
+// ---------------------------------------------------------------------------
+// BlockBuilder
+// ---------------------------------------------------------------------------
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval) {
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.assign(1, 0);
+  counter_ = 0;
+  finished_ = false;
+  last_key_.clear();
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!finished_);
+  assert(buffer_.empty() || Slice(last_key_).compare(key) < 0);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    // Prefix-compress against the previous key.
+    const size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  const size_t non_shared = key.size() - shared;
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(non_shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+
+  last_key_.assign(key.data(), key.size());
+  ++counter_;
+}
+
+Slice BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) PutFixed32(&buffer_, restart);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return buffer_;
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * 4 + 4;
+}
+
+// ---------------------------------------------------------------------------
+// Block
+// ---------------------------------------------------------------------------
+
+Block::Block(std::string contents) : contents_(std::move(contents)) {
+  if (contents_.size() < 4) {
+    malformed_ = true;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(contents_.data() + contents_.size() - 4);
+  const uint64_t restart_bytes = 4ull * num_restarts_ + 4;
+  if (num_restarts_ == 0 || restart_bytes > contents_.size()) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(contents_.size() - restart_bytes);
+}
+
+class Block::Iter final : public Iterator {
+ public:
+  Iter(const Block* block, const Comparator* comparator)
+      : block_(block), comparator_(comparator) {
+    MarkInvalid();  // Unpositioned until a Seek*.
+    next_offset_ = current_;
+  }
+
+  bool Valid() const override { return current_ < block_->restart_offset_; }
+
+  void SeekToFirst() override {
+    SeekToRestartPoint(0);
+    ParseNextEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search over restart points for the last restart whose key is
+    // < target, then scan forward.
+    uint32_t left = 0;
+    uint32_t right = block_->num_restarts_ - 1;
+    while (left < right) {
+      const uint32_t mid = (left + right + 1) / 2;
+      SeekToRestartPoint(mid);
+      if (!ParseNextEntry()) {
+        MarkInvalid();
+        return;
+      }
+      if (comparator_->Compare(key_, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    while (ParseNextEntry()) {
+      if (comparator_->Compare(key_, target) >= 0) return;
+    }
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextEntry();
+  }
+
+  Slice key() const override { return key_; }
+  Slice value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    next_offset_ = DecodeFixed32(block_->contents_.data() +
+                                 block_->restart_offset_ + index * 4);
+    current_ = next_offset_;
+  }
+
+  void MarkInvalid() { current_ = block_->restart_offset_; }
+
+  /// Parses the entry at next_offset_; returns false at block end or on
+  /// corruption (status_ set).
+  bool ParseNextEntry() {
+    current_ = next_offset_;
+    if (current_ >= block_->restart_offset_) {
+      MarkInvalid();
+      return false;
+    }
+    Slice in(block_->contents_.data() + current_,
+             block_->restart_offset_ - current_);
+    uint32_t shared = 0, non_shared = 0, value_len = 0;
+    if (!GetVarint32(&in, &shared) || !GetVarint32(&in, &non_shared) ||
+        !GetVarint32(&in, &value_len) || in.size() < non_shared + value_len ||
+        shared > key_.size()) {
+      status_ = Status::Corruption("malformed block entry");
+      MarkInvalid();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(in.data(), non_shared);
+    value_ = Slice(in.data() + non_shared, value_len);
+    next_offset_ = static_cast<uint32_t>(
+        (in.data() + non_shared + value_len) - block_->contents_.data());
+    return true;
+  }
+
+  const Block* block_;
+  const Comparator* comparator_;
+  uint32_t current_ = 0;      // Offset of the current entry.
+  uint32_t next_offset_ = 0;  // Offset just past the current entry.
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Block::NewIterator(
+    const Comparator* comparator) const {
+  if (malformed_) {
+    return NewErrorIterator(Status::Corruption("malformed block"));
+  }
+  auto it = std::make_unique<Iter>(this, comparator);
+  // Start unpositioned (callers Seek/SeekToFirst), but mark invalid.
+  return it;
+}
+
+}  // namespace directload::lsm

@@ -1,0 +1,65 @@
+#ifndef DIRECTLOAD_LSM_BLOCK_H_
+#define DIRECTLOAD_LSM_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "lsm/iterator.h"
+
+namespace directload::lsm {
+
+/// Builds one SSTable data/index block: prefix-compressed entries with
+/// restart points every `restart_interval` keys (the LevelDB block layout).
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval);
+
+  /// Keys must be added in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart array and returns the finished block contents.
+  Slice Finish();
+
+  void Reset();
+
+  /// Estimated size of the block being built.
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return counter_ == 0 && buffer_.empty(); }
+  const std::string& last_key() const { return last_key_; }
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+/// An immutable, parsed data/index block; iterable and seekable. The block
+/// contents are owned (copied from the file read / cache).
+class Block {
+ public:
+  /// Takes ownership of `contents`. Malformed blocks yield iterators whose
+  /// status() is Corruption.
+  explicit Block(std::string contents);
+
+  size_t size() const { return contents_.size(); }
+
+  std::unique_ptr<Iterator> NewIterator(const Comparator* comparator) const;
+
+ private:
+  class Iter;
+
+  std::string contents_;
+  uint32_t restart_offset_ = 0;
+  uint32_t num_restarts_ = 0;
+  bool malformed_ = false;
+};
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_BLOCK_H_

@@ -1,0 +1,60 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace directload::lsm {
+
+namespace {
+uint32_t BloomHash(const Slice& key) { return Hash32(key, 0xbc9f1d34u); }
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = ln(2) * bits/key rounded, clamped to [1, 30].
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  num_probes_ = std::max(1, std::min(30, num_probes_));
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  key_hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = key_hashes_.size() * static_cast<size_t>(bits_per_key_);
+  bits = std::max<size_t>(bits, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (uint32_t h : key_hashes_) {
+    uint32_t delta = (h >> 17) | (h << 15);  // Double hashing.
+    for (int j = 0; j < num_probes_; ++j) {
+      const uint32_t bit = h % bits;
+      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(num_probes_));
+  key_hashes_.clear();
+  return filter;
+}
+
+bool BloomFilterMayMatch(const Slice& filter, const Slice& key) {
+  if (filter.size() < 2) return true;
+  const size_t bits = (filter.size() - 1) * 8;
+  const int num_probes = filter[filter.size() - 1];
+  if (num_probes <= 0 || num_probes > 30) return true;
+
+  uint32_t h = BloomHash(key);
+  uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < num_probes; ++j) {
+    const uint32_t bit = h % bits;
+    if ((filter[bit / 8] & (1 << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace directload::lsm

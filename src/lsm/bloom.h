@@ -1,0 +1,35 @@
+#ifndef DIRECTLOAD_LSM_BLOOM_H_
+#define DIRECTLOAD_LSM_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace directload::lsm {
+
+/// Bloom filter over a set of keys (LevelDB's double-hashing scheme). One
+/// filter per SSTable, built over user keys, so negative lookups skip the
+/// table's data blocks entirely.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter (bit array + probe count byte) and resets.
+  std::string Finish();
+
+ private:
+  int bits_per_key_;
+  int num_probes_;
+  std::vector<uint32_t> key_hashes_;
+};
+
+/// Returns true if `key` may be in the set encoded by `filter`; false means
+/// definitely absent. An empty/corrupt filter conservatively returns true.
+bool BloomFilterMayMatch(const Slice& filter, const Slice& key);
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_BLOOM_H_

@@ -1,0 +1,95 @@
+#ifndef DIRECTLOAD_LSM_CACHE_H_
+#define DIRECTLOAD_LSM_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace directload::lsm {
+
+/// A byte-capacity LRU cache mapping string keys to shared values. Backs
+/// both the block cache (decoded data blocks) and the table cache (open
+/// SSTable readers). Single-threaded, like the rest of the simulation.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts (replacing any existing entry) and returns the cached value.
+  std::shared_ptr<V> Insert(const std::string& key, std::shared_ptr<V> value,
+                            uint64_t charge) {
+    Erase(key);
+    order_.push_front(key);
+    map_[key] = Entry{value, charge, order_.begin()};
+    usage_ += charge;
+    EvictIfNeeded();
+    return value;
+  }
+
+  /// Returns the cached value or nullptr, refreshing recency on hit.
+  std::shared_ptr<V> Lookup(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.erase(it->second.lru_pos);
+    order_.push_front(key);
+    it->second.lru_pos = order_.begin();
+    return it->second.value;
+  }
+
+  void Erase(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    usage_ -= it->second.charge;
+    order_.erase(it->second.lru_pos);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+    usage_ = 0;
+  }
+
+  uint64_t usage() const { return usage_; }
+  uint64_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<V> value;
+    uint64_t charge;
+    typename std::list<std::string>::iterator lru_pos;
+  };
+
+  void EvictIfNeeded() {
+    while (usage_ > capacity_ && !order_.empty()) {
+      const std::string& victim = order_.back();
+      auto it = map_.find(victim);
+      usage_ -= it->second.charge;
+      map_.erase(it);
+      order_.pop_back();
+    }
+  }
+
+  uint64_t capacity_;
+  uint64_t usage_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<std::string> order_;
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_CACHE_H_

@@ -1,0 +1,73 @@
+#ifndef DIRECTLOAD_LSM_FORMAT_H_
+#define DIRECTLOAD_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "lsm/iterator.h"
+
+namespace directload::lsm {
+
+/// Sequence numbers order all writes; the high byte of the packed trailer
+/// carries the value type (LevelDB's layout).
+using SequenceNumber = uint64_t;
+constexpr SequenceNumber kMaxSequenceNumber = (1ull << 56) - 1;
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0,
+  kTypeValue = 1,
+};
+
+/// An internal key is user_key + fixed64(sequence << 8 | type). Internal
+/// ordering: user key ascending, then sequence descending (newest first),
+/// then type descending — so the newest entry for a user key is met first.
+inline void AppendInternalKey(std::string* dst, const Slice& user_key,
+                              SequenceNumber seq, ValueType type) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, (seq << 8) | type);
+}
+
+inline std::string MakeInternalKey(const Slice& user_key, SequenceNumber seq,
+                                   ValueType type) {
+  std::string out;
+  AppendInternalKey(&out, user_key, seq, type);
+  return out;
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline uint64_t ExtractPackedTrailer(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  return ExtractPackedTrailer(internal_key) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  return static_cast<ValueType>(ExtractPackedTrailer(internal_key) & 0xff);
+}
+
+/// Comparator over internal keys (see ordering above).
+class InternalKeyComparator final : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    const int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    const uint64_t at = ExtractPackedTrailer(a);
+    const uint64_t bt = ExtractPackedTrailer(b);
+    if (at > bt) return -1;  // Higher sequence sorts first.
+    if (at < bt) return 1;
+    return 0;
+  }
+};
+
+const InternalKeyComparator* GetInternalKeyComparator();
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_FORMAT_H_

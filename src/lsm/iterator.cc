@@ -1,0 +1,101 @@
+#include "lsm/iterator.h"
+
+namespace directload::lsm {
+
+namespace {
+
+class BytewiseComparatorImpl final : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.compare(b);
+  }
+};
+
+class EmptyIterator final : public Iterator {
+ public:
+  explicit EmptyIterator(Status status) : status_(std::move(status)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator,
+                  std::vector<std::unique_ptr<Iterator>> children)
+      : comparator_(comparator), children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ >= 0; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    children_[current_]->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return children_[current_]->key(); }
+  Slice value() const override { return children_[current_]->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = -1;
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i]->Valid()) continue;
+      if (current_ < 0 ||
+          comparator_->Compare(children_[i]->key(),
+                               children_[current_]->key()) < 0) {
+        current_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  int current_ = -1;
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static const BytewiseComparatorImpl* comparator =
+      new BytewiseComparatorImpl();
+  return comparator;
+}
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) return NewErrorIterator(Status::OK());
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<MergingIterator>(comparator, std::move(children));
+}
+
+std::unique_ptr<Iterator> NewErrorIterator(const Status& status) {
+  return std::make_unique<EmptyIterator>(status);
+}
+
+}  // namespace directload::lsm

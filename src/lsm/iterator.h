@@ -1,0 +1,51 @@
+#ifndef DIRECTLOAD_LSM_ITERATOR_H_
+#define DIRECTLOAD_LSM_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace directload::lsm {
+
+/// Forward iterator over key-value pairs (the LevelDB shape, minus Prev,
+/// which nothing in this project needs). Keys are internal keys unless
+/// stated otherwise.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  /// Valid only while Valid() is true; invalidated by any reposition.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// Comparator interface over slices (three-way).
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+};
+
+/// Byte-wise comparator singleton.
+const Comparator* BytewiseComparator();
+
+/// Merges n sorted inputs into one sorted stream (ties broken by input
+/// order: earlier children win and duplicates from later children are still
+/// emitted — the consumer deduplicates by user key, as compaction does).
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator, std::vector<std::unique_ptr<Iterator>> children);
+
+/// An empty iterator carrying `status` (OK by default).
+std::unique_ptr<Iterator> NewErrorIterator(const Status& status);
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_ITERATOR_H_

@@ -1,0 +1,108 @@
+#include "lsm/lsm_memtable.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace directload::lsm {
+
+namespace {
+
+/// Entry layout in the arena:
+///   varint32 internal_key_len | internal_key | varint32 value_len | value
+Slice GetLengthPrefixed(const char* p) {
+  Slice in(p, 5);  // A varint32 occupies at most 5 bytes.
+  uint32_t len = 0;
+  GetVarint32(&in, &len);
+  return Slice(in.data(), len);
+}
+
+}  // namespace
+
+int LsmMemTable::KeyComparator::operator()(const char* a,
+                                           const char* b) const {
+  // Compare by internal key order.
+  Slice ka = GetLengthPrefixed(a);
+  Slice kb = GetLengthPrefixed(b);
+  return GetInternalKeyComparator()->Compare(ka, kb);
+}
+
+LsmMemTable::LsmMemTable()
+    : arena_(std::make_unique<Arena>()),
+      list_(std::make_unique<Table>(KeyComparator(), arena_.get())) {}
+
+void LsmMemTable::Add(SequenceNumber seq, ValueType type,
+                      const Slice& user_key, const Slice& value) {
+  const size_t internal_key_len = user_key.size() + 8;
+  const size_t encoded_len = VarintLength(internal_key_len) +
+                             internal_key_len + VarintLength(value.size()) +
+                             value.size();
+  char* buf = arena_->Allocate(encoded_len);
+  std::string tmp;
+  tmp.reserve(encoded_len);
+  PutVarint32(&tmp, static_cast<uint32_t>(internal_key_len));
+  AppendInternalKey(&tmp, user_key, seq, type);
+  PutVarint32(&tmp, static_cast<uint32_t>(value.size()));
+  tmp.append(value.data(), value.size());
+  std::memcpy(buf, tmp.data(), tmp.size());
+  list_->Insert(buf);
+}
+
+bool LsmMemTable::Get(const Slice& user_key, SequenceNumber seq,
+                      std::string* value, Status* status) const {
+  // Probe at (user_key, seq): the first entry >= probe is the newest entry
+  // for user_key with sequence <= seq, if any.
+  std::string probe_mem;
+  PutVarint32(&probe_mem, static_cast<uint32_t>(user_key.size() + 8));
+  AppendInternalKey(&probe_mem, user_key, seq, kTypeValue);
+  Table::Iterator it(list_.get());
+  it.Seek(probe_mem.data());
+  if (!it.Valid()) return false;
+  const Slice internal_key = GetLengthPrefixed(it.key());
+  if (ExtractUserKey(internal_key) != user_key) return false;
+  if (ExtractValueType(internal_key) == kTypeDeletion) {
+    *status = Status::NotFound("tombstone");
+    return true;
+  }
+  const char* value_ptr = internal_key.data() + internal_key.size();
+  Slice in(value_ptr, 5);
+  uint32_t value_len = 0;
+  GetVarint32(&in, &value_len);
+  value->assign(in.data(), value_len);
+  *status = Status::OK();
+  return true;
+}
+
+class LsmMemTable::Iter final : public Iterator {
+ public:
+  explicit Iter(const Table* table) : it_(table) {}
+
+  bool Valid() const override { return it_.Valid(); }
+  void SeekToFirst() override { it_.SeekToFirst(); }
+  void Seek(const Slice& internal_key) override {
+    probe_.clear();
+    PutVarint32(&probe_, static_cast<uint32_t>(internal_key.size()));
+    probe_.append(internal_key.data(), internal_key.size());
+    it_.Seek(probe_.data());
+  }
+  void Next() override { it_.Next(); }
+  Slice key() const override { return GetLengthPrefixed(it_.key()); }
+  Slice value() const override {
+    const Slice k = GetLengthPrefixed(it_.key());
+    Slice in(k.data() + k.size(), 5);
+    uint32_t value_len = 0;
+    GetVarint32(&in, &value_len);
+    return Slice(in.data(), value_len);
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  Table::Iterator it_;
+  std::string probe_;
+};
+
+std::unique_ptr<Iterator> LsmMemTable::NewIterator() const {
+  return std::make_unique<Iter>(list_.get());
+}
+
+}  // namespace directload::lsm

@@ -1,0 +1,55 @@
+#ifndef DIRECTLOAD_LSM_LSM_MEMTABLE_H_
+#define DIRECTLOAD_LSM_LSM_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/arena.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/format.h"
+#include "lsm/iterator.h"
+#include "memtable/skiplist.h"
+
+namespace directload::lsm {
+
+/// The LSM baseline's write buffer: a skip list of length-prefixed
+/// (internal key, value) entries, newest sequence first within a user key.
+class LsmMemTable {
+ public:
+  LsmMemTable();
+
+  LsmMemTable(const LsmMemTable&) = delete;
+  LsmMemTable& operator=(const LsmMemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// Looks up `user_key` at sequence <= `seq`. Returns true with
+  /// *status=OK and *value set for a live entry, true with
+  /// *status=NotFound for a tombstone, false when the key is absent.
+  bool Get(const Slice& user_key, SequenceNumber seq, std::string* value,
+           Status* status) const;
+
+  /// Iterator over internal keys in sorted order (for flushing).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  size_t ApproximateMemoryUsage() const { return arena_->MemoryUsage(); }
+  size_t entry_count() const { return list_->size(); }
+  bool empty() const { return list_->size() == 0; }
+
+ private:
+  struct KeyComparator {
+    int operator()(const char* a, const char* b) const;
+  };
+  using Table = SkipList<const char*, KeyComparator>;
+
+  class Iter;
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<Table> list_;
+};
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_LSM_MEMTABLE_H_

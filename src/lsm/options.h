@@ -1,0 +1,64 @@
+#ifndef DIRECTLOAD_LSM_OPTIONS_H_
+#define DIRECTLOAD_LSM_OPTIONS_H_
+
+#include <cstdint>
+
+namespace directload::lsm {
+
+/// Tuning knobs of the LSM baseline, defaulted to LevelDB's stock
+/// configuration (the paper runs "LevelDB 1.9.0 ... with the default
+/// configurations").
+struct LsmOptions {
+  /// Memtable flushes to an L0 SSTable at this size.
+  uint64_t write_buffer_bytes = 4ull << 20;
+
+  /// Uncompressed data block target size.
+  uint32_t block_size = 4096;
+
+  /// Restart point interval inside a data block.
+  int block_restart_interval = 16;
+
+  int bloom_bits_per_key = 10;
+
+  int num_levels = 7;
+
+  /// L0 file count that triggers compaction, and the count at which writes
+  /// stall until compaction catches up.
+  int l0_compaction_trigger = 4;
+  int l0_stall_trigger = 12;
+
+  /// Max bytes for level 1; each deeper level is 10x larger.
+  uint64_t max_bytes_for_level_base = 10ull << 20;
+  double level_size_multiplier = 10.0;
+
+  /// Target size of SSTables produced by compaction.
+  uint64_t target_file_bytes = 2ull << 20;
+
+  /// Block cache capacity (decoded data blocks).
+  uint64_t block_cache_bytes = 8ull << 20;
+
+  /// Open-table cache capacity (number of tables, charged 1 each).
+  uint64_t table_cache_entries = 256;
+
+  /// Sync the WAL after every write batch. Off matches LevelDB's default
+  /// (sync=false), which the paper's baseline used.
+  bool sync_writes = false;
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t dels = 0;
+  uint64_t gets = 0;
+  uint64_t user_bytes_ingested = 0;  // Keys + values of Put calls.
+  uint64_t memtable_flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t write_stall_events = 0;
+  uint64_t bloom_useful = 0;  // Table probes skipped by the filter.
+  uint64_t seeks = 0;         // Data-block loads during Gets.
+};
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_OPTIONS_H_

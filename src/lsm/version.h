@@ -1,0 +1,118 @@
+#ifndef DIRECTLOAD_LSM_VERSION_H_
+#define DIRECTLOAD_LSM_VERSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/format.h"
+#include "lsm/options.h"
+#include "lsm/wal.h"
+#include "ssd/env.h"
+
+namespace directload::lsm {
+
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;  // Internal keys.
+  std::string largest;
+};
+
+/// A delta against the current LSM shape, logged to the MANIFEST (the
+/// LevelDB version-edit idea, trimmed to what this engine needs).
+struct VersionEdit {
+  bool has_log_number = false;
+  uint64_t log_number = 0;
+  bool has_next_file_number = false;
+  uint64_t next_file_number = 0;
+  bool has_last_sequence = false;
+  SequenceNumber last_sequence = 0;
+  std::vector<std::pair<int, uint64_t>> deleted_files;     // (level, number)
+  std::vector<std::pair<int, FileMetaData>> new_files;     // (level, meta)
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+};
+
+/// Owns the current arrangement of SSTables into levels, the MANIFEST, and
+/// the file-number/sequence counters. Single current version (compactions
+/// are inline, so no concurrent readers of old versions exist).
+class VersionSet {
+ public:
+  VersionSet(ssd::SsdEnv* env, const LsmOptions& options);
+
+  /// Loads the MANIFEST if present; otherwise starts empty and creates one.
+  Status Recover();
+
+  /// Applies `edit` to the in-memory state and appends it to the MANIFEST.
+  Status LogAndApply(VersionEdit* edit);
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  SequenceNumber last_sequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber seq) { last_sequence_ = seq; }
+  uint64_t log_number() const { return log_number_; }
+
+  const std::vector<FileMetaData>& files(int level) const {
+    return levels_[level];
+  }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  uint64_t NumLevelBytes(int level) const;
+  int NumLevelFiles(int level) const {
+    return static_cast<int>(levels_[level].size());
+  }
+  uint64_t TotalTableBytes() const;
+
+  /// Files in `level` whose user-key range intersects
+  /// [smallest_user, largest_user].
+  std::vector<FileMetaData> GetOverlappingInputs(
+      int level, const Slice& smallest_user, const Slice& largest_user) const;
+
+  /// Level0 files ordered newest first (higher file number = newer data).
+  std::vector<FileMetaData> Level0FilesNewestFirst() const;
+
+  /// Files of `level` (>=1) possibly containing `user_key` (0 or 1 files).
+  const FileMetaData* FindFileInLevel(int level, const Slice& user_key) const;
+
+  /// True when no level deeper than `level` overlaps `user_key` — the
+  /// condition under which a compaction may drop tombstones.
+  bool IsBaseLevelForKey(int level, const Slice& user_key) const;
+
+  /// The level whose size/score most exceeds its budget; -1 when no
+  /// compaction is needed. L0 is scored by file count, deeper levels by
+  /// total bytes against 10x-per-level budgets.
+  int PickCompactionLevel() const;
+  double CompactionScore(int level) const;
+  uint64_t MaxBytesForLevel(int level) const;
+
+  /// Round-robin cursor per level choosing the next file to compact.
+  std::string compact_pointer(int level) const {
+    return compact_pointers_[level];
+  }
+  void set_compact_pointer(int level, const std::string& key) {
+    compact_pointers_[level] = key;
+  }
+
+ private:
+  Status WriteSnapshot(LogWriter* writer) const;
+  void Apply(const VersionEdit& edit);
+
+  ssd::SsdEnv* env_;
+  LsmOptions options_;
+  std::vector<std::vector<FileMetaData>> levels_;
+  std::vector<std::string> compact_pointers_;
+  std::unique_ptr<ssd::WritableFile> manifest_file_;
+  std::unique_ptr<LogWriter> manifest_log_;
+  uint64_t next_file_number_ = 1;
+  uint64_t log_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+};
+
+}  // namespace directload::lsm
+
+#endif  // DIRECTLOAD_LSM_VERSION_H_

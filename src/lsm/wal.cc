@@ -1,0 +1,147 @@
+#include "lsm/wal.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace directload::lsm {
+
+namespace {
+constexpr uint8_t kFull = 1, kFirst = 2, kMiddle = 3, kLast = 4;
+}  // namespace
+
+LogWriter::LogWriter(ssd::WritableFile* file) : file_(file) {}
+
+Status LogWriter::AddRecord(const Slice& record) {
+  const char* ptr = record.data();
+  size_t left = record.size();
+  bool begin = true;
+  do {
+    const uint32_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Fill the block trailer with zeros and start a new block.
+      if (leftover > 0) {
+        Status s = file_->Append(Slice("\0\0\0\0\0\0", leftover));
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+    const uint32_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment = left < avail ? left : avail;
+    const bool end = fragment == left;
+    uint8_t type;
+    if (begin && end) {
+      type = kFull;
+    } else if (begin) {
+      type = kFirst;
+    } else if (end) {
+      type = kLast;
+    } else {
+      type = kMiddle;
+    }
+
+    char header[kHeaderSize];
+    const uint32_t crc = crc32c::Mask(
+        crc32c::Extend(crc32c::Value(reinterpret_cast<char*>(&type), 1), ptr,
+                       fragment));
+    EncodeFixed32(header, crc);
+    header[4] = static_cast<char>(fragment & 0xff);
+    header[5] = static_cast<char>((fragment >> 8) & 0xff);
+    header[6] = static_cast<char>(type);
+    Status s = file_->Append(Slice(header, kHeaderSize));
+    if (!s.ok()) return s;
+    s = file_->Append(Slice(ptr, fragment));
+    if (!s.ok()) return s;
+    block_offset_ += kHeaderSize + static_cast<uint32_t>(fragment);
+    ptr += fragment;
+    left -= fragment;
+    begin = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+LogReader::LogReader(ssd::RandomAccessFile* file) : file_(file) {}
+
+uint8_t LogReader::ReadPhysicalRecord(std::string* payload) {
+  while (true) {
+    if (buffer_.size() - buffer_pos_ < LogWriter::kHeaderSize) {
+      if (eof_) return kZeroType;
+      // Load the next block.
+      buffer_start_ = offset_;
+      Status s = file_->Read(offset_, LogWriter::kBlockSize, &buffer_);
+      if (!s.ok()) {
+        status_ = s;
+        return kZeroType;
+      }
+      buffer_pos_ = 0;
+      offset_ += buffer_.size();
+      if (buffer_.size() < LogWriter::kBlockSize) eof_ = true;
+      if (buffer_.size() < LogWriter::kHeaderSize) return kZeroType;
+    }
+    const char* header = buffer_.data() + buffer_pos_;
+    const uint32_t length = static_cast<unsigned char>(header[4]) |
+                            (static_cast<unsigned char>(header[5]) << 8);
+    const uint8_t type = static_cast<uint8_t>(header[6]);
+    if (type == kZeroType && length == 0) {
+      // Block trailer padding; skip to the next block.
+      buffer_pos_ = buffer_.size();
+      continue;
+    }
+    if (buffer_pos_ + LogWriter::kHeaderSize + length > buffer_.size()) {
+      // Torn write at the tail: treat as clean EOF.
+      buffer_pos_ = buffer_.size();
+      eof_ = true;
+      return kZeroType;
+    }
+    const char* data = header + LogWriter::kHeaderSize;
+    const uint32_t expected = crc32c::Unmask(DecodeFixed32(header));
+    char type_byte = static_cast<char>(type);
+    const uint32_t actual =
+        crc32c::Extend(crc32c::Value(&type_byte, 1), data, length);
+    buffer_pos_ += LogWriter::kHeaderSize + length;
+    if (expected != actual) {
+      // Corrupt fragment: stop (a torn tail mid-block looks like this too).
+      eof_ = true;
+      return kZeroType;
+    }
+    payload->assign(data, length);
+    return type;
+  }
+}
+
+bool LogReader::ReadRecord(std::string* record) {
+  record->clear();
+  std::string fragment;
+  bool in_record = false;
+  while (true) {
+    const uint8_t type = ReadPhysicalRecord(&fragment);
+    switch (type) {
+      case kFull:
+        *record = fragment;
+        return true;
+      case kFirst:
+        *record = fragment;
+        in_record = true;
+        break;
+      case kMiddle:
+        if (!in_record) {
+          status_ = Status::Corruption("orphan MIDDLE fragment");
+          return false;
+        }
+        record->append(fragment);
+        break;
+      case kLast:
+        if (!in_record) {
+          status_ = Status::Corruption("orphan LAST fragment");
+          return false;
+        }
+        record->append(fragment);
+        return true;
+      default:  // kZeroType: EOF (possibly mid-record: discard the prefix).
+        return false;
+    }
+  }
+}
+
+}  // namespace directload::lsm

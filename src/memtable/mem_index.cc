@@ -1,0 +1,179 @@
+#include "memtable/mem_index.h"
+
+#include <cstring>
+
+namespace directload {
+
+namespace {
+
+/// Builds a stack probe entry for seeks. The probe never outlives the call.
+MemEntry MakeProbe(const Slice& key, uint64_t version) {
+  MemEntry probe{};
+  probe.key_data = key.data();
+  probe.key_size = static_cast<uint32_t>(key.size());
+  probe.version = version;
+  return probe;
+}
+
+}  // namespace
+
+int MemIndex::EntryComparator::operator()(const MemEntry* a,
+                                          const MemEntry* b) const {
+  const int r = a->user_key().compare(b->user_key());
+  if (r != 0) return r;
+  // Versions descend within a key: the newest version is encountered first.
+  if (a->version > b->version) return -1;
+  if (a->version < b->version) return 1;
+  return 0;
+}
+
+MemIndex::MemIndex(uint64_t seed)
+    : arena_(std::make_unique<Arena>()),
+      list_(std::make_unique<List>(EntryComparator(), arena_.get(), seed)) {}
+
+MemEntry* MemIndex::Insert(const Slice& key, uint64_t version,
+                           uint64_t address, uint32_t value_size, bool dedup) {
+  // Re-transmitted pairs update the existing item in place (including
+  // reviving a purged ghost) rather than duplicating it.
+  MemEntry probe = MakeProbe(key, version);
+  List::Iterator it(list_.get());
+  MemEntry* probe_ptr = &probe;
+  it.Seek(probe_ptr);
+  if (it.Valid() && EntryComparator()(it.key(), probe_ptr) == 0) {
+    MemEntry* existing = it.key();
+    if (existing->purged) {
+      existing->purged = false;
+      ++live_count_;
+    }
+    existing->address = address;
+    existing->value_size = value_size;
+    existing->dedup = dedup;
+    existing->deleted = false;
+    return existing;
+  }
+
+  char* key_copy = arena_->Allocate(key.size());
+  std::memcpy(key_copy, key.data(), key.size());
+  auto* entry =
+      reinterpret_cast<MemEntry*>(arena_->AllocateAligned(sizeof(MemEntry)));
+  entry->key_data = key_copy;
+  entry->key_size = static_cast<uint32_t>(key.size());
+  entry->version = version;
+  entry->address = address;
+  entry->value_size = value_size;
+  entry->dedup = dedup;
+  entry->deleted = false;
+  entry->purged = false;
+  list_->Insert(entry);
+  ++live_count_;
+  return entry;
+}
+
+MemEntry* MemIndex::FindExact(const Slice& key, uint64_t version) const {
+  MemEntry probe = MakeProbe(key, version);
+  MemEntry* probe_ptr = &probe;
+  List::Iterator it(list_.get());
+  it.Seek(probe_ptr);
+  if (!it.Valid()) return nullptr;
+  MemEntry* found = it.key();
+  if (EntryComparator()(found, probe_ptr) != 0 || found->purged) {
+    return nullptr;
+  }
+  return found;
+}
+
+MemEntry* MemIndex::FindLatest(const Slice& key) const {
+  MemEntry probe = MakeProbe(key, UINT64_MAX);
+  MemEntry* probe_ptr = &probe;
+  List::Iterator it(list_.get());
+  for (it.Seek(probe_ptr); it.Valid(); it.Next()) {
+    MemEntry* entry = it.key();
+    if (entry->user_key() != key) return nullptr;
+    if (!entry->purged) return entry;
+  }
+  return nullptr;
+}
+
+MemEntry* MemIndex::TracebackValue(const Slice& key, uint64_t version) const {
+  if (version == 0) return nullptr;
+  MemEntry probe = MakeProbe(key, version - 1);
+  MemEntry* probe_ptr = &probe;
+  List::Iterator it(list_.get());
+  for (it.Seek(probe_ptr); it.Valid(); it.Next()) {
+    MemEntry* entry = it.key();
+    if (entry->user_key() != key) return nullptr;
+    if (entry->purged || entry->dedup) continue;  // No value bytes here.
+    return entry;
+  }
+  return nullptr;
+}
+
+std::vector<MemEntry*> MemIndex::EntriesForKey(const Slice& key) const {
+  std::vector<MemEntry*> out;
+  MemEntry probe = MakeProbe(key, UINT64_MAX);
+  MemEntry* probe_ptr = &probe;
+  List::Iterator it(list_.get());
+  for (it.Seek(probe_ptr); it.Valid(); it.Next()) {
+    MemEntry* entry = it.key();
+    if (entry->user_key() != key) break;
+    if (!entry->purged) out.push_back(entry);
+  }
+  return out;
+}
+
+void MemIndex::Purge(MemEntry* entry) {
+  if (!entry->purged) {
+    entry->purged = true;
+    --live_count_;
+  }
+}
+
+void MemIndex::CompactInto(MemIndex* fresh) const {
+  for (Iterator it = NewIterator(); it.Valid(); it.Next()) {
+    const MemEntry* e = it.entry();
+    MemEntry* copy = fresh->Insert(e->user_key(), e->version, e->address,
+                                   e->value_size, e->dedup);
+    copy->deleted = e->deleted;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Iterator
+// --------------------------------------------------------------------------
+
+struct MemIndex::Iterator::Impl {
+  explicit Impl(const List* list) : it(list) {}
+  List::Iterator it;
+};
+
+MemIndex::Iterator::Iterator(const MemIndex* index)
+    : impl_(std::make_shared<Impl>(index->list_.get())) {
+  SeekToFirst();
+}
+
+bool MemIndex::Iterator::Valid() const { return impl_->it.Valid(); }
+
+MemEntry* MemIndex::Iterator::entry() const { return impl_->it.key(); }
+
+void MemIndex::Iterator::Next() {
+  impl_->it.Next();
+  SkipPurged();
+}
+
+void MemIndex::Iterator::SeekToFirst() {
+  impl_->it.SeekToFirst();
+  SkipPurged();
+}
+
+void MemIndex::Iterator::Seek(const Slice& key) {
+  MemEntry probe = MakeProbe(key, UINT64_MAX);
+  MemEntry* probe_ptr = &probe;
+  impl_->it.Seek(probe_ptr);
+  SkipPurged();
+}
+
+void MemIndex::Iterator::SkipPurged() {
+  while (impl_->it.Valid() && impl_->it.key()->purged) impl_->it.Next();
+}
+
+}  // namespace directload

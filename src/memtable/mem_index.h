@@ -1,0 +1,120 @@
+#ifndef DIRECTLOAD_MEMTABLE_MEM_INDEX_H_
+#define DIRECTLOAD_MEMTABLE_MEM_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/slice.h"
+#include "memtable/skiplist.h"
+
+namespace directload {
+
+/// One item of QinDB's memory-resident table (paper Section 2.3): the
+/// versioned key, the offset of the record in the AOFs, and the two flags
+/// the mutated operations rely on — `r` (the value field was removed by
+/// Bifrost's deduplication) and `d` (the pair was deleted; space reclaimed
+/// lazily by AOF GC).
+struct MemEntry {
+  const char* key_data;
+  uint32_t key_size;
+  uint64_t version;
+
+  uint64_t address;     // Opaque AOF record address (owned by the AOF layer).
+  uint32_t value_size;  // Stored value length; 0 when the value is NULL.
+  bool dedup;           // 'r' flag: value removed, resolve by traceback.
+  bool deleted;         // 'd' flag: logically deleted, awaiting GC.
+  bool purged;          // Physically dropped from the index (post-GC).
+
+  Slice user_key() const { return Slice(key_data, key_size); }
+};
+
+/// QinDB's memtable: a skip list of MemEntry ordered by user key ascending
+/// and version *descending*, so that all versions of a key are adjacent and
+/// a traceback (find the newest older version that still carries a value) is
+/// a forward scan. The paper orders versions ascending; descending is the
+/// standard equivalent that makes newest-first reads O(1) after the seek.
+///
+/// The skip list never physically unlinks nodes; `Purge` marks an entry
+/// invisible and `CompactInto` rebuilds a dense index (used after version
+/// pruning and during checkpoint load).
+class MemIndex {
+ public:
+  explicit MemIndex(uint64_t seed = 0xdecaf);
+
+  MemIndex(const MemIndex&) = delete;
+  MemIndex& operator=(const MemIndex&) = delete;
+
+  /// Inserts or updates the item for (key, version). Returns the entry.
+  MemEntry* Insert(const Slice& key, uint64_t version, uint64_t address,
+                   uint32_t value_size, bool dedup);
+
+  /// Exact lookup; returns nullptr if absent or purged.
+  MemEntry* FindExact(const Slice& key, uint64_t version) const;
+
+  /// Newest non-purged version of `key`, or nullptr.
+  MemEntry* FindLatest(const Slice& key) const;
+
+  /// Newest non-purged entry with version strictly below `version` whose
+  /// value field exists (not deduplicated). This is the GET traceback of
+  /// Figure 2. Returns nullptr when no value-bearing older version exists.
+  MemEntry* TracebackValue(const Slice& key, uint64_t version) const;
+
+  /// All non-purged entries for `key`, newest first. Version counts are
+  /// small (at most four versions persist per the paper), so a vector is
+  /// appropriate.
+  std::vector<MemEntry*> EntriesForKey(const Slice& key) const;
+
+  /// Marks an entry physically removed from the index.
+  void Purge(MemEntry* entry);
+
+  /// Number of visible (non-purged) entries.
+  size_t live_count() const { return live_count_; }
+  /// Number of entries ever inserted (including purged).
+  size_t total_count() const { return list_->size(); }
+  size_t ApproximateMemoryUsage() const { return arena_->MemoryUsage(); }
+
+  /// Ordered iteration over non-purged entries (checkpointing, scans).
+  /// Freshly constructed iterators are positioned at the first entry.
+  class Iterator {
+   public:
+    explicit Iterator(const MemIndex* index);
+
+    bool Valid() const;
+    /// Entry under the cursor. Never a purged entry.
+    MemEntry* entry() const;
+    void Next();
+    void SeekToFirst();
+    /// First entry with user key >= `key` (any version).
+    void Seek(const Slice& key);
+
+   private:
+    void SkipPurged();
+
+    struct Impl;
+    std::shared_ptr<Impl> impl_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  /// Copies all live entries into `fresh` (which must be empty), dropping
+  /// purged ghosts. Used to re-densify the index after heavy GC.
+  void CompactInto(MemIndex* fresh) const;
+
+ private:
+  struct EntryComparator {
+    int operator()(const MemEntry* a, const MemEntry* b) const;
+  };
+  using List = SkipList<MemEntry*, EntryComparator>;
+
+  friend class Iterator;
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<List> list_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_MEMTABLE_MEM_INDEX_H_

@@ -1,0 +1,193 @@
+#ifndef DIRECTLOAD_MEMTABLE_SKIPLIST_H_
+#define DIRECTLOAD_MEMTABLE_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/arena.h"
+#include "common/random.h"
+
+namespace directload {
+
+/// An arena-backed skip list (Pugh [8] in the paper), the sorted in-memory
+/// structure behind both QinDB's memtable and the LSM baseline's memtable.
+///
+/// Template parameters:
+///   Key        — copyable, trivially destructible key type (typically a
+///                pointer to an arena-allocated entry).
+///   Comparator — functor with `int operator()(const Key&, const Key&)`
+///                returning <0 / 0 / >0.
+///
+/// The list never removes nodes; deletion is expressed by the layers above
+/// (flags in QinDB, tombstones in the LSM engine), which matches both
+/// engines' semantics. Single-writer, as all concurrency in the project is
+/// simulated.
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena, uint64_t seed = 0xdecaf)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(Key(), kMaxHeight)),
+        max_height_(1),
+        rnd_(seed) {
+    for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts `key`. Requires that an equal key has not already been
+  /// inserted (equality under the comparator).
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || compare_(key, x->key) != 0);
+    const int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; ++i) prev[i] = head_;
+      max_height_ = height;
+    }
+    x = NewNode(key, height);
+    for (int i = 0; i < height; ++i) {
+      x->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, x);
+    }
+    ++size_;
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && compare_(key, x->key) == 0;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Forward/backward iteration over the list contents.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+
+    /// Retreats to the previous entry (O(log n): re-searches from the head).
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+
+    /// Positions at the first entry >= target.
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+
+   private:
+    const SkipList* list_;
+    typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+
+    Key key;
+
+    Node* Next(int level) const { return next_[level]; }
+    void SetNext(int level, Node* n) { next_[level] = n; }
+
+   private:
+    // Over-allocated to the node's height by NewNode.
+    Node* next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        sizeof(Node*) * (height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.Uniform(kBranching) == 0) ++height;
+    return height;
+  }
+
+  /// First node >= key; fills prev[] with the rightmost node before it at
+  /// each level when prev != nullptr.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  /// Last node < key, or head_.
+  Node* FindLessThan(const Key& key) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (level == 0) return x;
+        --level;
+      }
+    }
+  }
+
+  /// Last node in the list, or head_.
+  Node* FindLast() const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr) {
+        x = next;
+      } else {
+        if (level == 0) return x;
+        --level;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  int max_height_;
+  Random rnd_;
+  size_t size_ = 0;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_MEMTABLE_SKIPLIST_H_

@@ -1,0 +1,277 @@
+#include "mint/cluster.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace directload::mint {
+
+// ---------------------------------------------------------------------------
+// StorageNode
+// ---------------------------------------------------------------------------
+
+StorageNode::StorageNode(int id, const MintOptions& options)
+    : id_(id), options_(options) {
+  env_ = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
+                        options_.node_geometry, options_.node_latency,
+                        &clock_);
+}
+
+Status StorageNode::Start() {
+  Result<std::unique_ptr<qindb::QinDb>> db =
+      qindb::QinDb::Open(env_.get(), options_.engine);
+  if (!db.ok()) return db.status();
+  db_ = std::move(db).value();
+  up_ = true;
+  return Status::OK();
+}
+
+void StorageNode::Fail() {
+  // Drop the engine without any graceful shutdown: the memtable and GC
+  // table vanish; the AOF segments remain on the simulated SSD. Note that
+  // the sub-page tail of the active segment is padded out by the env when
+  // the writer is destroyed — record checksums would catch a genuinely torn
+  // tail, which the AOF scan treats as end-of-segment.
+  db_.reset();
+  up_ = false;
+}
+
+Result<double> StorageNode::Recover() {
+  if (up_) {
+    return Status::InvalidArgument("node is already up; Fail() it first");
+  }
+  const uint64_t before = clock_.NowMicros();
+  Result<std::unique_ptr<qindb::QinDb>> db =
+      qindb::QinDb::Open(env_.get(), options_.engine);
+  if (!db.ok()) return db.status();
+  db_ = std::move(db).value();
+  up_ = true;
+  return static_cast<double>(clock_.NowMicros() - before) * 1e-6;
+}
+
+// ---------------------------------------------------------------------------
+// MintCluster
+// ---------------------------------------------------------------------------
+
+MintCluster::MintCluster(const MintOptions& options) : options_(options) {
+  groups_.resize(options_.num_groups);
+  for (int g = 0; g < options_.num_groups; ++g) {
+    for (int i = 0; i < options_.nodes_per_group; ++i) {
+      const int id = static_cast<int>(nodes_.size());
+      nodes_.push_back(std::make_unique<StorageNode>(id, options_));
+      groups_[g].push_back(id);
+    }
+  }
+}
+
+Status MintCluster::Start() {
+  for (auto& node : nodes_) {
+    Status s = node->Start();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+int MintCluster::GroupOf(const Slice& key) const {
+  // H(k) maps to a group, not a node (Section 2.3: scalability without
+  // redistribution).
+  return static_cast<int>(Hash64(key) % options_.num_groups);
+}
+
+std::vector<int> MintCluster::ReplicasOf(const Slice& key) const {
+  const std::vector<int>& members = groups_[GroupOf(key)];
+  // Rendezvous hashing: rank members by hash(key, node) and take the top
+  // `replicas`. Stable under membership growth for most keys.
+  std::vector<std::pair<uint64_t, int>> ranked;
+  ranked.reserve(members.size());
+  for (int id : members) {
+    ranked.emplace_back(Hash64(key, /*seed=*/0x5eed0000 + id), id);
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  std::vector<int> replicas;
+  const int want = std::min<int>(options_.replicas,
+                                 static_cast<int>(ranked.size()));
+  for (int i = 0; i < want; ++i) replicas.push_back(ranked[i].second);
+  return replicas;
+}
+
+Status MintCluster::Put(const Slice& key, uint64_t version, const Slice& value,
+                        bool dedup) {
+  Status first_error;
+  int applied = 0;
+  for (int id : ReplicasOf(key)) {
+    StorageNode* node = nodes_[id].get();
+    if (!node->up()) continue;  // Will be healed by recovery + re-replication.
+    Status s = node->db()->Put(key, version, value, dedup);
+    if (!s.ok() && first_error.ok()) first_error = s;
+    if (s.ok()) ++applied;
+  }
+  if (applied == 0) {
+    return first_error.ok() ? Status::Unavailable("no live replica")
+                            : first_error;
+  }
+  return Status::OK();
+}
+
+Status MintCluster::Del(const Slice& key, uint64_t version) {
+  bool any = false;
+  for (int id : GroupNodes(GroupOf(key))) {
+    StorageNode* node = nodes_[id].get();
+    if (!node->up()) continue;
+    Status s = node->db()->Del(key, version);
+    if (s.ok()) any = true;
+  }
+  return any ? Status::OK() : Status::NotFound("no replica held the pair");
+}
+
+Status MintCluster::DropVersion(uint64_t version) {
+  for (auto& node : nodes_) {
+    if (!node->up()) continue;
+    Result<uint64_t> n = node->db()->DropVersion(version);
+    if (!n.ok()) return n.status();
+  }
+  return Status::OK();
+}
+
+template <typename Fn>
+Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
+                                                          const Fn& fn) {
+  // Requests go to the group's nodes in parallel; the caller sees the
+  // fastest live replica's answer (each node has its own clock, so the
+  // per-node elapsed device time is the replica's service latency).
+  const std::vector<int>& members = GroupNodes(GroupOf(key));
+  ReadResult best;
+  bool found = false;
+  Status last_error = Status::Unavailable("no live replica");
+  for (int id : members) {
+    StorageNode* node = nodes_[id].get();
+    if (!node->up()) continue;
+    const uint64_t before = node->clock()->NowMicros();
+    Result<std::string> got = fn(node->db());
+    const double latency =
+        static_cast<double>(node->clock()->NowMicros() - before) +
+        options_.read_rtt_micros;
+    if (!got.ok()) {
+      last_error = got.status();
+      continue;
+    }
+    if (!found || latency < best.latency_micros) {
+      best.value = std::move(got).value();
+      best.latency_micros = latency;
+      best.served_by = id;
+      found = true;
+    }
+  }
+  if (!found) return last_error;
+  return best;
+}
+
+Result<MintCluster::ReadResult> MintCluster::Get(const Slice& key,
+                                                 uint64_t version) {
+  return ParallelRead(key, [&](qindb::QinDb* db) {
+    return db->Get(key, version);
+  });
+}
+
+Result<MintCluster::ReadResult> MintCluster::GetLatest(const Slice& key) {
+  return ParallelRead(key, [&](qindb::QinDb* db) {
+    return db->GetLatest(key);
+  });
+}
+
+Status MintCluster::FailNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  nodes_[node_id]->Fail();
+  return Status::OK();
+}
+
+Result<double> MintCluster::RecoverNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  return nodes_[node_id]->Recover();
+}
+
+Result<uint64_t> MintCluster::RepairNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  StorageNode* target = nodes_[node_id].get();
+  if (!target->up()) return Status::Unavailable("node is down");
+
+  // Find the node's group.
+  int group = -1;
+  for (int g = 0; g < options_.num_groups; ++g) {
+    for (int id : groups_[g]) {
+      if (id == node_id) group = g;
+    }
+  }
+  if (group < 0) return Status::Internal("node not in any group");
+
+  uint64_t copied = 0;
+  for (int peer_id : groups_[group]) {
+    if (peer_id == node_id) continue;
+    StorageNode* peer = nodes_[peer_id].get();
+    if (!peer->up()) continue;
+    // Walk the peer's index; copy pairs this node should replicate.
+    for (MemIndex::Iterator it = peer->db()->memtable().NewIterator();
+         it.Valid(); it.Next()) {
+      const MemEntry* entry = it.entry();
+      if (entry->deleted) continue;
+      const Slice key = entry->user_key();
+      const std::vector<int> replicas = ReplicasOf(key);
+      if (std::find(replicas.begin(), replicas.end(), node_id) ==
+          replicas.end()) {
+        continue;  // Not this node's responsibility.
+      }
+      if (target->db()->memtable().FindExact(key, entry->version) != nullptr) {
+        continue;  // Already present.
+      }
+      // Copy the *resolved* value: re-deduplicating on the target would
+      // require its traceback chain to be complete, which repair cannot
+      // assume (the peer may hold the referenced record only as a GC
+      // referent). Materializing trades space for integrity.
+      Result<std::string> value = peer->db()->Get(key, entry->version);
+      if (!value.ok()) continue;  // Peer cannot resolve it; another may.
+      Status s = target->db()->Put(key, entry->version, *value);
+      if (!s.ok()) return s;
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+Result<int> MintCluster::AddNode(int group) {
+  if (group < 0 || group >= options_.num_groups) {
+    return Status::InvalidArgument("no such group");
+  }
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<StorageNode>(id, options_));
+  Status s = nodes_.back()->Start();
+  if (!s.ok()) return s;
+  groups_[group].push_back(id);
+  return id;
+}
+
+uint64_t MintCluster::TotalUserBytesIngested() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node->up()) {
+      total += const_cast<StorageNode*>(node.get())->db()->stats()
+                   .user_bytes_ingested;
+    }
+  }
+  return total;
+}
+
+uint64_t MintCluster::TotalDiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += const_cast<StorageNode*>(node.get())->env()->TotalFileBytes();
+  }
+  return total;
+}
+
+}  // namespace directload::mint

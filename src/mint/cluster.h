@@ -1,0 +1,132 @@
+#ifndef DIRECTLOAD_MINT_CLUSTER_H_
+#define DIRECTLOAD_MINT_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "qindb/qindb.h"
+#include "ssd/env.h"
+
+namespace directload::mint {
+
+struct MintOptions {
+  int num_groups = 2;
+  int nodes_per_group = 3;
+  int replicas = 3;  // <= nodes_per_group; the paper replicates 3x.
+
+  ssd::Geometry node_geometry;  // One simulated SSD per storage node.
+  ssd::LatencyModel node_latency;
+  qindb::QinDbOptions engine;
+
+  /// Fixed network round trip added to every remote read (intra-DC).
+  double read_rtt_micros = 200;
+
+  uint64_t seed = 1;
+};
+
+/// One storage node: its own simulated SSD (devices run in parallel, so
+/// each node has a private clock) and a QinDB engine on top.
+class StorageNode {
+ public:
+  StorageNode(int id, const MintOptions& options);
+
+  Status Start();
+
+  int id() const { return id_; }
+  bool up() const { return up_; }
+  qindb::QinDb* db() { return db_.get(); }
+  SimClock* clock() { return &clock_; }
+  ssd::SsdEnv* env() { return env_.get(); }
+
+  /// Simulates a crash: the engine's memory (memtable, GC table) is lost;
+  /// the AOFs on the simulated SSD survive.
+  void Fail();
+
+  /// Rebuilds the engine from the AOFs (checkpoint-accelerated when one is
+  /// valid). Returns the simulated recovery time in seconds.
+  Result<double> Recover();
+
+ private:
+  int id_;
+  MintOptions options_;
+  SimClock clock_;
+  std::unique_ptr<ssd::SsdEnv> env_;
+  std::unique_ptr<qindb::QinDb> db_;
+  bool up_ = false;
+};
+
+/// Mint: the regional distributed key-value store (Section 2.3). Keys are
+/// dispatched to node *groups* via H(k) — never directly to nodes, so
+/// group membership can change without redistributing stored pairs — and
+/// each pair is written to `replicas` nodes of its group, chosen by
+/// rendezvous hashing. Reads are sent to the group's nodes in parallel and
+/// the fastest live replica answers, which hides slow or recovering nodes.
+class MintCluster {
+ public:
+  explicit MintCluster(const MintOptions& options);
+
+  Status Start();
+
+  int GroupOf(const Slice& key) const;
+  /// Replica node ids (within the key's group) for new writes.
+  std::vector<int> ReplicasOf(const Slice& key) const;
+
+  Status Put(const Slice& key, uint64_t version, const Slice& value,
+             bool dedup = false);
+  Status Del(const Slice& key, uint64_t version);
+  /// Flags `version` deleted on every node (the oldest-version pruning).
+  Status DropVersion(uint64_t version);
+
+  struct ReadResult {
+    std::string value;
+    double latency_micros = 0;  // Fastest replica's device time + RTT.
+    int served_by = -1;
+  };
+  Result<ReadResult> Get(const Slice& key, uint64_t version);
+  Result<ReadResult> GetLatest(const Slice& key);
+
+  /// Crash / recover a node. Reads keep working off the other replicas.
+  Status FailNode(int node_id);
+  Result<double> RecoverNode(int node_id);
+
+  /// Re-replication: copies every pair the node should hold (it is among
+  /// the pair's rendezvous replicas) but does not, from the peers in its
+  /// group. Used after replacing a node whose SSD was lost, restoring the
+  /// replication factor. Returns the number of pairs copied.
+  Result<uint64_t> RepairNode(int node_id);
+
+  /// Adds an empty node to `group`. Existing pairs stay where they are
+  /// (reads query the whole group, so nothing needs to move); the new node
+  /// participates in replica selection for subsequent writes.
+  Result<int> AddNode(int group);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  StorageNode* node(int id) { return nodes_[id].get(); }
+  const MintOptions& options() const { return options_; }
+
+  /// Sum of user bytes ingested across nodes (3x-replicated writes).
+  uint64_t TotalUserBytesIngested() const;
+  uint64_t TotalDiskBytes() const;
+
+ private:
+  const std::vector<int>& GroupNodes(int group) const {
+    return groups_[group];
+  }
+
+  template <typename Fn>
+  Result<ReadResult> ParallelRead(const Slice& key, const Fn& fn);
+
+  MintOptions options_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::vector<std::vector<int>> groups_;  // group -> node ids.
+};
+
+}  // namespace directload::mint
+
+#endif  // DIRECTLOAD_MINT_CLUSTER_H_

@@ -1,0 +1,192 @@
+#include "net/fluid_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace directload::net {
+
+FluidNetwork::FluidNetwork(SimClock* clock) : clock_(clock) {
+  // Default class so callers that don't care about classes can pass 0.
+  classes_.push_back(TrafficClass{"default", 1.0});
+}
+
+int FluidNetwork::AddNode(const std::string& name) {
+  node_names_.push_back(name);
+  return static_cast<int>(node_names_.size()) - 1;
+}
+
+int FluidNetwork::AddLink(int from, int to, double capacity_bytes_per_sec) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  links_.push_back(Link{from, to, capacity_bytes_per_sec, 0.0});
+  link_carried_.push_back(0.0);
+  link_spare_.push_back(capacity_bytes_per_sec);
+  return static_cast<int>(links_.size()) - 1;
+}
+
+int FluidNetwork::AddTrafficClass(const std::string& name, double weight) {
+  classes_.push_back(TrafficClass{name, weight});
+  return static_cast<int>(classes_.size()) - 1;
+}
+
+void FluidNetwork::SetBackground(int link_id, double fraction) {
+  links_[link_id].background = std::clamp(fraction, 0.0, 0.99);
+  // Refresh the spare-capacity snapshot so monitors sampling before the
+  // next Advance step already see the congestion.
+  link_spare_[link_id] = links_[link_id].available();
+}
+
+uint64_t FluidNetwork::StartFlow(const std::vector<int>& path, double bytes,
+                                 int klass, uint64_t tag) {
+  Flow flow;
+  flow.id = flows_.size();
+  flow.path = path;
+  flow.bytes_total = bytes;
+  flow.bytes_left = bytes;
+  flow.klass = klass;
+  flow.start_micros = clock_->NowMicros();
+  flow.active = bytes > 0;
+  flow.tag = tag;
+  if (!flow.active) flow.finish_micros = flow.start_micros;
+  flows_.push_back(flow);
+  rates_.push_back(0.0);
+  if (flow.active) ++active_count_;
+  return flow.id;
+}
+
+bool FluidNetwork::CancelFlow(uint64_t id) {
+  if (id >= flows_.size() || !flows_[id].active) return false;
+  flows_[id].active = false;
+  flows_[id].bytes_left = 0;
+  --active_count_;
+  return true;
+}
+
+double FluidNetwork::FlowBytesLeft(uint64_t id) const {
+  if (id >= flows_.size() || !flows_[id].active) return 0.0;
+  return flows_[id].bytes_left;
+}
+
+void FluidNetwork::ComputeRates() {
+  // Per link: demand per class.
+  std::vector<std::vector<int>> link_class_counts(
+      links_.size(), std::vector<int>(classes_.size(), 0));
+  for (const Flow& f : flows_) {
+    if (!f.active) continue;
+    for (int l : f.path) ++link_class_counts[l][f.klass];
+  }
+  // Per link and class: bytes/sec available to each flow of that class.
+  // Reserved shares of idle classes are redistributed to busy classes in
+  // proportion to their weights (work conservation).
+  std::vector<std::vector<double>> per_flow_share(
+      links_.size(), std::vector<double>(classes_.size(), 0.0));
+  for (size_t l = 0; l < links_.size(); ++l) {
+    double busy_weight = 0.0;
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      if (link_class_counts[l][c] > 0) busy_weight += classes_[c].weight;
+    }
+    if (busy_weight == 0.0) continue;
+    const double capacity = links_[l].available();
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      if (link_class_counts[l][c] == 0) continue;
+      const double class_bw = capacity * classes_[c].weight / busy_weight;
+      per_flow_share[l][c] = class_bw / link_class_counts[l][c];
+    }
+  }
+  // A flow's rate is its bottleneck share along the path.
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    const Flow& f = flows_[i];
+    if (!f.active) {
+      rates_[i] = 0.0;
+      continue;
+    }
+    double rate = std::numeric_limits<double>::max();
+    for (int l : f.path) {
+      rate = std::min(rate, per_flow_share[l][f.klass]);
+    }
+    rates_[i] = rate;
+  }
+}
+
+void FluidNetwork::Advance(double dt_seconds, const CompletionFn& on_complete) {
+  ComputeRates();
+  const uint64_t step_start = clock_->NowMicros();
+  // Track spare capacity for the monitor.
+  std::vector<double> link_load(links_.size(), 0.0);
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    if (!flows_[i].active) continue;
+    for (int l : flows_[i].path) link_load[l] += rates_[i];
+  }
+  for (size_t l = 0; l < links_.size(); ++l) {
+    link_spare_[l] = std::max(0.0, links_[l].available() - link_load[l]);
+  }
+
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (!f.active || rates_[i] <= 0.0) continue;
+    const double progress = rates_[i] * dt_seconds;
+    for (int l : f.path) {
+      link_carried_[l] += std::min(progress, f.bytes_left);
+    }
+    if (progress >= f.bytes_left) {
+      // Interpolate the exact finish time within the step.
+      const double finish_frac = f.bytes_left / rates_[i] / dt_seconds;
+      f.bytes_left = 0;
+      f.active = false;
+      f.finish_micros =
+          step_start +
+          static_cast<uint64_t>(finish_frac * dt_seconds * 1e6);
+      --active_count_;
+      if (on_complete) on_complete(f);
+    } else {
+      f.bytes_left -= progress;
+    }
+  }
+  clock_->AdvanceTo(step_start + static_cast<uint64_t>(dt_seconds * 1e6));
+}
+
+size_t FluidNetwork::AdvanceUntilIdle(double max_seconds, double dt_seconds,
+                                      const CompletionFn& on_complete) {
+  double elapsed = 0.0;
+  while (active_count_ > 0 && elapsed < max_seconds) {
+    Advance(dt_seconds, on_complete);
+    elapsed += dt_seconds;
+  }
+  return active_count_;
+}
+
+double FluidNetwork::FlowRate(uint64_t id) const {
+  return id < rates_.size() ? rates_[id] : 0.0;
+}
+
+BandwidthMonitor::BandwidthMonitor(const FluidNetwork* net, double alpha)
+    : net_(net),
+      alpha_(alpha),
+      ewma_(net->num_links(), 0.0),
+      seeded_(net->num_links(), false) {}
+
+void BandwidthMonitor::Sample() {
+  if (ewma_.size() < static_cast<size_t>(net_->num_links())) {
+    ewma_.resize(net_->num_links(), 0.0);
+    seeded_.resize(net_->num_links(), false);
+  }
+  for (int l = 0; l < net_->num_links(); ++l) {
+    const double spare = net_->LinkSpareCapacity(l);
+    if (!seeded_[l]) {
+      ewma_[l] = spare;
+      seeded_[l] = true;
+    } else {
+      ewma_[l] = alpha_ * spare + (1.0 - alpha_) * ewma_[l];
+    }
+  }
+}
+
+double BandwidthMonitor::PredictSpare(int link_id) const {
+  if (static_cast<size_t>(link_id) >= ewma_.size() || !seeded_[link_id]) {
+    return net_->link(link_id).available();
+  }
+  return ewma_[link_id];
+}
+
+}  // namespace directload::net

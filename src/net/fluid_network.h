@@ -1,0 +1,135 @@
+#ifndef DIRECTLOAD_NET_FLUID_NETWORK_H_
+#define DIRECTLOAD_NET_FLUID_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace directload::net {
+
+/// Traffic classes on a link share bandwidth by fixed reservation weights
+/// (the paper's Bifrost empirically reserves 40 % for summary indices and
+/// 60 % for inverted indices, Section 2.2). Unused reservations are
+/// redistributed (work-conserving).
+struct TrafficClass {
+  std::string name;
+  double weight = 1.0;
+};
+
+/// A directed capacity-limited link. `background` is the fraction of
+/// capacity consumed by other applications sharing the relay nodes; the
+/// fault-injection hooks vary it over time.
+struct Link {
+  int from = 0;
+  int to = 0;
+  double capacity_bytes_per_sec = 0;
+  double background = 0.0;  // In [0, 1).
+
+  double available() const { return capacity_bytes_per_sec * (1.0 - background); }
+};
+
+struct Flow {
+  uint64_t id = 0;
+  std::vector<int> path;  // Link ids, in order.
+  double bytes_total = 0;
+  double bytes_left = 0;
+  int klass = 0;
+  uint64_t start_micros = 0;
+  uint64_t finish_micros = 0;  // Valid once completed.
+  bool active = false;
+  uint64_t tag = 0;  // Caller-defined (e.g., slice id).
+};
+
+/// A fluid-flow network simulation: flows progress at rates determined by
+/// class-weighted sharing of every link on their path, advanced in discrete
+/// time steps against the shared SimClock. Deterministic by construction.
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(SimClock* clock);
+
+  int AddNode(const std::string& name);
+  int AddLink(int from, int to, double capacity_bytes_per_sec);
+  int AddTrafficClass(const std::string& name, double weight);
+
+  int num_nodes() const { return static_cast<int>(node_names_.size()); }
+  const std::string& node_name(int node) const { return node_names_[node]; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const Link& link(int id) const { return links_[id]; }
+
+  /// Sets the background-traffic fraction of a link (fault injection /
+  /// congestion modeling).
+  void SetBackground(int link_id, double fraction);
+
+  /// Starts a flow along `path` (adjacent link ids). Returns its id.
+  uint64_t StartFlow(const std::vector<int>& path, double bytes, int klass,
+                     uint64_t tag = 0);
+
+  /// Aborts an active flow (no completion callback fires). Returns false if
+  /// the flow is unknown or already finished.
+  bool CancelFlow(uint64_t id);
+
+  /// Bytes remaining for an active flow; 0 when finished/cancelled/unknown.
+  double FlowBytesLeft(uint64_t id) const;
+
+  /// Advances the simulation by `dt` seconds. Completed flows are reported
+  /// through `on_complete` with their exact (interpolated) finish time.
+  using CompletionFn = std::function<void(const Flow&)>;
+  void Advance(double dt_seconds, const CompletionFn& on_complete);
+
+  /// Runs until all active flows finish or `max_seconds` of simulated time
+  /// pass. Returns the number of flows still active.
+  size_t AdvanceUntilIdle(double max_seconds, double dt_seconds,
+                          const CompletionFn& on_complete);
+
+  size_t active_flows() const { return active_count_; }
+
+  /// The instantaneous rate (bytes/sec) flow `id` received in the last
+  /// Advance step; 0 for inactive flows.
+  double FlowRate(uint64_t id) const;
+
+  /// Bytes moved over `link_id` since construction (monitor input).
+  double LinkBytesCarried(int link_id) const { return link_carried_[link_id]; }
+
+  /// Effective spare capacity of a link during the last step (bytes/sec).
+  double LinkSpareCapacity(int link_id) const { return link_spare_[link_id]; }
+
+ private:
+  void ComputeRates();
+
+  SimClock* clock_;
+  std::vector<std::string> node_names_;
+  std::vector<Link> links_;
+  std::vector<TrafficClass> classes_;
+  std::vector<Flow> flows_;
+  std::vector<double> rates_;         // Per flow, bytes/sec.
+  std::vector<double> link_carried_;  // Per link, cumulative bytes.
+  std::vector<double> link_spare_;    // Per link, last-step spare Bps.
+  size_t active_count_ = 0;
+};
+
+/// Exponentially-weighted predictor of per-link available bandwidth — the
+/// paper's "centralized network monitoring platform [that] predicts the
+/// available bandwidth resources of the network channels" (Section 2.2).
+class BandwidthMonitor {
+ public:
+  BandwidthMonitor(const FluidNetwork* net, double alpha = 0.3);
+
+  /// Samples current spare capacities (call once per monitoring interval).
+  void Sample();
+
+  /// Predicted spare bytes/sec on `link_id`.
+  double PredictSpare(int link_id) const;
+
+ private:
+  const FluidNetwork* net_;
+  double alpha_;
+  std::vector<double> ewma_;
+  std::vector<bool> seeded_;
+};
+
+}  // namespace directload::net
+
+#endif  // DIRECTLOAD_NET_FLUID_NETWORK_H_

@@ -1,0 +1,565 @@
+#include "qindb/qindb.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace directload::qindb {
+
+namespace {
+
+constexpr char kCheckpointName[] = "checkpoint.dat";
+constexpr char kCheckpointTemp[] = "checkpoint.tmp";
+constexpr uint64_t kCheckpointMagic = 0x51494e4443484b50ull;  // "QINDCHKP"
+
+// Per-entry flag bits in the checkpoint serialization.
+constexpr uint8_t kCkptDedup = 1u << 0;
+constexpr uint8_t kCkptDeleted = 1u << 1;
+
+uint64_t EntryExtent(const MemEntry* e) {
+  return aof::RecordExtent(e->key_size, e->value_size);
+}
+
+}  // namespace
+
+QinDb::QinDb(ssd::SsdEnv* env, const QinDbOptions& options)
+    : env_(env), options_(options) {}
+
+Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
+                                           const QinDbOptions& options) {
+  std::unique_ptr<QinDb> db(new QinDb(env, options));
+  db->mem_ = std::make_unique<MemIndex>();
+
+  std::map<uint32_t, aof::SegmentMeta> metas;
+  uint32_t next_segment = 0;
+  bool checkpoint_loaded = false;
+  if (env->FileExists(kCheckpointName)) {
+    Status s = db->LoadCheckpoint(kCheckpointName, &checkpoint_loaded, &metas,
+                                  &next_segment);
+    if (!s.ok() && !s.IsCorruption()) return s;
+    // A corrupt checkpoint is ignored; recovery falls back to the full scan.
+  }
+
+  Result<std::unique_ptr<aof::AofManager>> mgr = aof::AofManager::Open(
+      env, options.aof, checkpoint_loaded ? &metas : nullptr);
+  if (!mgr.ok()) return mgr.status();
+  db->aof_ = std::move(mgr).value();
+
+  if (checkpoint_loaded) {
+    Status s = db->ApplyCheckpointEntries();
+    if (!s.ok()) return s;
+    s = db->RecoverFromScan(next_segment);
+    if (!s.ok()) return s;
+    db->checkpoint_valid_ = true;
+  } else if (db->aof_->segment_count() > 0) {
+    Status s = db->RecoverFromScan(0);
+    if (!s.ok()) return s;
+  }
+  return db;
+}
+
+Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
+                  bool dedup) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  const Slice stored_value = dedup ? Slice() : value;
+  const uint8_t flags = dedup ? aof::kFlagDedup : aof::kFlagNone;
+
+  const uint32_t segment_before = aof_->active_segment();
+  Result<aof::RecordAddress> addr =
+      aof_->AppendRecord(key, version, flags, stored_value);
+  if (!addr.ok()) return addr.status();
+
+  MemEntry* old = mem_->FindExact(key, version);
+  if (old != nullptr) {
+    // Re-PUT of the same versioned key supersedes the previous record.
+    aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
+                   EntryExtent(old));
+  }
+  mem_->Insert(key, version, addr->Pack(),
+               static_cast<uint32_t>(stored_value.size()), dedup);
+
+  ++stats_.puts;
+  if (dedup) ++stats_.dedup_puts;
+  stats_.user_bytes_ingested += key.size() + stored_value.size();
+
+  if (options_.checkpoint_interval_bytes > 0 &&
+      stats_.user_bytes_ingested - bytes_at_last_checkpoint_ >=
+          options_.checkpoint_interval_bytes) {
+    Status s = Checkpoint();
+    if (!s.ok()) return s;
+    bytes_at_last_checkpoint_ = stats_.user_bytes_ingested;
+  }
+
+  if (options_.auto_gc && aof_->active_segment() != segment_before) {
+    // A segment sealed: cheap moment to evaluate the lazy GC policy.
+    return MaybeGc();
+  }
+  return Status::OK();
+}
+
+Result<QinDb::ScrubReport> QinDb::Scrub() {
+  ScrubReport report;
+  ReadGuard guard(this);  // Scrubbing counts as an ongoing read stream.
+  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+    MemEntry* entry = it.entry();
+    ++report.entries_checked;
+    aof::RecordView view;
+    Status s = aof_->ReadRecord(aof::RecordAddress::Unpack(entry->address),
+                                EntryExtent(entry), &view);
+    if (!s.ok() || view.key != entry->user_key() ||
+        view.header.version != entry->version ||
+        view.is_dedup() != entry->dedup) {
+      ++report.damaged_entries;
+      continue;
+    }
+    report.bytes_verified += EntryExtent(entry);
+    if (entry->dedup && !entry->deleted &&
+        mem_->TracebackValue(entry->user_key(), entry->version) == nullptr) {
+      ++report.unresolvable_dedups;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+QinDb::Scanner::Scanner(QinDb* db, uint64_t version)
+    : db_(db), version_(version), it_(db->mem_->NewIterator()) {}
+
+QinDb::Scanner QinDb::NewScanner(uint64_t version) {
+  return Scanner(this, version);
+}
+
+void QinDb::Scanner::Seek(const Slice& start) {
+  if (start.empty()) {
+    it_.SeekToFirst();
+  } else {
+    it_.Seek(start);
+  }
+  FindVisibleEntry();
+}
+
+void QinDb::Scanner::Next() {
+  // FindVisibleEntry left the underlying iterator at the next key run.
+  FindVisibleEntry();
+}
+
+void QinDb::Scanner::FindVisibleEntry() {
+  valid_ = false;
+  current_ = nullptr;
+  while (it_.Valid()) {
+    // Versions of a key are adjacent, newest first: take the first entry at
+    // or below the scan version, then consume the rest of the run.
+    MemEntry* candidate = nullptr;
+    const MemEntry* run_head = it_.entry();
+    const Slice run_key = run_head->user_key();  // Arena-backed, stable.
+    while (it_.Valid() && it_.entry()->user_key() == run_key) {
+      MemEntry* entry = it_.entry();
+      if (candidate == nullptr && entry->version <= version_) {
+        candidate = entry;
+      }
+      it_.Next();
+    }
+    if (candidate != nullptr && !candidate->deleted) {
+      current_ = candidate;
+      valid_ = true;
+      return;
+    }
+  }
+}
+
+Result<std::string> QinDb::Scanner::value() const {
+  if (!valid_) return Status::InvalidArgument("scanner not positioned");
+  MemEntry* source = current_;
+  if (current_->dedup) {
+    source = db_->mem_->TracebackValue(current_->user_key(),
+                                       current_->version);
+    if (source == nullptr) {
+      return Status::Corruption("deduplicated pair with no value-bearing older version");
+    }
+  }
+  return db_->ReadEntryValue(source);
+}
+
+Result<std::string> QinDb::ReadEntryValue(const MemEntry* entry) {
+  aof::RecordView view;
+  Status s = aof_->ReadRecord(aof::RecordAddress::Unpack(entry->address),
+                              EntryExtent(entry), &view);
+  if (!s.ok()) return s;
+  if (view.key != entry->user_key() || view.header.version != entry->version) {
+    return Status::Internal("memtable offset points at the wrong record");
+  }
+  return view.value.ToString();
+}
+
+Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
+  ++stats_.gets;
+  MemEntry* entry = mem_->FindExact(key, version);
+  if (entry == nullptr || entry->deleted) {
+    return Status::NotFound("no such key/version");
+  }
+  if (!entry->dedup) {
+    return ReadEntryValue(entry);
+  }
+  // The value field was removed by Bifrost: traceback to the newest older
+  // version that still carries one (Figure 2, bottom right).
+  ++stats_.traceback_gets;
+  MemEntry* source = mem_->TracebackValue(key, entry->version);
+  if (source == nullptr) {
+    return Status::Corruption("deduplicated pair with no value-bearing older version");
+  }
+  return ReadEntryValue(source);
+}
+
+Result<std::string> QinDb::GetLatest(const Slice& key) {
+  ++stats_.gets;
+  for (MemEntry* entry : mem_->EntriesForKey(key)) {
+    if (entry->deleted) continue;
+    if (!entry->dedup) return ReadEntryValue(entry);
+    ++stats_.traceback_gets;
+    MemEntry* source = mem_->TracebackValue(key, entry->version);
+    if (source == nullptr) {
+      return Status::Corruption("deduplicated pair with no value-bearing older version");
+    }
+    return ReadEntryValue(source);
+  }
+  return Status::NotFound("no live version");
+}
+
+bool QinDb::IsReferent(const Slice& key, uint64_t version) const {
+  // Walk the versions strictly newer than `version`, nearest first. The
+  // record stays needed while the contiguous run of deduplicated versions
+  // above it contains at least one live one.
+  std::vector<MemEntry*> entries = mem_->EntriesForKey(key);  // Newest first.
+  // Find the first index whose version is <= `version`; walk upwards.
+  size_t idx = entries.size();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i]->version <= version) {
+      idx = i;
+      break;
+    }
+  }
+  for (size_t i = idx; i-- > 0;) {  // Increasing version order.
+    MemEntry* e = entries[i];
+    if (!e->dedup) return false;  // Carries its own value: chain broken.
+    if (!e->deleted) return true;
+  }
+  return false;
+}
+
+void QinDb::MarkDeadUnlessReferent(MemEntry* entry) {
+  if (!IsReferent(entry->user_key(), entry->version)) {
+    aof_->MarkDead(aof::RecordAddress::Unpack(entry->address),
+                   EntryExtent(entry));
+  }
+}
+
+void QinDb::ApplyDeleteAccounting(MemEntry* entry) {
+  const Slice key = entry->user_key();
+  if (entry->dedup) {
+    // The NULL record itself is dead the moment the pair is deleted.
+    aof_->MarkDead(aof::RecordAddress::Unpack(entry->address),
+                   EntryExtent(entry));
+    // The value it resolved to may have just lost its last referent.
+    MemEntry* target = mem_->TracebackValue(key, entry->version);
+    if (target != nullptr && target->deleted) {
+      MarkDeadUnlessReferent(target);
+    }
+  } else {
+    // A value-bearing record stays live while newer deduplicated versions
+    // reference it.
+    MarkDeadUnlessReferent(entry);
+  }
+}
+
+Status QinDb::Del(const Slice& key, uint64_t version) {
+  MemEntry* entry = mem_->FindExact(key, version);
+  if (entry == nullptr) return Status::NotFound("no such key/version");
+  if (!entry->deleted) {
+    entry->deleted = true;
+    ++stats_.dels;
+    ApplyDeleteAccounting(entry);
+    if (options_.aof.log_deletes) {
+      Result<aof::RecordAddress> addr =
+          aof_->AppendRecord(key, version, aof::kFlagTombstone, Slice());
+      if (!addr.ok()) return addr.status();
+      // Tombstones are dead on arrival for occupancy purposes.
+      aof_->MarkDead(*addr, aof::RecordExtent(key.size(), 0));
+    }
+  }
+  if (options_.auto_gc) return MaybeGc();
+  return Status::OK();
+}
+
+Result<uint64_t> QinDb::DropVersion(uint64_t version) {
+  uint64_t flagged = 0;
+  std::vector<MemEntry*> hits;
+  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+    MemEntry* entry = it.entry();
+    if (entry->version == version && !entry->deleted) hits.push_back(entry);
+  }
+  for (MemEntry* entry : hits) {
+    entry->deleted = true;
+    ++stats_.dels;
+    ++flagged;
+    ApplyDeleteAccounting(entry);
+    if (options_.aof.log_deletes) {
+      Result<aof::RecordAddress> addr = aof_->AppendRecord(
+          entry->user_key(), version, aof::kFlagTombstone, Slice());
+      if (!addr.ok()) return addr.status();
+      aof_->MarkDead(*addr, aof::RecordExtent(entry->key_size, 0));
+    }
+  }
+  if (options_.auto_gc) {
+    Status s = MaybeGc();
+    if (!s.ok()) return s;
+  }
+  return flagged;
+}
+
+std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {
+  std::map<uint64_t, uint64_t> counts;
+  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+    const MemEntry* entry = it.entry();
+    if (!entry->deleted) ++counts[entry->version];
+  }
+  return counts;
+}
+
+Status QinDb::MaybeGc() {
+  if (aof_->GcVictims().empty()) return Status::OK();
+  if (options_.defer_gc_during_reads && reads_in_flight_ > 0) {
+    const double usage = static_cast<double>(DiskBytes()) /
+                         static_cast<double>(env_->CapacityBytes());
+    if (usage < options_.gc_space_pressure) {
+      ++stats_.gc_deferrals;
+      return Status::OK();
+    }
+  }
+  return CollectVictims();
+}
+
+Status QinDb::ForceGc() {
+  if (aof_->GcVictims().empty()) return Status::OK();
+  return CollectVictims();
+}
+
+Status QinDb::CollectVictims() {
+  const std::vector<uint32_t> victims = aof_->GcVictims();
+  if (victims.empty()) return Status::OK();
+  for (uint32_t id : victims) {
+    Status s = aof_->CollectSegment(
+        id,
+        /*classify=*/
+        [this](const aof::RecordAddress& addr, const aof::RecordView& rec) {
+          if (rec.is_tombstone()) return false;
+          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          if (entry == nullptr ||
+              aof::RecordAddress::Unpack(entry->address) != addr) {
+            return false;  // Superseded copy or already purged.
+          }
+          if (!entry->deleted) return true;  // Live data.
+          // Deleted but possibly still referenced by a newer deduplicated
+          // version (Figure 2, top right).
+          return IsReferent(rec.key, rec.header.version);
+        },
+        /*relocate=*/
+        [this](const aof::RecordAddress& old_addr,
+               const aof::RecordAddress& new_addr,
+               const aof::RecordView& rec) {
+          (void)old_addr;
+          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          if (entry != nullptr) entry->address = new_addr.Pack();
+        },
+        /*drop=*/
+        [this](const aof::RecordAddress& old_addr,
+               const aof::RecordView& rec) {
+          if (rec.is_tombstone()) return;
+          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          if (entry != nullptr &&
+              aof::RecordAddress::Unpack(entry->address) == old_addr &&
+              entry->deleted) {
+            // Deleted with no referent: remove the item from the skip list.
+            mem_->Purge(entry);
+          }
+        });
+    if (!s.ok()) return s;
+  }
+  ++stats_.gc_invocations;
+
+  // The skip list never physically unlinks nodes; once purged ghosts
+  // dominate, rebuild a dense index so memory stays proportional to live
+  // entries (Section 2.1's "sufficient memory space" invariant).
+  if (mem_->total_count() > 4096 &&
+      mem_->live_count() * 2 < mem_->total_count()) {
+    auto fresh = std::make_unique<MemIndex>();
+    mem_->CompactInto(fresh.get());
+    mem_ = std::move(fresh);
+  }
+
+  // Relocations make any existing checkpoint's addresses stale.
+  return InvalidateCheckpoint();
+}
+
+Status QinDb::InvalidateCheckpoint() {
+  checkpoint_valid_ = false;
+  if (env_->FileExists(kCheckpointName)) {
+    return env_->DeleteFile(kCheckpointName);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery and checkpointing
+// ---------------------------------------------------------------------------
+
+Status QinDb::RecoverFromScan(uint32_t min_segment) {
+  return aof_->Scan(
+      [this](const aof::RecordAddress& addr, const aof::RecordView& rec) {
+        if (rec.is_tombstone()) {
+          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          if (entry != nullptr && !entry->deleted) {
+            entry->deleted = true;
+            ApplyDeleteAccounting(entry);
+          }
+          aof_->MarkDead(addr, aof::RecordExtent(rec.key.size(), 0));
+          return true;
+        }
+        MemEntry* old = mem_->FindExact(rec.key, rec.header.version);
+        if (old != nullptr) {
+          aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
+                         EntryExtent(old));
+        }
+        mem_->Insert(rec.key, rec.header.version, addr.Pack(),
+                     rec.header.value_len, rec.is_dedup());
+        return true;
+      },
+      min_segment);
+}
+
+Status QinDb::Checkpoint() {
+  Status s = aof_->SealActive();
+  if (!s.ok()) return s;
+
+  std::string blob;
+  PutFixed64(&blob, kCheckpointMagic);
+  PutFixed32(&blob, aof_->active_segment());
+  const std::map<uint32_t, aof::SegmentMeta> metas = aof_->SegmentMetas();
+  PutVarint64(&blob, metas.size());
+  for (const auto& [id, meta] : metas) {
+    PutFixed32(&blob, id);
+    PutVarint64(&blob, meta.total_bytes);
+    PutVarint64(&blob, meta.live_bytes);
+  }
+  PutVarint64(&blob, mem_->live_count());
+  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+    const MemEntry* e = it.entry();
+    PutLengthPrefixedSlice(&blob, e->user_key());
+    PutVarint64(&blob, e->version);
+    PutFixed64(&blob, e->address);
+    PutVarint32(&blob, e->value_size);
+    uint8_t flags = 0;
+    if (e->dedup) flags |= kCkptDedup;
+    if (e->deleted) flags |= kCkptDeleted;
+    blob.push_back(static_cast<char>(flags));
+  }
+  PutFixed32(&blob, crc32c::Mask(crc32c::Value(blob.data(), blob.size())));
+
+  if (env_->FileExists(kCheckpointTemp)) {
+    s = env_->DeleteFile(kCheckpointTemp);
+    if (!s.ok()) return s;
+  }
+  Result<std::unique_ptr<ssd::WritableFile>> file =
+      env_->NewWritableFile(kCheckpointTemp);
+  if (!file.ok()) return file.status();
+  s = (*file)->Append(blob);
+  if (!s.ok()) return s;
+  s = (*file)->Close();
+  if (!s.ok()) return s;
+  s = env_->RenameFile(kCheckpointTemp, kCheckpointName);
+  if (!s.ok()) return s;
+  checkpoint_valid_ = true;
+  return Status::OK();
+}
+
+Status QinDb::LoadCheckpoint(const std::string& name, bool* loaded,
+                             std::map<uint32_t, aof::SegmentMeta>* metas,
+                             uint32_t* next_segment) {
+  *loaded = false;
+  Result<uint64_t> size = env_->GetFileSize(name);
+  if (!size.ok()) return size.status();
+  Result<std::unique_ptr<ssd::RandomAccessFile>> file =
+      env_->NewRandomAccessFile(name);
+  if (!file.ok()) return file.status();
+  std::string blob;
+  Status s = (*file)->Read(0, *size, &blob);
+  if (!s.ok()) return s;
+
+  if (blob.size() < 16) return Status::Corruption("checkpoint too small");
+  const uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(blob.data() + blob.size() - 4));
+  const uint32_t actual_crc = crc32c::Value(blob.data(), blob.size() - 4);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+
+  Slice in(blob.data(), blob.size() - 4);
+  if (DecodeFixed64(in.data()) != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  in.remove_prefix(8);
+  *next_segment = DecodeFixed32(in.data());
+  in.remove_prefix(4);
+
+  uint64_t meta_count = 0;
+  if (!GetVarint64(&in, &meta_count)) return Status::Corruption("metas");
+  for (uint64_t i = 0; i < meta_count; ++i) {
+    if (in.size() < 4) return Status::Corruption("meta id");
+    const uint32_t id = DecodeFixed32(in.data());
+    in.remove_prefix(4);
+    aof::SegmentMeta meta;
+    if (!GetVarint64(&in, &meta.total_bytes) ||
+        !GetVarint64(&in, &meta.live_bytes)) {
+      return Status::Corruption("meta bytes");
+    }
+    (*metas)[id] = meta;
+  }
+
+  // Entries are stashed raw and applied after the AOF manager opens.
+  pending_checkpoint_.assign(in.data(), in.size());
+  *loaded = true;
+  return Status::OK();
+}
+
+Status QinDb::ApplyCheckpointEntries() {
+  Slice in(pending_checkpoint_);
+  uint64_t count = 0;
+  if (!GetVarint64(&in, &count)) return Status::Corruption("entry count");
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice key;
+    uint64_t version = 0;
+    uint32_t value_size = 0;
+    if (!GetLengthPrefixedSlice(&in, &key) || !GetVarint64(&in, &version)) {
+      return Status::Corruption("entry key/version");
+    }
+    if (in.size() < 8) return Status::Corruption("entry address");
+    const uint64_t address = DecodeFixed64(in.data());
+    in.remove_prefix(8);
+    if (!GetVarint32(&in, &value_size) || in.empty()) {
+      return Status::Corruption("entry value size");
+    }
+    const auto flags = static_cast<uint8_t>(in[0]);
+    in.remove_prefix(1);
+    MemEntry* entry = mem_->Insert(key, version, address, value_size,
+                                   (flags & kCkptDedup) != 0);
+    entry->deleted = (flags & kCkptDeleted) != 0;
+  }
+  pending_checkpoint_.clear();
+  return Status::OK();
+}
+
+}  // namespace directload::qindb

@@ -1,0 +1,225 @@
+#ifndef DIRECTLOAD_QINDB_QINDB_H_
+#define DIRECTLOAD_QINDB_QINDB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "aof/aof_manager.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "memtable/mem_index.h"
+#include "ssd/env.h"
+
+namespace directload::qindb {
+
+struct QinDbOptions {
+  aof::AofOptions aof;
+
+  /// Defer AOF GC while reads are in flight, unless disk usage crosses
+  /// `gc_space_pressure` (fraction of device capacity). This is the paper's
+  /// "GC will be deferred if there are ongoing reads and free disk space".
+  bool defer_gc_during_reads = true;
+  double gc_space_pressure = 0.85;
+
+  /// Periodic checkpointing ("the memtable ... is checkpointed
+  /// periodically", Section 2.1): after this many ingested bytes a
+  /// checkpoint is written automatically. Zero disables it.
+  uint64_t checkpoint_interval_bytes = 0;
+
+  /// Run the lazy GC opportunistically at write boundaries. Disable to
+  /// drive GC manually (benchmarks that isolate GC cost do this).
+  bool auto_gc = true;
+};
+
+struct QinDbStats {
+  uint64_t puts = 0;
+  uint64_t dedup_puts = 0;  // PUTs whose value was removed by Bifrost.
+  uint64_t gets = 0;
+  uint64_t traceback_gets = 0;  // GETs resolved through older versions.
+  uint64_t dels = 0;
+  uint64_t gc_invocations = 0;  // MaybeGc calls that collected something.
+  uint64_t gc_deferrals = 0;    // Victims existed but GC was deferred.
+
+  /// Application-level ingested bytes (keys + values of PUTs). This is the
+  /// "User Write" of the paper's Figure 5.
+  uint64_t user_bytes_ingested = 0;
+};
+
+/// QinDB: the paper's per-node key-value storage engine (Section 2.3).
+/// Keys are versioned; the memory-resident skip list maps (key, version) to
+/// record offsets in append-only files; the regular operations are mutated
+/// to cope with deduplicated (value-less) pairs:
+///
+///   * Put appends the record — value or NULL — and inserts a memtable item
+///     carrying the `r` (dedup) flag.
+///   * Get reads the value through the memtable offset; for deduplicated
+///     items it *tracebacks* to the newest older version that still carries
+///     a value.
+///   * Del only sets the `d` flag and updates the GC occupancy table; space
+///     is reclaimed by the lazy AOF GC, which preserves deleted records that
+///     are still referenced by later deduplicated versions (referents).
+///
+/// The engine is single-threaded; the paper's writer threads are logical
+/// streams multiplexed by the caller.
+class QinDb {
+ public:
+  /// Opens (or recovers) an engine over `env`. If AOF segments exist, the
+  /// memtable and GC table are rebuilt — from the checkpoint plus the
+  /// post-checkpoint segment suffix when a valid checkpoint is present,
+  /// otherwise by scanning the entire AOF space (the paper's recovery
+  /// story).
+  static Result<std::unique_ptr<QinDb>> Open(ssd::SsdEnv* env,
+                                             const QinDbOptions& options);
+
+  QinDb(const QinDb&) = delete;
+  QinDb& operator=(const QinDb&) = delete;
+
+  /// PUT(<k/t, v>). `dedup` marks a pair whose value Bifrost removed; the
+  /// record is appended with a NULL value and the `r` flag set.
+  Status Put(const Slice& key, uint64_t version, const Slice& value,
+             bool dedup = false);
+
+  /// GET(k/t): the value of `key` at exactly `version`, tracing back through
+  /// older versions when the pair was deduplicated.
+  Result<std::string> Get(const Slice& key, uint64_t version);
+
+  /// The value of the newest non-deleted version of `key`.
+  Result<std::string> GetLatest(const Slice& key);
+
+  /// DEL(k/t): flags the pair deleted; physical reclamation is lazy.
+  Status Del(const Slice& key, uint64_t version);
+
+  /// Flags every pair of `version` deleted (the paper's deletion thread
+  /// dropping the oldest of the four retained versions). Returns the number
+  /// of pairs flagged.
+  Result<uint64_t> DropVersion(uint64_t version);
+
+  /// Inventory of live (non-deleted) pairs per version — what the deletion
+  /// thread consults to decide which version to retire ("at most four
+  /// versions of index data persist", Section 1.1.2).
+  std::map<uint64_t, uint64_t> VersionCounts() const;
+
+  /// Runs the lazy GC policy: collects victim segments (occupancy <=
+  /// threshold) unless deferred by ongoing reads with free space remaining.
+  Status MaybeGc();
+
+  /// Collects all victims regardless of the deferral policy.
+  Status ForceGc();
+
+  /// Seals the active segment and persists a checkpoint of the memtable and
+  /// GC table, so a subsequent Open avoids the full AOF scan.
+  Status Checkpoint();
+
+  /// Integrity scrub: verifies that every live memtable item points at a
+  /// checksum-valid record carrying the right key/version, and that every
+  /// live deduplicated item can resolve a value. The online analogue of the
+  /// transmission-side checksum verification (Section 3) for data at rest.
+  struct ScrubReport {
+    uint64_t entries_checked = 0;
+    uint64_t bytes_verified = 0;
+    uint64_t damaged_entries = 0;       // Checksum / identity failures.
+    uint64_t unresolvable_dedups = 0;   // Broken traceback chains.
+
+    bool clean() const {
+      return damaged_entries == 0 && unresolvable_dedups == 0;
+    }
+  };
+  Result<ScrubReport> Scrub();
+
+  /// Ordered range scan over the live pairs of one version — the "advanced
+  /// feature" hash-based flash stores give up (Section 6.1) and QinDB's
+  /// sorted memtable provides for free. The scanner sees the newest
+  /// non-deleted version of each key at or below `version`, resolving
+  /// deduplicated pairs by traceback.
+  class Scanner {
+   public:
+    bool Valid() const { return valid_; }
+    /// Positions at the first key >= `start`.
+    void Seek(const Slice& start);
+    void SeekToFirst() { Seek(Slice()); }
+    void Next();
+    Slice key() const { return current_->user_key(); }
+    uint64_t version() const { return current_->version; }
+    /// Reads the value (possibly via traceback). Device I/O happens here.
+    Result<std::string> value() const;
+
+   private:
+    friend class QinDb;
+    Scanner(QinDb* db, uint64_t version);
+    /// Walks key runs until one has a visible entry at `version_`.
+    void FindVisibleEntry();
+
+    QinDb* db_;
+    uint64_t version_;
+    MemIndex::Iterator it_;
+    MemEntry* current_ = nullptr;
+    bool valid_ = false;
+  };
+
+  /// Scanner over the state at `version` (UINT64_MAX = newest of each key).
+  Scanner NewScanner(uint64_t version = UINT64_MAX);
+
+  /// RAII guard marking a logical read stream in flight (GC deferral).
+  class ReadGuard {
+   public:
+    explicit ReadGuard(QinDb* db) : db_(db) { ++db_->reads_in_flight_; }
+    ~ReadGuard() { --db_->reads_in_flight_; }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    QinDb* db_;
+  };
+
+  const QinDbStats& stats() const { return stats_; }
+  const aof::GcStats& gc_stats() const { return aof_->gc_stats(); }
+  const MemIndex& memtable() const { return *mem_; }
+  aof::AofManager& aof() { return *aof_; }
+  ssd::SsdEnv* env() { return env_; }
+
+  /// On-device footprint (Figure 7's storage occupation).
+  uint64_t DiskBytes() const { return env_->TotalFileBytes(); }
+
+ private:
+  QinDb(ssd::SsdEnv* env, const QinDbOptions& options);
+
+  Status RecoverFromScan(uint32_t min_segment);
+  Status LoadCheckpoint(const std::string& name, bool* loaded,
+                        std::map<uint32_t, aof::SegmentMeta>* metas,
+                        uint32_t* next_segment);
+  Status ApplyCheckpointEntries();
+  Status InvalidateCheckpoint();
+
+  /// Reads the value bytes of a memtable entry's record.
+  Result<std::string> ReadEntryValue(const MemEntry* entry);
+
+  /// True if the record of (key, version) is still referenced by a newer,
+  /// live, deduplicated version (Figure 2's "invalid key-value pairs that
+  /// are referred by later version keys").
+  bool IsReferent(const Slice& key, uint64_t version) const;
+
+  /// Marks the record behind `entry` dead in the occupancy table unless it
+  /// is still a referent.
+  void MarkDeadUnlessReferent(MemEntry* entry);
+
+  void ApplyDeleteAccounting(MemEntry* entry);
+
+  Status CollectVictims();
+
+  ssd::SsdEnv* env_;
+  QinDbOptions options_;
+  std::unique_ptr<MemIndex> mem_;
+  std::unique_ptr<aof::AofManager> aof_;
+  QinDbStats stats_;
+  int reads_in_flight_ = 0;
+  uint64_t bytes_at_last_checkpoint_ = 0;
+  bool checkpoint_valid_ = false;
+  std::string pending_checkpoint_;  // Deserialized entries awaiting apply.
+};
+
+}  // namespace directload::qindb
+
+#endif  // DIRECTLOAD_QINDB_QINDB_H_

@@ -1,0 +1,130 @@
+#include "ssd/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace directload::ssd {
+
+SsdDevice::SsdDevice(const Geometry& geometry, const LatencyModel& latency,
+                     SimClock* clock)
+    : geometry_(geometry),
+      latency_(latency),
+      clock_(clock),
+      states_(geometry.total_pages(), PageState::kErased),
+      valid_in_block_(geometry.num_blocks, 0),
+      erase_counts_(geometry.num_blocks, 0),
+      block_data_(geometry.num_blocks) {}
+
+uint32_t SsdDevice::MaxEraseCount() const {
+  uint32_t max = 0;
+  for (uint32_t count : erase_counts_) max = std::max(max, count);
+  return max;
+}
+
+double SsdDevice::MeanEraseCount() const {
+  uint64_t total = 0;
+  for (uint32_t count : erase_counts_) total += count;
+  return static_cast<double>(total) / static_cast<double>(erase_counts_.size());
+}
+
+void SsdDevice::Occupy(uint64_t service_micros) {
+  const uint64_t start = std::max(clock_->NowMicros(), busy_until_micros_);
+  busy_until_micros_ = start + service_micros;
+  clock_->AdvanceTo(busy_until_micros_);
+}
+
+Status SsdDevice::ProgramPage(uint64_t ppa, const Slice& data, bool is_gc) {
+  if (ppa >= states_.size()) {
+    return Status::InvalidArgument("page address out of range");
+  }
+  if (data.size() > geometry_.page_size) {
+    return Status::InvalidArgument("payload exceeds page size");
+  }
+  if (states_[ppa] != PageState::kErased) {
+    return Status::IOError("programming a non-erased page");
+  }
+  const uint32_t block = static_cast<uint32_t>(ppa / geometry_.pages_per_block);
+  if (block_data_[block] == nullptr) {
+    block_data_[block] = std::make_unique<char[]>(geometry_.block_size());
+  }
+  char* dst = block_data_[block].get() +
+              (ppa % geometry_.pages_per_block) * geometry_.page_size;
+  std::memset(dst, 0, geometry_.page_size);
+  std::memcpy(dst, data.data(), data.size());
+  states_[ppa] = PageState::kValid;
+  ++valid_in_block_[block];
+  if (is_gc) {
+    ++stats_.gc_pages_migrated;
+  } else {
+    ++stats_.host_pages_written;
+  }
+  Occupy(latency_.page_program_us);
+  return Status::OK();
+}
+
+Status SsdDevice::ReadPage(uint64_t ppa, std::string* out, bool is_gc) {
+  if (ppa >= states_.size()) {
+    return Status::InvalidArgument("page address out of range");
+  }
+  const uint32_t block = static_cast<uint32_t>(ppa / geometry_.pages_per_block);
+  out->resize(geometry_.page_size);
+  if (block_data_[block] == nullptr || states_[ppa] == PageState::kErased) {
+    std::memset(out->data(), 0, geometry_.page_size);
+  } else {
+    const char* src = block_data_[block].get() +
+                      (ppa % geometry_.pages_per_block) * geometry_.page_size;
+    std::memcpy(out->data(), src, geometry_.page_size);
+  }
+  if (!is_gc) {
+    ++stats_.host_pages_read;
+  }
+  Occupy(latency_.page_read_us);
+  return Status::OK();
+}
+
+Status SsdDevice::InvalidatePage(uint64_t ppa) {
+  if (ppa >= states_.size()) {
+    return Status::InvalidArgument("page address out of range");
+  }
+  if (states_[ppa] != PageState::kValid) {
+    return Status::IOError("invalidating a page that is not valid");
+  }
+  states_[ppa] = PageState::kInvalid;
+  --valid_in_block_[ppa / geometry_.pages_per_block];
+  return Status::OK();
+}
+
+Status SsdDevice::FlipByteForTesting(uint64_t ppa, uint32_t offset_in_page) {
+  if (ppa >= states_.size() || offset_in_page >= geometry_.page_size) {
+    return Status::InvalidArgument("address out of range");
+  }
+  const uint32_t block = static_cast<uint32_t>(ppa / geometry_.pages_per_block);
+  if (block_data_[block] == nullptr || states_[ppa] != PageState::kValid) {
+    return Status::InvalidArgument("page holds no data");
+  }
+  char* p = block_data_[block].get() +
+            (ppa % geometry_.pages_per_block) * geometry_.page_size +
+            offset_in_page;
+  *p = static_cast<char>(*p ^ 0x40);
+  return Status::OK();
+}
+
+Status SsdDevice::EraseBlock(uint32_t block) {
+  if (block >= geometry_.num_blocks) {
+    return Status::InvalidArgument("block out of range");
+  }
+  if (valid_in_block_[block] != 0) {
+    return Status::IOError("erasing a block that still holds valid pages");
+  }
+  const uint64_t first = static_cast<uint64_t>(block) * geometry_.pages_per_block;
+  for (uint32_t i = 0; i < geometry_.pages_per_block; ++i) {
+    states_[first + i] = PageState::kErased;
+  }
+  block_data_[block].reset();
+  ++stats_.blocks_erased;
+  ++erase_counts_[block];
+  Occupy(latency_.block_erase_us);
+  return Status::OK();
+}
+
+}  // namespace directload::ssd

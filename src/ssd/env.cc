@@ -1,0 +1,554 @@
+#include "ssd/env.h"
+
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "ssd/ftl.h"
+#include "ssd/native.h"
+
+namespace directload::ssd {
+
+std::string_view InterfaceModeName(InterfaceMode mode) {
+  switch (mode) {
+    case InterfaceMode::kPageMappedFtl:
+      return "page-mapped-ftl";
+    case InterfaceMode::kNativeBlock:
+      return "native-block";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Page-mapped FTL backend
+// ---------------------------------------------------------------------------
+
+struct FtlFileMeta {
+  std::vector<uint64_t> lpas;  // One logical page per written page, in order.
+  uint64_t size = 0;           // Appended bytes (incl. unsynced tail).
+  uint64_t persisted = 0;      // Bytes readable from the device.
+  bool tail_on_disk = false;   // lpas.back() holds a padded partial page.
+  bool has_writer = false;
+};
+
+class FtlEnv;
+
+class FtlWritableFile final : public WritableFile {
+ public:
+  FtlWritableFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+  ~FtlWritableFile() override { Close(); }
+
+  Status Append(const Slice& data) override;
+  Status Sync() override;
+  Status Close() override;
+  uint64_t Size() const override { return meta_->size; }
+  uint64_t PersistedSize() const override { return meta_->persisted; }
+
+ private:
+  Status FlushFullPages();
+
+  FtlEnv* env_;
+  std::shared_ptr<FtlFileMeta> meta_;
+  std::string tail_;
+  bool tail_dirty_ = false;
+  bool closed_ = false;
+};
+
+class FtlRandomAccessFile final : public RandomAccessFile {
+ public:
+  FtlRandomAccessFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override;
+  uint64_t Size() const override { return meta_->persisted; }
+
+ private:
+  FtlEnv* env_;
+  std::shared_ptr<FtlFileMeta> meta_;
+};
+
+class FtlEnv final : public SsdEnv {
+ public:
+  FtlEnv(const Geometry& geometry, const LatencyModel& latency, SimClock* clock)
+      : ftl_(geometry, latency, clock), clock_(clock) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& name) override {
+    auto it = files_.find(name);
+    if (it != files_.end()) {
+      return Status::InvalidArgument("file already exists: " + name);
+    }
+    auto meta = std::make_shared<FtlFileMeta>();
+    meta->has_writer = true;
+    files_[name] = meta;
+    return {std::unique_ptr<WritableFile>(new FtlWritableFile(this, meta))};
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& name) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    return {std::unique_ptr<RandomAccessFile>(
+        new FtlRandomAccessFile(this, it->second))};
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    if (it->second->has_writer) {
+      return Status::Busy("file has an open writer: " + name);
+    }
+    for (uint64_t lpa : it->second->lpas) {
+      Status s = ftl_.Trim(lpa);
+      if (!s.ok()) return s;
+      free_lpas_.push_back(lpa);
+      --allocated_pages_;
+    }
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound(from);
+    if (files_.count(to) != 0) {
+      Status s = DeleteFile(to);
+      if (!s.ok()) return s;
+    }
+    files_[to] = it->second;
+    files_.erase(from);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) const override {
+    return files_.count(name) != 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& name) const override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    return it->second->size;
+  }
+
+  std::vector<std::string> ListFiles() const override {
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto& [name, meta] : files_) names.push_back(name);
+    return names;
+  }
+
+  uint64_t TotalFileBytes() const override {
+    return allocated_pages_ * ftl_.device().geometry().page_size;
+  }
+
+  uint64_t CapacityBytes() const override {
+    return ftl_.logical_pages() *
+           static_cast<uint64_t>(ftl_.device().geometry().page_size);
+  }
+
+  const SsdStats& stats() const override { return ftl_.stats(); }
+  const Geometry& geometry() const override {
+    return ftl_.device().geometry();
+  }
+  InterfaceMode mode() const override { return InterfaceMode::kPageMappedFtl; }
+  SimClock* clock() override { return clock_; }
+  uint64_t busy_until_micros() const override {
+    return ftl_.device().busy_until_micros();
+  }
+
+  Status CorruptFileByteForTesting(const std::string& name,
+                                   uint64_t offset) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    const FtlFileMeta& meta = *it->second;
+    const uint32_t page_size = geometry().page_size;
+    const uint64_t page_idx = offset / page_size;
+    if (offset >= meta.persisted || page_idx >= meta.lpas.size()) {
+      return Status::InvalidArgument("offset not persisted");
+    }
+    // Reach under the mapping: corrupt the physical copy in place.
+    const uint64_t lpa = meta.lpas[page_idx];
+    std::string page;
+    Status s = ftl_.Read(lpa, &page);
+    if (!s.ok()) return s;
+    // The FTL hides physical addresses; rewrite the page with one bit
+    // flipped (timing side effects are irrelevant for fault tests).
+    page[offset % page_size] =
+        static_cast<char>(page[offset % page_size] ^ 0x40);
+    return ftl_.Write(lpa, page);
+  }
+
+  void SimulateCrashForTesting() override {
+    for (auto& [name, meta] : files_) meta->has_writer = false;
+  }
+
+  Result<uint64_t> AllocateLpa() {
+    if (!free_lpas_.empty()) {
+      const uint64_t lpa = free_lpas_.front();
+      free_lpas_.pop_front();
+      ++allocated_pages_;
+      return lpa;
+    }
+    if (next_lpa_ >= ftl_.logical_pages()) {
+      return Status::NoSpace("logical capacity exhausted");
+    }
+    ++allocated_pages_;
+    return next_lpa_++;
+  }
+
+  FtlDevice& ftl() { return ftl_; }
+  void AccountAppend(size_t n) { host_bytes_appended_ += n; }
+
+ private:
+  FtlDevice ftl_;
+  SimClock* clock_;
+  std::map<std::string, std::shared_ptr<FtlFileMeta>> files_;
+  std::deque<uint64_t> free_lpas_;
+  uint64_t next_lpa_ = 0;
+  uint64_t allocated_pages_ = 0;
+};
+
+Status FtlWritableFile::Append(const Slice& data) {
+  if (closed_) return Status::InvalidArgument("file is closed");
+  env_->AccountAppend(data.size());
+  meta_->size += data.size();
+  tail_.append(data.data(), data.size());
+  tail_dirty_ = true;
+  return FlushFullPages();
+}
+
+Status FtlWritableFile::FlushFullPages() {
+  const uint32_t page_size = env_->geometry().page_size;
+  while (tail_.size() >= page_size) {
+    uint64_t lpa;
+    if (meta_->tail_on_disk) {
+      // The previously synced partial page is completed in place: the FTL
+      // redirects the overwrite, invalidating the old copy (this is the
+      // sync-amplification a conventional filesystem pays).
+      lpa = meta_->lpas.back();
+      meta_->tail_on_disk = false;
+    } else {
+      Result<uint64_t> alloc = env_->AllocateLpa();
+      if (!alloc.ok()) return alloc.status();
+      lpa = *alloc;
+      meta_->lpas.push_back(lpa);
+    }
+    Status s = env_->ftl().Write(lpa, Slice(tail_.data(), page_size));
+    if (!s.ok()) return s;
+    tail_.erase(0, page_size);
+    meta_->persisted =
+        static_cast<uint64_t>(meta_->lpas.size()) * page_size;
+  }
+  if (tail_.empty()) tail_dirty_ = false;
+  return Status::OK();
+}
+
+Status FtlWritableFile::Sync() {
+  if (closed_) return Status::InvalidArgument("file is closed");
+  if (tail_.empty() || !tail_dirty_) return Status::OK();
+  uint64_t lpa;
+  if (meta_->tail_on_disk) {
+    lpa = meta_->lpas.back();  // Rewrite the partial page in place.
+  } else {
+    Result<uint64_t> alloc = env_->AllocateLpa();
+    if (!alloc.ok()) return alloc.status();
+    lpa = *alloc;
+    meta_->lpas.push_back(lpa);
+    meta_->tail_on_disk = true;
+  }
+  Status s = env_->ftl().Write(lpa, tail_);  // Device zero-pads to the page.
+  if (!s.ok()) return s;
+  tail_dirty_ = false;
+  meta_->persisted = meta_->size;
+  return Status::OK();
+}
+
+Status FtlWritableFile::Close() {
+  if (closed_) return Status::OK();
+  Status s = Sync();
+  closed_ = true;
+  meta_->has_writer = false;
+  return s;
+}
+
+Status FtlRandomAccessFile::Read(uint64_t offset, size_t n,
+                                 std::string* out) const {
+  out->clear();
+  if (offset > meta_->persisted) {
+    return Status::InvalidArgument("read past persisted size");
+  }
+  const uint64_t end = std::min<uint64_t>(offset + n, meta_->persisted);
+  if (end == offset) return Status::OK();
+  const uint32_t page_size = env_->geometry().page_size;
+  out->reserve(end - offset);
+  std::string page;
+  for (uint64_t page_idx = offset / page_size; page_idx * page_size < end;
+       ++page_idx) {
+    Status s = env_->ftl().Read(meta_->lpas[page_idx], &page);
+    if (!s.ok()) return s;
+    const uint64_t page_start = page_idx * page_size;
+    const uint64_t lo = std::max<uint64_t>(offset, page_start);
+    const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
+    out->append(page.data() + (lo - page_start), hi - lo);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Native-block backend
+// ---------------------------------------------------------------------------
+
+struct NativeFileMeta {
+  std::vector<uint32_t> blocks;  // Owned erase blocks, in append order.
+  uint64_t size = 0;             // Appended bytes (incl. unflushed tail).
+  uint64_t persisted = 0;        // Bytes readable from the device.
+  uint32_t pages = 0;            // Pages programmed so far.
+  bool has_writer = false;
+};
+
+class NativeEnv;
+
+class NativeWritableFile final : public WritableFile {
+ public:
+  NativeWritableFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+  ~NativeWritableFile() override { Close(); }
+
+  Status Append(const Slice& data) override;
+  Status Sync() override { return Status::OK(); }  // See class comment.
+  Status Close() override;
+  uint64_t Size() const override { return meta_->size; }
+  uint64_t PersistedSize() const override { return meta_->persisted; }
+
+ private:
+  Status WritePage(const Slice& page);
+
+  NativeEnv* env_;
+  std::shared_ptr<NativeFileMeta> meta_;
+  std::string tail_;
+  bool closed_ = false;
+};
+
+class NativeRandomAccessFile final : public RandomAccessFile {
+ public:
+  NativeRandomAccessFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override;
+  uint64_t Size() const override { return meta_->persisted; }
+
+ private:
+  NativeEnv* env_;
+  std::shared_ptr<NativeFileMeta> meta_;
+};
+
+class NativeEnv final : public SsdEnv {
+ public:
+  NativeEnv(const Geometry& geometry, const LatencyModel& latency,
+            SimClock* clock)
+      : native_(geometry, latency, clock), clock_(clock) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& name) override {
+    if (files_.count(name) != 0) {
+      return Status::InvalidArgument("file already exists: " + name);
+    }
+    auto meta = std::make_shared<NativeFileMeta>();
+    meta->has_writer = true;
+    files_[name] = meta;
+    return {std::unique_ptr<WritableFile>(new NativeWritableFile(this, meta))};
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& name) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    return {std::unique_ptr<RandomAccessFile>(
+        new NativeRandomAccessFile(this, it->second))};
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    if (it->second->has_writer) {
+      return Status::Busy("file has an open writer: " + name);
+    }
+    // Block-aligned deletion: every owned block is erased directly; there is
+    // nothing for a device GC to migrate (the paper's hardware-level win).
+    for (uint32_t block : it->second->blocks) {
+      Status s = native_.ReleaseBlock(block);
+      if (!s.ok()) return s;
+      --allocated_blocks_;
+    }
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound(from);
+    if (files_.count(to) != 0) {
+      Status s = DeleteFile(to);
+      if (!s.ok()) return s;
+    }
+    files_[to] = it->second;
+    files_.erase(from);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) const override {
+    return files_.count(name) != 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& name) const override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    return it->second->size;
+  }
+
+  std::vector<std::string> ListFiles() const override {
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto& [name, meta] : files_) names.push_back(name);
+    return names;
+  }
+
+  uint64_t TotalFileBytes() const override {
+    return allocated_blocks_ * native_.geometry().block_size();
+  }
+
+  uint64_t CapacityBytes() const override {
+    return native_.geometry().physical_bytes();
+  }
+
+  const SsdStats& stats() const override { return native_.stats(); }
+  const Geometry& geometry() const override { return native_.geometry(); }
+  InterfaceMode mode() const override { return InterfaceMode::kNativeBlock; }
+  SimClock* clock() override { return clock_; }
+  uint64_t busy_until_micros() const override {
+    return native_.device().busy_until_micros();
+  }
+
+  Status CorruptFileByteForTesting(const std::string& name,
+                                   uint64_t offset) override {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    const NativeFileMeta& meta = *it->second;
+    const uint32_t page_size = geometry().page_size;
+    const uint32_t pages_per_block = geometry().pages_per_block;
+    const uint64_t page_idx = offset / page_size;
+    if (offset >= meta.persisted) {
+      return Status::InvalidArgument("offset not persisted");
+    }
+    const uint32_t block =
+        meta.blocks[static_cast<size_t>(page_idx / pages_per_block)];
+    const uint64_t ppa =
+        static_cast<uint64_t>(block) * pages_per_block +
+        page_idx % pages_per_block;
+    return native_.device().FlipByteForTesting(
+        ppa, static_cast<uint32_t>(offset % page_size));
+  }
+
+  void SimulateCrashForTesting() override {
+    for (auto& [name, meta] : files_) meta->has_writer = false;
+  }
+
+  NativeSsd& native() { return native_; }
+  void AccountAppend(size_t n) { host_bytes_appended_ += n; }
+  void AccountBlock() { ++allocated_blocks_; }
+
+ private:
+  NativeSsd native_;
+  SimClock* clock_;
+  std::map<std::string, std::shared_ptr<NativeFileMeta>> files_;
+  uint64_t allocated_blocks_ = 0;
+};
+
+Status NativeWritableFile::WritePage(const Slice& page) {
+  const uint32_t pages_per_block = env_->geometry().pages_per_block;
+  if (meta_->pages % pages_per_block == 0) {
+    Result<uint32_t> block = env_->native().AllocateBlock();
+    if (!block.ok()) return block.status();
+    meta_->blocks.push_back(*block);
+    env_->AccountBlock();
+  }
+  Result<uint32_t> page_idx =
+      env_->native().AppendPage(meta_->blocks.back(), page);
+  if (!page_idx.ok()) return page_idx.status();
+  ++meta_->pages;
+  meta_->persisted =
+      std::min<uint64_t>(meta_->size, static_cast<uint64_t>(meta_->pages) *
+                                          env_->geometry().page_size);
+  return Status::OK();
+}
+
+Status NativeWritableFile::Append(const Slice& data) {
+  if (closed_) return Status::InvalidArgument("file is closed");
+  env_->AccountAppend(data.size());
+  meta_->size += data.size();
+  tail_.append(data.data(), data.size());
+  const uint32_t page_size = env_->geometry().page_size;
+  while (tail_.size() >= page_size) {
+    Status s = WritePage(Slice(tail_.data(), page_size));
+    if (!s.ok()) return s;
+    tail_.erase(0, page_size);
+  }
+  return Status::OK();
+}
+
+Status NativeWritableFile::Close() {
+  if (closed_) return Status::OK();
+  if (!tail_.empty()) {
+    // Pad the final page: native writes never rewrite a programmed page.
+    Status s = WritePage(tail_);
+    if (!s.ok()) return s;
+    tail_.clear();
+  }
+  meta_->persisted = meta_->size;
+  closed_ = true;
+  meta_->has_writer = false;
+  return Status::OK();
+}
+
+Status NativeRandomAccessFile::Read(uint64_t offset, size_t n,
+                                    std::string* out) const {
+  out->clear();
+  if (offset > meta_->persisted) {
+    return Status::InvalidArgument("read past persisted size");
+  }
+  const uint64_t end = std::min<uint64_t>(offset + n, meta_->persisted);
+  if (end == offset) return Status::OK();
+  const uint32_t page_size = env_->geometry().page_size;
+  const uint32_t pages_per_block = env_->geometry().pages_per_block;
+  out->reserve(end - offset);
+  std::string page;
+  for (uint64_t page_idx = offset / page_size; page_idx * page_size < end;
+       ++page_idx) {
+    const uint32_t block =
+        meta_->blocks[static_cast<size_t>(page_idx / pages_per_block)];
+    Status s = env_->native().ReadPage(
+        block, static_cast<uint32_t>(page_idx % pages_per_block), &page);
+    if (!s.ok()) return s;
+    const uint64_t page_start = page_idx * page_size;
+    const uint64_t lo = std::max<uint64_t>(offset, page_start);
+    const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
+    out->append(page.data() + (lo - page_start), hi - lo);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::unique_ptr<SsdEnv> NewSsdEnv(InterfaceMode mode, const Geometry& geometry,
+                                  const LatencyModel& latency,
+                                  SimClock* clock) {
+  if (mode == InterfaceMode::kPageMappedFtl) {
+    return std::make_unique<FtlEnv>(geometry, latency, clock);
+  }
+  return std::make_unique<NativeEnv>(geometry, latency, clock);
+}
+
+}  // namespace directload::ssd

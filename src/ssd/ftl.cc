@@ -1,0 +1,141 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+
+namespace directload::ssd {
+
+FtlDevice::FtlDevice(const Geometry& geometry, const LatencyModel& latency,
+                     SimClock* clock)
+    : device_(geometry, latency, clock) {
+  const auto usable_blocks = static_cast<uint32_t>(
+      static_cast<double>(geometry.num_blocks) * (1.0 - geometry.overprovision));
+  logical_pages_ =
+      static_cast<uint64_t>(usable_blocks) * geometry.pages_per_block;
+  map_.assign(logical_pages_, kUnmapped);
+  reverse_.assign(geometry.total_pages(), kUnmapped);
+  is_free_.assign(geometry.num_blocks, true);
+  for (uint32_t b = 0; b < geometry.num_blocks; ++b) free_blocks_.push_back(b);
+}
+
+Result<uint64_t> FtlDevice::NextProgramSlot(bool for_gc) {
+  uint32_t* block = for_gc ? &gc_block_ : &active_block_;
+  uint32_t* next_page = for_gc ? &gc_next_page_ : &active_next_page_;
+  const uint32_t pages_per_block = device_.geometry().pages_per_block;
+  if (*block == UINT32_MAX || *next_page >= pages_per_block) {
+    if (!for_gc && free_blocks_.size() <= kGcLowWatermark) {
+      Status s = RunDeviceGc();
+      if (!s.ok()) return s;
+    }
+    if (free_blocks_.empty()) {
+      return Status::NoSpace("FTL out of free blocks");
+    }
+    *block = free_blocks_.front();
+    free_blocks_.pop_front();
+    is_free_[*block] = false;
+    *next_page = 0;
+  }
+  const uint64_t ppa =
+      static_cast<uint64_t>(*block) * pages_per_block + (*next_page);
+  ++(*next_page);
+  return ppa;
+}
+
+Status FtlDevice::Write(uint64_t lpa, const Slice& data) {
+  if (lpa >= logical_pages_) {
+    return Status::InvalidArgument("logical page out of range");
+  }
+  // Invalidate the previous physical copy first so device GC always has
+  // reclaimable pages when the write needs a fresh slot.
+  if (map_[lpa] != kUnmapped) {
+    Status s = device_.InvalidatePage(map_[lpa]);
+    if (!s.ok()) return s;
+    reverse_[map_[lpa]] = kUnmapped;
+    map_[lpa] = kUnmapped;
+  }
+  Result<uint64_t> slot = NextProgramSlot(/*for_gc=*/false);
+  if (!slot.ok()) return slot.status();
+  Status s = device_.ProgramPage(*slot, data, /*is_gc=*/false);
+  if (!s.ok()) return s;
+  map_[lpa] = *slot;
+  reverse_[*slot] = lpa;
+  return Status::OK();
+}
+
+Status FtlDevice::Read(uint64_t lpa, std::string* out) {
+  if (lpa >= logical_pages_) {
+    return Status::InvalidArgument("logical page out of range");
+  }
+  if (map_[lpa] == kUnmapped) {
+    out->assign(device_.geometry().page_size, '\0');
+    return Status::OK();
+  }
+  return device_.ReadPage(map_[lpa], out, /*is_gc=*/false);
+}
+
+Status FtlDevice::Trim(uint64_t lpa) {
+  if (lpa >= logical_pages_) {
+    return Status::InvalidArgument("logical page out of range");
+  }
+  if (map_[lpa] == kUnmapped) return Status::OK();
+  Status s = device_.InvalidatePage(map_[lpa]);
+  if (!s.ok()) return s;
+  reverse_[map_[lpa]] = kUnmapped;
+  map_[lpa] = kUnmapped;
+  return Status::OK();
+}
+
+Status FtlDevice::RunDeviceGc() {
+  const uint32_t pages_per_block = device_.geometry().pages_per_block;
+  while (free_blocks_.size() < kGcHighWatermark) {
+    // Greedy victim selection: sealed block with the fewest valid pages.
+    uint32_t victim = UINT32_MAX;
+    uint32_t victim_valid = pages_per_block;  // Fully-valid blocks are useless.
+    for (uint32_t b = 0; b < device_.geometry().num_blocks; ++b) {
+      if (is_free_[b] || b == active_block_ || b == gc_block_) continue;
+      const uint32_t valid = device_.ValidPagesInBlock(b);
+      if (valid < victim_valid) {
+        victim = b;
+        victim_valid = valid;
+        if (valid == 0) break;
+      }
+    }
+    if (victim == UINT32_MAX) {
+      // Every candidate is fully valid: the device is genuinely full.
+      return free_blocks_.empty() ? Status::NoSpace("device full") : Status::OK();
+    }
+    Status s = MigrateAndErase(victim);
+    if (!s.ok()) return s;
+    ++gc_runs_;
+  }
+  return Status::OK();
+}
+
+Status FtlDevice::MigrateAndErase(uint32_t victim) {
+  const uint32_t pages_per_block = device_.geometry().pages_per_block;
+  const uint64_t first =
+      static_cast<uint64_t>(victim) * pages_per_block;
+  std::string buf;
+  for (uint32_t i = 0; i < pages_per_block; ++i) {
+    const uint64_t ppa = first + i;
+    if (device_.page_state(ppa) != PageState::kValid) continue;
+    const uint64_t lpa = reverse_[ppa];
+    Status s = device_.ReadPage(ppa, &buf, /*is_gc=*/true);
+    if (!s.ok()) return s;
+    Result<uint64_t> slot = NextProgramSlot(/*for_gc=*/true);
+    if (!slot.ok()) return slot.status();
+    s = device_.ProgramPage(*slot, buf, /*is_gc=*/true);
+    if (!s.ok()) return s;
+    s = device_.InvalidatePage(ppa);
+    if (!s.ok()) return s;
+    map_[lpa] = *slot;
+    reverse_[*slot] = lpa;
+    reverse_[ppa] = kUnmapped;
+  }
+  Status s = device_.EraseBlock(victim);
+  if (!s.ok()) return s;
+  free_blocks_.push_back(victim);
+  is_free_[victim] = true;
+  return Status::OK();
+}
+
+}  // namespace directload::ssd

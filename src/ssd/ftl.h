@@ -1,0 +1,92 @@
+#ifndef DIRECTLOAD_SSD_FTL_H_
+#define DIRECTLOAD_SSD_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ssd/device.h"
+
+namespace directload::ssd {
+
+/// A conventional page-mapped flash translation layer: the host sees a flat
+/// logical page space and may overwrite or trim any logical page; the FTL
+/// redirects writes to erased pages and runs a greedy device-internal
+/// garbage collector when free blocks run low. This is the mode the paper's
+/// LevelDB baseline runs on, and the source of hardware-level write
+/// amplification (Figure 4).
+class FtlDevice {
+ public:
+  FtlDevice(const Geometry& geometry, const LatencyModel& latency,
+            SimClock* clock);
+
+  FtlDevice(const FtlDevice&) = delete;
+  FtlDevice& operator=(const FtlDevice&) = delete;
+
+  /// Logical pages exposed to the host: physical minus over-provisioning.
+  uint64_t logical_pages() const { return logical_pages_; }
+
+  /// Writes one page of data at logical page `lpa`, overwriting any previous
+  /// contents (the old physical page is invalidated; device GC reclaims it
+  /// later). May trigger device GC.
+  Status Write(uint64_t lpa, const Slice& data);
+
+  /// Reads logical page `lpa`. Never-written pages read as zeros.
+  Status Read(uint64_t lpa, std::string* out);
+
+  /// Discards logical page `lpa` (filesystem delete). The physical page is
+  /// invalidated; reclamation is deferred to device GC.
+  Status Trim(uint64_t lpa);
+
+  bool IsMapped(uint64_t lpa) const {
+    return lpa < logical_pages_ && map_[lpa] != kUnmapped;
+  }
+
+  const SsdStats& stats() const { return device_.stats(); }
+  SsdDevice& device() { return device_; }
+  const SsdDevice& device() const { return device_; }
+  uint32_t free_blocks() const { return static_cast<uint32_t>(free_blocks_.size()); }
+
+  /// Number of device-GC invocations so far (victim blocks reclaimed).
+  uint64_t gc_runs() const { return gc_runs_; }
+
+ private:
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+
+  /// Returns the next programmable physical page, opening a fresh block from
+  /// the free list when the active block fills. Runs device GC first when
+  /// the free list is at the low watermark.
+  Result<uint64_t> NextProgramSlot(bool for_gc);
+
+  /// Greedy GC: picks the non-active block with the fewest valid pages,
+  /// migrates them, erases it. Repeats until free blocks recover.
+  Status RunDeviceGc();
+
+  Status MigrateAndErase(uint32_t victim);
+
+  SsdDevice device_;
+  uint64_t logical_pages_;
+  std::vector<uint64_t> map_;      // lpa -> ppa
+  std::vector<uint64_t> reverse_;  // ppa -> lpa
+  std::vector<bool> is_free_;      // block -> currently in free_blocks_
+  std::deque<uint32_t> free_blocks_;
+  uint32_t active_block_ = UINT32_MAX;
+  uint32_t active_next_page_ = 0;
+  // A second active block used as the destination of GC migrations so that
+  // host data and migrated (typically colder) data are not interleaved.
+  uint32_t gc_block_ = UINT32_MAX;
+  uint32_t gc_next_page_ = 0;
+  uint64_t gc_runs_ = 0;
+
+  // GC watermarks: trigger when the free list drops to the low mark, reclaim
+  // until the high mark is restored.
+  static constexpr uint32_t kGcLowWatermark = 4;
+  static constexpr uint32_t kGcHighWatermark = 8;
+};
+
+}  // namespace directload::ssd
+
+#endif  // DIRECTLOAD_SSD_FTL_H_

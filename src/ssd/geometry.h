@@ -1,0 +1,77 @@
+#ifndef DIRECTLOAD_SSD_GEOMETRY_H_
+#define DIRECTLOAD_SSD_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace directload::ssd {
+
+/// Flash geometry. Defaults follow the paper's Section 2.3 / Figure 3
+/// description: 4 KB pages, 64 pages per 256 KB erase block.
+struct Geometry {
+  uint32_t page_size = 4096;
+  uint32_t pages_per_block = 64;
+  uint32_t num_blocks = 4096;  // 1 GiB device by default.
+
+  /// Fraction of physical blocks reserved as over-provisioning in the
+  /// page-mapped (conventional FTL) mode. The logical capacity exposed to
+  /// the host is (1 - overprovision) of the physical capacity.
+  double overprovision = 0.07;
+
+  uint64_t block_size() const {
+    return static_cast<uint64_t>(page_size) * pages_per_block;
+  }
+  uint64_t total_pages() const {
+    return static_cast<uint64_t>(num_blocks) * pages_per_block;
+  }
+  uint64_t physical_bytes() const { return total_pages() * page_size; }
+};
+
+/// Service times for the simulated flash operations. Values are typical for
+/// an MLC SATA-era SSD (the paper's 2TB/500GB production parts). All
+/// simulated time derives from these constants, so runs are deterministic.
+struct LatencyModel {
+  uint64_t page_read_us = 80;
+  uint64_t page_program_us = 200;
+  uint64_t block_erase_us = 2000;
+};
+
+/// Device-level counters. "user" counters are host-issued I/O; "device"
+/// counters additionally include pages moved by the device-internal garbage
+/// collector (page-mapped mode only). The paper's Figure 5 contrasts
+/// "User Write" (application bytes) with "Sys Write"/"Sys Read" (firmware
+/// counters); those map onto device_pages_written / device_pages_read here.
+struct SsdStats {
+  uint64_t host_pages_written = 0;
+  uint64_t host_pages_read = 0;
+  uint64_t gc_pages_migrated = 0;  // Device GC page moves (read+program each).
+  uint64_t blocks_erased = 0;
+
+  uint64_t device_pages_written() const {
+    return host_pages_written + gc_pages_migrated;
+  }
+  uint64_t device_pages_read() const {
+    return host_pages_read + gc_pages_migrated;
+  }
+
+  /// Device-level write amplification: flash programs per host write.
+  double write_amplification() const {
+    return host_pages_written == 0
+               ? 1.0
+               : static_cast<double>(device_pages_written()) /
+                     static_cast<double>(host_pages_written);
+  }
+
+  SsdStats Delta(const SsdStats& earlier) const {
+    SsdStats d;
+    d.host_pages_written = host_pages_written - earlier.host_pages_written;
+    d.host_pages_read = host_pages_read - earlier.host_pages_read;
+    d.gc_pages_migrated = gc_pages_migrated - earlier.gc_pages_migrated;
+    d.blocks_erased = blocks_erased - earlier.blocks_erased;
+    return d;
+  }
+};
+
+}  // namespace directload::ssd
+
+#endif  // DIRECTLOAD_SSD_GEOMETRY_H_

@@ -1,0 +1,77 @@
+#include "ssd/native.h"
+
+namespace directload::ssd {
+
+NativeSsd::NativeSsd(const Geometry& geometry, const LatencyModel& latency,
+                     SimClock* clock)
+    : device_(geometry, latency, clock),
+      owned_(geometry.num_blocks, false),
+      next_page_(geometry.num_blocks, 0) {
+  for (uint32_t b = 0; b < geometry.num_blocks; ++b) free_blocks_.push_back(b);
+}
+
+Result<uint32_t> NativeSsd::AllocateBlock() {
+  if (free_blocks_.empty()) {
+    return Status::NoSpace("no free erase blocks");
+  }
+  const uint32_t block = free_blocks_.front();
+  free_blocks_.pop_front();
+  owned_[block] = true;
+  next_page_[block] = 0;
+  return block;
+}
+
+Result<uint32_t> NativeSsd::AppendPage(uint32_t block, const Slice& data) {
+  if (block >= owned_.size() || !owned_[block]) {
+    return Status::InvalidArgument("block not owned");
+  }
+  const uint32_t pages_per_block = device_.geometry().pages_per_block;
+  if (next_page_[block] >= pages_per_block) {
+    return Status::NoSpace("block full");
+  }
+  const uint32_t page = next_page_[block];
+  const uint64_t ppa =
+      static_cast<uint64_t>(block) * pages_per_block + page;
+  Status s = device_.ProgramPage(ppa, data, /*is_gc=*/false);
+  if (!s.ok()) return s;
+  ++next_page_[block];
+  return page;
+}
+
+Status NativeSsd::ReadPage(uint32_t block, uint32_t page, std::string* out) {
+  if (block >= owned_.size() || !owned_[block]) {
+    return Status::InvalidArgument("block not owned");
+  }
+  if (page >= next_page_[block]) {
+    return Status::InvalidArgument("reading an unwritten page");
+  }
+  const uint64_t ppa =
+      static_cast<uint64_t>(block) * device_.geometry().pages_per_block + page;
+  return device_.ReadPage(ppa, out, /*is_gc=*/false);
+}
+
+Status NativeSsd::ReleaseBlock(uint32_t block) {
+  if (block >= owned_.size() || !owned_[block]) {
+    return Status::InvalidArgument("block not owned");
+  }
+  const uint32_t pages_per_block = device_.geometry().pages_per_block;
+  const uint64_t first =
+      static_cast<uint64_t>(block) * pages_per_block;
+  // Host-side release: invalidate whatever was programmed, then erase. The
+  // device never migrates pages on this path (Figure 3's best case: every
+  // page in the block is invalid at erase time).
+  for (uint32_t i = 0; i < next_page_[block]; ++i) {
+    if (device_.page_state(first + i) == PageState::kValid) {
+      Status s = device_.InvalidatePage(first + i);
+      if (!s.ok()) return s;
+    }
+  }
+  Status s = device_.EraseBlock(block);
+  if (!s.ok()) return s;
+  owned_[block] = false;
+  next_page_[block] = 0;
+  free_blocks_.push_back(block);
+  return Status::OK();
+}
+
+}  // namespace directload::ssd

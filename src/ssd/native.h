@@ -1,0 +1,67 @@
+#ifndef DIRECTLOAD_SSD_NATIVE_H_
+#define DIRECTLOAD_SSD_NATIVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ssd/device.h"
+
+namespace directload::ssd {
+
+/// The SSD native (open-channel style) interface used by QinDB (Section 2.3,
+/// "Block-aligned files"): the host allocates whole erase blocks, appends
+/// pages sequentially inside them, and erases whole blocks itself. Because
+/// the host only ever erases blocks it fully owns and never overwrites
+/// pages, the device performs **no internal garbage collection** and device
+/// writes equal host writes — eliminating hardware-level write
+/// amplification.
+class NativeSsd {
+ public:
+  NativeSsd(const Geometry& geometry, const LatencyModel& latency,
+            SimClock* clock);
+
+  NativeSsd(const NativeSsd&) = delete;
+  NativeSsd& operator=(const NativeSsd&) = delete;
+
+  /// Takes ownership of a free erase block. Pages are appended with
+  /// AppendPage in strictly increasing order.
+  Result<uint32_t> AllocateBlock();
+
+  /// Programs the next unwritten page of owned block `block`. Returns the
+  /// page index written.
+  Result<uint32_t> AppendPage(uint32_t block, const Slice& data);
+
+  /// Reads page `page` of owned block `block`.
+  Status ReadPage(uint32_t block, uint32_t page, std::string* out);
+
+  /// Erases an owned block and returns it to the free pool. All live data in
+  /// it is lost; the caller (the AOF garbage collector) migrates live
+  /// records first.
+  Status ReleaseBlock(uint32_t block);
+
+  /// Pages appended to `block` so far.
+  uint32_t PagesWritten(uint32_t block) const { return next_page_[block]; }
+  bool IsOwned(uint32_t block) const { return owned_[block]; }
+
+  uint32_t free_blocks() const {
+    return static_cast<uint32_t>(free_blocks_.size());
+  }
+  const Geometry& geometry() const { return device_.geometry(); }
+  const SsdStats& stats() const { return device_.stats(); }
+  SsdDevice& device() { return device_; }
+  const SsdDevice& device() const { return device_; }
+
+ private:
+  SsdDevice device_;
+  std::vector<bool> owned_;
+  std::vector<uint32_t> next_page_;
+  std::deque<uint32_t> free_blocks_;
+};
+
+}  // namespace directload::ssd
+
+#endif  // DIRECTLOAD_SSD_NATIVE_H_

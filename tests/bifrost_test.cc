@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bifrost/dedup.h"
+#include "bifrost/delivery.h"
+#include "bifrost/slicer.h"
+#include "common/sim_clock.h"
+#include "index/builders.h"
+#include "index/corpus.h"
+#include "net/fluid_network.h"
+
+namespace directload::bifrost {
+namespace {
+
+webindex::CorpusOptions SmallCorpus() {
+  webindex::CorpusOptions o;
+  o.num_docs = 100;
+  o.vocab_size = 1000;
+  o.terms_per_doc = 10;
+  o.abstract_bytes = 1024;
+  o.seed = 3;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Deduplication
+// ---------------------------------------------------------------------------
+
+TEST(DedupTest, FirstVersionShipsEverything) {
+  webindex::Corpus corpus(SmallCorpus());
+  Deduplicator dedup;
+  DedupStats stats;
+  std::vector<ShippedPair> shipped =
+      dedup.Process(webindex::BuildSummaryIndex(corpus), &stats);
+  EXPECT_EQ(stats.pairs_deduped, 0u);
+  EXPECT_EQ(stats.bytes_shipped, stats.bytes_total);
+  EXPECT_DOUBLE_EQ(stats.dedup_ratio(), 0.0);
+  for (const ShippedPair& pair : shipped) EXPECT_FALSE(pair.dedup);
+}
+
+TEST(DedupTest, UnchangedValuesAreStripped) {
+  webindex::Corpus corpus(SmallCorpus());
+  Deduplicator dedup;
+  dedup.Process(webindex::BuildSummaryIndex(corpus), nullptr);
+  corpus.AdvanceVersionWithChangeRate(0.0);  // Nothing changed.
+  DedupStats stats;
+  std::vector<ShippedPair> shipped =
+      dedup.Process(webindex::BuildSummaryIndex(corpus), &stats);
+  EXPECT_EQ(stats.pairs_deduped, stats.pairs_total);
+  for (const ShippedPair& pair : shipped) {
+    EXPECT_TRUE(pair.dedup);
+    EXPECT_TRUE(pair.value.empty());
+  }
+  // Only keys ship: the bytes saved are nearly everything.
+  EXPECT_GT(stats.dedup_ratio(), 0.9);
+}
+
+TEST(DedupTest, RatioTracksChangeRate) {
+  webindex::Corpus corpus(SmallCorpus());
+  Deduplicator dedup;
+  dedup.Process(webindex::BuildSummaryIndex(corpus), nullptr);
+  corpus.AdvanceVersionWithChangeRate(0.3);  // Paper's ~70% unchanged.
+  DedupStats stats;
+  dedup.Process(webindex::BuildSummaryIndex(corpus), &stats);
+  const double deduped_fraction =
+      static_cast<double>(stats.pairs_deduped) /
+      static_cast<double>(stats.pairs_total);
+  EXPECT_NEAR(deduped_fraction, 0.7, 0.12);
+  EXPECT_GT(stats.dedup_ratio(), 0.4);
+}
+
+TEST(DedupTest, DisabledPassesThrough) {
+  webindex::Corpus corpus(SmallCorpus());
+  Deduplicator dedup(/*enabled=*/false);
+  dedup.Process(webindex::BuildSummaryIndex(corpus), nullptr);
+  corpus.AdvanceVersionWithChangeRate(0.0);
+  DedupStats stats;
+  dedup.Process(webindex::BuildSummaryIndex(corpus), &stats);
+  EXPECT_EQ(stats.pairs_deduped, 0u);
+  EXPECT_EQ(stats.bytes_shipped, stats.bytes_total);
+}
+
+TEST(DedupTest, ChangedValueShipsAgainAfterDedup) {
+  webindex::IndexDataset v1;
+  v1.version = 1;
+  v1.pairs.push_back(webindex::KvPair{"k", "value-a"});
+  webindex::IndexDataset v2 = v1;
+  v2.version = 2;
+  webindex::IndexDataset v3;
+  v3.version = 3;
+  v3.pairs.push_back(webindex::KvPair{"k", "value-b"});
+
+  Deduplicator dedup;
+  dedup.Process(v1, nullptr);
+  std::vector<ShippedPair> s2 = dedup.Process(v2, nullptr);
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_TRUE(s2[0].dedup);
+  std::vector<ShippedPair> s3 = dedup.Process(v3, nullptr);
+  ASSERT_EQ(s3.size(), 1u);
+  EXPECT_FALSE(s3[0].dedup);
+  EXPECT_EQ(s3[0].value, "value-b");
+}
+
+// ---------------------------------------------------------------------------
+// Slicing
+// ---------------------------------------------------------------------------
+
+std::vector<ShippedPair> SamplePairs(int n) {
+  std::vector<ShippedPair> pairs;
+  for (int i = 0; i < n; ++i) {
+    ShippedPair p;
+    p.key = "key" + std::to_string(i);
+    p.dedup = i % 3 == 0;
+    if (!p.dedup) p.value = std::string(500, static_cast<char>('a' + i % 26));
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+TEST(SlicerTest, PackUnpackRoundTrip) {
+  const std::vector<ShippedPair> pairs = SamplePairs(50);
+  const std::vector<SlicePacket> slices =
+      PackSlices(pairs, webindex::IndexType::kSummary, 7, /*slice_bytes=*/4096);
+  EXPECT_GT(slices.size(), 1u);
+  std::vector<ShippedPair> unpacked;
+  std::vector<ShippedPair> all;
+  for (const SlicePacket& slice : slices) {
+    EXPECT_TRUE(VerifySlice(slice));
+    EXPECT_EQ(slice.version, 7u);
+    EXPECT_EQ(slice.type, webindex::IndexType::kSummary);
+    ASSERT_TRUE(UnpackSlice(slice, &unpacked).ok());
+    all.insert(all.end(), unpacked.begin(), unpacked.end());
+  }
+  ASSERT_EQ(all.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(all[i].key, pairs[i].key);
+    EXPECT_EQ(all[i].value, pairs[i].value);
+    EXPECT_EQ(all[i].dedup, pairs[i].dedup);
+  }
+}
+
+TEST(SlicerTest, SliceIdsAreSequential) {
+  const std::vector<SlicePacket> slices =
+      PackSlices(SamplePairs(50), webindex::IndexType::kInverted, 1, 4096,
+                 /*first_slice_id=*/100);
+  for (size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].slice_id, 100 + i);
+  }
+}
+
+TEST(SlicerTest, CorruptionDetectedByChecksum) {
+  std::vector<SlicePacket> slices =
+      PackSlices(SamplePairs(10), webindex::IndexType::kSummary, 1, 1 << 20);
+  ASSERT_EQ(slices.size(), 1u);
+  Random rng(1);
+  CorruptSlice(&slices[0], &rng);
+  EXPECT_FALSE(VerifySlice(slices[0]));
+  std::vector<ShippedPair> pairs;
+  EXPECT_TRUE(UnpackSlice(slices[0], &pairs).IsCorruption());
+}
+
+TEST(SlicerTest, EmptyInputYieldsNoSlices) {
+  EXPECT_TRUE(PackSlices({}, webindex::IndexType::kSummary, 1, 4096).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Delivery
+// ---------------------------------------------------------------------------
+
+TEST(DeliveryTest, DestinationsMatchPaperLayout) {
+  // Inverted: all six data centers. Summary: one per region (three).
+  EXPECT_EQ(DestinationsFor(webindex::IndexType::kInverted).size(), 6u);
+  EXPECT_EQ(DestinationsFor(webindex::IndexType::kSummary),
+            (std::vector<int>{0, 2, 4}));
+}
+
+DeliveryOptions FastDelivery() {
+  DeliveryOptions o;
+  o.backbone_bytes_per_sec = 50e6;
+  o.interregion_bytes_per_sec = 30e6;
+  o.regional_bytes_per_sec = 100e6;
+  o.tick_seconds = 0.1;
+  return o;
+}
+
+TEST(DeliveryTest, DeliversEverySliceToEveryDestination) {
+  SimClock clock;
+  DeliveryService service(&clock, FastDelivery());
+  const std::vector<SlicePacket> summary =
+      PackSlices(SamplePairs(40), webindex::IndexType::kSummary, 1, 8192);
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(40), webindex::IndexType::kInverted, 1, 8192);
+
+  std::map<int, int> arrivals;  // dc -> count
+  DeliveryReport report = service.DeliverVersion(
+      summary, inverted,
+      [&](int dc, const SlicePacket& slice) {
+        EXPECT_TRUE(VerifySlice(slice));
+        ++arrivals[dc];
+      });
+  ASSERT_TRUE(report.completed);
+  EXPECT_EQ(report.deliveries_total,
+            summary.size() * 3 + inverted.size() * 6);
+  EXPECT_EQ(report.retransmissions, 0u);
+  EXPECT_GT(report.update_time_seconds, 0.0);
+  EXPECT_EQ(report.miss_ratio, 0.0);
+  // All six DCs got inverted slices; summary only at DCs 0, 2, 4.
+  for (int dc = 0; dc < kNumDataCenters; ++dc) {
+    const int expected = static_cast<int>(inverted.size()) +
+                         (dc % 2 == 0 ? static_cast<int>(summary.size()) : 0);
+    EXPECT_EQ(arrivals[dc], expected) << "dc " << dc;
+  }
+}
+
+TEST(DeliveryTest, CorruptionCausesRetransmissionButStillCompletes) {
+  SimClock clock;
+  DeliveryOptions options = FastDelivery();
+  options.corruption_prob = 0.1;
+  DeliveryService service(&clock, options);
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(40), webindex::IndexType::kInverted, 1, 8192);
+  DeliveryReport report = service.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.retransmissions, 0u);
+  EXPECT_EQ(report.miss_ratio, 0.0);
+}
+
+TEST(DeliveryTest, CongestedBackboneTriggersDetours) {
+  SimClock clock;
+  DeliveryOptions options = FastDelivery();
+  options.monitor_interval_seconds = 0.2;
+  DeliveryService service(&clock, options);
+  // Region 0's backbone is nearly saturated by other traffic; the monitor
+  // should route region-0-bound slices through another relay group.
+  service.SetBackboneBackground(0, 0.95);
+  // Warm the monitor so predictions reflect the congestion.
+  const std::vector<SlicePacket> warmup =
+      PackSlices(SamplePairs(10), webindex::IndexType::kInverted, 1, 8192);
+  service.DeliverVersion({}, warmup, nullptr);
+  const uint64_t detours_before = service.detours();
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(60), webindex::IndexType::kInverted, 2, 8192);
+  DeliveryReport report = service.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(service.detours(), detours_before);
+}
+
+TEST(DeliveryTest, MoreDataTakesLonger) {
+  SimClock clock1, clock2;
+  DeliveryService small_service(&clock1, FastDelivery());
+  DeliveryService large_service(&clock2, FastDelivery());
+  const std::vector<SlicePacket> small =
+      PackSlices(SamplePairs(20), webindex::IndexType::kInverted, 1, 8192);
+  const std::vector<SlicePacket> large =
+      PackSlices(SamplePairs(200), webindex::IndexType::kInverted, 1, 8192);
+  DeliveryReport rs = small_service.DeliverVersion({}, small, nullptr);
+  DeliveryReport rl = large_service.DeliverVersion({}, large, nullptr);
+  ASSERT_TRUE(rs.completed);
+  ASSERT_TRUE(rl.completed);
+  EXPECT_GT(rl.update_time_seconds, rs.update_time_seconds);
+}
+
+TEST(DeliveryTest, RelayNodeFailuresShrinkGroupBandwidth) {
+  SimClock clock;
+  DeliveryService service(&clock, FastDelivery());
+  EXPECT_EQ(service.relay_nodes_up(0), 24);
+  const double before = service.network().link(0).available();
+  // Half of region 0's relay group dies.
+  ASSERT_TRUE(service.FailRelayNodes(0, 12).ok());
+  EXPECT_EQ(service.relay_nodes_up(0), 12);
+  const double after = service.network().link(0).available();
+  EXPECT_NEAR(after, before / 2, before * 0.01);
+  // Restore them; capacity returns.
+  ASSERT_TRUE(service.RestoreRelayNodes(0, 12).ok());
+  EXPECT_NEAR(service.network().link(0).available(), before, before * 0.01);
+  // Sanity on the guards.
+  EXPECT_TRUE(service.FailRelayNodes(0, 24).IsInvalidArgument());
+  EXPECT_TRUE(service.RestoreRelayNodes(0, 1).IsInvalidArgument());
+  EXPECT_TRUE(service.FailRelayNodes(9, 1).IsInvalidArgument());
+}
+
+TEST(DeliveryTest, RelayFailuresComposeWithBackgroundLoad) {
+  SimClock clock;
+  DeliveryService service(&clock, FastDelivery());
+  const double capacity = service.network().link(0).capacity_bytes_per_sec;
+  ASSERT_TRUE(service.FailRelayNodes(0, 12).ok());  // 50% derating.
+  service.SetBackboneBackground(0, 0.5);            // Plus 50% load.
+  EXPECT_NEAR(service.network().link(0).available(), capacity * 0.25,
+              capacity * 0.01);
+}
+
+TEST(DeliveryTest, RelayFailuresSlowDeliveryToThatRegion) {
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(200), webindex::IndexType::kInverted, 1, 8192);
+  DeliveryOptions options = FastDelivery();
+  // Slow enough that transfers span many ticks, so derating is measurable.
+  options.backbone_bytes_per_sec = 200e3;
+  options.interregion_bytes_per_sec = 120e3;
+  options.regional_bytes_per_sec = 800e3;
+  SimClock c1, c2;
+  DeliveryService healthy(&c1, options);
+  DeliveryService degraded(&c2, options);
+  // Most of every relay group fails: no healthy detour exists.
+  for (int r = 0; r < kNumRegions; ++r) {
+    ASSERT_TRUE(degraded.FailRelayNodes(r, 18).ok());
+  }
+  DeliveryReport fast = healthy.DeliverVersion({}, inverted, nullptr);
+  DeliveryReport slow = degraded.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(fast.completed);
+  ASSERT_TRUE(slow.completed);
+  EXPECT_GT(slow.update_time_seconds, 2 * fast.update_time_seconds);
+}
+
+TEST(DeliveryTest, GenerationWindowStaggersArrivals) {
+  SimClock clock;
+  DeliveryOptions options = FastDelivery();
+  options.generation_window_seconds = 10.0;
+  DeliveryService service(&clock, options);
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(40), webindex::IndexType::kInverted, 1, 8192);
+  DeliveryReport report = service.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(report.completed);
+  // Even on a fast network the last slice cannot arrive before it was
+  // generated at the end of the window.
+  EXPECT_GE(report.update_time_seconds, 9.0);
+}
+
+TEST(NetCancelTest, CancelledFlowNeverCompletes) {
+  SimClock clock;
+  net::FluidNetwork fluid(&clock);
+  const int a = fluid.AddNode("a");
+  const int b = fluid.AddNode("b");
+  const int link = fluid.AddLink(a, b, 1000.0);
+  const uint64_t id = fluid.StartFlow({link}, 5000.0, 0);
+  fluid.Advance(1.0, nullptr);
+  EXPECT_NEAR(fluid.FlowBytesLeft(id), 4000.0, 1.0);
+  EXPECT_TRUE(fluid.CancelFlow(id));
+  EXPECT_FALSE(fluid.CancelFlow(id));  // Not cancellable twice.
+  int completions = 0;
+  fluid.AdvanceUntilIdle(60.0, 1.0, [&](const net::Flow&) { ++completions; });
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(fluid.active_flows(), 0u);
+}
+
+TEST(DeliveryTest, StuckTransfersAreRepairedAndStillComplete) {
+  SimClock clock;
+  DeliveryOptions options = FastDelivery();
+  options.backbone_bytes_per_sec = 50e3;
+  options.interregion_bytes_per_sec = 50e3;
+  options.regional_bytes_per_sec = 200e3;
+  // The monitor is stale (it never re-samples within the run), so the
+  // scheduler keeps picking the direct path even though region 0's backbone
+  // is almost dead — exactly the situation the repair timeout exists for.
+  options.monitor_interval_seconds = 1e9;
+  options.repair_timeout_seconds = 2.0;
+  DeliveryService service(&clock, options);
+  service.network().SetBackground(0, 0.0);  // Seed spare snapshots fresh...
+  DeliveryReport warmup = service.DeliverVersion(
+      {}, PackSlices(SamplePairs(2), webindex::IndexType::kInverted, 9, 16384),
+      nullptr);
+  ASSERT_TRUE(warmup.completed);  // ...so predictions now say "all healthy".
+  // Region 0's backbone collapses: direct transfers to region 0 stall past
+  // the repair timeout, get aborted, and the re-requests detour.
+  service.network().SetBackground(0, 0.995);
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(40), webindex::IndexType::kInverted, 1, 16384);
+  DeliveryReport report = service.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.repairs, 0u);
+  EXPECT_EQ(report.deliveries_total, inverted.size() * 6);
+}
+
+TEST(DeliveryTest, EmptyVersionCompletesInstantly) {
+  SimClock clock;
+  DeliveryService service(&clock, FastDelivery());
+  DeliveryReport report = service.DeliverVersion({}, {}, nullptr);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.deliveries_total, 0u);
+  EXPECT_EQ(report.update_time_seconds, 0.0);
+}
+
+TEST(DeliveryTest, BytesTransmittedScaleWithHopsAndDestinations) {
+  SimClock clock;
+  DeliveryService service(&clock, FastDelivery());
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(20), webindex::IndexType::kInverted, 1, 1 << 20);
+  uint64_t slice_bytes = 0;
+  for (const SlicePacket& s : inverted) slice_bytes += s.bytes();
+  DeliveryReport report = service.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(report.completed);
+  // 6 destinations x at least 2 hops each.
+  EXPECT_GE(report.bytes_transmitted, slice_bytes * 6 * 2);
+  EXPECT_LE(report.bytes_transmitted, slice_bytes * 6 * 3);
+}
+
+TEST(DeliveryTest, MissRatioReflectsDeadline) {
+  SimClock clock;
+  DeliveryOptions options = FastDelivery();
+  options.miss_deadline_seconds = 0.05;  // Absurdly tight: everything late.
+  DeliveryService service(&clock, options);
+  const std::vector<SlicePacket> inverted =
+      PackSlices(SamplePairs(40), webindex::IndexType::kInverted, 1, 8192);
+  DeliveryReport report = service.DeliverVersion({}, inverted, nullptr);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GT(report.miss_ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace directload::bifrost

@@ -1,0 +1,272 @@
+// Error-path coverage: every public fallible operation must fail with the
+// documented Status on bad input — never crash, never silently succeed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aof/aof_manager.h"
+#include "bifrost/slicer.h"
+#include "common/sim_clock.h"
+#include "lsm/db.h"
+#include "mint/cluster.h"
+#include "qindb/qindb.h"
+#include "ssd/env.h"
+#include "ssd/ftl.h"
+
+namespace directload {
+namespace {
+
+ssd::Geometry SmallGeometry() {
+  ssd::Geometry g;
+  g.pages_per_block = 8;
+  g.num_blocks = 1024;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+TEST(EnvErrorTest, MissingFileOperations) {
+  SimClock clock;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                       ssd::LatencyModel(), &clock);
+  EXPECT_TRUE(env->GetFileSize("nope").status().IsNotFound());
+  EXPECT_TRUE(env->RenameFile("nope", "other").IsNotFound());
+  EXPECT_TRUE(env->DeleteFile("nope").IsNotFound());
+  EXPECT_FALSE(env->FileExists("nope"));
+}
+
+TEST(EnvErrorTest, ReadBeyondPersistedRejected) {
+  SimClock clock;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kPageMappedFtl, SmallGeometry(),
+                       ssd::LatencyModel(), &clock);
+  auto file = env->NewWritableFile("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(100, 'x')).ok());  // Unflushed.
+  auto reader = env->NewRandomAccessFile("f");
+  ASSERT_TRUE(reader.ok());
+  std::string out;
+  EXPECT_TRUE((*reader)->Read(50, 10, &out).IsInvalidArgument());
+  // After close, readable.
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_TRUE((*reader)->Read(50, 10, &out).ok());
+}
+
+TEST(EnvErrorTest, AppendToClosedFileRejected) {
+  SimClock clock;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                       ssd::LatencyModel(), &clock);
+  auto file = env->NewWritableFile("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_TRUE((*file)->Append("x").IsInvalidArgument());
+  EXPECT_TRUE((*file)->Close().ok());  // Idempotent.
+}
+
+// ---------------------------------------------------------------------------
+// FTL
+// ---------------------------------------------------------------------------
+
+TEST(FtlErrorTest, OutOfRangeAddresses) {
+  SimClock clock;
+  ssd::FtlDevice ftl(SmallGeometry(), ssd::LatencyModel(), &clock);
+  const std::string page(4096, 'x');
+  EXPECT_TRUE(ftl.Write(ftl.logical_pages(), page).IsInvalidArgument());
+  std::string out;
+  EXPECT_TRUE(ftl.Read(UINT64_MAX, &out).IsInvalidArgument());
+  EXPECT_TRUE(ftl.Trim(ftl.logical_pages() + 7).IsInvalidArgument());
+  EXPECT_TRUE(ftl.Trim(0).ok());  // Unmapped trim is a no-op.
+}
+
+// ---------------------------------------------------------------------------
+// AOF manager
+// ---------------------------------------------------------------------------
+
+class AofErrorTest : public ::testing::Test {
+ protected:
+  AofErrorTest()
+      : env_(NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                       ssd::LatencyModel(), &clock_)) {
+    aof::AofOptions options;
+    options.segment_bytes = 64 << 10;
+    mgr_ = std::move(aof::AofManager::Open(env_.get(), options)).value();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<ssd::SsdEnv> env_;
+  std::unique_ptr<aof::AofManager> mgr_;
+};
+
+TEST_F(AofErrorTest, OversizedKeyRejected) {
+  const std::string huge_key(70000, 'k');
+  EXPECT_TRUE(mgr_->AppendRecord(huge_key, 1, aof::kFlagNone, "v")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AofErrorTest, UnknownSegmentOperations) {
+  aof::RecordView view;
+  EXPECT_TRUE(mgr_->ReadRecord(aof::RecordAddress{99, 0}, 0, &view)
+                  .IsNotFound());
+  EXPECT_DOUBLE_EQ(mgr_->Occupancy(99), 1.0);  // Unknown = conservative.
+  EXPECT_TRUE(mgr_->CollectSegment(
+                      99,
+                      [](const aof::RecordAddress&, const aof::RecordView&) {
+                        return true;
+                      },
+                      [](const aof::RecordAddress&, const aof::RecordAddress&,
+                         const aof::RecordView&) {},
+                      [](const aof::RecordAddress&, const aof::RecordView&) {})
+                  .IsNotFound());
+  mgr_->MarkDead(aof::RecordAddress{99, 0}, 100);  // Silently ignored.
+}
+
+TEST_F(AofErrorTest, ReadPastSegmentEndRejected) {
+  Result<aof::RecordAddress> addr =
+      mgr_->AppendRecord("k", 1, aof::kFlagNone, "v");
+  ASSERT_TRUE(addr.ok());
+  aof::RecordView view;
+  EXPECT_FALSE(mgr_->ReadRecord(aof::RecordAddress{0, 1 << 20}, 0, &view).ok());
+}
+
+TEST_F(AofErrorTest, TinySegmentConfigRejected) {
+  aof::AofOptions options;
+  options.segment_bytes = 4;  // Smaller than a record header.
+  EXPECT_TRUE(aof::AofManager::Open(env_.get(), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// QinDB
+// ---------------------------------------------------------------------------
+
+class QinDbErrorTest : public ::testing::Test {
+ protected:
+  QinDbErrorTest()
+      : env_(NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                       ssd::LatencyModel(), &clock_)) {
+    db_ = std::move(qindb::QinDb::Open(env_.get(), {})).value();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<ssd::SsdEnv> env_;
+  std::unique_ptr<qindb::QinDb> db_;
+};
+
+TEST_F(QinDbErrorTest, EmptyStoreBehaviors) {
+  EXPECT_TRUE(db_->Get("k", 1).status().IsNotFound());
+  EXPECT_TRUE(db_->GetLatest("k").status().IsNotFound());
+  EXPECT_TRUE(db_->Del("k", 1).IsNotFound());
+  Result<uint64_t> dropped = db_->DropVersion(1);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 0u);
+  EXPECT_TRUE(db_->MaybeGc().ok());
+  EXPECT_TRUE(db_->ForceGc().ok());
+  Result<qindb::QinDb::ScrubReport> scrub = db_->Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub->clean());
+  EXPECT_EQ(scrub->entries_checked, 0u);
+  auto scan = db_->NewScanner();
+  scan.SeekToFirst();
+  EXPECT_FALSE(scan.Valid());
+  EXPECT_TRUE(scan.value().status().IsInvalidArgument());
+  EXPECT_TRUE(db_->Checkpoint().ok());  // Empty checkpoint is fine...
+  auto reopened = qindb::QinDb::Open(env_.get(), {});
+  EXPECT_TRUE(reopened.ok());  // ...and recoverable.
+}
+
+TEST_F(QinDbErrorTest, ReadGuardsNest) {
+  {
+    qindb::QinDb::ReadGuard outer(db_.get());
+    {
+      qindb::QinDb::ReadGuard inner(db_.get());
+    }
+    // Still guarded: deferral logic counts outstanding guards.
+    ASSERT_TRUE(db_->Put("k", 1, "v").ok());
+  }
+  ASSERT_TRUE(db_->MaybeGc().ok());
+}
+
+TEST_F(QinDbErrorTest, SpacePressureOverridesReadDeferral) {
+  // With gc_space_pressure = 0, GC runs even while reads are in flight.
+  qindb::QinDbOptions options;
+  options.aof.segment_bytes = 16 << 10;
+  options.gc_space_pressure = 0.0;
+  SimClock clock;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                       ssd::LatencyModel(), &clock);
+  auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        db->Put("k" + std::to_string(i), 1, std::string(2000, 'v')).ok());
+  }
+  qindb::QinDb::ReadGuard guard(db.get());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(db->Del("k" + std::to_string(i), 1).ok());
+  }
+  EXPECT_GT(db->gc_stats().segments_reclaimed, 0u);
+  EXPECT_EQ(db->stats().gc_deferrals, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mint
+// ---------------------------------------------------------------------------
+
+TEST(MintErrorTest, GuardsAndUnavailability) {
+  mint::MintOptions options;
+  options.num_groups = 1;
+  options.nodes_per_group = 3;
+  options.node_geometry = SmallGeometry();
+  mint::MintCluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  EXPECT_TRUE(cluster.FailNode(-1).IsInvalidArgument());
+  EXPECT_TRUE(cluster.RecoverNode(99).status().IsInvalidArgument());
+  EXPECT_TRUE(cluster.AddNode(5).status().IsInvalidArgument());
+  // Recovering an up node is a misuse, not a silent reopen.
+  EXPECT_TRUE(cluster.RecoverNode(0).status().IsInvalidArgument());
+
+  EXPECT_TRUE(cluster.Get("missing", 1).status().IsNotFound());
+  EXPECT_TRUE(cluster.Del("missing", 1).IsNotFound());
+
+  // All nodes down: writes and reads degrade to Unavailable.
+  for (int n = 0; n < 3; ++n) ASSERT_TRUE(cluster.FailNode(n).ok());
+  EXPECT_TRUE(cluster.Put("k", 1, "v").IsUnavailable());
+  EXPECT_TRUE(cluster.Get("k", 1).status().IsUnavailable());
+}
+
+// ---------------------------------------------------------------------------
+// LSM
+// ---------------------------------------------------------------------------
+
+TEST(LsmErrorTest, EmptyKeysAndEmptyStore) {
+  SimClock clock;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kPageMappedFtl, SmallGeometry(),
+                       ssd::LatencyModel(), &clock);
+  auto db = std::move(lsm::LsmDb::Open(env.get(), {})).value();
+  EXPECT_TRUE(db->Put("", "v").IsInvalidArgument());
+  EXPECT_TRUE(db->Delete("").IsInvalidArgument());
+  EXPECT_TRUE(db->Get("anything").status().IsNotFound());
+  EXPECT_TRUE(db->ForceFlush().ok());  // Empty flush is a no-op.
+  EXPECT_TRUE(db->CompactUntilQuiescent().ok());
+  auto it = db->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Bifrost slices
+// ---------------------------------------------------------------------------
+
+TEST(SliceErrorTest, DefaultSliceFailsVerification) {
+  bifrost::SlicePacket empty;
+  EXPECT_FALSE(bifrost::VerifySlice(empty));
+  std::vector<bifrost::ShippedPair> pairs;
+  EXPECT_TRUE(bifrost::UnpackSlice(empty, &pairs).IsCorruption());
+}
+
+}  // namespace
+}  // namespace directload

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/builders.h"
+#include "index/corpus.h"
+
+namespace directload::webindex {
+namespace {
+
+CorpusOptions SmallCorpus() {
+  CorpusOptions o;
+  o.num_docs = 200;
+  o.vocab_size = 2000;
+  o.terms_per_doc = 20;
+  o.abstract_bytes = 2048;
+  o.seed = 5;
+  return o;
+}
+
+TEST(CorpusTest, DocumentsHave20ByteUrls) {
+  Corpus corpus(SmallCorpus());
+  ASSERT_EQ(corpus.documents().size(), 200u);
+  for (const Document& doc : corpus.documents()) {
+    EXPECT_EQ(doc.url.size(), 20u);  // Paper Section 4.1: 20-byte keys.
+  }
+  EXPECT_EQ(corpus.version(), 1u);
+}
+
+TEST(CorpusTest, ContentIsDeterministicPerSeed) {
+  Corpus corpus(SmallCorpus());
+  const Document& doc = corpus.documents()[7];
+  EXPECT_EQ(corpus.TermsOf(doc), corpus.TermsOf(doc));
+  EXPECT_EQ(corpus.AbstractOf(doc), corpus.AbstractOf(doc));
+  const std::vector<uint32_t> terms = corpus.TermsOf(doc);
+  EXPECT_EQ(terms.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(terms.begin(), terms.end()));
+  EXPECT_EQ(std::set<uint32_t>(terms.begin(), terms.end()).size(), 20u);
+}
+
+TEST(CorpusTest, AdvanceVersionChangesConfiguredFraction) {
+  CorpusOptions options = SmallCorpus();
+  options.num_docs = 2000;
+  options.change_rate = 0.3;
+  Corpus corpus(options);
+  std::vector<uint64_t> before;
+  for (const Document& doc : corpus.documents()) {
+    before.push_back(doc.content_seed);
+  }
+  EXPECT_EQ(corpus.AdvanceVersion(), 2u);
+  uint64_t changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (corpus.documents()[i].content_seed != before[i]) ++changed;
+  }
+  EXPECT_EQ(changed, corpus.docs_changed_last_round());
+  // ~30% changed => ~70% redundant between versions, the paper's figure.
+  EXPECT_NEAR(static_cast<double>(changed) / 2000.0, 0.3, 0.05);
+}
+
+TEST(CorpusTest, ExplicitChangeRateOverride) {
+  Corpus corpus(SmallCorpus());
+  corpus.AdvanceVersionWithChangeRate(0.0);
+  EXPECT_EQ(corpus.docs_changed_last_round(), 0u);
+  corpus.AdvanceVersionWithChangeRate(1.0);
+  EXPECT_EQ(corpus.docs_changed_last_round(), corpus.documents().size());
+}
+
+TEST(CorpusTest, TieredAdvanceChangesOnlyVipDocuments) {
+  CorpusOptions options = SmallCorpus();
+  options.num_docs = 1000;
+  options.vip_fraction = 0.3;
+  Corpus corpus(options);
+  std::vector<uint64_t> before;
+  for (const Document& doc : corpus.documents()) {
+    before.push_back(doc.content_seed);
+  }
+  // A VIP-only round: every VIP doc changes, no non-VIP doc does.
+  corpus.AdvanceVersionTiered(/*vip=*/1.0, /*nonvip=*/0.0);
+  for (size_t i = 0; i < before.size(); ++i) {
+    const Document& doc = corpus.documents()[i];
+    if (doc.vip) {
+      EXPECT_NE(doc.content_seed, before[i]) << i;
+    } else {
+      EXPECT_EQ(doc.content_seed, before[i]) << i;
+    }
+  }
+}
+
+TEST(CorpusTest, VipFractionRoughlyHonored) {
+  CorpusOptions options = SmallCorpus();
+  options.num_docs = 2000;
+  options.vip_fraction = 0.2;
+  Corpus corpus(options);
+  uint64_t vip = 0;
+  for (const Document& doc : corpus.documents()) vip += doc.vip ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(vip) / 2000.0, 0.2, 0.04);
+}
+
+TEST(CorpusTest, UnchangedDocsKeepIdenticalIndexValues) {
+  Corpus corpus(SmallCorpus());
+  const Document& doc = corpus.documents()[3];
+  const std::string before = corpus.AbstractOf(doc);
+  corpus.AdvanceVersionWithChangeRate(0.0);
+  EXPECT_EQ(corpus.AbstractOf(corpus.documents()[3]), before);
+}
+
+TEST(SerializationTest, TermListRoundTrip) {
+  const std::vector<uint32_t> terms = {0, 1, 7, 500, 19999};
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DecodeTermList(EncodeTermList(terms), &decoded).ok());
+  EXPECT_EQ(decoded, terms);
+}
+
+TEST(SerializationTest, UrlListRoundTrip) {
+  const std::vector<std::string> urls = {"url:a", "url:b", ""};
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(DecodeUrlList(EncodeUrlList(urls), &decoded).ok());
+  EXPECT_EQ(decoded, urls);
+}
+
+TEST(SerializationTest, GarbageRejected) {
+  std::vector<uint32_t> terms;
+  EXPECT_TRUE(DecodeTermList(Slice("\xff\xff\xff\xff\xff\xff", 6), &terms)
+                  .IsCorruption());
+}
+
+TEST(BuildersTest, ForwardIndexCoversEveryDocument) {
+  Corpus corpus(SmallCorpus());
+  IndexDataset forward = BuildForwardIndex(corpus);
+  EXPECT_EQ(forward.type, IndexType::kForward);
+  EXPECT_EQ(forward.version, 1u);
+  ASSERT_EQ(forward.pairs.size(), corpus.documents().size());
+  std::vector<uint32_t> terms;
+  for (size_t i = 0; i < forward.pairs.size(); ++i) {
+    EXPECT_EQ(forward.pairs[i].key, corpus.documents()[i].url);
+    ASSERT_TRUE(DecodeTermList(forward.pairs[i].value, &terms).ok());
+    EXPECT_EQ(terms, corpus.TermsOf(corpus.documents()[i]));
+  }
+}
+
+TEST(BuildersTest, SummaryIndexHoldsAbstracts) {
+  Corpus corpus(SmallCorpus());
+  IndexDataset summary = BuildSummaryIndex(corpus);
+  ASSERT_EQ(summary.pairs.size(), corpus.documents().size());
+  EXPECT_EQ(summary.pairs[0].value, corpus.AbstractOf(corpus.documents()[0]));
+  EXPECT_GT(summary.TotalBytes(), 200u * 1024u);  // ~2 KB abstracts.
+}
+
+TEST(BuildersTest, InvertedIndexIsConsistentWithForward) {
+  Corpus corpus(SmallCorpus());
+  IndexDataset forward = BuildForwardIndex(corpus);
+  IndexDataset inverted = BuildInvertedIndex(corpus, forward);
+  EXPECT_EQ(inverted.type, IndexType::kInverted);
+
+  // Every (doc, term) posting appears exactly once, and the inverted index
+  // contains no spurious postings: total postings match.
+  uint64_t forward_postings = 0;
+  std::vector<uint32_t> terms;
+  for (const KvPair& kv : forward.pairs) {
+    ASSERT_TRUE(DecodeTermList(kv.value, &terms).ok());
+    forward_postings += terms.size();
+  }
+  uint64_t inverted_postings = 0;
+  std::vector<std::string> urls;
+  for (const KvPair& kv : inverted.pairs) {
+    ASSERT_TRUE(DecodeUrlList(kv.value, &urls).ok());
+    inverted_postings += urls.size();
+    EXPECT_TRUE(std::is_sorted(urls.begin(), urls.end()));
+  }
+  EXPECT_EQ(forward_postings, inverted_postings);
+
+  // Spot-check membership both directions.
+  const Document& doc = corpus.documents()[11];
+  for (uint32_t term : corpus.TermsOf(doc)) {
+    const std::string key = TermKey(term);
+    auto it = std::find_if(inverted.pairs.begin(), inverted.pairs.end(),
+                           [&](const KvPair& kv) { return kv.key == key; });
+    ASSERT_NE(it, inverted.pairs.end()) << key;
+    ASSERT_TRUE(DecodeUrlList(it->value, &urls).ok());
+    EXPECT_TRUE(std::find(urls.begin(), urls.end(), doc.url) != urls.end());
+  }
+}
+
+TEST(BuildersTest, TermKeyFormatting) {
+  EXPECT_EQ(TermKey(0), "term:00000000");
+  EXPECT_EQ(TermKey(12345), "term:00012345");
+}
+
+}  // namespace
+}  // namespace directload::webindex

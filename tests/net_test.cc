@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "net/fluid_network.h"
+
+namespace directload::net {
+namespace {
+
+TEST(FluidNetworkTest, SingleFlowUsesFullCapacity) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);  // 1000 B/s.
+  net.StartFlow({link}, 5000.0, 0);
+
+  int completions = 0;
+  uint64_t finish = 0;
+  net.AdvanceUntilIdle(100.0, 0.5, [&](const Flow& f) {
+    ++completions;
+    finish = f.finish_micros;
+  });
+  EXPECT_EQ(completions, 1);
+  EXPECT_NEAR(static_cast<double>(finish) * 1e-6, 5.0, 0.01);
+}
+
+TEST(FluidNetworkTest, TwoFlowsShareEqually) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  net.StartFlow({link}, 1000.0, 0);
+  net.StartFlow({link}, 1000.0, 0);
+  std::vector<double> finishes;
+  net.AdvanceUntilIdle(100.0, 0.25, [&](const Flow& f) {
+    finishes.push_back(static_cast<double>(f.finish_micros) * 1e-6);
+  });
+  ASSERT_EQ(finishes.size(), 2u);
+  // Each gets 500 B/s: both finish around t=2s.
+  EXPECT_NEAR(finishes[0], 2.0, 0.3);
+  EXPECT_NEAR(finishes[1], 2.0, 0.3);
+}
+
+TEST(FluidNetworkTest, ClassWeightsSplitBandwidth) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  const int summary = net.AddTrafficClass("summary", 0.4);
+  const int inverted = net.AddTrafficClass("inverted", 0.6);
+  const uint64_t f_sum = net.StartFlow({link}, 1e9, summary);
+  const uint64_t f_inv = net.StartFlow({link}, 1e9, inverted);
+  net.Advance(1.0, nullptr);
+  EXPECT_NEAR(net.FlowRate(f_sum), 400.0, 1.0);
+  EXPECT_NEAR(net.FlowRate(f_inv), 600.0, 1.0);
+}
+
+TEST(FluidNetworkTest, IdleClassShareIsRedistributed) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  net.AddTrafficClass("summary", 0.4);
+  const int inverted = net.AddTrafficClass("inverted", 0.6);
+  const uint64_t f = net.StartFlow({link}, 1e9, inverted);
+  net.Advance(1.0, nullptr);
+  // No summary traffic: the inverted flow takes the whole link.
+  EXPECT_NEAR(net.FlowRate(f), 1000.0, 1.0);
+}
+
+TEST(FluidNetworkTest, BottleneckOnMultiHopPath) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int c = net.AddNode("c");
+  const int fast = net.AddLink(a, b, 10000.0);
+  const int slow = net.AddLink(b, c, 100.0);
+  const uint64_t f = net.StartFlow({fast, slow}, 1e9, 0);
+  net.Advance(1.0, nullptr);
+  EXPECT_NEAR(net.FlowRate(f), 100.0, 1.0);
+}
+
+TEST(FluidNetworkTest, BackgroundTrafficReducesCapacity) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  net.SetBackground(link, 0.75);
+  const uint64_t f = net.StartFlow({link}, 1e9, 0);
+  net.Advance(1.0, nullptr);
+  EXPECT_NEAR(net.FlowRate(f), 250.0, 1.0);
+}
+
+TEST(FluidNetworkTest, ClockAdvancesWithSimulation) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  net.AddLink(a, b, 1000.0);
+  net.Advance(0.5, nullptr);
+  net.Advance(0.5, nullptr);
+  EXPECT_EQ(clock.NowMicros(), 1000000u);
+}
+
+TEST(FluidNetworkTest, ZeroByteFlowCompletesImmediately) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  net.StartFlow({link}, 0.0, 0);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(FluidNetworkTest, AdvanceUntilIdleGivesUpAtDeadline) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 10.0);  // 10 B/s.
+  net.StartFlow({link}, 1e9, 0);             // Will take ~3 years.
+  const size_t leftover = net.AdvanceUntilIdle(5.0, 1.0, nullptr);
+  EXPECT_EQ(leftover, 1u);
+  EXPECT_NEAR(clock.NowSeconds(), 5.0, 0.01);
+}
+
+TEST(FluidNetworkTest, LinkCarriedBytesAccumulate) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int c = net.AddNode("c");
+  const int l1 = net.AddLink(a, b, 1000.0);
+  const int l2 = net.AddLink(b, c, 1000.0);
+  net.StartFlow({l1, l2}, 500.0, 0);
+  net.AdvanceUntilIdle(10.0, 0.5, nullptr);
+  // The flow crossed both links: each carried its full byte count.
+  EXPECT_NEAR(net.LinkBytesCarried(l1), 500.0, 1.0);
+  EXPECT_NEAR(net.LinkBytesCarried(l2), 500.0, 1.0);
+}
+
+TEST(FluidNetworkTest, CompletionOrderFollowsFlowSizes) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  const uint64_t small = net.StartFlow({link}, 100.0, 0);
+  const uint64_t large = net.StartFlow({link}, 10000.0, 0);
+  std::vector<uint64_t> order;
+  net.AdvanceUntilIdle(60.0, 0.1, [&](const Flow& f) {
+    order.push_back(f.id);
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], small);
+  EXPECT_EQ(order[1], large);
+}
+
+TEST(BandwidthMonitorTest, TracksSpareCapacity) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  BandwidthMonitor monitor(&net);
+  net.Advance(1.0, nullptr);
+  monitor.Sample();
+  EXPECT_NEAR(monitor.PredictSpare(link), 1000.0, 1.0);
+
+  // Saturate the link; the EWMA converges toward zero spare.
+  net.StartFlow({link}, 1e9, 0);
+  for (int i = 0; i < 30; ++i) {
+    net.Advance(1.0, nullptr);
+    monitor.Sample();
+  }
+  EXPECT_LT(monitor.PredictSpare(link), 50.0);
+}
+
+TEST(BandwidthMonitorTest, EwmaSmoothsSpikes) {
+  SimClock clock;
+  FluidNetwork net(&clock);
+  const int a = net.AddNode("a");
+  const int b = net.AddNode("b");
+  const int link = net.AddLink(a, b, 1000.0);
+  BandwidthMonitor monitor(&net, /*alpha=*/0.2);
+  net.Advance(1.0, nullptr);
+  monitor.Sample();  // Seed at 1000 spare.
+  // One spike of full utilization must not collapse the estimate.
+  net.StartFlow({link}, 900.0, 0);
+  net.Advance(1.0, nullptr);
+  monitor.Sample();
+  EXPECT_GT(monitor.PredictSpare(link), 500.0);
+}
+
+}  // namespace
+}  // namespace directload::net

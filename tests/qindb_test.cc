@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "qindb/qindb.h"
+#include "ssd/env.h"
+
+namespace directload::qindb {
+namespace {
+
+ssd::Geometry SmallGeometry() {
+  ssd::Geometry g;
+  g.page_size = 4096;
+  g.pages_per_block = 8;
+  g.num_blocks = 2048;  // 64 MiB device.
+  return g;
+}
+
+class QinDbTest : public ::testing::Test {
+ protected:
+  QinDbTest() { ResetEnv(); }
+
+  void ResetEnv() {
+    clock_.Reset();
+    env_ = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                     ssd::LatencyModel(), &clock_);
+  }
+
+  std::unique_ptr<QinDb> OpenDb(QinDbOptions options = {}) {
+    if (options.aof.segment_bytes == 64ull << 20) {
+      options.aof.segment_bytes = 128 << 10;  // Small segments for tests.
+    }
+    auto db = QinDb::Open(env_.get(), options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<ssd::SsdEnv> env_;
+};
+
+TEST_F(QinDbTest, PutGetExactVersion) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url1", 1, "value-v1").ok());
+  ASSERT_TRUE(db->Put("url1", 2, "value-v2").ok());
+  EXPECT_EQ(*db->Get("url1", 1), "value-v1");
+  EXPECT_EQ(*db->Get("url1", 2), "value-v2");
+  EXPECT_TRUE(db->Get("url1", 3).status().IsNotFound());
+  EXPECT_TRUE(db->Get("url2", 1).status().IsNotFound());
+}
+
+TEST_F(QinDbTest, EmptyKeyRejected) {
+  auto db = OpenDb();
+  EXPECT_TRUE(db->Put("", 1, "v").IsInvalidArgument());
+}
+
+TEST_F(QinDbTest, LargeValuesRoundTrip) {
+  auto db = OpenDb();
+  Random rnd(17);
+  const std::string value = rnd.NextString(20 << 10);  // Paper's 20 KB values.
+  ASSERT_TRUE(db->Put("url", 1, value).ok());
+  EXPECT_EQ(*db->Get("url", 1), value);
+}
+
+TEST_F(QinDbTest, DedupGetTracebacksToOlderValue) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url", 1, "original").ok());
+  // Version 2 arrived deduplicated: the value was unchanged upstream.
+  ASSERT_TRUE(db->Put("url", 2, Slice(), /*dedup=*/true).ok());
+  EXPECT_EQ(*db->Get("url", 2), "original");
+  EXPECT_EQ(db->stats().traceback_gets, 1u);
+}
+
+TEST_F(QinDbTest, DedupChainsTraceToNearestValue) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url", 1, "v1").ok());
+  ASSERT_TRUE(db->Put("url", 2, Slice(), true).ok());
+  ASSERT_TRUE(db->Put("url", 3, "v3").ok());
+  ASSERT_TRUE(db->Put("url", 4, Slice(), true).ok());
+  ASSERT_TRUE(db->Put("url", 5, Slice(), true).ok());
+  EXPECT_EQ(*db->Get("url", 2), "v1");
+  EXPECT_EQ(*db->Get("url", 4), "v3");
+  EXPECT_EQ(*db->Get("url", 5), "v3");
+  EXPECT_EQ(*db->Get("url", 3), "v3");
+}
+
+TEST_F(QinDbTest, DanglingDedupReportsCorruption) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url", 1, Slice(), true).ok());
+  EXPECT_TRUE(db->Get("url", 1).status().IsCorruption());
+}
+
+TEST_F(QinDbTest, GetLatestSkipsDeletedVersions) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url", 1, "v1").ok());
+  ASSERT_TRUE(db->Put("url", 2, "v2").ok());
+  EXPECT_EQ(*db->GetLatest("url"), "v2");
+  ASSERT_TRUE(db->Del("url", 2).ok());
+  EXPECT_EQ(*db->GetLatest("url"), "v1");
+  ASSERT_TRUE(db->Del("url", 1).ok());
+  EXPECT_TRUE(db->GetLatest("url").status().IsNotFound());
+}
+
+TEST_F(QinDbTest, DelHidesExactVersion) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url", 1, "v1").ok());
+  ASSERT_TRUE(db->Del("url", 1).ok());
+  EXPECT_TRUE(db->Get("url", 1).status().IsNotFound());
+  EXPECT_TRUE(db->Del("url", 9).IsNotFound());
+  // Idempotent.
+  EXPECT_TRUE(db->Del("url", 1).ok());
+  EXPECT_EQ(db->stats().dels, 1u);
+}
+
+TEST_F(QinDbTest, RePutSupersedesAndKillsOldBytes) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Put("url", 1, std::string(5000, 'a')).ok());
+  const uint64_t live_before = db->aof().LiveBytes();
+  ASSERT_TRUE(db->Put("url", 1, std::string(5000, 'b')).ok());
+  EXPECT_EQ(*db->Get("url", 1), std::string(5000, 'b'));
+  // Live bytes unchanged (old record dead, new record live).
+  EXPECT_EQ(db->aof().LiveBytes(), live_before);
+}
+
+TEST_F(QinDbTest, DropVersionFlagsEveryPair) {
+  auto db = OpenDb();
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "url" + std::to_string(i);
+    ASSERT_TRUE(db->Put(key, 1, "old").ok());
+    ASSERT_TRUE(db->Put(key, 2, "new").ok());
+  }
+  Result<uint64_t> n = db->DropVersion(1);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 10u);
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "url" + std::to_string(i);
+    EXPECT_TRUE(db->Get(key, 1).status().IsNotFound());
+    EXPECT_EQ(*db->Get(key, 2), "new");
+  }
+}
+
+TEST_F(QinDbTest, VersionCountsTrackLivePairs) {
+  auto db = OpenDb();
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "url" + std::to_string(i);
+    ASSERT_TRUE(db->Put(key, 1, "a").ok());
+    if (i < 4) {
+      ASSERT_TRUE(db->Put(key, 2, Slice(), true).ok());
+    }
+  }
+  std::map<uint64_t, uint64_t> counts = db->VersionCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[1], 10u);
+  EXPECT_EQ(counts[2], 4u);
+  ASSERT_TRUE(db->DropVersion(1).ok());
+  counts = db->VersionCounts();
+  EXPECT_EQ(counts.count(1), 0u);
+  EXPECT_EQ(counts[2], 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy GC
+// ---------------------------------------------------------------------------
+
+TEST_F(QinDbTest, GcReclaimsSpaceAndPreservesLiveData) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 64 << 10;
+  options.auto_gc = false;
+  auto db = OpenDb(options);
+  Random rnd(23);
+  std::map<std::string, std::string> live;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "url" + std::to_string(i);
+    const std::string value = rnd.NextString(2000);
+    ASSERT_TRUE(db->Put(key, 1, value).ok());
+    live[key] = value;
+  }
+  // Delete three quarters of the keys: many segments fall under 25%.
+  for (int i = 0; i < 200; ++i) {
+    if (i % 4 == 0) continue;
+    const std::string key = "url" + std::to_string(i);
+    ASSERT_TRUE(db->Del(key, 1).ok());
+    live.erase(key);
+  }
+  const uint64_t disk_before = db->DiskBytes();
+  ASSERT_TRUE(db->ForceGc().ok());
+  EXPECT_LT(db->DiskBytes(), disk_before);
+  EXPECT_GT(db->gc_stats().segments_reclaimed, 0u);
+  for (const auto& [key, value] : live) {
+    EXPECT_EQ(*db->Get(key, 1), value) << key;
+  }
+  // Deleted keys stay deleted and their index items were purged.
+  EXPECT_TRUE(db->Get("url1", 1).status().IsNotFound());
+}
+
+TEST_F(QinDbTest, GcPreservesDeletedReferents) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 32 << 10;
+  options.auto_gc = false;
+  auto db = OpenDb(options);
+  // Version 1 carries the value; versions 2..3 are deduplicated.
+  ASSERT_TRUE(db->Put("url", 1, std::string(3000, 'x')).ok());
+  ASSERT_TRUE(db->Put("url", 2, Slice(), true).ok());
+  ASSERT_TRUE(db->Put("url", 3, Slice(), true).ok());
+  // Fill the segment with churn so it seals and becomes a victim.
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "filler" + std::to_string(i);
+    ASSERT_TRUE(db->Put(key, 1, std::string(3000, 'f')).ok());
+    ASSERT_TRUE(db->Del(key, 1).ok());
+  }
+  // Delete version 1: its record is dead-but-referenced (versions 2,3 trace
+  // back to it).
+  ASSERT_TRUE(db->Del("url", 1).ok());
+  ASSERT_TRUE(db->ForceGc().ok());
+  EXPECT_GT(db->gc_stats().segments_reclaimed, 0u);
+  // The deleted version is gone, but the referents still resolve.
+  EXPECT_TRUE(db->Get("url", 1).status().IsNotFound());
+  EXPECT_EQ(*db->Get("url", 2), std::string(3000, 'x'));
+  EXPECT_EQ(*db->Get("url", 3), std::string(3000, 'x'));
+}
+
+TEST_F(QinDbTest, GcDropsUnreferencedDeletedRecords) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 32 << 10;
+  options.auto_gc = false;
+  auto db = OpenDb(options);
+  ASSERT_TRUE(db->Put("a", 1, std::string(3000, 'a')).ok());
+  ASSERT_TRUE(db->Put("a", 2, std::string(3000, 'b')).ok());  // Own value.
+  // Enough fillers to seal the segment holding (a,1).
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        db->Put("filler" + std::to_string(i), 1, std::string(3000, 'f')).ok());
+  }
+  ASSERT_TRUE(db->Del("a", 1).ok());  // Not referenced: v2 has its own value.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(db->Del("filler" + std::to_string(i), 1).ok());
+  }
+  const size_t live_entries_before = db->memtable().live_count();
+  ASSERT_TRUE(db->ForceGc().ok());
+  EXPECT_GT(db->gc_stats().segments_reclaimed, 0u);
+  // The (a,1) item was physically purged from the skip list (its segment was
+  // sealed and collected), and live data survived relocation.
+  EXPECT_EQ(db->memtable().FindExact("a", 1), nullptr);
+  EXPECT_LT(db->memtable().live_count(), live_entries_before);
+  EXPECT_TRUE(db->Get("a", 1).status().IsNotFound());
+  EXPECT_EQ(*db->Get("a", 2), std::string(3000, 'b'));
+}
+
+TEST_F(QinDbTest, GcDeferredWhileReadsInFlight) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 32 << 10;
+  auto db = OpenDb(options);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        db->Put("k" + std::to_string(i), 1, std::string(3000, 'v')).ok());
+  }
+  {
+    QinDb::ReadGuard guard(db.get());
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(db->Del("k" + std::to_string(i), 1).ok());
+    }
+    EXPECT_GT(db->stats().gc_deferrals, 0u);
+    EXPECT_EQ(db->gc_stats().segments_reclaimed, 0u);
+  }
+  // Guard released: the next write boundary may collect.
+  ASSERT_TRUE(db->MaybeGc().ok());
+  EXPECT_GT(db->gc_stats().segments_reclaimed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(QinDbTest, RecoverFromFullScanRestoresData) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 64 << 10;
+  std::map<std::string, std::string> expect;
+  {
+    auto db = OpenDb(options);
+    Random rnd(31);
+    for (int i = 0; i < 100; ++i) {
+      const std::string key = "url" + std::to_string(i);
+      const std::string value = rnd.NextString(1500);
+      ASSERT_TRUE(db->Put(key, 1, value).ok());
+      expect[key] = value;
+    }
+    for (int i = 0; i < 100; i += 3) {
+      const std::string key = "url" + std::to_string(i);
+      ASSERT_TRUE(db->Put(key, 2, Slice(), true).ok());
+    }
+    // Graceful shutdown without a checkpoint: recovery must scan the AOFs.
+  }
+  auto db = OpenDb(options);
+  for (const auto& [key, value] : expect) {
+    EXPECT_EQ(*db->Get(key, 1), value) << key;
+  }
+  for (int i = 0; i < 100; i += 3) {
+    const std::string key = "url" + std::to_string(i);
+    EXPECT_EQ(*db->Get(key, 2), expect[key]) << key;
+  }
+  EXPECT_TRUE(db->Get("url1", 2).status().IsNotFound());
+}
+
+TEST_F(QinDbTest, RecoveryKeepsNewestDuplicate) {
+  QinDbOptions options;
+  {
+    auto db = OpenDb(options);
+    ASSERT_TRUE(db->Put("k", 1, "first").ok());
+    ASSERT_TRUE(db->Put("k", 1, "second").ok());
+  }
+  auto db = OpenDb(options);
+  EXPECT_EQ(*db->Get("k", 1), "second");
+}
+
+TEST_F(QinDbTest, LoggedDeletesSurviveRestart) {
+  QinDbOptions options;
+  options.aof.log_deletes = true;
+  {
+    auto db = OpenDb(options);
+    ASSERT_TRUE(db->Put("k", 1, "v").ok());
+    ASSERT_TRUE(db->Del("k", 1).ok());
+  }
+  auto db = OpenDb(options);
+  EXPECT_TRUE(db->Get("k", 1).status().IsNotFound());
+}
+
+TEST_F(QinDbTest, UnloggedDeletesAreLostWithoutCheckpoint) {
+  // Documents the paper's tradeoff: DEL only touches memory.
+  QinDbOptions options;
+  options.aof.log_deletes = false;
+  {
+    auto db = OpenDb(options);
+    ASSERT_TRUE(db->Put("k", 1, "v").ok());
+    ASSERT_TRUE(db->Del("k", 1).ok());
+  }
+  auto db = OpenDb(options);
+  EXPECT_EQ(*db->Get("k", 1), "v");
+}
+
+TEST_F(QinDbTest, CheckpointSpeedsUpRecoveryAndPreservesState) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 64 << 10;
+  std::map<std::string, std::string> expect;
+  {
+    auto db = OpenDb(options);
+    Random rnd(37);
+    for (int i = 0; i < 150; ++i) {
+      const std::string key = "url" + std::to_string(i);
+      const std::string value = rnd.NextString(1500);
+      ASSERT_TRUE(db->Put(key, 1, value).ok());
+      expect[key] = value;
+    }
+    ASSERT_TRUE(db->Del("url0", 1).ok());
+    expect.erase("url0");
+    ASSERT_TRUE(db->Checkpoint().ok());
+    // Post-checkpoint writes land in newer segments and are re-scanned.
+    ASSERT_TRUE(db->Put("late", 1, "late-value").ok());
+    expect["late"] = "late-value";
+  }
+  const uint64_t reads_before_ckpt_recovery = env_->stats().host_pages_read;
+  {
+    auto db = OpenDb(options);
+    const uint64_t ckpt_recovery_reads =
+        env_->stats().host_pages_read - reads_before_ckpt_recovery;
+    for (const auto& [key, value] : expect) {
+      EXPECT_EQ(*db->Get(key, 1), value) << key;
+    }
+    // The checkpointed delete survived even without logged deletes.
+    EXPECT_TRUE(db->Get("url0", 1).status().IsNotFound());
+
+    // Wipe the checkpoint and compare recovery I/O: the full scan must read
+    // much more.
+    ASSERT_TRUE(env_->DeleteFile("checkpoint.dat").ok());
+    const uint64_t before_full = env_->stats().host_pages_read;
+    auto db2 = OpenDb(options);
+    const uint64_t full_scan_reads =
+        env_->stats().host_pages_read - before_full;
+    EXPECT_GT(full_scan_reads, ckpt_recovery_reads * 3);
+  }
+}
+
+TEST_F(QinDbTest, GcInvalidatesCheckpoint) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 32 << 10;
+  options.auto_gc = false;
+  auto db = OpenDb(options);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        db->Put("k" + std::to_string(i), 1, std::string(2000, 'v')).ok());
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_TRUE(env_->FileExists("checkpoint.dat"));
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(db->Del("k" + std::to_string(i), 1).ok());
+  }
+  ASSERT_TRUE(db->ForceGc().ok());
+  // Relocations made the checkpoint stale; it must be gone.
+  EXPECT_FALSE(env_->FileExists("checkpoint.dat"));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random workload against a reference model
+// ---------------------------------------------------------------------------
+
+struct ModelValue {
+  std::string value;
+  bool dedup = false;
+  bool deleted = false;
+};
+
+class QinDbPropertyTest : public QinDbTest,
+                          public ::testing::WithParamInterface<uint64_t> {};
+
+// Mirrors the production write pattern the paper describes: per key,
+// versions arrive in increasing order (some deduplicated against the
+// previous version), and deletions always target the oldest live version —
+// the deletion thread dropping the oldest of the retained versions. Under
+// this sequencing the engine's purge/referent semantics are exactly
+// representable by the model below.
+TEST_P(QinDbPropertyTest, RandomVersionedWorkloadMatchesModel) {
+  QinDbOptions options;
+  options.aof.segment_bytes = 64 << 10;
+  auto db = OpenDb(options);
+  Random rnd(GetParam());
+
+  // model[key][version]; versions of a key are contiguous from first kept.
+  std::map<std::string, std::map<uint64_t, ModelValue>> model;
+  std::map<std::string, uint64_t> next_version;
+
+  auto resolve = [&](const std::string& key,
+                     uint64_t version) -> std::optional<std::string> {
+    auto kit = model.find(key);
+    if (kit == model.end()) return std::nullopt;
+    auto vit = kit->second.find(version);
+    if (vit == kit->second.end()) return std::nullopt;
+    if (!vit->second.dedup) return vit->second.value;
+    // Traceback: newest older version with a concrete value (deleted
+    // versions still carry bytes; the engine keeps them as referents).
+    for (auto it = std::make_reverse_iterator(vit); it != kit->second.rend();
+         ++it) {
+      if (!it->second.dedup) return it->second.value;
+    }
+    return std::nullopt;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::string key = "key" + std::to_string(rnd.Uniform(60));
+    const uint64_t dice = rnd.Uniform(100);
+    auto& versions = model[key];
+    if (dice < 55) {  // PUT of the next version, maybe deduplicated.
+      const uint64_t version = ++next_version[key];
+      const bool newest_alive =
+          !versions.empty() && !versions.rbegin()->second.deleted;
+      const bool want_dedup = rnd.Bernoulli(0.4);
+      if (want_dedup && newest_alive) {
+        ASSERT_TRUE(db->Put(key, version, Slice(), true).ok());
+        versions[version] = ModelValue{"", true, false};
+      } else {
+        const std::string value = rnd.NextString(20 + rnd.Uniform(400));
+        ASSERT_TRUE(db->Put(key, version, value).ok());
+        versions[version] = ModelValue{value, false, false};
+      }
+    } else if (dice < 75) {  // DEL of the oldest live version.
+      auto oldest = versions.begin();
+      while (oldest != versions.end() && oldest->second.deleted) ++oldest;
+      if (oldest != versions.end()) {
+        ASSERT_TRUE(db->Del(key, oldest->first).ok());
+        oldest->second.deleted = true;
+      } else {
+        EXPECT_TRUE(db->Del(key, next_version[key] + 1).IsNotFound());
+      }
+    } else {  // GET of a random known version.
+      if (versions.empty()) {
+        EXPECT_TRUE(db->Get(key, 1).status().IsNotFound());
+        continue;
+      }
+      auto vit = versions.begin();
+      std::advance(vit, rnd.Uniform(versions.size()));
+      Result<std::string> got = db->Get(key, vit->first);
+      if (vit->second.deleted) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key << "/" << vit->first;
+      } else {
+        std::optional<std::string> want = resolve(key, vit->first);
+        ASSERT_TRUE(want.has_value());
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(*got, *want);
+      }
+    }
+  }
+
+  // Sweep-check every key/version at the end, then again after a forced GC.
+  auto check_all = [&](QinDb* engine) {
+    for (const auto& [key, versions] : model) {
+      for (const auto& [version, mv] : versions) {
+        Result<std::string> got = engine->Get(key, version);
+        if (mv.deleted) {
+          EXPECT_TRUE(got.status().IsNotFound()) << key << "/" << version;
+          continue;
+        }
+        std::optional<std::string> want = resolve(key, version);
+        ASSERT_TRUE(want.has_value());
+        ASSERT_TRUE(got.ok())
+            << key << "/" << version << ": " << got.status().ToString();
+        EXPECT_EQ(*got, *want);
+      }
+    }
+  };
+  check_all(db.get());
+  ASSERT_TRUE(db->ForceGc().ok());
+  check_all(db.get());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QinDbPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace directload::qindb

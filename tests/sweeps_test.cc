@@ -1,0 +1,396 @@
+// Parameterized property sweeps: the invariants of each subsystem must hold
+// across its whole configuration space, not just the defaults.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "aof/aof_manager.h"
+#include "bifrost/dedup.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "index/builders.h"
+#include "index/corpus.h"
+#include "lsm/db.h"
+#include "lsm/wal.h"
+#include "qindb/qindb.h"
+#include "ssd/env.h"
+#include "ssd/ftl.h"
+
+namespace directload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FTL geometry sweep: mapping integrity and WA sanity across shapes.
+// ---------------------------------------------------------------------------
+
+class FtlGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, double>> {
+};
+
+TEST_P(FtlGeometrySweep, ChurnPreservesDataAndBoundsAmplification) {
+  const auto [pages_per_block, num_blocks, overprovision] = GetParam();
+  ssd::Geometry geometry;
+  geometry.pages_per_block = pages_per_block;
+  geometry.num_blocks = num_blocks;
+  geometry.overprovision = overprovision;
+  SimClock clock;
+  ssd::FtlDevice ftl(geometry, ssd::LatencyModel(), &clock);
+
+  Random rnd(GetParam() == std::make_tuple(8u, 64u, 0.1) ? 1 : 2);
+  const uint64_t working_set = ftl.logical_pages() * 7 / 10;
+  ASSERT_GT(working_set, 0u);
+  // Model: lpa -> fill byte.
+  std::map<uint64_t, char> model;
+  for (uint64_t i = 0; i < working_set * 4; ++i) {
+    const uint64_t lpa = rnd.Uniform(working_set);
+    const char fill = static_cast<char>('a' + rnd.Uniform(26));
+    ASSERT_TRUE(
+        ftl.Write(lpa, std::string(geometry.page_size, fill)).ok());
+    model[lpa] = fill;
+  }
+  // Spot-check a sample of pages against the model.
+  std::string out;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t lpa = rnd.Uniform(working_set);
+    ASSERT_TRUE(ftl.Read(lpa, &out).ok());
+    auto it = model.find(lpa);
+    if (it != model.end()) {
+      EXPECT_EQ(out, std::string(geometry.page_size, it->second)) << lpa;
+    }
+  }
+  // Write amplification is bounded: >= 1 always, and not absurd.
+  const double wa = ftl.stats().write_amplification();
+  EXPECT_GE(wa, 1.0);
+  EXPECT_LT(wa, 12.0);
+  // Mapping invariant: every mapped page is valid at the device level.
+  EXPECT_GT(ftl.free_blocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FtlGeometrySweep,
+    ::testing::Values(std::make_tuple(8u, 64u, 0.1),
+                      std::make_tuple(64u, 64u, 0.07),
+                      std::make_tuple(16u, 256u, 0.07),
+                      std::make_tuple(32u, 128u, 0.2),
+                      std::make_tuple(8u, 512u, 0.05)));
+
+// ---------------------------------------------------------------------------
+// AOF segment-size sweep: round trips and rollover at every size.
+// ---------------------------------------------------------------------------
+
+class AofSegmentSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AofSegmentSweep, AppendReadScanAcrossRollovers) {
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.pages_per_block = 8;
+  geometry.num_blocks = 4096;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
+                       ssd::LatencyModel(), &clock);
+  aof::AofOptions options;
+  options.segment_bytes = GetParam();
+  auto mgr = std::move(aof::AofManager::Open(env.get(), options)).value();
+
+  Random rnd(5);
+  std::vector<std::pair<aof::RecordAddress, std::string>> written;
+  for (int i = 0; i < 60; ++i) {
+    const std::string value = rnd.NextString(1 + rnd.Uniform(3000));
+    Result<aof::RecordAddress> addr =
+        mgr->AppendRecord("key" + std::to_string(i), i, aof::kFlagNone, value);
+    ASSERT_TRUE(addr.ok());
+    written.emplace_back(*addr, value);
+  }
+  for (const auto& [addr, value] : written) {
+    aof::RecordView view;
+    ASSERT_TRUE(mgr->ReadRecord(addr, 0, &view).ok());
+    EXPECT_EQ(view.value.ToString(), value);
+  }
+  size_t scanned = 0;
+  ASSERT_TRUE(mgr->Scan([&](const aof::RecordAddress&, const aof::RecordView&) {
+                    ++scanned;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(scanned, written.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentSizes, AofSegmentSweep,
+                         ::testing::Values(8 << 10, 32 << 10, 128 << 10,
+                                           1 << 20, 8 << 20));
+
+// ---------------------------------------------------------------------------
+// QinDB GC-threshold sweep: correctness must not depend on GC eagerness.
+// ---------------------------------------------------------------------------
+
+class GcThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GcThresholdSweep, WorkloadSurvivesGcAtAnyThreshold) {
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.pages_per_block = 8;
+  geometry.num_blocks = 8192;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
+                       ssd::LatencyModel(), &clock);
+  qindb::QinDbOptions options;
+  options.aof.segment_bytes = 64 << 10;
+  options.aof.gc_occupancy_threshold = GetParam();
+  auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
+
+  Random rnd(31);
+  std::map<std::string, std::map<uint64_t, std::string>> model;
+  for (uint64_t version = 1; version <= 8; ++version) {
+    for (int k = 0; k < 80; ++k) {
+      const std::string key = "url:" + std::to_string(k);
+      if (version == 1 || rnd.Bernoulli(0.4)) {
+        const std::string value = rnd.NextString(1500);
+        ASSERT_TRUE(db->Put(key, version, value).ok());
+        model[key][version] = value;
+      } else {
+        ASSERT_TRUE(db->Put(key, version, Slice(), true).ok());
+        model[key][version] = model[key][version - 1];
+      }
+    }
+    if (version > 4) {
+      ASSERT_TRUE(db->DropVersion(version - 4).ok());
+      for (auto& [key, versions] : model) versions.erase(version - 4);
+    }
+  }
+  ASSERT_TRUE(db->ForceGc().ok());
+  for (const auto& [key, versions] : model) {
+    for (const auto& [version, value] : versions) {
+      Result<std::string> got = db->Get(key, version);
+      ASSERT_TRUE(got.ok()) << key << "@" << version
+                            << " thr=" << GetParam();
+      EXPECT_EQ(*got, value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GcThresholdSweep,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95));
+
+// ---------------------------------------------------------------------------
+// Interface-mode sweep: QinDB behaves identically on the native interface
+// and on a conventional FTL (only the device-level counters differ).
+// ---------------------------------------------------------------------------
+
+class InterfaceModeSweep
+    : public ::testing::TestWithParam<ssd::InterfaceMode> {};
+
+TEST_P(InterfaceModeSweep, QinDbWorkloadIdenticalAcrossInterfaces) {
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.pages_per_block = 8;
+  geometry.num_blocks = 8192;
+  auto env = NewSsdEnv(GetParam(), geometry, ssd::LatencyModel(), &clock);
+  qindb::QinDbOptions options;
+  options.aof.segment_bytes = 128 << 10;
+  auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
+
+  Random rnd(91);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "url:" + std::to_string(i);
+    const std::string value = rnd.NextString(1500);
+    ASSERT_TRUE(db->Put(key, 1, value).ok());
+    model[key] = value;
+  }
+  for (int i = 0; i < 200; i += 3) {
+    const std::string key = "url:" + std::to_string(i);
+    ASSERT_TRUE(db->Del(key, 1).ok());
+    model.erase(key);
+  }
+  ASSERT_TRUE(db->ForceGc().ok());
+  for (const auto& [key, value] : model) {
+    Result<std::string> got = db->Get(key, 1);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value);
+  }
+  // Reopen (recovery) works on both interfaces too.
+  db.reset();
+  auto reopened = std::move(qindb::QinDb::Open(env.get(), options)).value();
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(reopened->Get(key, 1).ok()) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, InterfaceModeSweep,
+                         ::testing::Values(ssd::InterfaceMode::kNativeBlock,
+                                           ssd::InterfaceMode::kPageMappedFtl),
+                         [](const auto& info) {
+                           return info.param ==
+                                          ssd::InterfaceMode::kNativeBlock
+                                      ? "Native"
+                                      : "Ftl";
+                         });
+
+// ---------------------------------------------------------------------------
+// WAL record-size sweep: every fragmentation shape round-trips.
+// ---------------------------------------------------------------------------
+
+class WalSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WalSizeSweep, RecordRoundTripsAtBlockBoundaryShapes) {
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.pages_per_block = 8;
+  geometry.num_blocks = 4096;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kPageMappedFtl, geometry,
+                       ssd::LatencyModel(), &clock);
+  Random rnd(GetParam());
+  const std::string payload = rnd.NextString(GetParam());
+  {
+    auto file = env->NewWritableFile("log");
+    ASSERT_TRUE(file.ok());
+    lsm::LogWriter writer(file->get());
+    // A small record first so the big one starts mid-block.
+    ASSERT_TRUE(writer.AddRecord("lead-in").ok());
+    ASSERT_TRUE(writer.AddRecord(payload).ok());
+    ASSERT_TRUE(writer.AddRecord("trailer-record").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto file = env->NewRandomAccessFile("log");
+  ASSERT_TRUE(file.ok());
+  lsm::LogReader reader(file->get());
+  std::string record;
+  ASSERT_TRUE(reader.ReadRecord(&record));
+  EXPECT_EQ(record, "lead-in");
+  ASSERT_TRUE(reader.ReadRecord(&record));
+  EXPECT_EQ(record, payload);
+  ASSERT_TRUE(reader.ReadRecord(&record));
+  EXPECT_EQ(record, "trailer-record");
+  EXPECT_FALSE(reader.ReadRecord(&record));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WalSizeSweep,
+                         ::testing::Values(0u, 1u, 32754u, 32755u, 32756u,
+                                           32768u, 65536u, 200000u));
+
+// ---------------------------------------------------------------------------
+// Dedup-ratio sweep: measured savings track the corpus change rate.
+// ---------------------------------------------------------------------------
+
+class DedupRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DedupRatioSweep, PairRatioTracksChangeRate) {
+  const double change_rate = GetParam();
+  webindex::CorpusOptions corpus_options;
+  corpus_options.num_docs = 600;
+  corpus_options.vocab_size = 2000;
+  corpus_options.terms_per_doc = 8;
+  corpus_options.abstract_bytes = 512;
+  corpus_options.seed = 17;
+  webindex::Corpus corpus(corpus_options);
+  bifrost::Deduplicator dedup;
+  dedup.Process(webindex::BuildSummaryIndex(corpus), nullptr);
+  bifrost::DedupStats stats;
+  for (int round = 0; round < 3; ++round) {
+    corpus.AdvanceVersionWithChangeRate(change_rate);
+    dedup.Process(webindex::BuildSummaryIndex(corpus), &stats);
+  }
+  const double deduped =
+      static_cast<double>(stats.pairs_deduped) /
+      static_cast<double>(stats.pairs_total);
+  EXPECT_NEAR(deduped, 1.0 - change_rate, 0.08) << "rate=" << change_rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DedupRatioSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 1.0));
+
+// ---------------------------------------------------------------------------
+// LSM option sweep: model equality across write-buffer / level budgets.
+// ---------------------------------------------------------------------------
+
+class LsmOptionSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, int>> {};
+
+TEST_P(LsmOptionSweep, RandomWorkloadMatchesModel) {
+  const auto [write_buffer, level_base, bloom_bits] = GetParam();
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.pages_per_block = 8;
+  geometry.num_blocks = 16384;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kPageMappedFtl, geometry,
+                       ssd::LatencyModel(), &clock);
+  lsm::LsmOptions options;
+  options.write_buffer_bytes = write_buffer;
+  options.max_bytes_for_level_base = level_base;
+  options.target_file_bytes = level_base / 4;
+  options.bloom_bits_per_key = bloom_bits;
+  auto db = std::move(lsm::LsmDb::Open(env.get(), options)).value();
+
+  Random rnd(write_buffer + level_base + bloom_bits);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2500; ++i) {
+    const std::string key = "key" + std::to_string(rnd.Uniform(400));
+    if (rnd.Bernoulli(0.75)) {
+      const std::string value = rnd.NextString(400);
+      ASSERT_TRUE(db->Put(key, value).ok());
+      model[key] = value;
+    } else {
+      ASSERT_TRUE(db->Delete(key).ok());
+      model.erase(key);
+    }
+  }
+  ASSERT_TRUE(db->ForceFlush().ok());
+  ASSERT_TRUE(db->CompactUntilQuiescent().ok());
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    Result<std::string> got = db->Get(key);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_TRUE(got.status().IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, LsmOptionSweep,
+    ::testing::Values(std::make_tuple(32ull << 10, 128ull << 10, 10),
+                      std::make_tuple(128ull << 10, 512ull << 10, 10),
+                      std::make_tuple(64ull << 10, 256ull << 10, 0),
+                      std::make_tuple(1ull << 20, 4ull << 20, 16)));
+
+// ---------------------------------------------------------------------------
+// Value-size sweep through QinDB: from empty to multi-block values.
+// ---------------------------------------------------------------------------
+
+class ValueSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ValueSizeSweep, RoundTripAndRecovery) {
+  SimClock clock;
+  ssd::Geometry geometry;
+  geometry.pages_per_block = 8;
+  geometry.num_blocks = 16384;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
+                       ssd::LatencyModel(), &clock);
+  qindb::QinDbOptions options;
+  options.aof.segment_bytes = 2 << 20;
+  Random rnd(GetParam() + 1);
+  const std::string value = rnd.NextString(GetParam());
+  {
+    auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
+    ASSERT_TRUE(db->Put("k", 1, value).ok());
+    Result<std::string> got = db->Get("k", 1);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, value);
+  }
+  auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
+  Result<std::string> got = db->Get("k", 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ValueSizeSweep,
+                         ::testing::Values(0u, 1u, 4095u, 4096u, 4097u,
+                                           20u << 10, 300u << 10));
+
+}  // namespace
+}  // namespace directload
