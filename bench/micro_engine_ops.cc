@@ -85,6 +85,107 @@ void BM_QinDbTracebackGet(benchmark::State& state) {
 }
 BENCHMARK(BM_QinDbTracebackGet)->Iterations(4000);
 
+// --- Concurrent engine benchmarks -----------------------------------------
+// Real threads against one shared engine. Reads are lock-free against the
+// pinned index, so aggregate GET throughput should scale with reader
+// threads on a multi-core host (the CI gate compares 4 threads vs 1);
+// writes serialize on the engine's write mutex. google-benchmark
+// synchronizes all threads at the boundaries of the iteration loop, so
+// thread 0 can own setup and teardown.
+
+struct ConcurrentDb {
+  SimClock clock;
+  std::unique_ptr<ssd::SsdEnv> env;
+  std::unique_ptr<qindb::QinDb> db;
+
+  ConcurrentDb() {
+    env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
+                         MicroConfig().geometry, ssd::LatencyModel(), &clock);
+    db = std::move(qindb::QinDb::Open(env.get(), {})).value();
+  }
+};
+
+ConcurrentDb* g_concurrent_db = nullptr;
+
+std::string WriterKeyOf(int thread, uint64_t i) {
+  char key[32];
+  std::snprintf(key, sizeof(key), "w%02d:%015llu", thread,
+                static_cast<unsigned long long>(i % kKeySpace));
+  return std::string(key, 20);
+}
+
+// N reader threads hammering Get on a pre-loaded engine.
+void BM_QinDbConcurrentGet(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_concurrent_db = new ConcurrentDb();
+    Random rnd(8);
+    const std::string value = rnd.NextString(1024);
+    for (uint64_t i = 0; i < kKeySpace; ++i) {
+      (void)g_concurrent_db->db->Put(KeyOf(i), 1, value);
+    }
+  }
+  // Offset each thread's key stream so threads do not walk in lockstep.
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) * 7919;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_concurrent_db->db->Get(KeyOf(i++), 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete g_concurrent_db;
+    g_concurrent_db = nullptr;
+  }
+}
+BENCHMARK(BM_QinDbConcurrentGet)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Iterations(4000)
+    ->UseRealTime();
+
+// Mixed load: the first `writers` threads stream PUTs (disjoint key ranges,
+// so no duplicate key/version collisions) while the rest serve GETs — the
+// paper's loading-while-serving scenario. Items processed counts both ops.
+void BM_QinDbMixedReadWrite(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  if (state.thread_index() == 0) {
+    g_concurrent_db = new ConcurrentDb();
+    Random rnd(9);
+    const std::string value = rnd.NextString(1024);
+    for (uint64_t i = 0; i < kKeySpace; ++i) {
+      (void)g_concurrent_db->db->Put(KeyOf(i), 1, value);
+    }
+  }
+  if (state.thread_index() < writers) {
+    Random rnd(10 + state.thread_index());
+    const std::string value = rnd.NextString(1024);
+    uint64_t i = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(g_concurrent_db->db->Put(
+          WriterKeyOf(state.thread_index(), i), i / kKeySpace + 1, value));
+      ++i;
+    }
+  } else {
+    uint64_t i = static_cast<uint64_t>(state.thread_index()) * 7919;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(g_concurrent_db->db->Get(KeyOf(i++), 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete g_concurrent_db;
+    g_concurrent_db = nullptr;
+  }
+}
+BENCHMARK(BM_QinDbMixedReadWrite)
+    ->ArgName("writers")
+    ->Arg(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Iterations(4000)
+    ->UseRealTime();
+
 void BM_LsmPut(benchmark::State& state) {
   auto engine = NewLsmAdapter(MicroConfig());
   Random rnd(4);

@@ -37,6 +37,9 @@ Result<std::unique_ptr<AofManager>> AofManager::Open(
 
 Status AofManager::AdoptExistingSegments(
     const std::map<uint32_t, SegmentMeta>* known) {
+  // Runs before the manager is published; no locking needed, but the scan
+  // helper asserts nothing, so take the lock anyway for uniformity.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   uint32_t max_id = 0;
   bool any = false;
   for (const std::string& name : env_->ListFiles()) {
@@ -60,8 +63,8 @@ Status AofManager::AdoptExistingSegments(
     // Determine the record extent of the segment by scanning headers; the
     // file itself may be longer due to block/page padding.
     uint64_t end = 0;
-    Status s = ScanSegment(id, [&end](const RecordAddress& addr,
-                                      const RecordView& rec) {
+    Status s = ScanSegmentLocked(id, [&end](const RecordAddress& addr,
+                                            const RecordView& rec) {
       end = addr.offset + RecordExtent(rec.header.key_len, rec.header.value_len);
       return true;
     });
@@ -75,7 +78,7 @@ Status AofManager::AdoptExistingSegments(
   return Status::OK();
 }
 
-Status AofManager::OpenNewSegment() {
+Status AofManager::OpenNewSegmentLocked() {
   const std::string name = SegmentName(active_id_);
   Result<std::unique_ptr<ssd::WritableFile>> file = env_->NewWritableFile(name);
   if (!file.ok()) return file.status();
@@ -89,6 +92,14 @@ Status AofManager::OpenNewSegment() {
 Result<RecordAddress> AofManager::AppendRecord(const Slice& key,
                                                uint64_t version, uint8_t flags,
                                                const Slice& value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AppendRecordLocked(key, version, flags, value);
+}
+
+Result<RecordAddress> AofManager::AppendRecordLocked(const Slice& key,
+                                                     uint64_t version,
+                                                     uint8_t flags,
+                                                     const Slice& value) {
   const uint64_t extent = RecordExtent(key.size(), value.size());
   if (extent > options_.segment_bytes) {
     return Status::InvalidArgument("record exceeds segment capacity");
@@ -98,11 +109,11 @@ Result<RecordAddress> AofManager::AppendRecord(const Slice& key,
   }
   if (active_writer_ != nullptr &&
       active_writer_->Size() + extent > options_.segment_bytes) {
-    Status s = SealActive();
+    Status s = SealActiveLocked();
     if (!s.ok()) return s;
   }
   if (active_writer_ == nullptr) {
-    Status s = OpenNewSegment();
+    Status s = OpenNewSegmentLocked();
     if (!s.ok()) return s;
   }
 
@@ -129,6 +140,11 @@ Result<RecordAddress> AofManager::AppendRecord(const Slice& key,
 }
 
 Status AofManager::SealActive() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return SealActiveLocked();
+}
+
+Status AofManager::SealActiveLocked() {
   if (active_writer_ == nullptr) return Status::OK();
   Status s = active_writer_->Close();
   if (!s.ok()) return s;
@@ -140,9 +156,22 @@ Status AofManager::SealActive() {
   return Status::OK();
 }
 
+uint32_t AofManager::active_segment() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return active_id_;
+}
+
+size_t AofManager::segment_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return segments_.size();
+}
+
 ssd::RandomAccessFile* AofManager::ReaderFor(uint32_t segment_id) const {
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return nullptr;
+  // mu_ (held at least shared) keeps the map node alive; readers_mu_ makes
+  // the lazy creation single-shot when two readers fault in the same reader.
+  std::lock_guard<std::mutex> lock(readers_mu_);
   if (it->second.reader == nullptr) {
     auto file = env_->NewRandomAccessFile(SegmentName(segment_id));
     if (!file.ok()) return nullptr;
@@ -151,8 +180,8 @@ ssd::RandomAccessFile* AofManager::ReaderFor(uint32_t segment_id) const {
   return it->second.reader.get();
 }
 
-Status AofManager::ReadBytes(uint32_t segment_id, uint64_t offset, uint64_t n,
-                             std::string* out) const {
+Status AofManager::ReadBytesLocked(uint32_t segment_id, uint64_t offset,
+                                   uint64_t n, std::string* out) const {
   out->clear();
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) {
@@ -191,11 +220,12 @@ Status AofManager::ReadBytes(uint32_t segment_id, uint64_t offset, uint64_t n,
 
 Status AofManager::ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
                               RecordView* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t extent = extent_hint;
   if (extent == 0) {
     std::string hdr;
-    Status s = ReadBytes(addr.segment_id, addr.offset, RecordHeader::kSize,
-                         &hdr);
+    Status s = ReadBytesLocked(addr.segment_id, addr.offset,
+                               RecordHeader::kSize, &hdr);
     if (!s.ok()) return s;
     RecordHeader header;
     s = DecodeHeader(hdr, &header);
@@ -203,12 +233,13 @@ Status AofManager::ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
     extent = RecordExtent(header.key_len, header.value_len);
   }
   std::string body;
-  Status s = ReadBytes(addr.segment_id, addr.offset, extent, &body);
+  Status s = ReadBytesLocked(addr.segment_id, addr.offset, extent, &body);
   if (!s.ok()) return s;
   return DecodeRecord(body, out);
 }
 
 void AofManager::MarkDead(const RecordAddress& addr, uint64_t extent) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = segments_.find(addr.segment_id);
   if (it == segments_.end()) return;
   it->second.live_bytes =
@@ -216,6 +247,11 @@ void AofManager::MarkDead(const RecordAddress& addr, uint64_t extent) {
 }
 
 double AofManager::Occupancy(uint32_t segment_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return OccupancyLocked(segment_id);
+}
+
+double AofManager::OccupancyLocked(uint32_t segment_id) const {
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return 1.0;
   return static_cast<double>(it->second.live_bytes) /
@@ -223,20 +259,22 @@ double AofManager::Occupancy(uint32_t segment_id) const {
 }
 
 std::vector<uint32_t> AofManager::GcVictims() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<uint32_t> victims;
   for (const auto& [id, seg] : segments_) {
     if (!seg.sealed) continue;
-    if (Occupancy(id) <= options_.gc_occupancy_threshold) {
+    if (OccupancyLocked(id) <= options_.gc_occupancy_threshold) {
       victims.push_back(id);
     }
   }
   std::sort(victims.begin(), victims.end(), [this](uint32_t a, uint32_t b) {
-    return Occupancy(a) < Occupancy(b);
+    return OccupancyLocked(a) < OccupancyLocked(b);
   });
   return victims;
 }
 
-Status AofManager::ScanSegment(uint32_t segment_id, const ScanFn& fn) const {
+Status AofManager::ScanSegmentLocked(uint32_t segment_id,
+                                     const ScanFn& fn) const {
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return Status::NotFound("unknown segment");
   const bool adopted = it->second.total_bytes == 0 && it->second.sealed;
@@ -266,7 +304,7 @@ Status AofManager::ScanSegment(uint32_t segment_id, const ScanFn& fn) const {
       const uint64_t want =
           std::min(std::max(need, kScanChunkBytes), limit - offset);
       buf_start = offset;
-      return ReadBytes(segment_id, offset, want, &buf);
+      return ReadBytesLocked(segment_id, offset, want, &buf);
     };
     Status s = ensure(RecordHeader::kSize);
     if (!s.ok()) return s;
@@ -293,9 +331,12 @@ Status AofManager::ScanSegment(uint32_t segment_id, const ScanFn& fn) const {
 }
 
 Status AofManager::Scan(const ScanFn& fn, uint32_t min_segment) const {
+  // Deliberately lockless: Scan is the recovery path, called before the
+  // engine goes multi-threaded, and its callbacks re-enter the manager
+  // (MarkDead) to rebuild occupancy. Callers must be quiescent.
   for (const auto& [id, seg] : segments_) {
     if (id < min_segment) continue;
-    Status s = ScanSegment(id, fn);
+    Status s = ScanSegmentLocked(id, fn);
     if (!s.ok()) return s;
   }
   return Status::OK();
@@ -305,6 +346,7 @@ Status AofManager::CollectSegment(uint32_t segment_id,
                                   const Classifier& classify,
                                   const RelocateFn& relocate,
                                   const DropFn& drop) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return Status::NotFound("unknown segment");
   if (!it->second.sealed) {
@@ -312,15 +354,22 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   }
 
   Status append_error;
-  Status s = ScanSegment(
+  Status s = ScanSegmentLocked(
       segment_id, [&](const RecordAddress& addr, const RecordView& rec) {
         if (classify(addr, rec)) {
-          Result<RecordAddress> new_addr =
-              AppendRecord(rec.key, rec.header.version, rec.header.flags,
-                           rec.value);
+          Result<RecordAddress> new_addr = AppendRecordLocked(
+              rec.key, rec.header.version,
+              static_cast<uint8_t>(rec.header.flags | kFlagRelocated),
+              rec.value);
           if (!new_addr.ok()) {
             append_error = new_addr.status();
             return false;
+          }
+          if (rec.is_tombstone()) {
+            // Tombstones never hold live data; keep the relocated copy's
+            // occupancy accounting dead like the original's.
+            segments_[new_addr->segment_id].live_bytes -=
+                RecordExtent(rec.key.size(), rec.value.size());
           }
           ++gc_stats_.records_rewritten;
           gc_stats_.bytes_rewritten +=
@@ -337,9 +386,29 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   if (!s.ok()) return s;
   if (!append_error.ok()) return append_error;
 
-  // Destroy the cached reader before the file disappears.
-  it->second.reader.reset();
-  segments_.erase(it);
+  // Erasing the victim destroys information whose justification may still
+  // be volatile: the re-appended copies themselves (native-mode Sync cannot
+  // persist a sub-page tail), but also the newer records that made this
+  // segment's dropped records dead — a superseding re-PUT or a tombstone
+  // sitting in the active tail. Seal the active segment first so that a
+  // crash after the erase recovers a state at least as new as the erase.
+  if (active_writer_ != nullptr &&
+      active_writer_->PersistedSize() < active_writer_->Size()) {
+    s = SealActiveLocked();
+    if (!s.ok()) return s;
+  }
+
+  // Destroy the cached reader before the file disappears. Re-find the
+  // segment: the re-appends above may have rebalanced the map (iterators
+  // stay valid for std::map, but be explicit anyway).
+  it = segments_.find(segment_id);
+  if (it != segments_.end()) {
+    {
+      std::lock_guard<std::mutex> rlock(readers_mu_);
+      it->second.reader.reset();
+    }
+    segments_.erase(it);
+  }
   s = env_->DeleteFile(SegmentName(segment_id));
   if (!s.ok()) return s;
   ++gc_stats_.segments_reclaimed;
@@ -347,6 +416,7 @@ Status AofManager::CollectSegment(uint32_t segment_id,
 }
 
 std::map<uint32_t, SegmentMeta> AofManager::SegmentMetas() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::map<uint32_t, SegmentMeta> out;
   for (const auto& [id, seg] : segments_) {
     out[id] = SegmentMeta{seg.total_bytes, seg.live_bytes};
@@ -355,6 +425,7 @@ std::map<uint32_t, SegmentMeta> AofManager::SegmentMetas() const {
 }
 
 uint64_t AofManager::LiveBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [id, seg] : segments_) total += seg.live_bytes;
   return total;

@@ -1,10 +1,13 @@
 #ifndef DIRECTLOAD_AOF_AOF_MANAGER_H_
 #define DIRECTLOAD_AOF_AOF_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,12 +32,14 @@ struct AofOptions {
   bool log_deletes = false;
 };
 
+/// Collection counters; atomics so the engine can read them from any thread
+/// while a collection is in progress.
 struct GcStats {
-  uint64_t segments_reclaimed = 0;
-  uint64_t records_rewritten = 0;
-  uint64_t bytes_rewritten = 0;
-  uint64_t records_dropped = 0;
-  uint64_t bytes_dropped = 0;
+  std::atomic<uint64_t> segments_reclaimed{0};
+  std::atomic<uint64_t> records_rewritten{0};
+  std::atomic<uint64_t> bytes_rewritten{0};
+  std::atomic<uint64_t> records_dropped{0};
+  std::atomic<uint64_t> bytes_dropped{0};
 };
 
 /// Manages the append-only files of one QinDB instance: record appends with
@@ -53,6 +58,15 @@ struct SegmentMeta {
 /// The manager is policy-free about liveness: the engine supplies a
 /// classifier when collecting, because only the engine knows about delete
 /// flags and referents.
+///
+/// Thread model: mutations (AppendRecord, SealActive, MarkDead,
+/// CollectSegment) take the manager's lock exclusively and are therefore
+/// serialized; reads (ReadRecord, Scan, Occupancy, GcVictims, the stats
+/// accessors) take it shared and run concurrently with each other. Sealed
+/// segments are immutable on device, so shared-mode readers only contend on
+/// the lock word, never on data. Lazy per-segment reader creation is guarded
+/// by a separate leaf mutex so two threads faulting in the same reader do
+/// not race.
 class AofManager {
  public:
   /// Opens over `env`, adopting any existing aof_*.dat segments (crash
@@ -104,12 +118,17 @@ class AofManager {
 
   /// Collects one sealed segment: live records are re-appended to the
   /// current end of the AOFs, the caller patches memtable offsets in
-  /// `relocate`, and the segment file is erased.
+  /// `relocate`, and the segment file is erased. Runs under the exclusive
+  /// lock, so concurrent readers observe either the victim file intact or
+  /// the fully patched state, never a half-erased segment.
   Status CollectSegment(uint32_t segment_id, const Classifier& classify,
                         const RelocateFn& relocate, const DropFn& drop);
 
   /// Sequentially scans every record in every segment with id >=
   /// `min_segment` (recovery path). Stops early if `fn` returns false.
+  /// Takes no lock — callers must be quiescent (it runs before the engine
+  /// goes multi-threaded) and callbacks may re-enter the manager, e.g. to
+  /// MarkDead superseded records while rebuilding occupancy.
   using ScanFn =
       std::function<bool(const RecordAddress&, const RecordView&)>;
   Status Scan(const ScanFn& fn, uint32_t min_segment = 0) const;
@@ -117,8 +136,8 @@ class AofManager {
   /// Flushes and seals the active segment (e.g., before checkpointing).
   Status SealActive();
 
-  uint32_t active_segment() const { return active_id_; }
-  size_t segment_count() const { return segments_.size(); }
+  uint32_t active_segment() const;
+  size_t segment_count() const;
 
   /// Current accounting of every segment (for checkpoints).
   std::map<uint32_t, SegmentMeta> SegmentMetas() const;
@@ -142,17 +161,33 @@ class AofManager {
   AofManager(ssd::SsdEnv* env, const AofOptions& options);
 
   static std::string SegmentName(uint32_t id);
-  Status OpenNewSegment();
+
+  // *Locked methods require mu_ held by the caller: exclusively for the
+  // mutating ones, at least shared for the reading ones.
+  Status OpenNewSegmentLocked();
+  Result<RecordAddress> AppendRecordLocked(const Slice& key, uint64_t version,
+                                           uint8_t flags, const Slice& value);
+  Status SealActiveLocked();
+  double OccupancyLocked(uint32_t segment_id) const;
   Status AdoptExistingSegments(const std::map<uint32_t, SegmentMeta>* known);
   /// Raw byte read covering [offset, offset+n) of a segment, merging the
   /// device contents with the active segment's in-memory tail.
-  Status ReadBytes(uint32_t segment_id, uint64_t offset, uint64_t n,
-                   std::string* out) const;
-  Status ScanSegment(uint32_t segment_id, const ScanFn& fn) const;
+  Status ReadBytesLocked(uint32_t segment_id, uint64_t offset, uint64_t n,
+                         std::string* out) const;
+  Status ScanSegmentLocked(uint32_t segment_id, const ScanFn& fn) const;
+  /// Requires mu_ held (shared suffices); takes readers_mu_ internally for
+  /// the lazy creation.
   ssd::RandomAccessFile* ReaderFor(uint32_t segment_id) const;
 
   ssd::SsdEnv* env_;
   AofOptions options_;
+
+  /// Exclusive: appends, seals, occupancy mutation, collection. Shared:
+  /// record reads, scans, accounting queries.
+  mutable std::shared_mutex mu_;
+  /// Leaf lock for lazy SegmentInfo::reader creation under shared mu_.
+  mutable std::mutex readers_mu_;
+
   std::map<uint32_t, SegmentInfo> segments_;
   uint32_t active_id_ = 0;
   std::unique_ptr<ssd::WritableFile> active_writer_;

@@ -37,6 +37,10 @@ enum RecordFlags : uint8_t {
   kFlagDedup = 1u << 0,
   /// Delete marker (written only when AofOptions::log_deletes is on).
   kFlagTombstone = 1u << 1,
+  /// Copy re-appended by segment collection. Recovery must not let such a
+  /// copy revive a pair an earlier tombstone deleted: relocation preserves
+  /// a record's bytes but not its position in operation order.
+  kFlagRelocated = 1u << 2,
 };
 
 /// Fixed-size record header. A fixed layout (vs varints) lets the engine
@@ -70,6 +74,7 @@ struct RecordView {
 
   bool is_dedup() const { return (header.flags & kFlagDedup) != 0; }
   bool is_tombstone() const { return (header.flags & kFlagTombstone) != 0; }
+  bool is_relocated() const { return (header.flags & kFlagRelocated) != 0; }
 };
 
 /// Serializes a record (header + key + value) into `dst` (appended).

@@ -49,7 +49,8 @@ char* Arena::AllocateFallback(size_t bytes) {
 
 char* Arena::AllocateNewBlock(size_t block_bytes) {
   blocks_.push_back(std::make_unique<char[]>(block_bytes));
-  memory_usage_ += block_bytes + sizeof(char*);
+  memory_usage_.fetch_add(block_bytes + sizeof(char*),
+                          std::memory_order_relaxed);
   return blocks_.back().get();
 }
 

@@ -1,6 +1,7 @@
 #ifndef DIRECTLOAD_COMMON_ARENA_H_
 #define DIRECTLOAD_COMMON_ARENA_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -11,6 +12,11 @@ namespace directload {
 /// Bump allocator backing the skip-list memtable: allocations live until the
 /// arena is destroyed, which matches the memtable lifetime and removes
 /// per-node heap overhead.
+///
+/// Thread model: at most one thread allocates at a time (the engine's write
+/// lock enforces this); any number of threads may concurrently *read* memory
+/// previously handed out — published to them by the skip list's release
+/// stores — and may call MemoryUsage().
 class Arena {
  public:
   Arena();
@@ -25,7 +31,9 @@ class Arena {
   char* AllocateAligned(size_t bytes);
 
   /// Total bytes reserved from the heap (capacity, not just handed out).
-  size_t MemoryUsage() const { return memory_usage_; }
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
 
  private:
   char* AllocateFallback(size_t bytes);
@@ -36,7 +44,7 @@ class Arena {
   char* alloc_ptr_ = nullptr;
   size_t alloc_bytes_remaining_ = 0;
   std::vector<std::unique_ptr<char[]>> blocks_;
-  size_t memory_usage_ = 0;
+  std::atomic<size_t> memory_usage_{0};
 };
 
 }  // namespace directload

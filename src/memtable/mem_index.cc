@@ -1,18 +1,18 @@
 #include "memtable/mem_index.h"
 
 #include <cstring>
+#include <new>
 
 namespace directload {
 
 namespace {
 
-/// Builds a stack probe entry for seeks. The probe never outlives the call.
-MemEntry MakeProbe(const Slice& key, uint64_t version) {
-  MemEntry probe{};
-  probe.key_data = key.data();
-  probe.key_size = static_cast<uint32_t>(key.size());
-  probe.version = version;
-  return probe;
+/// Fills a stack probe entry for seeks in place (MemEntry holds atomics and
+/// is therefore not copyable). The probe never outlives the call.
+void FillProbe(MemEntry* probe, const Slice& key, uint64_t version) {
+  probe->key_data = key.data();
+  probe->key_size = static_cast<uint32_t>(key.size());
+  probe->version = version;
 }
 
 }  // namespace
@@ -35,74 +35,84 @@ MemEntry* MemIndex::Insert(const Slice& key, uint64_t version,
                            uint64_t address, uint32_t value_size, bool dedup) {
   // Re-transmitted pairs update the existing item in place (including
   // reviving a purged ghost) rather than duplicating it.
-  MemEntry probe = MakeProbe(key, version);
+  MemEntry probe{};
+  FillProbe(&probe, key, version);
   List::Iterator it(list_.get());
   MemEntry* probe_ptr = &probe;
   it.Seek(probe_ptr);
   if (it.Valid() && EntryComparator()(it.key(), probe_ptr) == 0) {
     MemEntry* existing = it.key();
-    if (existing->purged) {
-      existing->purged = false;
-      ++live_count_;
+    if (existing->purged.load(std::memory_order_relaxed)) {
+      existing->purged.store(false, std::memory_order_relaxed);
+      live_count_.fetch_add(1, std::memory_order_relaxed);
     }
-    existing->address = address;
-    existing->value_size = value_size;
-    existing->dedup = dedup;
-    existing->deleted = false;
+    existing->address.store(address, std::memory_order_relaxed);
+    existing->value_size.store(value_size, std::memory_order_relaxed);
+    existing->dedup.store(dedup, std::memory_order_relaxed);
+    existing->deleted.store(false, std::memory_order_release);
     return existing;
   }
 
   char* key_copy = arena_->Allocate(key.size());
   std::memcpy(key_copy, key.data(), key.size());
   auto* entry =
-      reinterpret_cast<MemEntry*>(arena_->AllocateAligned(sizeof(MemEntry)));
+      new (arena_->AllocateAligned(sizeof(MemEntry))) MemEntry{};
   entry->key_data = key_copy;
   entry->key_size = static_cast<uint32_t>(key.size());
   entry->version = version;
-  entry->address = address;
-  entry->value_size = value_size;
-  entry->dedup = dedup;
-  entry->deleted = false;
-  entry->purged = false;
+  entry->address.store(address, std::memory_order_relaxed);
+  entry->value_size.store(value_size, std::memory_order_relaxed);
+  entry->dedup.store(dedup, std::memory_order_relaxed);
+  entry->deleted.store(false, std::memory_order_relaxed);
+  entry->purged.store(false, std::memory_order_relaxed);
+  // The skip-list insert publishes the fully built entry with a release
+  // store, so lock-free readers always observe initialized fields.
   list_->Insert(entry);
-  ++live_count_;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   return entry;
 }
 
 MemEntry* MemIndex::FindExact(const Slice& key, uint64_t version) const {
-  MemEntry probe = MakeProbe(key, version);
+  MemEntry probe{};
+  FillProbe(&probe, key, version);
   MemEntry* probe_ptr = &probe;
   List::Iterator it(list_.get());
   it.Seek(probe_ptr);
   if (!it.Valid()) return nullptr;
   MemEntry* found = it.key();
-  if (EntryComparator()(found, probe_ptr) != 0 || found->purged) {
+  if (EntryComparator()(found, probe_ptr) != 0 ||
+      found->purged.load(std::memory_order_acquire)) {
     return nullptr;
   }
   return found;
 }
 
 MemEntry* MemIndex::FindLatest(const Slice& key) const {
-  MemEntry probe = MakeProbe(key, UINT64_MAX);
+  MemEntry probe{};
+  FillProbe(&probe, key, UINT64_MAX);
   MemEntry* probe_ptr = &probe;
   List::Iterator it(list_.get());
   for (it.Seek(probe_ptr); it.Valid(); it.Next()) {
     MemEntry* entry = it.key();
     if (entry->user_key() != key) return nullptr;
-    if (!entry->purged) return entry;
+    if (!entry->purged.load(std::memory_order_acquire)) return entry;
   }
   return nullptr;
 }
 
 MemEntry* MemIndex::TracebackValue(const Slice& key, uint64_t version) const {
   if (version == 0) return nullptr;
-  MemEntry probe = MakeProbe(key, version - 1);
+  MemEntry probe{};
+  FillProbe(&probe, key, version - 1);
   MemEntry* probe_ptr = &probe;
   List::Iterator it(list_.get());
   for (it.Seek(probe_ptr); it.Valid(); it.Next()) {
     MemEntry* entry = it.key();
     if (entry->user_key() != key) return nullptr;
-    if (entry->purged || entry->dedup) continue;  // No value bytes here.
+    if (entry->purged.load(std::memory_order_acquire) ||
+        entry->dedup.load(std::memory_order_acquire)) {
+      continue;  // No value bytes here.
+    }
     return entry;
   }
   return nullptr;
@@ -110,30 +120,34 @@ MemEntry* MemIndex::TracebackValue(const Slice& key, uint64_t version) const {
 
 std::vector<MemEntry*> MemIndex::EntriesForKey(const Slice& key) const {
   std::vector<MemEntry*> out;
-  MemEntry probe = MakeProbe(key, UINT64_MAX);
+  MemEntry probe{};
+  FillProbe(&probe, key, UINT64_MAX);
   MemEntry* probe_ptr = &probe;
   List::Iterator it(list_.get());
   for (it.Seek(probe_ptr); it.Valid(); it.Next()) {
     MemEntry* entry = it.key();
     if (entry->user_key() != key) break;
-    if (!entry->purged) out.push_back(entry);
+    if (!entry->purged.load(std::memory_order_acquire)) out.push_back(entry);
   }
   return out;
 }
 
 void MemIndex::Purge(MemEntry* entry) {
-  if (!entry->purged) {
-    entry->purged = true;
-    --live_count_;
+  if (!entry->purged.exchange(true, std::memory_order_acq_rel)) {
+    live_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void MemIndex::CompactInto(MemIndex* fresh) const {
   for (Iterator it = NewIterator(); it.Valid(); it.Next()) {
     const MemEntry* e = it.entry();
-    MemEntry* copy = fresh->Insert(e->user_key(), e->version, e->address,
-                                   e->value_size, e->dedup);
-    copy->deleted = e->deleted;
+    MemEntry* copy =
+        fresh->Insert(e->user_key(), e->version,
+                      e->address.load(std::memory_order_relaxed),
+                      e->value_size.load(std::memory_order_relaxed),
+                      e->dedup.load(std::memory_order_relaxed));
+    copy->deleted.store(e->deleted.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
   }
 }
 
@@ -166,14 +180,18 @@ void MemIndex::Iterator::SeekToFirst() {
 }
 
 void MemIndex::Iterator::Seek(const Slice& key) {
-  MemEntry probe = MakeProbe(key, UINT64_MAX);
+  MemEntry probe{};
+  FillProbe(&probe, key, UINT64_MAX);
   MemEntry* probe_ptr = &probe;
   impl_->it.Seek(probe_ptr);
   SkipPurged();
 }
 
 void MemIndex::Iterator::SkipPurged() {
-  while (impl_->it.Valid() && impl_->it.key()->purged) impl_->it.Next();
+  while (impl_->it.Valid() &&
+         impl_->it.key()->purged.load(std::memory_order_acquire)) {
+    impl_->it.Next();
+  }
 }
 
 }  // namespace directload

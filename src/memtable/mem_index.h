@@ -1,6 +1,7 @@
 #ifndef DIRECTLOAD_MEMTABLE_MEM_INDEX_H_
 #define DIRECTLOAD_MEMTABLE_MEM_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -16,16 +17,26 @@ namespace directload {
 /// the mutated operations rely on — `r` (the value field was removed by
 /// Bifrost's deduplication) and `d` (the pair was deleted; space reclaimed
 /// lazily by AOF GC).
+///
+/// The identity fields (key, version) are immutable once the entry is
+/// published through the skip list. The state fields are atomics because
+/// they are mutated in place by writers and the GC while reader threads
+/// traverse the index lock-free; each field is individually coherent and
+/// readers tolerate (and retry on) cross-field races such as an address
+/// observed next to a stale value_size.
 struct MemEntry {
   const char* key_data;
   uint32_t key_size;
   uint64_t version;
 
-  uint64_t address;     // Opaque AOF record address (owned by the AOF layer).
-  uint32_t value_size;  // Stored value length; 0 when the value is NULL.
-  bool dedup;           // 'r' flag: value removed, resolve by traceback.
-  bool deleted;         // 'd' flag: logically deleted, awaiting GC.
-  bool purged;          // Physically dropped from the index (post-GC).
+  // Opaque AOF record address (owned by the AOF layer). Patched by re-PUTs
+  // and by GC relocation while reads are in flight.
+  std::atomic<uint64_t> address;
+  // Stored value length; 0 when the value is NULL.
+  std::atomic<uint32_t> value_size;
+  std::atomic<bool> dedup;    // 'r' flag: value removed, resolve by traceback.
+  std::atomic<bool> deleted;  // 'd' flag: logically deleted, awaiting GC.
+  std::atomic<bool> purged;   // Physically dropped from the index (post-GC).
 
   Slice user_key() const { return Slice(key_data, key_size); }
 };
@@ -39,6 +50,11 @@ struct MemEntry {
 /// The skip list never physically unlinks nodes; `Purge` marks an entry
 /// invisible and `CompactInto` rebuilds a dense index (used after version
 /// pruning and during checkpoint load).
+///
+/// Thread model: one mutator at a time (Insert/Purge/CompactInto require the
+/// caller's write lock); lookups and iteration are lock-free and may run
+/// concurrently with the mutator. Entries and their keys are arena-backed,
+/// so pointers handed to readers stay valid for the index's lifetime.
 class MemIndex {
  public:
   explicit MemIndex(uint64_t seed = 0xdecaf);
@@ -70,7 +86,9 @@ class MemIndex {
   void Purge(MemEntry* entry);
 
   /// Number of visible (non-purged) entries.
-  size_t live_count() const { return live_count_; }
+  size_t live_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
   /// Number of entries ever inserted (including purged).
   size_t total_count() const { return list_->size(); }
   size_t ApproximateMemoryUsage() const { return arena_->MemoryUsage(); }
@@ -112,7 +130,7 @@ class MemIndex {
 
   std::unique_ptr<Arena> arena_;
   std::unique_ptr<List> list_;
-  size_t live_count_ = 0;
+  std::atomic<size_t> live_count_{0};
 };
 
 }  // namespace directload

@@ -1,6 +1,7 @@
 #ifndef DIRECTLOAD_MEMTABLE_SKIPLIST_H_
 #define DIRECTLOAD_MEMTABLE_SKIPLIST_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -20,8 +21,15 @@ namespace directload {
 ///
 /// The list never removes nodes; deletion is expressed by the layers above
 /// (flags in QinDB, tombstones in the LSM engine), which matches both
-/// engines' semantics. Single-writer, as all concurrency in the project is
-/// simulated.
+/// engines' semantics.
+///
+/// Thread model (the LevelDB discipline): writes require external
+/// synchronization — one Insert at a time — but reads need none. Next
+/// pointers are atomics; an insert initializes the new node and links it
+/// bottom-up with release stores, so a reader that observes a node via an
+/// acquire load also observes the node's contents. Readers may therefore
+/// traverse concurrently with one writer, and nodes are never unlinked or
+/// freed while the owning arena lives.
 template <typename Key, class Comparator>
 class SkipList {
  public:
@@ -31,29 +39,35 @@ class SkipList {
         head_(NewNode(Key(), kMaxHeight)),
         max_height_(1),
         rnd_(seed) {
-    for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+    for (int i = 0; i < kMaxHeight; ++i) head_->NoBarrier_SetNext(i, nullptr);
   }
 
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
   /// Inserts `key`. Requires that an equal key has not already been
-  /// inserted (equality under the comparator).
+  /// inserted (equality under the comparator), and that no other thread is
+  /// inserting concurrently.
   void Insert(const Key& key) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(key, prev);
     assert(x == nullptr || compare_(key, x->key) != 0);
     const int height = RandomHeight();
-    if (height > max_height_) {
-      for (int i = max_height_; i < height; ++i) prev[i] = head_;
-      max_height_ = height;
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; ++i) prev[i] = head_;
+      // A relaxed store suffices: a reader seeing the new height before the
+      // new node simply starts from head_'s null pointers at those levels.
+      max_height_.store(height, std::memory_order_relaxed);
     }
     x = NewNode(key, height);
     for (int i = 0; i < height; ++i) {
-      x->SetNext(i, prev[i]->Next(i));
+      // The new node's forward pointers need no barrier yet: the node is
+      // unpublished. The prev->SetNext release store publishes it (and the
+      // key contents written before this loop).
+      x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
       prev[i]->SetNext(i, x);
     }
-    ++size_;
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
 
   bool Contains(const Key& key) const {
@@ -61,7 +75,7 @@ class SkipList {
     return x != nullptr && compare_(key, x->key) == 0;
   }
 
-  size_t size() const { return size_; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// Forward/backward iteration over the list contents.
   class Iterator {
@@ -113,18 +127,32 @@ class SkipList {
 
     Key key;
 
-    Node* Next(int level) const { return next_[level]; }
-    void SetNext(int level, Node* n) { next_[level] = n; }
+    Node* Next(int level) const {
+      return next_[level].load(std::memory_order_acquire);
+    }
+    void SetNext(int level, Node* n) {
+      next_[level].store(n, std::memory_order_release);
+    }
+    Node* NoBarrier_Next(int level) const {
+      return next_[level].load(std::memory_order_relaxed);
+    }
+    void NoBarrier_SetNext(int level, Node* n) {
+      next_[level].store(n, std::memory_order_relaxed);
+    }
 
    private:
     // Over-allocated to the node's height by NewNode.
-    Node* next_[1];
+    std::atomic<Node*> next_[1];
   };
 
   Node* NewNode(const Key& key, int height) {
-    char* mem = arena_->AllocateAligned(sizeof(Node) +
-                                        sizeof(Node*) * (height - 1));
+    char* mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
     return new (mem) Node(key);
+  }
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
   }
 
   int RandomHeight() {
@@ -137,7 +165,7 @@ class SkipList {
   /// each level when prev != nullptr.
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr && compare_(next->key, key) < 0) {
@@ -153,7 +181,7 @@ class SkipList {
   /// Last node < key, or head_.
   Node* FindLessThan(const Key& key) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr && compare_(next->key, key) < 0) {
@@ -168,7 +196,7 @@ class SkipList {
   /// Last node in the list, or head_.
   Node* FindLast() const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr) {
@@ -183,9 +211,9 @@ class SkipList {
   Comparator const compare_;
   Arena* const arena_;
   Node* const head_;
-  int max_height_;
-  Random rnd_;
-  size_t size_ = 0;
+  std::atomic<int> max_height_;
+  Random rnd_;  // Writer-only (guarded by the external insert lock).
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace directload

@@ -1,6 +1,7 @@
 #include "mint/cluster.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/hash.h"
 
@@ -136,29 +137,74 @@ Status MintCluster::DropVersion(uint64_t version) {
 template <typename Fn>
 Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
                                                           const Fn& fn) {
-  // Requests go to the group's nodes in parallel; the caller sees the
-  // fastest live replica's answer (each node has its own clock, so the
-  // per-node elapsed device time is the replica's service latency).
+  // Requests go to the group's nodes in parallel — one thread per live
+  // replica — and the caller sees the fastest live replica's answer (each
+  // node has its own clock, so the per-node elapsed device time is the
+  // replica's service latency). Every thread is joined before selection:
+  // no replica thread can outlive the cluster's node state, and picking
+  // the minimum simulated latency keeps the winner deterministic no matter
+  // how the OS schedules the threads.
   const std::vector<int>& members = GroupNodes(GroupOf(key));
+  std::vector<int> live;
+  live.reserve(members.size());
+  for (int id : members) {
+    if (nodes_[id]->up()) live.push_back(id);
+  }
+  if (live.empty()) return Status::Unavailable("no live replica");
+
+  struct Attempt {
+    bool ok = false;
+    std::string value;
+    Status error = Status::OK();
+    double latency_micros = 0;
+  };
+  std::vector<Attempt> attempts(live.size());
+
+  auto run_one = [&](size_t slot) {
+    StorageNode* node = nodes_[live[slot]].get();
+    Attempt& attempt = attempts[slot];
+    const uint64_t before = node->clock()->NowMicros();
+    Result<std::string> got = fn(node->db());
+    attempt.latency_micros =
+        static_cast<double>(node->clock()->NowMicros() - before) +
+        options_.read_rtt_micros;
+    if (got.ok()) {
+      attempt.ok = true;
+      attempt.value = std::move(got).value();
+    } else {
+      attempt.error = got.status();
+    }
+  };
+
+  if (options_.parallel_reads && live.size() > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      threads.emplace_back(run_one, i);  // Disjoint slots: no locking needed.
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (size_t i = 0; i < live.size(); ++i) run_one(i);
+  }
+
   ReadResult best;
   bool found = false;
   Status last_error = Status::Unavailable("no live replica");
-  for (int id : members) {
-    StorageNode* node = nodes_[id].get();
-    if (!node->up()) continue;
-    const uint64_t before = node->clock()->NowMicros();
-    Result<std::string> got = fn(node->db());
-    const double latency =
-        static_cast<double>(node->clock()->NowMicros() - before) +
-        options_.read_rtt_micros;
-    if (!got.ok()) {
-      last_error = got.status();
+  for (size_t i = 0; i < live.size(); ++i) {
+    Attempt& attempt = attempts[i];
+    if (!attempt.ok) {
+      last_error = attempt.error;
       continue;
     }
-    if (!found || latency < best.latency_micros) {
-      best.value = std::move(got).value();
-      best.latency_micros = latency;
-      best.served_by = id;
+    if (options_.read_timeout_micros > 0 &&
+        attempt.latency_micros > options_.read_timeout_micros) {
+      last_error = Status::Unavailable("replica exceeded read timeout");
+      continue;
+    }
+    if (!found || attempt.latency_micros < best.latency_micros) {
+      best.value = std::move(attempt.value);
+      best.latency_micros = attempt.latency_micros;
+      best.served_by = live[i];
       found = true;
     }
   }

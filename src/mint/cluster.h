@@ -27,6 +27,18 @@ struct MintOptions {
   /// Fixed network round trip added to every remote read (intra-DC).
   double read_rtt_micros = 200;
 
+  /// Fan reads out to the group's replicas on real threads (one per live
+  /// replica); false falls back to a sequential loop over the replicas.
+  /// Either way the winner is the fastest live replica by simulated
+  /// latency, so results are deterministic.
+  bool parallel_reads = true;
+
+  /// Per-replica read timeout in simulated microseconds (device time plus
+  /// RTT). Replies slower than this are treated as unavailable — the knob
+  /// that keeps one slow or recovering replica from serving reads the rest
+  /// of the group can answer faster. Zero disables the timeout.
+  double read_timeout_micros = 0;
+
   uint64_t seed = 1;
 };
 
@@ -65,8 +77,12 @@ class StorageNode {
 /// dispatched to node *groups* via H(k) — never directly to nodes, so
 /// group membership can change without redistributing stored pairs — and
 /// each pair is written to `replicas` nodes of its group, chosen by
-/// rendezvous hashing. Reads are sent to the group's nodes in parallel and
-/// the fastest live replica answers, which hides slow or recovering nodes.
+/// rendezvous hashing. Reads are sent to the group's nodes in parallel —
+/// one std::thread per live replica, every thread joined before the call
+/// returns — and the fastest live replica answers (first-result-wins by
+/// simulated latency), which hides slow or recovering nodes. Each node owns
+/// a private clock, env, and engine, so replica threads share no mutable
+/// state; the engines themselves are internally thread-safe.
 class MintCluster {
  public:
   explicit MintCluster(const MintOptions& options);

@@ -19,7 +19,8 @@ constexpr uint8_t kCkptDedup = 1u << 0;
 constexpr uint8_t kCkptDeleted = 1u << 1;
 
 uint64_t EntryExtent(const MemEntry* e) {
-  return aof::RecordExtent(e->key_size, e->value_size);
+  return aof::RecordExtent(e->key_size,
+                           e->value_size.load(std::memory_order_acquire));
 }
 
 }  // namespace
@@ -30,7 +31,7 @@ QinDb::QinDb(ssd::SsdEnv* env, const QinDbOptions& options)
 Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
                                            const QinDbOptions& options) {
   std::unique_ptr<QinDb> db(new QinDb(env, options));
-  db->mem_ = std::make_unique<MemIndex>();
+  db->mem_ = std::make_shared<MemIndex>();
 
   std::map<uint32_t, aof::SegmentMeta> metas;
   uint32_t next_segment = 0;
@@ -60,12 +61,18 @@ Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
   return db;
 }
 
+std::shared_ptr<const MemIndex> QinDb::PinIndex() const {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  return mem_;
+}
+
 Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
                   bool dedup) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   const Slice stored_value = dedup ? Slice() : value;
   const uint8_t flags = dedup ? aof::kFlagDedup : aof::kFlagNone;
 
+  std::lock_guard<std::mutex> lock(write_mutex_);
   const uint32_t segment_before = aof_->active_segment();
   Result<aof::RecordAddress> addr =
       aof_->AppendRecord(key, version, flags, stored_value);
@@ -87,14 +94,14 @@ Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
   if (options_.checkpoint_interval_bytes > 0 &&
       stats_.user_bytes_ingested - bytes_at_last_checkpoint_ >=
           options_.checkpoint_interval_bytes) {
-    Status s = Checkpoint();
+    Status s = CheckpointLocked();
     if (!s.ok()) return s;
     bytes_at_last_checkpoint_ = stats_.user_bytes_ingested;
   }
 
   if (options_.auto_gc && aof_->active_segment() != segment_before) {
     // A segment sealed: cheap moment to evaluate the lazy GC policy.
-    return MaybeGc();
+    return MaybeGcLocked();
   }
   return Status::OK();
 }
@@ -102,7 +109,8 @@ Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
 Result<QinDb::ScrubReport> QinDb::Scrub() {
   ScrubReport report;
   ReadGuard guard(this);  // Scrubbing counts as an ongoing read stream.
-  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+  const std::shared_ptr<const MemIndex> index = PinIndex();
+  for (MemIndex::Iterator it = index->NewIterator(); it.Valid(); it.Next()) {
     MemEntry* entry = it.entry();
     ++report.entries_checked;
     aof::RecordView view;
@@ -116,7 +124,7 @@ Result<QinDb::ScrubReport> QinDb::Scrub() {
     }
     report.bytes_verified += EntryExtent(entry);
     if (entry->dedup && !entry->deleted &&
-        mem_->TracebackValue(entry->user_key(), entry->version) == nullptr) {
+        index->TracebackValue(entry->user_key(), entry->version) == nullptr) {
       ++report.unresolvable_dedups;
     }
   }
@@ -128,7 +136,10 @@ Result<QinDb::ScrubReport> QinDb::Scrub() {
 // ---------------------------------------------------------------------------
 
 QinDb::Scanner::Scanner(QinDb* db, uint64_t version)
-    : db_(db), version_(version), it_(db->mem_->NewIterator()) {}
+    : db_(db),
+      version_(version),
+      index_(db->PinIndex()),
+      it_(index_->NewIterator()) {}
 
 QinDb::Scanner QinDb::NewScanner(uint64_t version) {
   return Scanner(this, version);
@@ -174,10 +185,10 @@ void QinDb::Scanner::FindVisibleEntry() {
 
 Result<std::string> QinDb::Scanner::value() const {
   if (!valid_) return Status::InvalidArgument("scanner not positioned");
+  ReadGuard guard(db_);
   MemEntry* source = current_;
   if (current_->dedup) {
-    source = db_->mem_->TracebackValue(current_->user_key(),
-                                       current_->version);
+    source = index_->TracebackValue(current_->user_key(), current_->version);
     if (source == nullptr) {
       return Status::Corruption("deduplicated pair with no value-bearing older version");
     }
@@ -186,19 +197,41 @@ Result<std::string> QinDb::Scanner::value() const {
 }
 
 Result<std::string> QinDb::ReadEntryValue(const MemEntry* entry) {
-  aof::RecordView view;
-  Status s = aof_->ReadRecord(aof::RecordAddress::Unpack(entry->address),
-                              EntryExtent(entry), &view);
-  if (!s.ok()) return s;
-  if (view.key != entry->user_key() || view.header.version != entry->version) {
-    return Status::Internal("memtable offset points at the wrong record");
+  constexpr int kMaxAttempts = 8;
+  Status last = Status::Aborted("record kept moving during read");
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const uint64_t epoch = gc_epoch_.load(std::memory_order_acquire);
+    const uint64_t address = entry->address.load(std::memory_order_acquire);
+    const uint32_t value_size =
+        entry->value_size.load(std::memory_order_acquire);
+    aof::RecordView view;
+    Status s = aof_->ReadRecord(aof::RecordAddress::Unpack(address),
+                                aof::RecordExtent(entry->key_size, value_size),
+                                &view);
+    if (s.ok()) {
+      if (view.key == entry->user_key() &&
+          view.header.version == entry->version) {
+        return view.value.ToString();
+      }
+      s = Status::Internal("memtable offset points at the wrong record");
+    }
+    // A failed read may have raced a GC relocation of the record or a re-PUT
+    // superseding it (address/value_size observed torn). Retry when either
+    // signal moved; otherwise the failure is real.
+    if (entry->address.load(std::memory_order_acquire) == address &&
+        gc_epoch_.load(std::memory_order_acquire) == epoch) {
+      return s;
+    }
+    last = s;
   }
-  return view.value.ToString();
+  return last;
 }
 
 Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
   ++stats_.gets;
-  MemEntry* entry = mem_->FindExact(key, version);
+  ReadGuard guard(this);
+  const std::shared_ptr<const MemIndex> index = PinIndex();
+  MemEntry* entry = index->FindExact(key, version);
   if (entry == nullptr || entry->deleted) {
     return Status::NotFound("no such key/version");
   }
@@ -208,7 +241,7 @@ Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
   // The value field was removed by Bifrost: traceback to the newest older
   // version that still carries one (Figure 2, bottom right).
   ++stats_.traceback_gets;
-  MemEntry* source = mem_->TracebackValue(key, entry->version);
+  MemEntry* source = index->TracebackValue(key, entry->version);
   if (source == nullptr) {
     return Status::Corruption("deduplicated pair with no value-bearing older version");
   }
@@ -217,11 +250,13 @@ Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
 
 Result<std::string> QinDb::GetLatest(const Slice& key) {
   ++stats_.gets;
-  for (MemEntry* entry : mem_->EntriesForKey(key)) {
+  ReadGuard guard(this);
+  const std::shared_ptr<const MemIndex> index = PinIndex();
+  for (MemEntry* entry : index->EntriesForKey(key)) {
     if (entry->deleted) continue;
     if (!entry->dedup) return ReadEntryValue(entry);
     ++stats_.traceback_gets;
-    MemEntry* source = mem_->TracebackValue(key, entry->version);
+    MemEntry* source = index->TracebackValue(key, entry->version);
     if (source == nullptr) {
       return Status::Corruption("deduplicated pair with no value-bearing older version");
     }
@@ -277,10 +312,10 @@ void QinDb::ApplyDeleteAccounting(MemEntry* entry) {
 }
 
 Status QinDb::Del(const Slice& key, uint64_t version) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   MemEntry* entry = mem_->FindExact(key, version);
   if (entry == nullptr) return Status::NotFound("no such key/version");
-  if (!entry->deleted) {
-    entry->deleted = true;
+  if (!entry->deleted.exchange(true, std::memory_order_acq_rel)) {
     ++stats_.dels;
     ApplyDeleteAccounting(entry);
     if (options_.aof.log_deletes) {
@@ -291,11 +326,12 @@ Status QinDb::Del(const Slice& key, uint64_t version) {
       aof_->MarkDead(*addr, aof::RecordExtent(key.size(), 0));
     }
   }
-  if (options_.auto_gc) return MaybeGc();
+  if (options_.auto_gc) return MaybeGcLocked();
   return Status::OK();
 }
 
 Result<uint64_t> QinDb::DropVersion(uint64_t version) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   uint64_t flagged = 0;
   std::vector<MemEntry*> hits;
   for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
@@ -315,7 +351,7 @@ Result<uint64_t> QinDb::DropVersion(uint64_t version) {
     }
   }
   if (options_.auto_gc) {
-    Status s = MaybeGc();
+    Status s = MaybeGcLocked();
     if (!s.ok()) return s;
   }
   return flagged;
@@ -323,7 +359,8 @@ Result<uint64_t> QinDb::DropVersion(uint64_t version) {
 
 std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {
   std::map<uint64_t, uint64_t> counts;
-  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+  const std::shared_ptr<const MemIndex> index = PinIndex();
+  for (MemIndex::Iterator it = index->NewIterator(); it.Valid(); it.Next()) {
     const MemEntry* entry = it.entry();
     if (!entry->deleted) ++counts[entry->version];
   }
@@ -331,8 +368,13 @@ std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {
 }
 
 Status QinDb::MaybeGc() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return MaybeGcLocked();
+}
+
+Status QinDb::MaybeGcLocked() {
   if (aof_->GcVictims().empty()) return Status::OK();
-  if (options_.defer_gc_during_reads && reads_in_flight_ > 0) {
+  if (options_.defer_gc_during_reads && reads_in_flight() > 0) {
     const double usage = static_cast<double>(DiskBytes()) /
                          static_cast<double>(env_->CapacityBytes());
     if (usage < options_.gc_space_pressure) {
@@ -340,23 +382,50 @@ Status QinDb::MaybeGc() {
       return Status::OK();
     }
   }
-  return CollectVictims();
+  return CollectVictimsLocked();
 }
 
 Status QinDb::ForceGc() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   if (aof_->GcVictims().empty()) return Status::OK();
-  return CollectVictims();
+  return CollectVictimsLocked();
 }
 
-Status QinDb::CollectVictims() {
+Status QinDb::CollectVictimsLocked() {
   const std::vector<uint32_t> victims = aof_->GcVictims();
   if (victims.empty()) return Status::OK();
+
+  // Snapshot the retired indices still pinned by readers: relocations must
+  // patch their entries too, or a pinned snapshot would keep chasing
+  // addresses inside segments that no longer exist.
+  std::vector<std::shared_ptr<MemIndex>> retired;
+  {
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    retired.reserve(retired_.size());
+    for (auto it = retired_.begin(); it != retired_.end();) {
+      if (std::shared_ptr<MemIndex> idx = it->lock()) {
+        retired.push_back(std::move(idx));
+        ++it;
+      } else {
+        it = retired_.erase(it);  // No pinned reader left.
+      }
+    }
+  }
+
   for (uint32_t id : victims) {
     Status s = aof_->CollectSegment(
         id,
         /*classify=*/
         [this](const aof::RecordAddress& addr, const aof::RecordView& rec) {
-          if (rec.is_tombstone()) return false;
+          if (rec.is_tombstone()) {
+            // Keep the tombstone while the pair it deletes is still indexed:
+            // the dead record may survive in an uncollected segment (or as a
+            // relocated referent), and a recovery scan without the tombstone
+            // would resurrect it. Once the record's entry is purged the
+            // tombstone has nothing left to delete and can go.
+            MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+            return entry != nullptr && entry->deleted;
+          }
           MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
           if (entry == nullptr ||
               aof::RecordAddress::Unpack(entry->address) != addr) {
@@ -368,12 +437,23 @@ Status QinDb::CollectVictims() {
           return IsReferent(rec.key, rec.header.version);
         },
         /*relocate=*/
-        [this](const aof::RecordAddress& old_addr,
-               const aof::RecordAddress& new_addr,
-               const aof::RecordView& rec) {
-          (void)old_addr;
+        [this, &retired](const aof::RecordAddress& old_addr,
+                         const aof::RecordAddress& new_addr,
+                         const aof::RecordView& rec) {
+          if (rec.is_tombstone()) return;  // No memtable item to patch.
+          const uint64_t old_packed = old_addr.Pack();
+          const uint64_t new_packed = new_addr.Pack();
           MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
-          if (entry != nullptr) entry->address = new_addr.Pack();
+          if (entry != nullptr) {
+            entry->address.store(new_packed, std::memory_order_release);
+          }
+          for (const auto& idx : retired) {
+            MemEntry* ghost = idx->FindExact(rec.key, rec.header.version);
+            if (ghost != nullptr &&
+                ghost->address.load(std::memory_order_acquire) == old_packed) {
+              ghost->address.store(new_packed, std::memory_order_release);
+            }
+          }
         },
         /*drop=*/
         [this](const aof::RecordAddress& old_addr,
@@ -388,16 +468,23 @@ Status QinDb::CollectVictims() {
           }
         });
     if (!s.ok()) return s;
+    // Readers whose record read failed mid-collection use the epoch bump as
+    // the signal to retry against the patched addresses.
+    gc_epoch_.fetch_add(1, std::memory_order_release);
   }
   ++stats_.gc_invocations;
 
   // The skip list never physically unlinks nodes; once purged ghosts
   // dominate, rebuild a dense index so memory stays proportional to live
-  // entries (Section 2.1's "sufficient memory space" invariant).
+  // entries (Section 2.1's "sufficient memory space" invariant). Pinned
+  // readers keep the retired index alive via their refcount; it is freed
+  // when the last of them drops its pin.
   if (mem_->total_count() > 4096 &&
       mem_->live_count() * 2 < mem_->total_count()) {
-    auto fresh = std::make_unique<MemIndex>();
+    auto fresh = std::make_shared<MemIndex>();
     mem_->CompactInto(fresh.get());
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    retired_.push_back(mem_);
     mem_ = std::move(fresh);
   }
 
@@ -418,11 +505,23 @@ Status QinDb::InvalidateCheckpoint() {
 // ---------------------------------------------------------------------------
 
 Status QinDb::RecoverFromScan(uint32_t min_segment) {
-  return aof_->Scan(
-      [this](const aof::RecordAddress& addr, const aof::RecordView& rec) {
+  // A tombstone can precede the record it deletes in scan order: GC
+  // relocates kept referents past their tombstones. Such a tombstone is
+  // remembered as a deleted placeholder so the relocated copy cannot
+  // resurrect the pair; placeholders no copy claimed are purged afterwards.
+  std::vector<std::pair<MemEntry*, uint64_t>> placeholders;
+  Status s = aof_->Scan(
+      [this, &placeholders](const aof::RecordAddress& addr,
+                            const aof::RecordView& rec) {
+        const uint64_t packed = addr.Pack();
         if (rec.is_tombstone()) {
           MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
-          if (entry != nullptr && !entry->deleted) {
+          if (entry == nullptr) {
+            entry = mem_->Insert(rec.key, rec.header.version, packed,
+                                 /*value_size=*/0, /*dedup=*/false);
+            entry->deleted.store(true, std::memory_order_relaxed);
+            placeholders.emplace_back(entry, packed);
+          } else if (!entry->deleted) {
             entry->deleted = true;
             ApplyDeleteAccounting(entry);
           }
@@ -430,18 +529,46 @@ Status QinDb::RecoverFromScan(uint32_t min_segment) {
           return true;
         }
         MemEntry* old = mem_->FindExact(rec.key, rec.header.version);
+        if (old != nullptr && rec.is_relocated()) {
+          // A relocated copy is the same logical record the index already
+          // tracks, not a newer write: adopt the new address but preserve
+          // the deleted state an earlier tombstone established. A deleted
+          // entry's old record is already accounted dead.
+          if (!old->deleted) {
+            aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
+                           EntryExtent(old));
+          }
+          old->address.store(packed, std::memory_order_relaxed);
+          old->value_size.store(rec.header.value_len,
+                                std::memory_order_relaxed);
+          old->dedup.store(rec.is_dedup(), std::memory_order_relaxed);
+          return true;
+        }
         if (old != nullptr) {
           aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
                          EntryExtent(old));
         }
-        mem_->Insert(rec.key, rec.header.version, addr.Pack(),
+        mem_->Insert(rec.key, rec.header.version, packed,
                      rec.header.value_len, rec.is_dedup());
         return true;
       },
       min_segment);
+  if (!s.ok()) return s;
+  for (const auto& [entry, tomb_addr] : placeholders) {
+    if (entry->deleted &&
+        entry->address.load(std::memory_order_relaxed) == tomb_addr) {
+      mem_->Purge(entry);  // The delete's record never showed up: drop both.
+    }
+  }
+  return Status::OK();
 }
 
 Status QinDb::Checkpoint() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return CheckpointLocked();
+}
+
+Status QinDb::CheckpointLocked() {
   Status s = aof_->SealActive();
   if (!s.ok()) return s;
 

@@ -1,10 +1,13 @@
 #ifndef DIRECTLOAD_QINDB_QINDB_H_
 #define DIRECTLOAD_QINDB_QINDB_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "aof/aof_manager.h"
 #include "common/result.h"
@@ -34,18 +37,21 @@ struct QinDbOptions {
   bool auto_gc = true;
 };
 
+/// Operation counters. All fields are atomics so that reader threads and the
+/// writer can bump them concurrently; reads are monotonic but a multi-field
+/// snapshot is not atomic as a whole.
 struct QinDbStats {
-  uint64_t puts = 0;
-  uint64_t dedup_puts = 0;  // PUTs whose value was removed by Bifrost.
-  uint64_t gets = 0;
-  uint64_t traceback_gets = 0;  // GETs resolved through older versions.
-  uint64_t dels = 0;
-  uint64_t gc_invocations = 0;  // MaybeGc calls that collected something.
-  uint64_t gc_deferrals = 0;    // Victims existed but GC was deferred.
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> dedup_puts{0};  // PUTs whose value was removed by Bifrost.
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> traceback_gets{0};  // GETs resolved via older versions.
+  std::atomic<uint64_t> dels{0};
+  std::atomic<uint64_t> gc_invocations{0};  // MaybeGc calls that collected.
+  std::atomic<uint64_t> gc_deferrals{0};    // Victims existed but GC deferred.
 
   /// Application-level ingested bytes (keys + values of PUTs). This is the
   /// "User Write" of the paper's Figure 5.
-  uint64_t user_bytes_ingested = 0;
+  std::atomic<uint64_t> user_bytes_ingested{0};
 };
 
 /// QinDB: the paper's per-node key-value storage engine (Section 2.3).
@@ -62,8 +68,17 @@ struct QinDbStats {
 ///     is reclaimed by the lazy AOF GC, which preserves deleted records that
 ///     are still referenced by later deduplicated versions (referents).
 ///
-/// The engine is single-threaded; the paper's writer threads are logical
-/// streams multiplexed by the caller.
+/// Thread model: mutations (Put/Del/DropVersion/Checkpoint/GC) are
+/// serialized on an internal write mutex — the paper's writer threads map to
+/// caller threads contending on it. Reads (Get/GetLatest/Scanner/Scrub) take
+/// no engine lock: they pin the current memtable index with a refcount
+/// (shared_ptr), traverse the skip list lock-free, and read sealed AOF bytes
+/// under the AOF manager's shared lock. The lazy GC coordinates with
+/// in-flight readers through that refcount plus a GC epoch counter: a
+/// rebuilt index is swapped in while pinned readers keep the retired one
+/// alive, relocations patch both, and a reader whose record read fails
+/// retries when the epoch or the entry's address moved underneath it.
+/// See docs/qindb_internals.md for the lock order.
 class QinDb {
  public:
   /// Opens (or recovers) an engine over `env`. If AOF segments exist, the
@@ -117,6 +132,8 @@ class QinDb {
   /// checksum-valid record carrying the right key/version, and that every
   /// live deduplicated item can resolve a value. The online analogue of the
   /// transmission-side checksum verification (Section 3) for data at rest.
+  /// Meaningful when the engine is quiescent; while writers race it, entries
+  /// mutated mid-scrub can be reported damaged spuriously.
   struct ScrubReport {
     uint64_t entries_checked = 0;
     uint64_t bytes_verified = 0;
@@ -133,7 +150,9 @@ class QinDb {
   /// feature" hash-based flash stores give up (Section 6.1) and QinDB's
   /// sorted memtable provides for free. The scanner sees the newest
   /// non-deleted version of each key at or below `version`, resolving
-  /// deduplicated pairs by traceback.
+  /// deduplicated pairs by traceback. The scanner pins the index that was
+  /// current at construction; keys inserted afterwards may not be visible,
+  /// and values of pairs deleted+collected concurrently may fail to read.
   class Scanner {
    public:
     bool Valid() const { return valid_; }
@@ -154,6 +173,7 @@ class QinDb {
 
     QinDb* db_;
     uint64_t version_;
+    std::shared_ptr<const MemIndex> index_;  // Keeps entries alive across GC.
     MemIndex::Iterator it_;
     MemEntry* current_ = nullptr;
     bool valid_ = false;
@@ -163,16 +183,26 @@ class QinDb {
   Scanner NewScanner(uint64_t version = UINT64_MAX);
 
   /// RAII guard marking a logical read stream in flight (GC deferral).
+  /// Guards may be taken from any thread and may nest.
   class ReadGuard {
    public:
-    explicit ReadGuard(QinDb* db) : db_(db) { ++db_->reads_in_flight_; }
-    ~ReadGuard() { --db_->reads_in_flight_; }
+    explicit ReadGuard(QinDb* db) : db_(db) {
+      db_->reads_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ReadGuard() {
+      db_->reads_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
 
    private:
     QinDb* db_;
   };
+
+  /// Number of read streams currently in flight (GC deferral input).
+  int reads_in_flight() const {
+    return reads_in_flight_.load(std::memory_order_relaxed);
+  }
 
   const QinDbStats& stats() const { return stats_; }
   const aof::GcStats& gc_stats() const { return aof_->gc_stats(); }
@@ -193,7 +223,12 @@ class QinDb {
   Status ApplyCheckpointEntries();
   Status InvalidateCheckpoint();
 
-  /// Reads the value bytes of a memtable entry's record.
+  /// Takes a refcount on the current index so its entries (and arena) stay
+  /// alive even if GC swaps in a rebuilt index meanwhile.
+  std::shared_ptr<const MemIndex> PinIndex() const;
+
+  /// Reads the value bytes of a memtable entry's record, retrying when the
+  /// record was relocated by GC or superseded by a re-PUT mid-read.
   Result<std::string> ReadEntryValue(const MemEntry* entry);
 
   /// True if the record of (key, version) is still referenced by a newer,
@@ -207,14 +242,33 @@ class QinDb {
 
   void ApplyDeleteAccounting(MemEntry* entry);
 
-  Status CollectVictims();
+  // *Locked variants require write_mutex_ held by the caller.
+  Status MaybeGcLocked();
+  Status CollectVictimsLocked();
+  Status CheckpointLocked();
 
   ssd::SsdEnv* env_;
   QinDbOptions options_;
-  std::unique_ptr<MemIndex> mem_;
+
+  /// Serializes all mutations: Put/Del/DropVersion/Checkpoint/GC. Lock
+  /// order: write_mutex_ before any AofManager or env lock; pin_mu_ is a
+  /// leaf taken under write_mutex_ or standalone by readers.
+  std::mutex write_mutex_;
+
+  /// Guards the mem_ pointer itself (not the index contents). Readers take
+  /// it briefly to copy the shared_ptr; GC takes it to swap in a rebuild.
+  mutable std::mutex pin_mu_;
+  std::shared_ptr<MemIndex> mem_;
+  /// Indices retired by GC rebuilds that pinned readers may still traverse.
+  /// Relocations patch these too so stale snapshots keep resolving reads.
+  std::vector<std::weak_ptr<MemIndex>> retired_;
+
   std::unique_ptr<aof::AofManager> aof_;
   QinDbStats stats_;
-  int reads_in_flight_ = 0;
+  std::atomic<int> reads_in_flight_{0};
+  /// Bumped whenever GC relocates records; readers use it to detect that a
+  /// failed record read raced a collection and should be retried.
+  std::atomic<uint64_t> gc_epoch_{0};
   uint64_t bytes_at_last_checkpoint_ = 0;
   bool checkpoint_valid_ = false;
   std::string pending_checkpoint_;  // Deserialized entries awaiting apply.

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "ssd/ftl.h"
@@ -44,8 +45,8 @@ class FtlWritableFile final : public WritableFile {
   Status Append(const Slice& data) override;
   Status Sync() override;
   Status Close() override;
-  uint64_t Size() const override { return meta_->size; }
-  uint64_t PersistedSize() const override { return meta_->persisted; }
+  uint64_t Size() const override;
+  uint64_t PersistedSize() const override;
 
  private:
   Status FlushFullPages();
@@ -63,7 +64,7 @@ class FtlRandomAccessFile final : public RandomAccessFile {
       : env_(env), meta_(std::move(meta)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override;
-  uint64_t Size() const override { return meta_->persisted; }
+  uint64_t Size() const override;
 
  private:
   FtlEnv* env_;
@@ -77,6 +78,7 @@ class FtlEnv final : public SsdEnv {
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& name) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it != files_.end()) {
       return Status::InvalidArgument("file already exists: " + name);
@@ -89,6 +91,7 @@ class FtlEnv final : public SsdEnv {
 
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& name) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     return {std::unique_ptr<RandomAccessFile>(
@@ -96,6 +99,7 @@ class FtlEnv final : public SsdEnv {
   }
 
   Status DeleteFile(const std::string& name) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     if (it->second->has_writer) {
@@ -112,6 +116,7 @@ class FtlEnv final : public SsdEnv {
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound(from);
     if (files_.count(to) != 0) {
@@ -124,16 +129,19 @@ class FtlEnv final : public SsdEnv {
   }
 
   bool FileExists(const std::string& name) const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return files_.count(name) != 0;
   }
 
   Result<uint64_t> GetFileSize(const std::string& name) const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     return it->second->size;
   }
 
   std::vector<std::string> ListFiles() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     std::vector<std::string> names;
     names.reserve(files_.size());
     for (const auto& [name, meta] : files_) names.push_back(name);
@@ -141,10 +149,12 @@ class FtlEnv final : public SsdEnv {
   }
 
   uint64_t TotalFileBytes() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return allocated_pages_ * ftl_.device().geometry().page_size;
   }
 
   uint64_t CapacityBytes() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return ftl_.logical_pages() *
            static_cast<uint64_t>(ftl_.device().geometry().page_size);
   }
@@ -156,11 +166,13 @@ class FtlEnv final : public SsdEnv {
   InterfaceMode mode() const override { return InterfaceMode::kPageMappedFtl; }
   SimClock* clock() override { return clock_; }
   uint64_t busy_until_micros() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return ftl_.device().busy_until_micros();
   }
 
   Status CorruptFileByteForTesting(const std::string& name,
                                    uint64_t offset) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     const FtlFileMeta& meta = *it->second;
@@ -182,10 +194,12 @@ class FtlEnv final : public SsdEnv {
   }
 
   void SimulateCrashForTesting() override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     for (auto& [name, meta] : files_) meta->has_writer = false;
   }
 
   Result<uint64_t> AllocateLpa() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (!free_lpas_.empty()) {
       const uint64_t lpa = free_lpas_.front();
       free_lpas_.pop_front();
@@ -200,9 +214,18 @@ class FtlEnv final : public SsdEnv {
   }
 
   FtlDevice& ftl() { return ftl_; }
-  void AccountAppend(size_t n) { host_bytes_appended_ += n; }
+  void AccountAppend(size_t n) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    host_bytes_appended_ += n;
+  }
+
+  /// One big lock around env and file state; recursive because public
+  /// methods compose (RenameFile deletes, Close syncs) and file objects
+  /// re-enter the env for allocation and accounting.
+  std::recursive_mutex& mu() const { return mu_; }
 
  private:
+  mutable std::recursive_mutex mu_;
   FtlDevice ftl_;
   SimClock* clock_;
   std::map<std::string, std::shared_ptr<FtlFileMeta>> files_;
@@ -211,7 +234,23 @@ class FtlEnv final : public SsdEnv {
   uint64_t allocated_pages_ = 0;
 };
 
+uint64_t FtlWritableFile::Size() const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
+  return meta_->size;
+}
+
+uint64_t FtlWritableFile::PersistedSize() const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
+  return meta_->persisted;
+}
+
+uint64_t FtlRandomAccessFile::Size() const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
+  return meta_->persisted;
+}
+
 Status FtlWritableFile::Append(const Slice& data) {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   if (closed_) return Status::InvalidArgument("file is closed");
   env_->AccountAppend(data.size());
   meta_->size += data.size();
@@ -221,6 +260,7 @@ Status FtlWritableFile::Append(const Slice& data) {
 }
 
 Status FtlWritableFile::FlushFullPages() {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   const uint32_t page_size = env_->geometry().page_size;
   while (tail_.size() >= page_size) {
     uint64_t lpa;
@@ -247,6 +287,7 @@ Status FtlWritableFile::FlushFullPages() {
 }
 
 Status FtlWritableFile::Sync() {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   if (closed_) return Status::InvalidArgument("file is closed");
   if (tail_.empty() || !tail_dirty_) return Status::OK();
   uint64_t lpa;
@@ -267,6 +308,7 @@ Status FtlWritableFile::Sync() {
 }
 
 Status FtlWritableFile::Close() {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   if (closed_) return Status::OK();
   Status s = Sync();
   closed_ = true;
@@ -276,6 +318,7 @@ Status FtlWritableFile::Close() {
 
 Status FtlRandomAccessFile::Read(uint64_t offset, size_t n,
                                  std::string* out) const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   out->clear();
   if (offset > meta_->persisted) {
     return Status::InvalidArgument("read past persisted size");
@@ -320,8 +363,8 @@ class NativeWritableFile final : public WritableFile {
   Status Append(const Slice& data) override;
   Status Sync() override { return Status::OK(); }  // See class comment.
   Status Close() override;
-  uint64_t Size() const override { return meta_->size; }
-  uint64_t PersistedSize() const override { return meta_->persisted; }
+  uint64_t Size() const override;
+  uint64_t PersistedSize() const override;
 
  private:
   Status WritePage(const Slice& page);
@@ -338,7 +381,7 @@ class NativeRandomAccessFile final : public RandomAccessFile {
       : env_(env), meta_(std::move(meta)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override;
-  uint64_t Size() const override { return meta_->persisted; }
+  uint64_t Size() const override;
 
  private:
   NativeEnv* env_;
@@ -353,6 +396,7 @@ class NativeEnv final : public SsdEnv {
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& name) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     if (files_.count(name) != 0) {
       return Status::InvalidArgument("file already exists: " + name);
     }
@@ -364,6 +408,7 @@ class NativeEnv final : public SsdEnv {
 
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& name) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     return {std::unique_ptr<RandomAccessFile>(
@@ -371,6 +416,7 @@ class NativeEnv final : public SsdEnv {
   }
 
   Status DeleteFile(const std::string& name) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     if (it->second->has_writer) {
@@ -388,6 +434,7 @@ class NativeEnv final : public SsdEnv {
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound(from);
     if (files_.count(to) != 0) {
@@ -400,16 +447,19 @@ class NativeEnv final : public SsdEnv {
   }
 
   bool FileExists(const std::string& name) const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return files_.count(name) != 0;
   }
 
   Result<uint64_t> GetFileSize(const std::string& name) const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     return it->second->size;
   }
 
   std::vector<std::string> ListFiles() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     std::vector<std::string> names;
     names.reserve(files_.size());
     for (const auto& [name, meta] : files_) names.push_back(name);
@@ -417,10 +467,12 @@ class NativeEnv final : public SsdEnv {
   }
 
   uint64_t TotalFileBytes() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return allocated_blocks_ * native_.geometry().block_size();
   }
 
   uint64_t CapacityBytes() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return native_.geometry().physical_bytes();
   }
 
@@ -429,11 +481,13 @@ class NativeEnv final : public SsdEnv {
   InterfaceMode mode() const override { return InterfaceMode::kNativeBlock; }
   SimClock* clock() override { return clock_; }
   uint64_t busy_until_micros() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return native_.device().busy_until_micros();
   }
 
   Status CorruptFileByteForTesting(const std::string& name,
                                    uint64_t offset) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     const NativeFileMeta& meta = *it->second;
@@ -453,21 +507,48 @@ class NativeEnv final : public SsdEnv {
   }
 
   void SimulateCrashForTesting() override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     for (auto& [name, meta] : files_) meta->has_writer = false;
   }
 
   NativeSsd& native() { return native_; }
-  void AccountAppend(size_t n) { host_bytes_appended_ += n; }
-  void AccountBlock() { ++allocated_blocks_; }
+  void AccountAppend(size_t n) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    host_bytes_appended_ += n;
+  }
+  void AccountBlock() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    ++allocated_blocks_;
+  }
+
+  /// See FtlEnv::mu(): one recursive lock for env plus file state.
+  std::recursive_mutex& mu() const { return mu_; }
 
  private:
+  mutable std::recursive_mutex mu_;
   NativeSsd native_;
   SimClock* clock_;
   std::map<std::string, std::shared_ptr<NativeFileMeta>> files_;
   uint64_t allocated_blocks_ = 0;
 };
 
+uint64_t NativeWritableFile::Size() const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
+  return meta_->size;
+}
+
+uint64_t NativeWritableFile::PersistedSize() const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
+  return meta_->persisted;
+}
+
+uint64_t NativeRandomAccessFile::Size() const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
+  return meta_->persisted;
+}
+
 Status NativeWritableFile::WritePage(const Slice& page) {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   const uint32_t pages_per_block = env_->geometry().pages_per_block;
   if (meta_->pages % pages_per_block == 0) {
     Result<uint32_t> block = env_->native().AllocateBlock();
@@ -486,6 +567,7 @@ Status NativeWritableFile::WritePage(const Slice& page) {
 }
 
 Status NativeWritableFile::Append(const Slice& data) {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   if (closed_) return Status::InvalidArgument("file is closed");
   env_->AccountAppend(data.size());
   meta_->size += data.size();
@@ -500,6 +582,7 @@ Status NativeWritableFile::Append(const Slice& data) {
 }
 
 Status NativeWritableFile::Close() {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   if (closed_) return Status::OK();
   if (!tail_.empty()) {
     // Pad the final page: native writes never rewrite a programmed page.
@@ -515,6 +598,7 @@ Status NativeWritableFile::Close() {
 
 Status NativeRandomAccessFile::Read(uint64_t offset, size_t n,
                                     std::string* out) const {
+  std::lock_guard<std::recursive_mutex> lock(env_->mu());
   out->clear();
   if (offset > meta_->persisted) {
     return Status::InvalidArgument("read past persisted size");

@@ -66,8 +66,11 @@ enum class InterfaceMode {
 
 std::string_view InterfaceModeName(InterfaceMode mode);
 
-/// A flat-namespace filesystem over a simulated SSD. Single-threaded by
-/// design: all concurrency in the project is simulated, not real.
+/// A flat-namespace filesystem over a simulated SSD. Thread-safe: each
+/// implementation serializes env and file operations on one recursive lock,
+/// matching a real device's single command queue. Timing stays simulated,
+/// but callers (engine writer/reader threads, replica read threads) are real
+/// threads.
 class SsdEnv {
  public:
   virtual ~SsdEnv() = default;

@@ -1,0 +1,261 @@
+// Randomized crash-recovery: a seeded workload (PUTs, dedup PUTs, DELs with
+// delete logging, re-PUTs, checkpoints, forced GC) is cut short by a hard
+// crash at a random op boundary, the engine is reopened, and the recovered
+// state must equal the model after some prefix of the ops. The env loses
+// the active segment's sub-page tail on a crash, so recovery legitimately
+// lands a few ops short of the crash point — but never on a state that is
+// not a prefix, never resurrecting a deleted pair, and never losing a pair
+// whose record the engine had already made durable (segment seals, GC
+// collections, and checkpoints are the durability barriers).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "qindb/qindb.h"
+#include "ssd/env.h"
+
+namespace directload::qindb {
+namespace {
+
+constexpr int kSeeds = 24;
+constexpr int kOpsPerSeed = 150;
+constexpr int kKeys = 16;
+constexpr size_t kValuePadding = 400;
+
+ssd::Geometry CrashGeometry() {
+  ssd::Geometry g;
+  g.page_size = 4096;
+  g.pages_per_block = 8;
+  g.num_blocks = 2048;  // 64 MiB device.
+  return g;
+}
+
+std::string KeyOf(int slot) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%02d", slot);
+  return std::string(buf);
+}
+
+struct ModelVersion {
+  std::string value;
+  bool dedup = false;
+  bool deleted = false;
+};
+using Model = std::map<std::string, std::map<uint64_t, ModelVersion>>;
+
+const std::string* ExpectedValue(const Model& model, const std::string& key,
+                                 uint64_t version, bool* found) {
+  *found = false;
+  auto kit = model.find(key);
+  if (kit == model.end()) return nullptr;
+  auto vit = kit->second.find(version);
+  if (vit == kit->second.end() || vit->second.deleted) return nullptr;
+  *found = true;
+  if (!vit->second.dedup) return &vit->second.value;
+  for (auto rit = std::make_reverse_iterator(vit);
+       rit != kit->second.rend(); ++rit) {
+    if (!rit->second.dedup) return &rit->second.value;
+  }
+  *found = false;
+  return nullptr;
+}
+
+// True if the recovered engine's observable state equals `model` over the
+// given (key, version) universe.
+bool StateMatches(QinDb* db, const Model& model,
+                  const std::vector<std::pair<std::string, uint64_t>>& pairs) {
+  for (const auto& [key, version] : pairs) {
+    bool expect_found = false;
+    const std::string* expected =
+        ExpectedValue(model, key, version, &expect_found);
+    Result<std::string> got = db->Get(key, version);
+    if (expect_found) {
+      if (!got.ok() || *got != *expected) return false;
+    } else {
+      if (!got.status().IsNotFound()) return false;
+    }
+  }
+  return true;
+}
+
+TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Random rnd(static_cast<uint64_t>(seed) * 7789);
+
+    SimClock clock;
+    auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
+                              CrashGeometry(), ssd::LatencyModel(), &clock);
+    QinDbOptions options;
+    options.aof.segment_bytes = 4 << 10;  // Frequent seals and GC victims.
+    options.aof.log_deletes = true;       // DELs must survive the crash.
+    options.auto_gc = false;              // GC only as an explicit op.
+    auto opened = QinDb::Open(env.get(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<QinDb> db = std::move(opened).value();
+
+    const int crash_at = static_cast<int>(rnd.UniformRange(1, kOpsPerSeed));
+    std::vector<Model> snapshots;  // snapshots[n] = model after n ops.
+    snapshots.emplace_back();
+    Model model;
+
+    for (int op = 0; op < crash_at; ++op) {
+      const std::string key =
+          KeyOf(static_cast<int>(rnd.Uniform(kKeys)));
+      std::map<uint64_t, ModelVersion>& versions = model[key];
+      const auto newest =
+          versions.empty() ? versions.end() : std::prev(versions.end());
+      const double choice = rnd.NextDouble();
+
+      if (choice < 0.05) {
+        ASSERT_TRUE(db->Checkpoint().ok());
+      } else if (choice < 0.10) {
+        ASSERT_TRUE(db->ForceGc().ok());
+      } else if (choice < 0.25 && newest != versions.end()) {
+        // DEL a random live version (referents included).
+        std::vector<uint64_t> live;
+        for (const auto& [v, state] : versions) {
+          if (!state.deleted) live.push_back(v);
+        }
+        if (!live.empty()) {
+          const uint64_t victim = live[rnd.Uniform(live.size())];
+          ASSERT_TRUE(db->Del(key, victim).ok());
+          versions[victim].deleted = true;
+        }
+      } else if (choice < 0.40 && newest != versions.end() &&
+                 !newest->second.deleted && !newest->second.dedup) {
+        // Dedup PUT on top of a live value-bearing version.
+        const uint64_t v = newest->first + 1;
+        ASSERT_TRUE(db->Put(key, v, Slice(), /*dedup=*/true).ok());
+        versions[v] = ModelVersion{std::string(), true, false};
+      } else if (choice < 0.50 && newest != versions.end() &&
+                 !newest->second.deleted && !newest->second.dedup) {
+        // Re-PUT of the newest live version (supersedes the record).
+        const uint64_t v = newest->first;
+        const std::string value = rnd.NextString(kValuePadding);
+        ASSERT_TRUE(db->Put(key, v, value).ok());
+        versions[v].value = value;
+      } else {
+        const uint64_t v =
+            versions.empty() ? 1 : versions.rbegin()->first + 1;
+        const std::string value = rnd.NextString(kValuePadding);
+        ASSERT_TRUE(db->Put(key, v, value).ok());
+        versions[v] = ModelVersion{value, false, false};
+      }
+      snapshots.push_back(model);
+    }
+
+    // Hard crash: leak the engine so no destructor seals or pads anything;
+    // the env forgets every open writer's volatile tail.
+    (void)db.release();
+    ssd::SsdEnv* raw_env = env.get();
+    raw_env->SimulateCrashForTesting();
+
+    auto reopened = QinDb::Open(raw_env, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    std::unique_ptr<QinDb> recovered = std::move(reopened).value();
+
+    // The (key, version) universe of the full workload; states beyond the
+    // matched prefix must read back NotFound.
+    std::vector<std::pair<std::string, uint64_t>> pairs;
+    for (const auto& [key, versions] : model) {
+      for (const auto& [version, state] : versions) {
+        pairs.emplace_back(key, version);
+      }
+    }
+
+    int matched = -1;
+    for (int n = static_cast<int>(snapshots.size()) - 1; n >= 0; --n) {
+      if (StateMatches(recovered.get(), snapshots[n], pairs)) {
+        matched = n;
+        break;
+      }
+    }
+    ASSERT_GE(matched, 0)
+        << "recovered state matches no prefix of the " << crash_at
+        << " applied ops";
+
+    Result<QinDb::ScrubReport> report = recovered->Scrub();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean())
+        << report->damaged_entries << " damaged, "
+        << report->unresolvable_dedups << " unresolvable dedups";
+  }
+}
+
+// A checkpoint is a full durability barrier: a crash any time after it must
+// recover at least the checkpointed state.
+TEST(CrashRecoveryTest, CheckpointIsADurabilityFloor) {
+  for (int seed = 100; seed < 108; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Random rnd(static_cast<uint64_t>(seed));
+
+    SimClock clock;
+    auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
+                              CrashGeometry(), ssd::LatencyModel(), &clock);
+    QinDbOptions options;
+    options.aof.segment_bytes = 4 << 10;
+    options.aof.log_deletes = true;
+    options.auto_gc = false;
+    auto opened = QinDb::Open(env.get(), options);
+    ASSERT_TRUE(opened.ok());
+    std::unique_ptr<QinDb> db = std::move(opened).value();
+
+    Model model;
+    for (int op = 0; op < 40; ++op) {
+      const std::string key = KeyOf(static_cast<int>(rnd.Uniform(kKeys)));
+      auto& versions = model[key];
+      const uint64_t v = versions.empty() ? 1 : versions.rbegin()->first + 1;
+      const std::string value = rnd.NextString(kValuePadding);
+      ASSERT_TRUE(db->Put(key, v, value).ok());
+      versions[v] = ModelVersion{value, false, false};
+      if (op % 3 == 0 && v > 1 && !versions[v - 1].deleted) {
+        ASSERT_TRUE(db->Del(key, v - 1).ok());
+        versions[v - 1].deleted = true;
+      }
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    const Model at_checkpoint = model;
+
+    // Volatile suffix that the crash may or may not preserve.
+    for (int op = 0; op < 10; ++op) {
+      const std::string key = KeyOf(static_cast<int>(rnd.Uniform(kKeys)));
+      auto& versions = model[key];
+      const uint64_t v = versions.empty() ? 1 : versions.rbegin()->first + 1;
+      ASSERT_TRUE(db->Put(key, v, rnd.NextString(kValuePadding)).ok());
+    }
+
+    (void)db.release();
+    ssd::SsdEnv* raw_env = env.get();
+    raw_env->SimulateCrashForTesting();
+    auto reopened = QinDb::Open(raw_env, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    std::unique_ptr<QinDb> recovered = std::move(reopened).value();
+
+    for (const auto& [key, versions] : at_checkpoint) {
+      for (const auto& [version, state] : versions) {
+        bool expect_found = false;
+        const std::string* expected =
+            ExpectedValue(at_checkpoint, key, version, &expect_found);
+        Result<std::string> got = recovered->Get(key, version);
+        if (expect_found) {
+          ASSERT_TRUE(got.ok())
+              << key << "/" << version << ": " << got.status().ToString();
+          EXPECT_EQ(*got, *expected) << key << "/" << version;
+        } else {
+          EXPECT_TRUE(got.status().IsNotFound()) << key << "/" << version;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace directload::qindb

@@ -120,9 +120,9 @@ TEST(TraceReplayTest, ReplayIsDeterministic) {
       AppendTraceRecord(&buffer, TraceRecord{TraceOp::kGet, key, version, ""});
     }
   }
-  std::unique_ptr<qindb::QinDb> dbs[2];
   SimClock clocks[2];
   std::unique_ptr<ssd::SsdEnv> envs[2];
+  std::unique_ptr<qindb::QinDb> dbs[2];  // Declared last: closed before the envs die.
   for (int i = 0; i < 2; ++i) {
     envs[i] = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                         ssd::LatencyModel(), &clocks[i]);
