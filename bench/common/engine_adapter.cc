@@ -16,7 +16,7 @@ class QinDbAdapter final : public EngineAdapter {
     qindb::QinDbOptions options;
     options.aof.segment_bytes = config.qindb_segment_bytes;
     options.aof.gc_occupancy_threshold = config.qindb_gc_threshold;
-    db_ = std::move(qindb::QinDb::Open(env_.get(), options)).value();
+    db_ = qindb::QinDb::Open(env_.get(), options).value();
   }
 
   std::string_view name() const override { return "QinDB"; }
@@ -60,7 +60,7 @@ class LsmAdapter final : public EngineAdapter {
   explicit LsmAdapter(const EngineConfig& config) {
     env_ = ssd::NewSsdEnv(ssd::InterfaceMode::kPageMappedFtl, config.geometry,
                           config.latency, &clock_);
-    db_ = std::move(lsm::LsmDb::Open(env_.get(), config.lsm)).value();
+    db_ = lsm::LsmDb::Open(env_.get(), config.lsm).value();
   }
 
   std::string_view name() const override { return "LevelDB-style LSM"; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 namespace directload::aof {
 
@@ -37,9 +38,9 @@ Result<std::unique_ptr<AofManager>> AofManager::Open(
 
 Status AofManager::AdoptExistingSegments(
     const std::map<uint32_t, SegmentMeta>* known) {
-  // Runs before the manager is published; no locking needed, but the scan
-  // helper asserts nothing, so take the lock anyway for uniformity.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Runs before the manager is published; take the lock anyway so the
+  // *Locked helpers see their capability held.
+  WriterLock lock(&mu_);
   uint32_t max_id = 0;
   bool any = false;
   for (const std::string& name : env_->ListFiles()) {
@@ -92,7 +93,7 @@ Status AofManager::OpenNewSegmentLocked() {
 Result<RecordAddress> AofManager::AppendRecord(const Slice& key,
                                                uint64_t version, uint8_t flags,
                                                const Slice& value) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   return AppendRecordLocked(key, version, flags, value);
 }
 
@@ -140,7 +141,7 @@ Result<RecordAddress> AofManager::AppendRecordLocked(const Slice& key,
 }
 
 Status AofManager::SealActive() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   return SealActiveLocked();
 }
 
@@ -157,12 +158,12 @@ Status AofManager::SealActiveLocked() {
 }
 
 uint32_t AofManager::active_segment() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   return active_id_;
 }
 
 size_t AofManager::segment_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   return segments_.size();
 }
 
@@ -171,7 +172,7 @@ ssd::RandomAccessFile* AofManager::ReaderFor(uint32_t segment_id) const {
   if (it == segments_.end()) return nullptr;
   // mu_ (held at least shared) keeps the map node alive; readers_mu_ makes
   // the lazy creation single-shot when two readers fault in the same reader.
-  std::lock_guard<std::mutex> lock(readers_mu_);
+  MutexLock lock(&readers_mu_);
   if (it->second.reader == nullptr) {
     auto file = env_->NewRandomAccessFile(SegmentName(segment_id));
     if (!file.ok()) return nullptr;
@@ -220,7 +221,7 @@ Status AofManager::ReadBytesLocked(uint32_t segment_id, uint64_t offset,
 
 Status AofManager::ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
                               RecordView* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   uint64_t extent = extent_hint;
   if (extent == 0) {
     std::string hdr;
@@ -239,7 +240,7 @@ Status AofManager::ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
 }
 
 void AofManager::MarkDead(const RecordAddress& addr, uint64_t extent) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto it = segments_.find(addr.segment_id);
   if (it == segments_.end()) return;
   it->second.live_bytes =
@@ -247,7 +248,7 @@ void AofManager::MarkDead(const RecordAddress& addr, uint64_t extent) {
 }
 
 double AofManager::Occupancy(uint32_t segment_id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   return OccupancyLocked(segment_id);
 }
 
@@ -259,81 +260,108 @@ double AofManager::OccupancyLocked(uint32_t segment_id) const {
 }
 
 std::vector<uint32_t> AofManager::GcVictims() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<uint32_t> victims;
+  ReaderLock lock(&mu_);
+  // Rank by occupancy up front: sorting on precomputed pairs keeps the
+  // comparator trivial (no locked lookups inside the sort lambda).
+  std::vector<std::pair<double, uint32_t>> ranked;
   for (const auto& [id, seg] : segments_) {
     if (!seg.sealed) continue;
-    if (OccupancyLocked(id) <= options_.gc_occupancy_threshold) {
-      victims.push_back(id);
+    const double occupancy = OccupancyLocked(id);
+    if (occupancy <= options_.gc_occupancy_threshold) {
+      ranked.emplace_back(occupancy, id);
     }
   }
-  std::sort(victims.begin(), victims.end(), [this](uint32_t a, uint32_t b) {
-    return OccupancyLocked(a) < OccupancyLocked(b);
-  });
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<uint32_t> victims;
+  victims.reserve(ranked.size());
+  for (const auto& [occupancy, id] : ranked) victims.push_back(id);
   return victims;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentCursor
+// ---------------------------------------------------------------------------
+
+Status AofManager::SegmentCursor::Init(const AofManager* mgr,
+                                       uint32_t segment_id) {
+  segment_id_ = segment_id;
+  auto it = mgr->segments_.find(segment_id);
+  if (it == mgr->segments_.end()) return Status::NotFound("unknown segment");
+  const bool adopted = it->second.total_bytes == 0 && it->second.sealed;
+  // For adopted (recovery) segments the logical extent is unknown; fall back
+  // to the persisted file size and stop at the first undecodable record.
+  limit_ = it->second.total_bytes;
+  if (adopted || limit_ == 0) {
+    Result<uint64_t> size = mgr->env_->GetFileSize(SegmentName(segment_id));
+    if (!size.ok()) return size.status();
+    limit_ = *size;
+    // A crashed writer may have lost its unflushed tail: only the persisted
+    // prefix is readable (record checksums cover torn records inside it).
+    ssd::RandomAccessFile* reader = mgr->ReaderFor(segment_id);
+    if (reader != nullptr) limit_ = std::min(limit_, reader->Size());
+  }
+  if (segment_id == mgr->active_id_ && mgr->active_writer_ != nullptr) {
+    limit_ = it->second.total_bytes;
+  }
+  offset_ = 0;
+  buf_.clear();
+  buf_start_ = 0;
+  return Decode(mgr);
+}
+
+Status AofManager::SegmentCursor::Ensure(const AofManager* mgr,
+                                         uint64_t need) {
+  const uint64_t have = buf_start_ + buf_.size();
+  if (offset_ + need <= have && offset_ >= buf_start_) return Status::OK();
+  const uint64_t want =
+      std::min(std::max(need, kScanChunkBytes), limit_ - offset_);
+  buf_start_ = offset_;
+  return mgr->ReadBytesLocked(segment_id_, offset_, want, &buf_);
+}
+
+Status AofManager::SegmentCursor::Decode(const AofManager* mgr) {
+  valid_ = false;
+  if (offset_ + RecordHeader::kSize > limit_) return Status::OK();
+  Status s = Ensure(mgr, RecordHeader::kSize);
+  if (!s.ok()) return s;
+  RecordHeader header;
+  s = DecodeHeader(Slice(buf_.data() + (offset_ - buf_start_),
+                         buf_.size() - (offset_ - buf_start_)),
+                   &header);
+  if (!s.ok()) return Status::OK();  // End of decodable data.
+  const uint64_t extent = RecordExtent(header.key_len, header.value_len);
+  if (offset_ + extent > limit_) return Status::OK();  // Torn tail / padding.
+  s = Ensure(mgr, extent);
+  if (!s.ok()) return s;
+  s = DecodeRecord(Slice(buf_.data() + (offset_ - buf_start_),
+                         buf_.size() - (offset_ - buf_start_)),
+                   &view_);
+  if (!s.ok()) return Status::OK();  // Checksum failure: end of valid data.
+  address_ = RecordAddress{segment_id_, static_cast<uint32_t>(offset_)};
+  valid_ = true;
+  return Status::OK();
+}
+
+Status AofManager::SegmentCursor::Next(const AofManager* mgr) {
+  offset_ += RecordExtent(view_.header.key_len, view_.header.value_len);
+  return Decode(mgr);
 }
 
 Status AofManager::ScanSegmentLocked(uint32_t segment_id,
                                      const ScanFn& fn) const {
-  auto it = segments_.find(segment_id);
-  if (it == segments_.end()) return Status::NotFound("unknown segment");
-  const bool adopted = it->second.total_bytes == 0 && it->second.sealed;
-  // For adopted (recovery) segments the logical extent is unknown; fall back
-  // to the persisted file size and stop at the first undecodable record.
-  uint64_t limit = it->second.total_bytes;
-  if (adopted || limit == 0) {
-    Result<uint64_t> size = env_->GetFileSize(SegmentName(segment_id));
-    if (!size.ok()) return size.status();
-    limit = *size;
-    // A crashed writer may have lost its unflushed tail: only the persisted
-    // prefix is readable (record checksums cover torn records inside it).
-    ssd::RandomAccessFile* reader = ReaderFor(segment_id);
-    if (reader != nullptr) limit = std::min(limit, reader->Size());
-  }
-  if (segment_id == active_id_ && active_writer_ != nullptr) {
-    limit = it->second.total_bytes;
-  }
-
-  std::string buf;
-  uint64_t buf_start = 0;
-  uint64_t offset = 0;
-  while (offset + RecordHeader::kSize <= limit) {
-    auto ensure = [&](uint64_t need) -> Status {
-      const uint64_t have = buf_start + buf.size();
-      if (offset + need <= have && offset >= buf_start) return Status::OK();
-      const uint64_t want =
-          std::min(std::max(need, kScanChunkBytes), limit - offset);
-      buf_start = offset;
-      return ReadBytesLocked(segment_id, offset, want, &buf);
-    };
-    Status s = ensure(RecordHeader::kSize);
+  SegmentCursor cur;
+  for (Status s = cur.Init(this, segment_id);; s = cur.Next(this)) {
     if (!s.ok()) return s;
-    RecordHeader header;
-    s = DecodeHeader(Slice(buf.data() + (offset - buf_start),
-                           buf.size() - (offset - buf_start)),
-                     &header);
-    if (!s.ok()) break;
-    const uint64_t extent = RecordExtent(header.key_len, header.value_len);
-    if (offset + extent > limit) break;  // Torn tail or padding.
-    s = ensure(extent);
-    if (!s.ok()) return s;
-    RecordView view;
-    s = DecodeRecord(Slice(buf.data() + (offset - buf_start),
-                           buf.size() - (offset - buf_start)),
-                     &view);
-    if (!s.ok()) break;  // Checksum failure: treat as end of valid data.
-    if (!fn(RecordAddress{segment_id, static_cast<uint32_t>(offset)}, view)) {
-      return Status::OK();
-    }
-    offset += extent;
+    if (!cur.Valid()) return Status::OK();
+    if (!fn(cur.address(), cur.record())) return Status::OK();
   }
-  return Status::OK();
 }
 
 Status AofManager::Scan(const ScanFn& fn, uint32_t min_segment) const {
-  // Deliberately lockless: Scan is the recovery path, called before the
-  // engine goes multi-threaded, and its callbacks re-enter the manager
-  // (MarkDead) to rebuild occupancy. Callers must be quiescent.
+  // Shared lock: scanning only reads; concurrent record reads stay possible.
+  // Callbacks must not re-enter the manager (the engine's recovery pass
+  // buffers its MarkDead updates and applies them after Scan returns).
+  ReaderLock lock(&mu_);
   for (const auto& [id, seg] : segments_) {
     if (id < min_segment) continue;
     Status s = ScanSegmentLocked(id, fn);
@@ -346,45 +374,41 @@ Status AofManager::CollectSegment(uint32_t segment_id,
                                   const Classifier& classify,
                                   const RelocateFn& relocate,
                                   const DropFn& drop) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto it = segments_.find(segment_id);
   if (it == segments_.end()) return Status::NotFound("unknown segment");
   if (!it->second.sealed) {
     return Status::InvalidArgument("cannot collect the active segment");
   }
 
-  Status append_error;
-  Status s = ScanSegmentLocked(
-      segment_id, [&](const RecordAddress& addr, const RecordView& rec) {
-        if (classify(addr, rec)) {
-          Result<RecordAddress> new_addr = AppendRecordLocked(
-              rec.key, rec.header.version,
-              static_cast<uint8_t>(rec.header.flags | kFlagRelocated),
-              rec.value);
-          if (!new_addr.ok()) {
-            append_error = new_addr.status();
-            return false;
-          }
-          if (rec.is_tombstone()) {
-            // Tombstones never hold live data; keep the relocated copy's
-            // occupancy accounting dead like the original's.
-            segments_[new_addr->segment_id].live_bytes -=
-                RecordExtent(rec.key.size(), rec.value.size());
-          }
-          ++gc_stats_.records_rewritten;
-          gc_stats_.bytes_rewritten +=
-              RecordExtent(rec.key.size(), rec.value.size());
-          relocate(addr, *new_addr, rec);
-        } else {
-          ++gc_stats_.records_dropped;
-          gc_stats_.bytes_dropped +=
-              RecordExtent(rec.key.size(), rec.value.size());
-          drop(addr, rec);
-        }
-        return true;
-      });
-  if (!s.ok()) return s;
-  if (!append_error.ok()) return append_error;
+  SegmentCursor cur;
+  for (Status s = cur.Init(this, segment_id);; s = cur.Next(this)) {
+    if (!s.ok()) return s;
+    if (!cur.Valid()) break;
+    const RecordAddress addr = cur.address();
+    const RecordView& rec = cur.record();
+    if (classify(addr, rec)) {
+      Result<RecordAddress> new_addr = AppendRecordLocked(
+          rec.key, rec.header.version,
+          static_cast<uint8_t>(rec.header.flags | kFlagRelocated), rec.value);
+      if (!new_addr.ok()) return new_addr.status();
+      if (rec.is_tombstone()) {
+        // Tombstones never hold live data; keep the relocated copy's
+        // occupancy accounting dead like the original's.
+        segments_[new_addr->segment_id].live_bytes -=
+            RecordExtent(rec.key.size(), rec.value.size());
+      }
+      ++gc_stats_.records_rewritten;
+      gc_stats_.bytes_rewritten +=
+          RecordExtent(rec.key.size(), rec.value.size());
+      relocate(addr, *new_addr, rec);
+    } else {
+      ++gc_stats_.records_dropped;
+      gc_stats_.bytes_dropped +=
+          RecordExtent(rec.key.size(), rec.value.size());
+      drop(addr, rec);
+    }
+  }
 
   // Erasing the victim destroys information whose justification may still
   // be volatile: the re-appended copies themselves (native-mode Sync cannot
@@ -394,7 +418,7 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   // crash after the erase recovers a state at least as new as the erase.
   if (active_writer_ != nullptr &&
       active_writer_->PersistedSize() < active_writer_->Size()) {
-    s = SealActiveLocked();
+    Status s = SealActiveLocked();
     if (!s.ok()) return s;
   }
 
@@ -404,19 +428,19 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   it = segments_.find(segment_id);
   if (it != segments_.end()) {
     {
-      std::lock_guard<std::mutex> rlock(readers_mu_);
+      MutexLock rlock(&readers_mu_);
       it->second.reader.reset();
     }
     segments_.erase(it);
   }
-  s = env_->DeleteFile(SegmentName(segment_id));
+  Status s = env_->DeleteFile(SegmentName(segment_id));
   if (!s.ok()) return s;
   ++gc_stats_.segments_reclaimed;
   return Status::OK();
 }
 
 std::map<uint32_t, SegmentMeta> AofManager::SegmentMetas() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::map<uint32_t, SegmentMeta> out;
   for (const auto& [id, seg] : segments_) {
     out[id] = SegmentMeta{seg.total_bytes, seg.live_bytes};
@@ -425,7 +449,7 @@ std::map<uint32_t, SegmentMeta> AofManager::SegmentMetas() const {
 }
 
 uint64_t AofManager::LiveBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [id, seg] : segments_) total += seg.live_bytes;
   return total;

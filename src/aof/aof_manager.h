@@ -6,14 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "aof/record.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ssd/env.h"
 
 namespace directload::aof {
@@ -60,13 +59,14 @@ struct SegmentMeta {
 /// flags and referents.
 ///
 /// Thread model: mutations (AppendRecord, SealActive, MarkDead,
-/// CollectSegment) take the manager's lock exclusively and are therefore
-/// serialized; reads (ReadRecord, Scan, Occupancy, GcVictims, the stats
-/// accessors) take it shared and run concurrently with each other. Sealed
-/// segments are immutable on device, so shared-mode readers only contend on
-/// the lock word, never on data. Lazy per-segment reader creation is guarded
-/// by a separate leaf mutex so two threads faulting in the same reader do
-/// not race.
+/// CollectSegment) take mu_ (rank LockRank::kAofManager) exclusively and are
+/// therefore serialized; reads (ReadRecord, Scan, Occupancy, GcVictims, the
+/// stats accessors) take it shared and run concurrently with each other.
+/// Sealed segments are immutable on device, so shared-mode readers only
+/// contend on the lock word, never on data. Lazy per-segment reader creation
+/// is guarded by the leaf readers_mu_ (rank LockRank::kAofReaders) so two
+/// threads faulting in the same reader do not race. The annotations below
+/// make the split machine-checked under clang -Wthread-safety.
 class AofManager {
  public:
   /// Opens over `env`, adopting any existing aof_*.dat segments (crash
@@ -85,24 +85,25 @@ class AofManager {
   /// Appends one record, rolling to a new segment when the active one is
   /// full. Returns the record's address.
   Result<RecordAddress> AppendRecord(const Slice& key, uint64_t version,
-                                     uint8_t flags, const Slice& value);
+                                     uint8_t flags, const Slice& value)
+      EXCLUDES(mu_);
 
   /// Reads and verifies the record at `addr`. `extent_hint`, when nonzero,
   /// is the record's full extent (saving a separate header read); the
   /// engine computes it from the memtable item.
   Status ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
-                    RecordView* out) const;
+                    RecordView* out) const EXCLUDES(mu_);
 
   /// Tells the occupancy accounting that the record at `addr` (with the
   /// given extent) no longer holds live data.
-  void MarkDead(const RecordAddress& addr, uint64_t extent);
+  void MarkDead(const RecordAddress& addr, uint64_t extent) EXCLUDES(mu_);
 
   /// Live-bytes / capacity of a segment. Returns 1.0 for unknown segments.
-  double Occupancy(uint32_t segment_id) const;
+  double Occupancy(uint32_t segment_id) const EXCLUDES(mu_);
 
   /// Sealed segments at or below the GC occupancy threshold, lowest
   /// occupancy first.
-  std::vector<uint32_t> GcVictims() const;
+  std::vector<uint32_t> GcVictims() const EXCLUDES(mu_);
 
   /// Decides a record's fate during collection: true keeps it (valid, or an
   /// invalid record still referenced by a later deduplicated version).
@@ -120,27 +121,29 @@ class AofManager {
   /// current end of the AOFs, the caller patches memtable offsets in
   /// `relocate`, and the segment file is erased. Runs under the exclusive
   /// lock, so concurrent readers observe either the victim file intact or
-  /// the fully patched state, never a half-erased segment.
+  /// the fully patched state, never a half-erased segment. The callbacks run
+  /// with mu_ held exclusively and must not re-enter the manager.
   Status CollectSegment(uint32_t segment_id, const Classifier& classify,
-                        const RelocateFn& relocate, const DropFn& drop);
+                        const RelocateFn& relocate, const DropFn& drop)
+      EXCLUDES(mu_);
 
   /// Sequentially scans every record in every segment with id >=
   /// `min_segment` (recovery path). Stops early if `fn` returns false.
-  /// Takes no lock — callers must be quiescent (it runs before the engine
-  /// goes multi-threaded) and callbacks may re-enter the manager, e.g. to
-  /// MarkDead superseded records while rebuilding occupancy.
+  /// Holds mu_ shared for the duration, so callbacks must not re-enter the
+  /// manager — recovery buffers its occupancy updates and applies them
+  /// after the scan returns.
   using ScanFn =
       std::function<bool(const RecordAddress&, const RecordView&)>;
-  Status Scan(const ScanFn& fn, uint32_t min_segment = 0) const;
+  Status Scan(const ScanFn& fn, uint32_t min_segment = 0) const EXCLUDES(mu_);
 
   /// Flushes and seals the active segment (e.g., before checkpointing).
-  Status SealActive();
+  Status SealActive() EXCLUDES(mu_);
 
-  uint32_t active_segment() const;
-  size_t segment_count() const;
+  uint32_t active_segment() const EXCLUDES(mu_);
+  size_t segment_count() const EXCLUDES(mu_);
 
   /// Current accounting of every segment (for checkpoints).
-  std::map<uint32_t, SegmentMeta> SegmentMetas() const;
+  std::map<uint32_t, SegmentMeta> SegmentMetas() const EXCLUDES(mu_);
   const GcStats& gc_stats() const { return gc_stats_; }
   const AofOptions& options() const { return options_; }
 
@@ -148,14 +151,44 @@ class AofManager {
   uint64_t DiskBytes() const { return env_->TotalFileBytes(); }
 
   /// Sum of live bytes across segments.
-  uint64_t LiveBytes() const;
+  uint64_t LiveBytes() const EXCLUDES(mu_);
 
  private:
   struct SegmentInfo {
     uint64_t total_bytes = 0;  // Record bytes appended.
     uint64_t live_bytes = 0;
     bool sealed = false;
-    mutable std::unique_ptr<ssd::RandomAccessFile> reader;  // Lazy.
+    mutable std::unique_ptr<ssd::RandomAccessFile> reader;  // Lazy; see
+                                                            // ReaderFor.
+  };
+
+  /// Positional cursor over one segment's records. The manager's lock is
+  /// passed to every call (rather than captured) so the thread-safety
+  /// analysis can tie the capability to the caller's: `cur.Next(this)`
+  /// requires this->mu_ at the call site. Decode/checksum failures end the
+  /// iteration cleanly (Valid() goes false); only real I/O errors surface
+  /// as a non-OK Status.
+  struct SegmentCursor {
+    Status Init(const AofManager* mgr, uint32_t segment_id)
+        REQUIRES_SHARED(mgr->mu_);
+    Status Next(const AofManager* mgr) REQUIRES_SHARED(mgr->mu_);
+    bool Valid() const { return valid_; }
+    const RecordAddress& address() const { return address_; }
+    const RecordView& record() const { return view_; }
+
+   private:
+    Status Ensure(const AofManager* mgr, uint64_t need)
+        REQUIRES_SHARED(mgr->mu_);
+    Status Decode(const AofManager* mgr) REQUIRES_SHARED(mgr->mu_);
+
+    uint32_t segment_id_ = 0;
+    uint64_t limit_ = 0;
+    uint64_t offset_ = 0;
+    std::string buf_;
+    uint64_t buf_start_ = 0;
+    RecordAddress address_;
+    RecordView view_;
+    bool valid_ = false;
   };
 
   AofManager(ssd::SsdEnv* env, const AofOptions& options);
@@ -164,37 +197,40 @@ class AofManager {
 
   // *Locked methods require mu_ held by the caller: exclusively for the
   // mutating ones, at least shared for the reading ones.
-  Status OpenNewSegmentLocked();
+  Status OpenNewSegmentLocked() REQUIRES(mu_);
   Result<RecordAddress> AppendRecordLocked(const Slice& key, uint64_t version,
-                                           uint8_t flags, const Slice& value);
-  Status SealActiveLocked();
-  double OccupancyLocked(uint32_t segment_id) const;
-  Status AdoptExistingSegments(const std::map<uint32_t, SegmentMeta>* known);
+                                           uint8_t flags, const Slice& value)
+      REQUIRES(mu_);
+  Status SealActiveLocked() REQUIRES(mu_);
+  double OccupancyLocked(uint32_t segment_id) const REQUIRES_SHARED(mu_);
+  Status AdoptExistingSegments(const std::map<uint32_t, SegmentMeta>* known)
+      EXCLUDES(mu_);
   /// Raw byte read covering [offset, offset+n) of a segment, merging the
   /// device contents with the active segment's in-memory tail.
   Status ReadBytesLocked(uint32_t segment_id, uint64_t offset, uint64_t n,
-                         std::string* out) const;
-  Status ScanSegmentLocked(uint32_t segment_id, const ScanFn& fn) const;
-  /// Requires mu_ held (shared suffices); takes readers_mu_ internally for
-  /// the lazy creation.
-  ssd::RandomAccessFile* ReaderFor(uint32_t segment_id) const;
+                         std::string* out) const REQUIRES_SHARED(mu_);
+  Status ScanSegmentLocked(uint32_t segment_id, const ScanFn& fn) const
+      REQUIRES_SHARED(mu_);
+  /// Takes readers_mu_ internally for the lazy creation.
+  ssd::RandomAccessFile* ReaderFor(uint32_t segment_id) const
+      REQUIRES_SHARED(mu_) EXCLUDES(readers_mu_);
 
   ssd::SsdEnv* env_;
   AofOptions options_;
 
   /// Exclusive: appends, seals, occupancy mutation, collection. Shared:
   /// record reads, scans, accounting queries.
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_{LockRank::kAofManager, "aof-mu"};
   /// Leaf lock for lazy SegmentInfo::reader creation under shared mu_.
-  mutable std::mutex readers_mu_;
+  mutable Mutex readers_mu_{LockRank::kAofReaders, "aof-readers"};
 
-  std::map<uint32_t, SegmentInfo> segments_;
-  uint32_t active_id_ = 0;
-  std::unique_ptr<ssd::WritableFile> active_writer_;
+  std::map<uint32_t, SegmentInfo> segments_ GUARDED_BY(mu_);
+  uint32_t active_id_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<ssd::WritableFile> active_writer_ GUARDED_BY(mu_);
   // Mirror of the active segment's bytes that the env has not yet persisted
   // (at most one page), so just-PUT values are immediately readable.
-  std::string active_mirror_;
-  uint64_t mirror_offset_ = 0;
+  std::string active_mirror_ GUARDED_BY(mu_);
+  uint64_t mirror_offset_ GUARDED_BY(mu_) = 0;
   GcStats gc_stats_;
 };
 

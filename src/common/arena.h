@@ -14,9 +14,9 @@ namespace directload {
 /// per-node heap overhead.
 ///
 /// Thread model: at most one thread allocates at a time (the engine's write
-/// lock enforces this); any number of threads may concurrently *read* memory
-/// previously handed out — published to them by the skip list's release
-/// stores — and may call MemoryUsage().
+/// lock — rank LockRank::kQinDbWrite — enforces this); any number of threads
+/// may concurrently *read* memory previously handed out — published to them
+/// by the skip list's release stores — and may call MemoryUsage().
 class Arena {
  public:
   Arena();

@@ -38,7 +38,7 @@ bool GetVarint64(Slice* input, uint64_t* value) {
   for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
     const auto byte = static_cast<unsigned char>(*p);
     ++p;
-    if (byte & 0x80) {
+    if ((byte & 0x80) != 0) {
       result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
     } else {
       result |= (static_cast<uint64_t>(byte) << shift);

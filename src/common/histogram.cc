@@ -43,14 +43,14 @@ void Histogram::Clear() {
   count_ = 0;
   sum_ = 0.0;
   sum_squares_ = 0.0;
-  buckets_.assign(Limits().size(), 0.0);
+  buckets_.assign(Limits().size(), 0);
 }
 
 void Histogram::Add(double value) {
   const auto& limits = Limits();
   size_t b = 0;
   while (b < limits.size() - 1 && limits[b] <= value) ++b;
-  buckets_[b] += 1.0;
+  ++buckets_[b];
   if (value < min_) min_ = value;
   if (value > max_) max_ = value;
   ++count_;
@@ -84,16 +84,16 @@ double Histogram::Percentile(double p) const {
   const double threshold = static_cast<double>(count_) * (p / 100.0);
   double cumulative = 0.0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
-    cumulative += buckets_[b];
+    const auto in_bucket = static_cast<double>(buckets_[b]);
+    cumulative += in_bucket;
     if (cumulative >= threshold) {
       // Interpolate within the bucket.
       const double left_point = b == 0 ? 0.0 : limits[b - 1];
       const double right_point = limits[b];
       if (!std::isfinite(right_point)) return max_;
-      const double left_sum = cumulative - buckets_[b];
-      double pos = buckets_[b] == 0.0
-                       ? 0.0
-                       : (threshold - left_sum) / buckets_[b];
+      const double left_sum = cumulative - in_bucket;
+      double pos =
+          buckets_[b] == 0 ? 0.0 : (threshold - left_sum) / in_bucket;
       double r = left_point + (right_point - left_point) * pos;
       if (r < min_) r = min_;
       if (r > max_) r = max_;

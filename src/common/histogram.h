@@ -36,7 +36,7 @@ class Histogram {
   uint64_t count_;
   double sum_;
   double sum_squares_;
-  std::vector<double> buckets_;
+  std::vector<uint64_t> buckets_;  // Per-bucket observation counts.
 };
 
 /// Streaming mean / standard deviation (Welford), used for the Figure 6

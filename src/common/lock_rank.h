@@ -1,0 +1,138 @@
+#ifndef DIRECTLOAD_COMMON_LOCK_RANK_H_
+#define DIRECTLOAD_COMMON_LOCK_RANK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace directload {
+
+/// The engine-wide lock acquisition order, one rank per lock. A thread may
+/// only acquire a lock whose rank is strictly greater than every rank it
+/// already holds, so any cycle in the would-be waits-for graph is caught at
+/// the first out-of-order acquisition — deterministically, on every code
+/// path, not just the interleavings a stress test happens to hit.
+///
+/// The numbering mirrors docs/qindb_internals.md ("Lock ranks"): ranks grow
+/// downward through the storage stack, and gaps leave room for new layers.
+enum class LockRank : int {
+  /// QinDb::write_mutex_ — serializes Put/Del/DropVersion/Checkpoint/GC.
+  /// Always the first engine lock a mutator takes.
+  kQinDbWrite = 10,
+  /// aof::AofManager::mu_ — exclusive for appends/seals/collection, shared
+  /// for record reads. Taken under kQinDbWrite by mutators or standalone by
+  /// readers.
+  kAofManager = 20,
+  /// aof::AofManager::readers_mu_ — lazy per-segment reader creation, taken
+  /// with kAofManager held (at least shared).
+  kAofReaders = 30,
+  /// The simulated SSD's single command-queue lock (one per SsdEnv).
+  kSsdEnv = 40,
+  /// QinDb::pin_mu_ — guards the mem_ pointer swap. A leaf: nothing is ever
+  /// acquired while holding it.
+  kQinDbPin = 50,
+};
+
+/// The checker is active in debug builds and whenever a build force-enables
+/// it (the ThreadSanitizer CI job does, via -DDIRECTLOAD_LOCK_RANK=ON →
+/// DIRECTLOAD_LOCK_RANK_FORCE). In plain NDEBUG builds everything below
+/// compiles away and the mutex wrappers in thread_annotations.h carry no
+/// extra state. The macro must be consistent across a whole binary: it
+/// changes the layout of those wrappers.
+#if !defined(NDEBUG) || defined(DIRECTLOAD_LOCK_RANK_FORCE)
+#define DIRECTLOAD_LOCK_RANK_CHECKS 1
+#else
+#define DIRECTLOAD_LOCK_RANK_CHECKS 0
+#endif
+
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+
+namespace lock_rank_internal {
+
+/// Per-thread stack of held locks. Fixed capacity: the deepest legal chain
+/// is one lock per LockRank value, and overflow means the discipline is
+/// already broken.
+struct HeldStack {
+  static constexpr int kCapacity = 16;
+  struct Entry {
+    int rank;
+    const char* name;
+  };
+  Entry entries[kCapacity];
+  int depth = 0;
+};
+
+inline thread_local HeldStack tls_held;
+
+[[noreturn]] inline void DieOnRankViolation(int acquiring_rank,
+                                            const char* acquiring_name,
+                                            int held_rank,
+                                            const char* held_name) {
+  if (acquiring_rank == held_rank && acquiring_name == held_name) {
+    std::fprintf(stderr,
+                 "lock-rank violation: recursive acquisition of \"%s\" "
+                 "(rank %d) — this thread already holds \"%s\" and would "
+                 "self-deadlock\n",
+                 acquiring_name, acquiring_rank, held_name);
+  } else {
+    std::fprintf(stderr,
+                 "lock-rank violation: acquiring \"%s\" (rank %d) while "
+                 "holding \"%s\" (rank %d) inverts the documented order\n",
+                 acquiring_name, acquiring_rank, held_name, held_rank);
+  }
+  std::abort();
+}
+
+/// Validates `rank` against every lock the thread holds, then records it.
+/// Equal ranks are rejected too: the only same-rank pair a thread could
+/// nest is the same lock (one instance per rank per engine, and the engine
+/// never nests two engines' locks), i.e. a self-deadlock.
+inline void NoteAcquire(LockRank rank, const char* name) {
+  HeldStack& held = tls_held;
+  const int r = static_cast<int>(rank);
+  for (int i = 0; i < held.depth; ++i) {
+    if (held.entries[i].rank >= r) {
+      DieOnRankViolation(r, name, held.entries[i].rank,
+                         held.entries[i].name);
+    }
+  }
+  if (held.depth >= HeldStack::kCapacity) {
+    std::fprintf(stderr,
+                 "lock-rank violation: thread holds %d locks acquiring "
+                 "\"%s\" — stack overflow\n",
+                 held.depth, name);
+    std::abort();
+  }
+  held.entries[held.depth].rank = r;
+  held.entries[held.depth].name = name;
+  ++held.depth;
+}
+
+/// Removes the most recent record of `rank`. Searching from the top keeps
+/// release order free (guards are LIFO but manual unlock need not be).
+inline void NoteRelease(LockRank rank, const char* name) {
+  HeldStack& held = tls_held;
+  const int r = static_cast<int>(rank);
+  for (int i = held.depth; i-- > 0;) {
+    if (held.entries[i].rank == r) {
+      for (int j = i; j + 1 < held.depth; ++j) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "lock-rank violation: releasing \"%s\" (rank %d) which this "
+               "thread does not hold\n",
+               name, r);
+  std::abort();
+}
+
+}  // namespace lock_rank_internal
+
+#endif  // DIRECTLOAD_LOCK_RANK_CHECKS
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_LOCK_RANK_H_

@@ -1,0 +1,198 @@
+#ifndef DIRECTLOAD_COMMON_THREAD_ANNOTATIONS_H_
+#define DIRECTLOAD_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_rank.h"
+
+/// Clang Thread Safety Analysis macros (-Wthread-safety) plus the annotated
+/// mutex wrappers the concurrent core is written against.
+///
+/// Under clang the macros expand to the `capability` attribute family and
+/// the locking discipline becomes a compile error: a `GUARDED_BY` member
+/// touched without its lock, a `REQUIRES` method called without the caller
+/// holding it, an `EXCLUDES` method re-entered with the lock held — all fail
+/// `-Werror=thread-safety` in CI. Under GCC (the default local toolchain)
+/// they expand to nothing and the wrappers are plain std mutexes; the
+/// runtime lock-rank checker in lock_rank.h covers the ordering half of the
+/// contract there.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DIRECTLOAD_TSA_HAS(x) __has_attribute(x)
+#else
+#define DIRECTLOAD_TSA_HAS(x) 0
+#endif
+
+#if DIRECTLOAD_TSA_HAS(capability)
+#define DIRECTLOAD_TSA(x) __attribute__((x))
+#else
+#define DIRECTLOAD_TSA(x)
+#endif
+
+#define CAPABILITY(x) DIRECTLOAD_TSA(capability(x))
+#define SCOPED_CAPABILITY DIRECTLOAD_TSA(scoped_lockable)
+#define GUARDED_BY(x) DIRECTLOAD_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) DIRECTLOAD_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) DIRECTLOAD_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DIRECTLOAD_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) DIRECTLOAD_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DIRECTLOAD_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) DIRECTLOAD_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DIRECTLOAD_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DIRECTLOAD_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DIRECTLOAD_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  DIRECTLOAD_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) DIRECTLOAD_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) DIRECTLOAD_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) DIRECTLOAD_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) DIRECTLOAD_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS DIRECTLOAD_TSA(no_thread_safety_analysis)
+
+namespace directload {
+
+/// std::mutex with a capability annotation and a construction-time rank.
+/// Debug builds (and DIRECTLOAD_LOCK_RANK_FORCE builds) validate every
+/// acquisition against the thread's held ranks; NDEBUG builds carry no
+/// extra state and add no instructions around lock/unlock.
+class CAPABILITY("mutex") Mutex {
+ public:
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+#else
+  Mutex(LockRank /*rank*/, const char* /*name*/) {}
+#endif
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(rank_, name_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteRelease(rank_, name_);
+#endif
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(rank_, name_);
+#endif
+    return true;
+  }
+
+  /// Tells the analysis (not the runtime) that the lock is held.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+  LockRank rank_;
+  const char* name_;
+#endif
+};
+
+/// std::shared_mutex counterpart. Shared acquisitions participate in rank
+/// checking exactly like exclusive ones: the ranks a thread holds form one
+/// stack regardless of mode, and acquiring the same rank twice — even
+/// shared-after-shared — is flagged, because a shared re-acquisition can
+/// deadlock behind a writer queued between the two.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+  SharedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+#else
+  SharedMutex(LockRank /*rank*/, const char* /*name*/) {}
+#endif
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(rank_, name_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteRelease(rank_, name_);
+#endif
+  }
+
+  void LockShared() ACQUIRE_SHARED() {
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteAcquire(rank_, name_);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+    lock_rank_internal::NoteRelease(rank_, name_);
+#endif
+  }
+
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+#if DIRECTLOAD_LOCK_RANK_CHECKS
+  LockRank rank_;
+  const char* name_;
+#endif
+};
+
+/// Scoped exclusive lock over Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Scoped exclusive lock over SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped shared lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace directload
+
+#endif  // DIRECTLOAD_COMMON_THREAD_ANNOTATIONS_H_

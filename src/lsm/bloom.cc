@@ -31,8 +31,9 @@ std::string BloomFilterBuilder::Finish() {
   for (uint32_t h : key_hashes_) {
     uint32_t delta = (h >> 17) | (h << 15);  // Double hashing.
     for (int j = 0; j < num_probes_; ++j) {
-      const uint32_t bit = h % bits;
-      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      const auto bit = static_cast<uint32_t>(h % bits);
+      filter[bit / 8] =
+          static_cast<char>(filter[bit / 8] | (1 << (bit % 8)));
       h += delta;
     }
   }
@@ -50,7 +51,7 @@ bool BloomFilterMayMatch(const Slice& filter, const Slice& key) {
   uint32_t h = BloomHash(key);
   uint32_t delta = (h >> 17) | (h << 15);
   for (int j = 0; j < num_probes; ++j) {
-    const uint32_t bit = h % bits;
+    const auto bit = static_cast<uint32_t>(h % bits);
     if ((filter[bit / 8] & (1 << (bit % 8))) == 0) return false;
     h += delta;
   }

@@ -11,7 +11,10 @@ namespace directload::lsm {
 
 /// A byte-capacity LRU cache mapping string keys to shared values. Backs
 /// both the block cache (decoded data blocks) and the table cache (open
-/// SSTable readers). Single-threaded, like the rest of the simulation.
+/// SSTable readers). Not internally synchronized: the LSM baseline confines
+/// each database — caches included — to one thread, so unlike the QinDB
+/// engine's annotated mutexes (common/thread_annotations.h) there is no
+/// capability to hold here.
 template <typename V>
 class LruCache {
  public:
@@ -25,6 +28,9 @@ class LruCache {
                             uint64_t charge) {
     Erase(key);
     order_.push_front(key);
+    // The map keeps a copy rather than taking the move: the entry can be
+    // evicted by EvictIfNeeded below (charge > capacity), and the caller
+    // still gets the value back.
     map_[key] = Entry{value, charge, order_.begin()};
     usage_ += charge;
     EvictIfNeeded();

@@ -205,7 +205,7 @@ Status LsmDb::FlushMemTable() {
   VersionEdit edit;
   edit.has_log_number = true;
   edit.log_number = wal_number_;
-  edit.new_files.emplace_back(0, meta);
+  edit.new_files.emplace_back(0, std::move(meta));
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) return s;
 
@@ -338,7 +338,7 @@ Status LsmDb::DoCompaction(int level) {
     meta.smallest = builder->smallest_key();
     meta.largest = builder->largest_key();
     bytes_written += meta.file_size;
-    edit.new_files.emplace_back(output_level, meta);
+    edit.new_files.emplace_back(output_level, std::move(meta));
     builder.reset();
     out_file.reset();
     return Status::OK();
@@ -469,7 +469,7 @@ Status LsmDb::SearchTables(const Slice& user_key, std::string* value,
 
 class LsmDb::DbIterator final : public Iterator {
  public:
-  DbIterator(std::unique_ptr<Iterator> internal)
+  explicit DbIterator(std::unique_ptr<Iterator> internal)
       : internal_(std::move(internal)) {}
 
   bool Valid() const override { return valid_; }
@@ -501,8 +501,8 @@ class LsmDb::DbIterator final : public Iterator {
     valid_ = false;
     while (internal_->Valid()) {
       const Slice internal_key = internal_->key();
-      user_key_.assign(ExtractUserKey(internal_key).data(),
-                       ExtractUserKey(internal_key).size());
+      const Slice user_key = ExtractUserKey(internal_key);
+      user_key_.assign(user_key.data(), user_key.size());
       if (ExtractValueType(internal_key) == kTypeDeletion) {
         SkipCurrentUserKey();
         continue;

@@ -80,8 +80,9 @@ uint8_t LogReader::ReadPhysicalRecord(std::string* payload) {
       if (buffer_.size() < LogWriter::kHeaderSize) return kZeroType;
     }
     const char* header = buffer_.data() + buffer_pos_;
-    const uint32_t length = static_cast<unsigned char>(header[4]) |
-                            (static_cast<unsigned char>(header[5]) << 8);
+    const uint32_t length = static_cast<uint32_t>(
+        static_cast<unsigned char>(header[4]) |
+        (static_cast<unsigned char>(header[5]) << 8));
     const uint8_t type = static_cast<uint8_t>(header[6]);
     if (type == kZeroType && length == 0) {
       // Block trailer padding; skip to the next block.

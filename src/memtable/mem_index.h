@@ -51,8 +51,11 @@ struct MemEntry {
 /// invisible and `CompactInto` rebuilds a dense index (used after version
 /// pruning and during checkpoint load).
 ///
-/// Thread model: one mutator at a time (Insert/Purge/CompactInto require the
-/// caller's write lock); lookups and iteration are lock-free and may run
+/// Thread model: one mutator at a time — Insert/Purge/CompactInto require
+/// the caller's write lock (the engine's LockRank::kQinDbWrite mutex; the
+/// index itself is deliberately lock-free and carries no capability of its
+/// own, which is why the contract lives in this comment rather than in a
+/// REQUIRES annotation). Lookups and iteration are lock-free and may run
 /// concurrently with the mutator. Entries and their keys are arena-backed,
 /// so pointers handed to readers stay valid for the index's lifetime.
 class MemIndex {

@@ -305,8 +305,7 @@ uint64_t MintCluster::TotalUserBytesIngested() const {
   uint64_t total = 0;
   for (const auto& node : nodes_) {
     if (node->up()) {
-      total += const_cast<StorageNode*>(node.get())->db()->stats()
-                   .user_bytes_ingested;
+      total += node->db()->stats().user_bytes_ingested;
     }
   }
   return total;
@@ -315,7 +314,7 @@ uint64_t MintCluster::TotalUserBytesIngested() const {
 uint64_t MintCluster::TotalDiskBytes() const {
   uint64_t total = 0;
   for (const auto& node : nodes_) {
-    total += const_cast<StorageNode*>(node.get())->env()->TotalFileBytes();
+    total += node->env()->TotalFileBytes();
   }
   return total;
 }

@@ -82,7 +82,9 @@ class StorageNode {
 /// returns — and the fastest live replica answers (first-result-wins by
 /// simulated latency), which hides slow or recovering nodes. Each node owns
 /// a private clock, env, and engine, so replica threads share no mutable
-/// state; the engines themselves are internally thread-safe.
+/// state and the cluster holds no lock of its own; the engines themselves
+/// are internally thread-safe (see LockRank in common/lock_rank.h for the
+/// per-engine lock order the replica threads run under).
 class MintCluster {
  public:
   explicit MintCluster(const MintOptions& options);

@@ -23,6 +23,80 @@ uint64_t EntryExtent(const MemEntry* e) {
                            e->value_size.load(std::memory_order_acquire));
 }
 
+/// Destination for occupancy updates. Recovery runs inside
+/// AofManager::Scan — which holds the manager's lock shared — so marking a
+/// record dead there would self-deadlock; the recovery path buffers into
+/// `deferred` and the engine applies the batch after the scan returns.
+/// Runtime mutators (not under any AOF lock) mark directly.
+struct DeadSink {
+  aof::AofManager* aof = nullptr;
+  std::vector<std::pair<aof::RecordAddress, uint64_t>>* deferred = nullptr;
+
+  void MarkDead(const aof::RecordAddress& addr, uint64_t extent) const {
+    if (deferred != nullptr) {
+      deferred->emplace_back(addr, extent);
+    } else {
+      aof->MarkDead(addr, extent);
+    }
+  }
+};
+
+/// True if the record of (key, version) is still referenced by a newer,
+/// live, deduplicated version (Figure 2's "invalid key-value pairs that
+/// are referred by later version keys"). Free functions over an explicit
+/// index (rather than QinDb members) so the GC callbacks — which execute
+/// with the AOF manager's lock held — can call them against a pre-captured
+/// index pointer without touching the engine's guarded state.
+bool IsReferentIn(const MemIndex& idx, const Slice& key, uint64_t version) {
+  // Walk the versions strictly newer than `version`, nearest first. The
+  // record stays needed while the contiguous run of deduplicated versions
+  // above it contains at least one live one.
+  std::vector<MemEntry*> entries = idx.EntriesForKey(key);  // Newest first.
+  // Find the first index whose version is <= `version`; walk upwards.
+  size_t at = entries.size();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i]->version <= version) {
+      at = i;
+      break;
+    }
+  }
+  for (size_t i = at; i-- > 0;) {  // Increasing version order.
+    MemEntry* e = entries[i];
+    if (!e->dedup) return false;  // Carries its own value: chain broken.
+    if (!e->deleted) return true;
+  }
+  return false;
+}
+
+/// Marks the record behind `entry` dead in the occupancy table unless it is
+/// still a referent.
+void MarkDeadUnlessReferent(const MemIndex& idx, const DeadSink& sink,
+                            MemEntry* entry) {
+  if (!IsReferentIn(idx, entry->user_key(), entry->version)) {
+    sink.MarkDead(aof::RecordAddress::Unpack(entry->address),
+                  EntryExtent(entry));
+  }
+}
+
+void ApplyDeleteAccounting(const MemIndex& idx, const DeadSink& sink,
+                           MemEntry* entry) {
+  const Slice key = entry->user_key();
+  if (entry->dedup) {
+    // The NULL record itself is dead the moment the pair is deleted.
+    sink.MarkDead(aof::RecordAddress::Unpack(entry->address),
+                  EntryExtent(entry));
+    // The value it resolved to may have just lost its last referent.
+    MemEntry* target = idx.TracebackValue(key, entry->version);
+    if (target != nullptr && target->deleted) {
+      MarkDeadUnlessReferent(idx, sink, target);
+    }
+  } else {
+    // A value-bearing record stays live while newer deduplicated versions
+    // reference it.
+    MarkDeadUnlessReferent(idx, sink, entry);
+  }
+}
+
 }  // namespace
 
 QinDb::QinDb(ssd::SsdEnv* env, const QinDbOptions& options)
@@ -31,7 +105,13 @@ QinDb::QinDb(ssd::SsdEnv* env, const QinDbOptions& options)
 Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
                                            const QinDbOptions& options) {
   std::unique_ptr<QinDb> db(new QinDb(env, options));
-  db->mem_ = std::make_shared<MemIndex>();
+  // Nothing else can reach the engine yet; hold the write mutex anyway so
+  // the recovery helpers see their capability held.
+  MutexLock lock(&db->write_mutex_);
+  {
+    MutexLock pin(&db->pin_mu_);
+    db->mem_ = std::make_shared<MemIndex>();
+  }
 
   std::map<uint32_t, aof::SegmentMeta> metas;
   uint32_t next_segment = 0;
@@ -62,8 +142,13 @@ Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
 }
 
 std::shared_ptr<const MemIndex> QinDb::PinIndex() const {
-  std::lock_guard<std::mutex> lock(pin_mu_);
+  MutexLock lock(&pin_mu_);
   return mem_;
+}
+
+MemIndex* QinDb::CurrentIndex() const {
+  MutexLock lock(&pin_mu_);
+  return mem_.get();
 }
 
 Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
@@ -72,20 +157,21 @@ Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
   const Slice stored_value = dedup ? Slice() : value;
   const uint8_t flags = dedup ? aof::kFlagDedup : aof::kFlagNone;
 
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
+  MemIndex* idx = CurrentIndex();
   const uint32_t segment_before = aof_->active_segment();
   Result<aof::RecordAddress> addr =
       aof_->AppendRecord(key, version, flags, stored_value);
   if (!addr.ok()) return addr.status();
 
-  MemEntry* old = mem_->FindExact(key, version);
+  MemEntry* old = idx->FindExact(key, version);
   if (old != nullptr) {
     // Re-PUT of the same versioned key supersedes the previous record.
     aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
                    EntryExtent(old));
   }
-  mem_->Insert(key, version, addr->Pack(),
-               static_cast<uint32_t>(stored_value.size()), dedup);
+  idx->Insert(key, version, addr->Pack(),
+              static_cast<uint32_t>(stored_value.size()), dedup);
 
   ++stats_.puts;
   if (dedup) ++stats_.dedup_puts;
@@ -265,59 +351,15 @@ Result<std::string> QinDb::GetLatest(const Slice& key) {
   return Status::NotFound("no live version");
 }
 
-bool QinDb::IsReferent(const Slice& key, uint64_t version) const {
-  // Walk the versions strictly newer than `version`, nearest first. The
-  // record stays needed while the contiguous run of deduplicated versions
-  // above it contains at least one live one.
-  std::vector<MemEntry*> entries = mem_->EntriesForKey(key);  // Newest first.
-  // Find the first index whose version is <= `version`; walk upwards.
-  size_t idx = entries.size();
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i]->version <= version) {
-      idx = i;
-      break;
-    }
-  }
-  for (size_t i = idx; i-- > 0;) {  // Increasing version order.
-    MemEntry* e = entries[i];
-    if (!e->dedup) return false;  // Carries its own value: chain broken.
-    if (!e->deleted) return true;
-  }
-  return false;
-}
-
-void QinDb::MarkDeadUnlessReferent(MemEntry* entry) {
-  if (!IsReferent(entry->user_key(), entry->version)) {
-    aof_->MarkDead(aof::RecordAddress::Unpack(entry->address),
-                   EntryExtent(entry));
-  }
-}
-
-void QinDb::ApplyDeleteAccounting(MemEntry* entry) {
-  const Slice key = entry->user_key();
-  if (entry->dedup) {
-    // The NULL record itself is dead the moment the pair is deleted.
-    aof_->MarkDead(aof::RecordAddress::Unpack(entry->address),
-                   EntryExtent(entry));
-    // The value it resolved to may have just lost its last referent.
-    MemEntry* target = mem_->TracebackValue(key, entry->version);
-    if (target != nullptr && target->deleted) {
-      MarkDeadUnlessReferent(target);
-    }
-  } else {
-    // A value-bearing record stays live while newer deduplicated versions
-    // reference it.
-    MarkDeadUnlessReferent(entry);
-  }
-}
-
 Status QinDb::Del(const Slice& key, uint64_t version) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  MemEntry* entry = mem_->FindExact(key, version);
+  MutexLock lock(&write_mutex_);
+  MemIndex* idx = CurrentIndex();
+  MemEntry* entry = idx->FindExact(key, version);
   if (entry == nullptr) return Status::NotFound("no such key/version");
   if (!entry->deleted.exchange(true, std::memory_order_acq_rel)) {
     ++stats_.dels;
-    ApplyDeleteAccounting(entry);
+    const DeadSink sink{aof_.get(), nullptr};
+    ApplyDeleteAccounting(*idx, sink, entry);
     if (options_.aof.log_deletes) {
       Result<aof::RecordAddress> addr =
           aof_->AppendRecord(key, version, aof::kFlagTombstone, Slice());
@@ -331,18 +373,20 @@ Status QinDb::Del(const Slice& key, uint64_t version) {
 }
 
 Result<uint64_t> QinDb::DropVersion(uint64_t version) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
+  MemIndex* idx = CurrentIndex();
   uint64_t flagged = 0;
   std::vector<MemEntry*> hits;
-  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+  for (MemIndex::Iterator it = idx->NewIterator(); it.Valid(); it.Next()) {
     MemEntry* entry = it.entry();
     if (entry->version == version && !entry->deleted) hits.push_back(entry);
   }
+  const DeadSink sink{aof_.get(), nullptr};
   for (MemEntry* entry : hits) {
     entry->deleted = true;
     ++stats_.dels;
     ++flagged;
-    ApplyDeleteAccounting(entry);
+    ApplyDeleteAccounting(*idx, sink, entry);
     if (options_.aof.log_deletes) {
       Result<aof::RecordAddress> addr = aof_->AppendRecord(
           entry->user_key(), version, aof::kFlagTombstone, Slice());
@@ -368,7 +412,7 @@ std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {
 }
 
 Status QinDb::MaybeGc() {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   return MaybeGcLocked();
 }
 
@@ -386,7 +430,7 @@ Status QinDb::MaybeGcLocked() {
 }
 
 Status QinDb::ForceGc() {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   if (aof_->GcVictims().empty()) return Status::OK();
   return CollectVictimsLocked();
 }
@@ -395,12 +439,19 @@ Status QinDb::CollectVictimsLocked() {
   const std::vector<uint32_t> victims = aof_->GcVictims();
   if (victims.empty()) return Status::OK();
 
+  // The callbacks below run with the AOF manager's lock held exclusively,
+  // so they must not re-enter the manager and must not take pin_mu_ (the
+  // rank order allows it, but the analysis cannot see into lambdas): the
+  // live index is captured up front. It cannot be retired mid-collection
+  // because only this function retires indices, under write_mutex_.
+  MemIndex* live = CurrentIndex();
+
   // Snapshot the retired indices still pinned by readers: relocations must
   // patch their entries too, or a pinned snapshot would keep chasing
   // addresses inside segments that no longer exist.
   std::vector<std::shared_ptr<MemIndex>> retired;
   {
-    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    MutexLock pin_lock(&pin_mu_);
     retired.reserve(retired_.size());
     for (auto it = retired_.begin(); it != retired_.end();) {
       if (std::shared_ptr<MemIndex> idx = it->lock()) {
@@ -416,17 +467,17 @@ Status QinDb::CollectVictimsLocked() {
     Status s = aof_->CollectSegment(
         id,
         /*classify=*/
-        [this](const aof::RecordAddress& addr, const aof::RecordView& rec) {
+        [live](const aof::RecordAddress& addr, const aof::RecordView& rec) {
           if (rec.is_tombstone()) {
             // Keep the tombstone while the pair it deletes is still indexed:
             // the dead record may survive in an uncollected segment (or as a
             // relocated referent), and a recovery scan without the tombstone
             // would resurrect it. Once the record's entry is purged the
             // tombstone has nothing left to delete and can go.
-            MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+            MemEntry* entry = live->FindExact(rec.key, rec.header.version);
             return entry != nullptr && entry->deleted;
           }
-          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          MemEntry* entry = live->FindExact(rec.key, rec.header.version);
           if (entry == nullptr ||
               aof::RecordAddress::Unpack(entry->address) != addr) {
             return false;  // Superseded copy or already purged.
@@ -434,16 +485,16 @@ Status QinDb::CollectVictimsLocked() {
           if (!entry->deleted) return true;  // Live data.
           // Deleted but possibly still referenced by a newer deduplicated
           // version (Figure 2, top right).
-          return IsReferent(rec.key, rec.header.version);
+          return IsReferentIn(*live, rec.key, rec.header.version);
         },
         /*relocate=*/
-        [this, &retired](const aof::RecordAddress& old_addr,
+        [live, &retired](const aof::RecordAddress& old_addr,
                          const aof::RecordAddress& new_addr,
                          const aof::RecordView& rec) {
           if (rec.is_tombstone()) return;  // No memtable item to patch.
           const uint64_t old_packed = old_addr.Pack();
           const uint64_t new_packed = new_addr.Pack();
-          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          MemEntry* entry = live->FindExact(rec.key, rec.header.version);
           if (entry != nullptr) {
             entry->address.store(new_packed, std::memory_order_release);
           }
@@ -456,15 +507,15 @@ Status QinDb::CollectVictimsLocked() {
           }
         },
         /*drop=*/
-        [this](const aof::RecordAddress& old_addr,
+        [live](const aof::RecordAddress& old_addr,
                const aof::RecordView& rec) {
           if (rec.is_tombstone()) return;
-          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          MemEntry* entry = live->FindExact(rec.key, rec.header.version);
           if (entry != nullptr &&
               aof::RecordAddress::Unpack(entry->address) == old_addr &&
               entry->deleted) {
             // Deleted with no referent: remove the item from the skip list.
-            mem_->Purge(entry);
+            live->Purge(entry);
           }
         });
     if (!s.ok()) return s;
@@ -479,11 +530,11 @@ Status QinDb::CollectVictimsLocked() {
   // entries (Section 2.1's "sufficient memory space" invariant). Pinned
   // readers keep the retired index alive via their refcount; it is freed
   // when the last of them drops its pin.
-  if (mem_->total_count() > 4096 &&
-      mem_->live_count() * 2 < mem_->total_count()) {
+  if (live->total_count() > 4096 &&
+      live->live_count() * 2 < live->total_count()) {
     auto fresh = std::make_shared<MemIndex>();
-    mem_->CompactInto(fresh.get());
-    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    live->CompactInto(fresh.get());
+    MutexLock pin_lock(&pin_mu_);
     retired_.push_back(mem_);
     mem_ = std::move(fresh);
   }
@@ -505,38 +556,46 @@ Status QinDb::InvalidateCheckpoint() {
 // ---------------------------------------------------------------------------
 
 Status QinDb::RecoverFromScan(uint32_t min_segment) {
+  MemIndex* idx = CurrentIndex();
+  // Scan holds the AOF manager's lock shared, so the callback must not
+  // re-enter the manager: dead marks are buffered through `sink` and
+  // applied after the scan returns. Decisions are still made inline against
+  // the memtable — nothing during the scan reads occupancy, so the deferral
+  // is invisible.
+  std::vector<std::pair<aof::RecordAddress, uint64_t>> deferred;
+  const DeadSink sink{nullptr, &deferred};
   // A tombstone can precede the record it deletes in scan order: GC
   // relocates kept referents past their tombstones. Such a tombstone is
   // remembered as a deleted placeholder so the relocated copy cannot
   // resurrect the pair; placeholders no copy claimed are purged afterwards.
   std::vector<std::pair<MemEntry*, uint64_t>> placeholders;
   Status s = aof_->Scan(
-      [this, &placeholders](const aof::RecordAddress& addr,
-                            const aof::RecordView& rec) {
+      [idx, &sink, &placeholders](const aof::RecordAddress& addr,
+                                  const aof::RecordView& rec) {
         const uint64_t packed = addr.Pack();
         if (rec.is_tombstone()) {
-          MemEntry* entry = mem_->FindExact(rec.key, rec.header.version);
+          MemEntry* entry = idx->FindExact(rec.key, rec.header.version);
           if (entry == nullptr) {
-            entry = mem_->Insert(rec.key, rec.header.version, packed,
-                                 /*value_size=*/0, /*dedup=*/false);
+            entry = idx->Insert(rec.key, rec.header.version, packed,
+                                /*value_size=*/0, /*dedup=*/false);
             entry->deleted.store(true, std::memory_order_relaxed);
             placeholders.emplace_back(entry, packed);
           } else if (!entry->deleted) {
             entry->deleted = true;
-            ApplyDeleteAccounting(entry);
+            ApplyDeleteAccounting(*idx, sink, entry);
           }
-          aof_->MarkDead(addr, aof::RecordExtent(rec.key.size(), 0));
+          sink.MarkDead(addr, aof::RecordExtent(rec.key.size(), 0));
           return true;
         }
-        MemEntry* old = mem_->FindExact(rec.key, rec.header.version);
+        MemEntry* old = idx->FindExact(rec.key, rec.header.version);
         if (old != nullptr && rec.is_relocated()) {
           // A relocated copy is the same logical record the index already
           // tracks, not a newer write: adopt the new address but preserve
           // the deleted state an earlier tombstone established. A deleted
           // entry's old record is already accounted dead.
           if (!old->deleted) {
-            aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
-                           EntryExtent(old));
+            sink.MarkDead(aof::RecordAddress::Unpack(old->address),
+                          EntryExtent(old));
           }
           old->address.store(packed, std::memory_order_relaxed);
           old->value_size.store(rec.header.value_len,
@@ -545,26 +604,29 @@ Status QinDb::RecoverFromScan(uint32_t min_segment) {
           return true;
         }
         if (old != nullptr) {
-          aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
-                         EntryExtent(old));
+          sink.MarkDead(aof::RecordAddress::Unpack(old->address),
+                        EntryExtent(old));
         }
-        mem_->Insert(rec.key, rec.header.version, packed,
-                     rec.header.value_len, rec.is_dedup());
+        idx->Insert(rec.key, rec.header.version, packed,
+                    rec.header.value_len, rec.is_dedup());
         return true;
       },
       min_segment);
   if (!s.ok()) return s;
+  for (const auto& [addr, extent] : deferred) {
+    aof_->MarkDead(addr, extent);
+  }
   for (const auto& [entry, tomb_addr] : placeholders) {
     if (entry->deleted &&
         entry->address.load(std::memory_order_relaxed) == tomb_addr) {
-      mem_->Purge(entry);  // The delete's record never showed up: drop both.
+      idx->Purge(entry);  // The delete's record never showed up: drop both.
     }
   }
   return Status::OK();
 }
 
 Status QinDb::Checkpoint() {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(&write_mutex_);
   return CheckpointLocked();
 }
 
@@ -572,6 +634,7 @@ Status QinDb::CheckpointLocked() {
   Status s = aof_->SealActive();
   if (!s.ok()) return s;
 
+  MemIndex* idx = CurrentIndex();
   std::string blob;
   PutFixed64(&blob, kCheckpointMagic);
   PutFixed32(&blob, aof_->active_segment());
@@ -582,8 +645,8 @@ Status QinDb::CheckpointLocked() {
     PutVarint64(&blob, meta.total_bytes);
     PutVarint64(&blob, meta.live_bytes);
   }
-  PutVarint64(&blob, mem_->live_count());
-  for (MemIndex::Iterator it = mem_->NewIterator(); it.Valid(); it.Next()) {
+  PutVarint64(&blob, idx->live_count());
+  for (MemIndex::Iterator it = idx->NewIterator(); it.Valid(); it.Next()) {
     const MemEntry* e = it.entry();
     PutLengthPrefixedSlice(&blob, e->user_key());
     PutVarint64(&blob, e->version);
@@ -663,6 +726,7 @@ Status QinDb::LoadCheckpoint(const std::string& name, bool* loaded,
 }
 
 Status QinDb::ApplyCheckpointEntries() {
+  MemIndex* idx = CurrentIndex();
   Slice in(pending_checkpoint_);
   uint64_t count = 0;
   if (!GetVarint64(&in, &count)) return Status::Corruption("entry count");
@@ -681,8 +745,8 @@ Status QinDb::ApplyCheckpointEntries() {
     }
     const auto flags = static_cast<uint8_t>(in[0]);
     in.remove_prefix(1);
-    MemEntry* entry = mem_->Insert(key, version, address, value_size,
-                                   (flags & kCkptDedup) != 0);
+    MemEntry* entry = idx->Insert(key, version, address, value_size,
+                                  (flags & kCkptDedup) != 0);
     entry->deleted = (flags & kCkptDeleted) != 0;
   }
   pending_checkpoint_.clear();

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "memtable/mem_index.h"
 #include "ssd/env.h"
 
@@ -69,16 +69,17 @@ struct QinDbStats {
 ///     are still referenced by later deduplicated versions (referents).
 ///
 /// Thread model: mutations (Put/Del/DropVersion/Checkpoint/GC) are
-/// serialized on an internal write mutex — the paper's writer threads map to
-/// caller threads contending on it. Reads (Get/GetLatest/Scanner/Scrub) take
-/// no engine lock: they pin the current memtable index with a refcount
-/// (shared_ptr), traverse the skip list lock-free, and read sealed AOF bytes
-/// under the AOF manager's shared lock. The lazy GC coordinates with
-/// in-flight readers through that refcount plus a GC epoch counter: a
+/// serialized on write_mutex_ (rank LockRank::kQinDbWrite) — the paper's
+/// writer threads map to caller threads contending on it. Reads
+/// (Get/GetLatest/Scanner/Scrub) take no engine lock: they pin the current
+/// memtable index with a refcount (shared_ptr) via the leaf pin_mu_ (rank
+/// LockRank::kQinDbPin), traverse the skip list lock-free, and read sealed
+/// AOF bytes under the AOF manager's shared lock. The lazy GC coordinates
+/// with in-flight readers through that refcount plus a GC epoch counter: a
 /// rebuilt index is swapped in while pinned readers keep the retired one
 /// alive, relocations patch both, and a reader whose record read fails
 /// retries when the epoch or the entry's address moved underneath it.
-/// See docs/qindb_internals.md for the lock order.
+/// See docs/qindb_internals.md for the full rank table.
 class QinDb {
  public:
   /// Opens (or recovers) an engine over `env`. If AOF segments exist, the
@@ -95,7 +96,7 @@ class QinDb {
   /// PUT(<k/t, v>). `dedup` marks a pair whose value Bifrost removed; the
   /// record is appended with a NULL value and the `r` flag set.
   Status Put(const Slice& key, uint64_t version, const Slice& value,
-             bool dedup = false);
+             bool dedup = false) EXCLUDES(write_mutex_);
 
   /// GET(k/t): the value of `key` at exactly `version`, tracing back through
   /// older versions when the pair was deduplicated.
@@ -105,12 +106,12 @@ class QinDb {
   Result<std::string> GetLatest(const Slice& key);
 
   /// DEL(k/t): flags the pair deleted; physical reclamation is lazy.
-  Status Del(const Slice& key, uint64_t version);
+  Status Del(const Slice& key, uint64_t version) EXCLUDES(write_mutex_);
 
   /// Flags every pair of `version` deleted (the paper's deletion thread
   /// dropping the oldest of the four retained versions). Returns the number
   /// of pairs flagged.
-  Result<uint64_t> DropVersion(uint64_t version);
+  Result<uint64_t> DropVersion(uint64_t version) EXCLUDES(write_mutex_);
 
   /// Inventory of live (non-deleted) pairs per version — what the deletion
   /// thread consults to decide which version to retire ("at most four
@@ -119,14 +120,14 @@ class QinDb {
 
   /// Runs the lazy GC policy: collects victim segments (occupancy <=
   /// threshold) unless deferred by ongoing reads with free space remaining.
-  Status MaybeGc();
+  Status MaybeGc() EXCLUDES(write_mutex_);
 
   /// Collects all victims regardless of the deferral policy.
-  Status ForceGc();
+  Status ForceGc() EXCLUDES(write_mutex_);
 
   /// Seals the active segment and persists a checkpoint of the memtable and
   /// GC table, so a subsequent Open avoids the full AOF scan.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(write_mutex_);
 
   /// Integrity scrub: verifies that every live memtable item points at a
   /// checksum-valid record carrying the right key/version, and that every
@@ -206,7 +207,13 @@ class QinDb {
 
   const QinDbStats& stats() const { return stats_; }
   const aof::GcStats& gc_stats() const { return aof_->gc_stats(); }
-  const MemIndex& memtable() const { return *mem_; }
+  /// The current memtable index. The reference can outlive the index across
+  /// a concurrent GC rebuild; use PinIndex-based readers (Get/Scanner) for
+  /// cross-thread access and this accessor for quiescent inspection.
+  const MemIndex& memtable() const EXCLUDES(pin_mu_) {
+    MutexLock lock(&pin_mu_);
+    return *mem_;
+  }
   aof::AofManager& aof() { return *aof_; }
   ssd::SsdEnv* env() { return env_; }
 
@@ -216,52 +223,49 @@ class QinDb {
  private:
   QinDb(ssd::SsdEnv* env, const QinDbOptions& options);
 
-  Status RecoverFromScan(uint32_t min_segment);
+  Status RecoverFromScan(uint32_t min_segment) REQUIRES(write_mutex_);
   Status LoadCheckpoint(const std::string& name, bool* loaded,
                         std::map<uint32_t, aof::SegmentMeta>* metas,
-                        uint32_t* next_segment);
-  Status ApplyCheckpointEntries();
-  Status InvalidateCheckpoint();
+                        uint32_t* next_segment) REQUIRES(write_mutex_);
+  Status ApplyCheckpointEntries() REQUIRES(write_mutex_);
+  Status InvalidateCheckpoint() REQUIRES(write_mutex_);
 
   /// Takes a refcount on the current index so its entries (and arena) stay
   /// alive even if GC swaps in a rebuilt index meanwhile.
-  std::shared_ptr<const MemIndex> PinIndex() const;
+  std::shared_ptr<const MemIndex> PinIndex() const EXCLUDES(pin_mu_);
+
+  /// The raw current-index pointer, for mutators running under
+  /// write_mutex_: takes pin_mu_ only for the pointer copy, and the index
+  /// stays alive because only CollectVictimsLocked — itself serialized on
+  /// write_mutex_ — retires indices.
+  MemIndex* CurrentIndex() const EXCLUDES(pin_mu_);
 
   /// Reads the value bytes of a memtable entry's record, retrying when the
   /// record was relocated by GC or superseded by a re-PUT mid-read.
   Result<std::string> ReadEntryValue(const MemEntry* entry);
 
-  /// True if the record of (key, version) is still referenced by a newer,
-  /// live, deduplicated version (Figure 2's "invalid key-value pairs that
-  /// are referred by later version keys").
-  bool IsReferent(const Slice& key, uint64_t version) const;
-
-  /// Marks the record behind `entry` dead in the occupancy table unless it
-  /// is still a referent.
-  void MarkDeadUnlessReferent(MemEntry* entry);
-
-  void ApplyDeleteAccounting(MemEntry* entry);
-
   // *Locked variants require write_mutex_ held by the caller.
-  Status MaybeGcLocked();
-  Status CollectVictimsLocked();
-  Status CheckpointLocked();
+  Status MaybeGcLocked() REQUIRES(write_mutex_);
+  Status CollectVictimsLocked() REQUIRES(write_mutex_);
+  Status CheckpointLocked() REQUIRES(write_mutex_);
 
   ssd::SsdEnv* env_;
   QinDbOptions options_;
 
-  /// Serializes all mutations: Put/Del/DropVersion/Checkpoint/GC. Lock
-  /// order: write_mutex_ before any AofManager or env lock; pin_mu_ is a
-  /// leaf taken under write_mutex_ or standalone by readers.
-  std::mutex write_mutex_;
+  /// Serializes all mutations: Put/Del/DropVersion/Checkpoint/GC. First in
+  /// the documented lock order (LockRank::kQinDbWrite): acquired before any
+  /// AofManager or env lock.
+  Mutex write_mutex_{LockRank::kQinDbWrite, "qindb-write"};
 
   /// Guards the mem_ pointer itself (not the index contents). Readers take
   /// it briefly to copy the shared_ptr; GC takes it to swap in a rebuild.
-  mutable std::mutex pin_mu_;
-  std::shared_ptr<MemIndex> mem_;
+  /// Leaf lock (LockRank::kQinDbPin): taken under write_mutex_, under the
+  /// AOF manager's lock (GC classify callbacks), or standalone by readers.
+  mutable Mutex pin_mu_{LockRank::kQinDbPin, "qindb-pin"};
+  std::shared_ptr<MemIndex> mem_ GUARDED_BY(pin_mu_);
   /// Indices retired by GC rebuilds that pinned readers may still traverse.
   /// Relocations patch these too so stale snapshots keep resolving reads.
-  std::vector<std::weak_ptr<MemIndex>> retired_;
+  std::vector<std::weak_ptr<MemIndex>> retired_ GUARDED_BY(pin_mu_);
 
   std::unique_ptr<aof::AofManager> aof_;
   QinDbStats stats_;
@@ -269,9 +273,10 @@ class QinDb {
   /// Bumped whenever GC relocates records; readers use it to detect that a
   /// failed record read raced a collection and should be retried.
   std::atomic<uint64_t> gc_epoch_{0};
-  uint64_t bytes_at_last_checkpoint_ = 0;
-  bool checkpoint_valid_ = false;
-  std::string pending_checkpoint_;  // Deserialized entries awaiting apply.
+  uint64_t bytes_at_last_checkpoint_ GUARDED_BY(write_mutex_) = 0;
+  bool checkpoint_valid_ GUARDED_BY(write_mutex_) = false;
+  /// Deserialized entries awaiting apply.
+  std::string pending_checkpoint_ GUARDED_BY(write_mutex_);
 };
 
 }  // namespace directload::qindb

@@ -2,9 +2,9 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "ssd/ftl.h"
 #include "ssd/native.h"
 
@@ -22,6 +22,14 @@ std::string_view InterfaceModeName(InterfaceMode mode) {
 
 namespace {
 
+// Each backend serializes env and file state on one plain ranked mutex — a
+// single device command queue. The old implementation used a recursive
+// mutex because public methods composed (RenameFile deletes, Close syncs)
+// and file objects re-entered the env for allocation and accounting; those
+// paths now go through *Locked internals that REQUIRE the lock instead of
+// re-acquiring it, so the env participates in the lock-rank checker and the
+// clang thread-safety analysis like every other layer.
+
 // ---------------------------------------------------------------------------
 // Page-mapped FTL backend
 // ---------------------------------------------------------------------------
@@ -34,42 +42,8 @@ struct FtlFileMeta {
   bool has_writer = false;
 };
 
-class FtlEnv;
-
-class FtlWritableFile final : public WritableFile {
- public:
-  FtlWritableFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
-      : env_(env), meta_(std::move(meta)) {}
-  ~FtlWritableFile() override { Close(); }
-
-  Status Append(const Slice& data) override;
-  Status Sync() override;
-  Status Close() override;
-  uint64_t Size() const override;
-  uint64_t PersistedSize() const override;
-
- private:
-  Status FlushFullPages();
-
-  FtlEnv* env_;
-  std::shared_ptr<FtlFileMeta> meta_;
-  std::string tail_;
-  bool tail_dirty_ = false;
-  bool closed_ = false;
-};
-
-class FtlRandomAccessFile final : public RandomAccessFile {
- public:
-  FtlRandomAccessFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
-      : env_(env), meta_(std::move(meta)) {}
-
-  Status Read(uint64_t offset, size_t n, std::string* out) const override;
-  uint64_t Size() const override;
-
- private:
-  FtlEnv* env_;
-  std::shared_ptr<FtlFileMeta> meta_;
-};
+class FtlWritableFile;
+class FtlRandomAccessFile;
 
 class FtlEnv final : public SsdEnv {
  public:
@@ -77,50 +51,21 @@ class FtlEnv final : public SsdEnv {
       : ftl_(geometry, latency, clock), clock_(clock) {}
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
-      const std::string& name) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    auto it = files_.find(name);
-    if (it != files_.end()) {
-      return Status::InvalidArgument("file already exists: " + name);
-    }
-    auto meta = std::make_shared<FtlFileMeta>();
-    meta->has_writer = true;
-    files_[name] = meta;
-    return {std::unique_ptr<WritableFile>(new FtlWritableFile(this, meta))};
-  }
-
+      const std::string& name) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
-      const std::string& name) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    auto it = files_.find(name);
-    if (it == files_.end()) return Status::NotFound(name);
-    return {std::unique_ptr<RandomAccessFile>(
-        new FtlRandomAccessFile(this, it->second))};
-  }
+      const std::string& name) override;
 
   Status DeleteFile(const std::string& name) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    auto it = files_.find(name);
-    if (it == files_.end()) return Status::NotFound(name);
-    if (it->second->has_writer) {
-      return Status::Busy("file has an open writer: " + name);
-    }
-    for (uint64_t lpa : it->second->lpas) {
-      Status s = ftl_.Trim(lpa);
-      if (!s.ok()) return s;
-      free_lpas_.push_back(lpa);
-      --allocated_pages_;
-    }
-    files_.erase(it);
-    return Status::OK();
+    MutexLock lock(&mu_);
+    return DeleteFileLocked(name);
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound(from);
     if (files_.count(to) != 0) {
-      Status s = DeleteFile(to);
+      Status s = DeleteFileLocked(to);
       if (!s.ok()) return s;
     }
     files_[to] = it->second;
@@ -129,19 +74,19 @@ class FtlEnv final : public SsdEnv {
   }
 
   bool FileExists(const std::string& name) const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(name) != 0;
   }
 
   Result<uint64_t> GetFileSize(const std::string& name) const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     return it->second->size;
   }
 
   std::vector<std::string> ListFiles() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<std::string> names;
     names.reserve(files_.size());
     for (const auto& [name, meta] : files_) names.push_back(name);
@@ -149,12 +94,11 @@ class FtlEnv final : public SsdEnv {
   }
 
   uint64_t TotalFileBytes() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return allocated_pages_ * ftl_.device().geometry().page_size;
   }
 
   uint64_t CapacityBytes() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
     return ftl_.logical_pages() *
            static_cast<uint64_t>(ftl_.device().geometry().page_size);
   }
@@ -166,13 +110,13 @@ class FtlEnv final : public SsdEnv {
   InterfaceMode mode() const override { return InterfaceMode::kPageMappedFtl; }
   SimClock* clock() override { return clock_; }
   uint64_t busy_until_micros() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return ftl_.device().busy_until_micros();
   }
 
   Status CorruptFileByteForTesting(const std::string& name,
                                    uint64_t offset) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     const FtlFileMeta& meta = *it->second;
@@ -194,12 +138,13 @@ class FtlEnv final : public SsdEnv {
   }
 
   void SimulateCrashForTesting() override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [name, meta] : files_) meta->has_writer = false;
   }
 
-  Result<uint64_t> AllocateLpa() {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+  // --- internals shared with the file objects; all require mu_ held ------
+
+  Result<uint64_t> AllocateLpaLocked() REQUIRES(mu_) {
     if (!free_lpas_.empty()) {
       const uint64_t lpa = free_lpas_.front();
       free_lpas_.pop_front();
@@ -213,131 +158,194 @@ class FtlEnv final : public SsdEnv {
     return next_lpa_++;
   }
 
-  FtlDevice& ftl() { return ftl_; }
-  void AccountAppend(size_t n) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    host_bytes_appended_ += n;
+  FtlDevice& ftl() REQUIRES(mu_) { return ftl_; }
+
+  void AccountAppendLocked(size_t n) REQUIRES(mu_) {
+    host_bytes_appended_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  /// One big lock around env and file state; recursive because public
-  /// methods compose (RenameFile deletes, Close syncs) and file objects
-  /// re-enter the env for allocation and accounting.
-  std::recursive_mutex& mu() const { return mu_; }
+  /// One big lock around env and file state — the device's single command
+  /// queue. Public so the file objects (same translation unit) can hold it
+  /// across their operations.
+  mutable Mutex mu_{LockRank::kSsdEnv, "ssd-env(ftl)"};
 
  private:
-  mutable std::recursive_mutex mu_;
+  Status DeleteFileLocked(const std::string& name) REQUIRES(mu_) {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    if (it->second->has_writer) {
+      return Status::Busy("file has an open writer: " + name);
+    }
+    for (uint64_t lpa : it->second->lpas) {
+      Status s = ftl_.Trim(lpa);
+      if (!s.ok()) return s;
+      free_lpas_.push_back(lpa);
+      --allocated_pages_;
+    }
+    files_.erase(it);
+    return Status::OK();
+  }
+
   FtlDevice ftl_;
   SimClock* clock_;
-  std::map<std::string, std::shared_ptr<FtlFileMeta>> files_;
-  std::deque<uint64_t> free_lpas_;
-  uint64_t next_lpa_ = 0;
-  uint64_t allocated_pages_ = 0;
+  std::map<std::string, std::shared_ptr<FtlFileMeta>> files_ GUARDED_BY(mu_);
+  std::deque<uint64_t> free_lpas_ GUARDED_BY(mu_);
+  uint64_t next_lpa_ GUARDED_BY(mu_) = 0;
+  uint64_t allocated_pages_ GUARDED_BY(mu_) = 0;
 };
 
-uint64_t FtlWritableFile::Size() const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  return meta_->size;
-}
+class FtlWritableFile final : public WritableFile {
+ public:
+  FtlWritableFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+  ~FtlWritableFile() override { Close(); }
 
-uint64_t FtlWritableFile::PersistedSize() const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  return meta_->persisted;
-}
+  Status Append(const Slice& data) override {
+    MutexLock lock(&env_->mu_);
+    if (closed_) return Status::InvalidArgument("file is closed");
+    env_->AccountAppendLocked(data.size());
+    meta_->size += data.size();
+    tail_.append(data.data(), data.size());
+    tail_dirty_ = true;
+    return FlushFullPagesLocked();
+  }
 
-uint64_t FtlRandomAccessFile::Size() const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  return meta_->persisted;
-}
+  Status Sync() override {
+    MutexLock lock(&env_->mu_);
+    return SyncLocked();
+  }
 
-Status FtlWritableFile::Append(const Slice& data) {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  if (closed_) return Status::InvalidArgument("file is closed");
-  env_->AccountAppend(data.size());
-  meta_->size += data.size();
-  tail_.append(data.data(), data.size());
-  tail_dirty_ = true;
-  return FlushFullPages();
-}
+  Status Close() override {
+    MutexLock lock(&env_->mu_);
+    if (closed_) return Status::OK();
+    Status s = SyncLocked();
+    closed_ = true;
+    meta_->has_writer = false;
+    return s;
+  }
 
-Status FtlWritableFile::FlushFullPages() {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  const uint32_t page_size = env_->geometry().page_size;
-  while (tail_.size() >= page_size) {
+  uint64_t Size() const override {
+    MutexLock lock(&env_->mu_);
+    return meta_->size;
+  }
+
+  uint64_t PersistedSize() const override {
+    MutexLock lock(&env_->mu_);
+    return meta_->persisted;
+  }
+
+ private:
+  Status FlushFullPagesLocked() REQUIRES(env_->mu_) {
+    const uint32_t page_size = env_->geometry().page_size;
+    while (tail_.size() >= page_size) {
+      uint64_t lpa;
+      if (meta_->tail_on_disk) {
+        // The previously synced partial page is completed in place: the FTL
+        // redirects the overwrite, invalidating the old copy (this is the
+        // sync-amplification a conventional filesystem pays).
+        lpa = meta_->lpas.back();
+        meta_->tail_on_disk = false;
+      } else {
+        Result<uint64_t> alloc = env_->AllocateLpaLocked();
+        if (!alloc.ok()) return alloc.status();
+        lpa = *alloc;
+        meta_->lpas.push_back(lpa);
+      }
+      Status s = env_->ftl().Write(lpa, Slice(tail_.data(), page_size));
+      if (!s.ok()) return s;
+      tail_.erase(0, page_size);
+      meta_->persisted =
+          static_cast<uint64_t>(meta_->lpas.size()) * page_size;
+    }
+    if (tail_.empty()) tail_dirty_ = false;
+    return Status::OK();
+  }
+
+  Status SyncLocked() REQUIRES(env_->mu_) {
+    if (closed_) return Status::InvalidArgument("file is closed");
+    if (tail_.empty() || !tail_dirty_) return Status::OK();
     uint64_t lpa;
     if (meta_->tail_on_disk) {
-      // The previously synced partial page is completed in place: the FTL
-      // redirects the overwrite, invalidating the old copy (this is the
-      // sync-amplification a conventional filesystem pays).
-      lpa = meta_->lpas.back();
-      meta_->tail_on_disk = false;
+      lpa = meta_->lpas.back();  // Rewrite the partial page in place.
     } else {
-      Result<uint64_t> alloc = env_->AllocateLpa();
+      Result<uint64_t> alloc = env_->AllocateLpaLocked();
       if (!alloc.ok()) return alloc.status();
       lpa = *alloc;
       meta_->lpas.push_back(lpa);
+      meta_->tail_on_disk = true;
     }
-    Status s = env_->ftl().Write(lpa, Slice(tail_.data(), page_size));
+    Status s = env_->ftl().Write(lpa, tail_);  // Device zero-pads the page.
     if (!s.ok()) return s;
-    tail_.erase(0, page_size);
-    meta_->persisted =
-        static_cast<uint64_t>(meta_->lpas.size()) * page_size;
+    tail_dirty_ = false;
+    meta_->persisted = meta_->size;
+    return Status::OK();
   }
-  if (tail_.empty()) tail_dirty_ = false;
-  return Status::OK();
+
+  FtlEnv* env_;
+  std::shared_ptr<FtlFileMeta> meta_;
+  std::string tail_;
+  bool tail_dirty_ = false;
+  bool closed_ = false;
+};
+
+class FtlRandomAccessFile final : public RandomAccessFile {
+ public:
+  FtlRandomAccessFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    MutexLock lock(&env_->mu_);
+    out->clear();
+    if (offset > meta_->persisted) {
+      return Status::InvalidArgument("read past persisted size");
+    }
+    const uint64_t end = std::min<uint64_t>(offset + n, meta_->persisted);
+    if (end == offset) return Status::OK();
+    const uint32_t page_size = env_->geometry().page_size;
+    out->reserve(end - offset);
+    std::string page;
+    for (uint64_t page_idx = offset / page_size; page_idx * page_size < end;
+         ++page_idx) {
+      Status s = env_->ftl().Read(meta_->lpas[page_idx], &page);
+      if (!s.ok()) return s;
+      const uint64_t page_start = page_idx * page_size;
+      const uint64_t lo = std::max<uint64_t>(offset, page_start);
+      const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
+      out->append(page.data() + (lo - page_start), hi - lo);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    MutexLock lock(&env_->mu_);
+    return meta_->persisted;
+  }
+
+ private:
+  FtlEnv* env_;
+  std::shared_ptr<FtlFileMeta> meta_;
+};
+
+Result<std::unique_ptr<WritableFile>> FtlEnv::NewWritableFile(
+    const std::string& name) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    return Status::InvalidArgument("file already exists: " + name);
+  }
+  auto meta = std::make_shared<FtlFileMeta>();
+  meta->has_writer = true;
+  files_[name] = meta;
+  return {std::unique_ptr<WritableFile>(new FtlWritableFile(this, meta))};
 }
 
-Status FtlWritableFile::Sync() {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  if (closed_) return Status::InvalidArgument("file is closed");
-  if (tail_.empty() || !tail_dirty_) return Status::OK();
-  uint64_t lpa;
-  if (meta_->tail_on_disk) {
-    lpa = meta_->lpas.back();  // Rewrite the partial page in place.
-  } else {
-    Result<uint64_t> alloc = env_->AllocateLpa();
-    if (!alloc.ok()) return alloc.status();
-    lpa = *alloc;
-    meta_->lpas.push_back(lpa);
-    meta_->tail_on_disk = true;
-  }
-  Status s = env_->ftl().Write(lpa, tail_);  // Device zero-pads to the page.
-  if (!s.ok()) return s;
-  tail_dirty_ = false;
-  meta_->persisted = meta_->size;
-  return Status::OK();
-}
-
-Status FtlWritableFile::Close() {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  if (closed_) return Status::OK();
-  Status s = Sync();
-  closed_ = true;
-  meta_->has_writer = false;
-  return s;
-}
-
-Status FtlRandomAccessFile::Read(uint64_t offset, size_t n,
-                                 std::string* out) const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  out->clear();
-  if (offset > meta_->persisted) {
-    return Status::InvalidArgument("read past persisted size");
-  }
-  const uint64_t end = std::min<uint64_t>(offset + n, meta_->persisted);
-  if (end == offset) return Status::OK();
-  const uint32_t page_size = env_->geometry().page_size;
-  out->reserve(end - offset);
-  std::string page;
-  for (uint64_t page_idx = offset / page_size; page_idx * page_size < end;
-       ++page_idx) {
-    Status s = env_->ftl().Read(meta_->lpas[page_idx], &page);
-    if (!s.ok()) return s;
-    const uint64_t page_start = page_idx * page_size;
-    const uint64_t lo = std::max<uint64_t>(offset, page_start);
-    const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
-    out->append(page.data() + (lo - page_start), hi - lo);
-  }
-  return Status::OK();
+Result<std::unique_ptr<RandomAccessFile>> FtlEnv::NewRandomAccessFile(
+    const std::string& name) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound(name);
+  return {std::unique_ptr<RandomAccessFile>(
+      new FtlRandomAccessFile(this, it->second))};
 }
 
 // ---------------------------------------------------------------------------
@@ -352,41 +360,8 @@ struct NativeFileMeta {
   bool has_writer = false;
 };
 
-class NativeEnv;
-
-class NativeWritableFile final : public WritableFile {
- public:
-  NativeWritableFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
-      : env_(env), meta_(std::move(meta)) {}
-  ~NativeWritableFile() override { Close(); }
-
-  Status Append(const Slice& data) override;
-  Status Sync() override { return Status::OK(); }  // See class comment.
-  Status Close() override;
-  uint64_t Size() const override;
-  uint64_t PersistedSize() const override;
-
- private:
-  Status WritePage(const Slice& page);
-
-  NativeEnv* env_;
-  std::shared_ptr<NativeFileMeta> meta_;
-  std::string tail_;
-  bool closed_ = false;
-};
-
-class NativeRandomAccessFile final : public RandomAccessFile {
- public:
-  NativeRandomAccessFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
-      : env_(env), meta_(std::move(meta)) {}
-
-  Status Read(uint64_t offset, size_t n, std::string* out) const override;
-  uint64_t Size() const override;
-
- private:
-  NativeEnv* env_;
-  std::shared_ptr<NativeFileMeta> meta_;
-};
+class NativeWritableFile;
+class NativeRandomAccessFile;
 
 class NativeEnv final : public SsdEnv {
  public:
@@ -395,50 +370,21 @@ class NativeEnv final : public SsdEnv {
       : native_(geometry, latency, clock), clock_(clock) {}
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
-      const std::string& name) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    if (files_.count(name) != 0) {
-      return Status::InvalidArgument("file already exists: " + name);
-    }
-    auto meta = std::make_shared<NativeFileMeta>();
-    meta->has_writer = true;
-    files_[name] = meta;
-    return {std::unique_ptr<WritableFile>(new NativeWritableFile(this, meta))};
-  }
-
+      const std::string& name) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
-      const std::string& name) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    auto it = files_.find(name);
-    if (it == files_.end()) return Status::NotFound(name);
-    return {std::unique_ptr<RandomAccessFile>(
-        new NativeRandomAccessFile(this, it->second))};
-  }
+      const std::string& name) override;
 
   Status DeleteFile(const std::string& name) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    auto it = files_.find(name);
-    if (it == files_.end()) return Status::NotFound(name);
-    if (it->second->has_writer) {
-      return Status::Busy("file has an open writer: " + name);
-    }
-    // Block-aligned deletion: every owned block is erased directly; there is
-    // nothing for a device GC to migrate (the paper's hardware-level win).
-    for (uint32_t block : it->second->blocks) {
-      Status s = native_.ReleaseBlock(block);
-      if (!s.ok()) return s;
-      --allocated_blocks_;
-    }
-    files_.erase(it);
-    return Status::OK();
+    MutexLock lock(&mu_);
+    return DeleteFileLocked(name);
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound(from);
     if (files_.count(to) != 0) {
-      Status s = DeleteFile(to);
+      Status s = DeleteFileLocked(to);
       if (!s.ok()) return s;
     }
     files_[to] = it->second;
@@ -447,19 +393,19 @@ class NativeEnv final : public SsdEnv {
   }
 
   bool FileExists(const std::string& name) const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(name) != 0;
   }
 
   Result<uint64_t> GetFileSize(const std::string& name) const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     return it->second->size;
   }
 
   std::vector<std::string> ListFiles() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<std::string> names;
     names.reserve(files_.size());
     for (const auto& [name, meta] : files_) names.push_back(name);
@@ -467,12 +413,11 @@ class NativeEnv final : public SsdEnv {
   }
 
   uint64_t TotalFileBytes() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return allocated_blocks_ * native_.geometry().block_size();
   }
 
   uint64_t CapacityBytes() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
     return native_.geometry().physical_bytes();
   }
 
@@ -481,13 +426,13 @@ class NativeEnv final : public SsdEnv {
   InterfaceMode mode() const override { return InterfaceMode::kNativeBlock; }
   SimClock* clock() override { return clock_; }
   uint64_t busy_until_micros() const override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return native_.device().busy_until_micros();
   }
 
   Status CorruptFileByteForTesting(const std::string& name,
                                    uint64_t offset) override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound(name);
     const NativeFileMeta& meta = *it->second;
@@ -507,121 +452,182 @@ class NativeEnv final : public SsdEnv {
   }
 
   void SimulateCrashForTesting() override {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [name, meta] : files_) meta->has_writer = false;
   }
 
-  NativeSsd& native() { return native_; }
-  void AccountAppend(size_t n) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    host_bytes_appended_ += n;
-  }
-  void AccountBlock() {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    ++allocated_blocks_;
+  // --- internals shared with the file objects; all require mu_ held ------
+
+  NativeSsd& native() REQUIRES(mu_) { return native_; }
+
+  void AccountAppendLocked(size_t n) REQUIRES(mu_) {
+    host_bytes_appended_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  /// See FtlEnv::mu(): one recursive lock for env plus file state.
-  std::recursive_mutex& mu() const { return mu_; }
+  void AccountBlockLocked() REQUIRES(mu_) { ++allocated_blocks_; }
+
+  /// See FtlEnv::mu_: one plain ranked lock for env plus file state.
+  mutable Mutex mu_{LockRank::kSsdEnv, "ssd-env(native)"};
 
  private:
-  mutable std::recursive_mutex mu_;
+  Status DeleteFileLocked(const std::string& name) REQUIRES(mu_) {
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound(name);
+    if (it->second->has_writer) {
+      return Status::Busy("file has an open writer: " + name);
+    }
+    // Block-aligned deletion: every owned block is erased directly; there is
+    // nothing for a device GC to migrate (the paper's hardware-level win).
+    for (uint32_t block : it->second->blocks) {
+      Status s = native_.ReleaseBlock(block);
+      if (!s.ok()) return s;
+      --allocated_blocks_;
+    }
+    files_.erase(it);
+    return Status::OK();
+  }
+
   NativeSsd native_;
   SimClock* clock_;
-  std::map<std::string, std::shared_ptr<NativeFileMeta>> files_;
-  uint64_t allocated_blocks_ = 0;
+  std::map<std::string, std::shared_ptr<NativeFileMeta>> files_
+      GUARDED_BY(mu_);
+  uint64_t allocated_blocks_ GUARDED_BY(mu_) = 0;
 };
 
-uint64_t NativeWritableFile::Size() const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  return meta_->size;
-}
+class NativeWritableFile final : public WritableFile {
+ public:
+  NativeWritableFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+  ~NativeWritableFile() override { Close(); }
 
-uint64_t NativeWritableFile::PersistedSize() const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  return meta_->persisted;
-}
-
-uint64_t NativeRandomAccessFile::Size() const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  return meta_->persisted;
-}
-
-Status NativeWritableFile::WritePage(const Slice& page) {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  const uint32_t pages_per_block = env_->geometry().pages_per_block;
-  if (meta_->pages % pages_per_block == 0) {
-    Result<uint32_t> block = env_->native().AllocateBlock();
-    if (!block.ok()) return block.status();
-    meta_->blocks.push_back(*block);
-    env_->AccountBlock();
+  Status Append(const Slice& data) override {
+    MutexLock lock(&env_->mu_);
+    if (closed_) return Status::InvalidArgument("file is closed");
+    env_->AccountAppendLocked(data.size());
+    meta_->size += data.size();
+    tail_.append(data.data(), data.size());
+    const uint32_t page_size = env_->geometry().page_size;
+    while (tail_.size() >= page_size) {
+      Status s = WritePageLocked(Slice(tail_.data(), page_size));
+      if (!s.ok()) return s;
+      tail_.erase(0, page_size);
+    }
+    return Status::OK();
   }
-  Result<uint32_t> page_idx =
-      env_->native().AppendPage(meta_->blocks.back(), page);
-  if (!page_idx.ok()) return page_idx.status();
-  ++meta_->pages;
-  meta_->persisted =
-      std::min<uint64_t>(meta_->size, static_cast<uint64_t>(meta_->pages) *
-                                          env_->geometry().page_size);
-  return Status::OK();
+
+  Status Sync() override { return Status::OK(); }  // See class comment.
+
+  Status Close() override {
+    MutexLock lock(&env_->mu_);
+    if (closed_) return Status::OK();
+    if (!tail_.empty()) {
+      // Pad the final page: native writes never rewrite a programmed page.
+      Status s = WritePageLocked(tail_);
+      if (!s.ok()) return s;
+      tail_.clear();
+    }
+    meta_->persisted = meta_->size;
+    closed_ = true;
+    meta_->has_writer = false;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    MutexLock lock(&env_->mu_);
+    return meta_->size;
+  }
+
+  uint64_t PersistedSize() const override {
+    MutexLock lock(&env_->mu_);
+    return meta_->persisted;
+  }
+
+ private:
+  Status WritePageLocked(const Slice& page) REQUIRES(env_->mu_) {
+    const uint32_t pages_per_block = env_->geometry().pages_per_block;
+    if (meta_->pages % pages_per_block == 0) {
+      Result<uint32_t> block = env_->native().AllocateBlock();
+      if (!block.ok()) return block.status();
+      meta_->blocks.push_back(*block);
+      env_->AccountBlockLocked();
+    }
+    Result<uint32_t> page_idx =
+        env_->native().AppendPage(meta_->blocks.back(), page);
+    if (!page_idx.ok()) return page_idx.status();
+    ++meta_->pages;
+    meta_->persisted =
+        std::min<uint64_t>(meta_->size, static_cast<uint64_t>(meta_->pages) *
+                                            env_->geometry().page_size);
+    return Status::OK();
+  }
+
+  NativeEnv* env_;
+  std::shared_ptr<NativeFileMeta> meta_;
+  std::string tail_;
+  bool closed_ = false;
+};
+
+class NativeRandomAccessFile final : public RandomAccessFile {
+ public:
+  NativeRandomAccessFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
+      : env_(env), meta_(std::move(meta)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    MutexLock lock(&env_->mu_);
+    out->clear();
+    if (offset > meta_->persisted) {
+      return Status::InvalidArgument("read past persisted size");
+    }
+    const uint64_t end = std::min<uint64_t>(offset + n, meta_->persisted);
+    if (end == offset) return Status::OK();
+    const uint32_t page_size = env_->geometry().page_size;
+    const uint32_t pages_per_block = env_->geometry().pages_per_block;
+    out->reserve(end - offset);
+    std::string page;
+    for (uint64_t page_idx = offset / page_size; page_idx * page_size < end;
+         ++page_idx) {
+      const uint32_t block =
+          meta_->blocks[static_cast<size_t>(page_idx / pages_per_block)];
+      Status s = env_->native().ReadPage(
+          block, static_cast<uint32_t>(page_idx % pages_per_block), &page);
+      if (!s.ok()) return s;
+      const uint64_t page_start = page_idx * page_size;
+      const uint64_t lo = std::max<uint64_t>(offset, page_start);
+      const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
+      out->append(page.data() + (lo - page_start), hi - lo);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    MutexLock lock(&env_->mu_);
+    return meta_->persisted;
+  }
+
+ private:
+  NativeEnv* env_;
+  std::shared_ptr<NativeFileMeta> meta_;
+};
+
+Result<std::unique_ptr<WritableFile>> NativeEnv::NewWritableFile(
+    const std::string& name) {
+  MutexLock lock(&mu_);
+  if (files_.count(name) != 0) {
+    return Status::InvalidArgument("file already exists: " + name);
+  }
+  auto meta = std::make_shared<NativeFileMeta>();
+  meta->has_writer = true;
+  files_[name] = meta;
+  return {std::unique_ptr<WritableFile>(new NativeWritableFile(this, meta))};
 }
 
-Status NativeWritableFile::Append(const Slice& data) {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  if (closed_) return Status::InvalidArgument("file is closed");
-  env_->AccountAppend(data.size());
-  meta_->size += data.size();
-  tail_.append(data.data(), data.size());
-  const uint32_t page_size = env_->geometry().page_size;
-  while (tail_.size() >= page_size) {
-    Status s = WritePage(Slice(tail_.data(), page_size));
-    if (!s.ok()) return s;
-    tail_.erase(0, page_size);
-  }
-  return Status::OK();
-}
-
-Status NativeWritableFile::Close() {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  if (closed_) return Status::OK();
-  if (!tail_.empty()) {
-    // Pad the final page: native writes never rewrite a programmed page.
-    Status s = WritePage(tail_);
-    if (!s.ok()) return s;
-    tail_.clear();
-  }
-  meta_->persisted = meta_->size;
-  closed_ = true;
-  meta_->has_writer = false;
-  return Status::OK();
-}
-
-Status NativeRandomAccessFile::Read(uint64_t offset, size_t n,
-                                    std::string* out) const {
-  std::lock_guard<std::recursive_mutex> lock(env_->mu());
-  out->clear();
-  if (offset > meta_->persisted) {
-    return Status::InvalidArgument("read past persisted size");
-  }
-  const uint64_t end = std::min<uint64_t>(offset + n, meta_->persisted);
-  if (end == offset) return Status::OK();
-  const uint32_t page_size = env_->geometry().page_size;
-  const uint32_t pages_per_block = env_->geometry().pages_per_block;
-  out->reserve(end - offset);
-  std::string page;
-  for (uint64_t page_idx = offset / page_size; page_idx * page_size < end;
-       ++page_idx) {
-    const uint32_t block =
-        meta_->blocks[static_cast<size_t>(page_idx / pages_per_block)];
-    Status s = env_->native().ReadPage(
-        block, static_cast<uint32_t>(page_idx % pages_per_block), &page);
-    if (!s.ok()) return s;
-    const uint64_t page_start = page_idx * page_size;
-    const uint64_t lo = std::max<uint64_t>(offset, page_start);
-    const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
-    out->append(page.data() + (lo - page_start), hi - lo);
-  }
-  return Status::OK();
+Result<std::unique_ptr<RandomAccessFile>> NativeEnv::NewRandomAccessFile(
+    const std::string& name) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound(name);
+  return {std::unique_ptr<RandomAccessFile>(
+      new NativeRandomAccessFile(this, it->second))};
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #ifndef DIRECTLOAD_SSD_ENV_H_
 #define DIRECTLOAD_SSD_ENV_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -67,7 +68,9 @@ enum class InterfaceMode {
 std::string_view InterfaceModeName(InterfaceMode mode);
 
 /// A flat-namespace filesystem over a simulated SSD. Thread-safe: each
-/// implementation serializes env and file operations on one recursive lock,
+/// implementation serializes env and file operations on one plain mutex of
+/// rank LockRank::kSsdEnv (internal composition — rename→delete, close→sync,
+/// file→allocator — goes through *Locked methods rather than re-acquiring),
 /// matching a real device's single command queue. Timing stays simulated,
 /// but callers (engine writer/reader threads, replica read threads) are real
 /// threads.
@@ -119,10 +122,13 @@ class SsdEnv {
   virtual void SimulateCrashForTesting() = 0;
 
   /// Total bytes the host has appended through WritableFile (pre-padding).
-  uint64_t host_bytes_appended() const { return host_bytes_appended_; }
+  /// Atomic: benchmark threads read it while writer threads append.
+  uint64_t host_bytes_appended() const {
+    return host_bytes_appended_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  uint64_t host_bytes_appended_ = 0;
+  std::atomic<uint64_t> host_bytes_appended_{0};
 };
 
 /// Creates an environment over a freshly formatted simulated SSD.
