@@ -1,0 +1,286 @@
+// Closed-loop load generator for the KV serving front end: N client threads,
+// each with its own RpcClient and a configurable pipelining depth, drive a
+// read/write mix against a server and report per-op latency percentiles
+// (p50/p95/p99 via common/histogram.h) plus aggregate throughput.
+//
+// By default it hosts the whole stack in-process — a small mint::MintCluster
+// behind a KvServer on an ephemeral localhost port — so one command
+// exercises sockets, framing, admission control, the worker pool, and the
+// engines end to end:
+//
+//   build/bench/server_loadgen --threads 8 --ops-per-thread 2000
+//
+// Point it at an external server instead (e.g. `qindb_shell --serve 7000`):
+//
+//   build/bench/server_loadgen --connect 127.0.0.1:7000 --threads 8
+//
+// Closed loop means each thread keeps at most `--pipeline` requests in
+// flight and issues the next only when one completes — offered load adapts
+// to service rate, which is the regime the tail-latency literature measures.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "rpc/client.h"
+#include "server/kv_server.h"
+
+using namespace directload;
+
+namespace {
+
+struct LoadgenConfig {
+  int threads = 8;
+  int ops_per_thread = 2000;
+  int write_pct = 20;       // Remainder are GetLatest reads.
+  int pipeline = 1;         // Requests in flight per thread.
+  int value_bytes = 128;
+  int key_space = 4096;
+  std::string connect_host;  // Empty = host an in-process server.
+  uint16_t connect_port = 0;
+};
+
+struct ThreadResult {
+  Histogram read_latency_us;
+  Histogram write_latency_us;
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t not_found = 0;  // Reads of keys no write has landed on yet.
+  uint64_t errors = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+void RunClientThread(const LoadgenConfig& config, const std::string& host,
+                     uint16_t port, int thread_id,
+                     std::atomic<uint64_t>* next_version,
+                     ThreadResult* result) {
+  rpc::RpcClient client(host, port);
+  if (!client.Connect().ok()) {
+    result->errors += config.ops_per_thread;
+    return;
+  }
+  Random rng(0x10adull * (thread_id + 1));
+  const std::string value(config.value_bytes, 'x');
+
+  struct InFlight {
+    Clock::time_point sent;
+    bool is_write = false;
+  };
+  std::map<uint64_t, InFlight> in_flight;
+  int issued = 0, completed = 0;
+
+  auto issue_one = [&]() -> bool {
+    rpc::Frame request;
+    request.request_id = client.NextRequestId();
+    const bool is_write =
+        static_cast<int>(rng.Uniform(100)) < config.write_pct;
+    const std::string key =
+        "bench:k" + std::to_string(rng.Uniform(config.key_space));
+    if (is_write) {
+      request.op = rpc::Opcode::kPut;
+      request.version = next_version->fetch_add(1);
+      request.key = key;
+      request.value = value;
+    } else {
+      request.op = rpc::Opcode::kGet;
+      request.latest = true;
+      request.key = key;
+    }
+    InFlight tracking{Clock::now(), is_write};
+    if (!client.Send(request).ok()) return false;
+    in_flight.emplace(request.request_id, tracking);
+    ++issued;
+    return true;
+  };
+
+  auto complete_one = [&]() -> bool {
+    Result<rpc::Frame> response = client.Receive();
+    if (!response.ok()) return false;
+    auto it = in_flight.find(response->request_id);
+    if (it == in_flight.end()) return true;  // Stale id; ignore.
+    const double micros = MicrosSince(it->second.sent);
+    if (it->second.is_write) {
+      result->write_latency_us.Add(micros);
+    } else {
+      result->read_latency_us.Add(micros);
+    }
+    switch (response->status) {
+      case StatusCode::kOk:
+        ++result->ok;
+        break;
+      case StatusCode::kBusy:
+        ++result->busy;
+        break;
+      case StatusCode::kNotFound:
+        ++result->not_found;
+        break;
+      default:
+        ++result->errors;
+        break;
+    }
+    in_flight.erase(it);
+    ++completed;
+    return true;
+  };
+
+  while (completed < config.ops_per_thread) {
+    while (issued < config.ops_per_thread &&
+           static_cast<int>(in_flight.size()) < config.pipeline) {
+      if (!issue_one()) {
+        result->errors += config.ops_per_thread - completed;
+        return;
+      }
+    }
+    if (!complete_one()) {
+      result->errors += config.ops_per_thread - completed;
+      return;
+    }
+  }
+}
+
+void PrintPercentiles(const char* label, const Histogram& h) {
+  std::printf("%-7s count=%-8llu p50=%8.1fus p95=%8.1fus p99=%8.1fus "
+              "mean=%8.1fus max=%8.1fus\n",
+              label, (unsigned long long)h.count(), h.Percentile(50),
+              h.Percentile(95), h.Percentile(99), h.Mean(), h.max());
+}
+
+bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoi(argv[++i]);
+      return true;
+    };
+    if (arg == "--threads") {
+      if (!next_int(&config->threads)) return false;
+    } else if (arg == "--ops-per-thread") {
+      if (!next_int(&config->ops_per_thread)) return false;
+    } else if (arg == "--write-pct") {
+      if (!next_int(&config->write_pct)) return false;
+    } else if (arg == "--pipeline") {
+      if (!next_int(&config->pipeline)) return false;
+    } else if (arg == "--value-bytes") {
+      if (!next_int(&config->value_bytes)) return false;
+    } else if (arg == "--keys") {
+      if (!next_int(&config->key_space)) return false;
+    } else if (arg == "--connect") {
+      if (i + 1 >= argc) return false;
+      const std::string target = argv[++i];
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) return false;
+      config->connect_host = target.substr(0, colon);
+      config->connect_port =
+          static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return config->threads > 0 && config->ops_per_thread > 0 &&
+         config->pipeline > 0 && config->write_pct >= 0 &&
+         config->write_pct <= 100;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenConfig config;
+  if (!ParseArgs(argc, argv, &config)) {
+    std::fprintf(stderr,
+                 "usage: server_loadgen [--threads N] [--ops-per-thread M]\n"
+                 "         [--write-pct P] [--pipeline D] [--value-bytes B]\n"
+                 "         [--keys K] [--connect host:port]\n");
+    return 1;
+  }
+
+  // The served stack, when not connecting to an external server.
+  std::unique_ptr<mint::MintCluster> cluster;
+  std::unique_ptr<server::KvServer> kv_server;
+  std::string host = config.connect_host;
+  uint16_t port = config.connect_port;
+  if (host.empty()) {
+    mint::MintOptions mint_options;
+    mint_options.num_groups = 2;
+    mint_options.nodes_per_group = 1;
+    mint_options.replicas = 1;
+    mint_options.parallel_reads = false;
+    mint_options.engine.aof.segment_bytes = 8 << 20;
+    cluster = std::make_unique<mint::MintCluster>(mint_options);
+    Status s = cluster->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "cluster start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    kv_server = std::make_unique<server::KvServer>(cluster.get(),
+                                                   server::KvServerOptions());
+    s = kv_server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = kv_server->port();
+    std::printf("hosting in-process server on 127.0.0.1:%u\n", port);
+  }
+
+  std::printf("loadgen: %d threads x %d ops, %d%% writes, pipeline depth "
+              "%d, %dB values, %d keys\n",
+              config.threads, config.ops_per_thread, config.write_pct,
+              config.pipeline, config.value_bytes, config.key_space);
+
+  std::atomic<uint64_t> next_version{1};
+  std::vector<ThreadResult> results(config.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(config.threads);
+  const Clock::time_point start = Clock::now();
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back(RunClientThread, std::cref(config), std::cref(host),
+                         port, t, &next_version, &results[t]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_seconds = MicrosSince(start) * 1e-6;
+
+  Histogram reads, writes;
+  uint64_t ok = 0, busy = 0, not_found = 0, errors = 0;
+  for (const ThreadResult& r : results) {
+    reads.Merge(r.read_latency_us);
+    writes.Merge(r.write_latency_us);
+    ok += r.ok;
+    busy += r.busy;
+    not_found += r.not_found;
+    errors += r.errors;
+  }
+  const uint64_t completed = reads.count() + writes.count();
+
+  PrintPercentiles("reads", reads);
+  PrintPercentiles("writes", writes);
+  std::printf("status: ok=%llu not_found=%llu busy=%llu errors=%llu\n",
+              (unsigned long long)ok, (unsigned long long)not_found,
+              (unsigned long long)busy, (unsigned long long)errors);
+  std::printf("throughput: %.0f ops/s (%llu ops in %.2fs)\n",
+              elapsed_seconds > 0 ? completed / elapsed_seconds : 0.0,
+              (unsigned long long)completed, elapsed_seconds);
+
+  if (kv_server != nullptr) kv_server->Shutdown();
+  // Errors (not kBusy/kNotFound, which are expected under load) fail the
+  // run so CI can gate on the exit code.
+  return errors == 0 ? 0 : 2;
+}

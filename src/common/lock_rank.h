@@ -16,6 +16,19 @@ namespace directload {
 /// The numbering mirrors docs/qindb_internals.md ("Lock ranks"): ranks grow
 /// downward through the storage stack, and gaps leave room for new layers.
 enum class LockRank : int {
+  /// server::KvServer::mu_ — lifecycle state and the connection registry.
+  /// The serving layer sits above the engine, so its ranks are smaller
+  /// than every engine rank: a worker may take an engine lock while the
+  /// server is mid-drain, never the reverse.
+  kServerState = 2,
+  /// server::KvServer::queue_mu_ — the bounded request queue (admission
+  /// control and drain accounting). Never held across an engine call.
+  kServerQueue = 4,
+  /// server::Connection::write_mu_ — serializes response frames onto one
+  /// socket so pipelined replies cannot interleave bytes.
+  kServerConnWrite = 6,
+  /// rpc::RpcClient::mu_ — guards the client's socket and decoder state.
+  kRpcClient = 8,
   /// QinDb::write_mutex_ — serializes Put/Del/DropVersion/Checkpoint/GC.
   /// Always the first engine lock a mutator takes.
   kQinDbWrite = 10,

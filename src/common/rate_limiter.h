@@ -2,7 +2,9 @@
 #define DIRECTLOAD_COMMON_RATE_LIMITER_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "common/sim_clock.h"
 
@@ -64,6 +66,75 @@ class RateLimiter {
   double burst_;
   double tokens_;
   uint64_t last_refill_micros_;
+};
+
+/// The wall-clock twin of RateLimiter: the same token-bucket accounting over
+/// std::chrono::steady_clock, for real components (the KV server's optional
+/// per-connection byte throttling) rather than the simulation. Like its
+/// simulated sibling, Acquire never blocks — it returns the earliest wall
+/// time at which the request is admissible; Throttle is the convenience that
+/// sleeps until then. A rate of zero (or below) disables throttling: every
+/// request is admissible immediately and no debt accumulates.
+///
+/// Not internally synchronized — confine one instance to one thread (the
+/// server gives each connection its own limiter on its reader thread).
+class WallRateLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_per_sec` units per second sustained; up to `burst` units may be
+  /// consumed instantaneously. `rate_per_sec <= 0` means unlimited.
+  WallRateLimiter(double rate_per_sec, double burst)
+      : rate_per_sec_(rate_per_sec),
+        burst_(burst),
+        tokens_(burst),
+        last_refill_(Clock::now()) {}
+
+  WallRateLimiter(const WallRateLimiter&) = delete;
+  WallRateLimiter& operator=(const WallRateLimiter&) = delete;
+
+  /// Accounts for `n` units and returns the earliest wall time at which they
+  /// are within the budget (Clock::now() when the bucket covers them).
+  Clock::time_point Acquire(double n) {
+    if (rate_per_sec_ <= 0) return Clock::now();
+    Refill();
+    tokens_ -= n;
+    if (tokens_ >= 0) return last_refill_;
+    // Deficit: admissible once the bucket refills past zero.
+    const auto wait = std::chrono::duration<double>(-tokens_ / rate_per_sec_);
+    return last_refill_ +
+           std::chrono::duration_cast<Clock::duration>(wait);
+  }
+
+  /// Accounts for `n` units and sleeps until they are admissible.
+  void Throttle(double n) {
+    const Clock::time_point when = Acquire(n);
+    if (when > Clock::now()) std::this_thread::sleep_until(when);
+  }
+
+  /// Tokens currently available (may be negative while in deficit).
+  double available() {
+    if (rate_per_sec_ <= 0) return burst_;
+    Refill();
+    return tokens_;
+  }
+
+  double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  void Refill() {
+    const Clock::time_point now = Clock::now();
+    if (now <= last_refill_) return;
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_sec_);
+    last_refill_ = now;
+  }
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_refill_;
 };
 
 }  // namespace directload

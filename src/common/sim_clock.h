@@ -1,7 +1,7 @@
 #ifndef DIRECTLOAD_COMMON_SIM_CLOCK_H_
 #define DIRECTLOAD_COMMON_SIM_CLOCK_H_
 
-#include <cassert>
+#include <atomic>
 #include <cstdint>
 
 namespace directload {
@@ -10,6 +10,13 @@ namespace directload {
 /// simulator so that all reported throughputs and latencies are in the same
 /// (deterministic, machine-independent) time base. Time only moves when a
 /// simulated device or channel performs work.
+///
+/// The counter is atomic (relaxed) because observers may sample the clock
+/// from other threads — mint's latency accounting reads a node's clock
+/// around an engine call while writers on that node advance it under the
+/// env lock. Mutation itself stays serialized per device by that lock, so
+/// relaxed ordering is enough; cross-thread samples are bookkeeping, not
+/// synchronization.
 class SimClock {
  public:
   SimClock() = default;
@@ -17,24 +24,34 @@ class SimClock {
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  uint64_t NowMicros() const { return now_micros_; }
-  double NowSeconds() const { return static_cast<double>(now_micros_) * 1e-6; }
+  uint64_t NowMicros() const {
+    return now_micros_.load(std::memory_order_relaxed);
+  }
+  double NowSeconds() const {
+    return static_cast<double>(NowMicros()) * 1e-6;
+  }
 
   /// Advances the clock by `micros`. Simulated work always moves time
   /// forward.
-  void AdvanceMicros(uint64_t micros) { now_micros_ += micros; }
-
-  /// Jumps the clock to an absolute time point; used by the discrete-event
-  /// scheduler when dequeuing the next event. Never moves backwards.
-  void AdvanceTo(uint64_t abs_micros) {
-    assert(abs_micros >= now_micros_);
-    now_micros_ = abs_micros;
+  void AdvanceMicros(uint64_t micros) {
+    now_micros_.fetch_add(micros, std::memory_order_relaxed);
   }
 
-  void Reset() { now_micros_ = 0; }
+  /// Jumps the clock to an absolute time point; used by the discrete-event
+  /// scheduler when dequeuing the next event. Never moves backwards: a
+  /// target already in the past is a no-op (CAS-max).
+  void AdvanceTo(uint64_t abs_micros) {
+    uint64_t now = now_micros_.load(std::memory_order_relaxed);
+    while (now < abs_micros &&
+           !now_micros_.compare_exchange_weak(now, abs_micros,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  void Reset() { now_micros_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_micros_ = 0;
+  std::atomic<uint64_t> now_micros_{0};
 };
 
 }  // namespace directload

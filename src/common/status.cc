@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Deduplicated";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kProtocol:
+      return "Protocol";
   }
   return "Unknown";
 }

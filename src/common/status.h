@@ -23,6 +23,10 @@ enum class StatusCode {
   kAborted,         // Operation cancelled, e.g., by version rollback.
   kDeduplicated,    // Value field removed by Bifrost; traceback required.
   kInternal,        // Invariant violation; indicates a bug.
+  kProtocol,        // Malformed/oversized RPC frame or wrong magic. Distinct
+                    // from kCorruption (checksum mismatch): a protocol error
+                    // means the peer speaks the wrong language, a corruption
+                    // error means the bytes were damaged in flight.
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -73,6 +77,9 @@ class Status {
   static Status Internal(std::string_view msg = {}) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status Protocol(std::string_view msg = {}) {
+    return Status(StatusCode::kProtocol, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -88,6 +95,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsDeduplicated() const { return code_ == StatusCode::kDeduplicated; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsProtocol() const { return code_ == StatusCode::kProtocol; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,6 +1,8 @@
 #ifndef DIRECTLOAD_COMMON_THREAD_ANNOTATIONS_H_
 #define DIRECTLOAD_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 
@@ -95,11 +97,46 @@ class CAPABILITY("mutex") Mutex {
   void AssertHeld() ASSERT_CAPABILITY(this) {}
 
  private:
+  friend class CondVar;
+
   std::mutex mu_;
 #if DIRECTLOAD_LOCK_RANK_CHECKS
   LockRank rank_;
   const char* name_;
 #endif
+};
+
+/// Condition variable paired with the annotated Mutex. Wait/WaitFor require
+/// the mutex held and return with it held again, exactly like
+/// std::condition_variable — the wait atomically releases and reacquires the
+/// same lock, so the thread's held-rank stack is unchanged across the call
+/// and the rank checker keeps the entry in place.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait() REQUIRES(mu_) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The annotated Mutex still owns the lock.
+  }
+
+  /// Returns false when the timeout elapsed without a notification.
+  bool WaitFor(std::chrono::nanoseconds timeout) REQUIRES(mu_) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    const std::cv_status r = cv_.wait_for(lock, timeout);
+    lock.release();
+    return r == std::cv_status::no_timeout;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  Mutex* const mu_;
+  std::condition_variable cv_;
 };
 
 /// std::shared_mutex counterpart. Shared acquisitions participate in rank

@@ -1,0 +1,241 @@
+#include "rpc/client.h"
+
+#include <chrono>
+
+namespace directload::rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// A connection-level failure worth a reconnect-and-resend; distinct from
+/// the server *answering* with an error, and from a broken byte stream.
+bool Reconnectable(const Status& s) {
+  return s.IsUnavailable() || s.IsIOError();
+}
+
+}  // namespace
+
+Status StatusFromWire(StatusCode code, std::string_view message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kNoSpace:
+      return Status::NoSpace(message);
+    case StatusCode::kBusy:
+      return Status::Busy(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(message);
+    case StatusCode::kAborted:
+      return Status::Aborted(message);
+    case StatusCode::kDeduplicated:
+      return Status::Deduplicated(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kProtocol:
+      return Status::Protocol(message);
+  }
+  return Status::Protocol("unknown wire status code");
+}
+
+RpcClient::RpcClient(std::string host, uint16_t port, Options options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      decoder_(options.max_frame_bytes) {}
+
+RpcClient::~RpcClient() { Close(); }
+
+Status RpcClient::Connect() {
+  MutexLock lock(&mu_);
+  return EnsureConnectedLocked();
+}
+
+void RpcClient::Close() {
+  MutexLock lock(&mu_);
+  CloseLocked();
+}
+
+void RpcClient::CloseLocked() {
+  socket_.Close();
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+}
+
+Status RpcClient::EnsureConnectedLocked() {
+  if (socket_.valid()) return Status::OK();
+  Result<Socket> connected =
+      ConnectTo(host_, port_, options_.connect_timeout_ms);
+  if (!connected.ok()) return connected.status();
+  socket_ = std::move(connected).value();
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+  return Status::OK();
+}
+
+Status RpcClient::SendLocked(const Frame& frame, int timeout_ms) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  return socket_.SendAll(wire, timeout_ms);
+}
+
+Result<Frame> RpcClient::ReceiveLocked(int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  Frame frame;
+  while (true) {
+    Result<bool> got = decoder_.Next(&frame);
+    if (!got.ok()) {
+      // Framing lost: the stream is useless from here on.
+      CloseLocked();
+      return got.status();
+    }
+    if (*got) {
+      if (!frame.response) {
+        CloseLocked();
+        return Status::Protocol("server sent a request frame");
+      }
+      return frame;
+    }
+    const int left = RemainingMs(deadline);
+    if (left == 0) return Status::TimedOut("request deadline expired");
+    char buf[16 * 1024];
+    Result<size_t> n = socket_.RecvSome(buf, sizeof(buf), left);
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      CloseLocked();
+      return Status::Unavailable("server closed the connection");
+    }
+    decoder_.Append(buf, *n);
+  }
+}
+
+Status RpcClient::Send(const Frame& request) {
+  MutexLock lock(&mu_);
+  Status s = EnsureConnectedLocked();
+  if (!s.ok()) return s;
+  return SendLocked(request, options_.request_timeout_ms);
+}
+
+Result<Frame> RpcClient::Receive() {
+  MutexLock lock(&mu_);
+  if (!socket_.valid()) return Status::Unavailable("not connected");
+  return ReceiveLocked(options_.request_timeout_ms);
+}
+
+Result<Frame> RpcClient::Call(Frame request) {
+  request.request_id = NextRequestId();
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt <= options_.max_reconnects; ++attempt) {
+    MutexLock lock(&mu_);
+    last = EnsureConnectedLocked();
+    if (!last.ok()) continue;  // Reconnect on the next attempt.
+    last = SendLocked(request, options_.request_timeout_ms);
+    if (!last.ok()) {
+      if (Reconnectable(last)) {
+        CloseLocked();
+        continue;
+      }
+      return last;
+    }
+    // Drain responses until ours: a reconnect may leave stale responses to
+    // abandoned requests ahead of it in the stream.
+    while (true) {
+      Result<Frame> response = ReceiveLocked(options_.request_timeout_ms);
+      if (!response.ok()) {
+        last = response.status();
+        break;
+      }
+      if (response->request_id == request.request_id) return response;
+    }
+    if (last.IsTimedOut()) return last;  // The deadline is spent; stop.
+    if (Reconnectable(last)) {
+      CloseLocked();
+      continue;
+    }
+    return last;
+  }
+  return last;
+}
+
+Result<std::string> RpcClient::Get(const Slice& key, uint64_t version) {
+  Frame request;
+  request.op = Opcode::kGet;
+  request.version = version;
+  request.key = key.ToString();
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  Status s = StatusFromWire(response->status, response->value);
+  if (!s.ok()) return s;
+  return std::move(response->value);
+}
+
+Result<std::string> RpcClient::GetLatest(const Slice& key) {
+  Frame request;
+  request.op = Opcode::kGet;
+  request.latest = true;
+  request.key = key.ToString();
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  Status s = StatusFromWire(response->status, response->value);
+  if (!s.ok()) return s;
+  return std::move(response->value);
+}
+
+Status RpcClient::Put(const Slice& key, uint64_t version, const Slice& value,
+                      bool dedup) {
+  Frame request;
+  request.op = Opcode::kPut;
+  request.dedup = dedup;
+  request.version = version;
+  request.key = key.ToString();
+  request.value = value.ToString();
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->status, response->value);
+}
+
+Status RpcClient::Del(const Slice& key, uint64_t version) {
+  Frame request;
+  request.op = Opcode::kDel;
+  request.version = version;
+  request.key = key.ToString();
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->status, response->value);
+}
+
+Result<std::string> RpcClient::Stats() {
+  Frame request;
+  request.op = Opcode::kStats;
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  Status s = StatusFromWire(response->status, response->value);
+  if (!s.ok()) return s;
+  return std::move(response->value);
+}
+
+Status RpcClient::Ping() {
+  Frame request;
+  request.op = Opcode::kPing;
+  request.value = "ping";
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->status, response->value);
+}
+
+}  // namespace directload::rpc

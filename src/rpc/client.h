@@ -1,0 +1,98 @@
+#ifndef DIRECTLOAD_RPC_CLIENT_H_
+#define DIRECTLOAD_RPC_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "rpc/protocol.h"
+#include "rpc/socket.h"
+
+namespace directload::rpc {
+
+/// A blocking client for the DirectLoad serving protocol. Each call carries
+/// a per-request deadline; connection failures are retried with a bounded
+/// number of reconnects (safe here because every operation is idempotent —
+/// a PUT names its exact key/version, so replaying it converges). Wire
+/// errors come back as the ordinary Status codes: the server's own result
+/// for the operation, kTimedOut for an expired deadline, kUnavailable when
+/// the server is unreachable, kProtocol / kCorruption when the byte stream
+/// itself is broken (those tear the connection down; the next call
+/// reconnects).
+///
+/// Thread-safe: calls are serialized on an internal lock (rank
+/// LockRank::kRpcClient). For parallel load, use one client per thread —
+/// that is what the closed-loop load generator does.
+class RpcClient {
+ public:
+  struct Options {
+    int connect_timeout_ms = 2000;
+    /// Per-request deadline covering send + receive of one attempt.
+    int request_timeout_ms = 5000;
+    /// Reconnect-and-resend attempts after a connection-level failure.
+    int max_reconnects = 2;
+    size_t max_frame_bytes = kMaxBodyBytes;
+  };
+
+  RpcClient(std::string host, uint16_t port)
+      : RpcClient(std::move(host), port, Options()) {}
+  RpcClient(std::string host, uint16_t port, Options options);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Eagerly connects (calls also connect lazily).
+  Status Connect() EXCLUDES(mu_);
+  void Close() EXCLUDES(mu_);
+
+  Result<std::string> Get(const Slice& key, uint64_t version) EXCLUDES(mu_);
+  Result<std::string> GetLatest(const Slice& key) EXCLUDES(mu_);
+  Status Put(const Slice& key, uint64_t version, const Slice& value,
+             bool dedup = false) EXCLUDES(mu_);
+  Status Del(const Slice& key, uint64_t version) EXCLUDES(mu_);
+  Result<std::string> Stats() EXCLUDES(mu_);
+  Status Ping() EXCLUDES(mu_);
+
+  // -- Pipelined surface (the load generator drives this directly) --------
+
+  /// Fresh request id for a caller-built frame.
+  uint64_t NextRequestId() { return next_id_.fetch_add(1); }
+
+  /// Ships one request without waiting for its response.
+  Status Send(const Frame& request) EXCLUDES(mu_);
+
+  /// Blocks for the next response frame (any request id — pipelined
+  /// responses may complete out of order; the caller matches ids).
+  Result<Frame> Receive() EXCLUDES(mu_);
+
+ private:
+  /// One request/response exchange with reconnect-and-resend.
+  Result<Frame> Call(Frame request) EXCLUDES(mu_);
+
+  Status EnsureConnectedLocked() REQUIRES(mu_);
+  Status SendLocked(const Frame& frame, int timeout_ms) REQUIRES(mu_);
+  Result<Frame> ReceiveLocked(int timeout_ms) REQUIRES(mu_);
+  void CloseLocked() REQUIRES(mu_);
+
+  const std::string host_;
+  const uint16_t port_;
+  const Options options_;
+  std::atomic<uint64_t> next_id_{1};
+
+  Mutex mu_{LockRank::kRpcClient, "RpcClient::mu_"};
+  Socket socket_ GUARDED_BY(mu_);
+  FrameDecoder decoder_ GUARDED_BY(mu_);
+};
+
+/// Rebuilds a Status from a wire status code plus the response's message
+/// payload. Unknown codes (a newer peer) map to kProtocol.
+Status StatusFromWire(StatusCode code, std::string_view message);
+
+}  // namespace directload::rpc
+
+#endif  // DIRECTLOAD_RPC_CLIENT_H_

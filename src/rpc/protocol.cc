@@ -1,0 +1,136 @@
+#include "rpc/protocol.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace directload::rpc {
+
+namespace {
+
+bool ValidOpcode(uint8_t op) {
+  return op >= static_cast<uint8_t>(Opcode::kGet) &&
+         op <= static_cast<uint8_t>(Opcode::kPing);
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kProtocol);
+}
+
+}  // namespace
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  std::string body;
+  body.reserve(kBodyFixedBytes + frame.key.size() + frame.value.size() + 10);
+  body.push_back(static_cast<char>(frame.op));
+  uint8_t flags = 0;
+  if (frame.response) flags |= kFlagResponse;
+  if (frame.dedup) flags |= kFlagDedup;
+  if (frame.latest) flags |= kFlagLatest;
+  body.push_back(static_cast<char>(flags));
+  body.push_back(static_cast<char>(frame.status));
+  body.push_back('\0');  // Reserved.
+  PutFixed64(&body, frame.request_id);
+  PutFixed64(&body, frame.version);
+  PutLengthPrefixedSlice(&body, frame.key);
+  PutLengthPrefixedSlice(&body, frame.value);
+
+  PutFixed32(out, kFrameMagic);
+  PutFixed32(out, static_cast<uint32_t>(body.size()));
+  out->append(body);
+  PutFixed32(out, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+}
+
+Frame MakeResponse(const Frame& request, const Status& status,
+                   std::string value) {
+  Frame response;
+  response.op = request.op;
+  response.response = true;
+  response.status = status.code();
+  response.request_id = request.request_id;
+  response.version = request.version;
+  if (status.ok()) {
+    response.value = std::move(value);
+  } else {
+    response.value = status.message();
+  }
+  return response;
+}
+
+Status FrameDecoder::DecodeBody(const char* body, size_t n, Frame* out) const {
+  if (n < kBodyFixedBytes) {
+    return Status::Protocol("frame body shorter than fixed fields");
+  }
+  const uint8_t op = static_cast<uint8_t>(body[0]);
+  const uint8_t flags = static_cast<uint8_t>(body[1]);
+  const uint8_t status = static_cast<uint8_t>(body[2]);
+  const uint8_t reserved = static_cast<uint8_t>(body[3]);
+  if (!ValidOpcode(op)) return Status::Protocol("unknown opcode");
+  if ((flags & ~(kFlagResponse | kFlagDedup | kFlagLatest)) != 0) {
+    return Status::Protocol("unknown flag bits");
+  }
+  if (!ValidStatusCode(status)) return Status::Protocol("unknown status code");
+  if (reserved != 0) return Status::Protocol("reserved byte not zero");
+
+  out->op = static_cast<Opcode>(op);
+  out->response = (flags & kFlagResponse) != 0;
+  out->dedup = (flags & kFlagDedup) != 0;
+  out->latest = (flags & kFlagLatest) != 0;
+  out->status = static_cast<StatusCode>(status);
+  out->request_id = DecodeFixed64(body + 4);
+  out->version = DecodeFixed64(body + 12);
+
+  Slice rest(body + kBodyFixedBytes, n - kBodyFixedBytes);
+  Slice key, value;
+  if (!GetLengthPrefixedSlice(&rest, &key) ||
+      !GetLengthPrefixedSlice(&rest, &value)) {
+    return Status::Protocol("truncated key/value field");
+  }
+  if (!rest.empty()) return Status::Protocol("trailing bytes in frame body");
+  out->key.assign(key.data(), key.size());
+  out->value.assign(value.data(), value.size());
+  return Status::OK();
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return error_;
+  // Drop consumed bytes lazily, once they dominate the buffer, so a burst of
+  // pipelined frames does not memmove the tail after every frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const char* base = buffer_.data() + consumed_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kHeaderBytes) return false;
+
+  const uint32_t magic = DecodeFixed32(base);
+  if (magic != kFrameMagic) {
+    error_ = Status::Protocol("bad frame magic");
+    return error_;
+  }
+  const uint32_t body_len = DecodeFixed32(base + 4);
+  if (body_len > max_body_bytes_) {
+    error_ = Status::Protocol("frame body exceeds maximum size");
+    return error_;
+  }
+  const size_t total = kHeaderBytes + body_len + kTrailerBytes;
+  if (avail < total) return false;
+
+  const char* body = base + kHeaderBytes;
+  const uint32_t expected =
+      crc32c::Unmask(DecodeFixed32(body + body_len));
+  const uint32_t actual = crc32c::Value(body, body_len);
+  if (expected != actual) {
+    error_ = Status::Corruption("frame checksum mismatch");
+    return error_;
+  }
+  Status s = DecodeBody(body, body_len, out);
+  if (!s.ok()) {
+    error_ = s;
+    return error_;
+  }
+  consumed_ += total;
+  return true;
+}
+
+}  // namespace directload::rpc

@@ -1,0 +1,132 @@
+#ifndef DIRECTLOAD_RPC_PROTOCOL_H_
+#define DIRECTLOAD_RPC_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace directload::rpc {
+
+/// The DirectLoad serving wire protocol: length-prefixed binary frames with
+/// a CRC32C trailer, carried over a plain byte stream (TCP). One frame is
+/// one request or one response; requests carry a caller-chosen id that the
+/// matching response echoes, so responses to pipelined requests may complete
+/// out of order.
+///
+///   offset  size  field
+///   0       4     magic "DLP1" (kFrameMagic, little-endian fixed32)
+///   4       4     body length N (fixed32; excludes magic/length/trailer)
+///   8       N     body
+///   8+N     4     masked CRC32C of the body (crc32c::Mask, as the AOF does)
+///
+///   body:
+///   0       1     opcode (Opcode)
+///   1       1     flags (kFlagResponse | kFlagDedup | kFlagLatest)
+///   2       1     status code (StatusCode; meaningful in responses, 0 in
+///                 requests)
+///   3       1     reserved, must be 0
+///   4       8     request id (fixed64)
+///   12      8     version (fixed64)
+///   20      ...   varint32 key length, key bytes
+///   ...     ...   varint32 value length, value bytes (GET/STATS responses
+///                 carry the value or stats text here; error responses carry
+///                 the error message)
+///
+/// The body must parse to exactly its declared length. Decode errors are
+/// split by cause: kProtocol for frames the peer should never have sent
+/// (bad magic, oversized or short body, trailing garbage, unknown opcode or
+/// status) and kCorruption for frames damaged in flight (CRC mismatch).
+/// Either way the stream is unrecoverable — framing is lost — and the
+/// connection must be torn down.
+
+enum class Opcode : uint8_t {
+  kGet = 1,    // key + version (or kFlagLatest) -> value.
+  kPut = 2,    // key + version + value (kFlagDedup for value-less pairs).
+  kDel = 3,    // key + version.
+  kStats = 4,  // server + cluster counters as text.
+  kPing = 5,   // liveness probe; echoes the value payload.
+};
+
+inline constexpr uint32_t kFrameMagic = 0x31504C44u;  // "DLP1" on the wire.
+inline constexpr uint8_t kFlagResponse = 1u << 0;
+inline constexpr uint8_t kFlagDedup = 1u << 1;   // PUT of a value-less pair.
+inline constexpr uint8_t kFlagLatest = 1u << 2;  // GET newest live version.
+
+/// Frames above this body size are rejected as kProtocol before any
+/// allocation happens — the decoder never trusts the length field enough to
+/// reserve memory for a frame it would not accept.
+inline constexpr size_t kMaxBodyBytes = 4u << 20;
+
+/// Bytes of fixed header (magic + length) and trailer (masked CRC).
+inline constexpr size_t kHeaderBytes = 8;
+inline constexpr size_t kTrailerBytes = 4;
+inline constexpr size_t kBodyFixedBytes = 20;  // Through the version field.
+
+/// One decoded request or response.
+struct Frame {
+  Opcode op = Opcode::kPing;
+  bool response = false;
+  bool dedup = false;
+  bool latest = false;
+  StatusCode status = StatusCode::kOk;  // Responses only.
+  uint64_t request_id = 0;
+  uint64_t version = 0;
+  std::string key;
+  std::string value;
+};
+
+/// Appends the encoded frame to `*out` (which may already hold bytes — the
+/// writer batches pipelined frames into one buffer).
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Builds the conventional response to `request`: same opcode and request
+/// id, kFlagResponse set, `status` recorded, and `value` as the payload
+/// (result value on success, error message otherwise).
+Frame MakeResponse(const Frame& request, const Status& status,
+                   std::string value = {});
+
+/// Incremental frame decoder. Feed it whatever the socket produced —
+/// fragments, multiple frames, a frame split anywhere — and poll Next():
+///
+///   Frame frame;
+///   decoder.Append(buf, n);
+///   while (true) {
+///     Result<bool> got = decoder.Next(&frame);
+///     if (!got.ok()) { /* kProtocol or kCorruption: close the stream */ }
+///     if (!*got) break;  // Need more bytes.
+///     Handle(frame);
+///   }
+///
+/// Decode errors are sticky: once the stream is unframeable every later
+/// Next() reports the same error.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_body_bytes = kMaxBodyBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  void Append(const char* data, size_t n) { buffer_.append(data, n); }
+  void Append(const Slice& data) { buffer_.append(data.data(), data.size()); }
+
+  /// Extracts the next complete frame into `*out`. Returns true on a frame,
+  /// false when the buffer holds only a prefix (feed more bytes), or a
+  /// kProtocol / kCorruption status when the stream is broken.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by a decoded frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Status DecodeBody(const char* body, size_t n, Frame* out) const;
+
+  size_t max_body_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already handed out as frames.
+  Status error_;         // Sticky decode error.
+};
+
+}  // namespace directload::rpc
+
+#endif  // DIRECTLOAD_RPC_PROTOCOL_H_

@@ -1,0 +1,70 @@
+#ifndef DIRECTLOAD_RPC_SOCKET_H_
+#define DIRECTLOAD_RPC_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace directload::rpc {
+
+/// Thin POSIX TCP helpers shared by the RPC client, the KV server, and the
+/// socket-level tests. All calls are blocking with explicit timeouts (poll
+/// under the hood); none raise SIGPIPE. Errors map onto the project Status
+/// taxonomy: kUnavailable for connection-level failures (refused, reset,
+/// EOF), kTimedOut for expired deadlines, kIOError for everything else.
+
+/// An owning socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Half-closes the write side (the reader still drains in-flight data).
+  void ShutdownWrite();
+
+  /// Writes all of `data`, looping over short writes. `timeout_ms < 0`
+  /// blocks indefinitely.
+  Status SendAll(const Slice& data, int timeout_ms);
+
+  /// Reads up to `cap` bytes into `buf`. Returns the byte count (0 = clean
+  /// EOF), kTimedOut when nothing arrived within `timeout_ms`, kUnavailable
+  /// on reset.
+  Result<size_t> RecvSome(char* buf, size_t cap, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port within `timeout_ms`. Numeric IPv4 or names
+/// resolvable by getaddrinfo.
+Result<Socket> ConnectTo(const std::string& host, uint16_t port,
+                         int timeout_ms);
+
+/// Binds and listens on `host:port` (port 0 = kernel-assigned ephemeral
+/// port). Returns the listening socket; query the bound port with
+/// ListenPort().
+Result<Socket> Listen(const std::string& host, uint16_t port, int backlog);
+
+/// The locally bound port of a listening (or connected) socket.
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Accepts one connection within `timeout_ms`. Returns kTimedOut when none
+/// arrived — callers poll so they can observe shutdown flags.
+Result<Socket> AcceptOne(const Socket& listener, int timeout_ms);
+
+}  // namespace directload::rpc
+
+#endif  // DIRECTLOAD_RPC_SOCKET_H_

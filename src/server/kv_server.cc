@@ -1,0 +1,302 @@
+#include "server/kv_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/rate_limiter.h"
+
+namespace directload::server {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// How often blocked accept/recv/wait calls wake up to check the shutdown
+/// and idle flags. Bounds drain latency without burning CPU.
+constexpr int kPollSliceMs = 50;
+
+/// Deadline for writing one response onto a connection. A peer that stops
+/// reading for this long forfeits the response (the socket send buffer plus
+/// this budget is far more slack than a live client ever needs).
+constexpr int kWriteTimeoutMs = 5000;
+
+}  // namespace
+
+/// Per-connection state. The reader thread owns `decoder` and `limiter`
+/// exclusively; the socket is shared between the reader (recv) and the
+/// workers (send) — opposite directions of one fd, which the kernel allows
+/// concurrently — and `write_mu` serializes the senders so pipelined
+/// responses cannot interleave bytes.
+struct KvServer::Connection {
+  Connection(rpc::Socket s, const KvServerOptions& options)
+      : socket(std::move(s)),
+        decoder(options.max_frame_bytes),
+        limiter(options.conn_bytes_per_sec, options.conn_burst_bytes) {}
+
+  /// Encodes and writes one frame. Send failures are dropped on the floor:
+  /// the peer is gone and the reader will notice on its side.
+  void Write(const rpc::Frame& frame) {
+    std::string wire;
+    rpc::EncodeFrame(frame, &wire);
+    MutexLock lock(&write_mu);
+    (void)socket.SendAll(wire, kWriteTimeoutMs);
+  }
+
+  rpc::Socket socket;
+  rpc::FrameDecoder decoder;  // Reader thread only.
+  WallRateLimiter limiter;    // Reader thread only.
+  Mutex write_mu{LockRank::kServerConnWrite, "Connection::write_mu"};
+  std::atomic<bool> done{false};  // Reader thread exited.
+};
+
+KvServer::KvServer(mint::MintCluster* cluster, KvServerOptions options)
+    : cluster_(cluster), options_(std::move(options)) {}
+
+KvServer::~KvServer() { Shutdown(); }
+
+Status KvServer::Start() {
+  MutexLock lock(&mu_);
+  if (running_) return Status::InvalidArgument("server is already running");
+
+  Result<rpc::Socket> listener =
+      rpc::Listen(options_.host, options_.port, /*backlog=*/128);
+  if (!listener.ok()) return listener.status();
+  Result<uint16_t> port = rpc::LocalPort(*listener);
+  if (!port.ok()) return port.status();
+  listener_ = std::move(listener).value();
+  port_ = *port;
+
+  draining_.store(false);
+  {
+    MutexLock queue_lock(&queue_mu_);
+    stopping_ = false;
+  }
+  int num_workers = options_.num_workers;
+  if (num_workers <= 0) {
+    num_workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(&KvServer::WorkerLoop, this);
+  }
+  acceptor_ = std::thread(&KvServer::AcceptorLoop, this);
+  running_ = true;
+  return Status::OK();
+}
+
+void KvServer::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  // Stop accepting and stop decoding new requests. Frames already queued
+  // (or executing) still complete and flush their acknowledgements —
+  // that is the drain guarantee: every acknowledged write reached the
+  // cluster.
+  draining_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    MutexLock lock(&queue_mu_);
+    while (!queue_.empty() || executing_ > 0) {
+      drain_cv_.WaitFor(std::chrono::milliseconds(kPollSliceMs));
+    }
+    stopping_ = true;
+    queue_cv_.SignalAll();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> connections;
+  {
+    MutexLock lock(&mu_);
+    connections.swap(connections_);
+  }
+  for (auto& [conn, reader] : connections) {
+    if (reader.joinable()) reader.join();
+  }
+  connections.clear();  // Closes the sockets.
+  listener_.Close();
+}
+
+void KvServer::AcceptorLoop() {
+  while (!draining_.load()) {
+    Result<rpc::Socket> accepted = rpc::AcceptOne(listener_, kPollSliceMs);
+    if (!accepted.ok()) {
+      if (accepted.status().IsTimedOut()) {
+        // Idle moment: reap finished connections so a long-lived server
+        // does not accumulate dead registry entries.
+        MutexLock lock(&mu_);
+        for (auto it = connections_.begin(); it != connections_.end();) {
+          if (it->first->done.load()) {
+            if (it->second.joinable()) it->second.join();
+            it = connections_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        continue;
+      }
+      return;  // Listener broken; Shutdown will clean up.
+    }
+    counters_.connections_accepted.fetch_add(1);
+    auto conn = std::make_shared<Connection>(std::move(accepted).value(),
+                                             options_);
+    MutexLock lock(&mu_);
+    connections_.emplace_back(conn,
+                              std::thread(&KvServer::ReaderLoop, this, conn));
+  }
+}
+
+void KvServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  const bool throttled = options_.conn_bytes_per_sec > 0;
+  SteadyClock::time_point idle_deadline =
+      SteadyClock::now() + std::chrono::milliseconds(options_.idle_timeout_ms);
+  char buf[32 * 1024];
+  bool alive = true;
+  while (alive && !draining_.load()) {
+    Result<size_t> n = conn->socket.RecvSome(buf, sizeof(buf), kPollSliceMs);
+    if (!n.ok()) {
+      if (n.status().IsTimedOut()) {
+        if (SteadyClock::now() >= idle_deadline) {
+          counters_.connections_idle_closed.fetch_add(1);
+          break;
+        }
+        continue;
+      }
+      break;  // Reset / hard error.
+    }
+    if (*n == 0) break;  // Clean EOF.
+    if (throttled) conn->limiter.Throttle(static_cast<double>(*n));
+    conn->decoder.Append(buf, *n);
+
+    while (alive) {
+      rpc::Frame frame;
+      Result<bool> got = conn->decoder.Next(&frame);
+      if (!got.ok()) {
+        // Framing is lost: report the reason on a best-effort error frame
+        // (request id 0 — the broken stream no longer names one) and tear
+        // the connection down.
+        counters_.stream_errors.fetch_add(1);
+        rpc::Frame error;
+        error.op = rpc::Opcode::kPing;
+        error.response = true;
+        error.status = got.status().code();
+        error.value = got.status().ToString();
+        conn->Write(error);
+        alive = false;
+        break;
+      }
+      if (!*got) break;  // Need more bytes.
+      idle_deadline = SteadyClock::now() +
+                      std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (frame.response) {
+        counters_.stream_errors.fetch_add(1);
+        conn->Write(rpc::MakeResponse(
+            frame, Status::Protocol("client sent a response frame")));
+        alive = false;
+        break;
+      }
+      if (draining_.load()) {
+        // Not yet queued, so not acknowledged — the client will retry
+        // against whatever replaces this server.
+        alive = false;
+        break;
+      }
+      rpc::Frame stub;  // Scalar fields survive for the rejection path.
+      stub.op = frame.op;
+      stub.request_id = frame.request_id;
+      stub.version = frame.version;
+      if (!Enqueue(Request{conn, std::move(frame)})) {
+        counters_.requests_rejected_busy.fetch_add(1);
+        conn->Write(
+            rpc::MakeResponse(stub, Status::Busy("request queue is full")));
+      }
+    }
+  }
+  conn->done.store(true);
+}
+
+bool KvServer::Enqueue(Request request) {
+  MutexLock lock(&queue_mu_);
+  if (queue_.size() >= options_.max_queued_requests) return false;
+  queue_.push_back(std::move(request));
+  queue_cv_.Signal();
+  return true;
+}
+
+void KvServer::WorkerLoop() {
+  while (true) {
+    Request request;
+    {
+      MutexLock lock(&queue_mu_);
+      while (queue_.empty() && !stopping_) {
+        queue_cv_.WaitFor(std::chrono::milliseconds(kPollSliceMs));
+      }
+      if (queue_.empty()) return;  // stopping_ && drained.
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    rpc::Frame response = Execute(request.frame);
+    request.conn->Write(response);
+    counters_.requests_served.fetch_add(1);
+    {
+      MutexLock lock(&queue_mu_);
+      --executing_;
+      if (queue_.empty() && executing_ == 0) drain_cv_.SignalAll();
+    }
+    request.conn.reset();
+  }
+}
+
+rpc::Frame KvServer::Execute(const rpc::Frame& request) {
+  switch (request.op) {
+    case rpc::Opcode::kGet: {
+      Result<mint::MintCluster::ReadResult> read =
+          request.latest ? cluster_->GetLatest(request.key)
+                         : cluster_->Get(request.key, request.version);
+      if (!read.ok()) return rpc::MakeResponse(request, read.status());
+      return rpc::MakeResponse(request, Status::OK(),
+                               std::move(read->value));
+    }
+    case rpc::Opcode::kPut:
+      return rpc::MakeResponse(
+          request, cluster_->Put(request.key, request.version, request.value,
+                                 request.dedup));
+    case rpc::Opcode::kDel:
+      return rpc::MakeResponse(request,
+                               cluster_->Del(request.key, request.version));
+    case rpc::Opcode::kStats:
+      return rpc::MakeResponse(request, Status::OK(), StatsText());
+    case rpc::Opcode::kPing:
+      return rpc::MakeResponse(request, Status::OK(), request.value);
+  }
+  return rpc::MakeResponse(request, Status::Protocol("unknown opcode"));
+}
+
+std::string KvServer::StatsText() {
+  char line[512];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "server: accepted=%llu idle_closed=%llu served=%llu "
+                "busy_rejected=%llu stream_errors=%llu\n",
+                (unsigned long long)counters_.connections_accepted.load(),
+                (unsigned long long)counters_.connections_idle_closed.load(),
+                (unsigned long long)counters_.requests_served.load(),
+                (unsigned long long)counters_.requests_rejected_busy.load(),
+                (unsigned long long)counters_.stream_errors.load());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "cluster: nodes=%d user_bytes=%llu disk_bytes=%llu\n",
+                cluster_->num_nodes(),
+                (unsigned long long)cluster_->TotalUserBytesIngested(),
+                (unsigned long long)cluster_->TotalDiskBytes());
+  out += line;
+  return out;
+}
+
+}  // namespace directload::server

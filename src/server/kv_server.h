@@ -1,0 +1,149 @@
+#ifndef DIRECTLOAD_SERVER_KV_SERVER_H_
+#define DIRECTLOAD_SERVER_KV_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "mint/cluster.h"
+#include "rpc/protocol.h"
+#include "rpc/socket.h"
+
+namespace directload::server {
+
+struct KvServerOptions {
+  /// Numeric IPv4 listen address. Loopback by default: the simulated
+  /// cluster behind the server is a research artifact, not a hardened
+  /// network service.
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port; read it back via port().
+  uint16_t port = 0;
+  /// Worker threads executing requests against the cluster. <= 0 sizes the
+  /// pool to the hardware concurrency (minimum 2).
+  int num_workers = 0;
+  /// Admission bound: requests decoded but not yet picked up by a worker.
+  /// A full queue rejects the request with kBusy instead of queueing
+  /// unboundedly — the client sees back-pressure, the server keeps a
+  /// bounded memory footprint.
+  size_t max_queued_requests = 1024;
+  /// Connections with no complete request for this long are closed.
+  int idle_timeout_ms = 60'000;
+  size_t max_frame_bytes = rpc::kMaxBodyBytes;
+  /// Optional per-connection ingress byte throttle (wall-clock token
+  /// bucket). 0 disables it.
+  double conn_bytes_per_sec = 0;
+  double conn_burst_bytes = 256 * 1024;
+};
+
+/// A multi-threaded TCP front end over a mint::MintCluster — the serving
+/// path of the paper's regional store: web-search reads and streaming index
+/// writes arrive over the same wire protocol (src/rpc/protocol.h) while the
+/// engines behind it keep their own concurrency story.
+///
+/// Threading model (see docs/serving.md):
+///   * one acceptor thread polls the listening socket and spawns
+///   * one reader thread per connection, which decodes pipelined request
+///     frames and enqueues them onto
+///   * a bounded request queue drained by a worker pool sized to the
+///     hardware, whose threads execute against the cluster and write the
+///     response onto the originating connection (a per-connection write
+///     lock keeps pipelined responses from interleaving bytes).
+///
+/// Responses may complete out of order; the request id ties them back.
+/// Admission control: a full queue answers kBusy immediately. Shutdown()
+/// drains gracefully — stop accepting, stop reading, finish every queued
+/// and executing request, flush its acknowledgement, then close. An
+/// acknowledged write is therefore always applied to the cluster, which
+/// the smoke test checks across a server restart.
+///
+/// Locks (all ranked above the engine ranks — a worker may take engine
+/// locks while holding nothing of the server's):
+///   kServerState      mu_        lifecycle + connection registry
+///   kServerQueue      queue_mu_  request queue, drain accounting
+///   kServerConnWrite  write_mu   per-connection response serialization
+class KvServer {
+ public:
+  /// The cluster must outlive the server and must already be Start()ed.
+  KvServer(mint::MintCluster* cluster, KvServerOptions options);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor and worker threads.
+  Status Start() EXCLUDES(mu_);
+
+  /// Graceful drain; idempotent. Blocks until every in-flight request is
+  /// answered and every thread joined.
+  void Shutdown() EXCLUDES(mu_);
+
+  /// The bound port (valid after Start(); the interesting case is an
+  /// ephemeral bind with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  struct Counters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_idle_closed{0};
+    std::atomic<uint64_t> requests_served{0};
+    std::atomic<uint64_t> requests_rejected_busy{0};
+    /// Connections torn down for kProtocol / kCorruption streams.
+    std::atomic<uint64_t> stream_errors{0};
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Connection;
+  struct Request {
+    std::shared_ptr<Connection> conn;
+    rpc::Frame frame;
+  };
+
+  void AcceptorLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+
+  /// Executes one request against the cluster and returns its response.
+  rpc::Frame Execute(const rpc::Frame& request);
+  std::string StatsText();
+
+  /// False when the queue is full (caller answers kBusy).
+  bool Enqueue(Request request) EXCLUDES(queue_mu_);
+
+  mint::MintCluster* const cluster_;
+  const KvServerOptions options_;
+  uint16_t port_ = 0;
+  Counters counters_;
+
+  /// Accept/read stop signal; set by Shutdown before the drain wait.
+  std::atomic<bool> draining_{false};
+
+  Mutex mu_{LockRank::kServerState, "KvServer::mu_"};
+  bool running_ GUARDED_BY(mu_) = false;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>>
+      connections_ GUARDED_BY(mu_);
+
+  // Lifecycle members, written by Start()/Shutdown() only (which external
+  // callers serialize) and stable for the whole time the threads run, so
+  // the acceptor reads listener_ without a lock.
+  rpc::Socket listener_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  Mutex queue_mu_{LockRank::kServerQueue, "KvServer::queue_mu_"};
+  CondVar queue_cv_{&queue_mu_};  // Signaled on push and on stop.
+  CondVar drain_cv_{&queue_mu_};  // Signaled when the queue runs dry.
+  std::deque<Request> queue_ GUARDED_BY(queue_mu_);
+  int executing_ GUARDED_BY(queue_mu_) = 0;
+  bool stopping_ GUARDED_BY(queue_mu_) = false;  // Workers exit.
+};
+
+}  // namespace directload::server
+
+#endif  // DIRECTLOAD_SERVER_KV_SERVER_H_

@@ -46,6 +46,19 @@ TEST(StatusTest, CodesAndMessages) {
   EXPECT_TRUE(Status::Deduplicated().IsDeduplicated());
   EXPECT_TRUE(Status::Internal().IsInternal());
   EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::Protocol().IsProtocol());
+}
+
+TEST(StatusTest, ProtocolDistinctFromCorruption) {
+  // A malformed frame (kProtocol: the peer speaks the wrong language) is a
+  // different failure from a damaged frame (kCorruption: checksum mismatch);
+  // the RPC layer relies on the distinction.
+  Status protocol = Status::Protocol("bad magic");
+  EXPECT_EQ(protocol.code(), StatusCode::kProtocol);
+  EXPECT_EQ(protocol.ToString(), "Protocol: bad magic");
+  EXPECT_FALSE(protocol.IsCorruption());
+  EXPECT_FALSE(Status::Corruption().IsProtocol());
+  EXPECT_FALSE(protocol == Status::Corruption());
 }
 
 TEST(StatusTest, EqualityComparesCodesOnly) {
@@ -369,6 +382,50 @@ TEST(RateLimiterTest, TokensCapAtBurst) {
   RateLimiter limiter(&clock, 100.0, 50.0);
   clock.AdvanceMicros(10 * 1000000);  // 10s idle: would be 1000 tokens.
   EXPECT_NEAR(limiter.available(), 50.0, 1e-6);
+}
+
+TEST(WallRateLimiterTest, BurstAdmitsImmediately) {
+  // Slow refill (1 token/s) so the bucket stays near empty for the duration
+  // of the test no matter how slowly it runs.
+  WallRateLimiter limiter(/*rate_per_sec=*/1.0, /*burst=*/500.0);
+  // The initial burst is admissible now (or in the past).
+  const auto admit = limiter.Acquire(500.0);
+  EXPECT_LE(admit, WallRateLimiter::Clock::now());
+  EXPECT_LE(limiter.available(), 1.0);
+}
+
+TEST(WallRateLimiterTest, DeficitSchedulesRefill) {
+  WallRateLimiter limiter(/*rate_per_sec=*/1000.0, /*burst=*/100.0);
+  const auto before = WallRateLimiter::Clock::now();
+  // 1100 units against a 100-unit bucket leaves a 1000-unit deficit: the
+  // request is admissible ~1s out. Bounds are loose (the clock ticks while
+  // the test runs) but a refill must be scheduled, not immediate.
+  const auto admit = limiter.Acquire(1100.0);
+  const auto wait =
+      std::chrono::duration<double>(admit - before).count();
+  EXPECT_GT(wait, 0.5);
+  EXPECT_LT(wait, 2.0);
+  EXPECT_LT(limiter.available(), 0.0);  // Still in deficit right now.
+}
+
+TEST(WallRateLimiterTest, TokensCapAtBurst) {
+  WallRateLimiter limiter(/*rate_per_sec=*/1e9, /*burst=*/50.0);
+  // Even at a huge refill rate the bucket never exceeds its burst.
+  EXPECT_LE(limiter.available(), 50.0);
+  limiter.Acquire(10.0);
+  EXPECT_LE(limiter.available(), 50.0);
+}
+
+TEST(WallRateLimiterTest, ZeroRateDisablesThrottling) {
+  WallRateLimiter limiter(/*rate_per_sec=*/0.0, /*burst=*/1.0);
+  // Unlimited: any amount is admissible immediately, forever, and no debt
+  // accumulates across calls.
+  for (int i = 0; i < 3; ++i) {
+    const auto admit = limiter.Acquire(1e12);
+    EXPECT_LE(admit, WallRateLimiter::Clock::now());
+    EXPECT_DOUBLE_EQ(limiter.available(), 1.0);
+  }
+  limiter.Throttle(1e12);  // Must return without sleeping.
 }
 
 TEST(SimClockTest, AdvancesMonotonically) {
