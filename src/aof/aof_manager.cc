@@ -4,11 +4,27 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace directload::aof {
 
 namespace {
 constexpr char kSegmentPrefix[] = "aof_";
 constexpr uint64_t kScanChunkBytes = 64 << 10;
+
+// Log-layer failpoints. The aof_seal_* and aof_gc_* points are the
+// crash-point set: tests/chaos_test.cc sweeps every registered point with
+// those prefixes, fail-stops at each, and verifies recovery from the
+// resulting on-disk state (docs/fault_injection.md lists the guarantees).
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_append, "aof_append");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_roll_segment, "aof_roll_segment");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_seal_before_close, "aof_seal_before_close");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_seal_after_close, "aof_seal_after_close");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_gc_before_rewrite, "aof_gc_before_rewrite");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_gc_rewrite_record, "aof_gc_rewrite_record");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_gc_after_rewrite, "aof_gc_after_rewrite");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_gc_before_erase, "aof_gc_before_erase");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_aof_gc_after_erase, "aof_gc_after_erase");
 }  // namespace
 
 AofManager::AofManager(ssd::SsdEnv* env, const AofOptions& options)
@@ -80,6 +96,7 @@ Status AofManager::AdoptExistingSegments(
 }
 
 Status AofManager::OpenNewSegmentLocked() {
+  DIRECTLOAD_FAILPOINT(fp_aof_roll_segment);
   const std::string name = SegmentName(active_id_);
   Result<std::unique_ptr<ssd::WritableFile>> file = env_->NewWritableFile(name);
   if (!file.ok()) return file.status();
@@ -101,6 +118,7 @@ Result<RecordAddress> AofManager::AppendRecordLocked(const Slice& key,
                                                      uint64_t version,
                                                      uint8_t flags,
                                                      const Slice& value) {
+  DIRECTLOAD_FAILPOINT(fp_aof_append);
   const uint64_t extent = RecordExtent(key.size(), value.size());
   if (extent > options_.segment_bytes) {
     return Status::InvalidArgument("record exceeds segment capacity");
@@ -147,8 +165,15 @@ Status AofManager::SealActive() {
 
 Status AofManager::SealActiveLocked() {
   if (active_writer_ == nullptr) return Status::OK();
+  // Crash point: nothing closed yet — the active segment keeps its writer
+  // and its unpersisted tail.
+  DIRECTLOAD_FAILPOINT(fp_aof_seal_before_close);
   Status s = active_writer_->Close();
   if (!s.ok()) return s;
+  // Crash point: the file is closed (tail padded out and persisted) but the
+  // manager's bookkeeping still names it active — recovery must adopt it as
+  // sealed from the on-disk state alone.
+  DIRECTLOAD_FAILPOINT(fp_aof_seal_after_close);
   active_writer_.reset();
   segments_[active_id_].sealed = true;
   active_mirror_.clear();
@@ -291,17 +316,22 @@ Status AofManager::SegmentCursor::Init(const AofManager* mgr,
   // For adopted (recovery) segments the logical extent is unknown; fall back
   // to the persisted file size and stop at the first undecodable record.
   limit_ = it->second.total_bytes;
+  extent_known_ = !adopted && limit_ > 0;
   if (adopted || limit_ == 0) {
     Result<uint64_t> size = mgr->env_->GetFileSize(SegmentName(segment_id));
     if (!size.ok()) return size.status();
     limit_ = *size;
+    extent_known_ = false;
     // A crashed writer may have lost its unflushed tail: only the persisted
     // prefix is readable (record checksums cover torn records inside it).
     ssd::RandomAccessFile* reader = mgr->ReaderFor(segment_id);
     if (reader != nullptr) limit_ = std::min(limit_, reader->Size());
   }
   if (segment_id == mgr->active_id_ && mgr->active_writer_ != nullptr) {
+    // Every byte up to total_bytes was appended by this process: the extent
+    // is exact, and the mirror backs whatever the device has not persisted.
     limit_ = it->second.total_bytes;
+    extent_known_ = true;
   }
   offset_ = 0;
   buf_.clear();
@@ -336,7 +366,19 @@ Status AofManager::SegmentCursor::Decode(const AofManager* mgr) {
   s = DecodeRecord(Slice(buf_.data() + (offset_ - buf_start_),
                          buf_.size() - (offset_ - buf_start_)),
                    &view_);
-  if (!s.ok()) return Status::OK();  // Checksum failure: end of valid data.
+  if (!s.ok()) {
+    // The header decoded and the full claimed extent is readable, so every
+    // byte of this record was appended and persisted — a crash cannot have
+    // torn it. A body checksum failure here is damaged media, and the
+    // records behind it are unreachable; tolerating it would let a scan
+    // (or worse, a GC rewrite) silently drop them.
+    return Status::Corruption("segment " + std::to_string(segment_id_) +
+                              ": record at offset " +
+                              std::to_string(offset_) +
+                              " inside the persisted extent fails its "
+                              "checksum: " +
+                              s.ToString());
+  }
   address_ = RecordAddress{segment_id_, static_cast<uint32_t>(offset_)};
   valid_ = true;
   return Status::OK();
@@ -352,9 +394,20 @@ Status AofManager::ScanSegmentLocked(uint32_t segment_id,
   SegmentCursor cur;
   for (Status s = cur.Init(this, segment_id);; s = cur.Next(this)) {
     if (!s.ok()) return s;
-    if (!cur.Valid()) return Status::OK();
+    if (!cur.Valid()) break;
     if (!fn(cur.address(), cur.record())) return Status::OK();
   }
+  if (cur.StoppedShortOfExtent()) {
+    // The accounting says records continue past the stop point. Surfacing
+    // this (instead of treating it as a clean end) keeps a damaged header
+    // from silently truncating recovery: the caller fails, the bytes stay
+    // on the device, and a later repair can still reach them.
+    return Status::Corruption(
+        "segment " + std::to_string(segment_id) + ": decodable records end at "
+        "offset " + std::to_string(cur.offset()) + " but the segment extent "
+        "is " + std::to_string(cur.limit()) + " bytes");
+  }
+  return Status::OK();
 }
 
 Status AofManager::Scan(const ScanFn& fn, uint32_t min_segment) const {
@@ -380,6 +433,8 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   if (!it->second.sealed) {
     return Status::InvalidArgument("cannot collect the active segment");
   }
+  // Crash point: collection chosen but nothing moved yet.
+  DIRECTLOAD_FAILPOINT(fp_aof_gc_before_rewrite);
 
   SegmentCursor cur;
   for (Status s = cur.Init(this, segment_id);; s = cur.Next(this)) {
@@ -388,6 +443,10 @@ Status AofManager::CollectSegment(uint32_t segment_id,
     const RecordAddress addr = cur.address();
     const RecordView& rec = cur.record();
     if (classify(addr, rec)) {
+      // Crash point: mid-rewrite — some records already hold relocated
+      // copies, the victim still exists, and recovery must reconcile the
+      // duplicates via kFlagRelocated precedence.
+      DIRECTLOAD_FAILPOINT(fp_aof_gc_rewrite_record);
       Result<RecordAddress> new_addr = AppendRecordLocked(
           rec.key, rec.header.version,
           static_cast<uint8_t>(rec.header.flags | kFlagRelocated), rec.value);
@@ -409,6 +468,20 @@ Status AofManager::CollectSegment(uint32_t segment_id,
       drop(addr, rec);
     }
   }
+  if (cur.StoppedShortOfExtent()) {
+    // The rewrite did not reach the end of the victim's records: whatever
+    // sits beyond the undecodable gap may be live, and erasing the segment
+    // now would destroy it. Abandon the collection — the survivors already
+    // re-appended carry kFlagRelocated, so recovery reconciles the
+    // duplicates — and let the caller fail the GC pass.
+    return Status::Corruption(
+        "GC of segment " + std::to_string(segment_id) + " stopped at offset " +
+        std::to_string(cur.offset()) + " of " + std::to_string(cur.limit()) +
+        " extent bytes; refusing to erase a partially-read victim");
+  }
+
+  // Crash point: every survivor rewritten, victim not yet erased.
+  DIRECTLOAD_FAILPOINT(fp_aof_gc_after_rewrite);
 
   // Erasing the victim destroys information whose justification may still
   // be volatile: the re-appended copies themselves (native-mode Sync cannot
@@ -421,6 +494,10 @@ Status AofManager::CollectSegment(uint32_t segment_id,
     Status s = SealActiveLocked();
     if (!s.ok()) return s;
   }
+
+  // Crash point: the durability barrier (seal) is in place; the erase is
+  // the next irreversible step.
+  DIRECTLOAD_FAILPOINT(fp_aof_gc_before_erase);
 
   // Destroy the cached reader before the file disappears. Re-find the
   // segment: the re-appends above may have rebalanced the map (iterators
@@ -436,6 +513,8 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   Status s = env_->DeleteFile(SegmentName(segment_id));
   if (!s.ok()) return s;
   ++gc_stats_.segments_reclaimed;
+  // Crash point: victim gone; only in-memory accounting follows.
+  DIRECTLOAD_FAILPOINT(fp_aof_gc_after_erase);
   return Status::OK();
 }
 

@@ -165,9 +165,19 @@ class AofManager {
   /// Positional cursor over one segment's records. The manager's lock is
   /// passed to every call (rather than captured) so the thread-safety
   /// analysis can tie the capability to the caller's: `cur.Next(this)`
-  /// requires this->mu_ at the call site. Decode/checksum failures end the
-  /// iteration cleanly (Valid() goes false); only real I/O errors surface
-  /// as a non-OK Status.
+  /// requires this->mu_ at the call site.
+  ///
+  /// Decode failures are classified, not uniformly tolerated. Appends are
+  /// prefix-persistent: the readable limit never ends inside bytes that were
+  /// not appended, so a record whose full claimed extent lies within the
+  /// limit yet fails its checksum is damaged media — Decode surfaces it as
+  /// kCorruption. Only the shapes a crash can legitimately produce end the
+  /// iteration cleanly (Valid() goes false): a header that no longer fits,
+  /// a header that fails to decode (torn header or page padding), or a
+  /// claimed extent running past the limit (torn body). When the segment's
+  /// logical extent is known (recorded at seal/adoption time rather than
+  /// inferred from file size), a clean stop before that extent is also
+  /// damage; callers check StoppedShortOfExtent() after the loop.
   struct SegmentCursor {
     Status Init(const AofManager* mgr, uint32_t segment_id)
         REQUIRES_SHARED(mgr->mu_);
@@ -175,6 +185,15 @@ class AofManager {
     bool Valid() const { return valid_; }
     const RecordAddress& address() const { return address_; }
     const RecordView& record() const { return view_; }
+    uint64_t offset() const { return offset_; }
+    uint64_t limit() const { return limit_; }
+    /// True when iteration ended before the segment's known record extent:
+    /// decodable data ran out where the accounting says records exist. The
+    /// undecodable gap may hold live records, so treating it as a clean end
+    /// (and, in GC, erasing the segment) would destroy data.
+    bool StoppedShortOfExtent() const {
+      return !valid_ && extent_known_ && offset_ < limit_;
+    }
 
    private:
     Status Ensure(const AofManager* mgr, uint64_t need)
@@ -184,6 +203,7 @@ class AofManager {
     uint32_t segment_id_ = 0;
     uint64_t limit_ = 0;
     uint64_t offset_ = 0;
+    bool extent_known_ = false;
     std::string buf_;
     uint64_t buf_start_ = 0;
     RecordAddress address_;

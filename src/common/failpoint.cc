@@ -1,0 +1,402 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace directload::failpoint {
+
+namespace {
+
+// FNV-1a, used to derive a per-point PRNG seed from the registry base seed
+// so two points armed with the same spec do not fire in lockstep.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseCodeName(std::string_view name, StatusCode* out) {
+  struct Entry {
+    std::string_view name;
+    StatusCode code;
+  };
+  static constexpr Entry kCodes[] = {
+      {"notfound", StatusCode::kNotFound},
+      {"corruption", StatusCode::kCorruption},
+      {"invalid", StatusCode::kInvalidArgument},
+      {"io", StatusCode::kIOError},
+      {"nospace", StatusCode::kNoSpace},
+      {"busy", StatusCode::kBusy},
+      {"unavailable", StatusCode::kUnavailable},
+      {"timedout", StatusCode::kTimedOut},
+      {"aborted", StatusCode::kAborted},
+      {"dedup", StatusCode::kDeduplicated},
+      {"internal", StatusCode::kInternal},
+      {"protocol", StatusCode::kProtocol},
+  };
+  for (const Entry& e : kCodes) {
+    if (e.name == name) {
+      *out = e.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Status has no public (code, message) constructor; route through the
+// per-code factories.
+Status MakeStatus(StatusCode code, const std::string& msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg);
+    case StatusCode::kCorruption:
+      return Status::Corruption(msg);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case StatusCode::kIOError:
+      return Status::IOError(msg);
+    case StatusCode::kNoSpace:
+      return Status::NoSpace(msg);
+    case StatusCode::kBusy:
+      return Status::Busy(msg);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(msg);
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(msg);
+    case StatusCode::kAborted:
+      return Status::Aborted(msg);
+    case StatusCode::kDeduplicated:
+      return Status::Deduplicated(msg);
+    case StatusCode::kInternal:
+      return Status::Internal(msg);
+    case StatusCode::kProtocol:
+      return Status::Protocol(msg);
+  }
+  return Status::IOError(msg);
+}
+
+}  // namespace
+
+Status ParseSpec(std::string_view text, Spec* out) {
+  Spec spec;
+  std::string_view rest = text;
+
+  // [<P>%] — a decimal percentage.
+  if (const size_t pct = rest.find('%'); pct != std::string_view::npos) {
+    const std::string number(rest.substr(0, pct));
+    char* end = nullptr;
+    const double p = std::strtod(number.c_str(), &end);
+    if (end != number.c_str() + number.size() || p < 0.0 || p > 100.0) {
+      return Status::InvalidArgument("failpoint spec: bad probability in \"" +
+                                     std::string(text) + "\"");
+    }
+    spec.probability = p / 100.0;
+    rest.remove_prefix(pct + 1);
+  }
+
+  // [every<N>:]
+  if (constexpr std::string_view kEvery = "every";
+      rest.substr(0, kEvery.size()) == kEvery) {
+    const size_t colon = rest.find(':');
+    if (colon == std::string_view::npos ||
+        !ParseUint(rest.substr(kEvery.size(), colon - kEvery.size()),
+                   &spec.every) ||
+        spec.every == 0) {
+      return Status::InvalidArgument("failpoint spec: bad every<N>: in \"" +
+                                     std::string(text) + "\"");
+    }
+    rest.remove_prefix(colon + 1);
+  }
+
+  // [<C>*]
+  if (const size_t star = rest.find('*'); star != std::string_view::npos) {
+    uint64_t count = 0;
+    if (!ParseUint(rest.substr(0, star), &count) || count == 0) {
+      return Status::InvalidArgument("failpoint spec: bad <C>* count in \"" +
+                                     std::string(text) + "\"");
+    }
+    spec.max_hits = static_cast<int64_t>(count);
+    rest.remove_prefix(star + 1);
+  }
+
+  // <action>[(<arg>)]
+  std::string_view action = rest;
+  std::string_view arg;
+  if (const size_t paren = rest.find('('); paren != std::string_view::npos) {
+    if (rest.back() != ')') {
+      return Status::InvalidArgument("failpoint spec: unbalanced '(' in \"" +
+                                     std::string(text) + "\"");
+    }
+    action = rest.substr(0, paren);
+    arg = rest.substr(paren + 1, rest.size() - paren - 2);
+  }
+
+  if (action == "return") {
+    spec.action = Action::kReturnError;
+    if (!arg.empty() && !ParseCodeName(arg, &spec.error_code)) {
+      return Status::InvalidArgument(
+          "failpoint spec: unknown status code \"" + std::string(arg) + "\"");
+    }
+  } else if (action == "delay") {
+    spec.action = Action::kDelay;
+    uint64_t ms = 0;
+    if (!ParseUint(arg, &ms)) {
+      return Status::InvalidArgument("failpoint spec: delay needs (ms) in \"" +
+                                     std::string(text) + "\"");
+    }
+    spec.delay_ms = static_cast<int64_t>(ms);
+  } else if (action == "abort") {
+    spec.action = Action::kAbort;
+    if (!arg.empty()) {
+      return Status::InvalidArgument("failpoint spec: abort takes no arg");
+    }
+  } else if (action == "short") {
+    spec.action = Action::kShortIo;
+    if (!ParseUint(arg, &spec.short_io_bytes)) {
+      return Status::InvalidArgument(
+          "failpoint spec: short needs (bytes) in \"" + std::string(text) +
+          "\"");
+    }
+  } else if (action == "corrupt") {
+    spec.action = Action::kCorrupt;
+    if (!arg.empty()) {
+      return Status::InvalidArgument("failpoint spec: corrupt takes no arg");
+    }
+  } else {
+    return Status::InvalidArgument("failpoint spec: unknown action in \"" +
+                                   std::string(text) + "\"");
+  }
+
+  *out = spec;
+  return Status::OK();
+}
+
+FailPoint::FailPoint(std::string name) : name_(std::move(name)) {}
+
+void FailPoint::Activate(const Spec& spec) {
+  MutexLock lock(&mu_);
+  spec_ = spec;
+  armed_evals_ = 0;
+  armed_hits_ = 0;
+  const uint64_t seed = spec.seed != 0 ? spec.seed : HashName(name_);
+  rng_ = Random(seed);
+  armed_.store(spec.action != Action::kOff, std::memory_order_release);
+}
+
+void FailPoint::Deactivate() {
+  MutexLock lock(&mu_);
+  spec_ = Spec{};
+  armed_.store(false, std::memory_order_release);
+}
+
+void FailPoint::ResetCountersForTesting() {
+  MutexLock lock(&mu_);
+  evaluations_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  armed_evals_ = 0;
+  armed_hits_ = 0;
+}
+
+Status FailPoint::Fire(std::string* buf, uint64_t* io_bytes) {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+
+  // Decide under the lock; act (sleep/abort) after releasing it so a delay
+  // on one thread never serializes other threads evaluating this point.
+  Action action = Action::kOff;
+  StatusCode error_code = StatusCode::kIOError;
+  int64_t delay_ms = 0;
+  uint64_t short_io_bytes = 0;
+  uint64_t corrupt_draw = 0;
+  {
+    MutexLock lock(&mu_);
+    if (spec_.action == Action::kOff) return Status::OK();  // Raced disarm.
+    ++armed_evals_;
+    if (spec_.every > 0 && armed_evals_ % spec_.every != 0) {
+      return Status::OK();
+    }
+    if (spec_.probability < 1.0 && !rng_.Bernoulli(spec_.probability)) {
+      return Status::OK();
+    }
+    if (spec_.max_hits >= 0) {
+      // The budget is per ARMING, counted separately from the cumulative
+      // hits_ observability counter — otherwise re-activating a point that
+      // fired before would start with its fresh budget already spent.
+      if (armed_hits_ >= static_cast<uint64_t>(spec_.max_hits)) {
+        // A racing evaluation got past armed() before the disarm below
+        // landed; the budget is spent, so stand down.
+        return Status::OK();
+      }
+      ++armed_hits_;
+      if (armed_hits_ >= static_cast<uint64_t>(spec_.max_hits)) {
+        // Budget exhausted after this hit: disarm so the hot path goes
+        // back to a single atomic load.
+        armed_.store(false, std::memory_order_release);
+      }
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    action = spec_.action;
+    error_code = spec_.error_code;
+    delay_ms = spec_.delay_ms;
+    short_io_bytes = spec_.short_io_bytes;
+    corrupt_draw = rng_.Next();
+  }
+
+  switch (action) {
+    case Action::kOff:
+      return Status::OK();
+    case Action::kReturnError:
+      return MakeStatus(error_code, "failpoint " + name_ + ": injected error");
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::OK();
+    case Action::kAbort:
+      std::fprintf(stderr, "failpoint \"%s\": injected abort\n",
+                   name_.c_str());
+      std::abort();
+    case Action::kShortIo:
+      if (io_bytes != nullptr && *io_bytes > short_io_bytes) {
+        *io_bytes = short_io_bytes;
+      }
+      return Status::IOError("failpoint " + name_ + ": injected short io");
+    case Action::kCorrupt:
+      if (buf != nullptr && !buf->empty()) {
+        const uint64_t bit = corrupt_draw % (buf->size() * 8);
+        (*buf)[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>((*buf)[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      return Status::OK();  // Silent corruption: checksums catch it later.
+  }
+  return Status::OK();
+}
+
+Registry& Registry::Instance() {
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Registry::Registry() {
+  if (const char* env = std::getenv("DIRECTLOAD_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    if (Status s = ActivateFromString(env); !s.ok()) {
+      std::fprintf(stderr, "DIRECTLOAD_FAILPOINTS ignored entry: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+}
+
+FailPoint* Registry::Register(const std::string& name) {
+  MutexLock lock(&mu_);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), name,
+      [](const std::unique_ptr<FailPoint>& p, const std::string& n) {
+        return p->name() < n;
+      });
+  if (it != points_.end() && (*it)->name() == name) return it->get();
+  return points_.insert(it, std::make_unique<FailPoint>(name))->get();
+}
+
+FailPoint* Registry::Find(const std::string& name) {
+  MutexLock lock(&mu_);
+  for (const auto& p : points_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+std::vector<FailPoint*> Registry::List() {
+  MutexLock lock(&mu_);
+  std::vector<FailPoint*> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.get());
+  return out;
+}
+
+Status Registry::Activate(const std::string& name, std::string_view spec_text) {
+  Spec spec;
+  if (Status s = ParseSpec(spec_text, &spec); !s.ok()) return s;
+  Activate(name, spec);
+  return Status::OK();
+}
+
+void Registry::Activate(const std::string& name, const Spec& spec) {
+  Spec seeded = spec;
+  if (seeded.seed == 0) {
+    seeded.seed = base_seed_.load(std::memory_order_relaxed) ^ HashName(name);
+    if (seeded.seed == 0) seeded.seed = 1;
+  }
+  Register(name)->Activate(seeded);
+}
+
+void Registry::Deactivate(const std::string& name) {
+  if (FailPoint* p = Find(name); p != nullptr) p->Deactivate();
+}
+
+void Registry::DeactivateAll() {
+  for (FailPoint* p : List()) p->Deactivate();
+}
+
+Status Registry::ActivateFromString(std::string_view all) {
+  while (!all.empty()) {
+    const size_t semi = all.find(';');
+    std::string_view entry =
+        semi == std::string_view::npos ? all : all.substr(0, semi);
+    all = semi == std::string_view::npos ? std::string_view()
+                                         : all.substr(semi + 1);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec: expected name=spec, got \"" +
+                                     std::string(entry) + "\"");
+    }
+    if (Status s = Activate(std::string(entry.substr(0, eq)),
+                            entry.substr(eq + 1));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+void Registry::SetSeed(uint64_t seed) {
+  base_seed_.store(seed != 0 ? seed : 1, std::memory_order_relaxed);
+}
+
+int Registry::DistinctFired() {
+  int n = 0;
+  for (FailPoint* p : List()) {
+    if (p->hits() > 0) ++n;
+  }
+  return n;
+}
+
+uint64_t Registry::TotalHits() {
+  uint64_t n = 0;
+  for (FailPoint* p : List()) n += p->hits();
+  return n;
+}
+
+void Registry::ResetCountersForTesting() {
+  for (FailPoint* p : List()) p->ResetCountersForTesting();
+}
+
+}  // namespace directload::failpoint

@@ -1,0 +1,246 @@
+#ifndef DIRECTLOAD_COMMON_FAILPOINT_H_
+#define DIRECTLOAD_COMMON_FAILPOINT_H_
+
+// Unified fault-injection framework. Every layer of the stack declares named
+// failpoints at the sites where the real world can hurt it (device I/O, AOF
+// seals, GC rewrite, RPC send/recv, server admission); tests and operators
+// arm them at runtime, either programmatically or through the
+// DIRECTLOAD_FAILPOINTS environment variable.
+//
+// Compile-time gating: the registry, the spec parser, and the FailPoint
+// class below are always built (so the grammar and trigger semantics are
+// unit-testable in every configuration), but the *call sites* are only
+// compiled in when the build sets -DDIRECTLOAD_FAILPOINTS=ON (which defines
+// DIRECTLOAD_FAILPOINTS_ENABLED). A default build therefore carries zero
+// overhead — not even a branch — on any hot path.
+//
+// Env-spec grammar (also docs/fault_injection.md):
+//
+//   DIRECTLOAD_FAILPOINTS="<name>=<spec>[;<name>=<spec>]..."
+//   <spec>   := [<P>%] [every<N>:] [<C>*] <action> [(<arg>)]
+//   <action> := return | delay | abort | short | corrupt
+//
+// Triggers compose left to right: "<P>%" fires with probability P (percent),
+// "every<N>:" fires only on every Nth armed evaluation, "<C>*" fires at most
+// C times total and then disarms (C=1 is a one-shot). Actions:
+//
+//   return(code)  fail the operation with the named StatusCode
+//                 (io, corruption, notfound, invalid, nospace, busy,
+//                 unavailable, timedout, aborted, dedup, internal,
+//                 protocol; default io)
+//   delay(ms)     sleep the calling thread for ms wall milliseconds, then
+//                 let the operation proceed
+//   abort         crash-point: print the failpoint name and abort()
+//   short(n)      I/O sites only: clamp the transfer to the first n bytes
+//                 (a torn append / short write) and fail with kIOError
+//   corrupt       buffer-carrying sites only: flip one random bit in the
+//                 payload and let the operation "succeed" (silent media
+//                 corruption; checksums must catch it downstream)
+//
+// Examples: "ssd_file_append=25%return(io)", "aof_seal_before_close=1*abort",
+// "rpc_send=every3:delay(5)", "ssd_file_append=50%short(7)".
+//
+// Thread safety: arming state is an atomic flag read with acquire ordering
+// on evaluation; trigger bookkeeping runs under a per-failpoint mutex ranked
+// kFailPoint — above every other rank in the system, because failpoints fire
+// while arbitrary engine locks are held. Delay/abort actions execute after
+// that mutex is released.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+#if defined(DIRECTLOAD_FAILPOINTS_ENABLED)
+#define DIRECTLOAD_FAILPOINTS_COMPILED 1
+#else
+#define DIRECTLOAD_FAILPOINTS_COMPILED 0
+#endif
+
+namespace directload::failpoint {
+
+/// True when failpoint call sites are compiled into this binary. Tests gate
+/// injection-dependent assertions on this (GTEST_SKIP otherwise).
+inline constexpr bool kCompiledIn = DIRECTLOAD_FAILPOINTS_COMPILED != 0;
+
+enum class Action {
+  kOff = 0,
+  kReturnError,
+  kDelay,
+  kAbort,
+  kShortIo,
+  kCorrupt,
+};
+
+/// A parsed activation spec: triggers plus one action.
+struct Spec {
+  Action action = Action::kOff;
+  /// "<P>%" trigger: fire with this probability (default always).
+  double probability = 1.0;
+  /// "every<N>:" trigger: fire only when the armed-evaluation count is a
+  /// multiple of N (0 = every evaluation).
+  uint64_t every = 0;
+  /// "<C>*" trigger: fire at most C times, then disarm (-1 = unlimited).
+  int64_t max_hits = -1;
+  /// return(code) argument.
+  StatusCode error_code = StatusCode::kIOError;
+  /// delay(ms) argument, wall milliseconds.
+  int64_t delay_ms = 0;
+  /// short(n) argument: clamp the transfer to this many bytes.
+  uint64_t short_io_bytes = 0;
+  /// PRNG seed for the probabilistic trigger and corrupt-bit choice; 0 means
+  /// derive deterministically from the registry seed and the point's name.
+  uint64_t seed = 0;
+};
+
+/// Parses the `<spec>` grammar above into `*out`. Returns InvalidArgument
+/// with context on malformed input.
+Status ParseSpec(std::string_view text, Spec* out);
+
+/// One named injection site. Instances live forever in the Registry; sites
+/// hold a stable pointer obtained once (at static initialization via
+/// DIRECTLOAD_FAILPOINT_DEFINE).
+class FailPoint {
+ public:
+  explicit FailPoint(std::string name);
+
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Hot-path gate: a single relaxed atomic load when disarmed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluates the failpoint at a site with no payload. Returns non-OK when
+  /// an armed return-error (or short-io, which degenerates to kIOError)
+  /// fires; delay and abort act from inside. OK otherwise.
+  Status MaybeFail() { return armed() ? Fire(nullptr, nullptr) : Status::OK(); }
+
+  /// Evaluates at an I/O site carrying a payload. `buf` (may be null) is the
+  /// in-flight data: a corrupt action flips one bit in it. `io_bytes` (may
+  /// be null) is the transfer length: a short action clamps it and returns
+  /// kIOError — the caller must apply exactly the first *io_bytes bytes and
+  /// then surface the error (a torn append).
+  Status MaybeFailIo(std::string* buf, uint64_t* io_bytes) {
+    return armed() ? Fire(buf, io_bytes) : Status::OK();
+  }
+
+  void Activate(const Spec& spec);
+  void Deactivate();
+
+  /// Number of evaluations that found the point armed.
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  /// Number of times an action actually fired.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  void ResetCountersForTesting();
+
+ private:
+  Status Fire(std::string* buf, uint64_t* io_bytes);
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> hits_{0};
+
+  mutable Mutex mu_{LockRank::kFailPoint, "failpoint"};
+  Spec spec_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_){1};
+  uint64_t armed_evals_ GUARDED_BY(mu_) = 0;
+  /// Hits charged against the current arming's `max_hits` budget. Separate
+  /// from hits_, which accumulates across armings for observability.
+  uint64_t armed_hits_ GUARDED_BY(mu_) = 0;
+};
+
+/// Process-wide name → FailPoint map. Creation-on-first-use from both the
+/// registration side (DIRECTLOAD_FAILPOINT_DEFINE at static init) and the
+/// activation side (specs may name points in code paths not yet linked in),
+/// so ordering between the two never matters.
+class Registry {
+ public:
+  /// The singleton. On first use, parses the DIRECTLOAD_FAILPOINTS
+  /// environment variable if set (malformed specs are reported to stderr
+  /// and skipped, never fatal).
+  static Registry& Instance();
+
+  /// Returns the failpoint named `name`, creating it if needed. The pointer
+  /// is stable for the life of the process.
+  FailPoint* Register(const std::string& name);
+
+  /// Returns the failpoint named `name`, or nullptr if it was never
+  /// registered or activated.
+  FailPoint* Find(const std::string& name);
+
+  /// All registered failpoints, sorted by name.
+  std::vector<FailPoint*> List();
+
+  /// Parses `spec_text` and arms the named failpoint.
+  Status Activate(const std::string& name, std::string_view spec_text);
+  /// Arms the named failpoint with an already-parsed spec.
+  void Activate(const std::string& name, const Spec& spec);
+  void Deactivate(const std::string& name);
+  void DeactivateAll();
+
+  /// Parses a full "name=spec;name=spec" string and arms every entry.
+  /// Stops at the first malformed entry and returns InvalidArgument.
+  Status ActivateFromString(std::string_view all);
+
+  /// Base seed mixed with each point's name to seed its PRNG (unless the
+  /// spec carries an explicit seed). Affects subsequent Activate calls only.
+  void SetSeed(uint64_t seed);
+
+  /// Number of registered failpoints whose action fired at least once.
+  int DistinctFired();
+  /// Sum of hit counters across all failpoints.
+  uint64_t TotalHits();
+  void ResetCountersForTesting();
+
+ private:
+  Registry();
+
+  mutable Mutex mu_{LockRank::kFailPointRegistry, "failpoint-registry"};
+  // Sorted by name; values are stable heap pointers.
+  std::vector<std::unique_ptr<FailPoint>> points_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> base_seed_{1};
+};
+
+}  // namespace directload::failpoint
+
+// Site macros. DIRECTLOAD_FAILPOINT_DEFINE declares a file-scope pointer to
+// a registered failpoint; DIRECTLOAD_FAILPOINT evaluates it and early-returns
+// the injected Status (which also converts into any Result<T>) when it fires.
+// Sites needing payload-aware handling (torn appends, corruption) call
+// MaybeFailIo directly inside a #if DIRECTLOAD_FAILPOINTS_COMPILED block.
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+
+#define DIRECTLOAD_FAILPOINT_DEFINE(var, name)            \
+  static ::directload::failpoint::FailPoint* const var =  \
+      ::directload::failpoint::Registry::Instance().Register(name)
+
+#define DIRECTLOAD_FAILPOINT(var)                            \
+  do {                                                       \
+    if ((var)->armed()) {                                    \
+      ::directload::Status dl_fp_status = (var)->MaybeFail(); \
+      if (!dl_fp_status.ok()) return dl_fp_status;           \
+    }                                                        \
+  } while (0)
+
+#else  // !DIRECTLOAD_FAILPOINTS_COMPILED
+
+#define DIRECTLOAD_FAILPOINT_DEFINE(var, name) \
+  static_assert(true, "failpoints compiled out")
+#define DIRECTLOAD_FAILPOINT(var) \
+  do {                            \
+  } while (0)
+
+#endif  // DIRECTLOAD_FAILPOINTS_COMPILED
+
+#endif  // DIRECTLOAD_COMMON_FAILPOINT_H_

@@ -29,6 +29,11 @@ enum class LockRank : int {
   kServerConnWrite = 6,
   /// rpc::RpcClient::mu_ — guards the client's socket and decoder state.
   kRpcClient = 8,
+  /// mint::StorageNode::lifecycle_mu_ — shared by every request touching the
+  /// node's engine, exclusive to Fail()/Recover(). Sits just above the
+  /// engine ranks: a request holds it (shared) across its engine call, so a
+  /// concurrent crash cannot destroy the engine mid-operation.
+  kMintNode = 9,
   /// QinDb::write_mutex_ — serializes Put/Del/DropVersion/Checkpoint/GC.
   /// Always the first engine lock a mutator takes.
   kQinDbWrite = 10,
@@ -44,6 +49,15 @@ enum class LockRank : int {
   /// QinDb::pin_mu_ — guards the mem_ pointer swap. A leaf: nothing is ever
   /// acquired while holding it.
   kQinDbPin = 50,
+  /// failpoint::Registry::mu_ — the name → FailPoint map. Only taken from
+  /// registration/activation paths (static init, test drivers), never while
+  /// an engine lock is held; ranked below kFailPoint because activating a
+  /// point locks the registry and then the point.
+  kFailPointRegistry = 58,
+  /// failpoint::FailPoint::mu_ — per-point trigger bookkeeping. The highest
+  /// rank in the system: failpoints fire from inside every layer, with any
+  /// combination of the locks above already held, and acquire nothing.
+  kFailPoint = 60,
 };
 
 /// The checker is active in debug builds and whenever a build force-enables

@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 
 namespace directload::mint {
+
+namespace {
+
+// Fires once per replica attempt inside ParallelRead, before the engine is
+// consulted — a probabilistic spec makes individual replicas flaky while
+// the group as a whole keeps serving, which is exactly the redundancy the
+// chaos harness wants to stress.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_mint_replica_read, "mint_replica_read");
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // StorageNode
@@ -19,11 +30,12 @@ StorageNode::StorageNode(int id, const MintOptions& options)
 }
 
 Status StorageNode::Start() {
+  WriterLock guard(&lifecycle_mu_);
   Result<std::unique_ptr<qindb::QinDb>> db =
       qindb::QinDb::Open(env_.get(), options_.engine);
   if (!db.ok()) return db.status();
   db_ = std::move(db).value();
-  up_ = true;
+  up_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -32,13 +44,18 @@ void StorageNode::Fail() {
   // table vanish; the AOF segments remain on the simulated SSD. Note that
   // the sub-page tail of the active segment is padded out by the env when
   // the writer is destroyed — record checksums would catch a genuinely torn
-  // tail, which the AOF scan treats as end-of-segment.
+  // tail, which the AOF scan treats as end-of-segment. The exclusive lock
+  // waits out requests currently inside the engine: they complete against
+  // the pre-crash engine, exactly as a request already past the NIC would
+  // on real hardware.
+  WriterLock guard(&lifecycle_mu_);
   db_.reset();
-  up_ = false;
+  up_.store(false, std::memory_order_release);
 }
 
 Result<double> StorageNode::Recover() {
-  if (up_) {
+  WriterLock guard(&lifecycle_mu_);
+  if (db_ != nullptr) {
     return Status::InvalidArgument("node is already up; Fail() it first");
   }
   const uint64_t before = clock_.NowMicros();
@@ -46,7 +63,7 @@ Result<double> StorageNode::Recover() {
       qindb::QinDb::Open(env_.get(), options_.engine);
   if (!db.ok()) return db.status();
   db_ = std::move(db).value();
-  up_ = true;
+  up_.store(true, std::memory_order_release);
   return static_cast<double>(clock_.NowMicros() - before) * 1e-6;
 }
 
@@ -102,31 +119,52 @@ Status MintCluster::Put(const Slice& key, uint64_t version, const Slice& value,
   int applied = 0;
   for (int id : ReplicasOf(key)) {
     StorageNode* node = nodes_[id].get();
+    ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;  // Will be healed by recovery + re-replication.
     Status s = node->db()->Put(key, version, value, dedup);
     if (!s.ok() && first_error.ok()) first_error = s;
     if (s.ok()) ++applied;
   }
   if (applied == 0) {
-    return first_error.ok() ? Status::Unavailable("no live replica")
-                            : first_error;
+    if (!first_error.ok()) return first_error;
+    return Status::Unavailable("group " + std::to_string(GroupOf(key)) +
+                               " has no live replica for the key");
   }
   return Status::OK();
 }
 
 Status MintCluster::Del(const Slice& key, uint64_t version) {
+  const int group = GroupOf(key);
   bool any = false;
-  for (int id : GroupNodes(GroupOf(key))) {
+  bool any_live = false;
+  Status first_error;
+  for (int id : GroupNodes(group)) {
     StorageNode* node = nodes_[id].get();
+    ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;
+    any_live = true;
     Status s = node->db()->Del(key, version);
-    if (s.ok()) any = true;
+    if (s.ok()) {
+      any = true;
+    } else if (!s.IsNotFound() && first_error.ok()) {
+      first_error = s;  // A replica refused the delete (e.g. degraded).
+    }
   }
-  return any ? Status::OK() : Status::NotFound("no replica held the pair");
+  if (any) return Status::OK();
+  if (!any_live) {
+    // Distinguish "the pair is gone" from "nobody could answer": a caller
+    // that treats NotFound as success must not do so while the whole group
+    // is down.
+    return Status::Unavailable("group " + std::to_string(group) +
+                               " is entirely down; delete not applied");
+  }
+  if (!first_error.ok()) return first_error;
+  return Status::NotFound("no replica held the pair");
 }
 
 Status MintCluster::DropVersion(uint64_t version) {
   for (auto& node : nodes_) {
+    ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;
     Result<uint64_t> n = node->db()->DropVersion(version);
     if (!n.ok()) return n.status();
@@ -144,13 +182,17 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
   // no replica thread can outlive the cluster's node state, and picking
   // the minimum simulated latency keeps the winner deterministic no matter
   // how the OS schedules the threads.
-  const std::vector<int>& members = GroupNodes(GroupOf(key));
+  const int group = GroupOf(key);
+  const std::vector<int>& members = GroupNodes(group);
   std::vector<int> live;
   live.reserve(members.size());
   for (int id : members) {
     if (nodes_[id]->up()) live.push_back(id);
   }
-  if (live.empty()) return Status::Unavailable("no live replica");
+  if (live.empty()) {
+    return Status::Unavailable("group " + std::to_string(group) +
+                               " is entirely down; no replica to read");
+  }
 
   struct Attempt {
     bool ok = false;
@@ -163,6 +205,25 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
   auto run_one = [&](size_t slot) {
     StorageNode* node = nodes_[live[slot]].get();
     Attempt& attempt = attempts[slot];
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+    if (fp_mint_replica_read->armed()) {
+      Status injected = fp_mint_replica_read->MaybeFail();
+      if (!injected.ok()) {
+        // The replica "answered" with a failure before touching the engine;
+        // selection below falls through to the surviving replicas.
+        attempt.error = std::move(injected);
+        attempt.latency_micros = options_.read_rtt_micros;
+        return;
+      }
+    }
+#endif
+    ReaderLock guard(node->lifecycle_mu());
+    if (!node->up()) {
+      // Crashed between the live-replica scan and this thread running.
+      attempt.error = Status::Unavailable("replica failed mid-read");
+      attempt.latency_micros = options_.read_rtt_micros;
+      return;
+    }
     const uint64_t before = node->clock()->NowMicros();
     Result<std::string> got = fn(node->db());
     attempt.latency_micros =
@@ -189,7 +250,8 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
 
   ReadResult best;
   bool found = false;
-  Status last_error = Status::Unavailable("no live replica");
+  Status last_error = Status::Unavailable(
+      "group " + std::to_string(group) + " produced no usable replica read");
   for (size_t i = 0; i < live.size(); ++i) {
     Attempt& attempt = attempts[i];
     if (!attempt.ok) {
@@ -260,28 +322,55 @@ Result<uint64_t> MintCluster::RepairNode(int node_id) {
   for (int peer_id : groups_[group]) {
     if (peer_id == node_id) continue;
     StorageNode* peer = nodes_[peer_id].get();
-    if (!peer->up()) continue;
-    // Walk the peer's index; copy pairs this node should replicate.
-    for (MemIndex::Iterator it = peer->db()->memtable().NewIterator();
-         it.Valid(); it.Next()) {
-      const MemEntry* entry = it.entry();
-      if (entry->deleted) continue;
-      const Slice key = entry->user_key();
-      const std::vector<int> replicas = ReplicasOf(key);
-      if (std::find(replicas.begin(), replicas.end(), node_id) ==
-          replicas.end()) {
-        continue;  // Not this node's responsibility.
+
+    // Phase 1: under the peer's lifecycle lock, walk its index and resolve
+    // every pair this node should replicate. The batch is materialized
+    // before touching the target so the two node locks are never nested
+    // (they share rank kMintNode — nesting them is a rank violation and a
+    // real deadlock lurking behind a concurrent Fail()).
+    struct Pending {
+      std::string key;
+      uint64_t version;
+      std::string value;
+    };
+    std::vector<Pending> batch;
+    {
+      ReaderLock peer_guard(peer->lifecycle_mu());
+      if (!peer->up()) continue;
+      for (MemIndex::Iterator it = peer->db()->memtable().NewIterator();
+           it.Valid(); it.Next()) {
+        const MemEntry* entry = it.entry();
+        if (entry->deleted) continue;
+        const Slice key = entry->user_key();
+        const std::vector<int> replicas = ReplicasOf(key);
+        if (std::find(replicas.begin(), replicas.end(), node_id) ==
+            replicas.end()) {
+          continue;  // Not this node's responsibility.
+        }
+        // Copy the *resolved* value: re-deduplicating on the target would
+        // require its traceback chain to be complete, which repair cannot
+        // assume (the peer may hold the referenced record only as a GC
+        // referent). Materializing trades space for integrity.
+        Result<std::string> value = peer->db()->Get(key, entry->version);
+        if (!value.ok()) continue;  // Peer cannot resolve it; another may.
+        batch.push_back(
+            Pending{key.ToString(), entry->version, std::move(value).value()});
       }
-      if (target->db()->memtable().FindExact(key, entry->version) != nullptr) {
+    }
+
+    // Phase 2: apply the batch under the target's lock, skipping pairs the
+    // target acquired in the meantime.
+    ReaderLock target_guard(target->lifecycle_mu());
+    if (!target->up()) {
+      return Status::Unavailable("node failed during repair");
+    }
+    for (Pending& pending : batch) {
+      if (target->db()->memtable().FindExact(pending.key, pending.version) !=
+          nullptr) {
         continue;  // Already present.
       }
-      // Copy the *resolved* value: re-deduplicating on the target would
-      // require its traceback chain to be complete, which repair cannot
-      // assume (the peer may hold the referenced record only as a GC
-      // referent). Materializing trades space for integrity.
-      Result<std::string> value = peer->db()->Get(key, entry->version);
-      if (!value.ok()) continue;  // Peer cannot resolve it; another may.
-      Status s = target->db()->Put(key, entry->version, *value);
+      Status s =
+          target->db()->Put(pending.key, pending.version, pending.value);
       if (!s.ok()) return s;
       ++copied;
     }
@@ -304,6 +393,7 @@ Result<int> MintCluster::AddNode(int group) {
 uint64_t MintCluster::TotalUserBytesIngested() const {
   uint64_t total = 0;
   for (const auto& node : nodes_) {
+    ReaderLock guard(node->lifecycle_mu());
     if (node->up()) {
       total += node->db()->stats().user_bytes_ingested;
     }

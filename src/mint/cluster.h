@@ -6,10 +6,13 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "qindb/qindb.h"
 #include "ssd/env.h"
 
@@ -44,6 +47,15 @@ struct MintOptions {
 
 /// One storage node: its own simulated SSD (devices run in parallel, so
 /// each node has a private clock) and a QinDB engine on top.
+///
+/// Lifecycle discipline: Fail() destroys the engine and Recover() rebuilds
+/// it, and either may race with request threads inside MintCluster. Every
+/// path that dereferences db() therefore holds lifecycle_mu() shared for
+/// the duration of the engine call (rank kMintNode, just above the engine
+/// locks), and Fail()/Recover() take it exclusively — a crash waits for
+/// in-flight requests to drain off the node instead of freeing the engine
+/// under them. up() is a lock-free hint for replica pre-selection; the
+/// authoritative check is up() re-read under the shared lock.
 class StorageNode {
  public:
   StorageNode(int id, const MintOptions& options);
@@ -51,13 +63,15 @@ class StorageNode {
   Status Start();
 
   int id() const { return id_; }
-  bool up() const { return up_; }
+  bool up() const { return up_.load(std::memory_order_acquire); }
   qindb::QinDb* db() { return db_.get(); }
   SimClock* clock() { return &clock_; }
   ssd::SsdEnv* env() { return env_.get(); }
+  SharedMutex* lifecycle_mu() const { return &lifecycle_mu_; }
 
   /// Simulates a crash: the engine's memory (memtable, GC table) is lost;
-  /// the AOFs on the simulated SSD survive.
+  /// the AOFs on the simulated SSD survive. Blocks until in-flight requests
+  /// against this node's engine have drained.
   void Fail();
 
   /// Rebuilds the engine from the AOFs (checkpoint-accelerated when one is
@@ -70,7 +84,9 @@ class StorageNode {
   SimClock clock_;
   std::unique_ptr<ssd::SsdEnv> env_;
   std::unique_ptr<qindb::QinDb> db_;
-  bool up_ = false;
+  std::atomic<bool> up_{false};
+  mutable SharedMutex lifecycle_mu_{LockRank::kMintNode,
+                                    "StorageNode::lifecycle_mu_"};
 };
 
 /// Mint: the regional distributed key-value store (Section 2.3). Keys are
@@ -82,9 +98,12 @@ class StorageNode {
 /// returns — and the fastest live replica answers (first-result-wins by
 /// simulated latency), which hides slow or recovering nodes. Each node owns
 /// a private clock, env, and engine, so replica threads share no mutable
-/// state and the cluster holds no lock of its own; the engines themselves
-/// are internally thread-safe (see LockRank in common/lock_rank.h for the
-/// per-engine lock order the replica threads run under).
+/// state and the cluster holds no lock of its own beyond each node's
+/// lifecycle lock (see StorageNode); the engines themselves are internally
+/// thread-safe (see LockRank in common/lock_rank.h for the per-engine lock
+/// order the replica threads run under). Requests may race freely with
+/// FailNode/RecoverNode; only AddNode still requires external quiescence,
+/// because it grows the node table itself.
 class MintCluster {
  public:
   explicit MintCluster(const MintOptions& options);
@@ -121,7 +140,8 @@ class MintCluster {
 
   /// Adds an empty node to `group`. Existing pairs stay where they are
   /// (reads query the whole group, so nothing needs to move); the new node
-  /// participates in replica selection for subsequent writes.
+  /// participates in replica selection for subsequent writes. Not safe
+  /// concurrently with serving traffic: it grows the node table.
   Result<int> AddNode(int group);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }

@@ -5,10 +5,20 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/failpoint.h"
 
 namespace directload::qindb {
 
 namespace {
+
+// Engine-level failpoints: API entry points plus the two internal paths
+// whose failures matter most for recovery testing (the startup scan and the
+// checkpoint writer). Deeper faults come from the aof_*/ssd_* points.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_put, "qindb_put");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_get, "qindb_get");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_del, "qindb_del");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_recovery_scan, "qindb_recovery_scan");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_checkpoint, "qindb_checkpoint");
 
 constexpr char kCheckpointName[] = "checkpoint.dat";
 constexpr char kCheckpointTemp[] = "checkpoint.tmp";
@@ -151,9 +161,29 @@ MemIndex* QinDb::CurrentIndex() const {
   return mem_.get();
 }
 
+Status QinDb::CheckWritable() const {
+  if (degraded_.load(std::memory_order_acquire)) {
+    return Status::IOError(
+        "QinDB is read-only: a write-path failure forced degraded mode; "
+        "reopen the engine to recover");
+  }
+  return Status::OK();
+}
+
+Status QinDb::NoteWriteError(Status s) {
+  // kNoSpace stays transient: the device rejected the write whole, nothing
+  // is torn, and callers legitimately free space (Del + GC) and continue.
+  if (s.IsIOError() || s.IsCorruption() || s.IsInternal()) {
+    degraded_.store(true, std::memory_order_release);
+  }
+  return s;
+}
+
 Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
                   bool dedup) {
   if (key.empty()) return Status::InvalidArgument("empty key");
+  DIRECTLOAD_FAILPOINT(fp_qindb_put);
+  if (Status w = CheckWritable(); !w.ok()) return w;
   const Slice stored_value = dedup ? Slice() : value;
   const uint8_t flags = dedup ? aof::kFlagDedup : aof::kFlagNone;
 
@@ -162,7 +192,7 @@ Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
   const uint32_t segment_before = aof_->active_segment();
   Result<aof::RecordAddress> addr =
       aof_->AppendRecord(key, version, flags, stored_value);
-  if (!addr.ok()) return addr.status();
+  if (!addr.ok()) return NoteWriteError(addr.status());
 
   MemEntry* old = idx->FindExact(key, version);
   if (old != nullptr) {
@@ -181,7 +211,7 @@ Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
       stats_.user_bytes_ingested - bytes_at_last_checkpoint_ >=
           options_.checkpoint_interval_bytes) {
     Status s = CheckpointLocked();
-    if (!s.ok()) return s;
+    if (!s.ok()) return NoteWriteError(s);
     bytes_at_last_checkpoint_ = stats_.user_bytes_ingested;
   }
 
@@ -314,6 +344,7 @@ Result<std::string> QinDb::ReadEntryValue(const MemEntry* entry) {
 }
 
 Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
+  DIRECTLOAD_FAILPOINT(fp_qindb_get);
   ++stats_.gets;
   ReadGuard guard(this);
   const std::shared_ptr<const MemIndex> index = PinIndex();
@@ -335,6 +366,7 @@ Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
 }
 
 Result<std::string> QinDb::GetLatest(const Slice& key) {
+  DIRECTLOAD_FAILPOINT(fp_qindb_get);
   ++stats_.gets;
   ReadGuard guard(this);
   const std::shared_ptr<const MemIndex> index = PinIndex();
@@ -352,6 +384,8 @@ Result<std::string> QinDb::GetLatest(const Slice& key) {
 }
 
 Status QinDb::Del(const Slice& key, uint64_t version) {
+  DIRECTLOAD_FAILPOINT(fp_qindb_del);
+  if (Status w = CheckWritable(); !w.ok()) return w;
   MutexLock lock(&write_mutex_);
   MemIndex* idx = CurrentIndex();
   MemEntry* entry = idx->FindExact(key, version);
@@ -363,7 +397,7 @@ Status QinDb::Del(const Slice& key, uint64_t version) {
     if (options_.aof.log_deletes) {
       Result<aof::RecordAddress> addr =
           aof_->AppendRecord(key, version, aof::kFlagTombstone, Slice());
-      if (!addr.ok()) return addr.status();
+      if (!addr.ok()) return NoteWriteError(addr.status());
       // Tombstones are dead on arrival for occupancy purposes.
       aof_->MarkDead(*addr, aof::RecordExtent(key.size(), 0));
     }
@@ -373,6 +407,7 @@ Status QinDb::Del(const Slice& key, uint64_t version) {
 }
 
 Result<uint64_t> QinDb::DropVersion(uint64_t version) {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   MutexLock lock(&write_mutex_);
   MemIndex* idx = CurrentIndex();
   uint64_t flagged = 0;
@@ -390,7 +425,7 @@ Result<uint64_t> QinDb::DropVersion(uint64_t version) {
     if (options_.aof.log_deletes) {
       Result<aof::RecordAddress> addr = aof_->AppendRecord(
           entry->user_key(), version, aof::kFlagTombstone, Slice());
-      if (!addr.ok()) return addr.status();
+      if (!addr.ok()) return NoteWriteError(addr.status());
       aof_->MarkDead(*addr, aof::RecordExtent(entry->key_size, 0));
     }
   }
@@ -412,6 +447,7 @@ std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {
 }
 
 Status QinDb::MaybeGc() {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   MutexLock lock(&write_mutex_);
   return MaybeGcLocked();
 }
@@ -426,18 +462,31 @@ Status QinDb::MaybeGcLocked() {
       return Status::OK();
     }
   }
-  return CollectVictimsLocked();
+  // GC rewrites live records; a failure partway through can leave a victim
+  // half-relocated, so it degrades the engine like any other write fault.
+  return NoteWriteError(CollectVictimsLocked());
 }
 
 Status QinDb::ForceGc() {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   MutexLock lock(&write_mutex_);
   if (aof_->GcVictims().empty()) return Status::OK();
-  return CollectVictimsLocked();
+  return NoteWriteError(CollectVictimsLocked());
 }
 
 Status QinDb::CollectVictimsLocked() {
   const std::vector<uint32_t> victims = aof_->GcVictims();
   if (victims.empty()) return Status::OK();
+
+  // Relocations make any existing checkpoint's addresses stale, so drop it
+  // BEFORE touching a single record. If the checkpoint outlived any part of
+  // a collection — a crash after a victim segment is erased but before the
+  // invalidation — recovery would trust checkpoint addresses that point
+  // into segments that no longer exist. Invalidating first means a crash
+  // anywhere inside GC recovers by full scan, which reconciles original
+  // and relocated copies from the on-disk records alone. (The crash-point
+  // sweep in tests/chaos_test.cc exercises exactly these windows.)
+  if (Status s = InvalidateCheckpoint(); !s.ok()) return s;
 
   // The callbacks below run with the AOF manager's lock held exclusively,
   // so they must not re-enter the manager and must not take pin_mu_ (the
@@ -539,8 +588,7 @@ Status QinDb::CollectVictimsLocked() {
     mem_ = std::move(fresh);
   }
 
-  // Relocations make any existing checkpoint's addresses stale.
-  return InvalidateCheckpoint();
+  return Status::OK();
 }
 
 Status QinDb::InvalidateCheckpoint() {
@@ -556,6 +604,7 @@ Status QinDb::InvalidateCheckpoint() {
 // ---------------------------------------------------------------------------
 
 Status QinDb::RecoverFromScan(uint32_t min_segment) {
+  DIRECTLOAD_FAILPOINT(fp_qindb_recovery_scan);
   MemIndex* idx = CurrentIndex();
   // Scan holds the AOF manager's lock shared, so the callback must not
   // re-enter the manager: dead marks are buffered through `sink` and
@@ -626,11 +675,13 @@ Status QinDb::RecoverFromScan(uint32_t min_segment) {
 }
 
 Status QinDb::Checkpoint() {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   MutexLock lock(&write_mutex_);
-  return CheckpointLocked();
+  return NoteWriteError(CheckpointLocked());
 }
 
 Status QinDb::CheckpointLocked() {
+  DIRECTLOAD_FAILPOINT(fp_qindb_checkpoint);
   Status s = aof_->SealActive();
   if (!s.ok()) return s;
 

@@ -205,6 +205,15 @@ class QinDb {
     return reads_in_flight_.load(std::memory_order_relaxed);
   }
 
+  /// True once a write-path failure (I/O error, corruption, or invariant
+  /// violation while appending, checkpointing, or collecting) has forced the
+  /// engine into read-only degraded mode. Degraded, every mutation returns
+  /// kIOError immediately — the engine fail-stops rather than risk acking
+  /// writes onto a log in an unknown state — while Get/GetLatest/Scanner
+  /// keep serving the index built so far. Reopening the engine (a fresh
+  /// Open over the same env) runs recovery and clears the condition.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
   const QinDbStats& stats() const { return stats_; }
   const aof::GcStats& gc_stats() const { return aof_->gc_stats(); }
   /// The current memtable index. The reference can outlive the index across
@@ -244,6 +253,14 @@ class QinDb {
   /// record was relocated by GC or superseded by a re-PUT mid-read.
   Result<std::string> ReadEntryValue(const MemEntry* entry);
 
+  /// Routes a mutation-path status: failures that can leave the log or its
+  /// accounting torn (kIOError/kCorruption/kInternal) trip degraded mode.
+  /// Environmental rejections (kNoSpace, kInvalidArgument, kNotFound, an
+  /// injected transient) pass through untouched. Returns `s` either way.
+  Status NoteWriteError(Status s);
+  /// The degraded-mode gate every mutation entry point runs first.
+  Status CheckWritable() const;
+
   // *Locked variants require write_mutex_ held by the caller.
   Status MaybeGcLocked() REQUIRES(write_mutex_);
   Status CollectVictimsLocked() REQUIRES(write_mutex_);
@@ -270,6 +287,8 @@ class QinDb {
   std::unique_ptr<aof::AofManager> aof_;
   QinDbStats stats_;
   std::atomic<int> reads_in_flight_{0};
+  /// Set by NoteWriteError, never cleared in-process; see degraded().
+  std::atomic<bool> degraded_{false};
   /// Bumped whenever GC relocates records; readers use it to detect that a
   /// failed record read raced a collection and should be retried.
   std::atomic<uint64_t> gc_epoch_{0};

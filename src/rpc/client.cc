@@ -1,6 +1,8 @@
 #include "rpc/client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 namespace directload::rpc {
 
@@ -58,7 +60,8 @@ RpcClient::RpcClient(std::string host, uint16_t port, Options options)
     : host_(std::move(host)),
       port_(port),
       options_(options),
-      decoder_(options.max_frame_bytes) {}
+      decoder_(options.max_frame_bytes),
+      backoff_rng_(options.backoff_seed) {}
 
 RpcClient::~RpcClient() { Close(); }
 
@@ -137,10 +140,36 @@ Result<Frame> RpcClient::Receive() {
   return ReceiveLocked(options_.request_timeout_ms);
 }
 
+int RpcClient::BackoffDelayMs(int attempt) {
+  int64_t base = options_.backoff_initial_ms;
+  for (int i = 1; i < attempt && base < options_.backoff_max_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min<int64_t>(base, options_.backoff_max_ms);
+  if (base <= 0) return 0;
+  uint64_t jitter;
+  {
+    MutexLock lock(&mu_);
+    jitter = backoff_rng_.Uniform(static_cast<uint64_t>(base / 2 + 1));
+  }
+  return static_cast<int>(base - base / 2 + static_cast<int64_t>(jitter));
+}
+
 Result<Frame> RpcClient::Call(Frame request) {
   request.request_id = NextRequestId();
+  const Clock::time_point budget =
+      Clock::now() + std::chrono::milliseconds(options_.retry_budget_ms);
   Status last = Status::Unavailable("no attempt made");
   for (int attempt = 0; attempt <= options_.max_reconnects; ++attempt) {
+    if (attempt > 0) {
+      // A previous attempt failed at the connection level: back off before
+      // hammering the server again, unless the call's retry budget cannot
+      // cover the delay — then surface the last error rather than sleep
+      // past the caller's patience.
+      const int delay = BackoffDelayMs(attempt);
+      if (RemainingMs(budget) <= delay) return last;
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
     MutexLock lock(&mu_);
     last = EnsureConnectedLocked();
     if (!last.ok()) continue;  // Reconnect on the next attempt.

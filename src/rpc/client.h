@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -36,6 +37,19 @@ class RpcClient {
     /// Reconnect-and-resend attempts after a connection-level failure.
     int max_reconnects = 2;
     size_t max_frame_bytes = kMaxBodyBytes;
+    /// Capped exponential backoff before retry k (1-based): the cap-clamped
+    /// base is backoff_initial_ms << (k-1), and the slept delay is drawn
+    /// uniformly from [base/2, base] — jittered so a fleet of clients
+    /// retrying against one recovering server does not stampede in phase.
+    int backoff_initial_ms = 5;
+    int backoff_max_ms = 200;
+    /// Per-call retry budget: once the elapsed time plus the next backoff
+    /// delay would exceed this, the call stops retrying and returns the
+    /// last connection error. Covers sleeps and attempts together.
+    int retry_budget_ms = 10000;
+    /// Seed for the jitter stream. Deterministic per client, so a chaos
+    /// schedule that fixes its seeds replays the same delays every run.
+    uint64_t backoff_seed = 1;
   };
 
   RpcClient(std::string host, uint16_t port)
@@ -74,6 +88,10 @@ class RpcClient {
   /// One request/response exchange with reconnect-and-resend.
   Result<Frame> Call(Frame request) EXCLUDES(mu_);
 
+  /// The jittered delay before reconnect attempt `attempt` (1-based). Takes
+  /// mu_ briefly for the jitter draw; the caller sleeps unlocked.
+  int BackoffDelayMs(int attempt) EXCLUDES(mu_);
+
   Status EnsureConnectedLocked() REQUIRES(mu_);
   Status SendLocked(const Frame& frame, int timeout_ms) REQUIRES(mu_);
   Result<Frame> ReceiveLocked(int timeout_ms) REQUIRES(mu_);
@@ -87,6 +105,7 @@ class RpcClient {
   Mutex mu_{LockRank::kRpcClient, "RpcClient::mu_"};
   Socket socket_ GUARDED_BY(mu_);
   FrameDecoder decoder_ GUARDED_BY(mu_);
+  Random backoff_rng_ GUARDED_BY(mu_);
 };
 
 /// Rebuilds a Status from a wire status code plus the response's message

@@ -10,11 +10,22 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "common/failpoint.h"
 
 namespace directload::rpc {
 
 namespace {
+
+// Wire-level failpoints. `rpc_send`/`rpc_recv` fire before the syscall —
+// an injected kUnavailable looks exactly like a peer reset, an injected
+// delay like network latency. `rpc_connect` makes dial attempts flaky,
+// which is what exercises the client's backoff loop.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_rpc_send, "rpc_send");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_rpc_recv, "rpc_recv");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_rpc_connect, "rpc_connect");
 
 Status Errno(const char* what) {
   std::string msg = what;
@@ -43,6 +54,32 @@ Status PollFor(int fd, short events, int timeout_ms) {
   }
 }
 
+/// One timeout budget shared across repeated polls: retries after EINTR,
+/// spurious wakeups, or short transfers consume the remaining time instead
+/// of restarting the clock, so a call can never outlive its `timeout_ms`.
+class Deadline {
+ public:
+  explicit Deadline(int timeout_ms) : forever_(timeout_ms < 0) {
+    if (!forever_) {
+      end_ = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(timeout_ms);
+    }
+  }
+
+  /// Remaining budget in poll() terms: -1 = no deadline, 0 = expired.
+  int remaining_ms() const {
+    if (forever_) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          end_ - std::chrono::steady_clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+
+ private:
+  bool forever_;
+  std::chrono::steady_clock::time_point end_{};
+};
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -67,6 +104,8 @@ void Socket::ShutdownWrite() {
 
 Status Socket::SendAll(const Slice& data, int timeout_ms) {
   if (fd_ < 0) return Status::Unavailable("socket is closed");
+  DIRECTLOAD_FAILPOINT(fp_rpc_send);
+  const Deadline deadline(timeout_ms);
   const char* p = data.data();
   size_t left = data.size();
   while (left > 0) {
@@ -77,7 +116,9 @@ Status Socket::SendAll(const Slice& data, int timeout_ms) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      Status ready = PollFor(fd_, POLLOUT, timeout_ms);
+      // A full send buffer (tiny SO_SNDBUF, slow reader, nonblocking fd):
+      // wait for writability against the one shared deadline, then retry.
+      Status ready = PollFor(fd_, POLLOUT, deadline.remaining_ms());
       if (!ready.ok()) return ready;
       continue;
     }
@@ -89,19 +130,28 @@ Status Socket::SendAll(const Slice& data, int timeout_ms) {
 
 Result<size_t> Socket::RecvSome(char* buf, size_t cap, int timeout_ms) {
   if (fd_ < 0) return Status::Unavailable("socket is closed");
-  Status ready = PollFor(fd_, POLLIN, timeout_ms);
-  if (!ready.ok()) return ready;
+  DIRECTLOAD_FAILPOINT(fp_rpc_recv);
+  const Deadline deadline(timeout_ms);
   while (true) {
+    Status ready = PollFor(fd_, POLLIN, deadline.remaining_ms());
+    if (!ready.ok()) return ready;
     const ssize_t n = ::recv(fd_, buf, cap, 0);
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return static_cast<size_t>(0);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // POLLIN with nothing readable — a spurious wakeup or a racing
+      // reader, not EOF. Re-poll on the same budget, mirroring how the
+      // send path treats EAGAIN; returning 0 here would forge a clean
+      // end-of-stream.
+      continue;
+    }
     return Errno("recv");
   }
 }
 
 Result<Socket> ConnectTo(const std::string& host, uint16_t port,
                          int timeout_ms) {
+  DIRECTLOAD_FAILPOINT(fp_rpc_connect);
   struct addrinfo hints;
   std::memset(&hints, 0, sizeof(hints));
   hints.ai_family = AF_INET;

@@ -39,9 +39,10 @@ class Socket {
   /// blocks indefinitely.
   Status SendAll(const Slice& data, int timeout_ms);
 
-  /// Reads up to `cap` bytes into `buf`. Returns the byte count (0 = clean
-  /// EOF), kTimedOut when nothing arrived within `timeout_ms`, kUnavailable
-  /// on reset.
+  /// Reads up to `cap` bytes into `buf`. Returns the byte count — 0 means
+  /// the peer cleanly closed, never a spurious wakeup (those re-poll within
+  /// the deadline) — kTimedOut when nothing arrived within `timeout_ms`,
+  /// kUnavailable on reset.
   Result<size_t> RecvSome(char* buf, size_t cap, int timeout_ms);
 
  private:

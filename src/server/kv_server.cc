@@ -4,11 +4,19 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/failpoint.h"
 #include "common/rate_limiter.h"
 
 namespace directload::server {
 
 namespace {
+
+// Server-side failpoints. Both sit before the request is acknowledged in
+// any way, so firing them can never lose an acked write: a dropped accept
+// looks like a dial race, a failed enqueue is answered kBusy and the
+// client retries.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_server_accept, "server_accept");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_server_enqueue, "server_enqueue");
 
 using SteadyClock = std::chrono::steady_clock;
 
@@ -142,6 +150,14 @@ void KvServer::AcceptorLoop() {
       }
       return;  // Listener broken; Shutdown will clean up.
     }
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+    if (fp_server_accept->armed() && !fp_server_accept->MaybeFail().ok()) {
+      // Drop the fresh connection on the floor — to the client this is a
+      // peer that accepted and immediately reset, the classic overloaded
+      // front-end symptom.
+      continue;
+    }
+#endif
     counters_.connections_accepted.fetch_add(1);
     auto conn = std::make_shared<Connection>(std::move(accepted).value(),
                                              options_);
@@ -221,6 +237,11 @@ void KvServer::ReaderLoop(std::shared_ptr<Connection> conn) {
 }
 
 bool KvServer::Enqueue(Request request) {
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+  if (fp_server_enqueue->armed() && !fp_server_enqueue->MaybeFail().ok()) {
+    return false;  // Reported as kBusy; the request was never acked.
+  }
+#endif
   MutexLock lock(&queue_mu_);
   if (queue_.size() >= options_.max_queued_requests) return false;
   queue_.push_back(std::move(request));

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/thread_annotations.h"
 #include "ssd/ftl.h"
 #include "ssd/native.h"
@@ -21,6 +22,21 @@ std::string_view InterfaceModeName(InterfaceMode mode) {
 }
 
 namespace {
+
+// Device-layer failpoints, shared by both backends (docs/fault_injection.md
+// lists the full registry). The append and read-corrupt points are
+// payload-aware: `short` tears an append after a prefix, `corrupt` flips a
+// bit in the in-flight page image — the failpoint-driven successors to the
+// targeted CorruptFileByteForTesting hook.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_env_open_writable, "ssd_env_open_writable");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_env_open_reader, "ssd_env_open_reader");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_env_delete, "ssd_env_delete");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_env_rename, "ssd_env_rename");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_file_append, "ssd_file_append");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_file_sync, "ssd_file_sync");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_file_close, "ssd_file_close");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_file_read, "ssd_file_read");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_file_read_corrupt, "ssd_file_read_corrupt");
 
 // Each backend serializes env and file state on one plain ranked mutex — a
 // single device command queue. The old implementation used a recursive
@@ -56,11 +72,13 @@ class FtlEnv final : public SsdEnv {
       const std::string& name) override;
 
   Status DeleteFile(const std::string& name) override {
+    DIRECTLOAD_FAILPOINT(fp_env_delete);
     MutexLock lock(&mu_);
     return DeleteFileLocked(name);
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    DIRECTLOAD_FAILPOINT(fp_env_rename);
     MutexLock lock(&mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound(from);
@@ -203,14 +221,28 @@ class FtlWritableFile final : public WritableFile {
   Status Append(const Slice& data) override {
     MutexLock lock(&env_->mu_);
     if (closed_) return Status::InvalidArgument("file is closed");
-    env_->AccountAppendLocked(data.size());
-    meta_->size += data.size();
-    tail_.append(data.data(), data.size());
-    tail_dirty_ = true;
-    return FlushFullPagesLocked();
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+    if (fp_file_append->armed()) {
+      std::string payload(data.data(), data.size());
+      uint64_t allowed = payload.size();
+      Status injected = fp_file_append->MaybeFailIo(&payload, &allowed);
+      if (!injected.ok()) {
+        // Torn append: the first `allowed` bytes reach the file, the call
+        // fails. A plain injected error leaves the file untouched.
+        if (allowed > 0 && allowed < payload.size()) {
+          (void)AppendLocked(Slice(payload.data(), allowed));
+        }
+        return injected;
+      }
+      // `corrupt` may have flipped a bit in the payload; apply it whole.
+      return AppendLocked(Slice(payload.data(), payload.size()));
+    }
+#endif
+    return AppendLocked(data);
   }
 
   Status Sync() override {
+    DIRECTLOAD_FAILPOINT(fp_file_sync);
     MutexLock lock(&env_->mu_);
     return SyncLocked();
   }
@@ -218,6 +250,10 @@ class FtlWritableFile final : public WritableFile {
   Status Close() override {
     MutexLock lock(&env_->mu_);
     if (closed_) return Status::OK();
+    // An injected close failure leaves the handle open with its tail
+    // unsynced — the caller sees the error, retrying (or the destructor)
+    // finishes the close.
+    DIRECTLOAD_FAILPOINT(fp_file_close);
     Status s = SyncLocked();
     closed_ = true;
     meta_->has_writer = false;
@@ -235,6 +271,14 @@ class FtlWritableFile final : public WritableFile {
   }
 
  private:
+  Status AppendLocked(const Slice& data) REQUIRES(env_->mu_) {
+    env_->AccountAppendLocked(data.size());
+    meta_->size += data.size();
+    tail_.append(data.data(), data.size());
+    tail_dirty_ = true;
+    return FlushFullPagesLocked();
+  }
+
   Status FlushFullPagesLocked() REQUIRES(env_->mu_) {
     const uint32_t page_size = env_->geometry().page_size;
     while (tail_.size() >= page_size) {
@@ -294,6 +338,7 @@ class FtlRandomAccessFile final : public RandomAccessFile {
       : env_(env), meta_(std::move(meta)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    DIRECTLOAD_FAILPOINT(fp_file_read);
     MutexLock lock(&env_->mu_);
     out->clear();
     if (offset > meta_->persisted) {
@@ -313,6 +358,12 @@ class FtlRandomAccessFile final : public RandomAccessFile {
       const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
       out->append(page.data() + (lo - page_start), hi - lo);
     }
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+    // Transient read-side damage: the media is intact, this return is not.
+    if (fp_file_read_corrupt->armed()) {
+      (void)fp_file_read_corrupt->MaybeFailIo(out, nullptr);
+    }
+#endif
     return Status::OK();
   }
 
@@ -328,6 +379,7 @@ class FtlRandomAccessFile final : public RandomAccessFile {
 
 Result<std::unique_ptr<WritableFile>> FtlEnv::NewWritableFile(
     const std::string& name) {
+  DIRECTLOAD_FAILPOINT(fp_env_open_writable);
   MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it != files_.end()) {
@@ -341,6 +393,7 @@ Result<std::unique_ptr<WritableFile>> FtlEnv::NewWritableFile(
 
 Result<std::unique_ptr<RandomAccessFile>> FtlEnv::NewRandomAccessFile(
     const std::string& name) {
+  DIRECTLOAD_FAILPOINT(fp_env_open_reader);
   MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound(name);
@@ -375,11 +428,13 @@ class NativeEnv final : public SsdEnv {
       const std::string& name) override;
 
   Status DeleteFile(const std::string& name) override {
+    DIRECTLOAD_FAILPOINT(fp_env_delete);
     MutexLock lock(&mu_);
     return DeleteFileLocked(name);
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    DIRECTLOAD_FAILPOINT(fp_env_rename);
     MutexLock lock(&mu_);
     auto it = files_.find(from);
     if (it == files_.end()) return Status::NotFound(from);
@@ -503,23 +558,40 @@ class NativeWritableFile final : public WritableFile {
   Status Append(const Slice& data) override {
     MutexLock lock(&env_->mu_);
     if (closed_) return Status::InvalidArgument("file is closed");
-    env_->AccountAppendLocked(data.size());
-    meta_->size += data.size();
-    tail_.append(data.data(), data.size());
-    const uint32_t page_size = env_->geometry().page_size;
-    while (tail_.size() >= page_size) {
-      Status s = WritePageLocked(Slice(tail_.data(), page_size));
-      if (!s.ok()) return s;
-      tail_.erase(0, page_size);
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+    if (fp_file_append->armed()) {
+      std::string payload(data.data(), data.size());
+      uint64_t allowed = payload.size();
+      Status injected = fp_file_append->MaybeFailIo(&payload, &allowed);
+      if (!injected.ok()) {
+        // Torn append: the first `allowed` bytes reach the file, the call
+        // fails. A plain injected error leaves the file untouched.
+        if (allowed > 0 && allowed < payload.size()) {
+          (void)AppendLocked(Slice(payload.data(), allowed));
+        }
+        return injected;
+      }
+      // `corrupt` may have flipped a bit in the payload; apply it whole.
+      return AppendLocked(Slice(payload.data(), payload.size()));
     }
-    return Status::OK();
+#endif
+    return AppendLocked(data);
   }
 
-  Status Sync() override { return Status::OK(); }  // See class comment.
+  // Native appends program whole pages as they fill; there is no dirty tail
+  // on the device to flush, so Sync is a no-op — but it is still a failpoint
+  // so sync failures are injectable in both interface modes.
+  Status Sync() override {
+    DIRECTLOAD_FAILPOINT(fp_file_sync);
+    return Status::OK();
+  }
 
   Status Close() override {
     MutexLock lock(&env_->mu_);
     if (closed_) return Status::OK();
+    // See FtlWritableFile::Close: an injected failure precedes the pad-out,
+    // leaving the handle open and the tail unpersisted.
+    DIRECTLOAD_FAILPOINT(fp_file_close);
     if (!tail_.empty()) {
       // Pad the final page: native writes never rewrite a programmed page.
       Status s = WritePageLocked(tail_);
@@ -543,6 +615,19 @@ class NativeWritableFile final : public WritableFile {
   }
 
  private:
+  Status AppendLocked(const Slice& data) REQUIRES(env_->mu_) {
+    env_->AccountAppendLocked(data.size());
+    meta_->size += data.size();
+    tail_.append(data.data(), data.size());
+    const uint32_t page_size = env_->geometry().page_size;
+    while (tail_.size() >= page_size) {
+      Status s = WritePageLocked(Slice(tail_.data(), page_size));
+      if (!s.ok()) return s;
+      tail_.erase(0, page_size);
+    }
+    return Status::OK();
+  }
+
   Status WritePageLocked(const Slice& page) REQUIRES(env_->mu_) {
     const uint32_t pages_per_block = env_->geometry().pages_per_block;
     if (meta_->pages % pages_per_block == 0) {
@@ -573,6 +658,7 @@ class NativeRandomAccessFile final : public RandomAccessFile {
       : env_(env), meta_(std::move(meta)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    DIRECTLOAD_FAILPOINT(fp_file_read);
     MutexLock lock(&env_->mu_);
     out->clear();
     if (offset > meta_->persisted) {
@@ -596,6 +682,12 @@ class NativeRandomAccessFile final : public RandomAccessFile {
       const uint64_t hi = std::min<uint64_t>(end, page_start + page_size);
       out->append(page.data() + (lo - page_start), hi - lo);
     }
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+    // Transient read-side damage: the media is intact, this return is not.
+    if (fp_file_read_corrupt->armed()) {
+      (void)fp_file_read_corrupt->MaybeFailIo(out, nullptr);
+    }
+#endif
     return Status::OK();
   }
 
@@ -611,6 +703,7 @@ class NativeRandomAccessFile final : public RandomAccessFile {
 
 Result<std::unique_ptr<WritableFile>> NativeEnv::NewWritableFile(
     const std::string& name) {
+  DIRECTLOAD_FAILPOINT(fp_env_open_writable);
   MutexLock lock(&mu_);
   if (files_.count(name) != 0) {
     return Status::InvalidArgument("file already exists: " + name);
@@ -623,6 +716,7 @@ Result<std::unique_ptr<WritableFile>> NativeEnv::NewWritableFile(
 
 Result<std::unique_ptr<RandomAccessFile>> NativeEnv::NewRandomAccessFile(
     const std::string& name) {
+  DIRECTLOAD_FAILPOINT(fp_env_open_reader);
   MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound(name);

@@ -110,9 +110,13 @@ class SsdEnv {
   /// computation in latency benchmarks).
   virtual uint64_t busy_until_micros() const = 0;
 
-  /// Fault injection for tests: flips one bit of the persisted byte at
-  /// `offset` of file `name` (silent media corruption). The checksums of
-  /// the storage formats above must detect it.
+  /// Targeted fault injection for tests: flips one bit of the persisted
+  /// byte at `offset` of file `name` (silent media corruption). The
+  /// checksums of the storage formats above must detect it. For randomized
+  /// or schedule-driven injection use the failpoint framework instead
+  /// (common/failpoint.h): the "ssd_file_append" point's `corrupt`/`short`
+  /// actions damage data in flight, "ssd_file_read_corrupt" damages reads,
+  /// and every env entry point carries an error/delay failpoint.
   virtual Status CorruptFileByteForTesting(const std::string& name,
                                            uint64_t offset) = 0;
 

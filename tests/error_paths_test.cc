@@ -7,6 +7,7 @@
 
 #include "aof/aof_manager.h"
 #include "bifrost/slicer.h"
+#include "common/failpoint.h"
 #include "common/sim_clock.h"
 #include "lsm/db.h"
 #include "mint/cluster.h"
@@ -211,6 +212,60 @@ TEST_F(QinDbErrorTest, SpacePressureOverridesReadDeferral) {
   EXPECT_EQ(db->stats().gc_deferrals, 0u);
 }
 
+TEST_F(QinDbErrorTest, DegradedReadOnlyModeAfterInjectedWriteFailure) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "failpoint sites not compiled in (DIRECTLOAD_FAILPOINTS)";
+  }
+  failpoint::Registry& reg = failpoint::Registry::Instance();
+  ASSERT_TRUE(db_->Put("k1", 1, "v1").ok());
+  ASSERT_FALSE(db_->degraded());
+
+  // One injected device-level append failure fail-stops the engine.
+  ASSERT_TRUE(reg.Activate("ssd_file_append", "1*return(io)").ok());
+  Status s = db_->Put("k2", 1, "v2");
+  reg.DeactivateAll();
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_TRUE(db_->degraded());
+
+  // Every mutation keeps failing even though the injection is gone — the
+  // engine refuses to ack onto a log in an unknown state.
+  EXPECT_TRUE(db_->Put("k3", 1, "v3").IsIOError());
+  EXPECT_TRUE(db_->Del("k1", 1).IsIOError());
+  EXPECT_TRUE(db_->DropVersion(1).status().IsIOError());
+  EXPECT_TRUE(db_->Checkpoint().IsIOError());
+  EXPECT_TRUE(db_->ForceGc().IsIOError());
+  EXPECT_TRUE(db_->MaybeGc().IsIOError());
+
+  // Reads still serve everything written before the fault.
+  Result<std::string> got = db_->Get("k1", 1);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, "v1");
+
+  // Reopening runs recovery and clears the condition.
+  db_.reset();
+  db_ = std::move(qindb::QinDb::Open(env_.get(), {})).value();
+  EXPECT_FALSE(db_->degraded());
+  EXPECT_TRUE(db_->Put("k2", 1, "v2").ok());
+  got = db_->Get("k1", 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v1");
+}
+
+TEST_F(QinDbErrorTest, NoSpaceDoesNotDegrade) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "failpoint sites not compiled in (DIRECTLOAD_FAILPOINTS)";
+  }
+  failpoint::Registry& reg = failpoint::Registry::Instance();
+  // kNoSpace is an environmental rejection, not a torn write: the engine
+  // must stay read-write so callers can free space and continue.
+  ASSERT_TRUE(reg.Activate("ssd_file_append", "1*return(nospace)").ok());
+  Status s = db_->Put("k1", 1, "v1");
+  reg.DeactivateAll();
+  EXPECT_TRUE(s.IsNoSpace()) << s.ToString();
+  EXPECT_FALSE(db_->degraded());
+  EXPECT_TRUE(db_->Put("k1", 1, "v1").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Mint
 // ---------------------------------------------------------------------------
@@ -232,10 +287,19 @@ TEST(MintErrorTest, GuardsAndUnavailability) {
   EXPECT_TRUE(cluster.Get("missing", 1).status().IsNotFound());
   EXPECT_TRUE(cluster.Del("missing", 1).IsNotFound());
 
-  // All nodes down: writes and reads degrade to Unavailable.
+  // All nodes down: every operation degrades to Unavailable, and the error
+  // names the group so operators can tell "pair is gone" from "nobody
+  // could answer". Del in particular must NOT report NotFound here.
   for (int n = 0; n < 3; ++n) ASSERT_TRUE(cluster.FailNode(n).ok());
-  EXPECT_TRUE(cluster.Put("k", 1, "v").IsUnavailable());
-  EXPECT_TRUE(cluster.Get("k", 1).status().IsUnavailable());
+  Status put = cluster.Put("k", 1, "v");
+  EXPECT_TRUE(put.IsUnavailable());
+  EXPECT_NE(put.ToString().find("group"), std::string::npos) << put.ToString();
+  Status get = cluster.Get("k", 1).status();
+  EXPECT_TRUE(get.IsUnavailable());
+  EXPECT_NE(get.ToString().find("group"), std::string::npos) << get.ToString();
+  Status del = cluster.Del("k", 1);
+  EXPECT_TRUE(del.IsUnavailable()) << del.ToString();
+  EXPECT_NE(del.ToString().find("group"), std::string::npos) << del.ToString();
 }
 
 // ---------------------------------------------------------------------------

@@ -105,7 +105,7 @@ TEST_F(AofFaultTest, CorruptedRecordDetectedOnRead) {
   EXPECT_TRUE(mgr->ReadRecord(*addr, 0, &view).IsCorruption());
 }
 
-TEST_F(AofFaultTest, ScanStopsAtCorruptedRecordKeepsPrefix) {
+TEST_F(AofFaultTest, ScanSurfacesMidSegmentCorruptionLoudly) {
   aof::AofOptions options;
   options.segment_bytes = 256 << 10;
   std::vector<aof::RecordAddress> addrs;
@@ -120,19 +120,23 @@ TEST_F(AofFaultTest, ScanStopsAtCorruptedRecordKeepsPrefix) {
     }
     ASSERT_TRUE(mgr->SealActive().ok());
   }
-  // Damage record 6's header.
+  // Damage record 6 in place. Appends are prefix-persistent, so a record
+  // that fails its checksum *inside* the persisted extent can only be
+  // damaged media, never a torn tail — and records 7..9 sit unreachable
+  // behind it. Recovery must refuse to adopt the segment as a shorter valid
+  // prefix: that silent truncation is what would later license a checkpoint
+  // (or a GC erase) to destroy the suffix permanently.
   ASSERT_TRUE(env_->CorruptFileByteForTesting("aof_00000000.dat",
                                               addrs[6].offset + 10)
                   .ok());
-  auto mgr = std::move(aof::AofManager::Open(env_.get(), options)).value();
-  size_t recovered = 0;
-  ASSERT_TRUE(mgr->Scan([&](const aof::RecordAddress&, const aof::RecordView&) {
-                    ++recovered;
-                    return true;
-                  })
-                  .ok());
-  // Records 0..5 recovered; the damaged suffix is discarded, not served.
-  EXPECT_EQ(recovered, 6u);
+  Result<std::unique_ptr<aof::AofManager>> reopened =
+      aof::AofManager::Open(env_.get(), options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption())
+      << reopened.status().ToString();
+  // Fail-stop, not fail-erase: the damaged segment (with the intact records
+  // behind the damage) stays on the device for repair from a replica.
+  EXPECT_TRUE(env_->FileExists("aof_00000000.dat"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,179 @@
+// Socket-level regression tests for the EAGAIN handling in SendAll and
+// RecvSome. The historical bug: RecvSome mapped a post-poll EAGAIN to a
+// return of 0 bytes, which every caller treats as clean EOF — so a racing
+// reader (or any spurious poll wakeup) looked like the peer hanging up.
+// The send path, by contrast, always re-polled. These tests pin the now-
+// symmetric behavior: both directions retry EAGAIN against one shared
+// deadline.
+
+#include "rpc/socket.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace directload::rpc {
+namespace {
+
+struct Pair {
+  Socket server;  // Accepted end.
+  Socket client;  // Connected end.
+};
+
+/// A connected loopback TCP pair on an ephemeral port.
+Pair MakeConnectedPair() {
+  Pair pair;
+  Result<Socket> listener = Listen("127.0.0.1", /*port=*/0, /*backlog=*/4);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<uint16_t> port = LocalPort(*listener);
+  EXPECT_TRUE(port.ok()) << port.status().ToString();
+  Result<Socket> client = ConnectTo("127.0.0.1", *port, /*timeout_ms=*/2000);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  Result<Socket> accepted = AcceptOne(*listener, /*timeout_ms=*/2000);
+  EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+  pair.server = std::move(accepted).value();
+  pair.client = std::move(client).value();
+  return pair;
+}
+
+void SetNonBlocking(const Socket& socket) {
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  ASSERT_EQ(::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+void ShrinkSendBuffer(const Socket& socket) {
+  // The kernel doubles and floor-clamps this; it still ends up far below
+  // the payload sizes used here, forcing many short sends and EAGAINs.
+  int tiny = 1;
+  ASSERT_EQ(::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+}
+
+TEST(SocketSendAll, DeliversEverythingThroughATinySendBuffer) {
+  Pair pair = MakeConnectedPair();
+  ShrinkSendBuffer(pair.client);
+  SetNonBlocking(pair.client);  // send() must hit EAGAIN, not block.
+
+  // Patterned payload so any dropped or reordered range breaks the check.
+  std::string payload;
+  payload.reserve(1 << 20);
+  Random rng(20260807);
+  while (payload.size() < (1 << 20)) {
+    payload += rng.NextString(64);
+  }
+
+  std::string received;
+  std::thread reader([&] {
+    // Drain slowly in small bites: the sender's buffer stays full, so its
+    // EAGAIN/poll path runs over and over.
+    char buf[2048];
+    while (true) {
+      Result<size_t> n =
+          pair.server.RecvSome(buf, sizeof(buf), /*timeout_ms=*/5000);
+      ASSERT_TRUE(n.ok()) << n.status().ToString();
+      if (*n == 0) return;  // Clean EOF after the sender shuts down.
+      received.append(buf, *n);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  Status sent = pair.client.SendAll(payload, /*timeout_ms=*/30000);
+  EXPECT_TRUE(sent.ok()) << sent.ToString();
+  pair.client.ShutdownWrite();
+  reader.join();
+
+  ASSERT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+}
+
+TEST(SocketSendAll, EnforcesOneOverallDeadline) {
+  Pair pair = MakeConnectedPair();
+  ShrinkSendBuffer(pair.client);
+  SetNonBlocking(pair.client);
+
+  // Nobody reads the server end: the client's buffer fills and stays full,
+  // so SendAll must give up when its (single, shared) deadline expires —
+  // not restart the clock on every EAGAIN.
+  const std::string payload(4 << 20, 'x');
+  const auto before = std::chrono::steady_clock::now();
+  Status sent = pair.client.SendAll(payload, /*timeout_ms=*/300);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_TRUE(sent.IsTimedOut()) << sent.ToString();
+  EXPECT_GE(elapsed.count(), 250);
+  EXPECT_LT(elapsed.count(), 5000) << "deadline must not restart per EAGAIN";
+}
+
+TEST(SocketRecvSome, TimesOutInsteadOfForgingEof) {
+  Pair pair = MakeConnectedPair();
+  // Connected, nothing sent: RecvSome must report kTimedOut. Returning 0
+  // here would be indistinguishable from the peer closing.
+  char buf[64];
+  Result<size_t> n = pair.server.RecvSome(buf, sizeof(buf), /*timeout_ms=*/150);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsTimedOut()) << n.status().ToString();
+}
+
+TEST(SocketRecvSome, RacingReadersNeverSeePhantomEof) {
+  // Two readers share one nonblocking fd. poll() can report POLLIN to both;
+  // the slower one's recv then hits EAGAIN. The old code translated that to
+  // "0 bytes = clean EOF" — a reader would give up while the writer was
+  // still mid-stream. The fixed code re-polls, so 0 can only mean the
+  // writer really closed.
+  Pair pair = MakeConnectedPair();
+  SetNonBlocking(pair.server);
+
+  std::atomic<bool> writer_closed{false};
+  std::atomic<uint64_t> total_received{0};
+  std::atomic<int> phantom_eofs{0};
+
+  auto reader_fn = [&] {
+    char buf[1024];
+    while (true) {
+      Result<size_t> n =
+          pair.server.RecvSome(buf, sizeof(buf), /*timeout_ms=*/5000);
+      if (!n.ok()) {
+        // kTimedOut after the writer closed means the other reader consumed
+        // the EOF; either way this reader is done.
+        return;
+      }
+      if (*n == 0) {
+        if (!writer_closed.load()) phantom_eofs.fetch_add(1);
+        return;
+      }
+      total_received.fetch_add(*n);
+    }
+  };
+  std::thread reader_a(reader_fn);
+  std::thread reader_b(reader_fn);
+
+  const size_t kChunks = 512;
+  const std::string chunk(257, 'z');
+  for (size_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(pair.client.SendAll(chunk, /*timeout_ms=*/5000).ok());
+    if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  writer_closed.store(true);
+  pair.client.ShutdownWrite();
+  reader_a.join();
+  reader_b.join();
+
+  EXPECT_EQ(phantom_eofs.load(), 0)
+      << "RecvSome returned 0 while the writer was still open";
+  EXPECT_EQ(total_received.load(), kChunks * chunk.size());
+}
+
+}  // namespace
+}  // namespace directload::rpc
