@@ -1,7 +1,13 @@
 #ifndef DIRECTLOAD_BENCH_COMMON_REPORT_H_
 #define DIRECTLOAD_BENCH_COMMON_REPORT_H_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace directload::bench {
 
@@ -13,6 +19,92 @@ inline void PrintBanner(const char* experiment, const char* paper_claim) {
   std::printf("(Simulated SSD + simulated time; compare shapes and ratios,\n");
   std::printf(" not absolute magnitudes. See EXPERIMENTS.md.)\n");
   std::printf("================================================================\n");
+}
+
+/// Machine-readable benchmark summary: a flat JSON object of the run's
+/// headline numbers, written to the path named by `--json=PATH`. Every
+/// bench shares this writer so CI and the checked-in BENCH_*.json files
+/// parse the same shape regardless of which binary produced them.
+class JsonReport {
+ public:
+  void Add(const std::string& name, double value) {
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    fields_.emplace_back(name, buf);
+  }
+
+  void Add(const std::string& name, uint64_t value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+
+  void Add(const std::string& name, int value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+
+  void AddString(const std::string& name, const std::string& value) {
+    fields_.emplace_back(name, "\"" + Escaped(value) + "\"");
+  }
+
+  /// Writes `{"a": 1, ...}` to `path`; a no-op on an empty path (the bench
+  /// was run without --json). Returns false on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{\n", f);
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", Escaped(fields_[i].first).c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // Headline metrics never need control characters.
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;  // name -> JSON.
+};
+
+/// Pulls `--json=PATH` (or `--json PATH`) out of argv, compacting the
+/// remaining arguments in place, and returns the path ("" when absent) —
+/// so every bench, including ones that otherwise parse their own flags or
+/// hand argv to google-benchmark, accepts the same flag.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
 }
 
 }  // namespace directload::bench

@@ -55,7 +55,7 @@ std::vector<double> MonthProfile() {
   return rates;
 }
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "Figure 10 — update throughput and data availability",
       "(a) update throughput improved up to 5x with DirectLoad; (b) miss "
@@ -117,10 +117,21 @@ int Main() {
               max_ratio >= 2.0 ? "REPRODUCED" : "NOT reproduced");
   std::printf("paper shape: miss ratio under the 0.6%% SLO -> %s\n",
               sum_miss / profile.size() < 0.6 ? "REPRODUCED" : "NOT reproduced");
+
+  JsonReport json;
+  json.AddString("bench", "fig10_throughput_missratio");
+  json.Add("mean_throughput_ratio", sum_ratio / profile.size());
+  json.Add("peak_throughput_ratio", max_ratio);
+  json.Add("mean_miss_pct", sum_miss / profile.size());
+  json.Add("worst_miss_pct", worst_miss);
+  json.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

@@ -36,7 +36,7 @@ void PrintSeries(const WorkloadResult& result) {
       result.write_amplification);
 }
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "Figure 5 — write amplification: LevelDB-style LSM vs QinDB",
       "LevelDB: user ~1.5 MB/s vs sys-write 30-50 MB/s (20-25x WA); "
@@ -69,10 +69,21 @@ int Main() {
               qindb_result.avg_user_mbps > lsm_result.avg_user_mbps
                   ? "REPRODUCED"
                   : "NOT reproduced");
+
+  JsonReport report;
+  report.AddString("bench", "fig5_write_amplification");
+  report.Add("lsm_write_amplification", lsm_result.write_amplification);
+  report.Add("qindb_write_amplification", qindb_result.write_amplification);
+  report.Add("lsm_user_mbps", lsm_result.avg_user_mbps);
+  report.Add("qindb_user_mbps", qindb_result.avg_user_mbps);
+  report.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

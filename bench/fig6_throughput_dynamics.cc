@@ -12,7 +12,7 @@
 namespace directload::bench {
 namespace {
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "Figure 6 — user-write throughput dynamics",
       "stddev of per-minute user-write rate: LevelDB 0.6616 MB/s vs "
@@ -55,10 +55,21 @@ int Main() {
               cv_qindb);
   std::printf("paper shape: QinDB much smoother than LSM -> %s\n",
               cv_qindb < cv_lsm / 2 ? "REPRODUCED" : "NOT reproduced");
+
+  JsonReport report;
+  report.AddString("bench", "fig6_throughput_dynamics");
+  report.Add("lsm_user_mbps_stddev", lsm_result.user_mbps_stddev);
+  report.Add("qindb_user_mbps_stddev", qindb_result.user_mbps_stddev);
+  report.Add("lsm_cv", cv_lsm);
+  report.Add("qindb_cv", cv_qindb);
+  report.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

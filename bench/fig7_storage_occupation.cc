@@ -12,7 +12,7 @@
 namespace directload::bench {
 namespace {
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "Figure 7 — storage occupation during data processing",
       "QinDB grows fast, flattens when GC starts (~185 min), ends ~80 GB; "
@@ -63,10 +63,21 @@ int Main() {
       "(lazy GC kicks in) -> %s\n",
       first_half_growth, second_half_growth,
       second_half_growth < first_half_growth ? "REPRODUCED" : "NOT reproduced");
+
+  JsonReport report;
+  report.AddString("bench", "fig7_storage_occupation");
+  report.Add("lsm_final_disk_mb", lsm_result.final_disk_mb);
+  report.Add("qindb_final_disk_mb", qindb_result.final_disk_mb);
+  report.Add("lsm_peak_disk_mb", lsm_result.peak_disk_mb);
+  report.Add("qindb_peak_disk_mb", qindb_result.peak_disk_mb);
+  report.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

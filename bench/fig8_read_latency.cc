@@ -122,7 +122,7 @@ void PrintScenario(const char* title, const LatencyStats& lsm,
   std::printf("%-14s %14.0f %14.0f\n", "p99.9", lsm.p999_us, qindb.p999_us);
 }
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "Figure 8 — read latency with and without update streams",
       "no updates: QinDB 1803/3558/6574 us vs LevelDB 1846/3909/15081 us "
@@ -170,10 +170,25 @@ int Main() {
       " see EXPERIMENTS.md)\n",
       lsm_degradation, qindb_degradation,
       lsm_degradation > qindb_degradation ? "REPRODUCED" : "NOT reproduced");
+
+  JsonReport report;
+  report.AddString("bench", "fig8_read_latency");
+  report.Add("lsm_idle_p99_us", lsm_idle.p99_us);
+  report.Add("qindb_idle_p99_us", qindb_idle.p99_us);
+  report.Add("lsm_idle_p999_us", lsm_idle.p999_us);
+  report.Add("qindb_idle_p999_us", qindb_idle.p999_us);
+  report.Add("lsm_busy_p99_us", lsm_busy.p99_us);
+  report.Add("qindb_busy_p99_us", qindb_busy.p99_us);
+  report.Add("lsm_busy_p999_us", lsm_busy.p999_us);
+  report.Add("qindb_busy_p999_us", qindb_busy.p999_us);
+  report.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

@@ -55,7 +55,7 @@ std::vector<double> MonthProfile() {
   return rates;
 }
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "Figure 9 — dedup ratio vs update time within one month",
       "update time anti-correlates with dedup ratio; ~130 min at 23% dedup, "
@@ -121,10 +121,22 @@ int Main() {
               correlation < -0.7 ? "REPRODUCED" : "NOT reproduced");
   std::printf("paper shape: slow days are low-dedup days -> %s\n",
               ratio_at_max < ratio_at_min ? "REPRODUCED" : "NOT reproduced");
+
+  JsonReport json;
+  json.AddString("bench", "fig9_dedup_update_time");
+  json.Add("correlation", correlation);
+  json.Add("slowest_day_minutes", max_time);
+  json.Add("slowest_day_dedup_pct", ratio_at_max);
+  json.Add("fastest_day_minutes", min_time);
+  json.Add("fastest_day_dedup_pct", ratio_at_min);
+  json.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

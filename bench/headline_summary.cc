@@ -132,7 +132,7 @@ double MeasureCycleCompression() {
   return without_time / with_time;
 }
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner("Headline results (abstract / Section 7)",
               "63% bandwidth saved; 3x write throughput; update cycle "
               "15 days -> 3 days (5x)");
@@ -161,10 +161,21 @@ int Main() {
               cycle_ratio >= 2.5 ? "REPRODUCED" : "NOT reproduced");
   std::printf("gray inconsistency at or under the paper's 0.1%% -> %s\n",
               inconsistency <= 0.001 ? "REPRODUCED" : "NOT reproduced");
+
+  JsonReport report;
+  report.AddString("bench", "headline_summary");
+  report.Add("bandwidth_saving", saving);
+  report.Add("write_throughput_ratio", throughput_ratio);
+  report.Add("cycle_compression_ratio", cycle_ratio);
+  report.Add("gray_inconsistency", inconsistency);
+  report.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

@@ -224,7 +224,7 @@ void RecoveryAblation() {
   }
 }
 
-int Main() {
+int Main(const std::string& json_path) {
   PrintBanner(
       "RUM ablation (Section 5) — read/update/memory trade-offs",
       "QinDB optimizes R and U at the cost of space and recovery time; "
@@ -285,10 +285,27 @@ int Main() {
   HardwareWaDemo();
   ReplicaAblation();
   RecoveryAblation();
+
+  JsonReport report;
+  report.AddString("bench", "rum_ablation");
+  for (const Row& row : rows) {
+    report.AddString("config_" + std::to_string(&row - rows.data()),
+                     row.name);
+  }
+  report.Add("gc25_user_mbps", gc25.user_mbps);
+  report.Add("gc25_write_amp", gc25.write_amp);
+  report.Add("gc10_write_amp", gc10.write_amp);
+  report.Add("gc50_write_amp", gc50.write_amp);
+  report.Add("lsm_user_mbps", lsm.user_mbps);
+  report.Add("device_gc_pages", gc25.device_gc_pages);
+  report.WriteTo(json_path);
   return 0;
 }
 
 }  // namespace
 }  // namespace directload::bench
 
-int main() { return directload::bench::Main(); }
+int main(int argc, char** argv) {
+  return directload::bench::Main(
+      directload::bench::ExtractJsonFlag(&argc, argv));
+}

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common/report.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "rpc/client.h"
@@ -45,6 +46,14 @@ struct LoadgenConfig {
   int pipeline = 1;         // Requests in flight per thread.
   int value_bytes = 128;
   int key_space = 4096;
+  /// Write ops per request frame. 1 sends plain PUT frames; > 1 packs that
+  /// many PUTs into one kWriteBatch frame — the client half of group
+  /// commit, amortizing the round trip over the batch.
+  int batch = 1;
+  /// KvServerOptions::max_write_batch for the in-process server; <= 0
+  /// keeps the server default.
+  int server_max_write_batch = 0;
+  std::string json_path;     // Empty = no JSON summary.
   std::string connect_host;  // Empty = host an in-process server.
   uint16_t connect_port = 0;
 };
@@ -56,6 +65,9 @@ struct ThreadResult {
   uint64_t busy = 0;
   uint64_t not_found = 0;  // Reads of keys no write has landed on yet.
   uint64_t errors = 0;
+  /// Ops beyond one per completed frame (batched writes land `batch` ops
+  /// per request, but one latency sample).
+  uint64_t extra_ops = 0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -91,7 +103,18 @@ void RunClientThread(const LoadgenConfig& config, const std::string& host,
         static_cast<int>(rng.Uniform(100)) < config.write_pct;
     const std::string key =
         "bench:k" + std::to_string(rng.Uniform(config.key_space));
-    if (is_write) {
+    if (is_write && config.batch > 1) {
+      // One kWriteBatch frame carrying `batch` PUTs: `batch` ops for one
+      // round trip and (server-side) one engine commit per node.
+      std::vector<rpc::BatchOp> ops(config.batch);
+      for (rpc::BatchOp& op : ops) {
+        op.version = next_version->fetch_add(1);
+        op.key = "bench:k" + std::to_string(rng.Uniform(config.key_space));
+        op.value = value;
+      }
+      request.op = rpc::Opcode::kWriteBatch;
+      rpc::EncodeBatchOps(ops, &request.value);
+    } else if (is_write) {
       request.op = rpc::Opcode::kPut;
       request.version = next_version->fetch_add(1);
       request.key = key;
@@ -116,6 +139,9 @@ void RunClientThread(const LoadgenConfig& config, const std::string& host,
     const double micros = MicrosSince(it->second.sent);
     if (it->second.is_write) {
       result->write_latency_us.Add(micros);
+      if (response->op == rpc::Opcode::kWriteBatch) {
+        result->extra_ops += config.batch - 1;
+      }
     } else {
       result->read_latency_us.Add(micros);
     }
@@ -180,6 +206,10 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
       if (!next_int(&config->value_bytes)) return false;
     } else if (arg == "--keys") {
       if (!next_int(&config->key_space)) return false;
+    } else if (arg == "--batch") {
+      if (!next_int(&config->batch)) return false;
+    } else if (arg == "--server-max-write-batch") {
+      if (!next_int(&config->server_max_write_batch)) return false;
     } else if (arg == "--connect") {
       if (i + 1 >= argc) return false;
       const std::string target = argv[++i];
@@ -195,18 +225,20 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
   }
   return config->threads > 0 && config->ops_per_thread > 0 &&
          config->pipeline > 0 && config->write_pct >= 0 &&
-         config->write_pct <= 100;
+         config->write_pct <= 100 && config->batch > 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   LoadgenConfig config;
+  config.json_path = bench::ExtractJsonFlag(&argc, argv);
   if (!ParseArgs(argc, argv, &config)) {
     std::fprintf(stderr,
                  "usage: server_loadgen [--threads N] [--ops-per-thread M]\n"
                  "         [--write-pct P] [--pipeline D] [--value-bytes B]\n"
-                 "         [--keys K] [--connect host:port]\n");
+                 "         [--keys K] [--batch W] [--server-max-write-batch S]\n"
+                 "         [--json=PATH] [--connect host:port]\n");
     return 1;
   }
 
@@ -229,8 +261,13 @@ int main(int argc, char** argv) {
                    s.ToString().c_str());
       return 1;
     }
+    server::KvServerOptions server_options;
+    if (config.server_max_write_batch > 0) {
+      server_options.max_write_batch =
+          static_cast<size_t>(config.server_max_write_batch);
+    }
     kv_server = std::make_unique<server::KvServer>(cluster.get(),
-                                                   server::KvServerOptions());
+                                                   server_options);
     s = kv_server->Start();
     if (!s.ok()) {
       std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
@@ -241,10 +278,11 @@ int main(int argc, char** argv) {
     std::printf("hosting in-process server on 127.0.0.1:%u\n", port);
   }
 
-  std::printf("loadgen: %d threads x %d ops, %d%% writes, pipeline depth "
-              "%d, %dB values, %d keys\n",
+  std::printf("loadgen: %d threads x %d requests, %d%% writes, pipeline "
+              "depth %d, %dB values, %d keys, %d write ops/frame\n",
               config.threads, config.ops_per_thread, config.write_pct,
-              config.pipeline, config.value_bytes, config.key_space);
+              config.pipeline, config.value_bytes, config.key_space,
+              config.batch);
 
   std::atomic<uint64_t> next_version{1};
   std::vector<ThreadResult> results(config.threads);
@@ -259,7 +297,7 @@ int main(int argc, char** argv) {
   const double elapsed_seconds = MicrosSince(start) * 1e-6;
 
   Histogram reads, writes;
-  uint64_t ok = 0, busy = 0, not_found = 0, errors = 0;
+  uint64_t ok = 0, busy = 0, not_found = 0, errors = 0, extra_ops = 0;
   for (const ThreadResult& r : results) {
     reads.Merge(r.read_latency_us);
     writes.Merge(r.write_latency_us);
@@ -267,17 +305,41 @@ int main(int argc, char** argv) {
     busy += r.busy;
     not_found += r.not_found;
     errors += r.errors;
+    extra_ops += r.extra_ops;
   }
-  const uint64_t completed = reads.count() + writes.count();
+  const uint64_t completed = reads.count() + writes.count() + extra_ops;
+  const double ops_per_sec =
+      elapsed_seconds > 0 ? completed / elapsed_seconds : 0.0;
 
   PrintPercentiles("reads", reads);
   PrintPercentiles("writes", writes);
   std::printf("status: ok=%llu not_found=%llu busy=%llu errors=%llu\n",
               (unsigned long long)ok, (unsigned long long)not_found,
               (unsigned long long)busy, (unsigned long long)errors);
-  std::printf("throughput: %.0f ops/s (%llu ops in %.2fs)\n",
-              elapsed_seconds > 0 ? completed / elapsed_seconds : 0.0,
+  std::printf("throughput: %.0f ops/s (%llu ops in %.2fs)\n", ops_per_sec,
               (unsigned long long)completed, elapsed_seconds);
+
+  bench::JsonReport report;
+  report.AddString("bench", "server_loadgen");
+  report.Add("threads", config.threads);
+  report.Add("ops_per_thread", config.ops_per_thread);
+  report.Add("write_pct", config.write_pct);
+  report.Add("pipeline", config.pipeline);
+  report.Add("batch", config.batch);
+  report.Add("value_bytes", config.value_bytes);
+  report.Add("ops_per_sec", ops_per_sec);
+  report.Add("completed_ops", completed);
+  report.Add("read_p50_us", reads.Percentile(50));
+  report.Add("read_p95_us", reads.Percentile(95));
+  report.Add("read_p99_us", reads.Percentile(99));
+  report.Add("write_p50_us", writes.Percentile(50));
+  report.Add("write_p95_us", writes.Percentile(95));
+  report.Add("write_p99_us", writes.Percentile(99));
+  report.Add("ok", ok);
+  report.Add("not_found", not_found);
+  report.Add("busy", busy);
+  report.Add("errors", errors);
+  report.WriteTo(config.json_path);
 
   if (kv_server != nullptr) kv_server->Shutdown();
   // Errors (not kBusy/kNotFound, which are expected under load) fail the

@@ -118,44 +118,103 @@ Result<RecordAddress> AofManager::AppendRecordLocked(const Slice& key,
                                                      uint64_t version,
                                                      uint8_t flags,
                                                      const Slice& value) {
-  DIRECTLOAD_FAILPOINT(fp_aof_append);
-  const uint64_t extent = RecordExtent(key.size(), value.size());
-  if (extent > options_.segment_bytes) {
-    return Status::InvalidArgument("record exceeds segment capacity");
-  }
-  if (key.size() > UINT16_MAX) {
-    return Status::InvalidArgument("key too long");
-  }
-  if (active_writer_ != nullptr &&
-      active_writer_->Size() + extent > options_.segment_bytes) {
-    Status s = SealActiveLocked();
-    if (!s.ok()) return s;
-  }
-  if (active_writer_ == nullptr) {
-    Status s = OpenNewSegmentLocked();
-    if (!s.ok()) return s;
-  }
-
-  std::string rec;
-  rec.reserve(extent);
-  EncodeRecord(key, version, flags, value, &rec);
-
-  const auto offset = static_cast<uint32_t>(active_writer_->Size());
-  Status s = active_writer_->Append(rec);
+  const AppendOp op{key, version, flags, value, Slice()};
+  std::vector<RecordAddress> addresses;
+  Status s = AppendManyLocked(&op, 1, &addresses);
   if (!s.ok()) return s;
+  return addresses[0];
+}
 
-  // Maintain the unpersisted-tail mirror: [mirror_offset_, Size).
-  active_mirror_.append(rec);
-  const uint64_t persisted = active_writer_->PersistedSize();
-  if (persisted > mirror_offset_) {
-    active_mirror_.erase(0, persisted - mirror_offset_);
-    mirror_offset_ = persisted;
+Status AofManager::AppendMany(const AppendOp* ops, size_t n,
+                              std::vector<RecordAddress>* addresses) {
+  WriterLock lock(&mu_);
+  return AppendManyLocked(ops, n, addresses);
+}
+
+Status AofManager::AppendManyLocked(const AppendOp* ops, size_t n,
+                                    std::vector<RecordAddress>* addresses) {
+  // One evaluation of the append failpoint per vectored call: an injected
+  // fault fails the whole batch up front, before any byte is written.
+  DIRECTLOAD_FAILPOINT(fp_aof_append);
+  addresses->clear();
+  if (n == 0) return Status::OK();
+  addresses->reserve(n);
+  // Validate everything before touching the log, so a malformed record
+  // cannot strand its batch-mates' bytes behind a mid-batch failure.
+  for (size_t i = 0; i < n; ++i) {
+    if (RecordExtent(ops[i].key.size(), ops[i].value.size()) >
+        options_.segment_bytes) {
+      return Status::InvalidArgument("record exceeds segment capacity");
+    }
+    if (ops[i].key.size() > UINT16_MAX) {
+      return Status::InvalidArgument("key too long");
+    }
   }
 
-  SegmentInfo& seg = segments_[active_id_];
-  seg.total_bytes += extent;
-  seg.live_bytes += extent;
-  return RecordAddress{active_id_, offset};
+  std::string& buf = append_buf_;
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t next_extent =
+        RecordExtent(ops[i].key.size(), ops[i].value.size());
+    if (active_writer_ != nullptr &&
+        active_writer_->Size() + next_extent > options_.segment_bytes) {
+      Status s = SealActiveLocked();
+      if (!s.ok()) {
+        addresses->clear();
+        return s;
+      }
+    }
+    if (active_writer_ == nullptr) {
+      Status s = OpenNewSegmentLocked();
+      if (!s.ok()) {
+        addresses->clear();
+        return s;
+      }
+    }
+
+    // Encode the run of records that fits the active segment into one
+    // contiguous buffer. Each record keeps its own header and checksum, so
+    // the segment bytes are indistinguishable from per-record appends.
+    buf.clear();
+    const uint64_t run_start = active_writer_->Size();
+    uint64_t off = run_start;
+    while (i < n) {
+      const uint64_t extent =
+          RecordExtent(ops[i].key.size(), ops[i].value.size());
+      if (off + extent > options_.segment_bytes) break;
+      if (!ops[i].preencoded.empty()) {
+        buf.append(ops[i].preencoded.data(), ops[i].preencoded.size());
+      } else {
+        EncodeRecord(ops[i].key, ops[i].version, ops[i].flags, ops[i].value,
+                     &buf);
+      }
+      addresses->push_back(
+          RecordAddress{active_id_, static_cast<uint32_t>(off)});
+      off += extent;
+      ++i;
+    }
+
+    Status s = active_writer_->Append(buf);
+    if (!s.ok()) {
+      // Earlier runs (and an undetectable prefix of this one) may be
+      // durable; the addresses are meaningless to the caller on failure.
+      addresses->clear();
+      return s;
+    }
+
+    // Maintain the unpersisted-tail mirror: [mirror_offset_, Size).
+    active_mirror_.append(buf);
+    const uint64_t persisted = active_writer_->PersistedSize();
+    if (persisted > mirror_offset_) {
+      active_mirror_.erase(0, persisted - mirror_offset_);
+      mirror_offset_ = persisted;
+    }
+
+    SegmentInfo& seg = segments_[active_id_];
+    seg.total_bytes += off - run_start;
+    seg.live_bytes += off - run_start;
+  }
+  return Status::OK();
 }
 
 Status AofManager::SealActive() {
@@ -266,6 +325,19 @@ Status AofManager::ReadRecord(const RecordAddress& addr, uint64_t extent_hint,
 
 void AofManager::MarkDead(const RecordAddress& addr, uint64_t extent) {
   WriterLock lock(&mu_);
+  MarkDeadLocked(addr, extent);
+}
+
+void AofManager::MarkDeadMany(
+    const std::vector<std::pair<RecordAddress, uint64_t>>& dead) {
+  if (dead.empty()) return;
+  WriterLock lock(&mu_);
+  for (const auto& [addr, extent] : dead) {
+    MarkDeadLocked(addr, extent);
+  }
+}
+
+void AofManager::MarkDeadLocked(const RecordAddress& addr, uint64_t extent) {
   auto it = segments_.find(addr.segment_id);
   if (it == segments_.end()) return;
   it->second.live_bytes =

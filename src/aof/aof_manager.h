@@ -88,6 +88,39 @@ class AofManager {
                                      uint8_t flags, const Slice& value)
       EXCLUDES(mu_);
 
+  /// One entry of a vectored append. Slices must stay valid for the call.
+  /// `preencoded`, when non-empty, is the op's complete record bytes
+  /// (header + checksum + key + value, exactly what EncodeRecord(key,
+  /// version, flags, value) produces) prepared by the caller off the write
+  /// lock; the append uses those bytes verbatim instead of re-encoding.
+  /// key/value stay authoritative for extent accounting, so they must
+  /// describe the same record.
+  struct AppendOp {
+    Slice key;
+    uint64_t version = 0;
+    uint8_t flags = 0;
+    Slice value;
+    Slice preencoded;
+  };
+
+  /// Appends `n` records in order under one lock acquisition: records that
+  /// fit the active segment are encoded into a single contiguous buffer
+  /// (per-record headers and checksums preserved — the segment bytes are
+  /// identical to n single appends) and written with one writer append and
+  /// one occupancy update per segment run, rolling between runs exactly as
+  /// AppendRecord would. `addresses` receives one address per record, in op
+  /// order. On failure nothing is reported: a prefix of the records may
+  /// nevertheless be durable (the same shapes a crash can produce), and the
+  /// caller must treat the whole call as failed.
+  Status AppendMany(const AppendOp* ops, size_t n,
+                    std::vector<RecordAddress>* addresses) EXCLUDES(mu_);
+
+  /// Marks a set of records dead with one lock acquisition (the group-commit
+  /// analogue of N MarkDead calls). Pairs are (address, extent).
+  void MarkDeadMany(
+      const std::vector<std::pair<RecordAddress, uint64_t>>& dead)
+      EXCLUDES(mu_);
+
   /// Reads and verifies the record at `addr`. `extent_hint`, when nonzero,
   /// is the record's full extent (saving a separate header read); the
   /// engine computes it from the memtable item.
@@ -221,6 +254,11 @@ class AofManager {
   Result<RecordAddress> AppendRecordLocked(const Slice& key, uint64_t version,
                                            uint8_t flags, const Slice& value)
       REQUIRES(mu_);
+  Status AppendManyLocked(const AppendOp* ops, size_t n,
+                          std::vector<RecordAddress>* addresses)
+      REQUIRES(mu_);
+  void MarkDeadLocked(const RecordAddress& addr, uint64_t extent)
+      REQUIRES(mu_);
   Status SealActiveLocked() REQUIRES(mu_);
   double OccupancyLocked(uint32_t segment_id) const REQUIRES_SHARED(mu_);
   Status AdoptExistingSegments(const std::map<uint32_t, SegmentMeta>* known)
@@ -250,6 +288,11 @@ class AofManager {
   // Mirror of the active segment's bytes that the env has not yet persisted
   // (at most one page), so just-PUT values are immediately readable.
   std::string active_mirror_ GUARDED_BY(mu_);
+
+  /// Scratch buffer for AppendManyLocked's per-run record encoding. A member
+  /// so a large batch's buffer (hundreds of KB crosses the allocator's mmap
+  /// threshold) is allocated once and reused, not malloc'd/freed per append.
+  std::string append_buf_ GUARDED_BY(mu_);
   uint64_t mirror_offset_ GUARDED_BY(mu_) = 0;
   GcStats gc_stats_;
 };

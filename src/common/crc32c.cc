@@ -1,6 +1,7 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <cstring>
 
 namespace directload::crc32c {
 
@@ -9,29 +10,123 @@ namespace {
 // CRC-32C uses the Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78).
 constexpr uint32_t kPolyReflected = 0x82F63B78u;
 
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[k][b] is the CRC of byte b followed by k zero bytes. Eight table
+// lookups retire eight input bytes per iteration with no loop-carried
+// dependency on the byte loads, which is worth ~8x over the one-byte loop.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
     }
-    table[i] = crc;
+    t[0][i] = crc;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = t[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      crc = t[0][crc & 0xFF] ^ (crc >> 8);
+      t[k][i] = crc;
+    }
+  }
+  return t;
 }
 
-constexpr std::array<uint32_t, 256> kTable = MakeTable();
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+uint32_t ExtendSoftware(uint32_t crc, const char* data, size_t n) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  // Align to 8 bytes so the word loads below are aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = kTables[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian layout assumed (x86/aarch64); the first input byte is
+    // the low byte of `word`, which table index 7 advances past the most
+    // zero bytes.
+    word ^= crc;
+    crc = kTables[7][word & 0xFF] ^ kTables[6][(word >> 8) & 0xFF] ^
+          kTables[5][(word >> 16) & 0xFF] ^ kTables[4][(word >> 24) & 0xFF] ^
+          kTables[3][(word >> 32) & 0xFF] ^ kTables[2][(word >> 40) & 0xFF] ^
+          kTables[1][(word >> 48) & 0xFF] ^ kTables[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kTables[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DIRECTLOAD_CRC32C_HW 1
+
+// The SSE4.2 crc32 instruction implements exactly this polynomial. The
+// target attribute scopes the ISA extension to this one function, so the
+// rest of the build keeps the project's baseline -march and the binary
+// stays runnable on pre-Nehalem hardware (dispatch below checks CPUID).
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const char* data,
+                                                          size_t n) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+#endif  // x86
+
+using ExtendFn = uint32_t (*)(uint32_t, const char*, size_t);
+
+ExtendFn ResolveExtend() {
+#if defined(DIRECTLOAD_CRC32C_HW)
+  if (__builtin_cpu_supports("sse4.2")) return &ExtendHardware;
+#endif
+  return &ExtendSoftware;
+}
+
+// Resolved once at startup; both implementations are pure functions of the
+// inputs, so the relaxed one-time initialization is race-free.
+const ExtendFn kExtend = ResolveExtend();
 
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
-  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
-  const auto* p = reinterpret_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return kExtend(init_crc ^ 0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
+}
+
+uint32_t ExtendPortableForTesting(uint32_t init_crc, const char* data,
+                                  size_t n) {
+  return ExtendSoftware(init_crc ^ 0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
+}
+
+bool IsHardwareAccelerated() {
+#if defined(DIRECTLOAD_CRC32C_HW)
+  return kExtend == &ExtendHardware;
+#else
+  return false;
+#endif
 }
 
 }  // namespace directload::crc32c

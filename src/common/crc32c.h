@@ -7,8 +7,19 @@
 namespace directload::crc32c {
 
 /// Returns the CRC-32C (Castagnoli) of data[0, n), continuing from `init_crc`
-/// (pass 0 to start a fresh checksum).
+/// (pass 0 to start a fresh checksum). Dispatches once, at startup, to the
+/// SSE4.2 crc32 instruction when the CPU has it, else to a slicing-by-8
+/// table implementation.
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// The portable table-driven implementation, bypassing hardware dispatch —
+/// exposed so tests can prove the accelerated path computes the same
+/// function.
+uint32_t ExtendPortableForTesting(uint32_t init_crc, const char* data,
+                                  size_t n);
+
+/// True when Extend() resolved to a hardware-accelerated implementation.
+bool IsHardwareAccelerated();
 
 /// CRC-32C of data[0, n).
 inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }

@@ -37,6 +37,11 @@ enum class LockRank : int {
   /// QinDb::write_mutex_ — serializes Put/Del/DropVersion/Checkpoint/GC.
   /// Always the first engine lock a mutator takes.
   kQinDbWrite = 10,
+  /// QinDb::batch_mu_ — the group-commit pending queue. Writers take it
+  /// standalone to enqueue a batch (before contending on kQinDbWrite); the
+  /// leader takes it under kQinDbWrite to drain the queue and publish
+  /// results. Nothing is ever acquired while holding it.
+  kQinDbBatchQueue = 12,
   /// aof::AofManager::mu_ — exclusive for appends/seals/collection, shared
   /// for record reads. Taken under kQinDbWrite by mutators or standalone by
   /// readers.

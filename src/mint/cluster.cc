@@ -162,6 +162,91 @@ Status MintCluster::Del(const Slice& key, uint64_t version) {
   return Status::NotFound("no replica held the pair");
 }
 
+Status MintCluster::WriteMany(const std::vector<BatchOp>& ops,
+                              std::vector<Status>* statuses) {
+  statuses->assign(ops.size(), Status::OK());
+  if (ops.empty()) return Status::OK();
+
+  // Bucket ops by target node, preserving op order inside each bucket.
+  // Puts go to the key's rendezvous replicas, Dels to the whole group
+  // (matching Put/Del above).
+  struct NodePlan {
+    qindb::WriteBatch batch;
+    std::vector<size_t> op_index;  // Batch position -> ops index.
+  };
+  std::map<int, NodePlan> plans;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const BatchOp& op = ops[i];
+    const std::vector<int> targets =
+        op.is_del ? GroupNodes(GroupOf(op.key)) : ReplicasOf(op.key);
+    for (int id : targets) {
+      NodePlan& plan = plans[id];
+      if (op.is_del) {
+        plan.batch.Del(op.key, op.version);
+      } else {
+        plan.batch.Put(op.key, op.version, op.value, op.dedup);
+      }
+      plan.op_index.push_back(i);
+    }
+  }
+
+  struct Agg {
+    int applied = 0;
+    int live_targets = 0;
+    Status first_error;
+  };
+  std::vector<Agg> agg(ops.size());
+  for (auto& [id, plan] : plans) {
+    StorageNode* node = nodes_[id].get();
+    ReaderLock guard(node->lifecycle_mu());
+    if (!node->up()) continue;  // Healed by recovery + re-replication.
+    node->db()->Write(plan.batch);
+    const std::vector<Status>& results = plan.batch.statuses();
+    for (size_t bi = 0; bi < results.size(); ++bi) {
+      Agg& a = agg[plan.op_index[bi]];
+      ++a.live_targets;
+      const Status& s = results[bi];
+      if (s.ok()) {
+        ++a.applied;
+      } else if (ops[plan.op_index[bi]].is_del) {
+        // NotFound from one replica is normal for deletes; keep the first
+        // real refusal (e.g. a degraded engine).
+        if (!s.IsNotFound() && a.first_error.ok()) a.first_error = s;
+      } else if (a.first_error.ok()) {
+        a.first_error = s;
+      }
+    }
+  }
+
+  // Per-op aggregation, mirroring Put/Del exactly.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Agg& a = agg[i];
+    if (a.applied > 0) continue;
+    const int group = GroupOf(ops[i].key);
+    if (ops[i].is_del) {
+      if (a.live_targets == 0) {
+        (*statuses)[i] =
+            Status::Unavailable("group " + std::to_string(group) +
+                                " is entirely down; delete not applied");
+      } else if (!a.first_error.ok()) {
+        (*statuses)[i] = a.first_error;
+      } else {
+        (*statuses)[i] = Status::NotFound("no replica held the pair");
+      }
+    } else if (!a.first_error.ok()) {
+      (*statuses)[i] = a.first_error;
+    } else {
+      (*statuses)[i] =
+          Status::Unavailable("group " + std::to_string(group) +
+                              " has no live replica for the key");
+    }
+  }
+  for (const Status& s : *statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Status MintCluster::DropVersion(uint64_t version) {
   for (auto& node : nodes_) {
     ReaderLock guard(node->lifecycle_mu());

@@ -1,5 +1,6 @@
 #include "qindb/qindb.h"
 
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -182,12 +183,20 @@ Status QinDb::NoteWriteError(Status s) {
 Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
                   bool dedup) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  DIRECTLOAD_FAILPOINT(fp_qindb_put);
-  if (Status w = CheckWritable(); !w.ok()) return w;
+  // Single ops are one-op batches: under group commit they ride the same
+  // pending queue as multi-op batches, so concurrent Put callers coalesce
+  // into one leader-driven AOF append.
+  WriteBatch batch;
+  batch.Put(key, version, value, dedup);
+  return Write(batch);
+}
+
+Status QinDb::PutLocked(const Slice& key, uint64_t version,
+                        const Slice& value, bool dedup) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
   const Slice stored_value = dedup ? Slice() : value;
   const uint8_t flags = dedup ? aof::kFlagDedup : aof::kFlagNone;
 
-  MutexLock lock(&write_mutex_);
   MemIndex* idx = CurrentIndex();
   const uint32_t segment_before = aof_->active_segment();
   Result<aof::RecordAddress> addr =
@@ -384,9 +393,12 @@ Result<std::string> QinDb::GetLatest(const Slice& key) {
 }
 
 Status QinDb::Del(const Slice& key, uint64_t version) {
-  DIRECTLOAD_FAILPOINT(fp_qindb_del);
-  if (Status w = CheckWritable(); !w.ok()) return w;
-  MutexLock lock(&write_mutex_);
+  WriteBatch batch;
+  batch.Del(key, version);
+  return Write(batch);
+}
+
+Status QinDb::DelLocked(const Slice& key, uint64_t version) {
   MemIndex* idx = CurrentIndex();
   MemEntry* entry = idx->FindExact(key, version);
   if (entry == nullptr) return Status::NotFound("no such key/version");
@@ -407,8 +419,14 @@ Status QinDb::Del(const Slice& key, uint64_t version) {
 }
 
 Result<uint64_t> QinDb::DropVersion(uint64_t version) {
-  if (Status w = CheckWritable(); !w.ok()) return w;
-  MutexLock lock(&write_mutex_);
+  WriteBatch batch;
+  batch.DropVersion(version);
+  Status s = Write(batch);
+  if (!s.ok()) return s;
+  return batch.dropped(0);
+}
+
+Result<uint64_t> QinDb::DropVersionLocked(uint64_t version) {
   MemIndex* idx = CurrentIndex();
   uint64_t flagged = 0;
   std::vector<MemEntry*> hits;
@@ -434,6 +452,458 @@ Result<uint64_t> QinDb::DropVersion(uint64_t version) {
     if (!s.ok()) return s;
   }
   return flagged;
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+Status QinDb::Write(WriteBatch& batch) {
+  batch.statuses_.clear();
+  batch.dropped_.assign(batch.ops_.size(), 0);
+  if (batch.ops_.empty()) return Status::OK();
+
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+  {
+    // API-level injection fires once per batch per op kind, before any
+    // state changes — the position the single-op entry points fired from.
+    bool has_put = false;
+    bool has_del = false;
+    for (const WriteOp& op : batch.ops_) {
+      has_put |= op.kind == WriteOpKind::kPut;
+      has_del |= op.kind == WriteOpKind::kDel;
+    }
+    if (has_put && fp_qindb_put->armed()) {
+      if (Status s = fp_qindb_put->MaybeFail(); !s.ok()) {
+        batch.statuses_.assign(batch.ops_.size(), s);
+        return s;
+      }
+    }
+    if (has_del && fp_qindb_del->armed()) {
+      if (Status s = fp_qindb_del->MaybeFail(); !s.ok()) {
+        batch.statuses_.assign(batch.ops_.size(), s);
+        return s;
+      }
+    }
+  }
+#endif
+
+  if (Status w = CheckWritable(); !w.ok()) {
+    batch.statuses_.assign(batch.ops_.size(), w);
+    return w;
+  }
+  if (!options_.group_commit) return WriteUngrouped(batch);
+
+  // Pre-encode this batch's Put records — checksum included — on the
+  // calling thread, before taking any lock. Encoding is the dominant
+  // per-op cost of a write (the CRC over the value), so under group commit
+  // it runs in parallel across the enqueueing writers while the leader's
+  // critical section shrinks to concatenate-append-apply. Ops that fail
+  // the appender's own limits are left unencoded; the plan phase rejects
+  // them per-op with a precise status.
+  PendingWrite self(&batch);
+  self.spans.assign(batch.ops_.size(), {0, 0});
+  for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
+    const WriteOp& op = batch.ops_[oi];
+    if (op.kind != WriteOpKind::kPut) continue;
+    if (op.key.empty() || op.key.size() > UINT16_MAX ||
+        aof::RecordExtent(op.key.size(), op.value.size()) >
+            options_.aof.segment_bytes) {
+      continue;
+    }
+    const size_t at = self.encoded.size();
+    aof::EncodeRecord(op.key, op.version,
+                      op.dedup ? aof::kFlagDedup : aof::kFlagNone, op.value,
+                      &self.encoded);
+    self.spans[oi] = {at, self.encoded.size() - at};
+  }
+
+  // Enqueue before contending on write_mutex_: while the current leader
+  // commits (holding write_mutex_), later writers still reach the queue, so
+  // the next leader finds a group, not a single batch. Only the queue FRONT
+  // proceeds to write_mutex_; every other writer parks on batch_cv_ and is
+  // released by the leader that commits its batch. Followers therefore never
+  // touch write_mutex_ at all — without the gate, each committed follower
+  // still had to win one write_mutex_ handoff just to observe done, which
+  // serialized a futex wake per op and erased the win from batching.
+  {
+    MutexLock queue_lock(&batch_mu_);
+    write_queue_.push_back(&self);
+    while (!self.done && write_queue_.front() != &self) {
+      batch_cv_.Wait();
+    }
+    if (self.done) return self.overall;
+  }
+
+  MutexLock lock(&write_mutex_);
+  while (true) {
+    std::vector<PendingWrite*> group;
+    {
+      MutexLock queue_lock(&batch_mu_);
+      // A previous leader may have committed this batch between the park
+      // above and this thread acquiring write_mutex_.
+      if (self.done) return self.overall;
+      size_t group_ops = 0;
+      uint64_t group_bytes = 0;
+      while (!write_queue_.empty()) {
+        PendingWrite* candidate = write_queue_.front();
+        if (!group.empty() &&
+            (group_ops + candidate->batch->size() >
+                 options_.group_commit_max_ops ||
+             group_bytes + candidate->batch->ApproximateBytes() >
+                 options_.group_commit_max_bytes)) {
+          break;
+        }
+        group.push_back(candidate);
+        group_ops += candidate->batch->size();
+        group_bytes += candidate->batch->ApproximateBytes();
+        write_queue_.pop_front();
+      }
+    }
+    // The queue still held this thread's own batch, so group is non-empty.
+    CommitGroupLocked(group);
+    bool self_done = false;
+    {
+      MutexLock queue_lock(&batch_mu_);
+      for (PendingWrite* member : group) member->done = true;
+      self_done = self.done;
+      // Wakes the committed followers (they return) and the new queue
+      // front (it becomes the next leader).
+      batch_cv_.SignalAll();
+    }
+    if (self_done) return self.overall;
+    // The budget cut the drain before reaching this thread's batch (older
+    // batches filled the group): lead another round.
+  }
+}
+
+Status QinDb::WriteUngrouped(WriteBatch& batch) {
+  MutexLock lock(&write_mutex_);
+  batch.statuses_.reserve(batch.ops_.size());
+  for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
+    const WriteOp& op = batch.ops_[oi];
+    Status s;
+    switch (op.kind) {
+      case WriteOpKind::kPut:
+        s = PutLocked(op.key, op.version, op.value, op.dedup);
+        break;
+      case WriteOpKind::kDel:
+        s = DelLocked(op.key, op.version);
+        break;
+      case WriteOpKind::kDropVersion: {
+        Result<uint64_t> flagged = DropVersionLocked(op.version);
+        if (flagged.ok()) batch.dropped_[oi] = *flagged;
+        s = flagged.status();
+        break;
+      }
+    }
+    batch.statuses_.push_back(s);
+    if (!s.ok() && degraded()) {
+      // A write fault tripped degraded mode mid-batch: the remaining ops
+      // fail the same way a sequence of single-op calls would.
+      for (size_t rest = oi + 1; rest < batch.ops_.size(); ++rest) {
+        batch.statuses_.push_back(CheckWritable());
+      }
+      break;
+    }
+  }
+  for (const Status& s : batch.statuses_) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void QinDb::CommitGroupLocked(const std::vector<PendingWrite*>& group) {
+  // A previous group may have tripped degraded mode while this batch
+  // waited; fail every drained batch the way a lone op would fail.
+  if (Status w = CheckWritable(); !w.ok()) {
+    for (PendingWrite* member : group) {
+      member->batch->statuses_.assign(member->batch->ops_.size(), w);
+      member->overall = w;
+    }
+    return;
+  }
+
+  MemIndex* idx = CurrentIndex();
+  const uint32_t segment_before = aof_->active_segment();
+
+  // --- Plan: walk every op of every batch in order, deciding per-op
+  // validity and collecting the records the group will append. Del and
+  // DropVersion must observe the effect of earlier ops in the group whose
+  // records are not yet appended (hence not yet in the index); `overlay`
+  // carries that pending state keyed on (key, version). Planning and apply
+  // run inside one write_mutex_ critical section, so plan-time decisions
+  // are exact, not speculative.
+  enum class Action : uint8_t {
+    kSkip,  // Per-op status already final (invalid op, NotFound, no-op).
+    kPut,   // Insert the record at slot `slot`.
+    kDel,   // Flag (key, version) deleted; tombstone at `slot` if logged.
+    kDrop,  // Flag hits [hit_begin, hit_end); tombstones from `slot` on.
+  };
+  struct PlannedOp {
+    Action action = Action::kSkip;
+    size_t slot = SIZE_MAX;
+    size_t hit_begin = 0;
+    size_t hit_end = 0;
+  };
+  struct OverlayState {
+    bool live = false;
+  };
+
+  std::vector<aof::AofManager::AppendOp> slots;
+  std::vector<Slice> drop_hits;  // Backing: memtable arena or batch ops.
+  std::map<std::pair<std::string_view, uint64_t>, OverlayState> overlay;
+  std::vector<std::vector<PlannedOp>> plans(group.size());
+
+  // The overlay only ever feeds Del/DropVersion decisions. Pure-Put groups
+  // — the hot path — skip its per-op node allocations entirely.
+  size_t total_ops = 0;
+  bool needs_overlay = false;
+  for (const PendingWrite* member : group) {
+    total_ops += member->batch->ops_.size();
+    for (const WriteOp& op : member->batch->ops_) {
+      needs_overlay |= op.kind != WriteOpKind::kPut;
+    }
+  }
+  slots.reserve(total_ops);
+
+  for (size_t b = 0; b < group.size(); ++b) {
+    WriteBatch& batch = *group[b]->batch;
+    batch.statuses_.assign(batch.ops_.size(), Status::OK());
+    batch.dropped_.assign(batch.ops_.size(), 0);
+    plans[b].resize(batch.ops_.size());
+    for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
+      const WriteOp& op = batch.ops_[oi];
+      PlannedOp& plan = plans[b][oi];
+      const std::string_view key_view(op.key);
+      switch (op.kind) {
+        case WriteOpKind::kPut: {
+          if (op.key.empty()) {
+            batch.statuses_[oi] = Status::InvalidArgument("empty key");
+            break;
+          }
+          // Pre-screen with the appender's own limits so one oversized op
+          // fails alone instead of failing the group's vectored append.
+          if (op.key.size() > UINT16_MAX) {
+            batch.statuses_[oi] = Status::InvalidArgument("key too long");
+            break;
+          }
+          if (aof::RecordExtent(op.key.size(), op.value.size()) >
+              options_.aof.segment_bytes) {
+            batch.statuses_[oi] =
+                Status::InvalidArgument("record exceeds segment capacity");
+            break;
+          }
+          plan.action = Action::kPut;
+          plan.slot = slots.size();
+          aof::AofManager::AppendOp slot{
+              Slice(op.key), op.version,
+              op.dedup ? aof::kFlagDedup : aof::kFlagNone, Slice(op.value),
+              Slice()};
+          const auto& span = group[b]->spans[oi];
+          if (span.second != 0) {
+            slot.preencoded =
+                Slice(group[b]->encoded.data() + span.first, span.second);
+          }
+          slots.push_back(slot);
+          if (needs_overlay) overlay[{key_view, op.version}] = OverlayState{true};
+          break;
+        }
+        case WriteOpKind::kDel: {
+          bool exists = false;
+          bool live = false;
+          if (auto it = overlay.find({key_view, op.version});
+              it != overlay.end()) {
+            exists = true;
+            live = it->second.live;
+          } else if (MemEntry* e = idx->FindExact(op.key, op.version);
+                     e != nullptr) {
+            exists = true;
+            live = !e->deleted.load(std::memory_order_acquire);
+          }
+          if (!exists) {
+            batch.statuses_[oi] = Status::NotFound("no such key/version");
+            break;
+          }
+          if (!live) break;  // Already deleted: a successful no-op.
+          plan.action = Action::kDel;
+          if (options_.aof.log_deletes) {
+            plan.slot = slots.size();
+            slots.push_back({Slice(op.key), op.version, aof::kFlagTombstone,
+                             Slice(), Slice()});
+          }
+          overlay[{key_view, op.version}] = OverlayState{false};
+          break;
+        }
+        case WriteOpKind::kDropVersion: {
+          plan.action = Action::kDrop;
+          plan.hit_begin = drop_hits.size();
+          // Index pass: live pairs of this version the group has not
+          // already re-decided (the overlay pass covers those).
+          for (MemIndex::Iterator it = idx->NewIterator(); it.Valid();
+               it.Next()) {
+            MemEntry* entry = it.entry();
+            if (entry->version != op.version || entry->deleted) continue;
+            const Slice entry_key = entry->user_key();
+            if (overlay.count({std::string_view(entry_key.data(),
+                                                entry_key.size()),
+                               op.version}) != 0) {
+              continue;
+            }
+            drop_hits.push_back(entry_key);
+          }
+          for (const auto& [ov_key, state] : overlay) {
+            if (ov_key.second == op.version && state.live) {
+              drop_hits.push_back(Slice(ov_key.first));
+            }
+          }
+          plan.hit_end = drop_hits.size();
+          if (options_.aof.log_deletes) {
+            plan.slot = slots.size();
+            for (size_t h = plan.hit_begin; h < plan.hit_end; ++h) {
+              slots.push_back({drop_hits[h], op.version, aof::kFlagTombstone,
+                               Slice(), Slice()});
+            }
+          }
+          for (size_t h = plan.hit_begin; h < plan.hit_end; ++h) {
+            overlay[{std::string_view(drop_hits[h].data(),
+                                      drop_hits[h].size()),
+                     op.version}] = OverlayState{false};
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Append: every record of the group, one vectored call. One segment
+  // append + one roll check + one occupancy update per run instead of N.
+  std::vector<aof::RecordAddress> addresses;
+  if (!slots.empty()) {
+    Status s = aof_->AppendMany(slots.data(), slots.size(), &addresses);
+    if (!s.ok()) {
+      NoteWriteError(s);
+      // The group commits or fails as one append, like a lone Put whose
+      // AppendRecord failed. Ops already rejected during planning keep
+      // their more specific statuses.
+      for (size_t b = 0; b < group.size(); ++b) {
+        WriteBatch& batch = *group[b]->batch;
+        for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
+          if (plans[b][oi].action != Action::kSkip) batch.statuses_[oi] = s;
+        }
+        group[b]->overall = s;
+      }
+      return;
+    }
+  }
+
+  // --- Apply: memtable mutations strictly in op order, so a concurrent
+  // lock-free reader can observe a prefix of the group but never a key's
+  // version chain with an op applied out of order (a dedup entry always
+  // lands after the base value it tracebacks to). Occupancy updates are
+  // deferred into one MarkDeadMany.
+  uint64_t ingested = 0;
+  bool any_applied_delete = false;
+  std::vector<std::pair<aof::RecordAddress, uint64_t>> dead;
+  const DeadSink sink{nullptr, &dead};
+  for (size_t b = 0; b < group.size(); ++b) {
+    WriteBatch& batch = *group[b]->batch;
+    for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
+      const WriteOp& op = batch.ops_[oi];
+      const PlannedOp& plan = plans[b][oi];
+      switch (plan.action) {
+        case Action::kSkip:
+          break;
+        case Action::kPut: {
+          MemEntry* old = idx->FindExact(op.key, op.version);
+          if (old != nullptr) {
+            // Re-PUT of the same versioned key supersedes the previous
+            // record (possibly one from earlier in this very group).
+            sink.MarkDead(aof::RecordAddress::Unpack(old->address),
+                          EntryExtent(old));
+          }
+          idx->Insert(op.key, op.version, addresses[plan.slot].Pack(),
+                      static_cast<uint32_t>(op.value.size()), op.dedup);
+          ++stats_.puts;
+          if (op.dedup) ++stats_.dedup_puts;
+          ingested += op.key.size() + op.value.size();
+          break;
+        }
+        case Action::kDel: {
+          MemEntry* entry = idx->FindExact(op.key, op.version);
+          if (entry != nullptr &&
+              !entry->deleted.exchange(true, std::memory_order_acq_rel)) {
+            ++stats_.dels;
+            any_applied_delete = true;
+            ApplyDeleteAccounting(*idx, sink, entry);
+          }
+          if (plan.slot != SIZE_MAX) {
+            // Tombstones are dead on arrival for occupancy purposes.
+            sink.MarkDead(addresses[plan.slot],
+                          aof::RecordExtent(op.key.size(), 0));
+          }
+          break;
+        }
+        case Action::kDrop: {
+          uint64_t flagged = 0;
+          for (size_t h = plan.hit_begin; h < plan.hit_end; ++h) {
+            MemEntry* entry = idx->FindExact(drop_hits[h], op.version);
+            if (entry != nullptr &&
+                !entry->deleted.exchange(true, std::memory_order_acq_rel)) {
+              ++stats_.dels;
+              ++flagged;
+              any_applied_delete = true;
+              ApplyDeleteAccounting(*idx, sink, entry);
+            }
+            if (plan.slot != SIZE_MAX) {
+              sink.MarkDead(addresses[plan.slot + (h - plan.hit_begin)],
+                            aof::RecordExtent(drop_hits[h].size(), 0));
+            }
+          }
+          batch.dropped_[oi] = flagged;
+          break;
+        }
+      }
+    }
+  }
+  stats_.user_bytes_ingested += ingested;
+  aof_->MarkDeadMany(dead);
+
+  // Per-batch overall: the first failing per-op status, like the return of
+  // the equivalent single-op call sequence.
+  for (PendingWrite* member : group) {
+    member->overall = Status::OK();
+    for (const Status& s : member->batch->statuses_) {
+      if (!s.ok()) {
+        member->overall = s;
+        break;
+      }
+    }
+  }
+
+  // Maintenance runs once per group, at the same boundaries the single-op
+  // path used: the interval checkpoint on ingested bytes, the lazy GC when
+  // a segment sealed or a delete freed space. A maintenance failure leaves
+  // the group's data committed but surfaces as every batch's overall
+  // status — exactly how a lone Put reports a failed interval checkpoint.
+  Status maintenance;
+  if (options_.checkpoint_interval_bytes > 0 &&
+      stats_.user_bytes_ingested - bytes_at_last_checkpoint_ >=
+          options_.checkpoint_interval_bytes) {
+    maintenance = CheckpointLocked();
+    if (!maintenance.ok()) {
+      NoteWriteError(maintenance);
+    } else {
+      bytes_at_last_checkpoint_ = stats_.user_bytes_ingested;
+    }
+  }
+  if (maintenance.ok() && options_.auto_gc &&
+      (any_applied_delete || aof_->active_segment() != segment_before)) {
+    maintenance = MaybeGcLocked();  // Applies NoteWriteError internally.
+  }
+  if (!maintenance.ok()) {
+    for (PendingWrite* member : group) member->overall = maintenance;
+  }
 }
 
 std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -14,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "memtable/mem_index.h"
+#include "qindb/write_batch.h"
 #include "ssd/env.h"
 
 namespace directload::qindb {
@@ -35,6 +37,17 @@ struct QinDbOptions {
   /// Run the lazy GC opportunistically at write boundaries. Disable to
   /// drive GC manually (benchmarks that isolate GC cost do this).
   bool auto_gc = true;
+
+  /// Group commit. When on, concurrent writers enqueue their batches and
+  /// the first thread into write_mutex_ becomes the leader: it drains the
+  /// queue up to the budgets below and commits the whole group with one
+  /// vectored AOF append. When off, every op takes the legacy
+  /// one-append-per-record path (the A/B knob the benchmarks flip).
+  bool group_commit = true;
+  /// Budget caps for one commit group. The leader always takes at least one
+  /// batch, even an oversized one, so a single huge batch cannot wedge.
+  size_t group_commit_max_ops = 256;
+  uint64_t group_commit_max_bytes = 1ull << 20;
 };
 
 /// Operation counters. All fields are atomics so that reader threads and the
@@ -97,6 +110,17 @@ class QinDb {
   /// record is appended with a NULL value and the `r` flag set.
   Status Put(const Slice& key, uint64_t version, const Slice& value,
              bool dedup = false) EXCLUDES(write_mutex_);
+
+  /// Applies the batch's ops strictly in order, committing them together
+  /// (group commit: one vectored AOF append for the whole group). Fills
+  /// batch.statuses() with one status per op — an invalid op (empty key,
+  /// oversized record, Del of a missing pair) fails alone, exactly as the
+  /// equivalent single-op call would, without affecting its neighbors.
+  /// Returns the first non-OK per-op status (or the batch-wide failure when
+  /// the group's append/checkpoint/GC failed). Concurrent readers may
+  /// observe a prefix of the batch, but never a single key's version chain
+  /// with an op applied out of order.
+  Status Write(WriteBatch& batch) EXCLUDES(write_mutex_);
 
   /// GET(k/t): the value of `key` at exactly `version`, tracing back through
   /// older versions when the pair was deduplicated.
@@ -266,6 +290,42 @@ class QinDb {
   Status CollectVictimsLocked() REQUIRES(write_mutex_);
   Status CheckpointLocked() REQUIRES(write_mutex_);
 
+  // Legacy single-append mutation bodies (group_commit off). Shared by the
+  // public entry points and the ungrouped WriteBatch path.
+  Status PutLocked(const Slice& key, uint64_t version, const Slice& value,
+                   bool dedup) REQUIRES(write_mutex_);
+  Status DelLocked(const Slice& key, uint64_t version)
+      REQUIRES(write_mutex_);
+  Result<uint64_t> DropVersionLocked(uint64_t version)
+      REQUIRES(write_mutex_);
+
+  /// One writer's batch waiting in the group-commit queue. Lives on the
+  /// waiting thread's stack; the leader publishes `overall` and `done`
+  /// under batch_mu_, and the owner cannot return before observing done.
+  struct PendingWrite {
+    explicit PendingWrite(WriteBatch* b) : batch(b) {}
+    WriteBatch* batch;
+    bool done = false;
+    Status overall;
+    /// Record bytes for the batch's valid Put ops, encoded (checksums and
+    /// all) by the OWNING thread before it enqueued — the dominant per-op
+    /// cost runs in parallel across writers instead of on the leader.
+    /// `spans[i]` is (offset, length) into `encoded` for op i; length 0
+    /// means not pre-encoded (non-Put or invalid — the leader decides).
+    std::string encoded;
+    std::vector<std::pair<size_t, size_t>> spans;
+  };
+
+  /// Applies each batch ungrouped: one lock hold, legacy per-record appends
+  /// (the pre-group-commit write path, preserved as the benchmark baseline).
+  Status WriteUngrouped(WriteBatch& batch) EXCLUDES(write_mutex_);
+
+  /// The leader's commit: plans every op in order, appends all records with
+  /// one AofManager::AppendMany, applies the memtable mutations in op order,
+  /// and stamps per-op statuses + per-batch overall results into the group.
+  void CommitGroupLocked(const std::vector<PendingWrite*>& group)
+      REQUIRES(write_mutex_) EXCLUDES(batch_mu_);
+
   ssd::SsdEnv* env_;
   QinDbOptions options_;
 
@@ -273,6 +333,18 @@ class QinDb {
   /// the documented lock order (LockRank::kQinDbWrite): acquired before any
   /// AofManager or env lock.
   Mutex write_mutex_{LockRank::kQinDbWrite, "qindb-write"};
+
+  /// The group-commit pending queue. Writers enqueue under it *before*
+  /// contending on write_mutex_, so batches pile up while a leader commits;
+  /// the queue FRONT is the only thread that ever touches write_mutex_ —
+  /// everyone else parks on batch_cv_ and returns as soon as a leader marks
+  /// its batch done, without a write_mutex_ handoff per follower. Taken
+  /// either standalone (enqueue/park) or under write_mutex_ (drain/publish)
+  /// — never the other way around — and nothing is acquired while holding
+  /// it.
+  Mutex batch_mu_{LockRank::kQinDbBatchQueue, "qindb-batch-queue"};
+  CondVar batch_cv_{&batch_mu_};
+  std::deque<PendingWrite*> write_queue_ GUARDED_BY(batch_mu_);
 
   /// Guards the mem_ pointer itself (not the index contents). Readers take
   /// it briefly to copy the shared_ptr; GC takes it to swap in a rebuild.

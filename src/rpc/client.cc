@@ -24,38 +24,6 @@ bool Reconnectable(const Status& s) {
 
 }  // namespace
 
-Status StatusFromWire(StatusCode code, std::string_view message) {
-  switch (code) {
-    case StatusCode::kOk:
-      return Status::OK();
-    case StatusCode::kNotFound:
-      return Status::NotFound(message);
-    case StatusCode::kCorruption:
-      return Status::Corruption(message);
-    case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(message);
-    case StatusCode::kIOError:
-      return Status::IOError(message);
-    case StatusCode::kNoSpace:
-      return Status::NoSpace(message);
-    case StatusCode::kBusy:
-      return Status::Busy(message);
-    case StatusCode::kUnavailable:
-      return Status::Unavailable(message);
-    case StatusCode::kTimedOut:
-      return Status::TimedOut(message);
-    case StatusCode::kAborted:
-      return Status::Aborted(message);
-    case StatusCode::kDeduplicated:
-      return Status::Deduplicated(message);
-    case StatusCode::kInternal:
-      return Status::Internal(message);
-    case StatusCode::kProtocol:
-      return Status::Protocol(message);
-  }
-  return Status::Protocol("unknown wire status code");
-}
-
 RpcClient::RpcClient(std::string host, uint16_t port, Options options)
     : host_(std::move(host)),
       port_(port),
@@ -246,6 +214,35 @@ Status RpcClient::Del(const Slice& key, uint64_t version) {
   Result<Frame> response = Call(std::move(request));
   if (!response.ok()) return response.status();
   return StatusFromWire(response->status, response->value);
+}
+
+Status RpcClient::WriteBatch(const std::vector<BatchOp>& ops,
+                             std::vector<Status>* statuses) {
+  if (statuses != nullptr) statuses->clear();
+  if (ops.empty()) return Status::OK();
+  Frame request;
+  request.op = Opcode::kWriteBatch;
+  EncodeBatchOps(ops, &request.value);
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  std::vector<Status> decoded;
+  Status parse = DecodeBatchStatuses(response->value, &decoded);
+  if (!parse.ok()) {
+    // The server rejected the frame before executing any op (for example a
+    // malformed batch payload): the value field carries the error message,
+    // not per-op statuses.
+    if (response->status == StatusCode::kOk) return parse;
+    return StatusFromWire(response->status, response->value);
+  }
+  if (decoded.size() != ops.size()) {
+    return Status::Protocol("batch response op count mismatch");
+  }
+  Status overall;
+  for (const Status& s : decoded) {
+    if (overall.ok() && !s.ok()) overall = s;
+  }
+  if (statuses != nullptr) *statuses = std::move(decoded);
+  return overall;
 }
 
 Result<std::string> RpcClient::Stats() {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -69,6 +70,16 @@ class RpcClient {
   Status Put(const Slice& key, uint64_t version, const Slice& value,
              bool dedup = false) EXCLUDES(mu_);
   Status Del(const Slice& key, uint64_t version) EXCLUDES(mu_);
+
+  /// Ships `ops` as one kWriteBatch frame — the whole batch costs a single
+  /// round trip and the server commits it through the engines' group-commit
+  /// path. `statuses` (optional) receives one status per op, in op order.
+  /// Returns the first non-OK per-op status; transport-level failures come
+  /// back as the usual connection statuses with `statuses` left empty
+  /// (nothing is known about individual ops).
+  Status WriteBatch(const std::vector<BatchOp>& ops,
+                    std::vector<Status>* statuses = nullptr) EXCLUDES(mu_);
+
   Result<std::string> Stats() EXCLUDES(mu_);
   Status Ping() EXCLUDES(mu_);
 
@@ -107,10 +118,6 @@ class RpcClient {
   FrameDecoder decoder_ GUARDED_BY(mu_);
   Random backoff_rng_ GUARDED_BY(mu_);
 };
-
-/// Rebuilds a Status from a wire status code plus the response's message
-/// payload. Unknown codes (a newer peer) map to kProtocol.
-Status StatusFromWire(StatusCode code, std::string_view message);
 
 }  // namespace directload::rpc
 

@@ -9,7 +9,7 @@ namespace {
 
 bool ValidOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kGet) &&
-         op <= static_cast<uint8_t>(Opcode::kPing);
+         op <= static_cast<uint8_t>(Opcode::kWriteBatch);
 }
 
 bool ValidStatusCode(uint8_t code) {
@@ -17,6 +17,125 @@ bool ValidStatusCode(uint8_t code) {
 }
 
 }  // namespace
+
+Status StatusFromWire(StatusCode code, std::string_view message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kNoSpace:
+      return Status::NoSpace(message);
+    case StatusCode::kBusy:
+      return Status::Busy(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(message);
+    case StatusCode::kAborted:
+      return Status::Aborted(message);
+    case StatusCode::kDeduplicated:
+      return Status::Deduplicated(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kProtocol:
+      return Status::Protocol(message);
+  }
+  return Status::Protocol("unknown wire status code");
+}
+
+void EncodeBatchOps(const std::vector<BatchOp>& ops, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(ops.size()));
+  for (const BatchOp& op : ops) {
+    out->push_back(op.is_del ? '\1' : '\0');
+    out->push_back(static_cast<char>(op.dedup ? kFlagDedup : 0));
+    PutFixed64(out, op.version);
+    PutLengthPrefixedSlice(out, op.key);
+    PutLengthPrefixedSlice(out, op.is_del ? Slice() : Slice(op.value));
+  }
+}
+
+Status DecodeBatchOps(const Slice& payload, std::vector<BatchOp>* ops) {
+  ops->clear();
+  Slice rest = payload;
+  uint32_t count = 0;
+  if (!GetVarint32(&rest, &count)) {
+    return Status::Protocol("truncated batch op count");
+  }
+  ops->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (rest.size() < 10) return Status::Protocol("truncated batch op");
+    const uint8_t kind = static_cast<uint8_t>(rest[0]);
+    const uint8_t flags = static_cast<uint8_t>(rest[1]);
+    if (kind > 1) return Status::Protocol("unknown batch op kind");
+    if ((flags & ~kFlagDedup) != 0) {
+      return Status::Protocol("unknown batch op flag bits");
+    }
+    const uint64_t version = DecodeFixed64(rest.data() + 2);
+    rest.remove_prefix(10);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&rest, &key) ||
+        !GetLengthPrefixedSlice(&rest, &value)) {
+      return Status::Protocol("truncated batch op key/value");
+    }
+    BatchOp op;
+    op.is_del = kind == 1;
+    op.dedup = (flags & kFlagDedup) != 0;
+    op.version = version;
+    op.key.assign(key.data(), key.size());
+    op.value.assign(value.data(), value.size());
+    ops->push_back(std::move(op));
+  }
+  if (!rest.empty()) {
+    return Status::Protocol("trailing bytes in batch payload");
+  }
+  return Status::OK();
+}
+
+void EncodeBatchStatuses(const std::vector<Status>& statuses,
+                         std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(statuses.size()));
+  for (const Status& s : statuses) {
+    out->push_back(static_cast<char>(s.code()));
+    PutLengthPrefixedSlice(out, s.ok() ? Slice() : Slice(s.message()));
+  }
+}
+
+Status DecodeBatchStatuses(const Slice& payload,
+                           std::vector<Status>* statuses) {
+  statuses->clear();
+  Slice rest = payload;
+  uint32_t count = 0;
+  if (!GetVarint32(&rest, &count)) {
+    return Status::Protocol("truncated batch status count");
+  }
+  statuses->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (rest.empty()) return Status::Protocol("truncated batch status");
+    const uint8_t code = static_cast<uint8_t>(rest[0]);
+    if (!ValidStatusCode(code)) {
+      return Status::Protocol("unknown batch status code");
+    }
+    rest.remove_prefix(1);
+    Slice message;
+    if (!GetLengthPrefixedSlice(&rest, &message)) {
+      return Status::Protocol("truncated batch status message");
+    }
+    statuses->push_back(
+        StatusFromWire(static_cast<StatusCode>(code),
+                       std::string_view(message.data(), message.size())));
+  }
+  if (!rest.empty()) {
+    return Status::Protocol("trailing bytes in batch status payload");
+  }
+  return Status::OK();
+}
 
 void EncodeFrame(const Frame& frame, std::string* out) {
   std::string body;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/slice.h"
@@ -48,6 +50,12 @@ enum class Opcode : uint8_t {
   kDel = 3,    // key + version.
   kStats = 4,  // server + cluster counters as text.
   kPing = 5,   // liveness probe; echoes the value payload.
+  /// Multiple write ops (PUT/DEL) in one round trip. The frame's value
+  /// field carries the ops (EncodeBatchOps); key/version are unused. The
+  /// response's value field carries one status per op, in op order
+  /// (EncodeBatchStatuses), and the frame-level status is the first
+  /// non-OK per-op status (kOk when every op succeeded).
+  kWriteBatch = 6,
 };
 
 inline constexpr uint32_t kFrameMagic = 0x31504C44u;  // "DLP1" on the wire.
@@ -81,6 +89,53 @@ struct Frame {
 /// Appends the encoded frame to `*out` (which may already hold bytes — the
 /// writer batches pipelined frames into one buffer).
 void EncodeFrame(const Frame& frame, std::string* out);
+
+// -- kWriteBatch payloads ---------------------------------------------------
+//
+// A batch frame packs its ops into the frame's value field:
+//
+//   varint32 op count, then per op:
+//     1 byte   kind (0 = put, 1 = del)
+//     1 byte   flags (kFlagDedup only; must otherwise be 0)
+//     8 bytes  version (fixed64)
+//     varint32 key length, key bytes
+//     varint32 value length, value bytes (empty for del)
+//
+// The response's value field answers with per-op statuses:
+//
+//   varint32 status count, then per status:
+//     1 byte   status code (StatusCode)
+//     varint32 message length, message bytes (empty on success)
+//
+// Both decoders demand the payload parse to exactly its declared length and
+// return kProtocol otherwise, mirroring the frame decoder's strictness.
+
+/// One op of a kWriteBatch frame.
+struct BatchOp {
+  bool is_del = false;
+  bool dedup = false;  // Put only.
+  uint64_t version = 0;
+  std::string key;
+  std::string value;  // Put only.
+};
+
+/// Serializes `ops` into a kWriteBatch payload, appended to `*out`.
+void EncodeBatchOps(const std::vector<BatchOp>& ops, std::string* out);
+
+/// Parses a kWriteBatch payload. kProtocol on malformed input.
+Status DecodeBatchOps(const Slice& payload, std::vector<BatchOp>* ops);
+
+/// Serializes per-op statuses into a kWriteBatch response payload.
+void EncodeBatchStatuses(const std::vector<Status>& statuses,
+                         std::string* out);
+
+/// Parses a kWriteBatch response payload into per-op statuses.
+Status DecodeBatchStatuses(const Slice& payload,
+                           std::vector<Status>* statuses);
+
+/// Rebuilds a Status from a wire status code plus the response's message
+/// payload. Unknown codes (a newer peer) map to kProtocol.
+Status StatusFromWire(StatusCode code, std::string_view message);
 
 /// Builds the conventional response to `request`: same opcode and request
 /// id, kFlagResponse set, `status` recorded, and `value` as the payload

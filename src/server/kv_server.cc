@@ -249,29 +249,78 @@ bool KvServer::Enqueue(Request request) {
   return true;
 }
 
+namespace {
+
+/// A single-op write request a worker may fold into a batched run.
+bool IsWriteOp(const rpc::Frame& frame) {
+  return frame.op == rpc::Opcode::kPut || frame.op == rpc::Opcode::kDel;
+}
+
+}  // namespace
+
 void KvServer::WorkerLoop() {
+  const size_t max_batch = std::max<size_t>(1, options_.max_write_batch);
+  std::vector<Request> run;
   while (true) {
-    Request request;
+    run.clear();
     {
       MutexLock lock(&queue_mu_);
       while (queue_.empty() && !stopping_) {
         queue_cv_.WaitFor(std::chrono::milliseconds(kPollSliceMs));
       }
       if (queue_.empty()) return;  // stopping_ && drained.
-      request = std::move(queue_.front());
+      run.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      ++executing_;
+      // Opportunistic group commit: when the head of the queue continues a
+      // run of single-op writes, drain them in the same pass and execute
+      // the run as one cluster batch. Only the contiguous front is taken,
+      // so requests are still served strictly in arrival order.
+      if (max_batch > 1 && IsWriteOp(run.front().frame)) {
+        while (run.size() < max_batch && !queue_.empty() &&
+               IsWriteOp(queue_.front().frame)) {
+          run.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      executing_ += static_cast<int>(run.size());
     }
-    rpc::Frame response = Execute(request.frame);
-    request.conn->Write(response);
-    counters_.requests_served.fetch_add(1);
+    if (run.size() == 1) {
+      rpc::Frame response = Execute(run.front().frame);
+      run.front().conn->Write(response);
+      counters_.requests_served.fetch_add(1);
+    } else {
+      ExecuteWriteRun(run);
+    }
     {
       MutexLock lock(&queue_mu_);
-      --executing_;
+      executing_ -= static_cast<int>(run.size());
       if (queue_.empty() && executing_ == 0) drain_cv_.SignalAll();
     }
-    request.conn.reset();
+    run.clear();  // Drops the connection references.
   }
+}
+
+void KvServer::ExecuteWriteRun(std::vector<Request>& run) {
+  std::vector<mint::MintCluster::BatchOp> ops;
+  ops.reserve(run.size());
+  for (Request& request : run) {
+    rpc::Frame& frame = request.frame;
+    mint::MintCluster::BatchOp op;
+    op.is_del = frame.op == rpc::Opcode::kDel;
+    op.version = frame.version;
+    op.dedup = frame.dedup;
+    // MakeResponse only reads the scalar fields, so the payload can move.
+    op.key = std::move(frame.key);
+    op.value = std::move(frame.value);
+    ops.push_back(std::move(op));
+  }
+  std::vector<Status> statuses;
+  (void)cluster_->WriteMany(ops, &statuses);
+  for (size_t i = 0; i < run.size(); ++i) {
+    run[i].conn->Write(rpc::MakeResponse(run[i].frame, statuses[i]));
+  }
+  counters_.requests_served.fetch_add(run.size());
+  counters_.writes_batched.fetch_add(run.size());
 }
 
 rpc::Frame KvServer::Execute(const rpc::Frame& request) {
@@ -295,6 +344,33 @@ rpc::Frame KvServer::Execute(const rpc::Frame& request) {
       return rpc::MakeResponse(request, Status::OK(), StatsText());
     case rpc::Opcode::kPing:
       return rpc::MakeResponse(request, Status::OK(), request.value);
+    case rpc::Opcode::kWriteBatch: {
+      std::vector<rpc::BatchOp> wire_ops;
+      Status decoded = rpc::DecodeBatchOps(request.value, &wire_ops);
+      if (!decoded.ok()) return rpc::MakeResponse(request, decoded);
+      std::vector<mint::MintCluster::BatchOp> ops;
+      ops.reserve(wire_ops.size());
+      for (rpc::BatchOp& op : wire_ops) {
+        mint::MintCluster::BatchOp out;
+        out.is_del = op.is_del;
+        out.version = op.version;
+        out.dedup = op.dedup;
+        out.key = std::move(op.key);
+        out.value = std::move(op.value);
+        ops.push_back(std::move(out));
+      }
+      std::vector<Status> statuses;
+      Status overall = cluster_->WriteMany(ops, &statuses);
+      // The response value always carries the per-op statuses; the frame
+      // status summarizes them (first non-OK), so a client that only looks
+      // at the frame level still sees the batch outcome.
+      std::string payload;
+      rpc::EncodeBatchStatuses(statuses, &payload);
+      rpc::Frame response =
+          rpc::MakeResponse(request, Status::OK(), std::move(payload));
+      response.status = overall.code();
+      return response;
+    }
   }
   return rpc::MakeResponse(request, Status::Protocol("unknown opcode"));
 }
@@ -304,12 +380,13 @@ std::string KvServer::StatsText() {
   std::string out;
   std::snprintf(line, sizeof(line),
                 "server: accepted=%llu idle_closed=%llu served=%llu "
-                "busy_rejected=%llu stream_errors=%llu\n",
+                "busy_rejected=%llu stream_errors=%llu writes_batched=%llu\n",
                 (unsigned long long)counters_.connections_accepted.load(),
                 (unsigned long long)counters_.connections_idle_closed.load(),
                 (unsigned long long)counters_.requests_served.load(),
                 (unsigned long long)counters_.requests_rejected_busy.load(),
-                (unsigned long long)counters_.stream_errors.load());
+                (unsigned long long)counters_.stream_errors.load(),
+                (unsigned long long)counters_.writes_batched.load());
   out += line;
   std::snprintf(line, sizeof(line),
                 "cluster: nodes=%d user_bytes=%llu disk_bytes=%llu\n",

@@ -33,6 +33,12 @@ struct KvServerOptions {
   /// unboundedly — the client sees back-pressure, the server keeps a
   /// bounded memory footprint.
   size_t max_queued_requests = 1024;
+  /// Workers opportunistically drain up to this many consecutive single-op
+  /// write requests (PUT/DEL) from the queue front and execute them as one
+  /// cluster write batch — the serving-layer half of group commit: one
+  /// engine Write per involved node instead of one per request, each
+  /// request still answered individually. <= 1 disables the drain.
+  size_t max_write_batch = 32;
   /// Connections with no complete request for this long are closed.
   int idle_timeout_ms = 60'000;
   size_t max_frame_bytes = rpc::kMaxBodyBytes;
@@ -93,6 +99,8 @@ class KvServer {
     std::atomic<uint64_t> connections_idle_closed{0};
     std::atomic<uint64_t> requests_served{0};
     std::atomic<uint64_t> requests_rejected_busy{0};
+    /// Single-op write requests that rode a multi-request batched run.
+    std::atomic<uint64_t> writes_batched{0};
     /// Connections torn down for kProtocol / kCorruption streams.
     std::atomic<uint64_t> stream_errors{0};
   };
@@ -111,6 +119,11 @@ class KvServer {
 
   /// Executes one request against the cluster and returns its response.
   rpc::Frame Execute(const rpc::Frame& request);
+
+  /// Executes a drained run of single-op write requests as one cluster
+  /// write batch and answers each request with its own status.
+  void ExecuteWriteRun(std::vector<Request>& run);
+
   std::string StatsText();
 
   /// False when the queue is full (caller answers kBusy).

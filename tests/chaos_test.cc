@@ -45,6 +45,7 @@
 #include "common/sim_clock.h"
 #include "mint/cluster.h"
 #include "qindb/qindb.h"
+#include "qindb/write_batch.h"
 #include "rpc/client.h"
 #include "server/kv_server.h"
 #include "ssd/env.h"
@@ -184,6 +185,149 @@ TEST(ChaosCrashPoints, RecoversFromEverySealAndGcFailpoint) {
   ASSERT_GE(points.size(), 7u) << "seal/GC failpoints went missing";
   for (const std::string& point : points) {
     RunCrashPoint(point);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suite 1b: group-commit crash points — a fault lands mid-batch.
+// ---------------------------------------------------------------------------
+
+/// Commits multi-op WriteBatches into an armed append-path failpoint, then
+/// hard-crashes and verifies the group-commit durability contract:
+///  - batches checkpointed before the fault keep every op, byte-exact;
+///  - batches acked after the checkpoint sit in the volatile AOF tail, so
+///    each may lose a SUFFIX of its ops on crash — but survivors must form
+///    a clean prefix in op order (a gap would mean AppendMany reordered or
+///    tore the group);
+///  - the batch whose Write failed follows the point's semantics: an
+///    aof_append fault fires before anything is written, so the batch
+///    vanishes entirely; an aof_roll_segment fault can strand an appended
+///    prefix, which is held to the same prefix rule.
+void RunBatchCrashPoint(const std::string& point) {
+  SCOPED_TRACE("batch crash point: " + point);
+  Registry& reg = Registry::Instance();
+  reg.DeactivateAll();
+  reg.ResetCountersForTesting();
+
+  SimClock clock;
+  auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
+                       ssd::LatencyModel(), &clock);
+  qindb::QinDbOptions options;
+  options.aof.segment_bytes = 4 << 10;  // Tiny segments: batches span rolls.
+  options.auto_gc = false;
+  auto opened = qindb::QinDb::Open(env.get(), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<qindb::QinDb> db = std::move(opened).value();
+
+  constexpr int kOpsPerBatch = 6;
+  auto batch_key = [](int b, int j) {
+    return "gb" + std::to_string(b) + ":o" + std::to_string(j);
+  };
+  auto commit_batch = [&](int b) {
+    qindb::WriteBatch batch;
+    for (int j = 0; j < kOpsPerBatch; ++j) {
+      const std::string key = batch_key(b, j);
+      batch.Put(key, 1, ValueFor(key));
+    }
+    return db->Write(batch);
+  };
+
+  // Phase 1: the durable model — batches committed, then checkpointed.
+  int next_batch = 0;
+  for (; next_batch < 6; ++next_batch) {
+    ASSERT_TRUE(commit_batch(next_batch).ok());
+  }
+  const int checkpointed_batches = next_batch;
+  ASSERT_TRUE(db->Checkpoint().ok()) << "while preparing " << point;
+
+  // Phase 2: arm the point and keep committing until a batch fails.
+  failpoint::FailPoint* fp = reg.Find(point);
+  ASSERT_NE(fp, nullptr);
+  ASSERT_TRUE(reg.Activate(point, "1*return(io)").ok());
+  int failed_batch = -1;
+  std::vector<int> acked_tail;  // Acked post-checkpoint: volatile AOF tail.
+  for (int i = 0; i < 64 && failed_batch < 0; ++i, ++next_batch) {
+    if (commit_batch(next_batch).ok()) {
+      acked_tail.push_back(next_batch);
+    } else {
+      failed_batch = next_batch;
+    }
+  }
+  ASSERT_GE(failed_batch, 0) << "the drive never reached " << point;
+  EXPECT_GT(fp->hits(), 0u);
+  EXPECT_TRUE(db->degraded()) << "an append-path IO fault must degrade";
+  reg.DeactivateAll();
+
+  // Hard crash: leak the engine, drop every open writer's volatile tail.
+  (void)db.release();
+  ssd::SsdEnv* raw_env = env.get();
+  raw_env->SimulateCrashForTesting();
+
+  auto reopened = qindb::QinDb::Open(raw_env, options);
+  ASSERT_TRUE(reopened.ok())
+      << "recovery failed after batch fault at " << point << ": "
+      << reopened.status().ToString();
+  std::unique_ptr<qindb::QinDb> recovered = std::move(reopened).value();
+  EXPECT_FALSE(recovered->degraded());
+
+  for (int b = 0; b < checkpointed_batches; ++b) {
+    for (int j = 0; j < kOpsPerBatch; ++j) {
+      const std::string key = batch_key(b, j);
+      Result<std::string> got = recovered->Get(key, 1);
+      ASSERT_TRUE(got.ok()) << key << " lost after batch fault at " << point
+                            << ": " << got.status().ToString();
+      EXPECT_EQ(*got, ValueFor(key)) << key << " torn at " << point;
+    }
+  }
+
+  // Survivors of a post-checkpoint batch must be a gap-free prefix.
+  auto check_prefix = [&](int b) {
+    bool missing = false;
+    for (int j = 0; j < kOpsPerBatch; ++j) {
+      const std::string key = batch_key(b, j);
+      Result<std::string> got = recovered->Get(key, 1);
+      if (got.ok()) {
+        EXPECT_FALSE(missing)
+            << "batch " << b << " has a gap before op " << j << " at " << point;
+        EXPECT_EQ(*got, ValueFor(key)) << key << " torn at " << point;
+      } else {
+        EXPECT_TRUE(got.status().IsNotFound())
+            << key << ": " << got.status().ToString();
+        missing = true;
+      }
+    }
+  };
+  for (int b : acked_tail) check_prefix(b);
+  if (point == "aof_append") {
+    // The point fires before the group's first record: nothing may survive.
+    for (int j = 0; j < kOpsPerBatch; ++j) {
+      EXPECT_TRUE(
+          recovered->Get(batch_key(failed_batch, j), 1).status().IsNotFound())
+          << "op " << j << " of the failed batch survived " << point;
+    }
+  } else {
+    check_prefix(failed_batch);
+  }
+
+  Result<qindb::QinDb::ScrubReport> scrub = recovered->Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub->clean())
+      << "scrub after batch fault at " << point << ": damaged="
+      << scrub->damaged_entries
+      << " unresolvable=" << scrub->unresolvable_dedups;
+  qindb::WriteBatch post;
+  post.Put("post-recovery", 1, "alive");
+  post.Put("post-recovery", 2, "still alive");
+  EXPECT_TRUE(recovered->Write(post).ok());
+}
+
+TEST(ChaosCrashPoints, GroupCommitSurvivesAppendAndRollFaults) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "build with -DDIRECTLOAD_FAILPOINTS=ON";
+  }
+  for (const char* point : {"aof_append", "aof_roll_segment"}) {
+    RunBatchCrashPoint(point);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

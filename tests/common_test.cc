@@ -210,6 +210,22 @@ TEST(Crc32cTest, ExtendEqualsWhole) {
   EXPECT_EQ(whole, part);
 }
 
+TEST(Crc32cTest, DispatchedMatchesPortableAtEveryLengthAndOffset) {
+  // The dispatched Extend may run the SSE4.2 instruction; the portable
+  // slicing-by-8 path must compute the identical function across lengths
+  // (tail handling) and alignments (head handling).
+  Random rnd(77);
+  const std::string data = rnd.NextString(256);
+  for (size_t off = 0; off < 9; ++off) {
+    for (size_t len = 0; off + len <= 128; ++len) {
+      ASSERT_EQ(crc32c::Extend(0x1234u, data.data() + off, len),
+                crc32c::ExtendPortableForTesting(0x1234u, data.data() + off,
+                                                 len))
+          << "off=" << off << " len=" << len;
+    }
+  }
+}
+
 TEST(Crc32cTest, MaskRoundTrip) {
   const uint32_t crc = crc32c::Value("abc", 3);
   EXPECT_NE(crc, crc32c::Mask(crc));

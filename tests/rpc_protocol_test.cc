@@ -322,5 +322,109 @@ TEST(RpcProtocolTest, GarbageAfterValidFrameErrorsOnTheGarbage) {
   EXPECT_TRUE(got.status().IsProtocol());
 }
 
+// ---------------------------------------------------------------------------
+// kWriteBatch payload codecs.
+// ---------------------------------------------------------------------------
+
+std::vector<BatchOp> SampleBatchOps() {
+  std::vector<BatchOp> ops(3);
+  ops[0].version = 7;
+  ops[0].key = "url:a";
+  ops[0].value = std::string(300, 'v');  // Length needs a 2-byte varint.
+  ops[1].is_del = true;
+  ops[1].version = 7;
+  ops[1].key = "url:b";
+  ops[2].dedup = true;
+  ops[2].version = 8;
+  ops[2].key = "url:a";
+  return ops;
+}
+
+TEST(RpcProtocolTest, BatchOpsRoundTrip) {
+  const std::vector<BatchOp> in = SampleBatchOps();
+  std::string wire;
+  EncodeBatchOps(in, &wire);
+  std::vector<BatchOp> out;
+  ASSERT_TRUE(DecodeBatchOps(Slice(wire), &out).ok());
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].is_del, in[i].is_del) << i;
+    EXPECT_EQ(out[i].dedup, in[i].dedup) << i;
+    EXPECT_EQ(out[i].version, in[i].version) << i;
+    EXPECT_EQ(out[i].key, in[i].key) << i;
+    EXPECT_EQ(out[i].value, in[i].value) << i;
+  }
+}
+
+TEST(RpcProtocolTest, BatchOpsTruncationAtEveryBoundaryIsProtocolError) {
+  std::string wire;
+  EncodeBatchOps(SampleBatchOps(), &wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<BatchOp> out;
+    Status s = DecodeBatchOps(Slice(wire.data(), cut), &out);
+    EXPECT_TRUE(s.IsProtocol()) << "cut at " << cut << ": " << s.ToString();
+  }
+}
+
+TEST(RpcProtocolTest, BatchOpsRejectUnknownKindFlagAndTrailingBytes) {
+  std::vector<BatchOp> one(1);
+  one[0].version = 1;
+  one[0].key = "k";
+  one[0].value = "v";
+  std::string wire;
+  EncodeBatchOps(one, &wire);
+  std::vector<BatchOp> out;
+
+  std::string bad_kind = wire;
+  bad_kind[1] = 2;  // Byte 0 is the varint count; byte 1 the first op's kind.
+  EXPECT_TRUE(DecodeBatchOps(Slice(bad_kind), &out).IsProtocol());
+
+  std::string bad_flags = wire;
+  bad_flags[2] = static_cast<char>(0x80);  // Undefined flag bit.
+  EXPECT_TRUE(DecodeBatchOps(Slice(bad_flags), &out).IsProtocol());
+
+  std::string trailing = wire + "x";
+  EXPECT_TRUE(DecodeBatchOps(Slice(trailing), &out).IsProtocol());
+}
+
+TEST(RpcProtocolTest, BatchStatusesRoundTripIncludingMessages) {
+  std::vector<Status> in;
+  in.push_back(Status::OK());
+  in.push_back(Status::NotFound("no pair (k, 7)"));
+  in.push_back(Status::InvalidArgument("empty key"));
+  std::string wire;
+  EncodeBatchStatuses(in, &wire);
+  std::vector<Status> out;
+  ASSERT_TRUE(DecodeBatchStatuses(Slice(wire), &out).ok());
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_TRUE(out[1].IsNotFound());
+  EXPECT_EQ(out[1].message(), "no pair (k, 7)");
+  EXPECT_TRUE(out[2].IsInvalidArgument());
+  EXPECT_EQ(out[2].message(), "empty key");
+
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<Status> partial;
+    EXPECT_TRUE(DecodeBatchStatuses(Slice(wire.data(), cut), &partial)
+                    .IsProtocol())
+        << "cut at " << cut;
+  }
+}
+
+TEST(RpcProtocolTest, WriteBatchOpcodeRoundTripsAsAFrame) {
+  Frame in;
+  in.op = Opcode::kWriteBatch;
+  in.request_id = 99;
+  EncodeBatchOps(SampleBatchOps(), &in.value);
+  FrameDecoder decoder;
+  const std::string wire = Encode(in);
+  decoder.Append(wire.data(), wire.size());
+  Frame out;
+  Result<bool> got = decoder.Next(&out);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  ExpectSameFrame(in, out);
+}
+
 }  // namespace
 }  // namespace directload::rpc
