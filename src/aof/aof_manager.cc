@@ -151,6 +151,19 @@ Status AofManager::AppendManyLocked(const AppendOp* ops, size_t n,
     }
   }
 
+  // On a mid-batch failure, completed runs are durable on device but the
+  // caller indexes nothing from a failed call: un-count their live bytes so
+  // occupancy reflects only records the engine actually applied (otherwise
+  // those extents stay "live" forever and skew occupancy/GC). `completed`
+  // is how many leading addresses belong to fully accounted runs.
+  auto roll_back_completed = [&](size_t completed) {
+    for (size_t j = 0; j < completed; ++j) {
+      MarkDeadLocked((*addresses)[j],
+                     RecordExtent(ops[j].key.size(), ops[j].value.size()));
+    }
+    addresses->clear();
+  };
+
   std::string& buf = append_buf_;
   size_t i = 0;
   while (i < n) {
@@ -160,14 +173,14 @@ Status AofManager::AppendManyLocked(const AppendOp* ops, size_t n,
         active_writer_->Size() + next_extent > options_.segment_bytes) {
       Status s = SealActiveLocked();
       if (!s.ok()) {
-        addresses->clear();
+        roll_back_completed(addresses->size());
         return s;
       }
     }
     if (active_writer_ == nullptr) {
       Status s = OpenNewSegmentLocked();
       if (!s.ok()) {
-        addresses->clear();
+        roll_back_completed(addresses->size());
         return s;
       }
     }
@@ -176,6 +189,7 @@ Status AofManager::AppendManyLocked(const AppendOp* ops, size_t n,
     // contiguous buffer. Each record keeps its own header and checksum, so
     // the segment bytes are indistinguishable from per-record appends.
     buf.clear();
+    const size_t run_first = addresses->size();
     const uint64_t run_start = active_writer_->Size();
     uint64_t off = run_start;
     while (i < n) {
@@ -198,7 +212,9 @@ Status AofManager::AppendManyLocked(const AppendOp* ops, size_t n,
     if (!s.ok()) {
       // Earlier runs (and an undetectable prefix of this one) may be
       // durable; the addresses are meaningless to the caller on failure.
-      addresses->clear();
+      // This run's records never reached the occupancy counters, so only
+      // the completed runs before it are rolled back.
+      roll_back_completed(run_first);
       return s;
     }
 

@@ -106,14 +106,18 @@ ExtendFn ResolveExtend() {
   return &ExtendSoftware;
 }
 
-// Resolved once at startup; both implementations are pure functions of the
-// inputs, so the relaxed one-time initialization is race-free.
-const ExtendFn kExtend = ResolveExtend();
+// Resolved lazily behind a magic static so callers running from other
+// translation units' static initializers (before this file's dynamic
+// initializers would have run) never observe an unresolved pointer.
+ExtendFn GetExtend() {
+  static const ExtendFn fn = ResolveExtend();
+  return fn;
+}
 
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
-  return kExtend(init_crc ^ 0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
+  return GetExtend()(init_crc ^ 0xFFFFFFFFu, data, n) ^ 0xFFFFFFFFu;
 }
 
 uint32_t ExtendPortableForTesting(uint32_t init_crc, const char* data,
@@ -123,7 +127,7 @@ uint32_t ExtendPortableForTesting(uint32_t init_crc, const char* data,
 
 bool IsHardwareAccelerated() {
 #if defined(DIRECTLOAD_CRC32C_HW)
-  return kExtend == &ExtendHardware;
+  return GetExtend() == &ExtendHardware;
 #else
   return false;
 #endif

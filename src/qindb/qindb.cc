@@ -529,7 +529,10 @@ Status QinDb::Write(WriteBatch& batch) {
   {
     MutexLock queue_lock(&batch_mu_);
     write_queue_.push_back(&self);
-    while (!self.done && write_queue_.front() != &self) {
+    // An empty queue while !done means a looping leader drained this batch
+    // into its in-flight group; done is forthcoming, so keep waiting.
+    while (!self.done &&
+           (write_queue_.empty() || write_queue_.front() != &self)) {
       batch_cv_.Wait();
     }
     if (self.done) return self.overall;

@@ -68,6 +68,12 @@ Status DecodeBatchOps(const Slice& payload, std::vector<BatchOp>* ops) {
   if (!GetVarint32(&rest, &count)) {
     return Status::Protocol("truncated batch op count");
   }
+  // Each op occupies >= 12 payload bytes (kind + flags + version + two
+  // length prefixes), so a larger count cannot be satisfied; reject it
+  // before reserve() turns an attacker-chosen count into a huge allocation.
+  if (count > rest.size() / 12) {
+    return Status::Protocol("batch op count exceeds payload");
+  }
   ops->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     if (rest.size() < 10) return Status::Protocol("truncated batch op");
@@ -114,6 +120,11 @@ Status DecodeBatchStatuses(const Slice& payload,
   uint32_t count = 0;
   if (!GetVarint32(&rest, &count)) {
     return Status::Protocol("truncated batch status count");
+  }
+  // Each status occupies >= 2 payload bytes (code + message length prefix);
+  // bound the count before reserving (see DecodeBatchOps).
+  if (count > rest.size() / 2) {
+    return Status::Protocol("batch status count exceeds payload");
   }
   statuses->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

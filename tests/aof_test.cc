@@ -7,6 +7,7 @@
 
 #include "aof/aof_manager.h"
 #include "aof/record.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "common/sim_clock.h"
 #include "ssd/env.h"
@@ -167,6 +168,48 @@ TEST_F(AofTest, OccupancyTracksDeadBytes) {
   mgr->MarkDead(*addr, RecordExtent(1, 1000));
   EXPECT_LT(mgr->Occupancy(addr->segment_id), before);
   EXPECT_EQ(mgr->Occupancy(addr->segment_id), 0.0);
+}
+
+TEST_F(AofTest, AppendManyMidBatchFailureRollsBackOccupancy) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "failpoint sites not compiled in (DIRECTLOAD_FAILPOINTS)";
+  }
+  // 8 KiB segments with ~3 KiB records: the first two ops fill segment 0 as
+  // one run, then the roll to segment 1 hits an armed seal failure. The
+  // first run is durably on device, but the caller applies nothing from a
+  // failed AppendMany — its bytes must not stay counted live.
+  auto mgr = OpenManager(/*segment_bytes=*/8 << 10);
+  const std::string value(3 << 10, 'v');
+  std::vector<std::string> keys;
+  std::vector<AofManager::AppendOp> ops;
+  for (int i = 0; i < 4; ++i) keys.push_back("key-" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) {
+    AofManager::AppendOp op;
+    op.key = keys[i];
+    op.version = static_cast<uint64_t>(i + 1);
+    op.value = value;
+    ops.push_back(op);
+  }
+  auto& reg = failpoint::Registry::Instance();
+  ASSERT_TRUE(reg.Activate("aof_seal_before_close", "1*return(io)").ok());
+  std::vector<RecordAddress> addresses;
+  Status s = mgr->AppendMany(ops.data(), ops.size(), &addresses);
+  reg.DeactivateAll();
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_TRUE(addresses.empty());
+
+  // Segment 0 still accounts the durable record bytes, but none are live:
+  // occupancy reflects only records the caller actually indexed.
+  auto metas = mgr->SegmentMetas();
+  ASSERT_EQ(metas.count(0), 1u);
+  EXPECT_GT(metas[0].total_bytes, 0u);
+  EXPECT_EQ(metas[0].live_bytes, 0u);
+  EXPECT_EQ(mgr->LiveBytes(), 0u);
+  EXPECT_EQ(mgr->Occupancy(0), 0.0);
+
+  // The manager stays usable: a later append succeeds and counts live.
+  ASSERT_TRUE(mgr->AppendRecord("after", 9, kFlagNone, "v").ok());
+  EXPECT_GT(mgr->LiveBytes(), 0u);
 }
 
 TEST_F(AofTest, VictimsAreSealedLowOccupancySegments) {

@@ -387,6 +387,32 @@ TEST(RpcProtocolTest, BatchOpsRejectUnknownKindFlagAndTrailingBytes) {
   EXPECT_TRUE(DecodeBatchOps(Slice(trailing), &out).IsProtocol());
 }
 
+TEST(RpcProtocolTest, HugeBatchCountsAreRejectedBeforeAllocation) {
+  // An attacker-controlled count near 2^32 with a tiny payload must fail as
+  // a protocol error up front — not reserve() gigabytes and die in OOM.
+  std::string ops_wire;
+  PutVarint32(&ops_wire, 0xFFFFFFFFu);
+  std::vector<BatchOp> ops;
+  EXPECT_TRUE(DecodeBatchOps(Slice(ops_wire), &ops).IsProtocol());
+
+  std::string status_wire;
+  PutVarint32(&status_wire, 0xFFFFFFFFu);
+  std::vector<Status> statuses;
+  EXPECT_TRUE(DecodeBatchStatuses(Slice(status_wire), &statuses).IsProtocol());
+
+  // A count merely one past what the payload could hold is also rejected.
+  std::vector<BatchOp> one(1);
+  one[0].version = 1;
+  one[0].key = "k";
+  one[0].value = "v";
+  std::string wire;
+  EncodeBatchOps(one, &wire);
+  std::string inflated;
+  PutVarint32(&inflated, 2);
+  inflated.append(wire.begin() + 1, wire.end());  // Keep the single op.
+  EXPECT_TRUE(DecodeBatchOps(Slice(inflated), &ops).IsProtocol());
+}
+
 TEST(RpcProtocolTest, BatchStatusesRoundTripIncludingMessages) {
   std::vector<Status> in;
   in.push_back(Status::OK());
