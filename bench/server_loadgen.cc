@@ -53,6 +53,9 @@ struct LoadgenConfig {
   /// KvServerOptions::max_write_batch for the in-process server; <= 0
   /// keeps the server default.
   int server_max_write_batch = 0;
+  /// Engine shards per node for the in-process cluster; 0 keeps the engine
+  /// default (hardware_concurrency). Ignored with --connect.
+  int shards = 0;
   std::string json_path;     // Empty = no JSON summary.
   std::string connect_host;  // Empty = host an in-process server.
   uint16_t connect_port = 0;
@@ -210,6 +213,8 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
       if (!next_int(&config->batch)) return false;
     } else if (arg == "--server-max-write-batch") {
       if (!next_int(&config->server_max_write_batch)) return false;
+    } else if (arg == "--shards") {
+      if (!next_int(&config->shards)) return false;
     } else if (arg == "--connect") {
       if (i + 1 >= argc) return false;
       const std::string target = argv[++i];
@@ -225,7 +230,8 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
   }
   return config->threads > 0 && config->ops_per_thread > 0 &&
          config->pipeline > 0 && config->write_pct >= 0 &&
-         config->write_pct <= 100 && config->batch > 0;
+         config->write_pct <= 100 && config->batch > 0 &&
+         config->shards >= 0;
 }
 
 }  // namespace
@@ -238,7 +244,7 @@ int main(int argc, char** argv) {
                  "usage: server_loadgen [--threads N] [--ops-per-thread M]\n"
                  "         [--write-pct P] [--pipeline D] [--value-bytes B]\n"
                  "         [--keys K] [--batch W] [--server-max-write-batch S]\n"
-                 "         [--json=PATH] [--connect host:port]\n");
+                 "         [--shards N] [--json=PATH] [--connect host:port]\n");
     return 1;
   }
 
@@ -254,6 +260,7 @@ int main(int argc, char** argv) {
     mint_options.replicas = 1;
     mint_options.parallel_reads = false;
     mint_options.engine.aof.segment_bytes = 8 << 20;
+    mint_options.engine.num_shards = static_cast<uint32_t>(config.shards);
     cluster = std::make_unique<mint::MintCluster>(mint_options);
     Status s = cluster->Start();
     if (!s.ok()) {
@@ -327,6 +334,7 @@ int main(int argc, char** argv) {
   report.Add("pipeline", config.pipeline);
   report.Add("batch", config.batch);
   report.Add("value_bytes", config.value_bytes);
+  report.Add("shards", config.shards);
   report.Add("ops_per_sec", ops_per_sec);
   report.Add("completed_ops", completed);
   report.Add("read_p50_us", reads.Percentile(50));

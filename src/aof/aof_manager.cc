@@ -34,10 +34,10 @@ AofManager::~AofManager() {
   if (active_writer_ != nullptr) active_writer_->Close();
 }
 
-std::string AofManager::SegmentName(uint32_t id) {
+std::string AofManager::SegmentName(uint32_t id) const {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%s%08u.dat", kSegmentPrefix, id);
-  return buf;
+  return options_.file_prefix + buf;
 }
 
 Result<std::unique_ptr<AofManager>> AofManager::Open(
@@ -59,10 +59,11 @@ Status AofManager::AdoptExistingSegments(
   WriterLock lock(&mu_);
   uint32_t max_id = 0;
   bool any = false;
+  const std::string full_prefix = options_.file_prefix + kSegmentPrefix;
   for (const std::string& name : env_->ListFiles()) {
-    if (name.rfind(kSegmentPrefix, 0) != 0) continue;
-    const uint32_t id =
-        static_cast<uint32_t>(std::strtoul(name.c_str() + 4, nullptr, 10));
+    if (name.rfind(full_prefix, 0) != 0) continue;
+    const uint32_t id = static_cast<uint32_t>(
+        std::strtoul(name.c_str() + full_prefix.size(), nullptr, 10));
     any = true;
     max_id = std::max(max_id, id);
     SegmentInfo info;
@@ -406,7 +407,7 @@ Status AofManager::SegmentCursor::Init(const AofManager* mgr,
   limit_ = it->second.total_bytes;
   extent_known_ = !adopted && limit_ > 0;
   if (adopted || limit_ == 0) {
-    Result<uint64_t> size = mgr->env_->GetFileSize(SegmentName(segment_id));
+    Result<uint64_t> size = mgr->env_->GetFileSize(mgr->SegmentName(segment_id));
     if (!size.ok()) return size.status();
     limit_ = *size;
     extent_known_ = false;
@@ -545,13 +546,13 @@ Status AofManager::CollectSegment(uint32_t segment_id,
         segments_[new_addr->segment_id].live_bytes -=
             RecordExtent(rec.key.size(), rec.value.size());
       }
-      ++gc_stats_.records_rewritten;
-      gc_stats_.bytes_rewritten +=
+      ++gc().records_rewritten;
+      gc().bytes_rewritten +=
           RecordExtent(rec.key.size(), rec.value.size());
       relocate(addr, *new_addr, rec);
     } else {
-      ++gc_stats_.records_dropped;
-      gc_stats_.bytes_dropped +=
+      ++gc().records_dropped;
+      gc().bytes_dropped +=
           RecordExtent(rec.key.size(), rec.value.size());
       drop(addr, rec);
     }
@@ -600,7 +601,7 @@ Status AofManager::CollectSegment(uint32_t segment_id,
   }
   Status s = env_->DeleteFile(SegmentName(segment_id));
   if (!s.ok()) return s;
-  ++gc_stats_.segments_reclaimed;
+  ++gc().segments_reclaimed;
   // Crash point: victim gone; only in-memory accounting follows.
   DIRECTLOAD_FAILPOINT(fp_aof_gc_after_erase);
   return Status::OK();

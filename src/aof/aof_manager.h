@@ -17,6 +17,8 @@
 
 namespace directload::aof {
 
+struct GcStats;
+
 struct AofOptions {
   /// Fixed segment capacity; the paper uses 64 MB AOFs (Section 2.3).
   uint64_t segment_bytes = 64ull << 20;
@@ -29,6 +31,18 @@ struct AofOptions {
   /// crash without a checkpoint. Off by default, matching the paper's
   /// memory-only DEL.
   bool log_deletes = false;
+
+  /// Prepended to every file this manager creates ("s03_" gives segments
+  /// named s03_aof_00000000.dat). A sharded engine gives each shard's
+  /// manager a distinct prefix so N managers share one flat-namespace env
+  /// without colliding; empty (the default) keeps the legacy names.
+  std::string file_prefix;
+
+  /// When set, collection counters are accumulated into this externally
+  /// owned struct instead of the manager's own — the sharded engine points
+  /// every shard's manager at one aggregate so gc_stats() stays a single
+  /// cheap read. The target must outlive the manager.
+  GcStats* shared_gc_stats = nullptr;
 };
 
 /// Collection counters; atomics so the engine can read them from any thread
@@ -177,7 +191,10 @@ class AofManager {
 
   /// Current accounting of every segment (for checkpoints).
   std::map<uint32_t, SegmentMeta> SegmentMetas() const EXCLUDES(mu_);
-  const GcStats& gc_stats() const { return gc_stats_; }
+  const GcStats& gc_stats() const {
+    return options_.shared_gc_stats != nullptr ? *options_.shared_gc_stats
+                                               : gc_stats_;
+  }
   const AofOptions& options() const { return options_; }
 
   /// On-device footprint of all segments.
@@ -246,7 +263,13 @@ class AofManager {
 
   AofManager(ssd::SsdEnv* env, const AofOptions& options);
 
-  static std::string SegmentName(uint32_t id);
+  std::string SegmentName(uint32_t id) const;
+
+  /// The mutable counter sink for collections (shared or owned).
+  GcStats& gc() {
+    return options_.shared_gc_stats != nullptr ? *options_.shared_gc_stats
+                                               : gc_stats_;
+  }
 
   // *Locked methods require mu_ held by the caller: exclusively for the
   // mutating ones, at least shared for the reading ones.

@@ -34,10 +34,16 @@ enum class LockRank : int {
   /// engine ranks: a request holds it (shared) across its engine call, so a
   /// concurrent crash cannot destroy the engine mid-operation.
   kMintNode = 9,
-  /// QinDb::write_mutex_ — serializes Put/Del/DropVersion/Checkpoint/GC.
-  /// Always the first engine lock a mutator takes.
+  /// qindb::Shard::write_mutex_ — serializes one shard's Put/Del/
+  /// DropVersion/Checkpoint/GC. Always the first engine lock a mutator
+  /// takes. Every shard's instance shares this rank (instances carry
+  /// per-shard names, "qindb-write/sNN"): since the checker rejects
+  /// equal-rank nesting, a thread can hold at most ONE shard's write lock
+  /// — the cross-shard batch splitter must visit shards one at a time,
+  /// and the rank checker enforces that mechanically.
   kQinDbWrite = 10,
-  /// QinDb::batch_mu_ — the group-commit pending queue. Writers take it
+  /// qindb::Shard::batch_mu_ — the shard's group-commit pending queue (one
+  /// instance per shard, same-rank rule as above). Writers take it
   /// standalone to enqueue a batch (before contending on kQinDbWrite); the
   /// leader takes it under kQinDbWrite to drain the queue and publish
   /// results. Nothing is ever acquired while holding it.
@@ -51,8 +57,8 @@ enum class LockRank : int {
   kAofReaders = 30,
   /// The simulated SSD's single command-queue lock (one per SsdEnv).
   kSsdEnv = 40,
-  /// QinDb::pin_mu_ — guards the mem_ pointer swap. A leaf: nothing is ever
-  /// acquired while holding it.
+  /// qindb::Shard::pin_mu_ — guards the shard's mem_ pointer swap (one
+  /// instance per shard). A leaf: nothing is ever acquired while holding it.
   kQinDbPin = 50,
   /// failpoint::Registry::mu_ — the name → FailPoint map. Only taken from
   /// registration/activation paths (static init, test drivers), never while
@@ -116,9 +122,10 @@ inline thread_local HeldStack tls_held;
 }
 
 /// Validates `rank` against every lock the thread holds, then records it.
-/// Equal ranks are rejected too: the only same-rank pair a thread could
-/// nest is the same lock (one instance per rank per engine, and the engine
-/// never nests two engines' locks), i.e. a self-deadlock.
+/// Equal ranks are rejected too: a same-rank pair is either the same lock
+/// (self-deadlock) or two sibling instances — two shards' write locks, two
+/// engines' locks — which the architecture forbids a thread to nest
+/// precisely so that sibling acquisition order can never form a cycle.
 inline void NoteAcquire(LockRank rank, const char* name) {
   HeldStack& held = tls_held;
   const int r = static_cast<int>(rank);

@@ -422,24 +422,29 @@ Result<uint64_t> MintCluster::RepairNode(int node_id) {
     {
       ReaderLock peer_guard(peer->lifecycle_mu());
       if (!peer->up()) continue;
-      for (MemIndex::Iterator it = peer->db()->memtable().NewIterator();
-           it.Valid(); it.Next()) {
-        const MemEntry* entry = it.entry();
-        if (entry->deleted) continue;
-        const Slice key = entry->user_key();
-        const std::vector<int> replicas = ReplicasOf(key);
-        if (std::find(replicas.begin(), replicas.end(), node_id) ==
-            replicas.end()) {
-          continue;  // Not this node's responsibility.
+      // Engine keys are hash-partitioned across shards; repair must see all
+      // of them, so walk every shard's index in turn.
+      for (uint32_t shard = 0; shard < peer->db()->num_shards(); ++shard) {
+        for (MemIndex::Iterator it =
+                 peer->db()->memtable(shard).NewIterator();
+             it.Valid(); it.Next()) {
+          const MemEntry* entry = it.entry();
+          if (entry->deleted) continue;
+          const Slice key = entry->user_key();
+          const std::vector<int> replicas = ReplicasOf(key);
+          if (std::find(replicas.begin(), replicas.end(), node_id) ==
+              replicas.end()) {
+            continue;  // Not this node's responsibility.
+          }
+          // Copy the *resolved* value: re-deduplicating on the target would
+          // require its traceback chain to be complete, which repair cannot
+          // assume (the peer may hold the referenced record only as a GC
+          // referent). Materializing trades space for integrity.
+          Result<std::string> value = peer->db()->Get(key, entry->version);
+          if (!value.ok()) continue;  // Peer cannot resolve it; another may.
+          batch.push_back(Pending{key.ToString(), entry->version,
+                                  std::move(value).value()});
         }
-        // Copy the *resolved* value: re-deduplicating on the target would
-        // require its traceback chain to be complete, which repair cannot
-        // assume (the peer may hold the referenced record only as a GC
-        // referent). Materializing trades space for integrity.
-        Result<std::string> value = peer->db()->Get(key, entry->version);
-        if (!value.ok()) continue;  // Peer cannot resolve it; another may.
-        batch.push_back(
-            Pending{key.ToString(), entry->version, std::move(value).value()});
       }
     }
 
@@ -450,8 +455,7 @@ Result<uint64_t> MintCluster::RepairNode(int node_id) {
       return Status::Unavailable("node failed during repair");
     }
     for (Pending& pending : batch) {
-      if (target->db()->memtable().FindExact(pending.key, pending.version) !=
-          nullptr) {
+      if (target->db()->HasEntry(pending.key, pending.version)) {
         continue;  // Already present.
       }
       Status s =

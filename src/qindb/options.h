@@ -1,0 +1,103 @@
+#ifndef DIRECTLOAD_QINDB_OPTIONS_H_
+#define DIRECTLOAD_QINDB_OPTIONS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "aof/aof_manager.h"
+
+namespace directload::qindb {
+
+struct QinDbOptions {
+  aof::AofOptions aof;
+
+  /// Number of independent shards the engine is partitioned into. Each shard
+  /// owns its memtable index, AOF segment set (with its own occupancy/GC),
+  /// and group-commit queue; keys are hash-routed so concurrent writers on
+  /// different shards commit in parallel. Zero (the default) resolves to
+  /// hardware_concurrency at first open, and to the persisted shard count on
+  /// reopen; a nonzero value is validated against the shard manifest — a
+  /// mismatch fails the open rather than silently misrouting keys. One shard
+  /// reproduces the pre-sharding engine byte-for-byte (legacy file names, no
+  /// manifest-routing overhead on reads).
+  uint32_t num_shards = 0;
+
+  /// Seed of the routing hash (shard = Hash64(key, seed) % num_shards),
+  /// persisted in the shard manifest so every reopen routes identically.
+  uint64_t shard_hash_seed = 0x51494e44u;  // "QIND"
+
+  /// Defer AOF GC while reads are in flight, unless disk usage crosses
+  /// `gc_space_pressure` (fraction of device capacity). This is the paper's
+  /// "GC will be deferred if there are ongoing reads and free disk space".
+  bool defer_gc_during_reads = true;
+  double gc_space_pressure = 0.85;
+
+  /// Periodic checkpointing ("the memtable ... is checkpointed
+  /// periodically", Section 2.1): after this many ingested bytes a
+  /// checkpoint is written automatically. Zero disables it. Sharded, each
+  /// shard tracks its own ingested bytes against this interval, so
+  /// checkpoint work stays proportional to per-shard ingest.
+  uint64_t checkpoint_interval_bytes = 0;
+
+  /// Run the lazy GC opportunistically at write boundaries. Disable to
+  /// drive GC manually (benchmarks that isolate GC cost do this).
+  bool auto_gc = true;
+
+  /// Group commit. When on, concurrent writers enqueue their batches and
+  /// the first thread into the shard's write mutex becomes the leader: it
+  /// drains the queue up to the budgets below and commits the whole group
+  /// with one vectored AOF append. When off, every op takes the legacy
+  /// one-append-per-record path (the A/B knob the benchmarks flip).
+  bool group_commit = true;
+  /// Budget caps for one commit group. The leader always takes at least one
+  /// batch, even an oversized one, so a single huge batch cannot wedge.
+  size_t group_commit_max_ops = 256;
+  uint64_t group_commit_max_bytes = 1ull << 20;
+};
+
+/// Operation counters. All fields are atomics so that reader threads and the
+/// writer can bump them concurrently; reads are monotonic but a multi-field
+/// snapshot is not atomic as a whole. One instance is owned by the engine
+/// facade and shared by every shard.
+struct QinDbStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> dedup_puts{0};  // PUTs whose value was removed by Bifrost.
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> traceback_gets{0};  // GETs resolved via older versions.
+  std::atomic<uint64_t> dels{0};
+  std::atomic<uint64_t> gc_invocations{0};  // MaybeGc calls that collected.
+  std::atomic<uint64_t> gc_deferrals{0};    // Victims existed but GC deferred.
+
+  /// Application-level ingested bytes (keys + values of PUTs). This is the
+  /// "User Write" of the paper's Figure 5.
+  std::atomic<uint64_t> user_bytes_ingested{0};
+};
+
+/// Result of an integrity scrub (see QinDb::Scrub). Sharded scrubs sum the
+/// per-shard reports field-wise.
+struct ScrubReport {
+  uint64_t entries_checked = 0;
+  uint64_t bytes_verified = 0;
+  uint64_t damaged_entries = 0;       // Checksum / identity failures.
+  uint64_t unresolvable_dedups = 0;   // Broken traceback chains.
+
+  bool clean() const {
+    return damaged_entries == 0 && unresolvable_dedups == 0;
+  }
+};
+
+/// Point-in-time, per-shard view of the counters a sharding-aware caller
+/// (tests, the stats endpoint) wants without aggregation.
+struct ShardStatsSnapshot {
+  uint32_t shard_id = 0;
+  uint64_t puts = 0;
+  uint64_t dels = 0;
+  uint64_t user_bytes_ingested = 0;
+  uint64_t live_entries = 0;
+  size_t segments = 0;
+  bool degraded = false;
+};
+
+}  // namespace directload::qindb
+
+#endif  // DIRECTLOAD_QINDB_OPTIONS_H_

@@ -1,111 +1,106 @@
 #include "qindb/qindb.h"
 
-#include <string_view>
+#include <cstdio>
+#include <thread>
 #include <utility>
-#include <vector>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "common/hash.h"
 
 namespace directload::qindb {
 
 namespace {
 
-// Engine-level failpoints: API entry points plus the two internal paths
-// whose failures matter most for recovery testing (the startup scan and the
-// checkpoint writer). Deeper faults come from the aof_*/ssd_* points.
+// API-level failpoints: fire once per call at the facade, before any shard
+// is touched — the position the pre-sharding engine fired them from. The
+// per-shard qindb_recovery_scan / qindb_checkpoint points live in shard.cc.
 DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_put, "qindb_put");
 DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_get, "qindb_get");
 DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_del, "qindb_del");
-DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_recovery_scan, "qindb_recovery_scan");
-DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_checkpoint, "qindb_checkpoint");
 
-constexpr char kCheckpointName[] = "checkpoint.dat";
-constexpr char kCheckpointTemp[] = "checkpoint.tmp";
-constexpr uint64_t kCheckpointMagic = 0x51494e4443484b50ull;  // "QINDCHKP"
+// The shard manifest pins the routing layout (count + hash seed) to the
+// device: Hash64(key, seed) % num_shards must evaluate identically on every
+// open, or keys silently land on shards that never saw their records. The
+// manifest is written once, before the first shard's first byte, and every
+// reopen validates against it.
+constexpr char kManifestName[] = "shard_manifest.dat";
+constexpr char kManifestTemp[] = "shard_manifest.tmp";
+constexpr uint64_t kManifestMagic = 0x51494e4453484152ull;  // "QINDSHAR"
+constexpr uint32_t kManifestVersion = 1;
 
-// Per-entry flag bits in the checkpoint serialization.
-constexpr uint8_t kCkptDedup = 1u << 0;
-constexpr uint8_t kCkptDeleted = 1u << 1;
+// "s%02u_" supports two-digit ids; far above any sane core count, and the
+// cap keeps a typo'd num_shards from fabricating thousands of files.
+constexpr uint32_t kMaxShards = 64;
 
-uint64_t EntryExtent(const MemEntry* e) {
-  return aof::RecordExtent(e->key_size,
-                           e->value_size.load(std::memory_order_acquire));
+std::string ShardFilePrefix(uint32_t shard_id) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "s%02u_", shard_id);
+  return buf;
 }
 
-/// Destination for occupancy updates. Recovery runs inside
-/// AofManager::Scan — which holds the manager's lock shared — so marking a
-/// record dead there would self-deadlock; the recovery path buffers into
-/// `deferred` and the engine applies the batch after the scan returns.
-/// Runtime mutators (not under any AOF lock) mark directly.
-struct DeadSink {
-  aof::AofManager* aof = nullptr;
-  std::vector<std::pair<aof::RecordAddress, uint64_t>>* deferred = nullptr;
+Status WriteManifest(ssd::SsdEnv* env, uint32_t num_shards, uint64_t seed) {
+  std::string blob;
+  PutFixed64(&blob, kManifestMagic);
+  PutFixed32(&blob, kManifestVersion);
+  PutFixed32(&blob, num_shards);
+  PutFixed64(&blob, seed);
+  PutFixed32(&blob, crc32c::Mask(crc32c::Value(blob.data(), blob.size())));
 
-  void MarkDead(const aof::RecordAddress& addr, uint64_t extent) const {
-    if (deferred != nullptr) {
-      deferred->emplace_back(addr, extent);
-    } else {
-      aof->MarkDead(addr, extent);
-    }
+  if (env->FileExists(kManifestTemp)) {
+    if (Status s = env->DeleteFile(kManifestTemp); !s.ok()) return s;
   }
-};
+  Result<std::unique_ptr<ssd::WritableFile>> file =
+      env->NewWritableFile(kManifestTemp);
+  if (!file.ok()) return file.status();
+  if (Status s = (*file)->Append(blob); !s.ok()) return s;
+  if (Status s = (*file)->Sync(); !s.ok()) return s;
+  if (Status s = (*file)->Close(); !s.ok()) return s;
+  return env->RenameFile(kManifestTemp, kManifestName);
+}
 
-/// True if the record of (key, version) is still referenced by a newer,
-/// live, deduplicated version (Figure 2's "invalid key-value pairs that
-/// are referred by later version keys"). Free functions over an explicit
-/// index (rather than QinDb members) so the GC callbacks — which execute
-/// with the AOF manager's lock held — can call them against a pre-captured
-/// index pointer without touching the engine's guarded state.
-bool IsReferentIn(const MemIndex& idx, const Slice& key, uint64_t version) {
-  // Walk the versions strictly newer than `version`, nearest first. The
-  // record stays needed while the contiguous run of deduplicated versions
-  // above it contains at least one live one.
-  std::vector<MemEntry*> entries = idx.EntriesForKey(key);  // Newest first.
-  // Find the first index whose version is <= `version`; walk upwards.
-  size_t at = entries.size();
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i]->version <= version) {
-      at = i;
-      break;
-    }
+Status ReadManifest(ssd::SsdEnv* env, uint32_t* num_shards, uint64_t* seed) {
+  Result<uint64_t> size = env->GetFileSize(kManifestName);
+  if (!size.ok()) return size.status();
+  Result<std::unique_ptr<ssd::RandomAccessFile>> file =
+      env->NewRandomAccessFile(kManifestName);
+  if (!file.ok()) return file.status();
+  std::string blob;
+  if (Status s = (*file)->Read(0, *size, &blob); !s.ok()) return s;
+
+  // 8 magic + 4 version + 4 count + 8 seed + 4 crc.
+  if (blob.size() != 28) {
+    return Status::Corruption("shard manifest has the wrong size");
   }
-  for (size_t i = at; i-- > 0;) {  // Increasing version order.
-    MemEntry* e = entries[i];
-    if (!e->dedup) return false;  // Carries its own value: chain broken.
-    if (!e->deleted) return true;
+  const uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(blob.data() + blob.size() - 4));
+  if (stored_crc != crc32c::Value(blob.data(), blob.size() - 4)) {
+    return Status::Corruption("shard manifest checksum mismatch");
+  }
+  if (DecodeFixed64(blob.data()) != kManifestMagic) {
+    return Status::Corruption("bad shard manifest magic");
+  }
+  const uint32_t version = DecodeFixed32(blob.data() + 8);
+  if (version != kManifestVersion) {
+    return Status::Corruption("unknown shard manifest version");
+  }
+  *num_shards = DecodeFixed32(blob.data() + 12);
+  *seed = DecodeFixed64(blob.data() + 16);
+  if (*num_shards == 0 || *num_shards > kMaxShards) {
+    return Status::Corruption("shard manifest count out of range");
+  }
+  return Status::OK();
+}
+
+/// True when the env holds pre-sharding engine files (unprefixed AOF
+/// segments or checkpoint) but no manifest: the layout predates sharding
+/// and must be adopted as a single shard, never re-hashed.
+bool HasLegacyUnshardedFiles(ssd::SsdEnv* env) {
+  for (const std::string& name : env->ListFiles()) {
+    if (name.rfind("aof_", 0) == 0 || name == "checkpoint.dat") return true;
   }
   return false;
-}
-
-/// Marks the record behind `entry` dead in the occupancy table unless it is
-/// still a referent.
-void MarkDeadUnlessReferent(const MemIndex& idx, const DeadSink& sink,
-                            MemEntry* entry) {
-  if (!IsReferentIn(idx, entry->user_key(), entry->version)) {
-    sink.MarkDead(aof::RecordAddress::Unpack(entry->address),
-                  EntryExtent(entry));
-  }
-}
-
-void ApplyDeleteAccounting(const MemIndex& idx, const DeadSink& sink,
-                           MemEntry* entry) {
-  const Slice key = entry->user_key();
-  if (entry->dedup) {
-    // The NULL record itself is dead the moment the pair is deleted.
-    sink.MarkDead(aof::RecordAddress::Unpack(entry->address),
-                  EntryExtent(entry));
-    // The value it resolved to may have just lost its last referent.
-    MemEntry* target = idx.TracebackValue(key, entry->version);
-    if (target != nullptr && target->deleted) {
-      MarkDeadUnlessReferent(idx, sink, target);
-    }
-  } else {
-    // A value-bearing record stays live while newer deduplicated versions
-    // reference it.
-    MarkDeadUnlessReferent(idx, sink, entry);
-  }
 }
 
 }  // namespace
@@ -115,307 +110,122 @@ QinDb::QinDb(ssd::SsdEnv* env, const QinDbOptions& options)
 
 Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
                                            const QinDbOptions& options) {
+  if (options.num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards exceeds the supported maximum");
+  }
+
+  // Resolve the layout BEFORE any shard exists.
+  uint32_t num_shards = 0;
+  if (env->FileExists(kManifestName)) {
+    uint64_t manifest_seed = 0;
+    Status s = ReadManifest(env, &num_shards, &manifest_seed);
+    if (!s.ok()) return s;
+    if (options.shard_hash_seed != manifest_seed) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "shard manifest was written with hash seed %llu but the "
+                    "options specify %llu; keys would be misrouted",
+                    static_cast<unsigned long long>(manifest_seed),
+                    static_cast<unsigned long long>(options.shard_hash_seed));
+      return Status::InvalidArgument(msg);
+    }
+    if (options.num_shards != 0 && options.num_shards != num_shards) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "shard manifest records num_shards=%u but the options "
+                    "request %u; reopen with num_shards=%u or 0 (adopt)",
+                    num_shards, options.num_shards, num_shards);
+      return Status::InvalidArgument(msg);
+    }
+  } else if (HasLegacyUnshardedFiles(env)) {
+    if (options.num_shards > 1) {
+      return Status::InvalidArgument(
+          "env holds unsharded (pre-manifest) engine files; they can only "
+          "be opened with num_shards=1 (or 0)");
+    }
+    num_shards = 1;
+    if (Status s = WriteManifest(env, num_shards, options.shard_hash_seed);
+        !s.ok()) {
+      return s;
+    }
+  } else {
+    num_shards = options.num_shards != 0
+                     ? options.num_shards
+                     : std::max(1u, std::thread::hardware_concurrency());
+    if (num_shards > kMaxShards) num_shards = kMaxShards;
+    if (Status s = WriteManifest(env, num_shards, options.shard_hash_seed);
+        !s.ok()) {
+      return s;
+    }
+  }
+
   std::unique_ptr<QinDb> db(new QinDb(env, options));
-  // Nothing else can reach the engine yet; hold the write mutex anyway so
-  // the recovery helpers see their capability held.
-  MutexLock lock(&db->write_mutex_);
-  {
-    MutexLock pin(&db->pin_mu_);
-    db->mem_ = std::make_shared<MemIndex>();
+  db->options_.num_shards = num_shards;
+  db->shards_.resize(num_shards);
+
+  std::vector<Status> statuses(num_shards);
+  auto open_one = [&](uint32_t shard_id) {
+    QinDbOptions shard_options = db->options_;
+    // One shard keeps the legacy unprefixed names, so a pre-sharding env
+    // reopens byte-for-byte and single-shard tests see the familiar files.
+    shard_options.aof.file_prefix =
+        num_shards == 1 ? "" : ShardFilePrefix(shard_id);
+    shard_options.aof.shared_gc_stats = &db->gc_stats_;
+    Result<std::unique_ptr<Shard>> shard = Shard::Open(
+        env, shard_options, shard_id, &db->stats_, &db->reads_in_flight_);
+    if (shard.ok()) {
+      db->shards_[shard_id] = std::move(shard).value();
+    } else {
+      statuses[shard_id] = shard.status();
+    }
+  };
+
+  if (num_shards == 1) {
+    open_one(0);
+  } else {
+    // Shards own disjoint file sets, so their recovery scans only share the
+    // env lock: replay them in parallel, one thread per shard.
+    std::vector<std::thread> recovery;
+    recovery.reserve(num_shards);
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      recovery.emplace_back(open_one, i);
+    }
+    for (std::thread& t : recovery) t.join();
   }
-
-  std::map<uint32_t, aof::SegmentMeta> metas;
-  uint32_t next_segment = 0;
-  bool checkpoint_loaded = false;
-  if (env->FileExists(kCheckpointName)) {
-    Status s = db->LoadCheckpoint(kCheckpointName, &checkpoint_loaded, &metas,
-                                  &next_segment);
-    if (!s.ok() && !s.IsCorruption()) return s;
-    // A corrupt checkpoint is ignored; recovery falls back to the full scan.
-  }
-
-  Result<std::unique_ptr<aof::AofManager>> mgr = aof::AofManager::Open(
-      env, options.aof, checkpoint_loaded ? &metas : nullptr);
-  if (!mgr.ok()) return mgr.status();
-  db->aof_ = std::move(mgr).value();
-
-  if (checkpoint_loaded) {
-    Status s = db->ApplyCheckpointEntries();
-    if (!s.ok()) return s;
-    s = db->RecoverFromScan(next_segment);
-    if (!s.ok()) return s;
-    db->checkpoint_valid_ = true;
-  } else if (db->aof_->segment_count() > 0) {
-    Status s = db->RecoverFromScan(0);
+  for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
   return db;
 }
 
-std::shared_ptr<const MemIndex> QinDb::PinIndex() const {
-  MutexLock lock(&pin_mu_);
-  return mem_;
+uint32_t QinDb::ShardOf(const Slice& key) const {
+  if (shards_.size() == 1) return 0;
+  return static_cast<uint32_t>(Hash64(key, options_.shard_hash_seed) %
+                               shards_.size());
 }
 
-MemIndex* QinDb::CurrentIndex() const {
-  MutexLock lock(&pin_mu_);
-  return mem_.get();
-}
-
-Status QinDb::CheckWritable() const {
-  if (degraded_.load(std::memory_order_acquire)) {
-    return Status::IOError(
-        "QinDB is read-only: a write-path failure forced degraded mode; "
-        "reopen the engine to recover");
+bool QinDb::degraded() const {
+  for (const auto& shard : shards_) {
+    if (shard->degraded()) return true;
   }
-  return Status::OK();
-}
-
-Status QinDb::NoteWriteError(Status s) {
-  // kNoSpace stays transient: the device rejected the write whole, nothing
-  // is torn, and callers legitimately free space (Del + GC) and continue.
-  if (s.IsIOError() || s.IsCorruption() || s.IsInternal()) {
-    degraded_.store(true, std::memory_order_release);
-  }
-  return s;
+  return false;
 }
 
 Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,
                   bool dedup) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  // Single ops are one-op batches: under group commit they ride the same
-  // pending queue as multi-op batches, so concurrent Put callers coalesce
-  // into one leader-driven AOF append.
+  // Single ops are one-op batches: under group commit they ride the owning
+  // shard's pending queue, so concurrent Put callers routed to the same
+  // shard coalesce into one leader-driven AOF append.
   WriteBatch batch;
   batch.Put(key, version, value, dedup);
   return Write(batch);
-}
-
-Status QinDb::PutLocked(const Slice& key, uint64_t version,
-                        const Slice& value, bool dedup) {
-  if (key.empty()) return Status::InvalidArgument("empty key");
-  const Slice stored_value = dedup ? Slice() : value;
-  const uint8_t flags = dedup ? aof::kFlagDedup : aof::kFlagNone;
-
-  MemIndex* idx = CurrentIndex();
-  const uint32_t segment_before = aof_->active_segment();
-  Result<aof::RecordAddress> addr =
-      aof_->AppendRecord(key, version, flags, stored_value);
-  if (!addr.ok()) return NoteWriteError(addr.status());
-
-  MemEntry* old = idx->FindExact(key, version);
-  if (old != nullptr) {
-    // Re-PUT of the same versioned key supersedes the previous record.
-    aof_->MarkDead(aof::RecordAddress::Unpack(old->address),
-                   EntryExtent(old));
-  }
-  idx->Insert(key, version, addr->Pack(),
-              static_cast<uint32_t>(stored_value.size()), dedup);
-
-  ++stats_.puts;
-  if (dedup) ++stats_.dedup_puts;
-  stats_.user_bytes_ingested += key.size() + stored_value.size();
-
-  if (options_.checkpoint_interval_bytes > 0 &&
-      stats_.user_bytes_ingested - bytes_at_last_checkpoint_ >=
-          options_.checkpoint_interval_bytes) {
-    Status s = CheckpointLocked();
-    if (!s.ok()) return NoteWriteError(s);
-    bytes_at_last_checkpoint_ = stats_.user_bytes_ingested;
-  }
-
-  if (options_.auto_gc && aof_->active_segment() != segment_before) {
-    // A segment sealed: cheap moment to evaluate the lazy GC policy.
-    return MaybeGcLocked();
-  }
-  return Status::OK();
-}
-
-Result<QinDb::ScrubReport> QinDb::Scrub() {
-  ScrubReport report;
-  ReadGuard guard(this);  // Scrubbing counts as an ongoing read stream.
-  const std::shared_ptr<const MemIndex> index = PinIndex();
-  for (MemIndex::Iterator it = index->NewIterator(); it.Valid(); it.Next()) {
-    MemEntry* entry = it.entry();
-    ++report.entries_checked;
-    aof::RecordView view;
-    Status s = aof_->ReadRecord(aof::RecordAddress::Unpack(entry->address),
-                                EntryExtent(entry), &view);
-    if (!s.ok() || view.key != entry->user_key() ||
-        view.header.version != entry->version ||
-        view.is_dedup() != entry->dedup) {
-      ++report.damaged_entries;
-      continue;
-    }
-    report.bytes_verified += EntryExtent(entry);
-    if (entry->dedup && !entry->deleted &&
-        index->TracebackValue(entry->user_key(), entry->version) == nullptr) {
-      ++report.unresolvable_dedups;
-    }
-  }
-  return report;
-}
-
-// ---------------------------------------------------------------------------
-// Scanner
-// ---------------------------------------------------------------------------
-
-QinDb::Scanner::Scanner(QinDb* db, uint64_t version)
-    : db_(db),
-      version_(version),
-      index_(db->PinIndex()),
-      it_(index_->NewIterator()) {}
-
-QinDb::Scanner QinDb::NewScanner(uint64_t version) {
-  return Scanner(this, version);
-}
-
-void QinDb::Scanner::Seek(const Slice& start) {
-  if (start.empty()) {
-    it_.SeekToFirst();
-  } else {
-    it_.Seek(start);
-  }
-  FindVisibleEntry();
-}
-
-void QinDb::Scanner::Next() {
-  // FindVisibleEntry left the underlying iterator at the next key run.
-  FindVisibleEntry();
-}
-
-void QinDb::Scanner::FindVisibleEntry() {
-  valid_ = false;
-  current_ = nullptr;
-  while (it_.Valid()) {
-    // Versions of a key are adjacent, newest first: take the first entry at
-    // or below the scan version, then consume the rest of the run.
-    MemEntry* candidate = nullptr;
-    const MemEntry* run_head = it_.entry();
-    const Slice run_key = run_head->user_key();  // Arena-backed, stable.
-    while (it_.Valid() && it_.entry()->user_key() == run_key) {
-      MemEntry* entry = it_.entry();
-      if (candidate == nullptr && entry->version <= version_) {
-        candidate = entry;
-      }
-      it_.Next();
-    }
-    if (candidate != nullptr && !candidate->deleted) {
-      current_ = candidate;
-      valid_ = true;
-      return;
-    }
-  }
-}
-
-Result<std::string> QinDb::Scanner::value() const {
-  if (!valid_) return Status::InvalidArgument("scanner not positioned");
-  ReadGuard guard(db_);
-  MemEntry* source = current_;
-  if (current_->dedup) {
-    source = index_->TracebackValue(current_->user_key(), current_->version);
-    if (source == nullptr) {
-      return Status::Corruption("deduplicated pair with no value-bearing older version");
-    }
-  }
-  return db_->ReadEntryValue(source);
-}
-
-Result<std::string> QinDb::ReadEntryValue(const MemEntry* entry) {
-  constexpr int kMaxAttempts = 8;
-  Status last = Status::Aborted("record kept moving during read");
-  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    const uint64_t epoch = gc_epoch_.load(std::memory_order_acquire);
-    const uint64_t address = entry->address.load(std::memory_order_acquire);
-    const uint32_t value_size =
-        entry->value_size.load(std::memory_order_acquire);
-    aof::RecordView view;
-    Status s = aof_->ReadRecord(aof::RecordAddress::Unpack(address),
-                                aof::RecordExtent(entry->key_size, value_size),
-                                &view);
-    if (s.ok()) {
-      if (view.key == entry->user_key() &&
-          view.header.version == entry->version) {
-        return view.value.ToString();
-      }
-      s = Status::Internal("memtable offset points at the wrong record");
-    }
-    // A failed read may have raced a GC relocation of the record or a re-PUT
-    // superseding it (address/value_size observed torn). Retry when either
-    // signal moved; otherwise the failure is real.
-    if (entry->address.load(std::memory_order_acquire) == address &&
-        gc_epoch_.load(std::memory_order_acquire) == epoch) {
-      return s;
-    }
-    last = s;
-  }
-  return last;
-}
-
-Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
-  DIRECTLOAD_FAILPOINT(fp_qindb_get);
-  ++stats_.gets;
-  ReadGuard guard(this);
-  const std::shared_ptr<const MemIndex> index = PinIndex();
-  MemEntry* entry = index->FindExact(key, version);
-  if (entry == nullptr || entry->deleted) {
-    return Status::NotFound("no such key/version");
-  }
-  if (!entry->dedup) {
-    return ReadEntryValue(entry);
-  }
-  // The value field was removed by Bifrost: traceback to the newest older
-  // version that still carries one (Figure 2, bottom right).
-  ++stats_.traceback_gets;
-  MemEntry* source = index->TracebackValue(key, entry->version);
-  if (source == nullptr) {
-    return Status::Corruption("deduplicated pair with no value-bearing older version");
-  }
-  return ReadEntryValue(source);
-}
-
-Result<std::string> QinDb::GetLatest(const Slice& key) {
-  DIRECTLOAD_FAILPOINT(fp_qindb_get);
-  ++stats_.gets;
-  ReadGuard guard(this);
-  const std::shared_ptr<const MemIndex> index = PinIndex();
-  for (MemEntry* entry : index->EntriesForKey(key)) {
-    if (entry->deleted) continue;
-    if (!entry->dedup) return ReadEntryValue(entry);
-    ++stats_.traceback_gets;
-    MemEntry* source = index->TracebackValue(key, entry->version);
-    if (source == nullptr) {
-      return Status::Corruption("deduplicated pair with no value-bearing older version");
-    }
-    return ReadEntryValue(source);
-  }
-  return Status::NotFound("no live version");
 }
 
 Status QinDb::Del(const Slice& key, uint64_t version) {
   WriteBatch batch;
   batch.Del(key, version);
   return Write(batch);
-}
-
-Status QinDb::DelLocked(const Slice& key, uint64_t version) {
-  MemIndex* idx = CurrentIndex();
-  MemEntry* entry = idx->FindExact(key, version);
-  if (entry == nullptr) return Status::NotFound("no such key/version");
-  if (!entry->deleted.exchange(true, std::memory_order_acq_rel)) {
-    ++stats_.dels;
-    const DeadSink sink{aof_.get(), nullptr};
-    ApplyDeleteAccounting(*idx, sink, entry);
-    if (options_.aof.log_deletes) {
-      Result<aof::RecordAddress> addr =
-          aof_->AppendRecord(key, version, aof::kFlagTombstone, Slice());
-      if (!addr.ok()) return NoteWriteError(addr.status());
-      // Tombstones are dead on arrival for occupancy purposes.
-      aof_->MarkDead(*addr, aof::RecordExtent(key.size(), 0));
-    }
-  }
-  if (options_.auto_gc) return MaybeGcLocked();
-  return Status::OK();
 }
 
 Result<uint64_t> QinDb::DropVersion(uint64_t version) {
@@ -425,38 +235,6 @@ Result<uint64_t> QinDb::DropVersion(uint64_t version) {
   if (!s.ok()) return s;
   return batch.dropped(0);
 }
-
-Result<uint64_t> QinDb::DropVersionLocked(uint64_t version) {
-  MemIndex* idx = CurrentIndex();
-  uint64_t flagged = 0;
-  std::vector<MemEntry*> hits;
-  for (MemIndex::Iterator it = idx->NewIterator(); it.Valid(); it.Next()) {
-    MemEntry* entry = it.entry();
-    if (entry->version == version && !entry->deleted) hits.push_back(entry);
-  }
-  const DeadSink sink{aof_.get(), nullptr};
-  for (MemEntry* entry : hits) {
-    entry->deleted = true;
-    ++stats_.dels;
-    ++flagged;
-    ApplyDeleteAccounting(*idx, sink, entry);
-    if (options_.aof.log_deletes) {
-      Result<aof::RecordAddress> addr = aof_->AppendRecord(
-          entry->user_key(), version, aof::kFlagTombstone, Slice());
-      if (!addr.ok()) return NoteWriteError(addr.status());
-      aof_->MarkDead(*addr, aof::RecordExtent(entry->key_size, 0));
-    }
-  }
-  if (options_.auto_gc) {
-    Status s = MaybeGcLocked();
-    if (!s.ok()) return s;
-  }
-  return flagged;
-}
-
-// ---------------------------------------------------------------------------
-// Group commit
-// ---------------------------------------------------------------------------
 
 Status QinDb::Write(WriteBatch& batch) {
   batch.statuses_.clear();
@@ -488,126 +266,100 @@ Status QinDb::Write(WriteBatch& batch) {
   }
 #endif
 
-  if (Status w = CheckWritable(); !w.ok()) {
-    batch.statuses_.assign(batch.ops_.size(), w);
-    return w;
-  }
-  if (!options_.group_commit) return WriteUngrouped(batch);
-
-  // Pre-encode this batch's Put records — checksum included — on the
-  // calling thread, before taking any lock. Encoding is the dominant
-  // per-op cost of a write (the CRC over the value), so under group commit
-  // it runs in parallel across the enqueueing writers while the leader's
-  // critical section shrinks to concatenate-append-apply. Ops that fail
-  // the appender's own limits are left unencoded; the plan phase rejects
-  // them per-op with a precise status.
-  PendingWrite self(&batch);
-  self.spans.assign(batch.ops_.size(), {0, 0});
+  // Route every op. A DropVersion fans out to all shards; at num_shards=1
+  // everything is trivially single-shard and the batch passes through to
+  // the shard untouched (no sub-batch copies on the hot path).
+  const uint32_t n = num_shards();
+  bool single_shard = true;
+  uint32_t only_shard = 0;
+  std::vector<uint32_t> routes(batch.ops_.size());
   for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
     const WriteOp& op = batch.ops_[oi];
-    if (op.kind != WriteOpKind::kPut) continue;
-    if (op.key.empty() || op.key.size() > UINT16_MAX ||
-        aof::RecordExtent(op.key.size(), op.value.size()) >
-            options_.aof.segment_bytes) {
+    if (op.kind == WriteOpKind::kDropVersion) {
+      routes[oi] = UINT32_MAX;  // All shards.
+      if (n > 1) single_shard = false;
       continue;
     }
-    const size_t at = self.encoded.size();
-    aof::EncodeRecord(op.key, op.version,
-                      op.dedup ? aof::kFlagDedup : aof::kFlagNone, op.value,
-                      &self.encoded);
-    self.spans[oi] = {at, self.encoded.size() - at};
-  }
-
-  // Enqueue before contending on write_mutex_: while the current leader
-  // commits (holding write_mutex_), later writers still reach the queue, so
-  // the next leader finds a group, not a single batch. Only the queue FRONT
-  // proceeds to write_mutex_; every other writer parks on batch_cv_ and is
-  // released by the leader that commits its batch. Followers therefore never
-  // touch write_mutex_ at all — without the gate, each committed follower
-  // still had to win one write_mutex_ handoff just to observe done, which
-  // serialized a futex wake per op and erased the win from batching.
-  {
-    MutexLock queue_lock(&batch_mu_);
-    write_queue_.push_back(&self);
-    // An empty queue while !done means a looping leader drained this batch
-    // into its in-flight group; done is forthcoming, so keep waiting.
-    while (!self.done &&
-           (write_queue_.empty() || write_queue_.front() != &self)) {
-      batch_cv_.Wait();
+    routes[oi] = op.key.empty() ? 0 : ShardOf(op.key);
+    if (oi == 0 || (single_shard && routes[oi] == only_shard)) {
+      only_shard = routes[oi];
+    } else {
+      single_shard = false;
     }
-    if (self.done) return self.overall;
   }
+  if (n == 1) single_shard = true, only_shard = 0;
+  if (single_shard) return shards_[only_shard]->Write(batch);
 
-  MutexLock lock(&write_mutex_);
-  while (true) {
-    std::vector<PendingWrite*> group;
-    {
-      MutexLock queue_lock(&batch_mu_);
-      // A previous leader may have committed this batch between the park
-      // above and this thread acquiring write_mutex_.
-      if (self.done) return self.overall;
-      size_t group_ops = 0;
-      uint64_t group_bytes = 0;
-      while (!write_queue_.empty()) {
-        PendingWrite* candidate = write_queue_.front();
-        if (!group.empty() &&
-            (group_ops + candidate->batch->size() >
-                 options_.group_commit_max_ops ||
-             group_bytes + candidate->batch->ApproximateBytes() >
-                 options_.group_commit_max_bytes)) {
-          break;
-        }
-        group.push_back(candidate);
-        group_ops += candidate->batch->size();
-        group_bytes += candidate->batch->ApproximateBytes();
-        write_queue_.pop_front();
-      }
-    }
-    // The queue still held this thread's own batch, so group is non-empty.
-    CommitGroupLocked(group);
-    bool self_done = false;
-    {
-      MutexLock queue_lock(&batch_mu_);
-      for (PendingWrite* member : group) member->done = true;
-      self_done = self.done;
-      // Wakes the committed followers (they return) and the new queue
-      // front (it becomes the next leader).
-      batch_cv_.SignalAll();
-    }
-    if (self_done) return self.overall;
-    // The budget cut the drain before reaching this thread's batch (older
-    // batches filled the group): lead another round.
-  }
-}
-
-Status QinDb::WriteUngrouped(WriteBatch& batch) {
-  MutexLock lock(&write_mutex_);
-  batch.statuses_.reserve(batch.ops_.size());
+  // Split into per-shard sub-batches, remembering for each sub-op the
+  // submission-order index it came from.
+  std::vector<WriteBatch> subs(n);
+  std::vector<std::vector<size_t>> origin(n);
   for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
     const WriteOp& op = batch.ops_[oi];
-    Status s;
+    if (routes[oi] == UINT32_MAX) {
+      for (uint32_t s = 0; s < n; ++s) {
+        subs[s].DropVersion(op.version);
+        origin[s].push_back(oi);
+      }
+      continue;
+    }
+    WriteBatch& sub = subs[routes[oi]];
     switch (op.kind) {
       case WriteOpKind::kPut:
-        s = PutLocked(op.key, op.version, op.value, op.dedup);
+        sub.Put(op.key, op.version, op.value, op.dedup);
         break;
       case WriteOpKind::kDel:
-        s = DelLocked(op.key, op.version);
+        sub.Del(op.key, op.version);
         break;
-      case WriteOpKind::kDropVersion: {
-        Result<uint64_t> flagged = DropVersionLocked(op.version);
-        if (flagged.ok()) batch.dropped_[oi] = *flagged;
-        s = flagged.status();
-        break;
-      }
+      case WriteOpKind::kDropVersion:
+        break;  // Handled above.
     }
-    batch.statuses_.push_back(s);
-    if (!s.ok() && degraded()) {
-      // A write fault tripped degraded mode mid-batch: the remaining ops
-      // fail the same way a sequence of single-op calls would.
-      for (size_t rest = oi + 1; rest < batch.ops_.size(); ++rest) {
-        batch.statuses_.push_back(CheckWritable());
+    origin[routes[oi]].push_back(oi);
+  }
+
+  std::vector<uint32_t> involved;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!subs[s].ops_.empty()) involved.push_back(s);
+  }
+
+  if (!options_.group_commit) {
+    // Ungrouped mode stays sequential (it is the single-threaded baseline);
+    // each shard still applies its sub-batch under its own lock.
+    for (uint32_t s : involved) shards_[s]->Write(subs[s]);
+  } else {
+    // Parallel commit: enqueue the sub-batch on EVERY involved shard first,
+    // then complete them in ascending shard order. All facade writers use
+    // this order, so any wait chain between writers runs strictly from
+    // higher to lower shard index and cannot cycle; meanwhile sub-batches
+    // enqueued on shards this thread has not reached yet are committed by
+    // those shards' own leaders — that is where the parallelism comes from.
+    std::vector<Shard::PendingWrite> pending;
+    pending.reserve(involved.size());
+    for (uint32_t s : involved) {
+      subs[s].statuses_.clear();
+      subs[s].dropped_.assign(subs[s].ops_.size(), 0);
+      pending.emplace_back(&subs[s]);
+      shards_[s]->EnqueueWrite(&pending.back());
+    }
+    for (size_t i = 0; i < involved.size(); ++i) {
+      shards_[involved[i]]->CompleteWrite(&pending[i]);
+    }
+  }
+
+  // Stitch per-op statuses back into submission order; DropVersion counts
+  // sum across shards and surface the first shard failure.
+  batch.statuses_.assign(batch.ops_.size(), Status::OK());
+  for (uint32_t s : involved) {
+    for (size_t j = 0; j < origin[s].size(); ++j) {
+      const size_t oi = origin[s][j];
+      if (routes[oi] == UINT32_MAX) {
+        batch.dropped_[oi] += subs[s].dropped_[j];
+        if (batch.statuses_[oi].ok() && !subs[s].statuses_[j].ok()) {
+          batch.statuses_[oi] = subs[s].statuses_[j];
+        }
+      } else {
+        batch.statuses_[oi] = subs[s].statuses_[j];
       }
-      break;
     }
   }
   for (const Status& s : batch.statuses_) {
@@ -616,664 +368,120 @@ Status QinDb::WriteUngrouped(WriteBatch& batch) {
   return Status::OK();
 }
 
-void QinDb::CommitGroupLocked(const std::vector<PendingWrite*>& group) {
-  // A previous group may have tripped degraded mode while this batch
-  // waited; fail every drained batch the way a lone op would fail.
-  if (Status w = CheckWritable(); !w.ok()) {
-    for (PendingWrite* member : group) {
-      member->batch->statuses_.assign(member->batch->ops_.size(), w);
-      member->overall = w;
-    }
-    return;
-  }
+Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {
+  DIRECTLOAD_FAILPOINT(fp_qindb_get);
+  return shards_[ShardOf(key)]->Get(key, version);
+}
 
-  MemIndex* idx = CurrentIndex();
-  const uint32_t segment_before = aof_->active_segment();
-
-  // --- Plan: walk every op of every batch in order, deciding per-op
-  // validity and collecting the records the group will append. Del and
-  // DropVersion must observe the effect of earlier ops in the group whose
-  // records are not yet appended (hence not yet in the index); `overlay`
-  // carries that pending state keyed on (key, version). Planning and apply
-  // run inside one write_mutex_ critical section, so plan-time decisions
-  // are exact, not speculative.
-  enum class Action : uint8_t {
-    kSkip,  // Per-op status already final (invalid op, NotFound, no-op).
-    kPut,   // Insert the record at slot `slot`.
-    kDel,   // Flag (key, version) deleted; tombstone at `slot` if logged.
-    kDrop,  // Flag hits [hit_begin, hit_end); tombstones from `slot` on.
-  };
-  struct PlannedOp {
-    Action action = Action::kSkip;
-    size_t slot = SIZE_MAX;
-    size_t hit_begin = 0;
-    size_t hit_end = 0;
-  };
-  struct OverlayState {
-    bool live = false;
-  };
-
-  std::vector<aof::AofManager::AppendOp> slots;
-  std::vector<Slice> drop_hits;  // Backing: memtable arena or batch ops.
-  std::map<std::pair<std::string_view, uint64_t>, OverlayState> overlay;
-  std::vector<std::vector<PlannedOp>> plans(group.size());
-
-  // The overlay only ever feeds Del/DropVersion decisions. Pure-Put groups
-  // — the hot path — skip its per-op node allocations entirely.
-  size_t total_ops = 0;
-  bool needs_overlay = false;
-  for (const PendingWrite* member : group) {
-    total_ops += member->batch->ops_.size();
-    for (const WriteOp& op : member->batch->ops_) {
-      needs_overlay |= op.kind != WriteOpKind::kPut;
-    }
-  }
-  slots.reserve(total_ops);
-
-  for (size_t b = 0; b < group.size(); ++b) {
-    WriteBatch& batch = *group[b]->batch;
-    batch.statuses_.assign(batch.ops_.size(), Status::OK());
-    batch.dropped_.assign(batch.ops_.size(), 0);
-    plans[b].resize(batch.ops_.size());
-    for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
-      const WriteOp& op = batch.ops_[oi];
-      PlannedOp& plan = plans[b][oi];
-      const std::string_view key_view(op.key);
-      switch (op.kind) {
-        case WriteOpKind::kPut: {
-          if (op.key.empty()) {
-            batch.statuses_[oi] = Status::InvalidArgument("empty key");
-            break;
-          }
-          // Pre-screen with the appender's own limits so one oversized op
-          // fails alone instead of failing the group's vectored append.
-          if (op.key.size() > UINT16_MAX) {
-            batch.statuses_[oi] = Status::InvalidArgument("key too long");
-            break;
-          }
-          if (aof::RecordExtent(op.key.size(), op.value.size()) >
-              options_.aof.segment_bytes) {
-            batch.statuses_[oi] =
-                Status::InvalidArgument("record exceeds segment capacity");
-            break;
-          }
-          plan.action = Action::kPut;
-          plan.slot = slots.size();
-          aof::AofManager::AppendOp slot{
-              Slice(op.key), op.version,
-              op.dedup ? aof::kFlagDedup : aof::kFlagNone, Slice(op.value),
-              Slice()};
-          const auto& span = group[b]->spans[oi];
-          if (span.second != 0) {
-            slot.preencoded =
-                Slice(group[b]->encoded.data() + span.first, span.second);
-          }
-          slots.push_back(slot);
-          if (needs_overlay) overlay[{key_view, op.version}] = OverlayState{true};
-          break;
-        }
-        case WriteOpKind::kDel: {
-          bool exists = false;
-          bool live = false;
-          if (auto it = overlay.find({key_view, op.version});
-              it != overlay.end()) {
-            exists = true;
-            live = it->second.live;
-          } else if (MemEntry* e = idx->FindExact(op.key, op.version);
-                     e != nullptr) {
-            exists = true;
-            live = !e->deleted.load(std::memory_order_acquire);
-          }
-          if (!exists) {
-            batch.statuses_[oi] = Status::NotFound("no such key/version");
-            break;
-          }
-          if (!live) break;  // Already deleted: a successful no-op.
-          plan.action = Action::kDel;
-          if (options_.aof.log_deletes) {
-            plan.slot = slots.size();
-            slots.push_back({Slice(op.key), op.version, aof::kFlagTombstone,
-                             Slice(), Slice()});
-          }
-          overlay[{key_view, op.version}] = OverlayState{false};
-          break;
-        }
-        case WriteOpKind::kDropVersion: {
-          plan.action = Action::kDrop;
-          plan.hit_begin = drop_hits.size();
-          // Index pass: live pairs of this version the group has not
-          // already re-decided (the overlay pass covers those).
-          for (MemIndex::Iterator it = idx->NewIterator(); it.Valid();
-               it.Next()) {
-            MemEntry* entry = it.entry();
-            if (entry->version != op.version || entry->deleted) continue;
-            const Slice entry_key = entry->user_key();
-            if (overlay.count({std::string_view(entry_key.data(),
-                                                entry_key.size()),
-                               op.version}) != 0) {
-              continue;
-            }
-            drop_hits.push_back(entry_key);
-          }
-          for (const auto& [ov_key, state] : overlay) {
-            if (ov_key.second == op.version && state.live) {
-              drop_hits.push_back(Slice(ov_key.first));
-            }
-          }
-          plan.hit_end = drop_hits.size();
-          if (options_.aof.log_deletes) {
-            plan.slot = slots.size();
-            for (size_t h = plan.hit_begin; h < plan.hit_end; ++h) {
-              slots.push_back({drop_hits[h], op.version, aof::kFlagTombstone,
-                               Slice(), Slice()});
-            }
-          }
-          for (size_t h = plan.hit_begin; h < plan.hit_end; ++h) {
-            overlay[{std::string_view(drop_hits[h].data(),
-                                      drop_hits[h].size()),
-                     op.version}] = OverlayState{false};
-          }
-          break;
-        }
-      }
-    }
-  }
-
-  // --- Append: every record of the group, one vectored call. One segment
-  // append + one roll check + one occupancy update per run instead of N.
-  std::vector<aof::RecordAddress> addresses;
-  if (!slots.empty()) {
-    Status s = aof_->AppendMany(slots.data(), slots.size(), &addresses);
-    if (!s.ok()) {
-      NoteWriteError(s);
-      // The group commits or fails as one append, like a lone Put whose
-      // AppendRecord failed. Ops already rejected during planning keep
-      // their more specific statuses.
-      for (size_t b = 0; b < group.size(); ++b) {
-        WriteBatch& batch = *group[b]->batch;
-        for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
-          if (plans[b][oi].action != Action::kSkip) batch.statuses_[oi] = s;
-        }
-        group[b]->overall = s;
-      }
-      return;
-    }
-  }
-
-  // --- Apply: memtable mutations strictly in op order, so a concurrent
-  // lock-free reader can observe a prefix of the group but never a key's
-  // version chain with an op applied out of order (a dedup entry always
-  // lands after the base value it tracebacks to). Occupancy updates are
-  // deferred into one MarkDeadMany.
-  uint64_t ingested = 0;
-  bool any_applied_delete = false;
-  std::vector<std::pair<aof::RecordAddress, uint64_t>> dead;
-  const DeadSink sink{nullptr, &dead};
-  for (size_t b = 0; b < group.size(); ++b) {
-    WriteBatch& batch = *group[b]->batch;
-    for (size_t oi = 0; oi < batch.ops_.size(); ++oi) {
-      const WriteOp& op = batch.ops_[oi];
-      const PlannedOp& plan = plans[b][oi];
-      switch (plan.action) {
-        case Action::kSkip:
-          break;
-        case Action::kPut: {
-          MemEntry* old = idx->FindExact(op.key, op.version);
-          if (old != nullptr) {
-            // Re-PUT of the same versioned key supersedes the previous
-            // record (possibly one from earlier in this very group).
-            sink.MarkDead(aof::RecordAddress::Unpack(old->address),
-                          EntryExtent(old));
-          }
-          idx->Insert(op.key, op.version, addresses[plan.slot].Pack(),
-                      static_cast<uint32_t>(op.value.size()), op.dedup);
-          ++stats_.puts;
-          if (op.dedup) ++stats_.dedup_puts;
-          ingested += op.key.size() + op.value.size();
-          break;
-        }
-        case Action::kDel: {
-          MemEntry* entry = idx->FindExact(op.key, op.version);
-          if (entry != nullptr &&
-              !entry->deleted.exchange(true, std::memory_order_acq_rel)) {
-            ++stats_.dels;
-            any_applied_delete = true;
-            ApplyDeleteAccounting(*idx, sink, entry);
-          }
-          if (plan.slot != SIZE_MAX) {
-            // Tombstones are dead on arrival for occupancy purposes.
-            sink.MarkDead(addresses[plan.slot],
-                          aof::RecordExtent(op.key.size(), 0));
-          }
-          break;
-        }
-        case Action::kDrop: {
-          uint64_t flagged = 0;
-          for (size_t h = plan.hit_begin; h < plan.hit_end; ++h) {
-            MemEntry* entry = idx->FindExact(drop_hits[h], op.version);
-            if (entry != nullptr &&
-                !entry->deleted.exchange(true, std::memory_order_acq_rel)) {
-              ++stats_.dels;
-              ++flagged;
-              any_applied_delete = true;
-              ApplyDeleteAccounting(*idx, sink, entry);
-            }
-            if (plan.slot != SIZE_MAX) {
-              sink.MarkDead(addresses[plan.slot + (h - plan.hit_begin)],
-                            aof::RecordExtent(drop_hits[h].size(), 0));
-            }
-          }
-          batch.dropped_[oi] = flagged;
-          break;
-        }
-      }
-    }
-  }
-  stats_.user_bytes_ingested += ingested;
-  aof_->MarkDeadMany(dead);
-
-  // Per-batch overall: the first failing per-op status, like the return of
-  // the equivalent single-op call sequence.
-  for (PendingWrite* member : group) {
-    member->overall = Status::OK();
-    for (const Status& s : member->batch->statuses_) {
-      if (!s.ok()) {
-        member->overall = s;
-        break;
-      }
-    }
-  }
-
-  // Maintenance runs once per group, at the same boundaries the single-op
-  // path used: the interval checkpoint on ingested bytes, the lazy GC when
-  // a segment sealed or a delete freed space. A maintenance failure leaves
-  // the group's data committed but surfaces as every batch's overall
-  // status — exactly how a lone Put reports a failed interval checkpoint.
-  Status maintenance;
-  if (options_.checkpoint_interval_bytes > 0 &&
-      stats_.user_bytes_ingested - bytes_at_last_checkpoint_ >=
-          options_.checkpoint_interval_bytes) {
-    maintenance = CheckpointLocked();
-    if (!maintenance.ok()) {
-      NoteWriteError(maintenance);
-    } else {
-      bytes_at_last_checkpoint_ = stats_.user_bytes_ingested;
-    }
-  }
-  if (maintenance.ok() && options_.auto_gc &&
-      (any_applied_delete || aof_->active_segment() != segment_before)) {
-    maintenance = MaybeGcLocked();  // Applies NoteWriteError internally.
-  }
-  if (!maintenance.ok()) {
-    for (PendingWrite* member : group) member->overall = maintenance;
-  }
+Result<std::string> QinDb::GetLatest(const Slice& key) {
+  DIRECTLOAD_FAILPOINT(fp_qindb_get);
+  return shards_[ShardOf(key)]->GetLatest(key);
 }
 
 std::map<uint64_t, uint64_t> QinDb::VersionCounts() const {
-  std::map<uint64_t, uint64_t> counts;
-  const std::shared_ptr<const MemIndex> index = PinIndex();
-  for (MemIndex::Iterator it = index->NewIterator(); it.Valid(); it.Next()) {
-    const MemEntry* entry = it.entry();
-    if (!entry->deleted) ++counts[entry->version];
+  std::map<uint64_t, uint64_t> merged;
+  for (const auto& shard : shards_) {
+    for (const auto& [version, count] : shard->VersionCounts()) {
+      merged[version] += count;
+    }
   }
-  return counts;
+  return merged;
 }
 
 Status QinDb::MaybeGc() {
-  if (Status w = CheckWritable(); !w.ok()) return w;
-  MutexLock lock(&write_mutex_);
-  return MaybeGcLocked();
-}
-
-Status QinDb::MaybeGcLocked() {
-  if (aof_->GcVictims().empty()) return Status::OK();
-  if (options_.defer_gc_during_reads && reads_in_flight() > 0) {
-    const double usage = static_cast<double>(DiskBytes()) /
-                         static_cast<double>(env_->CapacityBytes());
-    if (usage < options_.gc_space_pressure) {
-      ++stats_.gc_deferrals;
-      return Status::OK();
-    }
+  for (const auto& shard : shards_) {
+    if (Status s = shard->MaybeGc(); !s.ok()) return s;
   }
-  // GC rewrites live records; a failure partway through can leave a victim
-  // half-relocated, so it degrades the engine like any other write fault.
-  return NoteWriteError(CollectVictimsLocked());
+  return Status::OK();
 }
 
 Status QinDb::ForceGc() {
-  if (Status w = CheckWritable(); !w.ok()) return w;
-  MutexLock lock(&write_mutex_);
-  if (aof_->GcVictims().empty()) return Status::OK();
-  return NoteWriteError(CollectVictimsLocked());
-}
-
-Status QinDb::CollectVictimsLocked() {
-  const std::vector<uint32_t> victims = aof_->GcVictims();
-  if (victims.empty()) return Status::OK();
-
-  // Relocations make any existing checkpoint's addresses stale, so drop it
-  // BEFORE touching a single record. If the checkpoint outlived any part of
-  // a collection — a crash after a victim segment is erased but before the
-  // invalidation — recovery would trust checkpoint addresses that point
-  // into segments that no longer exist. Invalidating first means a crash
-  // anywhere inside GC recovers by full scan, which reconciles original
-  // and relocated copies from the on-disk records alone. (The crash-point
-  // sweep in tests/chaos_test.cc exercises exactly these windows.)
-  if (Status s = InvalidateCheckpoint(); !s.ok()) return s;
-
-  // The callbacks below run with the AOF manager's lock held exclusively,
-  // so they must not re-enter the manager and must not take pin_mu_ (the
-  // rank order allows it, but the analysis cannot see into lambdas): the
-  // live index is captured up front. It cannot be retired mid-collection
-  // because only this function retires indices, under write_mutex_.
-  MemIndex* live = CurrentIndex();
-
-  // Snapshot the retired indices still pinned by readers: relocations must
-  // patch their entries too, or a pinned snapshot would keep chasing
-  // addresses inside segments that no longer exist.
-  std::vector<std::shared_ptr<MemIndex>> retired;
-  {
-    MutexLock pin_lock(&pin_mu_);
-    retired.reserve(retired_.size());
-    for (auto it = retired_.begin(); it != retired_.end();) {
-      if (std::shared_ptr<MemIndex> idx = it->lock()) {
-        retired.push_back(std::move(idx));
-        ++it;
-      } else {
-        it = retired_.erase(it);  // No pinned reader left.
-      }
-    }
-  }
-
-  for (uint32_t id : victims) {
-    Status s = aof_->CollectSegment(
-        id,
-        /*classify=*/
-        [live](const aof::RecordAddress& addr, const aof::RecordView& rec) {
-          if (rec.is_tombstone()) {
-            // Keep the tombstone while the pair it deletes is still indexed:
-            // the dead record may survive in an uncollected segment (or as a
-            // relocated referent), and a recovery scan without the tombstone
-            // would resurrect it. Once the record's entry is purged the
-            // tombstone has nothing left to delete and can go.
-            MemEntry* entry = live->FindExact(rec.key, rec.header.version);
-            return entry != nullptr && entry->deleted;
-          }
-          MemEntry* entry = live->FindExact(rec.key, rec.header.version);
-          if (entry == nullptr ||
-              aof::RecordAddress::Unpack(entry->address) != addr) {
-            return false;  // Superseded copy or already purged.
-          }
-          if (!entry->deleted) return true;  // Live data.
-          // Deleted but possibly still referenced by a newer deduplicated
-          // version (Figure 2, top right).
-          return IsReferentIn(*live, rec.key, rec.header.version);
-        },
-        /*relocate=*/
-        [live, &retired](const aof::RecordAddress& old_addr,
-                         const aof::RecordAddress& new_addr,
-                         const aof::RecordView& rec) {
-          if (rec.is_tombstone()) return;  // No memtable item to patch.
-          const uint64_t old_packed = old_addr.Pack();
-          const uint64_t new_packed = new_addr.Pack();
-          MemEntry* entry = live->FindExact(rec.key, rec.header.version);
-          if (entry != nullptr) {
-            entry->address.store(new_packed, std::memory_order_release);
-          }
-          for (const auto& idx : retired) {
-            MemEntry* ghost = idx->FindExact(rec.key, rec.header.version);
-            if (ghost != nullptr &&
-                ghost->address.load(std::memory_order_acquire) == old_packed) {
-              ghost->address.store(new_packed, std::memory_order_release);
-            }
-          }
-        },
-        /*drop=*/
-        [live](const aof::RecordAddress& old_addr,
-               const aof::RecordView& rec) {
-          if (rec.is_tombstone()) return;
-          MemEntry* entry = live->FindExact(rec.key, rec.header.version);
-          if (entry != nullptr &&
-              aof::RecordAddress::Unpack(entry->address) == old_addr &&
-              entry->deleted) {
-            // Deleted with no referent: remove the item from the skip list.
-            live->Purge(entry);
-          }
-        });
-    if (!s.ok()) return s;
-    // Readers whose record read failed mid-collection use the epoch bump as
-    // the signal to retry against the patched addresses.
-    gc_epoch_.fetch_add(1, std::memory_order_release);
-  }
-  ++stats_.gc_invocations;
-
-  // The skip list never physically unlinks nodes; once purged ghosts
-  // dominate, rebuild a dense index so memory stays proportional to live
-  // entries (Section 2.1's "sufficient memory space" invariant). Pinned
-  // readers keep the retired index alive via their refcount; it is freed
-  // when the last of them drops its pin.
-  if (live->total_count() > 4096 &&
-      live->live_count() * 2 < live->total_count()) {
-    auto fresh = std::make_shared<MemIndex>();
-    live->CompactInto(fresh.get());
-    MutexLock pin_lock(&pin_mu_);
-    retired_.push_back(mem_);
-    mem_ = std::move(fresh);
-  }
-
-  return Status::OK();
-}
-
-Status QinDb::InvalidateCheckpoint() {
-  checkpoint_valid_ = false;
-  if (env_->FileExists(kCheckpointName)) {
-    return env_->DeleteFile(kCheckpointName);
-  }
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------------------
-// Recovery and checkpointing
-// ---------------------------------------------------------------------------
-
-Status QinDb::RecoverFromScan(uint32_t min_segment) {
-  DIRECTLOAD_FAILPOINT(fp_qindb_recovery_scan);
-  MemIndex* idx = CurrentIndex();
-  // Scan holds the AOF manager's lock shared, so the callback must not
-  // re-enter the manager: dead marks are buffered through `sink` and
-  // applied after the scan returns. Decisions are still made inline against
-  // the memtable — nothing during the scan reads occupancy, so the deferral
-  // is invisible.
-  std::vector<std::pair<aof::RecordAddress, uint64_t>> deferred;
-  const DeadSink sink{nullptr, &deferred};
-  // A tombstone can precede the record it deletes in scan order: GC
-  // relocates kept referents past their tombstones. Such a tombstone is
-  // remembered as a deleted placeholder so the relocated copy cannot
-  // resurrect the pair; placeholders no copy claimed are purged afterwards.
-  std::vector<std::pair<MemEntry*, uint64_t>> placeholders;
-  Status s = aof_->Scan(
-      [idx, &sink, &placeholders](const aof::RecordAddress& addr,
-                                  const aof::RecordView& rec) {
-        const uint64_t packed = addr.Pack();
-        if (rec.is_tombstone()) {
-          MemEntry* entry = idx->FindExact(rec.key, rec.header.version);
-          if (entry == nullptr) {
-            entry = idx->Insert(rec.key, rec.header.version, packed,
-                                /*value_size=*/0, /*dedup=*/false);
-            entry->deleted.store(true, std::memory_order_relaxed);
-            placeholders.emplace_back(entry, packed);
-          } else if (!entry->deleted) {
-            entry->deleted = true;
-            ApplyDeleteAccounting(*idx, sink, entry);
-          }
-          sink.MarkDead(addr, aof::RecordExtent(rec.key.size(), 0));
-          return true;
-        }
-        MemEntry* old = idx->FindExact(rec.key, rec.header.version);
-        if (old != nullptr && rec.is_relocated()) {
-          // A relocated copy is the same logical record the index already
-          // tracks, not a newer write: adopt the new address but preserve
-          // the deleted state an earlier tombstone established. A deleted
-          // entry's old record is already accounted dead.
-          if (!old->deleted) {
-            sink.MarkDead(aof::RecordAddress::Unpack(old->address),
-                          EntryExtent(old));
-          }
-          old->address.store(packed, std::memory_order_relaxed);
-          old->value_size.store(rec.header.value_len,
-                                std::memory_order_relaxed);
-          old->dedup.store(rec.is_dedup(), std::memory_order_relaxed);
-          return true;
-        }
-        if (old != nullptr) {
-          sink.MarkDead(aof::RecordAddress::Unpack(old->address),
-                        EntryExtent(old));
-        }
-        idx->Insert(rec.key, rec.header.version, packed,
-                    rec.header.value_len, rec.is_dedup());
-        return true;
-      },
-      min_segment);
-  if (!s.ok()) return s;
-  for (const auto& [addr, extent] : deferred) {
-    aof_->MarkDead(addr, extent);
-  }
-  for (const auto& [entry, tomb_addr] : placeholders) {
-    if (entry->deleted &&
-        entry->address.load(std::memory_order_relaxed) == tomb_addr) {
-      idx->Purge(entry);  // The delete's record never showed up: drop both.
-    }
+  for (const auto& shard : shards_) {
+    if (Status s = shard->ForceGc(); !s.ok()) return s;
   }
   return Status::OK();
 }
 
 Status QinDb::Checkpoint() {
-  if (Status w = CheckWritable(); !w.ok()) return w;
-  MutexLock lock(&write_mutex_);
-  return NoteWriteError(CheckpointLocked());
-}
-
-Status QinDb::CheckpointLocked() {
-  DIRECTLOAD_FAILPOINT(fp_qindb_checkpoint);
-  Status s = aof_->SealActive();
-  if (!s.ok()) return s;
-
-  MemIndex* idx = CurrentIndex();
-  std::string blob;
-  PutFixed64(&blob, kCheckpointMagic);
-  PutFixed32(&blob, aof_->active_segment());
-  const std::map<uint32_t, aof::SegmentMeta> metas = aof_->SegmentMetas();
-  PutVarint64(&blob, metas.size());
-  for (const auto& [id, meta] : metas) {
-    PutFixed32(&blob, id);
-    PutVarint64(&blob, meta.total_bytes);
-    PutVarint64(&blob, meta.live_bytes);
+  for (const auto& shard : shards_) {
+    if (Status s = shard->Checkpoint(); !s.ok()) return s;
   }
-  PutVarint64(&blob, idx->live_count());
-  for (MemIndex::Iterator it = idx->NewIterator(); it.Valid(); it.Next()) {
-    const MemEntry* e = it.entry();
-    PutLengthPrefixedSlice(&blob, e->user_key());
-    PutVarint64(&blob, e->version);
-    PutFixed64(&blob, e->address);
-    PutVarint32(&blob, e->value_size);
-    uint8_t flags = 0;
-    if (e->dedup) flags |= kCkptDedup;
-    if (e->deleted) flags |= kCkptDeleted;
-    blob.push_back(static_cast<char>(flags));
-  }
-  PutFixed32(&blob, crc32c::Mask(crc32c::Value(blob.data(), blob.size())));
-
-  if (env_->FileExists(kCheckpointTemp)) {
-    s = env_->DeleteFile(kCheckpointTemp);
-    if (!s.ok()) return s;
-  }
-  Result<std::unique_ptr<ssd::WritableFile>> file =
-      env_->NewWritableFile(kCheckpointTemp);
-  if (!file.ok()) return file.status();
-  s = (*file)->Append(blob);
-  if (!s.ok()) return s;
-  s = (*file)->Close();
-  if (!s.ok()) return s;
-  s = env_->RenameFile(kCheckpointTemp, kCheckpointName);
-  if (!s.ok()) return s;
-  checkpoint_valid_ = true;
   return Status::OK();
 }
 
-Status QinDb::LoadCheckpoint(const std::string& name, bool* loaded,
-                             std::map<uint32_t, aof::SegmentMeta>* metas,
-                             uint32_t* next_segment) {
-  *loaded = false;
-  Result<uint64_t> size = env_->GetFileSize(name);
-  if (!size.ok()) return size.status();
-  Result<std::unique_ptr<ssd::RandomAccessFile>> file =
-      env_->NewRandomAccessFile(name);
-  if (!file.ok()) return file.status();
-  std::string blob;
-  Status s = (*file)->Read(0, *size, &blob);
-  if (!s.ok()) return s;
-
-  if (blob.size() < 16) return Status::Corruption("checkpoint too small");
-  const uint32_t stored_crc =
-      crc32c::Unmask(DecodeFixed32(blob.data() + blob.size() - 4));
-  const uint32_t actual_crc = crc32c::Value(blob.data(), blob.size() - 4);
-  if (stored_crc != actual_crc) {
-    return Status::Corruption("checkpoint checksum mismatch");
+Result<QinDb::ScrubReport> QinDb::Scrub() {
+  ScrubReport total;
+  for (const auto& shard : shards_) {
+    Result<ScrubReport> report = shard->Scrub();
+    if (!report.ok()) return report.status();
+    total.entries_checked += report->entries_checked;
+    total.bytes_verified += report->bytes_verified;
+    total.damaged_entries += report->damaged_entries;
+    total.unresolvable_dedups += report->unresolvable_dedups;
   }
-
-  Slice in(blob.data(), blob.size() - 4);
-  if (DecodeFixed64(in.data()) != kCheckpointMagic) {
-    return Status::Corruption("bad checkpoint magic");
-  }
-  in.remove_prefix(8);
-  *next_segment = DecodeFixed32(in.data());
-  in.remove_prefix(4);
-
-  uint64_t meta_count = 0;
-  if (!GetVarint64(&in, &meta_count)) return Status::Corruption("metas");
-  for (uint64_t i = 0; i < meta_count; ++i) {
-    if (in.size() < 4) return Status::Corruption("meta id");
-    const uint32_t id = DecodeFixed32(in.data());
-    in.remove_prefix(4);
-    aof::SegmentMeta meta;
-    if (!GetVarint64(&in, &meta.total_bytes) ||
-        !GetVarint64(&in, &meta.live_bytes)) {
-      return Status::Corruption("meta bytes");
-    }
-    (*metas)[id] = meta;
-  }
-
-  // Entries are stashed raw and applied after the AOF manager opens.
-  pending_checkpoint_.assign(in.data(), in.size());
-  *loaded = true;
-  return Status::OK();
+  return total;
 }
 
-Status QinDb::ApplyCheckpointEntries() {
-  MemIndex* idx = CurrentIndex();
-  Slice in(pending_checkpoint_);
-  uint64_t count = 0;
-  if (!GetVarint64(&in, &count)) return Status::Corruption("entry count");
-  for (uint64_t i = 0; i < count; ++i) {
-    Slice key;
-    uint64_t version = 0;
-    uint32_t value_size = 0;
-    if (!GetLengthPrefixedSlice(&in, &key) || !GetVarint64(&in, &version)) {
-      return Status::Corruption("entry key/version");
-    }
-    if (in.size() < 8) return Status::Corruption("entry address");
-    const uint64_t address = DecodeFixed64(in.data());
-    in.remove_prefix(8);
-    if (!GetVarint32(&in, &value_size) || in.empty()) {
-      return Status::Corruption("entry value size");
-    }
-    const auto flags = static_cast<uint8_t>(in[0]);
-    in.remove_prefix(1);
-    MemEntry* entry = idx->Insert(key, version, address, value_size,
-                                  (flags & kCkptDedup) != 0);
-    entry->deleted = (flags & kCkptDeleted) != 0;
+QinDb::Scanner QinDb::NewScanner(uint64_t version) {
+  std::vector<Shard::Scanner> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    parts.push_back(shard->NewScanner(version));
   }
-  pending_checkpoint_.clear();
+  return Scanner(std::move(parts));
+}
+
+void QinDb::Scanner::Seek(const Slice& start) {
+  for (Shard::Scanner& part : parts_) part.Seek(start);
+  FindMin();
+}
+
+void QinDb::Scanner::Next() {
+  parts_[current_].Next();
+  FindMin();
+}
+
+void QinDb::Scanner::FindMin() {
+  current_ = SIZE_MAX;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i].Valid()) continue;
+    // Shard key sets are disjoint (hash-partitioned), so two valid parts
+    // never tie: strict < picks a unique minimum.
+    if (current_ == SIZE_MAX ||
+        parts_[i].key().compare(parts_[current_].key()) < 0) {
+      current_ = i;
+    }
+  }
+}
+
+uint64_t QinDb::LiveEntryCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->memtable().live_count();
+  return total;
+}
+
+bool QinDb::HasEntry(const Slice& key, uint64_t version) const {
+  return shards_[ShardOf(key)]->memtable().FindExact(key, version) != nullptr;
+}
+
+uint64_t QinDb::LiveBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->aof_->LiveBytes();
+  return total;
+}
+
+uint64_t QinDb::ApproximateMemtableBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->memtable().ApproximateMemoryUsage();
+  }
+  return total;
+}
+
+Status QinDb::SealActive() {
+  for (const auto& shard : shards_) {
+    if (Status s = shard->aof_->SealActive(); !s.ok()) return s;
+  }
   return Status::OK();
 }
 

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,59 +12,13 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
-#include "common/thread_annotations.h"
 #include "memtable/mem_index.h"
+#include "qindb/options.h"
+#include "qindb/shard.h"
 #include "qindb/write_batch.h"
 #include "ssd/env.h"
 
 namespace directload::qindb {
-
-struct QinDbOptions {
-  aof::AofOptions aof;
-
-  /// Defer AOF GC while reads are in flight, unless disk usage crosses
-  /// `gc_space_pressure` (fraction of device capacity). This is the paper's
-  /// "GC will be deferred if there are ongoing reads and free disk space".
-  bool defer_gc_during_reads = true;
-  double gc_space_pressure = 0.85;
-
-  /// Periodic checkpointing ("the memtable ... is checkpointed
-  /// periodically", Section 2.1): after this many ingested bytes a
-  /// checkpoint is written automatically. Zero disables it.
-  uint64_t checkpoint_interval_bytes = 0;
-
-  /// Run the lazy GC opportunistically at write boundaries. Disable to
-  /// drive GC manually (benchmarks that isolate GC cost do this).
-  bool auto_gc = true;
-
-  /// Group commit. When on, concurrent writers enqueue their batches and
-  /// the first thread into write_mutex_ becomes the leader: it drains the
-  /// queue up to the budgets below and commits the whole group with one
-  /// vectored AOF append. When off, every op takes the legacy
-  /// one-append-per-record path (the A/B knob the benchmarks flip).
-  bool group_commit = true;
-  /// Budget caps for one commit group. The leader always takes at least one
-  /// batch, even an oversized one, so a single huge batch cannot wedge.
-  size_t group_commit_max_ops = 256;
-  uint64_t group_commit_max_bytes = 1ull << 20;
-};
-
-/// Operation counters. All fields are atomics so that reader threads and the
-/// writer can bump them concurrently; reads are monotonic but a multi-field
-/// snapshot is not atomic as a whole.
-struct QinDbStats {
-  std::atomic<uint64_t> puts{0};
-  std::atomic<uint64_t> dedup_puts{0};  // PUTs whose value was removed by Bifrost.
-  std::atomic<uint64_t> gets{0};
-  std::atomic<uint64_t> traceback_gets{0};  // GETs resolved via older versions.
-  std::atomic<uint64_t> dels{0};
-  std::atomic<uint64_t> gc_invocations{0};  // MaybeGc calls that collected.
-  std::atomic<uint64_t> gc_deferrals{0};    // Victims existed but GC deferred.
-
-  /// Application-level ingested bytes (keys + values of PUTs). This is the
-  /// "User Write" of the paper's Figure 5.
-  std::atomic<uint64_t> user_bytes_ingested{0};
-};
 
 /// QinDB: the paper's per-node key-value storage engine (Section 2.3).
 /// Keys are versioned; the memory-resident skip list maps (key, version) to
@@ -81,25 +34,34 @@ struct QinDbStats {
 ///     is reclaimed by the lazy AOF GC, which preserves deleted records that
 ///     are still referenced by later deduplicated versions (referents).
 ///
-/// Thread model: mutations (Put/Del/DropVersion/Checkpoint/GC) are
-/// serialized on write_mutex_ (rank LockRank::kQinDbWrite) — the paper's
-/// writer threads map to caller threads contending on it. Reads
-/// (Get/GetLatest/Scanner/Scrub) take no engine lock: they pin the current
-/// memtable index with a refcount (shared_ptr) via the leaf pin_mu_ (rank
-/// LockRank::kQinDbPin), traverse the skip list lock-free, and read sealed
-/// AOF bytes under the AOF manager's shared lock. The lazy GC coordinates
-/// with in-flight readers through that refcount plus a GC epoch counter: a
-/// rebuilt index is swapped in while pinned readers keep the retired one
-/// alive, relocations patch both, and a reader whose record read fails
-/// retries when the epoch or the entry's address moved underneath it.
-/// See docs/qindb_internals.md for the full rank table.
+/// Sharding: the engine is partitioned into `num_shards` independent shards
+/// (see Shard), each a complete single-stream engine — memtable, AOF segment
+/// set with its own occupancy/GC, group-commit queue, checkpoint — over a
+/// hash-assigned slice of the key space (shard = Hash64(key, seed) %
+/// num_shards). The layout is persisted in a shard manifest at first open;
+/// every reopen validates against it, so a count or seed mismatch fails the
+/// open with a clear error instead of silently misrouting keys. This facade
+/// routes point ops to their shard, splits a WriteBatch into per-shard
+/// sub-batches committed in PARALLEL through the shards' independent
+/// group-commit leaders, merges scans, and aggregates stats. At num_shards=1
+/// the engine is the pre-sharding engine byte-for-byte: legacy file names,
+/// no routing hash on the read path.
+///
+/// Thread model: each shard serializes its mutations on its own write mutex
+/// (all at rank LockRank::kQinDbWrite — the rank checker's equal-rank
+/// rejection machine-enforces that no thread ever nests two shards' locks);
+/// reads take no engine lock. Cross-shard operations visit shards strictly
+/// one at a time, in ascending shard order. See docs/qindb_internals.md.
 class QinDb {
  public:
-  /// Opens (or recovers) an engine over `env`. If AOF segments exist, the
-  /// memtable and GC table are rebuilt — from the checkpoint plus the
-  /// post-checkpoint segment suffix when a valid checkpoint is present,
-  /// otherwise by scanning the entire AOF space (the paper's recovery
-  /// story).
+  /// Opens (or recovers) an engine over `env`. The first open writes the
+  /// shard manifest (resolving `options.num_shards`: 0 means
+  /// hardware_concurrency, or 1 when unsharded legacy files exist); a reopen
+  /// adopts the manifest's layout and fails with kInvalidArgument when the
+  /// options demand a different one. Shards recover in parallel — each from
+  /// its checkpoint plus the post-checkpoint segment suffix when a valid
+  /// checkpoint is present, otherwise by scanning its entire AOF space (the
+  /// paper's recovery story, per shard).
   static Result<std::unique_ptr<QinDb>> Open(ssd::SsdEnv* env,
                                              const QinDbOptions& options);
 
@@ -109,18 +71,26 @@ class QinDb {
   /// PUT(<k/t, v>). `dedup` marks a pair whose value Bifrost removed; the
   /// record is appended with a NULL value and the `r` flag set.
   Status Put(const Slice& key, uint64_t version, const Slice& value,
-             bool dedup = false) EXCLUDES(write_mutex_);
+             bool dedup = false);
 
-  /// Applies the batch's ops strictly in order, committing them together
-  /// (group commit: one vectored AOF append for the whole group). Fills
-  /// batch.statuses() with one status per op — an invalid op (empty key,
-  /// oversized record, Del of a missing pair) fails alone, exactly as the
-  /// equivalent single-op call would, without affecting its neighbors.
-  /// Returns the first non-OK per-op status (or the batch-wide failure when
-  /// the group's append/checkpoint/GC failed). Concurrent readers may
-  /// observe a prefix of the batch, but never a single key's version chain
-  /// with an op applied out of order.
-  Status Write(WriteBatch& batch) EXCLUDES(write_mutex_);
+  /// Applies the batch's ops through the owning shards' committers. Fills
+  /// batch.statuses() with one status per op in submission order — an
+  /// invalid op (empty key, oversized record, Del of a missing pair) fails
+  /// alone, exactly as the equivalent single-op call would. Returns the
+  /// first non-OK per-op status in submission order.
+  ///
+  /// A batch whose ops all route to ONE shard keeps the unsharded contract:
+  /// ops apply strictly in order, concurrent readers may observe a prefix
+  /// but never a key's version chain out of order. A cross-shard batch is
+  /// split into per-shard sub-batches committed in parallel (enqueued on
+  /// every involved shard, then completed in ascending shard order); ops on
+  /// the SAME shard — in particular every op on one key — still apply in
+  /// submission order, but cross-shard inter-op order is unspecified and
+  /// the batch is not atomic across shards: if one shard's append fails,
+  /// only that shard's ops fail (their statuses say why), and a crash can
+  /// persist one shard's sub-batch without another's. DropVersion ops fan
+  /// out to every shard; their dropped() counts are summed.
+  Status Write(WriteBatch& batch);
 
   /// GET(k/t): the value of `key` at exactly `version`, tracing back through
   /// older versions when the pair was deduplicated.
@@ -130,85 +100,87 @@ class QinDb {
   Result<std::string> GetLatest(const Slice& key);
 
   /// DEL(k/t): flags the pair deleted; physical reclamation is lazy.
-  Status Del(const Slice& key, uint64_t version) EXCLUDES(write_mutex_);
+  Status Del(const Slice& key, uint64_t version);
 
   /// Flags every pair of `version` deleted (the paper's deletion thread
-  /// dropping the oldest of the four retained versions). Returns the number
-  /// of pairs flagged.
-  Result<uint64_t> DropVersion(uint64_t version) EXCLUDES(write_mutex_);
+  /// dropping the oldest of the four retained versions), across all shards.
+  /// Returns the number of pairs flagged.
+  Result<uint64_t> DropVersion(uint64_t version);
 
   /// Inventory of live (non-deleted) pairs per version — what the deletion
   /// thread consults to decide which version to retire ("at most four
-  /// versions of index data persist", Section 1.1.2).
+  /// versions of index data persist", Section 1.1.2). Merged over shards.
   std::map<uint64_t, uint64_t> VersionCounts() const;
 
-  /// Runs the lazy GC policy: collects victim segments (occupancy <=
-  /// threshold) unless deferred by ongoing reads with free space remaining.
-  Status MaybeGc() EXCLUDES(write_mutex_);
+  /// Runs the lazy GC policy on every shard, one at a time: each collects
+  /// its victim segments (occupancy <= threshold) unless deferred by
+  /// ongoing reads with free space remaining.
+  Status MaybeGc();
 
-  /// Collects all victims regardless of the deferral policy.
-  Status ForceGc() EXCLUDES(write_mutex_);
+  /// Collects all victims on all shards regardless of the deferral policy.
+  Status ForceGc();
 
-  /// Seals the active segment and persists a checkpoint of the memtable and
-  /// GC table, so a subsequent Open avoids the full AOF scan.
-  Status Checkpoint() EXCLUDES(write_mutex_);
+  /// Seals each shard's active segment and persists per-shard checkpoints,
+  /// so a subsequent Open avoids the full AOF scans. Shards checkpoint one
+  /// at a time; each checkpoint is consistent for that shard (writes racing
+  /// a later shard's checkpoint simply recover from that shard's AOF tail).
+  Status Checkpoint();
+
+  /// Scrub outcome type, aliased for source compatibility with the
+  /// pre-sharding API (`QinDb::ScrubReport`). Defined in qindb/options.h.
+  using ScrubReport = qindb::ScrubReport;
 
   /// Integrity scrub: verifies that every live memtable item points at a
   /// checksum-valid record carrying the right key/version, and that every
   /// live deduplicated item can resolve a value. The online analogue of the
   /// transmission-side checksum verification (Section 3) for data at rest.
   /// Meaningful when the engine is quiescent; while writers race it, entries
-  /// mutated mid-scrub can be reported damaged spuriously.
-  struct ScrubReport {
-    uint64_t entries_checked = 0;
-    uint64_t bytes_verified = 0;
-    uint64_t damaged_entries = 0;       // Checksum / identity failures.
-    uint64_t unresolvable_dedups = 0;   // Broken traceback chains.
-
-    bool clean() const {
-      return damaged_entries == 0 && unresolvable_dedups == 0;
-    }
-  };
+  /// mutated mid-scrub can be reported damaged spuriously. Sums the
+  /// per-shard reports.
   Result<ScrubReport> Scrub();
 
   /// Ordered range scan over the live pairs of one version — the "advanced
   /// feature" hash-based flash stores give up (Section 6.1) and QinDB's
-  /// sorted memtable provides for free. The scanner sees the newest
-  /// non-deleted version of each key at or below `version`, resolving
-  /// deduplicated pairs by traceback. The scanner pins the index that was
-  /// current at construction; keys inserted afterwards may not be visible,
-  /// and values of pairs deleted+collected concurrently may fail to read.
+  /// sorted memtable provides for free. A k-way merge over the per-shard
+  /// scanners (shard key sets are disjoint, so the merge never ties): the
+  /// stream is globally key-ordered exactly as the unsharded scanner was.
+  /// Each per-shard cursor pins the index that was current at construction;
+  /// keys inserted afterwards may not be visible, and values of pairs
+  /// deleted+collected concurrently may fail to read.
   class Scanner {
    public:
-    bool Valid() const { return valid_; }
+    bool Valid() const { return current_ != SIZE_MAX; }
     /// Positions at the first key >= `start`.
     void Seek(const Slice& start);
     void SeekToFirst() { Seek(Slice()); }
     void Next();
-    Slice key() const { return current_->user_key(); }
-    uint64_t version() const { return current_->version; }
+    Slice key() const { return parts_[current_].key(); }
+    uint64_t version() const { return parts_[current_].version(); }
     /// Reads the value (possibly via traceback). Device I/O happens here.
-    Result<std::string> value() const;
+    Result<std::string> value() const {
+      if (current_ == SIZE_MAX) {
+        return Status::InvalidArgument("scanner not positioned");
+      }
+      return parts_[current_].value();
+    }
 
    private:
     friend class QinDb;
-    Scanner(QinDb* db, uint64_t version);
-    /// Walks key runs until one has a visible entry at `version_`.
-    void FindVisibleEntry();
+    explicit Scanner(std::vector<Shard::Scanner> parts)
+        : parts_(std::move(parts)) {}
+    /// Repositions current_ at the valid part with the smallest key.
+    void FindMin();
 
-    QinDb* db_;
-    uint64_t version_;
-    std::shared_ptr<const MemIndex> index_;  // Keeps entries alive across GC.
-    MemIndex::Iterator it_;
-    MemEntry* current_ = nullptr;
-    bool valid_ = false;
+    std::vector<Shard::Scanner> parts_;
+    size_t current_ = SIZE_MAX;  // SIZE_MAX = not positioned / exhausted.
   };
 
   /// Scanner over the state at `version` (UINT64_MAX = newest of each key).
   Scanner NewScanner(uint64_t version = UINT64_MAX);
 
   /// RAII guard marking a logical read stream in flight (GC deferral).
-  /// Guards may be taken from any thread and may nest.
+  /// Guards may be taken from any thread and may nest. The counter is
+  /// engine-wide: any in-flight read defers every shard's GC.
   class ReadGuard {
    public:
     explicit ReadGuard(QinDb* db) : db_(db) {
@@ -230,25 +202,56 @@ class QinDb {
   }
 
   /// True once a write-path failure (I/O error, corruption, or invariant
-  /// violation while appending, checkpointing, or collecting) has forced the
-  /// engine into read-only degraded mode. Degraded, every mutation returns
-  /// kIOError immediately — the engine fail-stops rather than risk acking
-  /// writes onto a log in an unknown state — while Get/GetLatest/Scanner
-  /// keep serving the index built so far. Reopening the engine (a fresh
-  /// Open over the same env) runs recovery and clears the condition.
-  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// violation while appending, checkpointing, or collecting) has forced
+  /// ANY shard into read-only degraded mode. A degraded shard fails every
+  /// mutation routed to it with kIOError immediately — it fail-stops rather
+  /// than risk acking writes onto a log in an unknown state — while reads
+  /// keep serving the index built so far; other shards keep writing.
+  /// Reopening the engine (a fresh Open over the same env) runs recovery
+  /// and clears the condition.
+  bool degraded() const;
+
+  // --- Sharding surface -----------------------------------------------
+
+  /// The resolved shard count (>= 1; fixed for the lifetime of the layout).
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  /// The shard `key` routes to: Hash64(key, shard_hash_seed) % num_shards.
+  /// Stable across reopens — the seed and count live in the manifest.
+  uint32_t ShardOf(const Slice& key) const;
+
+  /// Point-in-time counters of one shard (tests, the stats endpoint).
+  ShardStatsSnapshot shard_stats(uint32_t shard) const {
+    return shards_[shard]->StatsSnapshot();
+  }
 
   const QinDbStats& stats() const { return stats_; }
-  const aof::GcStats& gc_stats() const { return aof_->gc_stats(); }
-  /// The current memtable index. The reference can outlive the index across
-  /// a concurrent GC rebuild; use PinIndex-based readers (Get/Scanner) for
-  /// cross-thread access and this accessor for quiescent inspection.
-  const MemIndex& memtable() const EXCLUDES(pin_mu_) {
-    MutexLock lock(&pin_mu_);
-    return *mem_;
+  const aof::GcStats& gc_stats() const { return gc_stats_; }
+
+  /// One shard's current memtable index (default: shard 0 — THE memtable at
+  /// num_shards=1). Quiescent inspection only; the reference can outlive
+  /// the index across a concurrent GC rebuild.
+  const MemIndex& memtable(size_t shard = 0) const {
+    return shards_[shard]->memtable();
   }
-  aof::AofManager& aof() { return *aof_; }
+  /// One shard's AOF manager (default: shard 0).
+  aof::AofManager& aof(size_t shard = 0) { return shards_[shard]->aof(); }
   ssd::SsdEnv* env() { return env_; }
+
+  /// Indexed (non-purged) memtable entries, summed over shards. Matches
+  /// MemIndex::live_count semantics: deleted-flagged entries count until GC
+  /// purges them.
+  uint64_t LiveEntryCount() const;
+  /// True if (key, version) is present (live or deleted) in its shard's
+  /// memtable — the sharded replacement for memtable().FindExact checks.
+  bool HasEntry(const Slice& key, uint64_t version) const;
+  /// Live AOF bytes per the GC occupancy tables, summed over shards.
+  uint64_t LiveBytes() const;
+  /// Memtable arena bytes, summed over shards.
+  uint64_t ApproximateMemtableBytes() const;
+  /// Seals every shard's active segment (testing hook: makes all appended
+  /// records durable-on-crash in one call).
+  Status SealActive();
 
   /// On-device footprint (Figure 7's storage occupation).
   uint64_t DiskBytes() const { return env_->TotalFileBytes(); }
@@ -256,118 +259,16 @@ class QinDb {
  private:
   QinDb(ssd::SsdEnv* env, const QinDbOptions& options);
 
-  Status RecoverFromScan(uint32_t min_segment) REQUIRES(write_mutex_);
-  Status LoadCheckpoint(const std::string& name, bool* loaded,
-                        std::map<uint32_t, aof::SegmentMeta>* metas,
-                        uint32_t* next_segment) REQUIRES(write_mutex_);
-  Status ApplyCheckpointEntries() REQUIRES(write_mutex_);
-  Status InvalidateCheckpoint() REQUIRES(write_mutex_);
-
-  /// Takes a refcount on the current index so its entries (and arena) stay
-  /// alive even if GC swaps in a rebuilt index meanwhile.
-  std::shared_ptr<const MemIndex> PinIndex() const EXCLUDES(pin_mu_);
-
-  /// The raw current-index pointer, for mutators running under
-  /// write_mutex_: takes pin_mu_ only for the pointer copy, and the index
-  /// stays alive because only CollectVictimsLocked — itself serialized on
-  /// write_mutex_ — retires indices.
-  MemIndex* CurrentIndex() const EXCLUDES(pin_mu_);
-
-  /// Reads the value bytes of a memtable entry's record, retrying when the
-  /// record was relocated by GC or superseded by a re-PUT mid-read.
-  Result<std::string> ReadEntryValue(const MemEntry* entry);
-
-  /// Routes a mutation-path status: failures that can leave the log or its
-  /// accounting torn (kIOError/kCorruption/kInternal) trip degraded mode.
-  /// Environmental rejections (kNoSpace, kInvalidArgument, kNotFound, an
-  /// injected transient) pass through untouched. Returns `s` either way.
-  Status NoteWriteError(Status s);
-  /// The degraded-mode gate every mutation entry point runs first.
-  Status CheckWritable() const;
-
-  // *Locked variants require write_mutex_ held by the caller.
-  Status MaybeGcLocked() REQUIRES(write_mutex_);
-  Status CollectVictimsLocked() REQUIRES(write_mutex_);
-  Status CheckpointLocked() REQUIRES(write_mutex_);
-
-  // Legacy single-append mutation bodies (group_commit off). Shared by the
-  // public entry points and the ungrouped WriteBatch path.
-  Status PutLocked(const Slice& key, uint64_t version, const Slice& value,
-                   bool dedup) REQUIRES(write_mutex_);
-  Status DelLocked(const Slice& key, uint64_t version)
-      REQUIRES(write_mutex_);
-  Result<uint64_t> DropVersionLocked(uint64_t version)
-      REQUIRES(write_mutex_);
-
-  /// One writer's batch waiting in the group-commit queue. Lives on the
-  /// waiting thread's stack; the leader publishes `overall` and `done`
-  /// under batch_mu_, and the owner cannot return before observing done.
-  struct PendingWrite {
-    explicit PendingWrite(WriteBatch* b) : batch(b) {}
-    WriteBatch* batch;
-    bool done = false;
-    Status overall;
-    /// Record bytes for the batch's valid Put ops, encoded (checksums and
-    /// all) by the OWNING thread before it enqueued — the dominant per-op
-    /// cost runs in parallel across writers instead of on the leader.
-    /// `spans[i]` is (offset, length) into `encoded` for op i; length 0
-    /// means not pre-encoded (non-Put or invalid — the leader decides).
-    std::string encoded;
-    std::vector<std::pair<size_t, size_t>> spans;
-  };
-
-  /// Applies each batch ungrouped: one lock hold, legacy per-record appends
-  /// (the pre-group-commit write path, preserved as the benchmark baseline).
-  Status WriteUngrouped(WriteBatch& batch) EXCLUDES(write_mutex_);
-
-  /// The leader's commit: plans every op in order, appends all records with
-  /// one AofManager::AppendMany, applies the memtable mutations in op order,
-  /// and stamps per-op statuses + per-batch overall results into the group.
-  void CommitGroupLocked(const std::vector<PendingWrite*>& group)
-      REQUIRES(write_mutex_) EXCLUDES(batch_mu_);
-
   ssd::SsdEnv* env_;
-  QinDbOptions options_;
+  QinDbOptions options_;  // num_shards resolved against the manifest.
 
-  /// Serializes all mutations: Put/Del/DropVersion/Checkpoint/GC. First in
-  /// the documented lock order (LockRank::kQinDbWrite): acquired before any
-  /// AofManager or env lock.
-  Mutex write_mutex_{LockRank::kQinDbWrite, "qindb-write"};
-
-  /// The group-commit pending queue. Writers enqueue under it *before*
-  /// contending on write_mutex_, so batches pile up while a leader commits;
-  /// the queue FRONT is the only thread that ever touches write_mutex_ —
-  /// everyone else parks on batch_cv_ and returns as soon as a leader marks
-  /// its batch done, without a write_mutex_ handoff per follower. Taken
-  /// either standalone (enqueue/park) or under write_mutex_ (drain/publish)
-  /// — never the other way around — and nothing is acquired while holding
-  /// it.
-  Mutex batch_mu_{LockRank::kQinDbBatchQueue, "qindb-batch-queue"};
-  CondVar batch_cv_{&batch_mu_};
-  std::deque<PendingWrite*> write_queue_ GUARDED_BY(batch_mu_);
-
-  /// Guards the mem_ pointer itself (not the index contents). Readers take
-  /// it briefly to copy the shared_ptr; GC takes it to swap in a rebuild.
-  /// Leaf lock (LockRank::kQinDbPin): taken under write_mutex_, under the
-  /// AOF manager's lock (GC classify callbacks), or standalone by readers.
-  mutable Mutex pin_mu_{LockRank::kQinDbPin, "qindb-pin"};
-  std::shared_ptr<MemIndex> mem_ GUARDED_BY(pin_mu_);
-  /// Indices retired by GC rebuilds that pinned readers may still traverse.
-  /// Relocations patch these too so stale snapshots keep resolving reads.
-  std::vector<std::weak_ptr<MemIndex>> retired_ GUARDED_BY(pin_mu_);
-
-  std::unique_ptr<aof::AofManager> aof_;
+  /// Facade-owned aggregates every shard updates through pointers.
   QinDbStats stats_;
+  aof::GcStats gc_stats_;
   std::atomic<int> reads_in_flight_{0};
-  /// Set by NoteWriteError, never cleared in-process; see degraded().
-  std::atomic<bool> degraded_{false};
-  /// Bumped whenever GC relocates records; readers use it to detect that a
-  /// failed record read raced a collection and should be retried.
-  std::atomic<uint64_t> gc_epoch_{0};
-  uint64_t bytes_at_last_checkpoint_ GUARDED_BY(write_mutex_) = 0;
-  bool checkpoint_valid_ GUARDED_BY(write_mutex_) = false;
-  /// Deserialized entries awaiting apply.
-  std::string pending_checkpoint_ GUARDED_BY(write_mutex_);
+
+  /// The shards, indexed by routing id. Immutable after Open.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace directload::qindb

@@ -97,6 +97,7 @@ class WriteBatch {
 
  private:
   friend class QinDb;
+  friend class Shard;
 
   std::vector<WriteOp> ops_;
   std::vector<Status> statuses_;

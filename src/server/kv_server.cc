@@ -388,9 +388,16 @@ std::string KvServer::StatsText() {
                 (unsigned long long)counters_.stream_errors.load(),
                 (unsigned long long)counters_.writes_batched.load());
   out += line;
+  // Every node opens its engine with the same options, so node 0's resolved
+  // shard count speaks for the cluster (0 = no node has an open engine).
+  unsigned engine_shards = 0;
+  if (cluster_->num_nodes() > 0 && cluster_->node(0)->db() != nullptr) {
+    engine_shards = cluster_->node(0)->db()->num_shards();
+  }
   std::snprintf(line, sizeof(line),
-                "cluster: nodes=%d user_bytes=%llu disk_bytes=%llu\n",
-                cluster_->num_nodes(),
+                "cluster: nodes=%d engine_shards=%u user_bytes=%llu "
+                "disk_bytes=%llu\n",
+                cluster_->num_nodes(), engine_shards,
                 (unsigned long long)cluster_->TotalUserBytesIngested(),
                 (unsigned long long)cluster_->TotalDiskBytes());
   out += line;

@@ -76,9 +76,14 @@ std::string ValueFor(const std::string& key) {
 
 /// Builds an engine with sealed, GC-eligible segments, injects a one-shot
 /// IO failure at `point`, drives seals and collections into it, then
-/// crashes and verifies recovery.
-void RunCrashPoint(const std::string& point) {
-  SCOPED_TRACE("crash point: " + point);
+/// crashes and verifies recovery. At num_shards > 1 the one-shot fault hits
+/// whichever shard reaches the point first — only that shard's AOF takes the
+/// hit — and the durable model must still survive in full: the other shards
+/// were never faulted, and the hit shard fail-stopped before losing
+/// anything it had acknowledged durable.
+void RunCrashPoint(const std::string& point, uint32_t num_shards) {
+  SCOPED_TRACE("crash point: " + point +
+               " shards=" + std::to_string(num_shards));
   Registry& reg = Registry::Instance();
   reg.DeactivateAll();
   reg.ResetCountersForTesting();
@@ -87,6 +92,7 @@ void RunCrashPoint(const std::string& point) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = num_shards;
   options.aof.segment_bytes = 4 << 10;  // Tiny segments: many seals/victims.
   options.aof.log_deletes = true;
   options.auto_gc = false;  // GC runs only when the test says so.
@@ -183,9 +189,11 @@ TEST(ChaosCrashPoints, RecoversFromEverySealAndGcFailpoint) {
     }
   }
   ASSERT_GE(points.size(), 7u) << "seal/GC failpoints went missing";
-  for (const std::string& point : points) {
-    RunCrashPoint(point);
-    if (::testing::Test::HasFatalFailure()) return;
+  for (const uint32_t shards : {1u, 4u}) {
+    for (const std::string& point : points) {
+      RunCrashPoint(point, shards);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 
@@ -201,11 +209,18 @@ TEST(ChaosCrashPoints, RecoversFromEverySealAndGcFailpoint) {
 ///    a clean prefix in op order (a gap would mean AppendMany reordered or
 ///    tore the group);
 ///  - the batch whose Write failed follows the point's semantics: an
-///    aof_append fault fires before anything is written, so the batch
-///    vanishes entirely; an aof_roll_segment fault can strand an appended
-///    prefix, which is held to the same prefix rule.
-void RunBatchCrashPoint(const std::string& point) {
-  SCOPED_TRACE("batch crash point: " + point);
+///    aof_append fault fires before anything is written, so the failed
+///    sub-batch vanishes entirely; an aof_roll_segment fault can strand an
+///    appended prefix, which is held to the same prefix rule.
+///
+/// At num_shards > 1 every rule is PER SHARD: a batch splits into sub-
+/// batches committed through independent AOFs, the one-shot fault hits one
+/// shard's sub-batch (its ops fail; sibling sub-batches commit), and the
+/// crash clips each shard's volatile tail separately — so survivors must
+/// form a gap-free prefix of the batch's op subsequence on EACH shard.
+void RunBatchCrashPoint(const std::string& point, uint32_t num_shards) {
+  SCOPED_TRACE("batch crash point: " + point +
+               " shards=" + std::to_string(num_shards));
   Registry& reg = Registry::Instance();
   reg.DeactivateAll();
   reg.ResetCountersForTesting();
@@ -214,6 +229,7 @@ void RunBatchCrashPoint(const std::string& point) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = num_shards;
   options.aof.segment_bytes = 4 << 10;  // Tiny segments: batches span rolls.
   options.auto_gc = false;
   auto opened = qindb::QinDb::Open(env.get(), options);
@@ -224,13 +240,18 @@ void RunBatchCrashPoint(const std::string& point) {
   auto batch_key = [](int b, int j) {
     return "gb" + std::to_string(b) + ":o" + std::to_string(j);
   };
+  // Per-op statuses of the batch whose Write failed: the non-OK ops are
+  // exactly the hit shard's sub-batch.
+  std::vector<Status> failed_statuses;
   auto commit_batch = [&](int b) {
     qindb::WriteBatch batch;
     for (int j = 0; j < kOpsPerBatch; ++j) {
       const std::string key = batch_key(b, j);
       batch.Put(key, 1, ValueFor(key));
     }
-    return db->Write(batch);
+    Status status = db->Write(batch);
+    if (!status.ok()) failed_statuses = batch.statuses();
+    return status;
   };
 
   // Phase 1: the durable model — batches committed, then checkpointed.
@@ -255,6 +276,7 @@ void RunBatchCrashPoint(const std::string& point) {
     }
   }
   ASSERT_GE(failed_batch, 0) << "the drive never reached " << point;
+  ASSERT_EQ(failed_statuses.size(), static_cast<size_t>(kOpsPerBatch));
   EXPECT_GT(fp->hits(), 0u);
   EXPECT_TRUE(db->degraded()) << "an append-path IO fault must degrade";
   reg.DeactivateAll();
@@ -281,31 +303,41 @@ void RunBatchCrashPoint(const std::string& point) {
     }
   }
 
-  // Survivors of a post-checkpoint batch must be a gap-free prefix.
+  // Survivors of a post-checkpoint batch must be a gap-free prefix of the
+  // batch's op subsequence ON EACH SHARD: sub-batches sit in independent
+  // AOF tails that the crash clips separately, but within one shard the
+  // leader lays the group down in op order (at num_shards=1 there is one
+  // shard, and this is exactly the unsharded whole-batch prefix rule).
   auto check_prefix = [&](int b) {
-    bool missing = false;
+    std::map<uint32_t, bool> shard_missing;
     for (int j = 0; j < kOpsPerBatch; ++j) {
       const std::string key = batch_key(b, j);
+      const uint32_t shard = recovered->ShardOf(key);
       Result<std::string> got = recovered->Get(key, 1);
       if (got.ok()) {
-        EXPECT_FALSE(missing)
-            << "batch " << b << " has a gap before op " << j << " at " << point;
+        EXPECT_FALSE(shard_missing[shard])
+            << "batch " << b << " has a shard-" << shard << " gap before op "
+            << j << " at " << point;
         EXPECT_EQ(*got, ValueFor(key)) << key << " torn at " << point;
       } else {
         EXPECT_TRUE(got.status().IsNotFound())
             << key << ": " << got.status().ToString();
-        missing = true;
+        shard_missing[shard] = true;
       }
     }
   };
   for (int b : acked_tail) check_prefix(b);
   if (point == "aof_append") {
-    // The point fires before the group's first record: nothing may survive.
+    // The point fires before the hit shard's first record: none of the
+    // failed ops may survive. Sibling sub-batches on other shards (OK
+    // statuses) committed normally and follow the per-shard prefix rule.
     for (int j = 0; j < kOpsPerBatch; ++j) {
+      if (failed_statuses[j].ok()) continue;
       EXPECT_TRUE(
           recovered->Get(batch_key(failed_batch, j), 1).status().IsNotFound())
-          << "op " << j << " of the failed batch survived " << point;
+          << "op " << j << " of the failed sub-batch survived " << point;
     }
+    check_prefix(failed_batch);
   } else {
     check_prefix(failed_batch);
   }
@@ -326,9 +358,11 @@ TEST(ChaosCrashPoints, GroupCommitSurvivesAppendAndRollFaults) {
   if (!failpoint::kCompiledIn) {
     GTEST_SKIP() << "build with -DDIRECTLOAD_FAILPOINTS=ON";
   }
-  for (const char* point : {"aof_append", "aof_roll_segment"}) {
-    RunBatchCrashPoint(point);
-    if (::testing::Test::HasFatalFailure()) return;
+  for (const uint32_t shards : {1u, 4u}) {
+    for (const char* point : {"aof_append", "aof_roll_segment"}) {
+      RunBatchCrashPoint(point, shards);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 
@@ -388,8 +422,9 @@ const std::pair<const char*, const char*> kBaseFaults[] = {
     {"server_enqueue", "3%return(busy)"},
 };
 
-void RunSchedule(uint64_t seed) {
-  SCOPED_TRACE("schedule seed " + std::to_string(seed));
+void RunSchedule(uint64_t seed, uint32_t num_shards) {
+  SCOPED_TRACE("schedule seed " + std::to_string(seed) +
+               " shards=" + std::to_string(num_shards));
   Registry& reg = Registry::Instance();
   reg.DeactivateAll();
   reg.ResetCountersForTesting();
@@ -401,6 +436,10 @@ void RunSchedule(uint64_t seed) {
   cluster_options.replicas = 2;
   cluster_options.parallel_reads = true;
   cluster_options.node_geometry = SmallGeometry();
+  // Sharded engines on every node: an injected append fault degrades ONE
+  // shard of one node; writes routed to the node's other shards keep
+  // committing, and the acked-write invariant must hold regardless.
+  cluster_options.engine.num_shards = num_shards;
   // Small segments: every node rolls (and therefore seals + syncs) several
   // times per schedule, keeping the seal-path failpoints in play.
   cluster_options.engine.aof.segment_bytes = 4 << 10;
@@ -604,9 +643,20 @@ TEST(ChaosSchedules, AckedWritesSurviveSeededFaultStorms) {
   }
   const int schedules = NumSchedules();
   const uint64_t first = FirstSeed();
-  for (int i = 0; i < schedules; ++i) {
-    RunSchedule(first + static_cast<uint64_t>(i));
-    if (::testing::Test::HasFatalFailure()) return;
+  // Disjoint seed ranges per shard-count configuration: the sharded sweep
+  // explores different storms, not a rerun of the single-shard ones. CI
+  // narrows each sweep with DIRECTLOAD_CHAOS_SEEDS (a per-configuration
+  // count) and replays one storm with DIRECTLOAD_CHAOS_FIRST_SEED.
+  struct ShardConfig {
+    uint32_t shards;
+    uint64_t seed_base;
+  };
+  for (const ShardConfig& config :
+       {ShardConfig{1, first}, ShardConfig{4, first + 10000}}) {
+    for (int i = 0; i < schedules; ++i) {
+      RunSchedule(config.seed_base + static_cast<uint64_t>(i), config.shards);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 

@@ -90,6 +90,7 @@ class ConcurrencyTest : public ::testing::Test {
   }
 
   std::unique_ptr<QinDb> OpenDb(QinDbOptions options = {}) {
+    if (options.num_shards == 0) options.num_shards = 1;
     options.aof.segment_bytes = 64 << 10;  // Many segments → GC pressure.
     auto db = QinDb::Open(env_.get(), options);
     EXPECT_TRUE(db.ok()) << db.status().ToString();

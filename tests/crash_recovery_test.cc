@@ -7,6 +7,13 @@
 // not a prefix, never resurrecting a deleted pair, and never losing a pair
 // whose record the engine had already made durable (segment seals, GC
 // collections, and checkpoints are the durability barriers).
+//
+// The suite runs at num_shards ∈ {1, 4}. Sharded, the engine commits each
+// shard's ops through an independent AOF, so the global-prefix invariant
+// splits into a per-shard one: for EVERY shard, the recovered state of the
+// keys routed to it must equal some prefix of that shard's op subsequence —
+// gap-free per shard, even when the crash clipped the shards at different
+// depths. At num_shards=1 this degenerates to the original global check.
 
 #include <gtest/gtest.h>
 
@@ -85,7 +92,16 @@ bool StateMatches(QinDb* db, const Model& model,
   return true;
 }
 
-TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
+class CrashRecoveryTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, CrashRecoveryTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+TEST_P(CrashRecoveryTest, RandomCrashRecoversAPerShardPrefixOfTheWorkload) {
+  const uint32_t num_shards = GetParam();
   for (int seed = 1; seed <= kSeeds; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     Random rnd(static_cast<uint64_t>(seed) * 7789);
@@ -94,6 +110,7 @@ TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
     auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
                               CrashGeometry(), ssd::LatencyModel(), &clock);
     QinDbOptions options;
+    options.num_shards = num_shards;
     options.aof.segment_bytes = 4 << 10;  // Frequent seals and GC victims.
     options.aof.log_deletes = true;       // DELs must survive the crash.
     options.auto_gc = false;              // GC only as an explicit op.
@@ -102,22 +119,34 @@ TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
     std::unique_ptr<QinDb> db = std::move(opened).value();
 
     const int crash_at = static_cast<int>(rnd.UniformRange(1, kOpsPerSeed));
-    std::vector<Model> snapshots;  // snapshots[n] = model after n ops.
-    snapshots.emplace_back();
-    Model model;
+    // Per-shard histories: shard_snapshots[s][n] = the model of shard s's
+    // keys after the first n ops ROUTED TO SHARD s. The workload itself is
+    // sequential, but a crash cuts each shard's AOF independently, so the
+    // match below is per shard, not global.
+    std::vector<Model> shard_models(num_shards);
+    std::vector<std::vector<Model>> shard_snapshots(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      shard_snapshots[s].emplace_back();  // Prefix of length 0.
+    }
 
     for (int op = 0; op < crash_at; ++op) {
       const std::string key =
           KeyOf(static_cast<int>(rnd.Uniform(kKeys)));
+      const uint32_t shard = db->ShardOf(key);
+      Model& model = shard_models[shard];
       std::map<uint64_t, ModelVersion>& versions = model[key];
       const auto newest =
           versions.empty() ? versions.end() : std::prev(versions.end());
       const double choice = rnd.NextDouble();
+      bool mutated = true;
 
       if (choice < 0.05) {
+        // Durability barrier on every shard; mutates none of the models.
         ASSERT_TRUE(db->Checkpoint().ok());
+        mutated = false;
       } else if (choice < 0.10) {
         ASSERT_TRUE(db->ForceGc().ok());
+        mutated = false;
       } else if (choice < 0.25 && newest != versions.end()) {
         // DEL a random live version (referents included).
         std::vector<uint64_t> live;
@@ -128,6 +157,8 @@ TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
           const uint64_t victim = live[rnd.Uniform(live.size())];
           ASSERT_TRUE(db->Del(key, victim).ok());
           versions[victim].deleted = true;
+        } else {
+          mutated = false;
         }
       } else if (choice < 0.40 && newest != versions.end() &&
                  !newest->second.deleted && !newest->second.dedup) {
@@ -149,7 +180,8 @@ TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
         ASSERT_TRUE(db->Put(key, v, value).ok());
         versions[v] = ModelVersion{value, false, false};
       }
-      snapshots.push_back(model);
+      if (versions.empty()) model.erase(key);  // Keep untouched keys out.
+      if (mutated) shard_snapshots[shard].push_back(model);
     }
 
     // Hard crash: leak the engine so no destructor seals or pads anything;
@@ -162,25 +194,30 @@ TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
     ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
     std::unique_ptr<QinDb> recovered = std::move(reopened).value();
 
-    // The (key, version) universe of the full workload; states beyond the
-    // matched prefix must read back NotFound.
-    std::vector<std::pair<std::string, uint64_t>> pairs;
-    for (const auto& [key, versions] : model) {
-      for (const auto& [version, state] : versions) {
-        pairs.emplace_back(key, version);
+    // Per shard: the (key, version) universe that shard's ops ever touched;
+    // states beyond the matched prefix must read back NotFound. Each shard
+    // must land on SOME prefix of its own op subsequence — a gap (op k
+    // recovered without op k-1 of the same shard) matches no prefix.
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      SCOPED_TRACE("shard " + std::to_string(s));
+      std::vector<std::pair<std::string, uint64_t>> pairs;
+      for (const auto& [key, versions] : shard_models[s]) {
+        for (const auto& [version, state] : versions) {
+          pairs.emplace_back(key, version);
+        }
       }
-    }
-
-    int matched = -1;
-    for (int n = static_cast<int>(snapshots.size()) - 1; n >= 0; --n) {
-      if (StateMatches(recovered.get(), snapshots[n], pairs)) {
-        matched = n;
-        break;
+      int matched = -1;
+      const auto& snapshots = shard_snapshots[s];
+      for (int n = static_cast<int>(snapshots.size()) - 1; n >= 0; --n) {
+        if (StateMatches(recovered.get(), snapshots[n], pairs)) {
+          matched = n;
+          break;
+        }
       }
+      ASSERT_GE(matched, 0)
+          << "shard " << s << " recovered to a state matching no prefix of "
+          << "its " << snapshots.size() - 1 << " routed ops";
     }
-    ASSERT_GE(matched, 0)
-        << "recovered state matches no prefix of the " << crash_at
-        << " applied ops";
 
     Result<QinDb::ScrubReport> report = recovered->Scrub();
     ASSERT_TRUE(report.ok());
@@ -191,8 +228,10 @@ TEST(CrashRecoveryTest, RandomCrashRecoversAPrefixOfTheWorkload) {
 }
 
 // A checkpoint is a full durability barrier: a crash any time after it must
-// recover at least the checkpointed state.
-TEST(CrashRecoveryTest, CheckpointIsADurabilityFloor) {
+// recover at least the checkpointed state. QinDb::Checkpoint checkpoints
+// every shard, so the floor is global at any shard count.
+TEST_P(CrashRecoveryTest, CheckpointIsADurabilityFloor) {
+  const uint32_t num_shards = GetParam();
   for (int seed = 100; seed < 108; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     Random rnd(static_cast<uint64_t>(seed));
@@ -201,6 +240,7 @@ TEST(CrashRecoveryTest, CheckpointIsADurabilityFloor) {
     auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
                               CrashGeometry(), ssd::LatencyModel(), &clock);
     QinDbOptions options;
+    options.num_shards = num_shards;
     options.aof.segment_bytes = 4 << 10;
     options.aof.log_deletes = true;
     options.auto_gc = false;

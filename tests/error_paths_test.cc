@@ -149,7 +149,9 @@ class QinDbErrorTest : public ::testing::Test {
   QinDbErrorTest()
       : env_(NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock_)) {
-    db_ = std::move(qindb::QinDb::Open(env_.get(), {})).value();
+    db_ = std::move(qindb::QinDb::Open(env_.get(),
+                                        qindb::QinDbOptions{.num_shards = 1}))
+              .value();
   }
 
   SimClock clock_;
@@ -194,6 +196,7 @@ TEST_F(QinDbErrorTest, ReadGuardsNest) {
 TEST_F(QinDbErrorTest, SpacePressureOverridesReadDeferral) {
   // With gc_space_pressure = 0, GC runs even while reads are in flight.
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 16 << 10;
   options.gc_space_pressure = 0.0;
   SimClock clock;
@@ -243,7 +246,9 @@ TEST_F(QinDbErrorTest, DegradedReadOnlyModeAfterInjectedWriteFailure) {
 
   // Reopening runs recovery and clears the condition.
   db_.reset();
-  db_ = std::move(qindb::QinDb::Open(env_.get(), {})).value();
+  db_ = std::move(qindb::QinDb::Open(env_.get(),
+                                        qindb::QinDbOptions{.num_shards = 1}))
+              .value();
   EXPECT_FALSE(db_->degraded());
   EXPECT_TRUE(db_->Put("k2", 1, "v2").ok());
   got = db_->Get("k1", 1);

@@ -30,6 +30,7 @@ class ScannerTest : public ::testing::Test {
       : env_(NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock_)) {
     qindb::QinDbOptions options;
+    options.num_shards = 1;
     options.aof.segment_bytes = 256 << 10;
     db_ = std::move(qindb::QinDb::Open(env_.get(), options)).value();
   }
@@ -145,6 +146,7 @@ TEST(PeriodicCheckpointTest, CheckpointsAppearAtConfiguredInterval) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 256 << 10;
   options.checkpoint_interval_bytes = 64 << 10;
   auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();

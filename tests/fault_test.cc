@@ -147,6 +147,7 @@ class QinDbFaultTest : public AofFaultTest {};
 
 TEST_F(QinDbFaultTest, CorruptedValueNeverServedSilently) {
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 256 << 10;
   auto db = std::move(qindb::QinDb::Open(env_.get(), options)).value();
   const std::string value(20000, 'q');
@@ -165,6 +166,7 @@ TEST_F(QinDbFaultTest, CorruptedValueNeverServedSilently) {
 
 TEST_F(QinDbFaultTest, CorruptCheckpointFallsBackToFullScan) {
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 128 << 10;
   Random rnd(4);
   std::map<std::string, std::string> expect;
@@ -193,6 +195,7 @@ TEST_F(QinDbFaultTest, CorruptCheckpointFallsBackToFullScan) {
 
 TEST_F(QinDbFaultTest, HardCrashLosesOnlyUnflushedTail) {
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 128 << 10;
   {
     auto db = std::move(qindb::QinDb::Open(env_.get(), options)).value();

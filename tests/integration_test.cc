@@ -47,6 +47,7 @@ TEST(PipelineIntegrationTest, DedupedStreamReconstructsExactValues) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, NodeGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions db_options;
+  db_options.num_shards = 1;
   db_options.aof.segment_bytes = 1 << 20;
   auto db = std::move(qindb::QinDb::Open(env.get(), db_options)).value();
 
@@ -98,6 +99,7 @@ TEST(EngineEquivalenceTest, QinDbAndLsmServeIdenticalData) {
   auto l_env = NewSsdEnv(ssd::InterfaceMode::kPageMappedFtl, NodeGeometry(),
                          ssd::LatencyModel(), &l_clock);
   qindb::QinDbOptions q_options;
+  q_options.num_shards = 1;
   q_options.aof.segment_bytes = 512 << 10;
   auto qdb = std::move(qindb::QinDb::Open(q_env.get(), q_options)).value();
   lsm::LsmOptions l_options;
@@ -296,6 +298,7 @@ TEST(RecoveryIntegrationTest, CheckpointGcCrashSequencePreservesData) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, NodeGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 256 << 10;
   options.auto_gc = false;
   Random rnd(12);

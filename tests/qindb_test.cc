@@ -33,6 +33,7 @@ class QinDbTest : public ::testing::Test {
   }
 
   std::unique_ptr<QinDb> OpenDb(QinDbOptions options = {}) {
+    if (options.num_shards == 0) options.num_shards = 1;
     if (options.aof.segment_bytes == 64ull << 20) {
       options.aof.segment_bytes = 128 << 10;  // Small segments for tests.
     }
@@ -170,6 +171,7 @@ TEST_F(QinDbTest, VersionCountsTrackLivePairs) {
 
 TEST_F(QinDbTest, GcReclaimsSpaceAndPreservesLiveData) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 64 << 10;
   options.auto_gc = false;
   auto db = OpenDb(options);
@@ -201,6 +203,7 @@ TEST_F(QinDbTest, GcReclaimsSpaceAndPreservesLiveData) {
 
 TEST_F(QinDbTest, GcPreservesDeletedReferents) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 32 << 10;
   options.auto_gc = false;
   auto db = OpenDb(options);
@@ -227,6 +230,7 @@ TEST_F(QinDbTest, GcPreservesDeletedReferents) {
 
 TEST_F(QinDbTest, GcDropsUnreferencedDeletedRecords) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 32 << 10;
   options.auto_gc = false;
   auto db = OpenDb(options);
@@ -254,6 +258,7 @@ TEST_F(QinDbTest, GcDropsUnreferencedDeletedRecords) {
 
 TEST_F(QinDbTest, GcDeferredWhileReadsInFlight) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 32 << 10;
   auto db = OpenDb(options);
   for (int i = 0; i < 40; ++i) {
@@ -279,6 +284,7 @@ TEST_F(QinDbTest, GcDeferredWhileReadsInFlight) {
 
 TEST_F(QinDbTest, RecoverFromFullScanRestoresData) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 64 << 10;
   std::map<std::string, std::string> expect;
   {
@@ -309,6 +315,7 @@ TEST_F(QinDbTest, RecoverFromFullScanRestoresData) {
 
 TEST_F(QinDbTest, RecoveryKeepsNewestDuplicate) {
   QinDbOptions options;
+  options.num_shards = 1;
   {
     auto db = OpenDb(options);
     ASSERT_TRUE(db->Put("k", 1, "first").ok());
@@ -320,6 +327,7 @@ TEST_F(QinDbTest, RecoveryKeepsNewestDuplicate) {
 
 TEST_F(QinDbTest, LoggedDeletesSurviveRestart) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.log_deletes = true;
   {
     auto db = OpenDb(options);
@@ -333,6 +341,7 @@ TEST_F(QinDbTest, LoggedDeletesSurviveRestart) {
 TEST_F(QinDbTest, UnloggedDeletesAreLostWithoutCheckpoint) {
   // Documents the paper's tradeoff: DEL only touches memory.
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.log_deletes = false;
   {
     auto db = OpenDb(options);
@@ -345,6 +354,7 @@ TEST_F(QinDbTest, UnloggedDeletesAreLostWithoutCheckpoint) {
 
 TEST_F(QinDbTest, CheckpointSpeedsUpRecoveryAndPreservesState) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 64 << 10;
   std::map<std::string, std::string> expect;
   {
@@ -387,6 +397,7 @@ TEST_F(QinDbTest, CheckpointSpeedsUpRecoveryAndPreservesState) {
 
 TEST_F(QinDbTest, GcInvalidatesCheckpoint) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 32 << 10;
   options.auto_gc = false;
   auto db = OpenDb(options);
@@ -425,6 +436,7 @@ class QinDbPropertyTest : public QinDbTest,
 // representable by the model below.
 TEST_P(QinDbPropertyTest, RandomVersionedWorkloadMatchesModel) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 64 << 10;
   auto db = OpenDb(options);
   Random rnd(GetParam());

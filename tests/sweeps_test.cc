@@ -136,6 +136,7 @@ TEST_P(GcThresholdSweep, WorkloadSurvivesGcAtAnyThreshold) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 64 << 10;
   options.aof.gc_occupancy_threshold = GetParam();
   auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
@@ -188,6 +189,7 @@ TEST_P(InterfaceModeSweep, QinDbWorkloadIdenticalAcrossInterfaces) {
   geometry.num_blocks = 8192;
   auto env = NewSsdEnv(GetParam(), geometry, ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 128 << 10;
   auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
 
@@ -372,6 +374,7 @@ TEST_P(ValueSizeSweep, RoundTripAndRecovery) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, geometry,
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 2 << 20;
   Random rnd(GetParam() + 1);
   const std::string value = rnd.NextString(GetParam());

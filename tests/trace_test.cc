@@ -91,7 +91,9 @@ TEST(TraceReplayTest, ReplayReconstructsState) {
   SimClock clock;
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock);
-  auto db = std::move(qindb::QinDb::Open(env.get(), {})).value();
+  auto db = std::move(qindb::QinDb::Open(
+                          env.get(), qindb::QinDbOptions{.num_shards = 1}))
+                .value();
   Result<TraceReplayStats> stats = ReplayTrace(buffer, db.get());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->puts, 2u);
@@ -126,7 +128,10 @@ TEST(TraceReplayTest, ReplayIsDeterministic) {
   for (int i = 0; i < 2; ++i) {
     envs[i] = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                         ssd::LatencyModel(), &clocks[i]);
-    dbs[i] = std::move(qindb::QinDb::Open(envs[i].get(), {})).value();
+    dbs[i] = std::move(qindb::QinDb::Open(
+                           envs[i].get(),
+                           qindb::QinDbOptions{.num_shards = 1}))
+                 .value();
     ASSERT_TRUE(ReplayTrace(buffer, dbs[i].get()).ok());
   }
   for (int k = 0; k < 40; ++k) {
@@ -151,6 +156,7 @@ TEST(ScrubTest, CleanStoreScrubsClean) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 256 << 10;
   auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
   Random rnd(6);
@@ -172,6 +178,7 @@ TEST(ScrubTest, ScrubFindsInjectedCorruption) {
   auto env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, SmallGeometry(),
                        ssd::LatencyModel(), &clock);
   qindb::QinDbOptions options;
+  options.num_shards = 1;
   options.aof.segment_bytes = 256 << 10;
   auto db = std::move(qindb::QinDb::Open(env.get(), options)).value();
   Random rnd(7);

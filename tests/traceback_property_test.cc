@@ -110,6 +110,7 @@ TEST(TracebackPropertyTest, RandomChainsMatchModelUnderGc) {
     auto env = ssd::NewSsdEnv(ssd::InterfaceMode::kNativeBlock,
                               PropertyGeometry(), ssd::LatencyModel(), &clock);
     QinDbOptions options;
+    options.num_shards = 1;
     options.aof.segment_bytes = 4 << 10;  // Small segments: frequent victims.
     options.auto_gc = false;              // GC only when the test says so.
     auto opened = QinDb::Open(env.get(), options);

@@ -38,6 +38,7 @@ struct Harness {
   std::unique_ptr<QinDb> db;
 
   explicit Harness(QinDbOptions options = {}) {
+    if (options.num_shards == 0) options.num_shards = 1;
     env = NewSsdEnv(ssd::InterfaceMode::kNativeBlock, TestGeometry(),
                     ssd::LatencyModel(), &clock);
     auto opened = QinDb::Open(env.get(), options);
@@ -125,6 +126,7 @@ TEST(WriteBatchTest, EmptyBatchIsANoOp) {
 
 TEST(WriteBatchTest, UngroupedPathMatchesGroupedSemantics) {
   QinDbOptions options;
+  options.num_shards = 1;
   options.group_commit = false;
   Harness h(options);
   WriteBatch batch;
