@@ -16,6 +16,7 @@
 #include "bench/common/report.h"
 #include "common/crc32c.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "lsm/bloom.h"
 #include "memtable/mem_index.h"
@@ -57,7 +58,7 @@ void BM_QinDbGet(benchmark::State& state) {
   Random rnd(2);
   const std::string value = rnd.NextString(4096);
   for (uint64_t i = 0; i < kKeySpace; ++i) {
-    (void)engine->Put(KeyOf(i), 1, value);
+    DL_CHECK_OK(engine->Put(KeyOf(i), 1, value));
   }
   uint64_t i = 0;
   for (auto _ : state) {
@@ -77,9 +78,9 @@ void BM_QinDbTracebackGet(benchmark::State& state) {
   Random rnd(3);
   const std::string value = rnd.NextString(4096);
   for (uint64_t i = 0; i < kKeySpace; ++i) {
-    (void)db->Put(KeyOf(i), 1, value);
+    DL_CHECK_OK(db->Put(KeyOf(i), 1, value));
     for (uint64_t v = 2; v <= 5; ++v) {
-      (void)db->Put(KeyOf(i), v, Slice(), /*dedup=*/true);
+      DL_CHECK_OK(db->Put(KeyOf(i), v, Slice(), /*dedup=*/true));
     }
   }
   uint64_t i = 0;
@@ -131,7 +132,7 @@ void BM_QinDbConcurrentGet(benchmark::State& state) {
     Random rnd(8);
     const std::string value = rnd.NextString(1024);
     for (uint64_t i = 0; i < kKeySpace; ++i) {
-      (void)g_concurrent_db->db->Put(KeyOf(i), 1, value);
+      DL_CHECK_OK(g_concurrent_db->db->Put(KeyOf(i), 1, value));
     }
   }
   // Offset each thread's key stream so threads do not walk in lockstep.
@@ -163,7 +164,7 @@ void BM_QinDbMixedReadWrite(benchmark::State& state) {
     Random rnd(9);
     const std::string value = rnd.NextString(1024);
     for (uint64_t i = 0; i < kKeySpace; ++i) {
-      (void)g_concurrent_db->db->Put(KeyOf(i), 1, value);
+      DL_CHECK_OK(g_concurrent_db->db->Put(KeyOf(i), 1, value));
     }
   }
   if (state.thread_index() < writers) {
@@ -319,7 +320,7 @@ void BM_LsmGet(benchmark::State& state) {
   Random rnd(5);
   const std::string value = rnd.NextString(4096);
   for (uint64_t i = 0; i < kKeySpace; ++i) {
-    (void)engine->Put(KeyOf(i), 1, value);
+    DL_CHECK_OK(engine->Put(KeyOf(i), 1, value));
   }
   uint64_t i = 0;
   for (auto _ : state) {

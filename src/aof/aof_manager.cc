@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 
 namespace directload::aof {
 
@@ -31,7 +32,10 @@ AofManager::AofManager(ssd::SsdEnv* env, const AofOptions& options)
     : env_(env), options_(options) {}
 
 AofManager::~AofManager() {
-  if (active_writer_ != nullptr) active_writer_->Close();
+  if (active_writer_ != nullptr) {
+    DL_LOG_IF_ERROR("aof active-segment close on shutdown",
+                    active_writer_->Close());
+  }
 }
 
 std::string AofManager::SegmentName(uint32_t id) const {

@@ -15,59 +15,95 @@ namespace directload {
 ///
 /// The numbering mirrors docs/qindb_internals.md ("Lock ranks"): ranks grow
 /// downward through the storage stack, and gaps leave room for new layers.
+///
+/// Each enumerator's doc comment is structured — tools/dl_lint parses it
+/// and generates the docs table from it, so the two can never drift:
+///
+///   /// Lock: `<lock expression>` — <what it protects, one sentence>.
+///   /// Sibling instances: <why several locks share this rank>.   (opt.)
+///   ///
+///   /// <free prose, separated from the tags by a blank /// line>
+///
+/// The `Sibling instances:` tag is mandatory (dl-lint enforces it) when a
+/// rank has more than one static construction site or runtime-named
+/// instances: equal-rank nesting aborts at runtime, so sharing a rank is a
+/// design statement that must be visibly intentional.
 enum class LockRank : int {
-  /// server::KvServer::mu_ — lifecycle state and the connection registry.
+  /// Lock: `KvServer::mu_` — server lifecycle flag and the connection
+  /// registry.
+  ///
   /// The serving layer sits above the engine, so its ranks are smaller
   /// than every engine rank: a worker may take an engine lock while the
   /// server is mid-drain, never the reverse.
   kServerState = 2,
-  /// server::KvServer::queue_mu_ — the bounded request queue (admission
-  /// control and drain accounting). Never held across an engine call.
+  /// Lock: `KvServer::queue_mu_` — bounded request queue, in-flight count,
+  /// drain/stop flags.
+  ///
+  /// Admission control and drain accounting. Never held across an engine
+  /// call.
   kServerQueue = 4,
-  /// server::Connection::write_mu_ — serializes response frames onto one
-  /// socket so pipelined replies cannot interleave bytes.
+  /// Lock: `Connection::write_mu` — response frame serialization on one
+  /// client socket, so pipelined replies cannot interleave bytes.
   kServerConnWrite = 6,
-  /// rpc::RpcClient::mu_ — guards the client's socket and decoder state.
+  /// Lock: `RpcClient::mu_` — the client-side socket, frame decoder and
+  /// reconnect backoff state.
   kRpcClient = 8,
-  /// mint::StorageNode::lifecycle_mu_ — shared by every request touching the
-  /// node's engine, exclusive to Fail()/Recover(). Sits just above the
-  /// engine ranks: a request holds it (shared) across its engine call, so a
-  /// concurrent crash cannot destroy the engine mid-operation.
+  /// Lock: `StorageNode::lifecycle_mu_` — per-node engine lifetime: shared
+  /// across every request's engine call, exclusive for Fail/Recover.
+  ///
+  /// Sits just above the engine ranks: a request holds it (shared) across
+  /// its engine call, so a concurrent crash cannot destroy the engine
+  /// mid-operation.
   kMintNode = 9,
-  /// qindb::Shard::write_mutex_ — serializes one shard's Put/Del/
-  /// DropVersion/Checkpoint/GC. Always the first engine lock a mutator
-  /// takes. Every shard's instance shares this rank (instances carry
-  /// per-shard names, "qindb-write/sNN"): since the checker rejects
-  /// equal-rank nesting, a thread can hold at most ONE shard's write lock
-  /// — the cross-shard batch splitter must visit shards one at a time,
-  /// and the rank checker enforces that mechanically.
+  /// Lock: `Shard::write_mutex_` — serializes the shard's mutators:
+  /// Put/Del/DropVersion/GC/Checkpoint.
+  /// Sibling instances: one per shard, named `qindb-write/sNN`.
+  ///
+  /// Always the first engine lock a mutator takes. Since the checker
+  /// rejects equal-rank nesting, a thread can hold at most ONE shard's
+  /// write lock — the cross-shard batch splitter must visit shards one at
+  /// a time, and the rank checker enforces that mechanically.
   kQinDbWrite = 10,
-  /// qindb::Shard::batch_mu_ — the shard's group-commit pending queue (one
-  /// instance per shard, same-rank rule as above). Writers take it
-  /// standalone to enqueue a batch (before contending on kQinDbWrite); the
-  /// leader takes it under kQinDbWrite to drain the queue and publish
-  /// results. Nothing is ever acquired while holding it.
+  /// Lock: `Shard::batch_mu_` — the shard's group-commit pending-write
+  /// queue.
+  /// Sibling instances: one per shard, named `qindb-batch-queue/sNN`.
+  ///
+  /// Writers take it standalone to enqueue a batch (before contending on
+  /// kQinDbWrite); the leader takes it under kQinDbWrite to drain the
+  /// queue and publish results. Nothing is ever acquired while holding it.
   kQinDbBatchQueue = 12,
-  /// aof::AofManager::mu_ — exclusive for appends/seals/collection, shared
-  /// for record reads. Taken under kQinDbWrite by mutators or standalone by
-  /// readers.
+  /// Lock: `AofManager::mu_` — segment map, active writer, occupancy
+  /// (shared for record reads).
+  ///
+  /// Exclusive for appends/seals/collection. Taken under kQinDbWrite by
+  /// mutators or standalone by readers.
   kAofManager = 20,
-  /// aof::AofManager::readers_mu_ — lazy per-segment reader creation, taken
-  /// with kAofManager held (at least shared).
+  /// Lock: `AofManager::readers_mu_` — the lazy per-segment reader cache,
+  /// taken with kAofManager held (at least shared).
   kAofReaders = 30,
-  /// The simulated SSD's single command-queue lock (one per SsdEnv).
+  /// Lock: `SsdEnv` command-queue mutex — the simulated device's single
+  /// command queue.
+  /// Sibling instances: one per env, named `ssd-env(ftl)` /
+  /// `ssd-env(native)`.
   kSsdEnv = 40,
-  /// qindb::Shard::pin_mu_ — guards the shard's mem_ pointer swap (one
-  /// instance per shard). A leaf: nothing is ever acquired while holding it.
+  /// Lock: `Shard::pin_mu_` — the shard's `mem_` pointer swap and
+  /// `retired_` list (leaf).
+  /// Sibling instances: one per shard, named `qindb-pin/sNN`.
+  ///
+  /// Nothing is ever acquired while holding it: it is taken either
+  /// standalone (readers pinning the index) or as the innermost lock of a
+  /// mutator.
   kQinDbPin = 50,
-  /// failpoint::Registry::mu_ — the name → FailPoint map. Only taken from
-  /// registration/activation paths (static init, test drivers), never while
-  /// an engine lock is held; ranked below kFailPoint because activating a
-  /// point locks the registry and then the point.
+  /// Lock: `failpoint::Registry::mu_` — the name → failpoint map.
+  ///
+  /// Only taken from registration/activation paths (static init, test
+  /// drivers), never while an engine lock is held; ranked below kFailPoint
+  /// because activating a point locks the registry and then the point.
   kFailPointRegistry = 58,
-  /// failpoint::FailPoint::mu_ — per-point trigger bookkeeping. The highest
-  /// rank in the system: failpoints fire from inside every layer, with any
-  /// combination of the locks above already held, and acquire nothing.
+  /// Lock: per-`FailPoint` mutex — trigger bookkeeping; ranks above
+  /// everything because failpoints fire while arbitrary engine locks are
+  /// held, and acquire nothing.
+  /// Sibling instances: one per registered failpoint, all leaves.
   kFailPoint = 60,
 };
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/status.h"
+
 namespace directload {
 
 /// Aborts with a message when an internal invariant is violated. Used for
@@ -25,6 +27,36 @@ namespace directload {
       std::fprintf(stderr, "DL_CHECK_OK failed at %s:%d: %s\n", __FILE__,     \
                    __LINE__, _dl_s.ToString().c_str());                       \
       std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Documents a deliberately discarded Status whose information provably
+/// reaches the caller through another channel — the per-op statuses of a
+/// WriteBatch, an out-parameter the call also fills, an error the test is
+/// intentionally driving into an armed failpoint. `why` is mandatory and
+/// must name that channel (or scenario); it is what distinguishes this from
+/// the banned bare `(void)` cast, which records nothing. Silent at runtime:
+/// unlike DL_LOG_IF_ERROR the error is not lost, it is delivered elsewhere.
+#define DL_DISCARD_STATUS(why, status_expr)                                   \
+  do {                                                                        \
+    static_assert(sizeof(why) > 1, "DL_DISCARD_STATUS needs a reason");       \
+    const auto _dl_discarded = (status_expr);                                 \
+    (void)_dl_discarded;                                                      \
+  } while (0)
+
+/// Logs and deliberately discards a non-OK Status from a best-effort
+/// operation — cleanup on an already-failing path, benchmark priming,
+/// advisory maintenance. `what` names the operation so the log line (and the
+/// reviewer reading the call site) knows what was given up on. This is the
+/// only sanctioned way to drop a Status: `Status` is `[[nodiscard]]` and
+/// dl-lint (tools/dl_lint) rejects bare `(void)` casts, which erase the
+/// reason the error is ignorable.
+#define DL_LOG_IF_ERROR(what, status_expr)                                    \
+  do {                                                                        \
+    const ::directload::Status _dl_s = (status_expr);                         \
+    if (!_dl_s.ok()) {                                                        \
+      std::fprintf(stderr, "%s:%d: %s failed (ignored): %s\n", __FILE__,      \
+                   __LINE__, (what), _dl_s.ToString().c_str());               \
     }                                                                         \
   } while (0)
 

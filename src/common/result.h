@@ -19,7 +19,7 @@ namespace directload {
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicitly constructible from a value (success) or a Status (failure),
   /// so `return value;` and `return Status::NotFound();` both work.

@@ -34,7 +34,13 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// Cheap value-type status: a code plus an optional context message.
 /// The OK status carries no allocation.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes ignoring any Status-returning call a
+/// compiler warning (and a dl-lint finding, see tools/dl_lint). Callers that
+/// genuinely cannot act on a failure use `DL_CHECK_OK` (invariant: cannot
+/// fail here) or `DL_LOG_IF_ERROR` (best-effort cleanup); a bare `(void)`
+/// cast is banned because it erases the reviewer-visible reason.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 

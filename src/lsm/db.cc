@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/logging.h"
 
 namespace directload::lsm {
 
@@ -23,7 +24,9 @@ LsmDb::LsmDb(ssd::SsdEnv* env, const LsmOptions& options)
       mem_(std::make_unique<LsmMemTable>()) {}
 
 LsmDb::~LsmDb() {
-  if (wal_file_ != nullptr) wal_file_->Close();
+  if (wal_file_ != nullptr) {
+    DL_LOG_IF_ERROR("lsm wal close on shutdown", wal_file_->Close());
+  }
 }
 
 std::string LsmDb::WalFileName(uint64_t number) {

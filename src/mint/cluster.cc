@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace directload::mint {
 
@@ -200,7 +201,9 @@ Status MintCluster::WriteMany(const std::vector<BatchOp>& ops,
     StorageNode* node = nodes_[id].get();
     ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;  // Healed by recovery + re-replication.
-    node->db()->Write(plan.batch);
+    DL_DISCARD_STATUS("first failing per-op status; the per-op results are "
+                      "aggregated below",
+                      node->db()->Write(plan.batch));
     const std::vector<Status>& results = plan.batch.statuses();
     for (size_t bi = 0; bi < results.size(); ++bi) {
       Agg& a = agg[plan.op_index[bi]];

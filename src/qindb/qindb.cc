@@ -8,6 +8,7 @@
 #include "common/crc32c.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace directload::qindb {
 
@@ -325,7 +326,11 @@ Status QinDb::Write(WriteBatch& batch) {
   if (!options_.group_commit) {
     // Ungrouped mode stays sequential (it is the single-threaded baseline);
     // each shard still applies its sub-batch under its own lock.
-    for (uint32_t s : involved) shards_[s]->Write(subs[s]);
+    for (uint32_t s : involved) {
+      DL_DISCARD_STATUS("first failing per-op status; re-derived from the "
+                        "stitched per-op statuses below",
+                        shards_[s]->Write(subs[s]));
+    }
   } else {
     // Parallel commit: enqueue the sub-batch on EVERY involved shard first,
     // then complete them in ascending shard order. All facade writers use
@@ -342,7 +347,9 @@ Status QinDb::Write(WriteBatch& batch) {
       shards_[s]->EnqueueWrite(&pending.back());
     }
     for (size_t i = 0; i < involved.size(); ++i) {
-      shards_[involved[i]]->CompleteWrite(&pending[i]);
+      DL_DISCARD_STATUS("first failing per-op status; re-derived from the "
+                        "stitched per-op statuses below",
+                        shards_[involved[i]]->CompleteWrite(&pending[i]));
     }
   }
 

@@ -790,7 +790,7 @@ void Shard::CommitGroupLocked(const std::vector<PendingWrite*>& group) {
   if (!slots.empty()) {
     Status s = aof_->AppendMany(slots.data(), slots.size(), &addresses);
     if (!s.ok()) {
-      NoteWriteError(s);
+      s = NoteWriteError(std::move(s));
       // The group commits or fails as one append, like a lone Put whose
       // AppendRecord failed. Ops already rejected during planning keep
       // their more specific statuses.
@@ -903,10 +903,8 @@ void Shard::CommitGroupLocked(const std::vector<PendingWrite*>& group) {
       shard_bytes_ingested_.load(std::memory_order_relaxed) -
               bytes_at_last_checkpoint_ >=
           options_.checkpoint_interval_bytes) {
-    maintenance = CheckpointLocked();
-    if (!maintenance.ok()) {
-      NoteWriteError(maintenance);
-    } else {
+    maintenance = NoteWriteError(CheckpointLocked());
+    if (maintenance.ok()) {
       bytes_at_last_checkpoint_ =
           shard_bytes_ingested_.load(std::memory_order_relaxed);
     }

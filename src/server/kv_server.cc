@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/rate_limiter.h"
 
 namespace directload::server {
@@ -37,24 +38,30 @@ constexpr int kWriteTimeoutMs = 5000;
 /// concurrently — and `write_mu` serializes the senders so pipelined
 /// responses cannot interleave bytes.
 struct KvServer::Connection {
-  Connection(rpc::Socket s, const KvServerOptions& options)
+  Connection(rpc::Socket s, const KvServerOptions& options,
+             std::atomic<uint64_t>* send_failures)
       : socket(std::move(s)),
         decoder(options.max_frame_bytes),
-        limiter(options.conn_bytes_per_sec, options.conn_burst_bytes) {}
+        limiter(options.conn_bytes_per_sec, options.conn_burst_bytes),
+        send_failures(send_failures) {}
 
-  /// Encodes and writes one frame. Send failures are dropped on the floor:
-  /// the peer is gone and the reader will notice on its side.
+  /// Encodes and writes one frame. A send failure means the peer is gone
+  /// mid-reply; the reader thread will notice the dead socket and tear the
+  /// connection down, so the response is dropped here — counted, not silent.
   void Write(const rpc::Frame& frame) {
     std::string wire;
     rpc::EncodeFrame(frame, &wire);
     MutexLock lock(&write_mu);
-    (void)socket.SendAll(wire, kWriteTimeoutMs);
+    if (!socket.SendAll(wire, kWriteTimeoutMs).ok()) {
+      send_failures->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   rpc::Socket socket;
   rpc::FrameDecoder decoder;  // Reader thread only.
   WallRateLimiter limiter;    // Reader thread only.
   Mutex write_mu{LockRank::kServerConnWrite, "Connection::write_mu"};
+  std::atomic<uint64_t>* send_failures;  // Server-owned counter.
   std::atomic<bool> done{false};  // Reader thread exited.
 };
 
@@ -159,8 +166,9 @@ void KvServer::AcceptorLoop() {
     }
 #endif
     counters_.connections_accepted.fetch_add(1);
-    auto conn = std::make_shared<Connection>(std::move(accepted).value(),
-                                             options_);
+    auto conn = std::make_shared<Connection>(
+        std::move(accepted).value(), options_,
+        &counters_.response_send_failures);
     MutexLock lock(&mu_);
     connections_.emplace_back(conn,
                               std::thread(&KvServer::ReaderLoop, this, conn));
@@ -315,7 +323,9 @@ void KvServer::ExecuteWriteRun(std::vector<Request>& run) {
     ops.push_back(std::move(op));
   }
   std::vector<Status> statuses;
-  (void)cluster_->WriteMany(ops, &statuses);
+  DL_DISCARD_STATUS("first failing per-op status; each response frame below "
+                    "carries its own op's status",
+                    cluster_->WriteMany(ops, &statuses));
   for (size_t i = 0; i < run.size(); ++i) {
     run[i].conn->Write(rpc::MakeResponse(run[i].frame, statuses[i]));
   }
@@ -380,13 +390,15 @@ std::string KvServer::StatsText() {
   std::string out;
   std::snprintf(line, sizeof(line),
                 "server: accepted=%llu idle_closed=%llu served=%llu "
-                "busy_rejected=%llu stream_errors=%llu writes_batched=%llu\n",
+                "busy_rejected=%llu stream_errors=%llu writes_batched=%llu "
+                "send_failures=%llu\n",
                 (unsigned long long)counters_.connections_accepted.load(),
                 (unsigned long long)counters_.connections_idle_closed.load(),
                 (unsigned long long)counters_.requests_served.load(),
                 (unsigned long long)counters_.requests_rejected_busy.load(),
                 (unsigned long long)counters_.stream_errors.load(),
-                (unsigned long long)counters_.writes_batched.load());
+                (unsigned long long)counters_.writes_batched.load(),
+                (unsigned long long)counters_.response_send_failures.load());
   out += line;
   // Every node opens its engine with the same options, so node 0's resolved
   // shard count speaks for the cluster (0 = no node has an open engine).

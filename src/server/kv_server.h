@@ -103,6 +103,10 @@ class KvServer {
     std::atomic<uint64_t> writes_batched{0};
     /// Connections torn down for kProtocol / kCorruption streams.
     std::atomic<uint64_t> stream_errors{0};
+    /// Response frames that failed to send (peer gone mid-reply). The
+    /// response is dropped — the reader side notices the dead socket — but
+    /// the drop is counted, never silent.
+    std::atomic<uint64_t> response_send_failures{0};
   };
   const Counters& counters() const { return counters_; }
 

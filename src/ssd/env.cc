@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "ssd/ftl.h"
 #include "ssd/native.h"
@@ -216,7 +217,9 @@ class FtlWritableFile final : public WritableFile {
  public:
   FtlWritableFile(FtlEnv* env, std::shared_ptr<FtlFileMeta> meta)
       : env_(env), meta_(std::move(meta)) {}
-  ~FtlWritableFile() override { Close(); }
+  ~FtlWritableFile() override {
+    DL_LOG_IF_ERROR("ftl file close in destructor", Close());
+  }
 
   Status Append(const Slice& data) override {
     MutexLock lock(&env_->mu_);
@@ -230,7 +233,10 @@ class FtlWritableFile final : public WritableFile {
         // Torn append: the first `allowed` bytes reach the file, the call
         // fails. A plain injected error leaves the file untouched.
         if (allowed > 0 && allowed < payload.size()) {
-          (void)AppendLocked(Slice(payload.data(), allowed));
+          // The injected error is what the caller sees; the partial write
+          // only shapes the torn tail it recovers from.
+          DL_LOG_IF_ERROR("torn-append partial write",
+                          AppendLocked(Slice(payload.data(), allowed)));
         }
         return injected;
       }
@@ -361,7 +367,13 @@ class FtlRandomAccessFile final : public RandomAccessFile {
 #if DIRECTLOAD_FAILPOINTS_COMPILED
     // Transient read-side damage: the media is intact, this return is not.
     if (fp_file_read_corrupt->armed()) {
-      (void)fp_file_read_corrupt->MaybeFailIo(out, nullptr);
+      // `corrupt` flips a bit in `out` and returns OK; any other armed
+      // action (e.g. return(io)) is a real injected failure — surface it
+      // instead of silently swallowing the arming.
+      if (Status injected = fp_file_read_corrupt->MaybeFailIo(out, nullptr);
+          !injected.ok()) {
+        return injected;
+      }
     }
 #endif
     return Status::OK();
@@ -553,7 +565,9 @@ class NativeWritableFile final : public WritableFile {
  public:
   NativeWritableFile(NativeEnv* env, std::shared_ptr<NativeFileMeta> meta)
       : env_(env), meta_(std::move(meta)) {}
-  ~NativeWritableFile() override { Close(); }
+  ~NativeWritableFile() override {
+    DL_LOG_IF_ERROR("native file close in destructor", Close());
+  }
 
   Status Append(const Slice& data) override {
     MutexLock lock(&env_->mu_);
@@ -567,7 +581,10 @@ class NativeWritableFile final : public WritableFile {
         // Torn append: the first `allowed` bytes reach the file, the call
         // fails. A plain injected error leaves the file untouched.
         if (allowed > 0 && allowed < payload.size()) {
-          (void)AppendLocked(Slice(payload.data(), allowed));
+          // The injected error is what the caller sees; the partial write
+          // only shapes the torn tail it recovers from.
+          DL_LOG_IF_ERROR("torn-append partial write",
+                          AppendLocked(Slice(payload.data(), allowed)));
         }
         return injected;
       }
@@ -685,7 +702,13 @@ class NativeRandomAccessFile final : public RandomAccessFile {
 #if DIRECTLOAD_FAILPOINTS_COMPILED
     // Transient read-side damage: the media is intact, this return is not.
     if (fp_file_read_corrupt->armed()) {
-      (void)fp_file_read_corrupt->MaybeFailIo(out, nullptr);
+      // `corrupt` flips a bit in `out` and returns OK; any other armed
+      // action (e.g. return(io)) is a real injected failure — surface it
+      // instead of silently swallowing the arming.
+      if (Status injected = fp_file_read_corrupt->MaybeFailIo(out, nullptr);
+          !injected.ok()) {
+        return injected;
+      }
     }
 #endif
     return Status::OK();

@@ -41,6 +41,7 @@
 
 #include "common/failpoint.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/sim_clock.h"
 #include "mint/cluster.h"
@@ -133,11 +134,13 @@ void RunCrashPoint(const std::string& point, uint32_t num_shards) {
   // the sweep only cares that the point actually fired and that recovery
   // is clean afterwards.
   for (int i = 0; i < 12; ++i) {
-    (void)db->Put("drive" + std::to_string(i), 1, std::string(180, 'd'));
+    DL_DISCARD_STATUS("driving writes into the armed point",
+                      db->Put("drive" + std::to_string(i), 1,
+                              std::string(180, 'd')));
   }
-  (void)db->Checkpoint();
-  (void)db->ForceGc();
-  (void)db->Checkpoint();
+  DL_DISCARD_STATUS("driving into the armed point", db->Checkpoint());
+  DL_DISCARD_STATUS("driving into the armed point", db->ForceGc());
+  DL_DISCARD_STATUS("driving into the armed point", db->Checkpoint());
   EXPECT_GT(fp->hits(), 0u) << "the drive never reached " << point;
   reg.DeactivateAll();
 
@@ -543,21 +546,25 @@ void RunSchedule(uint64_t seed, uint32_t num_shards) {
       case 0: {  // Crash a random node (possibly downing a whole group).
         const int id = static_cast<int>(chaos.Uniform(
             static_cast<uint64_t>(cluster.num_nodes())));
-        (void)cluster.FailNode(id);
+        DL_DISCARD_STATUS("chaos step; failing a downed node is fine",
+                          cluster.FailNode(id));
         break;
       }
       case 1: {  // Recover a random node (no-op error if it is up).
         const int id = static_cast<int>(chaos.Uniform(
             static_cast<uint64_t>(cluster.num_nodes())));
-        (void)cluster.RecoverNode(id);
+        DL_DISCARD_STATUS("chaos step; recovering an up node is fine",
+                          cluster.RecoverNode(id));
         break;
       }
       case 2: {  // Flicker one client-visible fault off and back on.
-        (void)reg.Deactivate("mint_replica_read");
+        reg.Deactivate("mint_replica_read");  // No-op if already disarmed.
         break;
       }
       default: {
-        (void)reg.Activate("mint_replica_read", "10%return(unavailable)");
+        DL_DISCARD_STATUS(
+            "chaos step; may already be armed",
+            reg.Activate("mint_replica_read", "10%return(unavailable)"));
         break;
       }
     }

@@ -1,0 +1,44 @@
+// Fixture: the PR 5 remote-OOM class — wire-decoded count sizes a vector
+// with no bounds check — next to the correctly guarded version.
+#include <cstdint>
+#include <vector>
+
+struct Slice {
+  const char* data;
+  unsigned long len;
+  unsigned long size() const { return len; }
+};
+
+bool GetVarint32(Slice* s, uint32_t* v);
+uint32_t DecodeFixed32(const char* p);
+
+struct Status {
+  static Status Protocol(const char*) { return Status(); }
+  static Status OK() { return Status(); }
+};
+
+Status DecodeBad(const Slice& payload, std::vector<int>* out) {
+  Slice rest = payload;
+  uint32_t count = 0;
+  if (!GetVarint32(&rest, &count)) {
+    return Status::Protocol("truncated count");
+  }
+  out->reserve(count);  // BAD: attacker-chosen count, no bounds check.
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(0);
+  }
+  return Status::OK();
+}
+
+Status DecodeGood(const Slice& payload, std::vector<int>* out) {
+  Slice rest = payload;
+  uint32_t count = 0;
+  if (!GetVarint32(&rest, &count)) {
+    return Status::Protocol("truncated count");
+  }
+  if (count > rest.size() / 4) {
+    return Status::Protocol("count exceeds payload");
+  }
+  out->reserve(count);  // OK: bounded against the remaining payload.
+  return Status::OK();
+}

@@ -1,0 +1,7 @@
+// Fixture: failpoint sites vs the registry doc — one undocumented, one
+// duplicated; the doc lists one that does not exist.
+#define DIRECTLOAD_FAILPOINT_DEFINE(var, name) int var = 0
+
+DIRECTLOAD_FAILPOINT_DEFINE(fp_a, "site_a");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_b, "site_b");   // BAD: not in the doc table.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_a2, "site_a");  // BAD: duplicate name.

@@ -1,0 +1,20 @@
+// Fixture: two methods touch count_ under a held lock on mu_.
+#include "widget.h"
+
+struct MutexLock {
+  explicit MutexLock(Mutex* m) { (void)m; }
+};
+
+void Widget::Bump() {
+  MutexLock lock(&mu_);
+  count_ += 1;
+  guarded_ += 1;
+  (void)immutable_;
+}
+
+void Widget::Reset() {
+  MutexLock lock(&mu_);
+  count_ = 0;
+  guarded_ = 0;
+  (void)immutable_;
+}

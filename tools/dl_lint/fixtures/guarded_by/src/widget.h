@@ -1,0 +1,22 @@
+// Fixture: one annotated field, one forgotten one, for guarded-by-coverage.
+#ifndef FIXTURE_WIDGET_H_
+#define FIXTURE_WIDGET_H_
+
+#define GUARDED_BY(x)
+
+struct Mutex {};
+
+class Widget {
+ public:
+  void Bump();
+  void Reset();
+  int read_only() const;
+
+ private:
+  Mutex mu_;
+  int guarded_ GUARDED_BY(mu_) = 0;
+  int count_ = 0;       // BAD: mutated under mu_ in two methods, unannotated.
+  int immutable_ = 42;  // Read under mu_ but never written: exempt.
+};
+
+#endif  // FIXTURE_WIDGET_H_

@@ -1,0 +1,19 @@
+// Fixture: a LockRank enum with every lock-rank-sync violation baked in.
+#ifndef FIXTURE_COMMON_LOCK_RANK_H_
+#define FIXTURE_COMMON_LOCK_RANK_H_
+
+enum class LockRank : int {
+  /// Lock: `Widget::mu_` — the widget's mutable state.
+  kAlpha = 2,
+  /// BAD: no `Lock:` doc tag at all.
+  kBeta = 4,
+  /// Lock: `Widget::other_mu_` — BAD: duplicate rank value (4 == kBeta).
+  kGamma = 4,
+  /// Lock: `Nothing::mu_` — BAD: never constructed anywhere.
+  kDelta = 6,
+  /// Lock: `Widget::sib_mu_` — BAD: two construction sites but no
+  /// `Sibling instances:` tag.
+  kSib = 8,
+};
+
+#endif  // FIXTURE_COMMON_LOCK_RANK_H_

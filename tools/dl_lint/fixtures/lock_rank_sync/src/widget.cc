@@ -1,0 +1,17 @@
+// Fixture: construction sites (and one unranked mutex) for lock-rank-sync.
+#include <mutex>
+
+#include "common/lock_rank.h"
+
+struct Mutex {
+  Mutex(LockRank, const char*) {}
+};
+
+struct Widget {
+  Mutex mu_{LockRank::kAlpha, "widget-mu"};
+  Mutex beta_mu_{LockRank::kBeta, "widget-beta"};
+  Mutex other_mu_{LockRank::kGamma, "widget-other"};
+  Mutex sib_a_{LockRank::kSib, "widget-sib-a"};
+  Mutex sib_b_{LockRank::kSib, "widget-sib-b"};
+  std::mutex raw_mu_;  // BAD: invisible to the lock-rank checker.
+};

@@ -1,0 +1,9 @@
+// Fixture: both ways of dropping a Status that must-use-status catches.
+#include "common/status.h"
+
+Status Flush() { return Status::OK(); }
+
+void Caller() {
+  Flush();        // BAD: ignored return — the compiler half flags this.
+  (void)Flush();  // BAD: bare cast — the lexer half flags this.
+}

@@ -1,0 +1,11 @@
+// Fixture: minimal [[nodiscard]] Status mirroring src/common/status.h.
+#ifndef FIXTURE_COMMON_STATUS_H_
+#define FIXTURE_COMMON_STATUS_H_
+
+class [[nodiscard]] Status {
+ public:
+  static Status OK() { return Status(); }
+  bool ok() const { return true; }
+};
+
+#endif  // FIXTURE_COMMON_STATUS_H_

@@ -1,0 +1,9 @@
+"""dl-lint: DirectLoad's repo-specific static analysis checks.
+
+Each check module exposes `run(ctx) -> list[Finding]`. The CLI in
+../dl_lint.py wires them together; selftest.py runs each check against a
+known-bad fixture tree and the clean repo.
+"""
+
+from . import findings  # noqa: F401
+from . import project  # noqa: F401

@@ -1,0 +1,123 @@
+"""decode-bounds: wire-decoded integers are hostile until compared.
+
+PR 5's review found a remote OOM: `reserve(count)` where `count` came
+straight off the wire. This check generalizes that class for all of
+src/rpc/: any integer produced by the decode primitives
+(`DecodeFixed32/64`, `GetVarint32/64`) is *tainted*; using a tainted value
+as a `resize`/`reserve` argument or a loop bound before an `if` has
+compared it against something (the remaining payload, a configured
+maximum) is a finding.
+
+The sanitizer rule is deliberately lenient — any comparison of the tainted
+variable in an `if` condition counts, because the interesting bug
+is the *absence of any check at all*, and a wrong check is a code-review
+problem, not a greppable one. Taint is tracked per function (brace depth
+returns to zero) and killed by the first sanitizing comparison.
+"""
+
+import re
+
+from .findings import Finding
+
+NAME = "decode-bounds"
+
+_TAINT_SOURCES = [
+    # GetVarint32(&rest, &count) — out-param form.
+    re.compile(r"\bGetVarint(?:32|64)\s*\([^;]*?&\s*(\w+)\s*\)"),
+    # count = DecodeFixed32(...) — return-value form.
+    re.compile(r"\b(\w+)\s*=\s*DecodeFixed(?:32|64)\s*\("),
+]
+
+_SINK_RE = re.compile(r"(?:\.|->)\s*(resize|reserve)\s*\(([^;]*)\)")
+_LOOP_RE = re.compile(r"\b(for|while)\s*\(([^{;]*(?:;[^{;]*;[^{)]*)?)\)")
+_CMP_OPS = ("<", ">", "<=", ">=")
+
+
+def _condition_compares(cond, var):
+    """True when `cond` contains `var` adjacent to a relational operator —
+    the shape of a bounds check (`count > rest.size() / 12`)."""
+    if not re.search(r"\b" + re.escape(var) + r"\b", cond):
+        return False
+    return any(op in cond for op in _CMP_OPS)
+
+
+def _scan_function(sf, body, body_off, findings):
+    """Linear taint scan over one function body (stripped code)."""
+    tainted = {}  # var -> source line
+    events = []
+
+    for src_re in _TAINT_SOURCES:
+        for m in src_re.finditer(body):
+            events.append((m.start(), "taint", m.group(1), None))
+    for m in re.finditer(r"\bif\s*\(", body):
+        # Condition runs to the matching close paren.
+        depth, j = 1, m.end()
+        while j < len(body) and depth:
+            depth += {"(": 1, ")": -1}.get(body[j], 0)
+            j += 1
+        events.append((m.start(), "if", body[m.end():j - 1], None))
+    for m in _SINK_RE.finditer(body):
+        events.append((m.start(), "sink", m.group(1), m.group(2)))
+    for m in _LOOP_RE.finditer(body):
+        events.append((m.start(), "loop", m.group(1), m.group(2)))
+
+    for off, kind, a, b in sorted(events):
+        line = sf.line_of(body_off + off)
+        if kind == "taint":
+            tainted[a] = line
+        elif kind == "if":
+            for var in [v for v in tainted if _condition_compares(a, v)]:
+                del tainted[var]
+        elif kind in ("sink", "loop"):
+            expr = b if b is not None else ""
+            for var in list(tainted):
+                if not re.search(r"\b" + re.escape(var) + r"\b", expr):
+                    continue
+                # Note `for (i = 0; i < count; ++i)` is a sink, not a
+                # sanitizer: its comparison bounds `i`, not `count`.
+                if sf.suppressed(line, NAME):
+                    continue
+                what = (f"{a}({expr.strip()})" if kind == "sink"
+                        else f"{a} loop bounded by `{var}`")
+                findings.append(Finding(
+                    NAME, sf.path, line,
+                    f"{what} uses wire-decoded `{var}` (line "
+                    f"{tainted[var]}) with no preceding bounds check",
+                    f"compare `{var}` against the remaining payload (or a "
+                    "configured maximum) before allocating or iterating — "
+                    "a forged frame chooses this value"))
+                del tainted[var]
+
+
+_FUNC_OPEN_RE = re.compile(
+    r"\)\s*(?:const\s*|noexcept\s*|override\s*|final\s*)*$")
+
+
+def _function_bodies(code):
+    """(start, end) offsets of outermost function bodies: brace blocks whose
+    opening `{` follows a `)` (plus trailing qualifiers). Namespace, class
+    and enum blocks don't match and are descended into; nested blocks inside
+    a matched function are part of it."""
+    i = 0
+    while True:
+        i = code.find("{", i)
+        if i == -1:
+            return
+        if _FUNC_OPEN_RE.search(code[:i].rstrip()[-40:] or " "):
+            depth, j = 1, i + 1
+            while j < len(code) and depth:
+                depth += {"{": 1, "}": -1}.get(code[j], 0)
+                j += 1
+            yield i + 1, j - 1
+            i = j
+        else:
+            i += 1
+
+
+def run(ctx):
+    findings = []
+    for sf in ctx.project.files_under("src/rpc"):
+        code = sf.code
+        for start, end in _function_bodies(code):
+            _scan_function(sf, code[start:end], start, findings)
+    return findings

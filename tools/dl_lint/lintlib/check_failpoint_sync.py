@@ -1,0 +1,102 @@
+"""failpoint-registry-sync: docs/fault_injection.md lists every failpoint.
+
+Chaos coverage (tests/chaos_test.cc, PR 4) is only as good as the registry
+table operators read when deciding what to inject. This check keeps the
+table honest in both directions: every `DIRECTLOAD_FAILPOINT_DEFINE(var,
+"name")` site must appear in the doc's registry table, every documented
+name must still exist in the code, and a name may be defined only once
+(registration aborts on duplicates at static-init time — catching it here
+is friendlier).
+"""
+
+import collections
+import re
+
+from .findings import Finding
+
+NAME = "failpoint-registry-sync"
+
+DOC_FILE = "docs/fault_injection.md"
+
+_DEFINE_RE = re.compile(
+    r"DIRECTLOAD_FAILPOINT_DEFINE\s*\(\s*\w+\s*,\s*\"([^\"]+)\"\s*\)")
+
+# The registry table is the one whose header row is `| failpoint | site |`;
+# other tables in the doc (the actions table) also use backticks and must
+# not be mistaken for registry rows.
+_TABLE_HEADER_RE = re.compile(r"^\|\s*failpoint\s*\|\s*site\s*\|\s*$", re.M)
+# First cell of a row; it may document several names
+# (`qindb_put` / `qindb_get` / `qindb_del`).
+_DOC_ROW_RE = re.compile(r"^\|([^|]*)\|", re.M)
+_DOC_NAME_RE = re.compile(r"`([a-z0-9_]+)`")
+
+
+def _code_sites(ctx):
+    sites = collections.defaultdict(list)
+    for sf in ctx.project.files_under("src"):
+        if sf.path.name == "failpoint.h":
+            continue  # The macro's own definition, not a site.
+        for m in _DEFINE_RE.finditer(sf.code_keep_strings):
+            sites[m.group(1)].append((sf.path, sf.line_of(m.start())))
+    return sites
+
+
+def _doc_names(doc_sf):
+    """name -> doc lines, from the registry table (after its header row,
+    until the first non-table line)."""
+    names = collections.defaultdict(list)
+    header = _TABLE_HEADER_RE.search(doc_sf.raw)
+    if header is None:
+        return names
+    # `$` in the header regex matches before the newline; skip past it.
+    tail = doc_sf.raw[header.end():]
+    skipped = len(tail) - len(tail.lstrip("\n"))
+    offset = header.end() + skipped
+    for raw_line in tail.lstrip("\n").splitlines(keepends=True):
+        if not raw_line.lstrip().startswith("|"):
+            break  # End of the registry table.
+        row = _DOC_ROW_RE.match(raw_line.lstrip())
+        if row:
+            line = doc_sf.line_of(offset)
+            for m in _DOC_NAME_RE.finditer(row.group(1)):
+                names[m.group(1)].append(line)
+        offset += len(raw_line)
+    return names
+
+
+def run(ctx):
+    findings = []
+    doc_path = ctx.project.root / DOC_FILE
+    if not doc_path.is_file():
+        return [Finding(NAME, doc_path, 0,
+                        f"{DOC_FILE} not found; failpoint registry has no "
+                        "documentation to sync against",
+                        "restore the doc's registry table")]
+    sites = _code_sites(ctx)
+    doc = _doc_names(ctx.project.file(doc_path))
+
+    for name, where in sorted(sites.items()):
+        if len(where) > 1:
+            path, line = where[1]
+            findings.append(Finding(
+                NAME, path, line,
+                f'failpoint "{name}" is defined more than once '
+                f"(first at {where[0][0].name}:{where[0][1]})",
+                "registration aborts on duplicate names at static init; "
+                "pick a unique site name"))
+        if name not in doc:
+            path, line = where[0]
+            findings.append(Finding(
+                NAME, path, line,
+                f'failpoint "{name}" is not documented in {DOC_FILE}',
+                "add a `| `" + name + "` | <site description> |` row to "
+                "the registry table"))
+    for name, lines in sorted(doc.items()):
+        if name not in sites:
+            findings.append(Finding(
+                NAME, doc_path, lines[0],
+                f'documented failpoint "{name}" has no '
+                "DIRECTLOAD_FAILPOINT_DEFINE site in src/",
+                "delete the stale row, or restore the failpoint it "
+                "documents"))
+    return findings

@@ -1,0 +1,181 @@
+"""guarded-by-coverage: fields that live under a lock must say so.
+
+The thread-safety annotations (common/thread_annotations.h) only help when
+they are present: clang's -Wthread-safety verifies `GUARDED_BY` fields, but
+a field someone forgot to annotate is verified against nothing. This check
+finds the forgotten ones structurally: a member field that is touched inside
+the scope of a held `MutexLock`/`WriterLock`/`ReaderLock` on the same mutex
+in two or more distinct methods is, by the repo's own conventions, part of
+that mutex's protected state and must carry `GUARDED_BY(<mutex>)`.
+
+One lock-holding method could be a coincidence (e.g. publishing a value
+once under a lifecycle lock); two is a pattern. Fields no code path ever
+*writes* are exempt — with no writer there is nothing to race with, and
+flagging immutable config/geometry reads would drown the signal. Deliberate
+exceptions take a `// dl-lint: ignore(guarded-by-coverage)` comment on the
+declaration.
+
+Heuristic, by design: it matches the repo's idioms (guards named
+`Lock guard(&member_mu_)`, members suffixed `_`) rather than parsing C++.
+Atomics, constants, mutexes and condvars are excluded — they are their own
+synchronization.
+"""
+
+import collections
+import re
+
+from .findings import Finding
+
+NAME = "guarded-by-coverage"
+
+_GUARD_RE = re.compile(
+    r"\b(?:MutexLock|WriterLock|ReaderLock)\s+\w+\s*\(\s*&(\w+)\s*\)")
+
+# One-line member declaration: optional qualifiers, a type, an identifier
+# with the trailing-underscore member convention, optional annotation and
+# initializer. Multi-line declarations are simply not seen (under-report,
+# never false-positive). The leading keyword guard keeps statements like
+# `return mem_;` from parsing as a declaration of `mem_` with type `return`.
+_DECL_RE = re.compile(
+    r"^\s*(?!return\b|delete\b|throw\b|case\b|goto\b|new\b|using\b|"
+    r"typedef\b|else\b|break\b|continue\b)"
+    r"(?:mutable\s+|static\s+)*"
+    r"(?P<type>[A-Za-z_][\w:<>,\s*&]*?)\s+"
+    r"(?P<name>[a-z]\w*_)\s*"
+    r"(?P<annot>GUARDED_BY\([^)]*\)|PT_GUARDED_BY\([^)]*\))?\s*"
+    r"(?:=\s*[^;]*|\{[^;]*\})?;",
+    re.M)
+
+# Evidence that a field is ever written: assignment/compound-assignment,
+# increment/decrement, a mutating container/smart-pointer method, taking a
+# non-const reference via `&field`, or being moved from. A field no code
+# path mutates has no writer to race with and needs no GUARDED_BY.
+_MUTATION_METHODS = (r"reset|release|clear|erase|insert|emplace\w*|"
+                     r"push_back|push_front|pop_back|pop_front|assign|"
+                     r"resize|reserve|swap|store|fetch_\w+")
+
+
+def _mutation_re(name):
+    n = re.escape(name)
+    return re.compile(
+        rf"\b{n}\s*(?:=[^=]|[-+|&^]=|\+\+|--)"
+        rf"|(?:\+\+|--)\s*{n}\b"
+        rf"|\b{n}\s*\.\s*(?:{_MUTATION_METHODS})\s*\("
+        rf"|(?<![&\w])&\s*{n}\b"
+        rf"|std::move\s*\(\s*{n}\s*\)")
+
+_EXCLUDED_TYPE_RE = re.compile(
+    r"\batomic\b|\bMutex\b|\bSharedMutex\b|\bCondVar\b|\bmutex\b|"
+    r"\bcondition_variable\b|\bconst\b")
+
+_EXCLUDED_NAME_RE = re.compile(r"(mu|mutex|cv)_$")
+
+
+def _brace_pairs(code):
+    """Matched (open_offset, close_offset) brace pairs."""
+    pairs, stack = [], []
+    for i, c in enumerate(code):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            pairs.append((stack.pop(), i))
+    return pairs
+
+
+def _innermost_block(pairs, offset):
+    best = None
+    for open_off, close_off in pairs:
+        if open_off < offset < close_off:
+            if best is None or open_off > best[0]:
+                best = (open_off, close_off)
+    return best
+
+
+def _declared_fields(sf):
+    """name -> list of (line, annotated, path) for member-convention
+    declarations whose type is not self-synchronizing. A name may be
+    declared by several classes in one file; the check is class-blind, so
+    all declarations are kept and a name counts as annotated/suppressed
+    when any of its declarations is."""
+    fields = collections.defaultdict(list)
+    for m in _DECL_RE.finditer(sf.code):
+        name = m.group("name")
+        if _EXCLUDED_NAME_RE.search(name):
+            continue
+        if _EXCLUDED_TYPE_RE.search(m.group("type")):
+            continue
+        line = sf.line_of(m.start("name"))
+        # GUARDED_BY on a continuation line (`    connections_ GUARDED_BY`)
+        # still counts; check the raw declaration line too.
+        annotated = (m.group("annot") is not None
+                     or "GUARDED_BY" in sf.raw_line(line))
+        fields[name].append((line, annotated, sf.path))
+    return fields
+
+
+def run(ctx):
+    findings = []
+    sources = ctx.project.files_under("src")
+    headers_by_stem = {}
+    for sf in sources:
+        if sf.path.suffix == ".h":
+            headers_by_stem[(sf.path.parent, sf.path.stem)] = sf
+
+    for sf in sources:
+        fields = _declared_fields(sf)
+        header = headers_by_stem.get((sf.path.parent, sf.path.stem))
+        if header is not None and header is not sf:
+            for name, decls in _declared_fields(header).items():
+                fields[name].extend(decls)
+        if not fields:
+            continue
+
+        # Mutation evidence must come from executable code: blank out the
+        # declarations themselves so a default member initializer
+        # (`int immutable_ = 42;`) does not read as an assignment.
+        def _without_decls(code):
+            return _DECL_RE.sub(lambda m: " " * len(m.group(0)), code)
+
+        mutation_text = _without_decls(sf.code)
+        if header is not None and header is not sf:
+            mutation_text += _without_decls(header.code)
+
+        pairs = _brace_pairs(sf.code)
+        # (field, mutex) -> set of guard scopes touching the field.
+        touches = collections.defaultdict(set)
+        for g in _GUARD_RE.finditer(sf.code):
+            mutex = g.group(1)
+            block = _innermost_block(pairs, g.start())
+            if block is None:
+                continue
+            scope = sf.code[g.end():block[1]]
+            for name in fields:
+                if re.search(r"\b" + re.escape(name) + r"\b", scope):
+                    touches[(name, mutex)].add(block[0])
+
+        reported = set()
+        for (name, mutex), scopes in sorted(touches.items()):
+            if len(scopes) < 2 or name in reported:
+                continue
+            decls = fields[name]
+            if any(annotated for _, annotated, _ in decls):
+                continue
+            if any(ctx.project.file(p).suppressed(line, NAME)
+                   for line, _, p in decls):
+                continue
+            if not _mutation_re(name).search(mutation_text):
+                # Never written anywhere we can see: there is no writer to
+                # race with, so demanding a lock annotation is noise
+                # (immutable config, injected pointers, geometry).
+                continue
+            # Report once per field even if it pairs with several mutexes.
+            reported.add(name)
+            line, _, decl_path = decls[0]
+            findings.append(Finding(
+                NAME, decl_path, line,
+                f"field {name} is touched under a held lock on {mutex} in "
+                f"{len(scopes)} methods but has no GUARDED_BY annotation",
+                f"declare it `... {name} GUARDED_BY({mutex});` so clang "
+                "-Wthread-safety can verify every access, or add "
+                "`// dl-lint: ignore(guarded-by-coverage)` with a reason"))
+    return findings

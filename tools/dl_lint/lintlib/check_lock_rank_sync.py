@@ -1,0 +1,281 @@
+"""lock-rank-sync: the lock-rank table is code, and the code is the table.
+
+`common/lock_rank.h` is the single source of truth: every enumerator carries
+a structured doc comment —
+
+    /// Lock: `Shard::write_mutex_` — serializes the shard's mutators.
+    /// Sibling instances: one per shard, named `qindb-write/sNN`.
+    ///
+    /// ...free prose...
+    kQinDbWrite = 10,
+
+This check cross-references three things against that enum:
+
+* every ranked-mutex construction site (`Mutex m{LockRank::kX, "name"}`):
+  a rank that is never constructed is dead; a rank constructed at two or
+  more static sites, or with a runtime-computed instance name, has sibling
+  instances and must say so (`Sibling instances:` tag) because equal-rank
+  nesting is rejected at runtime and the reader needs to know that is
+  intentional;
+* every raw `std::mutex`/`std::shared_mutex`/`std::condition_variable` in
+  src/ outside the ranked wrappers themselves — unranked locks are invisible
+  to the deadlock checker and therefore banned;
+* the rank table in docs/qindb_internals.md, which is *generated* from the
+  enum between `<!-- dl-lint:lock-rank-table:begin/end -->` markers; any
+  hand edit or enum change shows up as drift until `--write-docs` is rerun.
+"""
+
+import collections
+import re
+
+from .findings import Finding
+
+NAME = "lock-rank-sync"
+
+LOCK_RANK_H = "src/common/lock_rank.h"
+DOC_FILE = "docs/qindb_internals.md"
+BEGIN_MARK = "<!-- dl-lint:lock-rank-table:begin -->"
+END_MARK = "<!-- dl-lint:lock-rank-table:end -->"
+GENERATED_NOTE = ("<!-- Generated from src/common/lock_rank.h by "
+                  "`tools/dl_lint/dl_lint.py --write-docs`. Do not edit "
+                  "by hand. -->")
+
+# Files allowed to mention raw std synchronization types: the ranked
+# wrappers are built out of them.
+_RAW_MUTEX_ALLOWLIST = ("src/common/thread_annotations.h",)
+
+_RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable(?:_any)?)\b")
+
+_ENUM_RE = re.compile(r"enum\s+class\s+LockRank\s*:\s*int\s*\{(.*?)\n\};",
+                      re.S)
+_ENTRY_RE = re.compile(r"^\s*k(\w+)\s*=\s*(\d+)\s*,", re.M)
+
+_SITE_RE = re.compile(
+    r"LockRank::k(\w+)\s*,\s*(\"(?:[^\"\\]|\\.)*\"|[^)}]+)")
+
+EnumEntry = collections.namedtuple(
+    "EnumEntry", "name value line lock_tag sibling_tag")
+Site = collections.namedtuple("Site", "path line name_arg is_literal")
+
+
+def _parse_comment_tags(comment_lines):
+    """Extracts the `Lock:` and `Sibling instances:` tags from the ///
+    comment block above one enumerator. A tag starts at its keyword and
+    wraps until the next tag, a blank /// line, or the end of the block."""
+    tags = {}
+    current = None
+    for text in comment_lines:
+        stripped = text.strip()
+        if not stripped:
+            current = None
+            continue
+        m = re.match(r"(Lock|Sibling instances):\s*(.*)", stripped)
+        if m:
+            current = m.group(1)
+            tags[current] = m.group(2)
+        elif current is not None:
+            tags[current] += " " + stripped
+    return tags.get("Lock"), tags.get("Sibling instances")
+
+
+def parse_enum(sf):
+    """Yields EnumEntry for each LockRank enumerator in lock_rank.h."""
+    m = _ENUM_RE.search(sf.raw)
+    if not m:
+        return None
+    body, body_off = m.group(1), m.start(1)
+    entries = []
+    comment = []
+    for raw_line in body.splitlines(keepends=True):
+        stripped = raw_line.strip()
+        if stripped.startswith("///"):
+            comment.append(stripped[3:])
+            body_off += len(raw_line)
+            continue
+        em = _ENTRY_RE.match(raw_line)
+        if em:
+            lock_tag, sibling_tag = _parse_comment_tags(comment)
+            entries.append(EnumEntry(
+                name="k" + em.group(1),
+                value=int(em.group(2)),
+                line=sf.line_of(body_off + em.start()),
+                lock_tag=lock_tag,
+                sibling_tag=sibling_tag))
+            comment = []
+        elif stripped:
+            comment = []
+        body_off += len(raw_line)
+    return entries
+
+
+def find_sites(ctx):
+    """All ranked-mutex construction sites in src/ (the enum and wrapper
+    headers excluded), keyed by enumerator name."""
+    sites = collections.defaultdict(list)
+    skip = {ctx.project.root / LOCK_RANK_H,
+            ctx.project.root / "src/common/thread_annotations.h"}
+    for sf in ctx.project.files_under("src"):
+        if sf.path in skip:
+            continue
+        for m in _SITE_RE.finditer(sf.code_keep_strings):
+            arg = m.group(2).strip()
+            sites["k" + m.group(1)].append(Site(
+                path=sf.path, line=sf.line_of(m.start()),
+                name_arg=arg, is_literal=arg.startswith('"')))
+    return sites
+
+
+def _split_lock_tag(tag):
+    """`Lock: <lock> — <protects>` -> (lock, protects)."""
+    parts = tag.split("—", 1)
+    lock = parts[0].strip()
+    protects = parts[1].strip() if len(parts) > 1 else ""
+    return lock, protects.rstrip(".")
+
+
+def generate_table(entries):
+    lines = [GENERATED_NOTE, "",
+             "| Rank | `LockRank` enumerator | Lock | Protects |",
+             "|-----:|-----------------------|------|----------|"]
+    for e in sorted(entries, key=lambda e: (e.value, e.name)):
+        lock, protects = _split_lock_tag(e.lock_tag or "(undocumented)")
+        if e.sibling_tag:
+            lock += f" (sibling instances: {e.sibling_tag.rstrip('.')})"
+        lines.append(f"| {e.value} | `{e.name}` | {lock} | {protects} |")
+    return "\n".join(lines)
+
+
+def _doc_region(doc_sf):
+    """(before, region, after, begin_line) of the marker-delimited table in
+    the doc, or None when markers are missing."""
+    raw = doc_sf.raw
+    b = raw.find(BEGIN_MARK)
+    e = raw.find(END_MARK)
+    if b == -1 or e == -1 or e < b:
+        return None
+    start = b + len(BEGIN_MARK)
+    return raw[:start], raw[start:e], raw[e:], doc_sf.line_of(b)
+
+
+def _doc_findings(ctx, entries):
+    doc_path = ctx.project.root / DOC_FILE
+    if not doc_path.is_file():
+        return [Finding(NAME, doc_path, 0,
+                        f"{DOC_FILE} not found; the lock-rank table has "
+                        "nowhere to live",
+                        "restore the doc with the generated-table markers")]
+    doc_sf = ctx.project.file(doc_path)
+    region = _doc_region(doc_sf)
+    if region is None:
+        return [Finding(
+            NAME, doc_path, 0,
+            "lock-rank table markers missing "
+            f"({BEGIN_MARK} / {END_MARK})",
+            "wrap the generated table in the markers, then run "
+            "dl_lint.py --write-docs")]
+    _, current, _, begin_line = region
+    if current.strip() != generate_table(entries).strip():
+        return [Finding(
+            NAME, doc_path, begin_line,
+            "lock-rank table drifted from the enum in " + LOCK_RANK_H,
+            "run tools/dl_lint/dl_lint.py --write-docs to regenerate it")]
+    return []
+
+
+def write_docs(ctx):
+    """Regenerates the doc table in place. Returns True when the file
+    changed."""
+    sf = ctx.project.file(ctx.project.root / LOCK_RANK_H)
+    entries = parse_enum(sf)
+    doc_sf = ctx.project.file(ctx.project.root / DOC_FILE)
+    region = _doc_region(doc_sf)
+    if entries is None or region is None:
+        return False
+    before, current, after, _ = region
+    regenerated = "\n" + generate_table(entries) + "\n"
+    if current == regenerated:
+        return False
+    doc_sf.path.write_text(before + regenerated + after)
+    ctx.project.invalidate(doc_sf.path)
+    return True
+
+
+def run(ctx):
+    findings = []
+    enum_path = ctx.project.root / LOCK_RANK_H
+    if not enum_path.is_file():
+        return [Finding(NAME, enum_path, 0, "lock_rank.h not found", "")]
+    sf = ctx.project.file(enum_path)
+    entries = parse_enum(sf)
+    if entries is None:
+        return [Finding(NAME, enum_path, 0,
+                        "could not parse `enum class LockRank : int`", "")]
+
+    by_value = collections.defaultdict(list)
+    for e in entries:
+        by_value[e.value].append(e)
+        if not e.lock_tag:
+            findings.append(Finding(
+                NAME, enum_path, e.line,
+                f"{e.name} has no `Lock:` doc tag",
+                "document it as `/// Lock: `<lock>` — <what it protects>`; "
+                "the docs table is generated from this tag"))
+    for value, dupes in by_value.items():
+        if len(dupes) > 1:
+            names = ", ".join(d.name for d in dupes)
+            findings.append(Finding(
+                NAME, enum_path, dupes[1].line,
+                f"rank {value} is assigned to multiple enumerators "
+                f"({names})",
+                "each enumerator needs a distinct rank; sibling *instances* "
+                "share one enumerator, never one value across enumerators"))
+
+    sites = find_sites(ctx)
+    known = {e.name for e in entries}
+    for e in entries:
+        entry_sites = sites.get(e.name, [])
+        if not entry_sites:
+            findings.append(Finding(
+                NAME, enum_path, e.line,
+                f"{e.name} (rank {e.value}) is never used to construct a "
+                "mutex",
+                "delete the dead rank or construct the lock it documents"))
+            continue
+        has_siblings = (len(entry_sites) > 1
+                        or any(not s.is_literal for s in entry_sites))
+        if has_siblings and not e.sibling_tag:
+            where = ", ".join(
+                f"{s.path.name}:{s.line}" for s in entry_sites[:4])
+            findings.append(Finding(
+                NAME, enum_path, e.line,
+                f"{e.name} has sibling instances ({where}) but no "
+                "`Sibling instances:` doc tag",
+                "equal-rank nesting aborts at runtime; add "
+                "`/// Sibling instances: <why several locks share this "
+                "rank>` so the sharing is visibly intentional"))
+    for name in sorted(set(sites) - known):
+        s = sites[name][0]
+        findings.append(Finding(
+            NAME, s.path, s.line,
+            f"construction references LockRank::{name}, which is not in "
+            "the enum", "add the rank to common/lock_rank.h"))
+
+    for sf2 in ctx.project.files_under("src"):
+        rel = sf2.path.relative_to(ctx.project.root).as_posix()
+        if rel in _RAW_MUTEX_ALLOWLIST:
+            continue
+        for m in _RAW_MUTEX_RE.finditer(sf2.code):
+            line = sf2.line_of(m.start())
+            if sf2.suppressed(line, NAME):
+                continue
+            findings.append(Finding(
+                NAME, sf2.path, line,
+                f"raw std::{m.group(1)} is invisible to the lock-rank "
+                "checker",
+                "use the ranked Mutex/SharedMutex/CondVar wrappers from "
+                "common/thread_annotations.h"))
+
+    findings += _doc_findings(ctx, entries)
+    return findings

@@ -1,0 +1,199 @@
+"""must-use-status: no Status/Result<T> return may be silently dropped.
+
+Three layers:
+
+1. Compiler-enforced: `Status` and `Result<T>` are `[[nodiscard]]`, so this
+   check re-drives every TU in compile_commands.json through the project
+   compiler with `-fsyntax-only -Wunused-result` and turns each
+   [-Wunused-result] diagnostic into a finding. The compiler sees through
+   macros, templates and overloads — no lexer heuristic can.
+2. Lexer-enforced: bare `(void)` casts of a call whose callee name is
+   declared somewhere in the tree to return Status/Result are findings even
+   though they silence the compiler: the sanctioned discard idioms are
+   `DL_CHECK_OK` / `DL_LOG_IF_ERROR` / `DL_DISCARD_STATUS`, which force the
+   author to record *why* the drop is safe.
+3. Self-guarding: the `[[nodiscard]]` attributes on the Status/Result class
+   definitions themselves must stay, or layer 1 silently dies.
+"""
+
+import multiprocessing
+import pathlib
+import re
+import subprocess
+
+from .findings import Finding
+
+NAME = "must-use-status"
+
+_DIAG_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):\d+:\s+warning:.*\[-Wunused-result\]",
+    re.M,
+)
+
+# A declaration (or definition) returning Status or Result<...>; captures the
+# unqualified function name. The trailing `(` keeps `Status s = ...;` out.
+_DECL_RE = re.compile(
+    r"\b(?:Status|Result<[^<>;{}]{1,80}>)\s+"
+    r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+
+# Any other `<type> <name>(` shape. Names that appear with both a
+# Status/Result return and some other return type (e.g. Random::Next vs
+# FrameDecoder::Next) are ambiguous to a class-blind catalog and are left
+# to the compiler half.
+_OTHER_DECL_RE = re.compile(
+    r"\b([A-Za-z_][\w:]*(?:<[^<>;{}]{0,80}>)?(?:\s*[*&])?)\s+"
+    r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+
+_NOT_TYPES = {"return", "new", "delete", "else", "case", "throw", "goto",
+              "do", "if", "while", "for", "switch", "const", "constexpr",
+              "inline", "static", "virtual", "explicit", "friend",
+              "co_return", "co_await", "co_yield", "Status"}
+
+# `(void)` cast; the cast expression is inspected separately.
+_VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*")
+
+_NOT_CALLEES = {"if", "for", "while", "switch", "sizeof", "return"}
+
+
+def _syntax_only_argv(argv):
+    """Strip output/link args from a compile command and add the warning."""
+    out = []
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if arg in ("-c", "-MD", "-MMD"):
+            continue
+        out.append(arg)
+    out += ["-fsyntax-only", "-Wunused-result"]
+    return out
+
+
+def _compile_one(job):
+    path, argv, directory = job
+    proc = subprocess.run(
+        _syntax_only_argv(argv),
+        cwd=directory,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return str(path), proc.returncode, proc.stderr
+
+
+def _compiler_findings(ctx):
+    entries = ctx.project.compile_commands()
+    if not entries:
+        if ctx.require_compile_db:
+            return [
+                Finding(NAME, ctx.project.root, 0,
+                        "no compile_commands.json found",
+                        "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "
+                        "and pass the build dir via -p")
+            ]
+        return []
+    jobs = [(path, argv, ctx.project.build_dir) for path, argv in entries]
+    with multiprocessing.Pool() as pool:
+        results = pool.map(_compile_one, jobs)
+    findings = []
+    seen = set()
+    for tu, returncode, stderr in results:
+        for m in _DIAG_RE.finditer(stderr):
+            path = pathlib.Path(m.group("path"))
+            if not path.is_absolute():
+                path = (ctx.project.build_dir / path).resolve()
+            key = (str(path), int(m.group("line")))
+            if key in seen:
+                continue  # A header diag repeats once per including TU.
+            seen.add(key)
+            findings.append(Finding(
+                NAME, path, int(m.group("line")),
+                "return value of a [[nodiscard]] Status/Result call is "
+                "ignored",
+                "handle the error, or use DL_CHECK_OK / DL_LOG_IF_ERROR / "
+                "DL_DISCARD_STATUS to say why dropping it is safe"))
+        if returncode != 0 and not _DIAG_RE.search(stderr):
+            findings.append(Finding(
+                NAME, pathlib.Path(tu), 0,
+                "TU failed -fsyntax-only recompilation (see compiler "
+                "output above); cannot verify unused-result",
+                "fix the build first"))
+    return findings
+
+
+def _callee_catalog(files):
+    """Unqualified names declared anywhere to return Status/Result, minus
+    names that are ambiguous (also declared with another return type)."""
+    names = set()
+    ambiguous = set()
+    for sf in files:
+        for m in _DECL_RE.finditer(sf.code):
+            names.add(m.group(1))
+        for m in _OTHER_DECL_RE.finditer(sf.code):
+            rtype = m.group(1).split("<")[0].strip(" *&")
+            if rtype not in _NOT_TYPES and not rtype.startswith("Result"):
+                ambiguous.add(m.group(2))
+    return names - ambiguous - _NOT_CALLEES
+
+
+def _void_cast_findings(ctx, files):
+    catalog = _callee_catalog(files)
+    findings = []
+    for sf in files:
+        code = sf.code
+        for m in _VOID_CAST_RE.finditer(code):
+            # Extract the callee: the identifier immediately before the first
+            # `(` of the cast operand, stopping at statement end.
+            i = m.end()
+            expr = []
+            while i < len(code) and code[i] not in "(;,{}":
+                expr.append(code[i])
+                i += 1
+            if i >= len(code) or code[i] != "(":
+                continue  # Not a call — `(void)x;`, unused-param idiom.
+            callee = re.search(r"([A-Za-z_]\w*)\s*$", "".join(expr))
+            if not callee or callee.group(1) not in catalog:
+                continue
+            line = sf.line_of(m.start())
+            if sf.suppressed(line, NAME):
+                continue
+            findings.append(Finding(
+                NAME, sf.path, line,
+                f"bare (void) cast discards the Status/Result returned by "
+                f"{callee.group(1)}()",
+                "a bare cast records nothing; use DL_CHECK_OK, "
+                "DL_LOG_IF_ERROR or DL_DISCARD_STATUS with a reason"))
+    return findings
+
+
+def _nodiscard_findings(ctx):
+    findings = []
+    for rel, cls in (("src/common/status.h", "Status"),
+                     ("src/common/result.h", "Result")):
+        path = ctx.project.root / rel
+        if not path.is_file():
+            continue
+        sf = ctx.project.file(path)
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, sf.code):
+            findings.append(Finding(
+                NAME, path, 1,
+                f"class {cls} has lost its [[nodiscard]] attribute",
+                "restore `class [[nodiscard]] " + cls + "`; the compiler "
+                "half of this check depends on it"))
+    return findings
+
+
+def run(ctx):
+    files = ctx.project.files_under("src", "tests", "bench")
+    findings = []
+    findings += _nodiscard_findings(ctx)
+    findings += _void_cast_findings(ctx, files)
+    if not ctx.no_compile:
+        findings += _compiler_findings(ctx)
+    return findings

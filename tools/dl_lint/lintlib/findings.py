@@ -1,0 +1,27 @@
+"""Finding: one `file:line` diagnostic with a fix hint."""
+
+import dataclasses
+import pathlib
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    check: str          # check name, e.g. "must-use-status"
+    path: pathlib.Path  # file the finding is anchored to
+    line: int           # 1-based; 0 when the finding is file-level
+    message: str        # what is wrong
+    hint: str = ""      # how to fix it
+
+    def render(self, root: pathlib.Path) -> str:
+        try:
+            rel = self.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = self.path
+        out = f"{rel}:{self.line}: [{self.check}] {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+
+def sort_key(f: Finding):
+    return (str(f.path), f.line, f.check, f.message)
