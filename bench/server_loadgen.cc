@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/common/report.h"
+#include "bifrost/wire/bulk_loader.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "rpc/client.h"
@@ -56,6 +57,17 @@ struct LoadgenConfig {
   /// Engine shards per node for the in-process cluster; 0 keeps the engine
   /// default (hardware_concurrency). Ignored with --connect.
   int shards = 0;
+  /// Rollover mode: preload version 1 over the key space, then stream a
+  /// full version 2 into the live server with a BulkLoader while closed-loop
+  /// Zipfian readers measure serving latency through the load. `threads`
+  /// becomes the reader count and `ops_per_thread`/`write_pct`/`batch` are
+  /// ignored.
+  bool rollover = false;
+  int rollover_slice_kb = 256;         // Pair payload per bulk slice.
+  double rollover_bandwidth_mbps = 0;  // <= 0 = unpaced shipping.
+  /// Fails the run (exit 2) when the read p99 observed *during* the bulk
+  /// load exceeds this many microseconds; 0 disables the gate.
+  double read_p99_gate_us = 0;
   std::string json_path;     // Empty = no JSON summary.
   std::string connect_host;  // Empty = host an in-process server.
   uint16_t connect_port = 0;
@@ -189,6 +201,233 @@ void PrintPercentiles(const char* label, const Histogram& h) {
               h.Percentile(95), h.Percentile(99), h.Mean(), h.max());
 }
 
+// ---------------------------------------------------------------------------
+// Rollover mode: bulk-stream a new version into the serving path while
+// closed-loop Zipfian readers measure what the load does to read tails.
+// ---------------------------------------------------------------------------
+
+std::string BenchKey(uint64_t i) { return "bench:k" + std::to_string(i); }
+
+/// One reader: closed-loop (depth 1) GetLatest over a Zipfian key draw, until
+/// `stop` flips. Latency lands in `result->read_latency_us`; reads answered
+/// with an error status count as `errors` and fail the run.
+void RunRolloverReader(const LoadgenConfig& config, const std::string& host,
+                       uint16_t port, int thread_id,
+                       const std::atomic<bool>* stop, ThreadResult* result) {
+  rpc::RpcClient client(host, port);
+  if (!client.Connect().ok()) {
+    ++result->errors;
+    return;
+  }
+  ZipfianGenerator zipf(config.key_space, 0.99, 0x5eedull * (thread_id + 1));
+  while (!stop->load(std::memory_order_relaxed)) {
+    rpc::Frame request;
+    request.op = rpc::Opcode::kGet;
+    request.latest = true;
+    request.request_id = client.NextRequestId();
+    request.key = BenchKey(zipf.Next());
+    const Clock::time_point sent = Clock::now();
+    if (!client.Send(request).ok()) {
+      ++result->errors;
+      return;
+    }
+    Result<rpc::Frame> response = client.Receive();
+    if (!response.ok()) {
+      ++result->errors;
+      return;
+    }
+    result->read_latency_us.Add(MicrosSince(sent));
+    switch (response->status) {
+      case StatusCode::kOk:
+        ++result->ok;
+        break;
+      case StatusCode::kBusy:
+        ++result->busy;
+        break;
+      case StatusCode::kNotFound:
+        ++result->not_found;  // A key the preload has not reached yet.
+        break;
+      default:
+        ++result->errors;
+        break;
+    }
+  }
+}
+
+/// Preloads version `version` of every key through kWriteBatch frames.
+Status PreloadVersion(const std::string& host, uint16_t port,
+                      const LoadgenConfig& config, uint64_t version,
+                      const std::string& value) {
+  rpc::RpcClient client(host, port);
+  if (Status s = client.Connect(); !s.ok()) return s;
+  constexpr int kOpsPerFrame = 128;
+  for (int base = 0; base < config.key_space; base += kOpsPerFrame) {
+    const int n = std::min(kOpsPerFrame, config.key_space - base);
+    std::vector<rpc::BatchOp> ops(n);
+    for (int i = 0; i < n; ++i) {
+      ops[i].version = version;
+      ops[i].key = BenchKey(base + i);
+      ops[i].value = value;
+    }
+    rpc::Frame request;
+    request.op = rpc::Opcode::kWriteBatch;
+    request.request_id = client.NextRequestId();
+    rpc::EncodeBatchOps(ops, &request.value);
+    if (Status s = client.Send(request); !s.ok()) return s;
+    Result<rpc::Frame> response = client.Receive();
+    if (!response.ok()) return response.status();
+    if (response->status != StatusCode::kOk) {
+      return rpc::StatusFromWire(response->status, response->value);
+    }
+  }
+  return Status::OK();
+}
+
+int RunRollover(const LoadgenConfig& config, const std::string& host,
+                uint16_t port) {
+  const std::string v1_value(config.value_bytes, 'a');
+  const std::string v2_value(config.value_bytes, 'b');
+  std::printf("rollover: preloading v1 over %d keys...\n", config.key_space);
+  if (Status s = PreloadVersion(host, port, config, 1, v1_value); !s.ok()) {
+    std::fprintf(stderr, "preload failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Readers start before the bulk load and stop after its commit, so their
+  // histogram is the read tail *through* the rollover.
+  std::atomic<bool> stop{false};
+  std::vector<ThreadResult> results(config.threads);
+  std::vector<std::thread> readers;
+  readers.reserve(config.threads);
+  for (int t = 0; t < config.threads; ++t) {
+    readers.emplace_back(RunRolloverReader, std::cref(config), std::cref(host),
+                         port, t, &stop, &results[t]);
+  }
+
+  // The new version: a full replacement of the key space, split across the
+  // two streams so both rate-limiter buckets carry traffic.
+  std::vector<bifrost::ShippedPair> summary;
+  std::vector<bifrost::ShippedPair> inverted;
+  for (int i = 0; i < config.key_space; ++i) {
+    bifrost::ShippedPair pair;
+    pair.key = BenchKey(i);
+    pair.value = v2_value;
+    (i % 2 == 0 ? summary : inverted).push_back(std::move(pair));
+  }
+
+  rpc::RpcClient bulk_client(host, port);
+  Status s = bulk_client.Connect();
+  bifrost::wire::BulkLoadReport bulk_report;
+  double load_seconds = 0;
+  if (s.ok()) {
+    bifrost::wire::BulkLoadOptions options;
+    options.slice_bytes = static_cast<uint64_t>(config.rollover_slice_kb)
+                          << 10;
+    options.bandwidth_bytes_per_sec =
+        config.rollover_bandwidth_mbps * 1024 * 1024;
+    bifrost::wire::BulkLoader loader(&bulk_client, options);
+    const Clock::time_point start = Clock::now();
+    s = loader.Load(/*version=*/2, summary, inverted, /*deletes=*/{},
+                    &bulk_report);
+    load_seconds = MicrosSince(start) * 1e-6;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // The committed version must serve: every sampled key reads back v2.
+  uint64_t verify_failures = 0;
+  {
+    rpc::RpcClient verify(host, port);
+    if (!verify.Connect().ok()) {
+      ++verify_failures;
+    } else {
+      const int step = std::max(1, config.key_space / 256);
+      for (int i = 0; i < config.key_space; i += step) {
+        rpc::Frame request;
+        request.op = rpc::Opcode::kGet;
+        request.latest = true;
+        request.request_id = verify.NextRequestId();
+        request.key = BenchKey(i);
+        if (!verify.Send(request).ok()) {
+          ++verify_failures;
+          break;
+        }
+        Result<rpc::Frame> response = verify.Receive();
+        if (!response.ok() || response->status != StatusCode::kOk ||
+            response->value != v2_value) {
+          ++verify_failures;
+        }
+      }
+    }
+  }
+
+  Histogram reads;
+  uint64_t ok = 0, busy = 0, not_found = 0, errors = 0;
+  for (const ThreadResult& r : results) {
+    reads.Merge(r.read_latency_us);
+    ok += r.ok;
+    busy += r.busy;
+    not_found += r.not_found;
+    errors += r.errors;
+  }
+  const double pairs_per_sec =
+      load_seconds > 0 ? bulk_report.pairs_total / load_seconds : 0.0;
+
+  std::printf("rollover: v2 committed in %.2fs (%llu pairs, %llu slices, "
+              "%llu bytes, %llu resends, %llu repair rounds)\n",
+              load_seconds, (unsigned long long)bulk_report.pairs_total,
+              (unsigned long long)bulk_report.slices_total,
+              (unsigned long long)bulk_report.bytes_shipped,
+              (unsigned long long)bulk_report.slices_resent,
+              (unsigned long long)bulk_report.repair_rounds);
+  PrintPercentiles("reads", reads);
+  std::printf("status: ok=%llu not_found=%llu busy=%llu errors=%llu "
+              "verify_failures=%llu\n",
+              (unsigned long long)ok, (unsigned long long)not_found,
+              (unsigned long long)busy, (unsigned long long)errors,
+              (unsigned long long)verify_failures);
+
+  const double read_p99 = reads.Percentile(99);
+  bool gate_failed = false;
+  if (config.read_p99_gate_us > 0 && read_p99 > config.read_p99_gate_us) {
+    std::fprintf(stderr,
+                 "read p99 gate FAILED: %.1fus > %.1fus during rollover\n",
+                 read_p99, config.read_p99_gate_us);
+    gate_failed = true;
+  }
+
+  bench::JsonReport report;
+  report.AddString("bench", "server_loadgen_rollover");
+  report.Add("reader_threads", config.threads);
+  report.Add("key_space", config.key_space);
+  report.Add("value_bytes", config.value_bytes);
+  report.Add("slice_kb", config.rollover_slice_kb);
+  report.Add("bandwidth_mbps", config.rollover_bandwidth_mbps);
+  report.Add("load_seconds", load_seconds);
+  report.Add("bulk_pairs", bulk_report.pairs_total);
+  report.Add("bulk_slices", bulk_report.slices_total);
+  report.Add("bulk_bytes_shipped", bulk_report.bytes_shipped);
+  report.Add("bulk_slices_resent", bulk_report.slices_resent);
+  report.Add("bulk_repair_rounds", bulk_report.repair_rounds);
+  report.Add("bulk_pairs_per_sec", pairs_per_sec);
+  report.Add("reads_completed", reads.count());
+  report.Add("read_p50_us", reads.Percentile(50));
+  report.Add("read_p95_us", reads.Percentile(95));
+  report.Add("read_p99_us", read_p99);
+  report.Add("read_p99_gate_us", config.read_p99_gate_us);
+  report.Add("not_found", not_found);
+  report.Add("busy", busy);
+  report.Add("errors", errors);
+  report.Add("verify_failures", verify_failures);
+  report.WriteTo(config.json_path);
+
+  return (errors == 0 && verify_failures == 0 && !gate_failed) ? 0 : 2;
+}
+
 bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -215,6 +454,16 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
       if (!next_int(&config->server_max_write_batch)) return false;
     } else if (arg == "--shards") {
       if (!next_int(&config->shards)) return false;
+    } else if (arg == "--rollover") {
+      config->rollover = true;
+    } else if (arg == "--rollover-slice-kb") {
+      if (!next_int(&config->rollover_slice_kb)) return false;
+    } else if (arg == "--rollover-bandwidth-mbps") {
+      if (i + 1 >= argc) return false;
+      config->rollover_bandwidth_mbps = std::atof(argv[++i]);
+    } else if (arg == "--read-p99-gate-us") {
+      if (i + 1 >= argc) return false;
+      config->read_p99_gate_us = std::atof(argv[++i]);
     } else if (arg == "--connect") {
       if (i + 1 >= argc) return false;
       const std::string target = argv[++i];
@@ -231,7 +480,7 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
   return config->threads > 0 && config->ops_per_thread > 0 &&
          config->pipeline > 0 && config->write_pct >= 0 &&
          config->write_pct <= 100 && config->batch > 0 &&
-         config->shards >= 0;
+         config->shards >= 0 && config->rollover_slice_kb > 0;
 }
 
 }  // namespace
@@ -244,7 +493,10 @@ int main(int argc, char** argv) {
                  "usage: server_loadgen [--threads N] [--ops-per-thread M]\n"
                  "         [--write-pct P] [--pipeline D] [--value-bytes B]\n"
                  "         [--keys K] [--batch W] [--server-max-write-batch S]\n"
-                 "         [--shards N] [--json=PATH] [--connect host:port]\n");
+                 "         [--shards N] [--json=PATH] [--connect host:port]\n"
+                 "         [--rollover] [--rollover-slice-kb KB]\n"
+                 "         [--rollover-bandwidth-mbps M] "
+                 "[--read-p99-gate-us U]\n");
     return 1;
   }
 
@@ -283,6 +535,12 @@ int main(int argc, char** argv) {
     host = "127.0.0.1";
     port = kv_server->port();
     std::printf("hosting in-process server on 127.0.0.1:%u\n", port);
+  }
+
+  if (config.rollover) {
+    const int rc = RunRollover(config, host, port);
+    if (kv_server != nullptr) kv_server->Shutdown();
+    return rc;
   }
 
   std::printf("loadgen: %d threads x %d requests, %d%% writes, pipeline "

@@ -41,6 +41,17 @@ enum RecordFlags : uint8_t {
   /// copy revive a pair an earlier tombstone deleted: relocation preserves
   /// a record's bytes but not its position in operation order.
   kFlagRelocated = 1u << 2,
+  /// Staged by a bulk-ingest session (QinDb::IngestRun) and not yet
+  /// committed. Recovery indexes such a record only if a matching
+  /// kFlagIngestCommit marker for its version exists; otherwise the record
+  /// is dead on arrival — an aborted or crashed load leaves no trace.
+  kFlagIngestPending = 1u << 3,
+  /// Commit marker for a bulk-ingest version (zero-length key and value;
+  /// `version` names the committed ingest version). Written once per shard
+  /// at IngestCommit, after every pending record of the session is durable.
+  /// GC never collects markers: a relocated pending record may land after
+  /// its marker in segment order, and the marker is what vouches for it.
+  kFlagIngestCommit = 1u << 4,
 };
 
 /// Fixed-size record header. A fixed layout (vs varints) lets the engine
@@ -75,6 +86,12 @@ struct RecordView {
   bool is_dedup() const { return (header.flags & kFlagDedup) != 0; }
   bool is_tombstone() const { return (header.flags & kFlagTombstone) != 0; }
   bool is_relocated() const { return (header.flags & kFlagRelocated) != 0; }
+  bool is_ingest_pending() const {
+    return (header.flags & kFlagIngestPending) != 0;
+  }
+  bool is_ingest_commit() const {
+    return (header.flags & kFlagIngestCommit) != 0;
+  }
 };
 
 /// Serializes a record (header + key + value) into `dst` (appended).

@@ -1,0 +1,154 @@
+#include "bifrost/wire/slice_codec.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace directload::bifrost::wire {
+
+void AppendWirePair(std::string* payload, const Slice& key, uint64_t version,
+                    const Slice& value, bool dedup, bool tombstone) {
+  uint8_t flags = 0;
+  if (dedup) flags |= kPairFlagDedup;
+  if (tombstone) flags |= kPairFlagTombstone;
+  payload->push_back(static_cast<char>(flags));
+  PutVarint64(payload, version);
+  PutLengthPrefixedSlice(payload, key);
+  PutLengthPrefixedSlice(payload, (dedup || tombstone) ? Slice() : value);
+}
+
+void EncodeSlicePacket(const SliceHeader& header, const Slice& payload,
+                       std::string* dst) {
+  const size_t start = dst->size();
+  PutFixed64(dst, header.slice_id);
+  PutFixed64(dst, header.version);
+  dst->push_back(static_cast<char>(header.type));
+  PutFixed32(dst, header.pair_count);
+  dst->append(payload.data(), payload.size());
+  const uint32_t crc =
+      crc32c::Value(dst->data() + start, dst->size() - start);
+  PutFixed32(dst, crc32c::Mask(crc));
+}
+
+Status CheckSliceFrame(const Slice& frame, SliceHeader* header) {
+  if (frame.size() < kSliceHeaderBytes + kSliceTrailerBytes) {
+    return Status::Protocol("short slice frame");
+  }
+  const size_t body_len = frame.size() - kSliceTrailerBytes;
+  const uint32_t expected =
+      crc32c::Unmask(DecodeFixed32(frame.data() + body_len));
+  const uint32_t actual = crc32c::Value(frame.data(), body_len);
+  if (expected != actual) {
+    return Status::Corruption("slice checksum mismatch");
+  }
+  header->slice_id = DecodeFixed64(frame.data());
+  header->version = DecodeFixed64(frame.data() + 8);
+  const uint8_t type = static_cast<uint8_t>(frame[16]);
+  if (type > static_cast<uint8_t>(webindex::IndexType::kSummary)) {
+    return Status::Protocol("bad slice index type");
+  }
+  header->type = static_cast<webindex::IndexType>(type);
+  header->pair_count = DecodeFixed32(frame.data() + 17);
+  return Status::OK();
+}
+
+Status DecodeSlicePacket(const Slice& frame, SliceHeader* header,
+                         std::vector<PairView>* pairs) {
+  pairs->clear();
+  if (Status s = CheckSliceFrame(frame, header); !s.ok()) return s;
+  Slice rest(frame.data() + kSliceHeaderBytes,
+             frame.size() - kSliceHeaderBytes - kSliceTrailerBytes);
+  if (header->pair_count > rest.size() / kMinPairWireBytes) {
+    return Status::Protocol("slice pair count exceeds payload");
+  }
+  pairs->reserve(header->pair_count);
+  for (uint32_t i = 0; i < header->pair_count; ++i) {
+    if (rest.empty()) {
+      return Status::Protocol("slice payload short of pair count");
+    }
+    PairView pair;
+    const uint8_t flags = static_cast<uint8_t>(rest[0]);
+    if ((flags & ~(kPairFlagDedup | kPairFlagTombstone)) != 0) {
+      return Status::Protocol("bad slice pair flags");
+    }
+    pair.dedup = (flags & kPairFlagDedup) != 0;
+    pair.tombstone = (flags & kPairFlagTombstone) != 0;
+    rest.remove_prefix(1);
+    if (!GetVarint64(&rest, &pair.version)) {
+      return Status::Protocol("bad slice pair version");
+    }
+    if (!GetLengthPrefixedSlice(&rest, &pair.key)) {
+      return Status::Protocol("bad slice pair key");
+    }
+    if (!GetLengthPrefixedSlice(&rest, &pair.value)) {
+      return Status::Protocol("bad slice pair value");
+    }
+    if ((pair.dedup || pair.tombstone) && !pair.value.empty()) {
+      return Status::Protocol("value on a value-less slice pair");
+    }
+    pairs->push_back(pair);
+  }
+  if (!rest.empty()) {
+    return Status::Protocol("trailing bytes after slice pairs");
+  }
+  return Status::OK();
+}
+
+void EncodeBulkBegin(const BulkBeginInfo& info, std::string* dst) {
+  PutFixed64(dst, info.version);
+  PutFixed64(dst, info.total_slices);
+  PutFixed64(dst, info.summary_bytes);
+  PutFixed64(dst, info.inverted_bytes);
+}
+
+Status DecodeBulkBegin(const Slice& data, BulkBeginInfo* out) {
+  if (data.size() != 32) {
+    return Status::Protocol("bad bulk-begin payload size");
+  }
+  out->version = DecodeFixed64(data.data());
+  out->total_slices = DecodeFixed64(data.data() + 8);
+  out->summary_bytes = DecodeFixed64(data.data() + 16);
+  out->inverted_bytes = DecodeFixed64(data.data() + 24);
+  return Status::OK();
+}
+
+void EncodeBulkCommit(uint64_t expected_slices, std::string* dst) {
+  PutFixed64(dst, expected_slices);
+}
+
+Status DecodeBulkCommit(const Slice& data, uint64_t* expected_slices) {
+  if (data.size() != 8) {
+    return Status::Protocol("bad bulk-commit payload size");
+  }
+  *expected_slices = DecodeFixed64(data.data());
+  return Status::OK();
+}
+
+void EncodeMissingSlices(const std::vector<uint64_t>& slice_ids,
+                         std::string* dst) {
+  PutVarint64(dst, slice_ids.size());
+  for (uint64_t id : slice_ids) PutFixed64(dst, id);
+}
+
+Status DecodeMissingSlices(const Slice& data,
+                           std::vector<uint64_t>* slice_ids) {
+  slice_ids->clear();
+  Slice rest = data;
+  uint64_t count = 0;
+  if (!GetVarint64(&rest, &count)) {
+    return Status::Protocol("bad missing-slice count");
+  }
+  if (count > rest.size() / 8) {
+    return Status::Protocol("missing-slice count exceeds payload");
+  }
+  slice_ids->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    slice_ids->push_back(DecodeFixed64(rest.data()));
+    rest.remove_prefix(8);
+  }
+  if (!rest.empty()) {
+    return Status::Protocol("trailing bytes after missing-slice ids");
+  }
+  return Status::OK();
+}
+
+}  // namespace directload::bifrost::wire

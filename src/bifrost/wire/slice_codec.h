@@ -1,0 +1,123 @@
+#ifndef DIRECTLOAD_BIFROST_WIRE_SLICE_CODEC_H_
+#define DIRECTLOAD_BIFROST_WIRE_SLICE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/builders.h"
+
+namespace directload::bifrost::wire {
+
+/// On-the-wire encoding of a Bifrost slice, carried in the value field of a
+/// kBulkSlice RPC frame. The slice has its own checksum — independent of
+/// the RPC frame trailer — so every hop (sender, relay, ingest server) can
+/// re-verify the payload end to end (the paper's "Failures in
+/// Transmission"):
+///
+///   offset  size  field
+///   0       8     slice id (fixed64; dense, 0-based within the session)
+///   8       8     index version (fixed64; must match the session version)
+///   16      1     index type (webindex::IndexType)
+///   17      4     pair count (fixed32)
+///   21      N     pair payload
+///   21+N    4     masked CRC32C of bytes [0, 21+N) (crc32c::Mask)
+///
+///   one pair:
+///   0       1     flags (kPairFlagDedup | kPairFlagTombstone)
+///   1       ...   varint64 pair version
+///   ...     ...   varint32 key length, key bytes
+///   ...     ...   varint32 value length, value bytes (empty when the pair
+///                 is deduplicated or a tombstone)
+///
+/// Decoders never trust a declared count or length enough to allocate for
+/// bytes that are not actually present — the same discipline as
+/// rpc::DecodeBatchOps.
+
+inline constexpr size_t kSliceHeaderBytes = 21;
+inline constexpr size_t kSliceTrailerBytes = 4;
+
+/// Smallest possible encoded pair: flags + 1-byte version varint + empty-key
+/// length prefix + empty-value length prefix. Used to bound a declared pair
+/// count against the payload actually on hand.
+inline constexpr size_t kMinPairWireBytes = 4;
+
+/// Pair flag bits (wire values; independent of aof::RecordFlags).
+inline constexpr uint8_t kPairFlagDedup = 1u << 0;
+inline constexpr uint8_t kPairFlagTombstone = 1u << 1;
+
+/// Parsed slice header fields.
+struct SliceHeader {
+  uint64_t slice_id = 0;
+  uint64_t version = 0;
+  webindex::IndexType type = webindex::IndexType::kInverted;
+  uint32_t pair_count = 0;
+};
+
+/// One decoded pair. `key` and `value` alias the frame bytes handed to
+/// DecodeSlicePacket — the caller keeps that buffer alive while using them.
+struct PairView {
+  Slice key;
+  Slice value;
+  uint64_t version = 0;
+  bool dedup = false;
+  bool tombstone = false;
+};
+
+/// Appends one encoded pair to `payload`. Deduplicated pairs and tombstones
+/// ship value-less regardless of `value`.
+void AppendWirePair(std::string* payload, const Slice& key, uint64_t version,
+                    const Slice& value, bool dedup, bool tombstone);
+
+/// Wraps a pair payload into a complete slice frame (header + payload +
+/// checksum trailer), appended to `dst`.
+void EncodeSlicePacket(const SliceHeader& header, const Slice& payload,
+                       std::string* dst);
+
+/// Verifies framing and the checksum trailer and fills `header`, WITHOUT
+/// decoding pairs — the cheap per-hop integrity check. kCorruption means
+/// damaged in flight (re-send the slice); kProtocol means the frame could
+/// never have been well-formed.
+Status CheckSliceFrame(const Slice& frame, SliceHeader* header);
+
+/// Full decode: CheckSliceFrame plus pair extraction. Pair views alias
+/// `frame`'s bytes. The payload must parse to exactly `pair_count` pairs
+/// with no trailing bytes.
+Status DecodeSlicePacket(const Slice& frame, SliceHeader* header,
+                         std::vector<PairView>* pairs);
+
+// -- kBulkBegin payload -----------------------------------------------------
+
+/// What the sender declares when opening a session. Byte totals feed the
+/// server's bandwidth accounting; `total_slices` is advisory at begin time
+/// (the commit frame carries the authoritative count).
+struct BulkBeginInfo {
+  uint64_t version = 0;
+  uint64_t total_slices = 0;
+  uint64_t summary_bytes = 0;
+  uint64_t inverted_bytes = 0;
+};
+
+void EncodeBulkBegin(const BulkBeginInfo& info, std::string* dst);
+Status DecodeBulkBegin(const Slice& data, BulkBeginInfo* out);
+
+// -- kBulkCommit payload ----------------------------------------------------
+
+/// The commit request's value field: the total number of slices the session
+/// must have landed (ids 0 .. expected_slices-1).
+void EncodeBulkCommit(uint64_t expected_slices, std::string* dst);
+Status DecodeBulkCommit(const Slice& data, uint64_t* expected_slices);
+
+// -- Missing-slice list (kBulkCommit kUnavailable response) -----------------
+
+/// varint64 count, then one fixed64 slice id each.
+void EncodeMissingSlices(const std::vector<uint64_t>& slice_ids,
+                         std::string* dst);
+Status DecodeMissingSlices(const Slice& data,
+                           std::vector<uint64_t>* slice_ids);
+
+}  // namespace directload::bifrost::wire
+
+#endif  // DIRECTLOAD_BIFROST_WIRE_SLICE_CODEC_H_

@@ -45,6 +45,19 @@ enum class LockRank : int {
   /// Lock: `Connection::write_mu` — response frame serialization on one
   /// client socket, so pipelined replies cannot interleave bytes.
   kServerConnWrite = 6,
+  /// Lock: `Connection::bulk_mu` / `BulkIngestSession::mu_` — a
+  /// connection's bulk-ingest session pointer, and the session's slice
+  /// bookkeeping (landed / in-flight ids, commit/abort state).
+  /// Sibling instances: the per-connection pointer lock and the per-session
+  /// bookkeeping lock share the rank because a thread never nests them —
+  /// the pointer lock is released before any session method runs.
+  ///
+  /// Slice ingest releases the session lock across its engine call so
+  /// slices land in parallel; commit and abort hold it across theirs
+  /// (legal — the rank sits above the engine ranks), which is what makes a
+  /// commit racing a connection-teardown abort resolve to exactly one
+  /// winner instead of a torn half-commit.
+  kServerBulk = 7,
   /// Lock: `RpcClient::mu_` — the client-side socket, frame decoder and
   /// reconnect backoff state.
   kRpcClient = 8,

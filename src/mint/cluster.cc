@@ -260,6 +260,88 @@ Status MintCluster::DropVersion(uint64_t version) {
   return Status::OK();
 }
 
+Status MintCluster::BulkBegin(uint64_t version) {
+  bool any_live = false;
+  for (auto& node : nodes_) {
+    ReaderLock guard(node->lifecycle_mu());
+    if (!node->up()) continue;
+    any_live = true;
+    if (Status s = node->db()->IngestBegin(version); !s.ok()) return s;
+  }
+  if (!any_live) {
+    return Status::Unavailable("no live node to open the bulk session");
+  }
+  return Status::OK();
+}
+
+Status MintCluster::BulkIngest(uint64_t version, const qindb::IngestOp* ops,
+                               size_t count) {
+  if (count == 0) return Status::OK();
+  // Bucket per node, preserving run order inside each bucket: puts go to
+  // the key's rendezvous replicas, tombstones to the whole group (matching
+  // Put/Del above).
+  std::map<int, std::vector<qindb::IngestOp>> routed;
+  for (size_t i = 0; i < count; ++i) {
+    const qindb::IngestOp& op = ops[i];
+    const std::vector<int> targets =
+        op.tombstone ? GroupNodes(GroupOf(op.key)) : ReplicasOf(op.key);
+    for (int id : targets) routed[id].push_back(op);
+  }
+  size_t applied_nodes = 0;
+  Status first_error;
+  for (auto& [id, node_ops] : routed) {
+    StorageNode* node = nodes_[id].get();
+    ReaderLock guard(node->lifecycle_mu());
+    if (!node->up()) continue;  // Healed by recovery + re-replication.
+    Status s =
+        node->db()->IngestRun(version, node_ops.data(), node_ops.size());
+    if (s.ok()) {
+      ++applied_nodes;
+    } else if (!s.IsInvalidArgument() && first_error.ok()) {
+      // InvalidArgument means the node has no session for this version —
+      // it recovered mid-load and missed the begin; it heals later like any
+      // node that missed a write. Anything else fails the run.
+      first_error = s;
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  if (applied_nodes == 0) {
+    return Status::Unavailable("no live replica staged the bulk run");
+  }
+  return Status::OK();
+}
+
+Status MintCluster::BulkCommit(uint64_t version) {
+  bool any = false;
+  Status first_error;
+  for (auto& node : nodes_) {
+    ReaderLock guard(node->lifecycle_mu());
+    if (!node->up()) continue;
+    Status s = node->db()->IngestCommit(version);
+    if (s.ok()) {
+      any = true;
+    } else if (!s.IsInvalidArgument() && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  if (!any) return Status::Unavailable("no live node held the bulk session");
+  return Status::OK();
+}
+
+Status MintCluster::BulkAbort(uint64_t version) {
+  Status first_error;
+  for (auto& node : nodes_) {
+    ReaderLock guard(node->lifecycle_mu());
+    if (!node->up()) continue;
+    Status s = node->db()->IngestAbort(version);
+    if (!s.ok() && !s.IsInvalidArgument() && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
 template <typename Fn>
 Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
                                                           const Fn& fn) {

@@ -144,6 +144,34 @@ class MintCluster {
   /// Flags `version` deleted on every node (the oldest-version pruning).
   Status DropVersion(uint64_t version);
 
+  // -- Bulk-ingest fan-out (Bifrost over the wire) --------------------------
+  //
+  // A bulk session stages one index version across the cluster through the
+  // engines' IngestRun fast path: staged pairs are durable but invisible
+  // until BulkCommit, and BulkAbort (or a crash) leaves no trace. Nodes that
+  // are down miss the session exactly as they miss a Put — re-replication
+  // heals them afterwards — and a node that recovers mid-session simply has
+  // no session to commit (its engine answers InvalidArgument, which the
+  // fan-out tolerates).
+
+  /// Opens the session on every live node.
+  Status BulkBegin(uint64_t version);
+
+  /// Lands one run of pre-decoded pairs: puts go to each key's rendezvous
+  /// replicas, tombstones to the key's whole group (mirroring Put/Del).
+  /// `ops` slices alias the caller's buffer for the duration of the call.
+  /// A non-OK return means the run must be re-sent whole; replicas that
+  /// already staged it tolerate the duplicate (the later copy supersedes at
+  /// commit, like a re-PUT).
+  Status BulkIngest(uint64_t version, const qindb::IngestOp* ops,
+                    size_t count);
+
+  /// Commits the session on every live node holding it.
+  Status BulkCommit(uint64_t version);
+
+  /// Rolls the session back on every live node holding it; idempotent.
+  Status BulkAbort(uint64_t version);
+
   struct ReadResult {
     std::string value;
     double latency_micros = 0;  // Fastest replica's device time + RTT.

@@ -20,6 +20,10 @@ namespace {
 DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_put, "qindb_put");
 DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_get, "qindb_get");
 DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_del, "qindb_del");
+// Fires BETWEEN per-shard bulk-ingest commits (never before the first):
+// an abort action here models the paper's worst delivery crash — a torn
+// cross-shard commit where a prefix of shards has durable markers.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_qindb_ingest_commit, "qindb_ingest_commit");
 
 // The shard manifest pins the routing layout (count + hash seed) to the
 // device: Hash64(key, seed) % num_shards must evaluate identically on every
@@ -373,6 +377,59 @@ Status QinDb::Write(WriteBatch& batch) {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+Status QinDb::IngestBegin(uint64_t version) {
+  // Every shard gets a session, even ones no pair will route to: commit
+  // then writes a marker on every shard, which keeps the commit protocol
+  // independent of the key distribution.
+  for (const auto& shard : shards_) {
+    if (Status s = shard->IngestBegin(version); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status QinDb::IngestRun(uint64_t version, const IngestOp* ops, size_t count) {
+  if (count == 0) return Status::OK();
+  if (shards_.size() == 1) return shards_[0]->IngestRun(version, ops, count);
+  // Runs are slice-sized (thousands of pairs), so the routing pass is
+  // cheap next to the per-shard encode+append.
+  std::vector<std::vector<IngestOp>> routed(shards_.size());
+  for (size_t i = 0; i < count; ++i) {
+    routed[ops[i].key.empty() ? 0 : ShardOf(ops[i].key)].push_back(ops[i]);
+  }
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (routed[s].empty()) continue;
+    if (Status st =
+            shards_[s]->IngestRun(version, routed[s].data(), routed[s].size());
+        !st.ok()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status QinDb::IngestCommit(uint64_t version) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s > 0) {
+      DIRECTLOAD_FAILPOINT(fp_qindb_ingest_commit);
+    }
+    if (Status st = shards_[s]->IngestCommit(version); !st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status QinDb::IngestAbort(uint64_t version) {
+  Status first_error;
+  for (const auto& shard : shards_) {
+    Status s = shard->IngestAbort(version);
+    // A shard without a session is fine (Begin may not have reached it);
+    // real rollback failures surface.
+    if (!s.ok() && !s.IsInvalidArgument() && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
 }
 
 Result<std::string> QinDb::Get(const Slice& key, uint64_t version) {

@@ -92,6 +92,36 @@ class QinDb {
   /// out to every shard; their dropped() counts are summed.
   Status Write(WriteBatch& batch);
 
+  // --- Bulk ingest (Bifrost over the wire) ------------------------------
+
+  /// Opens a bulk-ingest session for `version` on every shard. Records
+  /// streamed through IngestRun become durable immediately but stay
+  /// INVISIBLE to reads (nothing is indexed) until IngestCommit;
+  /// IngestAbort — or a crash — rolls the version back without a trace.
+  /// Idempotent. Checkpoints and GC are deferred while sessions are open.
+  Status IngestBegin(uint64_t version);
+
+  /// Lands one run of pairs through the shards' vectored-append fast path:
+  /// ops route per shard, pre-encode off-lock, and append with one
+  /// AofManager::AppendMany per shard — no group-commit queue, no per-op
+  /// planning, no memtable work until commit. Dedup (`r`-flag) ops stage
+  /// value-less records that traceback at read time; tombstone (`d`-flag)
+  /// ops flag (key, op.version) deleted at commit and may target older
+  /// versions. Put ops must carry the session version. A failed run fails
+  /// whole; the session survives for a retry or abort.
+  Status IngestRun(uint64_t version, const IngestOp* ops, size_t count);
+
+  /// Commits `version`: each shard appends a durable commit marker and
+  /// then indexes its staged pairs — the version becomes readable
+  /// atomically per shard, in ascending shard order. A crash between
+  /// shards leaves markers on a prefix; only those shards' pairs survive
+  /// recovery (the cross-shard WriteBatch durability rule).
+  Status IngestCommit(uint64_t version);
+
+  /// Abandons `version` on every shard holding a session: staged records
+  /// are marked dead (occupancy rolled back) and never become visible.
+  Status IngestAbort(uint64_t version);
+
   /// GET(k/t): the value of `key` at exactly `version`, tracing back through
   /// older versions when the pair was deduplicated.
   Result<std::string> Get(const Slice& key, uint64_t version);

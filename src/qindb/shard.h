@@ -6,6 +6,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,20 @@
 #include "ssd/env.h"
 
 namespace directload::qindb {
+
+/// One pair of a bulk-ingest run (QinDb::IngestRun — the Bifrost delivery
+/// fast path). Slices reference the caller's buffers, which must stay alive
+/// for the duration of the call.
+struct IngestOp {
+  Slice key;
+  /// Puts must carry the session's version; tombstones may target any
+  /// version (the paper's `d` flag: deletes of older versions ride the
+  /// delivery of a new one).
+  uint64_t version = 0;
+  Slice value;
+  bool dedup = false;      // The `r` flag: value removed by Bifrost's dedup.
+  bool tombstone = false;  // The `d` flag: flag (key, version) deleted.
+};
 
 /// One shard of QinDB: a complete single-stream engine — memtable skip list,
 /// AOF segment set with occupancy/GC, group-commit queue, checkpoint — over
@@ -87,6 +102,37 @@ class Shard {
   /// Ungrouped sub-batch commit (group_commit off): one lock hold, legacy
   /// per-record appends.
   Status WriteUngrouped(WriteBatch& batch) EXCLUDES(write_mutex_);
+
+  // --- Bulk ingest (Bifrost over the wire) ------------------------------
+  //
+  // A session stages pre-encoded record runs for one version: records are
+  // appended (durable) with kFlagIngestPending but NOT indexed, so reads
+  // cannot see the version. IngestCommit appends a durable commit marker
+  // and then indexes the staged pairs — the version appears atomically for
+  // this shard. IngestAbort (or a crash before the marker) leaves no trace:
+  // the staged records are marked dead and recovery never indexes a pending
+  // record without its marker. While any session is active, checkpoints and
+  // GC are deferred (pending records are invisible to both).
+
+  /// Opens (idempotently) the session for `version`.
+  Status IngestBegin(uint64_t version) EXCLUDES(write_mutex_);
+
+  /// Validates + pre-encodes the run off-lock, then lands it with ONE
+  /// vectored AofManager::AppendMany — no group-commit queue, no per-op
+  /// planning, no memtable work until commit. A failed run fails whole
+  /// (AppendMany rolls back its occupancy accounting); the session
+  /// survives for a retry or abort.
+  Status IngestRun(uint64_t version, const IngestOp* ops, size_t count)
+      EXCLUDES(write_mutex_);
+
+  /// Appends the commit marker, then applies the staged pairs to the
+  /// memtable in run order: puts supersede like re-PUTs, tombstones flag
+  /// their target deleted (a missing target is a no-op).
+  Status IngestCommit(uint64_t version) EXCLUDES(write_mutex_);
+
+  /// Drops the session: every staged record is marked dead in the
+  /// occupancy table (the PR 5 vectored rollback) and never indexed.
+  Status IngestAbort(uint64_t version) EXCLUDES(write_mutex_);
 
   /// GET(k/t): the value of `key` at exactly `version`, tracing back through
   /// older versions when the pair was deduplicated.
@@ -257,7 +303,11 @@ class Shard {
   /// Relocations patch these too so stale snapshots keep resolving reads.
   std::vector<std::weak_ptr<MemIndex>> retired_ GUARDED_BY(pin_mu_);
 
-  std::unique_ptr<aof::AofManager> aof_;
+  // Mutators reach it under write_mutex_, but readers (Get traceback,
+  // scans) call it with no shard lock at all — the manager is internally
+  // synchronized (LockRank::kAofManager), so a GUARDED_BY here would be
+  // wrong, not just noisy.
+  std::unique_ptr<aof::AofManager> aof_;  // dl-lint: ignore(guarded-by-coverage)
 
   /// Facade-owned aggregates shared by all shards.
   QinDbStats* const stats_;
@@ -278,6 +328,33 @@ class Shard {
   bool checkpoint_valid_ GUARDED_BY(write_mutex_) = false;
   /// Deserialized entries awaiting apply.
   std::string pending_checkpoint_ GUARDED_BY(write_mutex_);
+
+  /// One open bulk-ingest session: the staged pairs (applied to the
+  /// memtable at commit) and the appended record extents (the rollback
+  /// list an abort feeds to MarkDeadMany).
+  struct IngestSession {
+    struct Staged {
+      std::string key;
+      uint64_t version = 0;
+      uint64_t address = 0;  // Packed RecordAddress.
+      uint32_t value_size = 0;
+      bool dedup = false;
+      bool tombstone = false;
+    };
+    std::vector<Staged> staged;
+    std::vector<std::pair<aof::RecordAddress, uint64_t>> appended;
+  };
+  /// Open sessions keyed by version. Non-empty defers checkpoints and GC:
+  /// pending records are durable but unindexed, so a checkpoint taken now
+  /// would let recovery skip their segments, and GC's classify pass would
+  /// drop them as garbage.
+  std::map<uint64_t, IngestSession> ingest_sessions_
+      GUARDED_BY(write_mutex_);
+  /// Versions whose commit marker landed — in this process or found by
+  /// recovery. Makes IngestCommit idempotent: a cross-shard commit torn
+  /// between shards retries against every shard, and the ones that already
+  /// committed must answer OK rather than "no session".
+  std::set<uint64_t> ingest_committed_ GUARDED_BY(write_mutex_);
 };
 
 }  // namespace directload::qindb

@@ -9,7 +9,7 @@ namespace {
 
 bool ValidOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kGet) &&
-         op <= static_cast<uint8_t>(Opcode::kWriteBatch);
+         op <= static_cast<uint8_t>(Opcode::kBulkAbort);
 }
 
 bool ValidStatusCode(uint8_t code) {

@@ -56,6 +56,28 @@ enum class Opcode : uint8_t {
   /// (EncodeBatchStatuses), and the frame-level status is the first
   /// non-OK per-op status (kOk when every op succeeded).
   kWriteBatch = 6,
+  /// Bulk-load session open (Bifrost-over-the-wire). The frame's version
+  /// field names the index version being streamed; the value field carries
+  /// the begin payload (bifrost::wire::EncodeBulkBegin: expected slice
+  /// count + per-type byte totals). A successful response *negotiates* the
+  /// connection's frame limit up to kMaxBulkBodyBytes — the client must not
+  /// send a kBulkSlice larger than kMaxBodyBytes before the begin ack.
+  kBulkBegin = 7,
+  /// One slice of a bulk session. The value field carries an encoded
+  /// SlicePacket (bifrost::wire::EncodeSlicePacket) whose payload checksum
+  /// is re-verified on this hop; version echoes the session version. A
+  /// checksum failure answers kCorruption for that slice only — the
+  /// session (and the connection) survives, and the client re-sends.
+  kBulkSlice = 8,
+  /// Commits the session's version: every landed record becomes readable
+  /// atomically, per shard. The value field carries the expected total
+  /// slice count; if slices are missing the response lists their ids
+  /// (bifrost::wire::EncodeMissingSlices) with status kUnavailable so the
+  /// client can repair by re-sending, then commit again.
+  kBulkCommit = 9,
+  /// Abandons the session: staged records are rolled back (occupancy
+  /// accounting reversed) and the version is never visible.
+  kBulkAbort = 10,
 };
 
 inline constexpr uint32_t kFrameMagic = 0x31504C44u;  // "DLP1" on the wire.
@@ -67,6 +89,12 @@ inline constexpr uint8_t kFlagLatest = 1u << 2;  // GET newest live version.
 /// allocation happens — the decoder never trusts the length field enough to
 /// reserve memory for a frame it would not accept.
 inline constexpr size_t kMaxBodyBytes = 4u << 20;
+
+/// The negotiated ceiling for bulk-load connections. A connection starts at
+/// kMaxBodyBytes; only after the server acks a kBulkBegin does either side
+/// raise its decoder to this bound (FrameDecoder::set_max_body_bytes), so a
+/// peer that never opens a bulk session keeps the tight remote-OOM bound.
+inline constexpr size_t kMaxBulkBodyBytes = 8u << 20;
 
 /// Bytes of fixed header (magic + length) and trailer (masked CRC).
 inline constexpr size_t kHeaderBytes = 8;
@@ -172,6 +200,12 @@ class FrameDecoder {
 
   /// Bytes buffered but not yet consumed by a decoded frame.
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// Renegotiates the body-size bound mid-stream (bulk sessions raise it to
+  /// kMaxBulkBodyBytes after the server acks kBulkBegin). Applies from the
+  /// next frame; bytes already buffered are unaffected.
+  void set_max_body_bytes(size_t n) { max_body_bytes_ = n; }
+  size_t max_body_bytes() const { return max_body_bytes_; }
 
  private:
   Status DecodeBody(const char* body, size_t n, Frame* out) const;

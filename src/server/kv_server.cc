@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bifrost/wire/slice_codec.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/rate_limiter.h"
+#include "server/bulk_ingest.h"
 
 namespace directload::server {
 
@@ -43,7 +45,8 @@ struct KvServer::Connection {
       : socket(std::move(s)),
         decoder(options.max_frame_bytes),
         limiter(options.conn_bytes_per_sec, options.conn_burst_bytes),
-        send_failures(send_failures) {}
+        send_failures(send_failures),
+        frame_limit(options.max_frame_bytes) {}
 
   /// Encodes and writes one frame. A send failure means the peer is gone
   /// mid-reply; the reader thread will notice the dead socket and tear the
@@ -63,6 +66,17 @@ struct KvServer::Connection {
   Mutex write_mu{LockRank::kServerConnWrite, "Connection::write_mu"};
   std::atomic<uint64_t>* send_failures;  // Server-owned counter.
   std::atomic<bool> done{false};  // Reader thread exited.
+
+  /// Decoder frame bound, re-applied by the reader before each decode pass.
+  /// Raised by the kBulkBegin handler *before* its ack goes out, so by the
+  /// time the client can legally send an oversized slice the reader already
+  /// observes the new bound.
+  std::atomic<size_t> frame_limit;
+  /// The connection's bulk-ingest session, if one is open. Workers copy the
+  /// pointer out under bulk_mu and call the session unlocked; reader
+  /// teardown swaps it out and aborts whatever was never committed.
+  Mutex bulk_mu{LockRank::kServerBulk, "Connection::bulk_mu"};
+  std::shared_ptr<BulkIngestSession> bulk GUARDED_BY(bulk_mu);
 };
 
 KvServer::KvServer(mint::MintCluster* cluster, KvServerOptions options)
@@ -195,6 +209,10 @@ void KvServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     }
     if (*n == 0) break;  // Clean EOF.
     if (throttled) conn->limiter.Throttle(static_cast<double>(*n));
+    // The bulk-begin handler may have negotiated the frame bound up since
+    // the last pass; the decoder applies the new bound from the next frame.
+    conn->decoder.set_max_body_bytes(
+        conn->frame_limit.load(std::memory_order_acquire));
     conn->decoder.Append(buf, *n);
 
     while (alive) {
@@ -241,6 +259,16 @@ void KvServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       }
     }
   }
+  // Connection teardown: an open bulk session dies with its connection —
+  // whatever was staged but never committed is rolled back, so a loader
+  // that crashed mid-stream leaves no trace. (Abort waits out a commit
+  // already executing on a worker and then no-ops if it won.)
+  std::shared_ptr<BulkIngestSession> orphan;
+  {
+    MutexLock lock(&conn->bulk_mu);
+    orphan = std::move(conn->bulk);
+  }
+  if (orphan != nullptr) orphan->Abort();
   conn->done.store(true);
 }
 
@@ -293,7 +321,7 @@ void KvServer::WorkerLoop() {
       executing_ += static_cast<int>(run.size());
     }
     if (run.size() == 1) {
-      rpc::Frame response = Execute(run.front().frame);
+      rpc::Frame response = Execute(run.front());
       run.front().conn->Write(response);
       counters_.requests_served.fetch_add(1);
     } else {
@@ -333,7 +361,8 @@ void KvServer::ExecuteWriteRun(std::vector<Request>& run) {
   counters_.writes_batched.fetch_add(run.size());
 }
 
-rpc::Frame KvServer::Execute(const rpc::Frame& request) {
+rpc::Frame KvServer::Execute(const Request& full_request) {
+  const rpc::Frame& request = full_request.frame;
   switch (request.op) {
     case rpc::Opcode::kGet: {
       Result<mint::MintCluster::ReadResult> read =
@@ -381,6 +410,103 @@ rpc::Frame KvServer::Execute(const rpc::Frame& request) {
       response.status = overall.code();
       return response;
     }
+    case rpc::Opcode::kBulkBegin: {
+      bifrost::wire::BulkBeginInfo info;
+      if (Status s = bifrost::wire::DecodeBulkBegin(request.value, &info);
+          !s.ok()) {
+        return rpc::MakeResponse(request, s);
+      }
+      if (info.version != request.version) {
+        return rpc::MakeResponse(
+            request, Status::InvalidArgument(
+                         "begin payload version differs from the frame"));
+      }
+      auto session =
+          std::make_shared<BulkIngestSession>(cluster_, request.version);
+      {
+        MutexLock lock(&full_request.conn->bulk_mu);
+        if (full_request.conn->bulk != nullptr) {
+          return rpc::MakeResponse(
+              request,
+              Status::Busy("a bulk session is already open on this "
+                           "connection"));
+        }
+        full_request.conn->bulk = session;
+      }
+      if (Status s = cluster_->BulkBegin(request.version); !s.ok()) {
+        MutexLock lock(&full_request.conn->bulk_mu);
+        full_request.conn->bulk.reset();
+        return rpc::MakeResponse(request, s);
+      }
+      // Negotiate the frame bound up before the ack is on the wire: once
+      // the client sees OK it may send slices up to the bulk bound, and by
+      // then the reader observes the raised limit.
+      full_request.conn->frame_limit.store(
+          std::max(options_.max_frame_bytes, options_.max_bulk_frame_bytes),
+          std::memory_order_release);
+      counters_.bulk_sessions_opened.fetch_add(1);
+      return rpc::MakeResponse(request, Status::OK());
+    }
+    case rpc::Opcode::kBulkSlice: {
+      std::shared_ptr<BulkIngestSession> session;
+      {
+        MutexLock lock(&full_request.conn->bulk_mu);
+        session = full_request.conn->bulk;
+      }
+      if (session == nullptr) {
+        return rpc::MakeResponse(
+            request,
+            Status::InvalidArgument("no bulk session on this connection"));
+      }
+      Status s = session->HandleSlice(request.version, request.value);
+      if (s.ok()) {
+        counters_.bulk_slices_landed.fetch_add(1);
+      } else if (s.IsCorruption()) {
+        counters_.bulk_checksum_rejects.fetch_add(1);
+      }
+      return rpc::MakeResponse(request, s);
+    }
+    case rpc::Opcode::kBulkCommit: {
+      std::shared_ptr<BulkIngestSession> session;
+      {
+        MutexLock lock(&full_request.conn->bulk_mu);
+        session = full_request.conn->bulk;
+      }
+      if (session == nullptr) {
+        return rpc::MakeResponse(
+            request,
+            Status::InvalidArgument("no bulk session on this connection"));
+      }
+      uint64_t expected = 0;
+      if (Status s = bifrost::wire::DecodeBulkCommit(request.value, &expected);
+          !s.ok()) {
+        return rpc::MakeResponse(request, s);
+      }
+      std::string missing;
+      Status s = session->Commit(expected, &missing);
+      if (s.IsUnavailable() && !missing.empty()) {
+        // The repair contract: the ids still outstanding ride the response
+        // so the client re-sends exactly those and commits again.
+        rpc::Frame response =
+            rpc::MakeResponse(request, Status::OK(), std::move(missing));
+        response.status = StatusCode::kUnavailable;
+        return response;
+      }
+      if (s.ok()) {
+        MutexLock lock(&full_request.conn->bulk_mu);
+        full_request.conn->bulk.reset();
+      }
+      return rpc::MakeResponse(request, s);
+    }
+    case rpc::Opcode::kBulkAbort: {
+      std::shared_ptr<BulkIngestSession> session;
+      {
+        MutexLock lock(&full_request.conn->bulk_mu);
+        session = std::move(full_request.conn->bulk);
+      }
+      if (session != nullptr) session->Abort();
+      return rpc::MakeResponse(request, Status::OK());  // Idempotent.
+    }
   }
   return rpc::MakeResponse(request, Status::Protocol("unknown opcode"));
 }
@@ -399,6 +525,12 @@ std::string KvServer::StatsText() {
                 (unsigned long long)counters_.stream_errors.load(),
                 (unsigned long long)counters_.writes_batched.load(),
                 (unsigned long long)counters_.response_send_failures.load());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "bulk: sessions=%llu slices_landed=%llu checksum_rejects=%llu\n",
+                (unsigned long long)counters_.bulk_sessions_opened.load(),
+                (unsigned long long)counters_.bulk_slices_landed.load(),
+                (unsigned long long)counters_.bulk_checksum_rejects.load());
   out += line;
   // Every node opens its engine with the same options, so node 0's resolved
   // shard count speaks for the cluster (0 = no node has an open engine).

@@ -42,6 +42,13 @@ struct KvServerOptions {
   /// Connections with no complete request for this long are closed.
   int idle_timeout_ms = 60'000;
   size_t max_frame_bytes = rpc::kMaxBodyBytes;
+  /// Frame bound a connection is raised to after the server acks its
+  /// kBulkBegin — the negotiated ceiling for slice frames. Connections that
+  /// never open a bulk session keep the tight max_frame_bytes bound, so the
+  /// remote-OOM posture of normal traffic is unchanged. The raise persists
+  /// for the rest of the connection (a loader typically streams several
+  /// versions back to back).
+  size_t max_bulk_frame_bytes = rpc::kMaxBulkBodyBytes;
   /// Optional per-connection ingress byte throttle (wall-clock token
   /// bucket). 0 disables it.
   double conn_bytes_per_sec = 0;
@@ -107,6 +114,13 @@ class KvServer {
     /// response is dropped — the reader side notices the dead socket — but
     /// the drop is counted, never silent.
     std::atomic<uint64_t> response_send_failures{0};
+    /// Bulk-ingest sessions opened (kBulkBegin acked).
+    std::atomic<uint64_t> bulk_sessions_opened{0};
+    /// Slice frames staged into the cluster (first landing only).
+    std::atomic<uint64_t> bulk_slices_landed{0};
+    /// Slice frames rejected kCorruption by the per-hop checksum (each one
+    /// repaired by a client re-send, never a torn-down connection).
+    std::atomic<uint64_t> bulk_checksum_rejects{0};
   };
   const Counters& counters() const { return counters_; }
 
@@ -122,7 +136,9 @@ class KvServer {
   void WorkerLoop();
 
   /// Executes one request against the cluster and returns its response.
-  rpc::Frame Execute(const rpc::Frame& request);
+  /// Takes the whole Request because bulk-ingest opcodes read and mutate
+  /// the originating connection's session state.
+  rpc::Frame Execute(const Request& request);
 
   /// Executes a drained run of single-op write requests as one cluster
   /// write batch and answers each request with its own status.

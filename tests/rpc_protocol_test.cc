@@ -31,6 +31,10 @@ Frame SampleRequest(Opcode op) {
     case Opcode::kGet:
       frame.latest = true;
       break;
+    case Opcode::kBulkSlice:
+      frame.key.clear();  // Bulk frames carry everything in the value field.
+      frame.value = std::string(512, 's');
+      break;
     default:
       break;
   }
@@ -55,8 +59,10 @@ void ExpectSameFrame(const Frame& a, const Frame& b) {
   EXPECT_EQ(a.value, b.value);
 }
 
-const Opcode kAllOpcodes[] = {Opcode::kGet, Opcode::kPut, Opcode::kDel,
-                              Opcode::kStats, Opcode::kPing};
+const Opcode kAllOpcodes[] = {
+    Opcode::kGet,       Opcode::kPut,       Opcode::kDel,
+    Opcode::kStats,     Opcode::kPing,      Opcode::kBulkBegin,
+    Opcode::kBulkSlice, Opcode::kBulkCommit, Opcode::kBulkAbort};
 
 TEST(RpcProtocolTest, RoundTripsEveryOpcode) {
   for (Opcode op : kAllOpcodes) {
@@ -204,6 +210,45 @@ TEST(RpcProtocolTest, InflatedLengthBeyondMaximumIsProtocolError) {
   decoder.Append(damaged.data(), damaged.size());
   Frame out;
   Result<bool> got = decoder.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsProtocol()) << got.status().ToString();
+}
+
+TEST(RpcProtocolTest, BulkSizedFramesRequireTheNegotiatedBound) {
+  // A slice frame whose body sits in (kMaxBodyBytes, kMaxBulkBodyBytes] is a
+  // protocol error on a fresh connection — the tight bound is the remote-OOM
+  // defense — and decodes only once the peer has negotiated the bulk bound
+  // (the server raises it when it acks kBulkBegin).
+  Frame in;
+  in.op = Opcode::kBulkSlice;
+  in.request_id = 7;
+  in.version = 3;
+  in.value = std::string(kMaxBodyBytes + 1024, 's');
+  const std::string wire = Encode(in);
+
+  FrameDecoder strict;
+  strict.Append(wire.data(), wire.size());
+  Frame out;
+  Result<bool> got = strict.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsProtocol()) << got.status().ToString();
+
+  FrameDecoder negotiated;
+  negotiated.set_max_body_bytes(kMaxBulkBodyBytes);
+  negotiated.Append(wire.data(), wire.size());
+  got = negotiated.Next(&out);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  ExpectSameFrame(in, out);
+
+  // The negotiated ceiling is still a ceiling: a body one past
+  // kMaxBulkBodyBytes is rejected even on a bulk connection.
+  std::string inflated = wire;
+  EncodeFixed32(&inflated[4], static_cast<uint32_t>(kMaxBulkBodyBytes) + 1);
+  FrameDecoder ceiling;
+  ceiling.set_max_body_bytes(kMaxBulkBodyBytes);
+  ceiling.Append(inflated.data(), inflated.size());
+  got = ceiling.Next(&out);
   ASSERT_FALSE(got.ok());
   EXPECT_TRUE(got.status().IsProtocol()) << got.status().ToString();
 }

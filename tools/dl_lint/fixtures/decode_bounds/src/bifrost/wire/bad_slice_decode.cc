@@ -1,0 +1,41 @@
+// Fixture: the bulk-slice decoder class — a slice header's pair count
+// reserves a vector with no check against the payload on hand — next to
+// the correctly guarded version (the shape slice_codec.cc must keep).
+#include <cstdint>
+#include <vector>
+
+struct Slice {
+  const char* data_;
+  unsigned long len;
+  const char* data() const { return data_; }
+  unsigned long size() const { return len; }
+};
+
+uint32_t DecodeFixed32(const char* p);
+
+struct Status {
+  static Status Protocol(const char*) { return Status(); }
+  static Status OK() { return Status(); }
+};
+
+struct Pair {
+  int x;
+};
+
+Status DecodePairsBad(const Slice& frame, std::vector<Pair>* pairs) {
+  uint32_t pair_count = DecodeFixed32(frame.data() + 17);
+  pairs->reserve(pair_count);  // BAD: forged header chooses the count.
+  for (uint32_t i = 0; i < pair_count; ++i) {
+    pairs->push_back(Pair{0});
+  }
+  return Status::OK();
+}
+
+Status DecodePairsGood(const Slice& frame, std::vector<Pair>* pairs) {
+  uint32_t pair_count = DecodeFixed32(frame.data() + 17);
+  if (pair_count > frame.size() / 4) {
+    return Status::Protocol("pair count exceeds payload");
+  }
+  pairs->reserve(pair_count);  // OK: bounded against the payload on hand.
+  return Status::OK();
+}

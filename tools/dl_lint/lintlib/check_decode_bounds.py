@@ -114,10 +114,16 @@ def _function_bodies(code):
             i += 1
 
 
+# Every tree that decodes wire bytes: the RPC frame codec, the bulk-load
+# slice codec, and the server-side ingest decoder.
+_SCANNED_DIRS = ("src/rpc", "src/bifrost/wire", "src/server")
+
+
 def run(ctx):
     findings = []
-    for sf in ctx.project.files_under("src/rpc"):
-        code = sf.code
-        for start, end in _function_bodies(code):
-            _scan_function(sf, code[start:end], start, findings)
+    for root in _SCANNED_DIRS:
+        for sf in ctx.project.files_under(root):
+            code = sf.code
+            for start, end in _function_bodies(code):
+                _scan_function(sf, code[start:end], start, findings)
     return findings

@@ -106,8 +106,11 @@ def test_guarded_by():
 def test_decode_bounds():
     check_fixture(
         "decode_bounds", "decode-bounds", [],
-        must_flag=[("bad_decode.cc:26", "no preceding bounds check")],
-        must_not_flag=["bad_decode.cc:42"])
+        must_flag=[
+            ("bad_decode.cc:26", "no preceding bounds check"),
+            ("bad_slice_decode.cc:27", "no preceding bounds check"),
+        ],
+        must_not_flag=["bad_decode.cc:42", "bad_slice_decode.cc:39"])
 
 
 def test_failpoint_sync():
