@@ -32,9 +32,16 @@
 #include "bench/common/report.h"
 #include "bifrost/wire/bulk_loader.h"
 #include "common/histogram.h"
+#include "common/logging.h"
 #include "common/random.h"
+#include "mint/coordinator.h"
 #include "rpc/client.h"
 #include "server/kv_server.h"
+#include "server/node_process.h"
+
+#ifndef DMINT_NODE_BINARY
+#define DMINT_NODE_BINARY "dmint_node"
+#endif
 
 using namespace directload;
 
@@ -71,6 +78,22 @@ struct LoadgenConfig {
   std::string json_path;     // Empty = no JSON summary.
   std::string connect_host;  // Empty = host an in-process server.
   uint16_t connect_port = 0;
+
+  /// Cluster mode: fork a fleet of dmint_node processes (groups x replicas),
+  /// drive a closed-loop Zipfian mix through a MintCoordinator, and verify
+  /// at the end that every acked write reads back. With --kill-replica the
+  /// run SIGKILLs one replica mid-load, restarts it, heals it with
+  /// RepairNode, and still demands zero acked-write loss — the paper's
+  /// robustness claim as an executable gate.
+  bool cluster = false;
+  int cluster_groups = 2;
+  int cluster_replicas = 3;
+  bool kill_replica = false;
+  double phase_seconds = 3.0;
+  /// Fails the run (exit 2) when the read p99 while a replica is dead
+  /// exceeds this factor of the healthy-phase read p99; 0 disables.
+  double degraded_p99_factor = 0;
+  std::string node_binary = DMINT_NODE_BINARY;
 };
 
 struct ThreadResult {
@@ -428,6 +451,310 @@ int RunRollover(const LoadgenConfig& config, const std::string& host,
   return (errors == 0 && verify_failures == 0 && !gate_failed) ? 0 : 2;
 }
 
+// ---------------------------------------------------------------------------
+// Cluster mode: replicated node processes under a coordinator, with an
+// optional kill-a-replica chaos arm.
+// ---------------------------------------------------------------------------
+
+/// Phases of the chaos schedule; worker threads tag each op's latency with
+/// the phase that was current when the op was issued.
+enum ClusterPhase { kHealthy = 0, kDegraded = 1, kRecovered = 2 };
+constexpr int kNumPhases = 3;
+
+const char* PhaseName(int phase) {
+  switch (phase) {
+    case kHealthy:
+      return "healthy";
+    case kDegraded:
+      return "degraded";
+    default:
+      return "recovered";
+  }
+}
+
+/// The value of (key, version) is a pure function of both, so the final
+/// verification pass can recompute what every acked write must read back as.
+std::string ClusterValue(const std::string& key, uint64_t version,
+                         int value_bytes) {
+  std::string value = key + "#" + std::to_string(version);
+  if (static_cast<int>(value.size()) < value_bytes) {
+    value.append(value_bytes - value.size(), 'x');
+  }
+  return value;
+}
+
+struct AckedWrite {
+  std::string key;
+  uint64_t version = 0;
+};
+
+struct ClusterThreadResult {
+  Histogram read_latency_us[kNumPhases];
+  Histogram write_latency_us[kNumPhases];
+  std::vector<AckedWrite> acked;
+  uint64_t read_ok = 0;
+  uint64_t read_not_found = 0;  // Keys no write has landed on yet.
+  uint64_t read_errors = 0;
+  uint64_t write_rejected = 0;  // Quorum misses: NOT acked, may be lost.
+};
+
+/// One closed-loop worker: Zipfian key draw, write_pct writes through
+/// MintCoordinator::Put (recording every ack), the rest hedged GetLatest
+/// reads. Runs until `stop` flips.
+void RunClusterWorker(const LoadgenConfig& config,
+                      mint::MintCoordinator* coordinator, int thread_id,
+                      const std::atomic<int>* phase,
+                      const std::atomic<bool>* stop,
+                      std::atomic<uint64_t>* next_version,
+                      ClusterThreadResult* result) {
+  Random rng(0xc1a5ull * (thread_id + 1));
+  ZipfianGenerator zipf(config.key_space, 0.99, 0x5eedull * (thread_id + 1));
+  while (!stop->load(std::memory_order_relaxed)) {
+    const int op_phase = phase->load(std::memory_order_relaxed);
+    const std::string key = BenchKey(zipf.Next());
+    const bool is_write =
+        static_cast<int>(rng.Uniform(100)) < config.write_pct;
+    const Clock::time_point sent = Clock::now();
+    if (is_write) {
+      const uint64_t version = next_version->fetch_add(1);
+      const std::string value =
+          ClusterValue(key, version, config.value_bytes);
+      const Status s = coordinator->Put(key, version, value);
+      result->write_latency_us[op_phase].Add(MicrosSince(sent));
+      if (s.ok()) {
+        result->acked.push_back(AckedWrite{key, version});
+      } else {
+        // Not acknowledged: the write may or may not survive, and the
+        // verification pass makes no claim about it. What it must never
+        // see is a *successful* Put whose pair is gone.
+        ++result->write_rejected;
+      }
+    } else {
+      Result<mint::MintCoordinator::ReadResult> read =
+          coordinator->GetLatest(key);
+      result->read_latency_us[op_phase].Add(MicrosSince(sent));
+      if (read.ok()) {
+        ++result->read_ok;
+      } else if (read.status().IsNotFound()) {
+        ++result->read_not_found;
+      } else {
+        ++result->read_errors;
+      }
+    }
+  }
+}
+
+int RunCluster(const LoadgenConfig& config) {
+  // -- The fleet: groups x replicas node processes --------------------------
+  const int num_nodes = config.cluster_groups * config.cluster_replicas;
+  std::printf("cluster: forking %d dmint_node processes (%d groups x %d "
+              "replicas) from %s\n",
+              num_nodes, config.cluster_groups, config.cluster_replicas,
+              config.node_binary.c_str());
+  std::vector<server::NodeProcess> nodes(num_nodes);
+  std::vector<std::vector<mint::NodeEndpoint>> endpoints(
+      config.cluster_groups);
+  for (int i = 0; i < num_nodes; ++i) {
+    Status s = nodes[i].Start(config.node_binary, /*port=*/0,
+                              std::max(1, config.shards));
+    if (!s.ok()) {
+      std::fprintf(stderr, "node %d start failed: %s\n", i,
+                   s.ToString().c_str());
+      return 1;
+    }
+    mint::NodeEndpoint endpoint;
+    endpoint.port = nodes[i].port();
+    endpoints[i / config.cluster_replicas].push_back(endpoint);
+  }
+
+  mint::CoordinatorOptions coord_options;
+  coord_options.replicas = config.cluster_replicas;
+  mint::MintCoordinator coordinator(endpoints, coord_options);
+  if (Status s = coordinator.Start(); !s.ok()) {
+    std::fprintf(stderr, "coordinator start failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  // -- The load, phase by phase ---------------------------------------------
+  std::atomic<int> phase{kHealthy};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> next_version{1};
+  std::vector<ClusterThreadResult> results(config.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(config.threads);
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back(RunClusterWorker, std::cref(config), &coordinator, t,
+                         &phase, &stop, &next_version, &results[t]);
+  }
+  const auto run_phase = [&](ClusterPhase p) {
+    phase.store(p, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.phase_seconds));
+  };
+
+  run_phase(kHealthy);
+
+  // The victim: the last node of group 0 — an ordinary replica, nothing
+  // special about it, which is the point.
+  const int victim = config.cluster_replicas - 1;
+  uint64_t repaired_pairs = 0;
+  uint64_t missing_after_repair = 0;
+  bool repair_failed = false;
+  if (config.kill_replica) {
+    std::printf("cluster: SIGKILL node %d (port %u) mid-load\n", victim,
+                nodes[victim].port());
+    nodes[victim].Kill();
+    run_phase(kDegraded);
+
+    Status restarted = nodes[victim].Restart();
+    if (!restarted.ok()) {
+      std::fprintf(stderr, "node %d restart failed: %s\n", victim,
+                   restarted.ToString().c_str());
+      repair_failed = true;
+    } else {
+      // The restarted node is empty (its simulated SSD died with the
+      // process); re-replicate its share from the surviving peers, over
+      // RPC, while the load keeps running.
+      Result<uint64_t> repaired = coordinator.RepairNode(victim);
+      if (!repaired.ok()) {
+        std::fprintf(stderr, "repair of node %d failed: %s\n", victim,
+                     repaired.status().ToString().c_str());
+        repair_failed = true;
+      } else {
+        repaired_pairs = *repaired;
+      }
+    }
+    run_phase(kRecovered);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+
+  // -- Verification: no acked write may be lost -----------------------------
+  // The fleet is whole again (or was never harmed), so every write the
+  // coordinator acknowledged must read back exactly. This closes the loop
+  // on the durability claim: quorum acks + repair == no lost acks.
+  uint64_t acked_total = 0;
+  uint64_t lost_acks = 0;
+  for (const ClusterThreadResult& r : results) {
+    acked_total += r.acked.size();
+    for (const AckedWrite& w : r.acked) {
+      Result<mint::MintCoordinator::ReadResult> read =
+          coordinator.Get(w.key, w.version);
+      const std::string expected =
+          ClusterValue(w.key, w.version, config.value_bytes);
+      if (!read.ok() || read->value != expected) {
+        if (lost_acks < 5) {
+          std::fprintf(stderr, "LOST ACKED WRITE: %s @%llu (%s)\n",
+                       w.key.c_str(), (unsigned long long)w.version,
+                       read.ok() ? "wrong value"
+                                 : read.status().ToString().c_str());
+        }
+        ++lost_acks;
+      }
+    }
+  }
+  if (config.kill_replica && !repair_failed) {
+    Result<uint64_t> missing = coordinator.VerifyNodeComplete(victim);
+    if (!missing.ok()) {
+      std::fprintf(stderr, "verify of node %d failed: %s\n", victim,
+                   missing.status().ToString().c_str());
+      repair_failed = true;
+    } else {
+      missing_after_repair = *missing;
+    }
+  }
+
+  // -- Reporting ------------------------------------------------------------
+  Histogram reads[kNumPhases], writes[kNumPhases];
+  uint64_t read_ok = 0, read_not_found = 0, read_errors = 0;
+  uint64_t write_rejected = 0;
+  for (const ClusterThreadResult& r : results) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      reads[p].Merge(r.read_latency_us[p]);
+      writes[p].Merge(r.write_latency_us[p]);
+    }
+    read_ok += r.read_ok;
+    read_not_found += r.read_not_found;
+    read_errors += r.read_errors;
+    write_rejected += r.write_rejected;
+  }
+  const int last_phase = config.kill_replica ? kNumPhases : 1;
+  for (int p = 0; p < last_phase; ++p) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "r-%s", PhaseName(p));
+    PrintPercentiles(label, reads[p]);
+    std::snprintf(label, sizeof(label), "w-%s", PhaseName(p));
+    PrintPercentiles(label, writes[p]);
+  }
+  const mint::MintCoordinator::Counters counters = coordinator.counters();
+  std::printf("coordinator: acked=%llu quorum_failures=%llu "
+              "replica_write_failures=%llu hedged=%llu hedge_wins=%llu "
+              "failovers=%llu hb_misses=%llu\n",
+              (unsigned long long)counters.writes_acked,
+              (unsigned long long)counters.write_quorum_failures,
+              (unsigned long long)counters.replica_write_failures,
+              (unsigned long long)counters.hedged_reads,
+              (unsigned long long)counters.hedge_wins,
+              (unsigned long long)counters.read_failovers,
+              (unsigned long long)counters.heartbeat_misses);
+  std::printf("durability: acked=%llu lost=%llu rejected=%llu "
+              "repaired_pairs=%llu missing_after_repair=%llu\n",
+              (unsigned long long)acked_total, (unsigned long long)lost_acks,
+              (unsigned long long)write_rejected,
+              (unsigned long long)repaired_pairs,
+              (unsigned long long)missing_after_repair);
+
+  bool gate_failed = false;
+  const double healthy_p99 = reads[kHealthy].Percentile(99);
+  const double degraded_p99 = reads[kDegraded].Percentile(99);
+  if (config.kill_replica && config.degraded_p99_factor > 0 &&
+      reads[kDegraded].count() > 0 &&
+      degraded_p99 > healthy_p99 * config.degraded_p99_factor) {
+    std::fprintf(stderr,
+                 "degraded read p99 gate FAILED: %.1fus > %.2f x %.1fus\n",
+                 degraded_p99, config.degraded_p99_factor, healthy_p99);
+    gate_failed = true;
+  }
+
+  bench::JsonReport report;
+  report.AddString("bench", "server_loadgen_cluster");
+  report.Add("groups", config.cluster_groups);
+  report.Add("replicas", config.cluster_replicas);
+  report.Add("threads", config.threads);
+  report.Add("write_pct", config.write_pct);
+  report.Add("phase_seconds", config.phase_seconds);
+  report.Add("kill_replica", config.kill_replica ? 1 : 0);
+  report.Add("acked_writes", acked_total);
+  report.Add("lost_acked_writes", lost_acks);
+  report.Add("rejected_writes", write_rejected);
+  report.Add("repaired_pairs", repaired_pairs);
+  report.Add("missing_after_repair", missing_after_repair);
+  report.Add("read_ok", read_ok);
+  report.Add("read_not_found", read_not_found);
+  report.Add("read_errors", read_errors);
+  report.Add("hedged_reads", counters.hedged_reads);
+  report.Add("hedge_wins", counters.hedge_wins);
+  report.Add("read_failovers", counters.read_failovers);
+  report.Add("healthy_read_p99_us", healthy_p99);
+  report.Add("degraded_read_p99_us", degraded_p99);
+  report.Add("recovered_read_p99_us", reads[kRecovered].Percentile(99));
+  report.WriteTo(config.json_path);
+
+  coordinator.Stop();
+  for (server::NodeProcess& node : nodes) {
+    if (node.running()) {
+      DL_DISCARD_STATUS("best-effort teardown of the fleet",
+                        node.Terminate());
+    }
+  }
+
+  const bool durable = lost_acks == 0 && !repair_failed &&
+                       missing_after_repair == 0;
+  return (durable && !gate_failed) ? 0 : 2;
+}
+
 bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -464,6 +791,23 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
     } else if (arg == "--read-p99-gate-us") {
       if (i + 1 >= argc) return false;
       config->read_p99_gate_us = std::atof(argv[++i]);
+    } else if (arg == "--cluster") {
+      config->cluster = true;
+    } else if (arg == "--cluster-groups") {
+      if (!next_int(&config->cluster_groups)) return false;
+    } else if (arg == "--cluster-replicas") {
+      if (!next_int(&config->cluster_replicas)) return false;
+    } else if (arg == "--kill-replica") {
+      config->kill_replica = true;
+    } else if (arg == "--phase-seconds") {
+      if (i + 1 >= argc) return false;
+      config->phase_seconds = std::atof(argv[++i]);
+    } else if (arg == "--degraded-p99-factor") {
+      if (i + 1 >= argc) return false;
+      config->degraded_p99_factor = std::atof(argv[++i]);
+    } else if (arg == "--node-binary") {
+      if (i + 1 >= argc) return false;
+      config->node_binary = argv[++i];
     } else if (arg == "--connect") {
       if (i + 1 >= argc) return false;
       const std::string target = argv[++i];
@@ -480,7 +824,9 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
   return config->threads > 0 && config->ops_per_thread > 0 &&
          config->pipeline > 0 && config->write_pct >= 0 &&
          config->write_pct <= 100 && config->batch > 0 &&
-         config->shards >= 0 && config->rollover_slice_kb > 0;
+         config->shards >= 0 && config->rollover_slice_kb > 0 &&
+         config->cluster_groups > 0 && config->cluster_replicas > 0 &&
+         config->phase_seconds > 0;
 }
 
 }  // namespace
@@ -496,9 +842,15 @@ int main(int argc, char** argv) {
                  "         [--shards N] [--json=PATH] [--connect host:port]\n"
                  "         [--rollover] [--rollover-slice-kb KB]\n"
                  "         [--rollover-bandwidth-mbps M] "
-                 "[--read-p99-gate-us U]\n");
+                 "[--read-p99-gate-us U]\n"
+                 "         [--cluster] [--cluster-groups G] "
+                 "[--cluster-replicas R]\n"
+                 "         [--kill-replica] [--phase-seconds S]\n"
+                 "         [--degraded-p99-factor F] [--node-binary PATH]\n");
     return 1;
   }
+
+  if (config.cluster) return RunCluster(config);
 
   // The served stack, when not connecting to an external server.
   std::unique_ptr<mint::MintCluster> cluster;

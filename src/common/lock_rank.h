@@ -29,6 +29,13 @@ namespace directload {
 /// instances: equal-rank nesting aborts at runtime, so sharing a rank is a
 /// design statement that must be visibly intentional.
 enum class LockRank : int {
+  /// Lock: `MintCoordinator::mu_` — the coordinator's node table: health
+  /// states, miss counters and the per-node RPC client pools.
+  ///
+  /// The distributed coordinator sits above everything: it is pure client
+  /// code, and the lock is only taken standalone (never across an RPC or
+  /// any other ranked lock), so it ranks below the serving layer.
+  kMintCoord = 1,
   /// Lock: `KvServer::mu_` — server lifecycle flag and the connection
   /// registry.
   ///
@@ -36,12 +43,26 @@ enum class LockRank : int {
   /// than every engine rank: a worker may take an engine lock while the
   /// server is mid-drain, never the reverse.
   kServerState = 2,
+  /// Lock: `HedgeState::mu` — one hedged read's completion state (winner
+  /// value, attempt counts), shared by the issuing thread and its attempt
+  /// threads.
+  /// Sibling instances: one per in-flight hedged read, all leaves; an
+  /// attempt thread takes its own read's lock only, strictly after any
+  /// kMintCoord acquisition has been released.
+  kMintHedge = 3,
   /// Lock: `KvServer::queue_mu_` — bounded request queue, in-flight count,
   /// drain/stop flags.
   ///
   /// Admission control and drain accounting. Never held across an engine
   /// call.
   kServerQueue = 4,
+  /// Lock: `RpcClient::mu_` — the client-side socket, frame decoder and
+  /// reconnect backoff state.
+  ///
+  /// Taken standalone (no other ranked lock is ever held across a client
+  /// call), so its exact position is free; it sits with the other
+  /// client-side ranks, below the per-connection server locks.
+  kRpcClient = 5,
   /// Lock: `Connection::write_mu` — response frame serialization on one
   /// client socket, so pipelined replies cannot interleave bytes.
   kServerConnWrite = 6,
@@ -58,9 +79,13 @@ enum class LockRank : int {
   /// commit racing a connection-teardown abort resolve to exactly one
   /// winner instead of a torn half-commit.
   kServerBulk = 7,
-  /// Lock: `RpcClient::mu_` — the client-side socket, frame decoder and
-  /// reconnect backoff state.
-  kRpcClient = 8,
+  /// Lock: `MintCluster::cluster_mu_` — the cluster's node/group
+  /// membership tables: shared across every serving operation, exclusive
+  /// for `AddNode`, so membership growth cannot race traffic undetected.
+  ///
+  /// Sits between the server locks (a bulk commit holds kServerBulk across
+  /// its cluster call) and the per-node lifecycle rank it acquires next.
+  kMintCluster = 8,
   /// Lock: `StorageNode::lifecycle_mu_` — per-node engine lifetime: shared
   /// across every request's engine call, exclusive for Fail/Recover.
   ///
@@ -107,6 +132,14 @@ enum class LockRank : int {
   /// standalone (readers pinning the index) or as the innermost lock of a
   /// mutator.
   kQinDbPin = 50,
+  /// Lock: `LatencyEstimator::mu_` — one estimator's rolling sample window
+  /// and its cached quantile.
+  /// Sibling instances: one per estimator (per storage node / per remote
+  /// replica), all leaves; recording a sample acquires nothing further.
+  ///
+  /// High rank so a sample can be recorded while serving-path locks (and
+  /// the cluster membership lock) are held.
+  kLatencyEstimator = 55,
   /// Lock: `failpoint::Registry::mu_` — the name → failpoint map.
   ///
   /// Only taken from registration/activation paths (static init, test

@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "mint/routing.h"
 
 namespace directload::mint {
 
@@ -84,6 +85,7 @@ MintCluster::MintCluster(const MintOptions& options) : options_(options) {
 }
 
 Status MintCluster::Start() {
+  ReaderLock cluster_guard(&cluster_mu_);
   for (auto& node : nodes_) {
     Status s = node->Start();
     if (!s.ok()) return s;
@@ -92,33 +94,33 @@ Status MintCluster::Start() {
 }
 
 int MintCluster::GroupOf(const Slice& key) const {
-  // H(k) maps to a group, not a node (Section 2.3: scalability without
-  // redistribution).
-  return static_cast<int>(Hash64(key) % options_.num_groups);
+  ReaderLock cluster_guard(&cluster_mu_);
+  return GroupOfLocked(key);
 }
 
 std::vector<int> MintCluster::ReplicasOf(const Slice& key) const {
-  const std::vector<int>& members = groups_[GroupOf(key)];
-  // Rendezvous hashing: rank members by hash(key, node) and take the top
-  // `replicas`. Stable under membership growth for most keys.
-  std::vector<std::pair<uint64_t, int>> ranked;
-  ranked.reserve(members.size());
-  for (int id : members) {
-    ranked.emplace_back(Hash64(key, /*seed=*/0x5eed0000 + id), id);
-  }
-  std::sort(ranked.begin(), ranked.end(), std::greater<>());
-  std::vector<int> replicas;
-  const int want = std::min<int>(options_.replicas,
-                                 static_cast<int>(ranked.size()));
-  for (int i = 0; i < want; ++i) replicas.push_back(ranked[i].second);
-  return replicas;
+  ReaderLock cluster_guard(&cluster_mu_);
+  return ReplicasOfLocked(key);
+}
+
+int MintCluster::GroupOfLocked(const Slice& key) const {
+  // H(k) maps to a group, not a node (Section 2.3: scalability without
+  // redistribution). Shared with the distributed coordinator via
+  // mint/routing.h — both sides must place keys identically.
+  return GroupOfKey(key, options_.num_groups);
+}
+
+std::vector<int> MintCluster::ReplicasOfLocked(const Slice& key) const {
+  return RendezvousReplicas(key, groups_[GroupOfLocked(key)],
+                            options_.replicas);
 }
 
 Status MintCluster::Put(const Slice& key, uint64_t version, const Slice& value,
                         bool dedup) {
+  ReaderLock cluster_guard(&cluster_mu_);
   Status first_error;
   int applied = 0;
-  for (int id : ReplicasOf(key)) {
+  for (int id : ReplicasOfLocked(key)) {
     StorageNode* node = nodes_[id].get();
     ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;  // Will be healed by recovery + re-replication.
@@ -128,18 +130,19 @@ Status MintCluster::Put(const Slice& key, uint64_t version, const Slice& value,
   }
   if (applied == 0) {
     if (!first_error.ok()) return first_error;
-    return Status::Unavailable("group " + std::to_string(GroupOf(key)) +
+    return Status::Unavailable("group " + std::to_string(GroupOfLocked(key)) +
                                " has no live replica for the key");
   }
   return Status::OK();
 }
 
 Status MintCluster::Del(const Slice& key, uint64_t version) {
-  const int group = GroupOf(key);
+  ReaderLock cluster_guard(&cluster_mu_);
+  const int group = GroupOfLocked(key);
   bool any = false;
   bool any_live = false;
   Status first_error;
-  for (int id : GroupNodes(group)) {
+  for (int id : GroupNodesLocked(group)) {
     StorageNode* node = nodes_[id].get();
     ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;
@@ -165,6 +168,7 @@ Status MintCluster::Del(const Slice& key, uint64_t version) {
 
 Status MintCluster::WriteMany(const std::vector<BatchOp>& ops,
                               std::vector<Status>* statuses) {
+  ReaderLock cluster_guard(&cluster_mu_);
   statuses->assign(ops.size(), Status::OK());
   if (ops.empty()) return Status::OK();
 
@@ -178,8 +182,9 @@ Status MintCluster::WriteMany(const std::vector<BatchOp>& ops,
   std::map<int, NodePlan> plans;
   for (size_t i = 0; i < ops.size(); ++i) {
     const BatchOp& op = ops[i];
-    const std::vector<int> targets =
-        op.is_del ? GroupNodes(GroupOf(op.key)) : ReplicasOf(op.key);
+    const std::vector<int> targets = op.is_del
+                                         ? GroupNodesLocked(GroupOfLocked(op.key))
+                                         : ReplicasOfLocked(op.key);
     for (int id : targets) {
       NodePlan& plan = plans[id];
       if (op.is_del) {
@@ -225,7 +230,7 @@ Status MintCluster::WriteMany(const std::vector<BatchOp>& ops,
   for (size_t i = 0; i < ops.size(); ++i) {
     const Agg& a = agg[i];
     if (a.applied > 0) continue;
-    const int group = GroupOf(ops[i].key);
+    const int group = GroupOfLocked(ops[i].key);
     if (ops[i].is_del) {
       if (a.live_targets == 0) {
         (*statuses)[i] =
@@ -251,6 +256,7 @@ Status MintCluster::WriteMany(const std::vector<BatchOp>& ops,
 }
 
 Status MintCluster::DropVersion(uint64_t version) {
+  ReaderLock cluster_guard(&cluster_mu_);
   for (auto& node : nodes_) {
     ReaderLock guard(node->lifecycle_mu());
     if (!node->up()) continue;
@@ -261,6 +267,7 @@ Status MintCluster::DropVersion(uint64_t version) {
 }
 
 Status MintCluster::BulkBegin(uint64_t version) {
+  ReaderLock cluster_guard(&cluster_mu_);
   bool any_live = false;
   for (auto& node : nodes_) {
     ReaderLock guard(node->lifecycle_mu());
@@ -277,6 +284,7 @@ Status MintCluster::BulkBegin(uint64_t version) {
 Status MintCluster::BulkIngest(uint64_t version, const qindb::IngestOp* ops,
                                size_t count) {
   if (count == 0) return Status::OK();
+  ReaderLock cluster_guard(&cluster_mu_);
   // Bucket per node, preserving run order inside each bucket: puts go to
   // the key's rendezvous replicas, tombstones to the whole group (matching
   // Put/Del above).
@@ -284,7 +292,8 @@ Status MintCluster::BulkIngest(uint64_t version, const qindb::IngestOp* ops,
   for (size_t i = 0; i < count; ++i) {
     const qindb::IngestOp& op = ops[i];
     const std::vector<int> targets =
-        op.tombstone ? GroupNodes(GroupOf(op.key)) : ReplicasOf(op.key);
+        op.tombstone ? GroupNodesLocked(GroupOfLocked(op.key))
+                     : ReplicasOfLocked(op.key);
     for (int id : targets) routed[id].push_back(op);
   }
   size_t applied_nodes = 0;
@@ -312,6 +321,7 @@ Status MintCluster::BulkIngest(uint64_t version, const qindb::IngestOp* ops,
 }
 
 Status MintCluster::BulkCommit(uint64_t version) {
+  ReaderLock cluster_guard(&cluster_mu_);
   bool any = false;
   Status first_error;
   for (auto& node : nodes_) {
@@ -330,6 +340,7 @@ Status MintCluster::BulkCommit(uint64_t version) {
 }
 
 Status MintCluster::BulkAbort(uint64_t version) {
+  ReaderLock cluster_guard(&cluster_mu_);
   Status first_error;
   for (auto& node : nodes_) {
     ReaderLock guard(node->lifecycle_mu());
@@ -352,8 +363,8 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
   // no replica thread can outlive the cluster's node state, and picking
   // the minimum simulated latency keeps the winner deterministic no matter
   // how the OS schedules the threads.
-  const int group = GroupOf(key);
-  const std::vector<int>& members = GroupNodes(group);
+  const int group = GroupOfLocked(key);
+  const std::vector<int>& members = GroupNodesLocked(group);
   std::vector<int> live;
   live.reserve(members.size());
   for (int id : members) {
@@ -418,6 +429,32 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
     for (size_t i = 0; i < live.size(); ++i) run_one(i);
   }
 
+  // Feed the estimators before applying the timeout: a slow replica's
+  // samples must land in its window even when the timeout rejects them, or
+  // the estimate would never learn that the replica is slow.
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (attempts[i].ok) {
+      nodes_[live[i]]->read_latency()->Record(attempts[i].latency_micros);
+    }
+  }
+
+  // The effective timeout: fixed when configured, otherwise derived from
+  // the fastest live replica's rolling p95 (<= 0 disables it, including
+  // while the estimators are still cold).
+  double timeout_micros = options_.read_timeout_micros;
+  if (timeout_micros == 0 && options_.auto_read_timeout) {
+    double best_p95 = -1;
+    for (int id : live) {
+      const double p95 = nodes_[id]->read_latency()->Quantile(
+          0.95, static_cast<size_t>(options_.read_timeout_min_samples));
+      if (p95 >= 0 && (best_p95 < 0 || p95 < best_p95)) best_p95 = p95;
+    }
+    if (best_p95 >= 0) {
+      timeout_micros = std::max(options_.read_timeout_floor_micros,
+                                best_p95 * options_.read_timeout_multiplier);
+    }
+  }
+
   ReadResult best;
   bool found = false;
   Status last_error = Status::Unavailable(
@@ -428,8 +465,7 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
       last_error = attempt.error;
       continue;
     }
-    if (options_.read_timeout_micros > 0 &&
-        attempt.latency_micros > options_.read_timeout_micros) {
+    if (timeout_micros > 0 && attempt.latency_micros > timeout_micros) {
       last_error = Status::Unavailable("replica exceeded read timeout");
       continue;
     }
@@ -446,19 +482,22 @@ Result<MintCluster::ReadResult> MintCluster::ParallelRead(const Slice& key,
 
 Result<MintCluster::ReadResult> MintCluster::Get(const Slice& key,
                                                  uint64_t version) {
+  ReaderLock cluster_guard(&cluster_mu_);
   return ParallelRead(key, [&](qindb::QinDb* db) {
     return db->Get(key, version);
   });
 }
 
 Result<MintCluster::ReadResult> MintCluster::GetLatest(const Slice& key) {
+  ReaderLock cluster_guard(&cluster_mu_);
   return ParallelRead(key, [&](qindb::QinDb* db) {
     return db->GetLatest(key);
   });
 }
 
 Status MintCluster::FailNode(int node_id) {
-  if (node_id < 0 || node_id >= num_nodes()) {
+  ReaderLock cluster_guard(&cluster_mu_);
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
     return Status::InvalidArgument("no such node");
   }
   nodes_[node_id]->Fail();
@@ -466,14 +505,16 @@ Status MintCluster::FailNode(int node_id) {
 }
 
 Result<double> MintCluster::RecoverNode(int node_id) {
-  if (node_id < 0 || node_id >= num_nodes()) {
+  ReaderLock cluster_guard(&cluster_mu_);
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
     return Status::InvalidArgument("no such node");
   }
   return nodes_[node_id]->Recover();
 }
 
 Result<uint64_t> MintCluster::RepairNode(int node_id) {
-  if (node_id < 0 || node_id >= num_nodes()) {
+  ReaderLock cluster_guard(&cluster_mu_);
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
     return Status::InvalidArgument("no such node");
   }
   StorageNode* target = nodes_[node_id].get();
@@ -516,7 +557,7 @@ Result<uint64_t> MintCluster::RepairNode(int node_id) {
           const MemEntry* entry = it.entry();
           if (entry->deleted) continue;
           const Slice key = entry->user_key();
-          const std::vector<int> replicas = ReplicasOf(key);
+          const std::vector<int> replicas = ReplicasOfLocked(key);
           if (std::find(replicas.begin(), replicas.end(), node_id) ==
               replicas.end()) {
             continue;  // Not this node's responsibility.
@@ -553,6 +594,10 @@ Result<uint64_t> MintCluster::RepairNode(int node_id) {
 }
 
 Result<int> MintCluster::AddNode(int group) {
+  // Exclusive: waits out every in-flight operation's shared hold before the
+  // node table grows — the documented quiescence requirement, now enforced
+  // by the lock instead of by hoping callers read the comment.
+  WriterLock cluster_guard(&cluster_mu_);
   if (group < 0 || group >= options_.num_groups) {
     return Status::InvalidArgument("no such group");
   }
@@ -564,7 +609,18 @@ Result<int> MintCluster::AddNode(int group) {
   return id;
 }
 
+int MintCluster::num_nodes() const {
+  ReaderLock cluster_guard(&cluster_mu_);
+  return static_cast<int>(nodes_.size());
+}
+
+StorageNode* MintCluster::node(int id) {
+  ReaderLock cluster_guard(&cluster_mu_);
+  return nodes_[id].get();
+}
+
 uint64_t MintCluster::TotalUserBytesIngested() const {
+  ReaderLock cluster_guard(&cluster_mu_);
   uint64_t total = 0;
   for (const auto& node : nodes_) {
     ReaderLock guard(node->lifecycle_mu());
@@ -576,6 +632,7 @@ uint64_t MintCluster::TotalUserBytesIngested() const {
 }
 
 uint64_t MintCluster::TotalDiskBytes() const {
+  ReaderLock cluster_guard(&cluster_mu_);
   uint64_t total = 0;
   for (const auto& node : nodes_) {
     total += node->env()->TotalFileBytes();

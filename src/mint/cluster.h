@@ -8,6 +8,7 @@
 
 #include <atomic>
 
+#include "common/latency_estimator.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/slice.h"
@@ -39,8 +40,23 @@ struct MintOptions {
   /// Per-replica read timeout in simulated microseconds (device time plus
   /// RTT). Replies slower than this are treated as unavailable — the knob
   /// that keeps one slow or recovering replica from serving reads the rest
-  /// of the group can answer faster. Zero disables the timeout.
+  /// of the group can answer faster. Zero derives the timeout from the
+  /// rolling per-replica latency estimate (see auto_read_timeout below);
+  /// negative disables the timeout outright.
   double read_timeout_micros = 0;
+
+  /// When read_timeout_micros is 0, each read's effective timeout is
+  /// read_timeout_multiplier × the *fastest* live replica's rolling p95 —
+  /// the same estimator family that drives the coordinator's hedging delay
+  /// — clamped below by read_timeout_floor_micros. Using the fastest
+  /// replica's estimate is the point: a recovering replica's own (slow)
+  /// history must not buy it a long leash when its peers answer quickly.
+  /// Until some replica has read_timeout_min_samples recorded samples the
+  /// timeout stays disabled, so cold clusters never reject off noise.
+  bool auto_read_timeout = true;
+  double read_timeout_multiplier = 4.0;
+  double read_timeout_floor_micros = 2000;
+  int read_timeout_min_samples = 32;
 
   uint64_t seed = 1;
 };
@@ -69,6 +85,10 @@ class StorageNode {
   ssd::SsdEnv* env() { return env_.get(); }
   SharedMutex* lifecycle_mu() const { return &lifecycle_mu_; }
 
+  /// Rolling window of this replica's recent successful read latencies
+  /// (simulated micros, RTT included); feeds the derived read timeout.
+  LatencyEstimator* read_latency() { return &read_latency_; }
+
   /// Simulates a crash: the engine's memory (memtable, GC table) is lost;
   /// the AOFs on the simulated SSD survive. Blocks until in-flight requests
   /// against this node's engine have drained.
@@ -89,6 +109,7 @@ class StorageNode {
   // cannot see through an accessor without REQUIRES on every caller.
   std::unique_ptr<ssd::SsdEnv> env_;  // dl-lint: ignore(guarded-by-coverage)
   std::unique_ptr<qindb::QinDb> db_;  // dl-lint: ignore(guarded-by-coverage)
+  LatencyEstimator read_latency_;     // Internally locked.
   std::atomic<bool> up_{false};
   mutable SharedMutex lifecycle_mu_{LockRank::kMintNode,
                                     "StorageNode::lifecycle_mu_"};
@@ -107,8 +128,10 @@ class StorageNode {
 /// lifecycle lock (see StorageNode); the engines themselves are internally
 /// thread-safe (see LockRank in common/lock_rank.h for the per-engine lock
 /// order the replica threads run under). Requests may race freely with
-/// FailNode/RecoverNode; only AddNode still requires external quiescence,
-/// because it grows the node table itself.
+/// FailNode/RecoverNode, and with AddNode too: the node/group tables are
+/// guarded by a cluster-level shared lock (rank kMintCluster) that every
+/// operation holds shared and AddNode holds exclusive, so membership growth
+/// waits out in-flight traffic instead of racing it undetected.
 class MintCluster {
  public:
   explicit MintCluster(const MintOptions& options);
@@ -192,12 +215,16 @@ class MintCluster {
 
   /// Adds an empty node to `group`. Existing pairs stay where they are
   /// (reads query the whole group, so nothing needs to move); the new node
-  /// participates in replica selection for subsequent writes. Not safe
-  /// concurrently with serving traffic: it grows the node table.
+  /// participates in replica selection for subsequent writes. Safe
+  /// concurrently with serving traffic: the exclusive cluster_mu_ hold
+  /// waits out in-flight operations before growing the node table.
   Result<int> AddNode(int group);
 
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  StorageNode* node(int id) { return nodes_[id].get(); }
+  int num_nodes() const;
+  /// The node object outlives the cluster-table lookup this performs (nodes
+  /// are never removed), so the returned pointer stays valid; engine access
+  /// through it still follows the StorageNode lifecycle protocol.
+  StorageNode* node(int id);
   const MintOptions& options() const { return options_; }
 
   /// Sum of user bytes ingested across nodes (3x-replicated writes).
@@ -205,16 +232,38 @@ class MintCluster {
   uint64_t TotalDiskBytes() const;
 
  private:
-  const std::vector<int>& GroupNodes(int group) const {
+  // The *Locked helpers are what the serving operations call internally:
+  // each public entry point takes cluster_mu_ (shared) exactly once, so a
+  // public method calling another public method would trip the rank
+  // checker's same-rank rule — by design, since that is a real
+  // shared-after-shared deadlock behind a queued AddNode writer.
+  int GroupOfLocked(const Slice& key) const REQUIRES_SHARED(cluster_mu_);
+  std::vector<int> ReplicasOfLocked(const Slice& key) const
+      REQUIRES_SHARED(cluster_mu_);
+  const std::vector<int>& GroupNodesLocked(int group) const
+      REQUIRES_SHARED(cluster_mu_) {
     return groups_[group];
   }
 
   template <typename Fn>
-  Result<ReadResult> ParallelRead(const Slice& key, const Fn& fn);
+  Result<ReadResult> ParallelRead(const Slice& key, const Fn& fn)
+      REQUIRES_SHARED(cluster_mu_);
 
   MintOptions options_;
-  std::vector<std::unique_ptr<StorageNode>> nodes_;
-  std::vector<std::vector<int>> groups_;  // group -> node ids.
+  /// Guards the node/group membership tables: shared across every serving
+  /// operation, exclusive for AddNode. The replica threads ParallelRead
+  /// spawns read the table while their parent holds the shared lock across
+  /// their whole lifetime (spawn → join), which is why the fields carry no
+  /// GUARDED_BY — clang's analysis cannot see a parent's hold from inside
+  /// a lambda running on a child thread.
+  mutable SharedMutex cluster_mu_{LockRank::kMintCluster,
+                                  "MintCluster::cluster_mu_"};
+  // Both tables follow cluster_mu_'s documented protocol (see its comment
+  // for why GUARDED_BY cannot express it).
+  std::vector<std::unique_ptr<StorageNode>>
+      nodes_;  // dl-lint: ignore(guarded-by-coverage)
+  std::vector<std::vector<int>>
+      groups_;  // dl-lint: ignore(guarded-by-coverage)
 };
 
 }  // namespace directload::mint

@@ -264,4 +264,31 @@ Status RpcClient::Ping() {
   return StatusFromWire(response->status, response->value);
 }
 
+Result<HeartbeatInfo> RpcClient::Heartbeat() {
+  Frame request;
+  request.op = Opcode::kHeartbeat;
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  Status s = StatusFromWire(response->status, response->value);
+  if (!s.ok()) return s;
+  HeartbeatInfo info;
+  Status parse = DecodeHeartbeatInfo(response->value, &info);
+  if (!parse.ok()) return parse;
+  return info;
+}
+
+Result<RepairPage> RpcClient::RepairScan(const RepairScanRequest& req) {
+  Frame request;
+  request.op = Opcode::kRepairScan;
+  EncodeRepairScanRequest(req, &request.value);
+  Result<Frame> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  Status s = StatusFromWire(response->status, response->value);
+  if (!s.ok()) return s;
+  RepairPage page;
+  Status parse = DecodeRepairPage(response->value, &page);
+  if (!parse.ok()) return parse;
+  return page;
+}
+
 }  // namespace directload::rpc

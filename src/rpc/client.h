@@ -83,6 +83,21 @@ class RpcClient {
   Result<std::string> Stats() EXCLUDES(mu_);
   Status Ping() EXCLUDES(mu_);
 
+  /// Failure-detector probe: asks the node for its serving state and live
+  /// entry count. Detector callers typically run this client with
+  /// `max_reconnects = 0` and a short deadline — a probe that needs a retry
+  /// *is* the signal.
+  Result<HeartbeatInfo> Heartbeat() EXCLUDES(mu_);
+
+  /// One page of the node's repair scan (see Opcode::kRepairScan).
+  Result<RepairPage> RepairScan(const RepairScanRequest& req) EXCLUDES(mu_);
+
+  /// The capped-exponential reconnect delay for attempt `attempt`
+  /// (1-based), jitter included — exposed so tests can pin the schedule
+  /// (base doubling, cap clamp, [base/2, base] jitter bounds) without
+  /// standing up a failing server and timing real sleeps.
+  int BackoffDelayMsForTest(int attempt) { return BackoffDelayMs(attempt); }
+
   // -- Pipelined surface (the load generator drives this directly) --------
 
   /// Fresh request id for a caller-built frame.

@@ -9,8 +9,14 @@ namespace {
 
 bool ValidOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kGet) &&
-         op <= static_cast<uint8_t>(Opcode::kBulkAbort);
+         op <= static_cast<uint8_t>(Opcode::kRepairScan);
 }
+
+constexpr uint8_t kHeartbeatServing = 1u << 0;
+constexpr uint8_t kHeartbeatDegraded = 1u << 1;
+constexpr uint8_t kRepairReqKeysOnly = 1u << 0;
+constexpr uint8_t kRepairReqResume = 1u << 1;
+constexpr uint8_t kRepairPageDone = 1u << 0;
 
 bool ValidStatusCode(uint8_t code) {
   return code <= static_cast<uint8_t>(StatusCode::kProtocol);
@@ -144,6 +150,144 @@ Status DecodeBatchStatuses(const Slice& payload,
   }
   if (!rest.empty()) {
     return Status::Protocol("trailing bytes in batch status payload");
+  }
+  return Status::OK();
+}
+
+void EncodeHeartbeatInfo(const HeartbeatInfo& info, std::string* out) {
+  uint8_t flags = 0;
+  if (info.serving) flags |= kHeartbeatServing;
+  if (info.degraded) flags |= kHeartbeatDegraded;
+  out->push_back(static_cast<char>(flags));
+  PutFixed64(out, info.live_entries);
+}
+
+Status DecodeHeartbeatInfo(const Slice& payload, HeartbeatInfo* out) {
+  if (payload.size() != 9) {
+    return Status::Protocol("heartbeat payload is not 9 bytes");
+  }
+  const uint8_t flags = static_cast<uint8_t>(payload[0]);
+  if ((flags & ~(kHeartbeatServing | kHeartbeatDegraded)) != 0) {
+    return Status::Protocol("unknown heartbeat flag bits");
+  }
+  out->serving = (flags & kHeartbeatServing) != 0;
+  out->degraded = (flags & kHeartbeatDegraded) != 0;
+  out->live_entries = DecodeFixed64(payload.data() + 1);
+  return Status::OK();
+}
+
+void EncodeRepairScanRequest(const RepairScanRequest& req, std::string* out) {
+  uint8_t flags = 0;
+  if (req.keys_only) flags |= kRepairReqKeysOnly;
+  if (req.cursor.resume) flags |= kRepairReqResume;
+  out->push_back(static_cast<char>(flags));
+  PutVarint32(out, req.cursor.shard);
+  PutFixed64(out, req.cursor.version);
+  PutLengthPrefixedSlice(out, req.cursor.key);
+  PutVarint32(out, req.max_pairs);
+}
+
+Status DecodeRepairScanRequest(const Slice& payload, RepairScanRequest* out) {
+  Slice rest = payload;
+  if (rest.empty()) return Status::Protocol("empty repair scan request");
+  const uint8_t flags = static_cast<uint8_t>(rest[0]);
+  if ((flags & ~(kRepairReqKeysOnly | kRepairReqResume)) != 0) {
+    return Status::Protocol("unknown repair scan flag bits");
+  }
+  rest.remove_prefix(1);
+  out->keys_only = (flags & kRepairReqKeysOnly) != 0;
+  out->cursor.resume = (flags & kRepairReqResume) != 0;
+  if (!GetVarint32(&rest, &out->cursor.shard)) {
+    return Status::Protocol("truncated repair scan cursor shard");
+  }
+  if (rest.size() < 8) {
+    return Status::Protocol("truncated repair scan cursor version");
+  }
+  out->cursor.version = DecodeFixed64(rest.data());
+  rest.remove_prefix(8);
+  Slice key;
+  if (!GetLengthPrefixedSlice(&rest, &key)) {
+    return Status::Protocol("truncated repair scan cursor key");
+  }
+  out->cursor.key.assign(key.data(), key.size());
+  if (!GetVarint32(&rest, &out->max_pairs)) {
+    return Status::Protocol("truncated repair scan max pairs");
+  }
+  if (!rest.empty()) {
+    return Status::Protocol("trailing bytes in repair scan request");
+  }
+  return Status::OK();
+}
+
+void EncodeRepairPage(const RepairPage& page, std::string* out) {
+  out->push_back(static_cast<char>(page.done ? kRepairPageDone : 0));
+  PutVarint32(out, static_cast<uint32_t>(page.pairs.size()));
+  for (const RepairPair& pair : page.pairs) {
+    PutFixed64(out, pair.version);
+    PutLengthPrefixedSlice(out, pair.key);
+    PutLengthPrefixedSlice(out, pair.value);
+  }
+  if (!page.done) {
+    PutVarint32(out, page.next.shard);
+    PutFixed64(out, page.next.version);
+    PutLengthPrefixedSlice(out, page.next.key);
+  }
+}
+
+Status DecodeRepairPage(const Slice& payload, RepairPage* out) {
+  out->pairs.clear();
+  Slice rest = payload;
+  if (rest.empty()) return Status::Protocol("empty repair page");
+  const uint8_t flags = static_cast<uint8_t>(rest[0]);
+  if ((flags & ~kRepairPageDone) != 0) {
+    return Status::Protocol("unknown repair page flag bits");
+  }
+  rest.remove_prefix(1);
+  out->done = (flags & kRepairPageDone) != 0;
+  uint32_t count = 0;
+  if (!GetVarint32(&rest, &count)) {
+    return Status::Protocol("truncated repair page pair count");
+  }
+  // Each pair occupies >= 10 payload bytes (version + two length prefixes),
+  // so a larger count cannot be satisfied; reject it before reserve() turns
+  // an attacker-chosen count into a huge allocation.
+  if (count > rest.size() / 10) {
+    return Status::Protocol("repair page pair count exceeds payload");
+  }
+  out->pairs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (rest.size() < 8) return Status::Protocol("truncated repair pair");
+    RepairPair pair;
+    pair.version = DecodeFixed64(rest.data());
+    rest.remove_prefix(8);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&rest, &key) ||
+        !GetLengthPrefixedSlice(&rest, &value)) {
+      return Status::Protocol("truncated repair pair key/value");
+    }
+    pair.key.assign(key.data(), key.size());
+    pair.value.assign(value.data(), value.size());
+    out->pairs.push_back(std::move(pair));
+  }
+  out->next = RepairCursor{};
+  if (!out->done) {
+    if (!GetVarint32(&rest, &out->next.shard)) {
+      return Status::Protocol("truncated repair page next shard");
+    }
+    if (rest.size() < 8) {
+      return Status::Protocol("truncated repair page next version");
+    }
+    out->next.version = DecodeFixed64(rest.data());
+    rest.remove_prefix(8);
+    Slice key;
+    if (!GetLengthPrefixedSlice(&rest, &key)) {
+      return Status::Protocol("truncated repair page next key");
+    }
+    out->next.key.assign(key.data(), key.size());
+    out->next.resume = true;
+  }
+  if (!rest.empty()) {
+    return Status::Protocol("trailing bytes in repair page");
   }
   return Status::OK();
 }

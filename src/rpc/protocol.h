@@ -78,6 +78,21 @@ enum class Opcode : uint8_t {
   /// Abandons the session: staged records are rolled back (occupancy
   /// accounting reversed) and the version is never visible.
   kBulkAbort = 10,
+  /// Failure-detector probe (distributed Mint). No request payload; the
+  /// response's value field carries an encoded HeartbeatInfo — whether the
+  /// node is serving, whether it is degraded, and its live entry count, so
+  /// the coordinator's detector doubles as a cheap progress gauge during
+  /// repair. Unlike kPing this consults the node's engine state, not just
+  /// the TCP stack.
+  kHeartbeat = 11,
+  /// One page of a repair scan (distributed Mint re-replication). The
+  /// request's value field carries an encoded RepairScanRequest (resume
+  /// cursor + page limits); the response's value field carries a RepairPage
+  /// — resolved pairs plus the cursor to resume from. The coordinator
+  /// drives the whole scan over RPC: nodes know nothing about placement,
+  /// so the coordinator filters the page by rendezvous ownership and
+  /// re-ingests the target's share via ordinary kPut/kWriteBatch frames.
+  kRepairScan = 12,
 };
 
 inline constexpr uint32_t kFrameMagic = 0x31504C44u;  // "DLP1" on the wire.
@@ -160,6 +175,106 @@ void EncodeBatchStatuses(const std::vector<Status>& statuses,
 /// Parses a kWriteBatch response payload into per-op statuses.
 Status DecodeBatchStatuses(const Slice& payload,
                            std::vector<Status>* statuses);
+
+// -- kHeartbeat payloads ------------------------------------------------------
+//
+// A heartbeat response packs its info into the frame's value field:
+//
+//   1 byte   flags (bit 0: serving, bit 1: degraded; others must be 0)
+//   8 bytes  live entry count (fixed64)
+//
+// The payload must be exactly 9 bytes; kProtocol otherwise.
+
+/// What a node reports to the failure detector.
+struct HeartbeatInfo {
+  bool serving = false;   // The engine is up and answering operations.
+  bool degraded = false;  // Read-only / degraded mode.
+  uint64_t live_entries = 0;
+};
+
+/// Serializes `info` into a kHeartbeat response payload, appended to `*out`.
+void EncodeHeartbeatInfo(const HeartbeatInfo& info, std::string* out);
+
+/// Parses a kHeartbeat response payload. kProtocol on malformed input.
+Status DecodeHeartbeatInfo(const Slice& payload, HeartbeatInfo* out);
+
+// -- kRepairScan payloads -----------------------------------------------------
+//
+// The request's value field carries the scan parameters:
+//
+//   1 byte   flags (bit 0: keys_only, bit 1: resume — cursor names the last
+//            pair already returned; others must be 0)
+//   varint32 cursor shard
+//   8 bytes  cursor version (fixed64)
+//   varint32 cursor key length, key bytes
+//   varint32 max pairs for this page
+//
+// The response's value field carries one page:
+//
+//   1 byte   flags (bit 0: done — no further pages; others must be 0)
+//   varint32 pair count, then per pair:
+//     8 bytes  version (fixed64)
+//     varint32 key length, key bytes
+//     varint32 value length, value bytes (empty under keys_only)
+//   when not done: varint32 next shard, fixed64 next version,
+//                  varint32 next key length, key bytes
+//
+// Both decoders demand the payload parse to exactly its declared length and
+// return kProtocol otherwise, and the page decoder bounds the pair count
+// against the remaining payload before reserving (see DecodeBatchOps).
+
+/// Resume position of a repair scan: the last pair the previous page
+/// returned, scoped to the engine shard it came from (keys are
+/// hash-partitioned across shards, so a key alone does not locate the
+/// cursor). `resume` false means "start from the beginning".
+struct RepairCursor {
+  uint32_t shard = 0;
+  uint64_t version = 0;
+  std::string key;
+  bool resume = false;
+};
+
+/// One kRepairScan request.
+struct RepairScanRequest {
+  RepairCursor cursor;
+  uint32_t max_pairs = 512;
+  /// Values omitted — used to inventory what a node holds (the coordinator
+  /// diffs inventories to verify replication factor) without moving data.
+  bool keys_only = false;
+};
+
+/// One scanned pair, value resolved by the serving node (traceback included,
+/// so the receiver need not share the sender's dedup chain).
+struct RepairPair {
+  std::string key;
+  uint64_t version = 0;
+  std::string value;
+};
+
+/// One kRepairScan response page.
+struct RepairPage {
+  std::vector<RepairPair> pairs;
+  bool done = false;
+  RepairCursor next;  // Meaningful only when !done (next.resume is set).
+};
+
+/// Soft cap on the encoded bytes of one repair page: the server stops
+/// filling a page past this even under max_pairs, keeping every page
+/// comfortably inside kMaxBodyBytes.
+inline constexpr size_t kRepairPageBudgetBytes = 1u << 20;
+
+/// Serializes `req` into a kRepairScan request payload, appended to `*out`.
+void EncodeRepairScanRequest(const RepairScanRequest& req, std::string* out);
+
+/// Parses a kRepairScan request payload. kProtocol on malformed input.
+Status DecodeRepairScanRequest(const Slice& payload, RepairScanRequest* out);
+
+/// Serializes `page` into a kRepairScan response payload, appended to
+/// `*out`.
+void EncodeRepairPage(const RepairPage& page, std::string* out);
+
+/// Parses a kRepairScan response payload. kProtocol on malformed input.
+Status DecodeRepairPage(const Slice& payload, RepairPage* out);
 
 /// Rebuilds a Status from a wire status code plus the response's message
 /// payload. Unknown codes (a newer peer) map to kProtocol.

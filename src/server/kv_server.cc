@@ -21,6 +21,13 @@ namespace {
 DIRECTLOAD_FAILPOINT_DEFINE(fp_server_accept, "server_accept");
 DIRECTLOAD_FAILPOINT_DEFINE(fp_server_enqueue, "server_enqueue");
 
+// Node-role failpoints. A failed heartbeat makes a healthy node look dead
+// to the coordinator's detector (false-suspect drills); a failed repair
+// scan interrupts re-replication mid-stream, which the coordinator must
+// survive by resuming from its cursor. Neither touches stored data.
+DIRECTLOAD_FAILPOINT_DEFINE(fp_server_heartbeat, "server_heartbeat");
+DIRECTLOAD_FAILPOINT_DEFINE(fp_server_repair_scan, "server_repair_scan");
+
 using SteadyClock = std::chrono::steady_clock;
 
 /// How often blocked accept/recv/wait calls wake up to check the shutdown
@@ -497,6 +504,108 @@ rpc::Frame KvServer::Execute(const Request& full_request) {
         full_request.conn->bulk.reset();
       }
       return rpc::MakeResponse(request, s);
+    }
+    case rpc::Opcode::kHeartbeat: {
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+      if (fp_server_heartbeat->armed()) {
+        if (Status s = fp_server_heartbeat->MaybeFail(); !s.ok()) {
+          return rpc::MakeResponse(request, s);
+        }
+      }
+#endif
+      // The probe speaks for this process's node role: node 0 is THE node
+      // in a dmint_node process (its cluster is 1 group x 1 node), and the
+      // front node of an in-process simulation cluster otherwise.
+      rpc::HeartbeatInfo info;
+      if (cluster_->num_nodes() > 0) {
+        mint::StorageNode* node = cluster_->node(0);
+        ReaderLock engine_guard(node->lifecycle_mu());
+        if (node->up() && node->db() != nullptr) {
+          const bool draining = draining_.load();
+          info.serving = !draining;
+          info.degraded = draining;
+          info.live_entries = node->db()->LiveEntryCount();
+        }
+      }
+      std::string payload;
+      rpc::EncodeHeartbeatInfo(info, &payload);
+      return rpc::MakeResponse(request, Status::OK(), std::move(payload));
+    }
+    case rpc::Opcode::kRepairScan: {
+#if DIRECTLOAD_FAILPOINTS_COMPILED
+      if (fp_server_repair_scan->armed()) {
+        if (Status s = fp_server_repair_scan->MaybeFail(); !s.ok()) {
+          return rpc::MakeResponse(request, s);
+        }
+      }
+#endif
+      rpc::RepairScanRequest scan;
+      if (Status s = rpc::DecodeRepairScanRequest(request.value, &scan);
+          !s.ok()) {
+        return rpc::MakeResponse(request, s);
+      }
+      if (cluster_->num_nodes() == 0) {
+        return rpc::MakeResponse(request,
+                                 Status::Unavailable("no node to scan"));
+      }
+      mint::StorageNode* node = cluster_->node(0);
+      ReaderLock engine_guard(node->lifecycle_mu());
+      if (!node->up() || node->db() == nullptr) {
+        return rpc::MakeResponse(request,
+                                 Status::Unavailable("node engine is down"));
+      }
+      qindb::QinDb* db = node->db();
+      const uint32_t max_pairs = std::max<uint32_t>(1, scan.max_pairs);
+      rpc::RepairPage page;
+      bool full = false;
+      size_t budget = 0;
+      const uint32_t start_shard = scan.cursor.resume ? scan.cursor.shard : 0;
+      for (uint32_t shard = start_shard; shard < db->num_shards() && !full;
+           ++shard) {
+        MemIndex::Iterator it(&db->memtable(shard));
+        if (scan.cursor.resume && shard == scan.cursor.shard) {
+          // The cursor names the last pair already returned; skip past it.
+          // The index orders versions descending within a key, so "past"
+          // is every entry of the cursor key at or above its version.
+          const Slice cursor_key(scan.cursor.key);
+          it.Seek(cursor_key);
+          while (it.Valid() && it.entry()->user_key() == cursor_key &&
+                 it.entry()->version >= scan.cursor.version) {
+            it.Next();
+          }
+        }
+        for (; it.Valid(); it.Next()) {
+          MemEntry* entry = it.entry();
+          // Deleted pairs are not copied: a repaired node that never hears
+          // of the pair equals one that heard of it and its deletion.
+          if (entry->deleted.load(std::memory_order_acquire)) continue;
+          rpc::RepairPair pair;
+          pair.key = entry->user_key().ToString();
+          pair.version = entry->version;
+          if (!scan.keys_only) {
+            // Resolves the dedup traceback too, so the page carries full
+            // values the receiver can store without this node's chain.
+            Result<std::string> value = db->Get(pair.key, pair.version);
+            if (!value.ok()) continue;  // Collected mid-scan; skip.
+            pair.value = std::move(value).value();
+          }
+          budget += pair.key.size() + pair.value.size() + 16;
+          page.pairs.push_back(std::move(pair));
+          if (page.pairs.size() >= max_pairs ||
+              budget >= rpc::kRepairPageBudgetBytes) {
+            page.next.shard = shard;
+            page.next.version = page.pairs.back().version;
+            page.next.key = page.pairs.back().key;
+            page.next.resume = true;
+            full = true;
+            break;
+          }
+        }
+      }
+      page.done = !full;
+      std::string payload;
+      rpc::EncodeRepairPage(page, &payload);
+      return rpc::MakeResponse(request, Status::OK(), std::move(payload));
     }
     case rpc::Opcode::kBulkAbort: {
       std::shared_ptr<BulkIngestSession> session;

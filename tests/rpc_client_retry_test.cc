@@ -1,0 +1,159 @@
+// RpcClient reconnect/backoff behavior: the capped-exponential schedule and
+// its jitter bounds (pinned via BackoffDelayMsForTest, no sleeping), the
+// seeded determinism chaos schedules rely on, the wall-clock retry budget
+// against a connection-refused target, and reconnect-and-resend across a
+// server restart on the same port.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mint/cluster.h"
+#include "rpc/client.h"
+#include "rpc/socket.h"
+#include "server/kv_server.h"
+
+namespace directload::rpc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// A loopback port with nothing listening: bind an ephemeral listener, read
+/// its port, close it. Connects are then refused instantly, which keeps the
+/// retry-budget measurements about the budget rather than connect timeouts.
+uint16_t ClosedPort() {
+  Result<Socket> listener = Listen("127.0.0.1", 0, 1);
+  EXPECT_TRUE(listener.ok());
+  Result<uint16_t> port = LocalPort(*listener);
+  EXPECT_TRUE(port.ok());
+  return *port;  // Listener closes here.
+}
+
+TEST(RpcClientBackoffTest, ScheduleDoublesFromInitialAndClampsAtCap) {
+  RpcClient::Options options;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 200;
+  RpcClient client("127.0.0.1", 1, options);
+
+  // Base for attempt k is min(initial << (k-1), cap); the jittered delay
+  // lands in [base - base/2, base].
+  int expected_base = 5;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const int delay = client.BackoffDelayMsForTest(attempt);
+    EXPECT_GE(delay, expected_base - expected_base / 2)
+        << "attempt " << attempt;
+    EXPECT_LE(delay, expected_base) << "attempt " << attempt;
+    if (expected_base < 200) expected_base = std::min(200, expected_base * 2);
+  }
+
+  // Deep attempts stay clamped at the cap.
+  for (int attempt = 13; attempt <= 40; ++attempt) {
+    const int delay = client.BackoffDelayMsForTest(attempt);
+    EXPECT_GE(delay, 100);
+    EXPECT_LE(delay, 200);
+  }
+}
+
+TEST(RpcClientBackoffTest, JitterIsDeterministicPerSeed) {
+  RpcClient::Options options;
+  options.backoff_seed = 42;
+  RpcClient a("127.0.0.1", 1, options);
+  RpcClient b("127.0.0.1", 1, options);
+  std::vector<int> seq_a, seq_b;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    seq_a.push_back(a.BackoffDelayMsForTest(attempt));
+    seq_b.push_back(b.BackoffDelayMsForTest(attempt));
+  }
+  // Same seed, same schedule — the property chaos replays depend on.
+  EXPECT_EQ(seq_a, seq_b);
+
+  options.backoff_seed = 43;
+  RpcClient c("127.0.0.1", 1, options);
+  std::vector<int> seq_c;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    seq_c.push_back(c.BackoffDelayMsForTest(attempt));
+  }
+  // A different seed draws a different jitter stream. (Equality of every
+  // one of 16 jittered draws across seeds would be astronomically
+  // unlikely, not merely flaky.)
+  EXPECT_NE(seq_a, seq_c);
+}
+
+TEST(RpcClientBackoffTest, RetryBudgetBoundsWallClock) {
+  RpcClient::Options options;
+  options.connect_timeout_ms = 250;
+  options.max_reconnects = 1000;  // The budget, not the count, must stop it.
+  options.backoff_initial_ms = 40;
+  options.backoff_max_ms = 40;
+  options.retry_budget_ms = 150;
+  RpcClient client("127.0.0.1", ClosedPort(), options);
+
+  const Clock::time_point start = Clock::now();
+  const Status s = client.Ping();
+  const double elapsed_ms = ElapsedMs(start);
+
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  // At least one jittered backoff (>= 20ms) was slept before the budget
+  // cut the loop off; well under the 1000-reconnect worst case.
+  EXPECT_GE(elapsed_ms, 20.0);
+  EXPECT_LE(elapsed_ms, 2000.0);
+}
+
+TEST(RpcClientBackoffTest, NoReconnectsFailsFast) {
+  RpcClient::Options options;
+  options.connect_timeout_ms = 250;
+  options.max_reconnects = 0;  // Probe configuration: a retry IS a miss.
+  RpcClient client("127.0.0.1", ClosedPort(), options);
+
+  const Clock::time_point start = Clock::now();
+  EXPECT_TRUE(client.Ping().IsUnavailable());
+  // No backoff sleeps at all: one refused connect and out.
+  EXPECT_LE(ElapsedMs(start), 1000.0);
+}
+
+TEST(RpcClientReconnectTest, ReconnectsAcrossServerRestartOnSamePort) {
+  mint::MintOptions mint_options;
+  mint_options.num_groups = 1;
+  mint_options.nodes_per_group = 1;
+  mint_options.replicas = 1;
+  mint_options.parallel_reads = false;
+  mint_options.engine.aof.segment_bytes = 4 << 20;
+  mint::MintCluster cluster(mint_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto server = std::make_unique<server::KvServer>(&cluster,
+                                                   server::KvServerOptions());
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  RpcClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.Put("k", 1, "v1").ok());
+
+  // Bounce the server on the same port; the established connection dies.
+  server->Shutdown();
+  server.reset();
+  server::KvServerOptions restart_options;
+  restart_options.port = port;
+  server = std::make_unique<server::KvServer>(&cluster, restart_options);
+  ASSERT_TRUE(server->Start().ok());
+
+  // The same client object must reconnect-and-resend transparently: every
+  // operation is idempotent, so replaying across the new connection is
+  // safe, and the default options allow reconnects.
+  Result<std::string> read = client.Get("k", 1);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, "v1");
+  EXPECT_TRUE(client.Put("k", 2, "v2").ok());
+  server->Shutdown();
+}
+
+}  // namespace
+}  // namespace directload::rpc
