@@ -64,6 +64,17 @@ struct LoadgenConfig {
   /// Engine shards per node for the in-process cluster; 0 keeps the engine
   /// default (hardware_concurrency). Ignored with --connect.
   int shards = 0;
+  /// Zipfian skew for the mixed-workload key draw; 0 keeps the legacy
+  /// uniform draw. Read-mostly cache runs use ~0.99 (YCSB's default) so a
+  /// hot set emerges for the block cache to capture.
+  double zipf_theta = 0;
+  /// AOF block cache budget per node engine, in MiB (0 = cache off).
+  /// Ignored with --connect.
+  int cache_mb = 0;
+  /// Write version 1 over the whole key space before measuring, so a
+  /// read-mostly run starts from a fully populated store instead of a
+  /// NotFound storm.
+  bool preload = false;
   /// Rollover mode: preload version 1 over the key space, then stream a
   /// full version 2 into the live server with a BulkLoader while closed-loop
   /// Zipfian readers measure serving latency through the load. `threads`
@@ -126,6 +137,13 @@ void RunClientThread(const LoadgenConfig& config, const std::string& host,
   }
   Random rng(0x10adull * (thread_id + 1));
   const std::string value(config.value_bytes, 'x');
+  ZipfianGenerator zipf(config.key_space,
+                        config.zipf_theta > 0 ? config.zipf_theta : 0.99,
+                        0x5eedull * (thread_id + 1));
+  auto draw_key = [&]() -> uint64_t {
+    return config.zipf_theta > 0 ? zipf.Next()
+                                 : rng.Uniform(config.key_space);
+  };
 
   struct InFlight {
     Clock::time_point sent;
@@ -139,15 +157,14 @@ void RunClientThread(const LoadgenConfig& config, const std::string& host,
     request.request_id = client.NextRequestId();
     const bool is_write =
         static_cast<int>(rng.Uniform(100)) < config.write_pct;
-    const std::string key =
-        "bench:k" + std::to_string(rng.Uniform(config.key_space));
+    const std::string key = "bench:k" + std::to_string(draw_key());
     if (is_write && config.batch > 1) {
       // One kWriteBatch frame carrying `batch` PUTs: `batch` ops for one
       // round trip and (server-side) one engine commit per node.
       std::vector<rpc::BatchOp> ops(config.batch);
       for (rpc::BatchOp& op : ops) {
         op.version = next_version->fetch_add(1);
-        op.key = "bench:k" + std::to_string(rng.Uniform(config.key_space));
+        op.key = "bench:k" + std::to_string(draw_key());
         op.value = value;
       }
       request.op = rpc::Opcode::kWriteBatch;
@@ -781,6 +798,19 @@ bool ParseArgs(int argc, char** argv, LoadgenConfig* config) {
       if (!next_int(&config->server_max_write_batch)) return false;
     } else if (arg == "--shards") {
       if (!next_int(&config->shards)) return false;
+    } else if (arg == "--read-pct") {
+      int read_pct = 0;
+      if (!next_int(&read_pct) || read_pct < 0 || read_pct > 100) {
+        return false;
+      }
+      config->write_pct = 100 - read_pct;
+    } else if (arg == "--zipf-theta") {
+      if (i + 1 >= argc) return false;
+      config->zipf_theta = std::atof(argv[++i]);
+    } else if (arg == "--cache-mb") {
+      if (!next_int(&config->cache_mb)) return false;
+    } else if (arg == "--preload") {
+      config->preload = true;
     } else if (arg == "--rollover") {
       config->rollover = true;
     } else if (arg == "--rollover-slice-kb") {
@@ -840,6 +870,8 @@ int main(int argc, char** argv) {
                  "         [--write-pct P] [--pipeline D] [--value-bytes B]\n"
                  "         [--keys K] [--batch W] [--server-max-write-batch S]\n"
                  "         [--shards N] [--json=PATH] [--connect host:port]\n"
+                 "         [--read-pct P] [--zipf-theta T] [--cache-mb C]\n"
+                 "         [--preload]\n"
                  "         [--rollover] [--rollover-slice-kb KB]\n"
                  "         [--rollover-bandwidth-mbps M] "
                  "[--read-p99-gate-us U]\n"
@@ -865,6 +897,8 @@ int main(int argc, char** argv) {
     mint_options.parallel_reads = false;
     mint_options.engine.aof.segment_bytes = 8 << 20;
     mint_options.engine.num_shards = static_cast<uint32_t>(config.shards);
+    mint_options.engine.cache_bytes =
+        static_cast<uint64_t>(config.cache_mb) << 20;
     cluster = std::make_unique<mint::MintCluster>(mint_options);
     Status s = cluster->Start();
     if (!s.ok()) {
@@ -896,15 +930,40 @@ int main(int argc, char** argv) {
   }
 
   std::printf("loadgen: %d threads x %d requests, %d%% writes, pipeline "
-              "depth %d, %dB values, %d keys, %d write ops/frame\n",
+              "depth %d, %dB values, %d keys, %d write ops/frame, "
+              "zipf=%.2f, cache=%dMiB\n",
               config.threads, config.ops_per_thread, config.write_pct,
               config.pipeline, config.value_bytes, config.key_space,
-              config.batch);
+              config.batch, config.zipf_theta, config.cache_mb);
 
-  std::atomic<uint64_t> next_version{1};
+  if (config.preload) {
+    const std::string v1_value(config.value_bytes, 'p');
+    std::printf("preloading v1 over %d keys...\n", config.key_space);
+    if (Status s = PreloadVersion(host, port, config, 1, v1_value);
+        !s.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::atomic<uint64_t> next_version{2};
   std::vector<ThreadResult> results(config.threads);
   std::vector<std::thread> threads;
   threads.reserve(config.threads);
+  // Simulated device time consumed by the nodes (SimClock micros): the
+  // machine-independent cost a real SSD would add to the wall numbers. A
+  // cache hit skips the device entirely, so this is where the cache's
+  // effect is measured free of loopback-socket noise. Unavailable (zero)
+  // when pointed at an external server.
+  auto device_micros_now = [&]() -> uint64_t {
+    if (cluster == nullptr) return 0;
+    uint64_t total = 0;
+    for (int n = 0; n < cluster->num_nodes(); ++n) {
+      total += cluster->node(n)->clock()->NowMicros();
+    }
+    return total;
+  };
+  const uint64_t device_micros_before = device_micros_now();
   const Clock::time_point start = Clock::now();
   for (int t = 0; t < config.threads; ++t) {
     threads.emplace_back(RunClientThread, std::cref(config), std::cref(host),
@@ -912,6 +971,7 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : threads) t.join();
   const double elapsed_seconds = MicrosSince(start) * 1e-6;
+  const uint64_t device_micros = device_micros_now() - device_micros_before;
 
   Histogram reads, writes;
   uint64_t ok = 0, busy = 0, not_found = 0, errors = 0, extra_ops = 0;
@@ -935,6 +995,18 @@ int main(int argc, char** argv) {
               (unsigned long long)busy, (unsigned long long)errors);
   std::printf("throughput: %.0f ops/s (%llu ops in %.2fs)\n", ops_per_sec,
               (unsigned long long)completed, elapsed_seconds);
+  // Modeled throughput = ops over wall time PLUS the simulated device time
+  // the run consumed — what the same run costs when the 80us/page device
+  // model is real hardware instead of a SimClock entry.
+  const double modeled_seconds =
+      elapsed_seconds + static_cast<double>(device_micros) * 1e-6;
+  const double modeled_ops_per_sec =
+      modeled_seconds > 0 ? completed / modeled_seconds : 0.0;
+  if (device_micros > 0) {
+    std::printf("modeled (wall + device time): %.0f ops/s (%.3fs device)\n",
+                modeled_ops_per_sec,
+                static_cast<double>(device_micros) * 1e-6);
+  }
 
   bench::JsonReport report;
   report.AddString("bench", "server_loadgen");
@@ -945,7 +1017,11 @@ int main(int argc, char** argv) {
   report.Add("batch", config.batch);
   report.Add("value_bytes", config.value_bytes);
   report.Add("shards", config.shards);
+  report.Add("zipf_theta", config.zipf_theta);
+  report.Add("cache_mb", config.cache_mb);
   report.Add("ops_per_sec", ops_per_sec);
+  report.Add("device_micros", device_micros);
+  report.Add("modeled_ops_per_sec", modeled_ops_per_sec);
   report.Add("completed_ops", completed);
   report.Add("read_p50_us", reads.Percentile(50));
   report.Add("read_p95_us", reads.Percentile(95));

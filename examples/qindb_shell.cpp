@@ -22,9 +22,10 @@
 //
 // Two networked modes expose the same store over the RPC front end:
 //
-//   qindb_shell --serve 7000            host a small mint cluster behind a
-//                                       KvServer on port 7000; stdin accepts
-//                                       'stats' and 'quit' (drains first)
+//   qindb_shell --serve 7000 [cache_mb] host a small mint cluster behind a
+//                                       KvServer on port 7000 (optionally
+//                                       with a block-cache budget); stdin
+//                                       accepts 'stats' and 'quit'
 //   qindb_shell --connect host:7000     remote shell over RpcClient:
 //                                       put/dedup/get/latest/del/stats/ping
 
@@ -66,19 +67,27 @@ void PrintStats(qindb::QinDb* db, ssd::SsdEnv* env, SimClock* clock) {
               (double)db->DiskBytes() / 1024.0,
               env->stats().write_amplification(),
               (double)clock->NowMicros() / 1000.0);
+  const qindb::EngineCacheTotals c = db->CacheTotals();
+  std::printf("cache:  hits=%llu misses=%llu charged=%llu KiB "
+              "(cold versions=%llu)\n",
+              (unsigned long long)c.cache_hits,
+              (unsigned long long)c.cache_misses,
+              (unsigned long long)(c.cache_charged_bytes / 1024),
+              (unsigned long long)c.cold_versions);
 }
 
 // Hosts a small mint cluster behind a KvServer so remote shells and the
 // load generator have something to talk to. Blocks on stdin; 'quit' (or
 // EOF) drains in-flight requests before exiting so every acked write is
 // applied.
-int RunServeMode(uint16_t port) {
+int RunServeMode(uint16_t port, int cache_mb) {
   mint::MintOptions options;
   options.num_groups = 2;
   options.nodes_per_group = 1;
   options.replicas = 1;
   options.parallel_reads = false;
   options.engine.aof.segment_bytes = 8 << 20;
+  options.engine.cache_bytes = static_cast<uint64_t>(cache_mb) << 20;
   mint::MintCluster cluster(options);
   Status s = cluster.Start();
   if (!s.ok()) {
@@ -306,8 +315,9 @@ int RunLocalShell() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::string(argv[1]) == "--serve") {
-    return RunServeMode(static_cast<uint16_t>(std::atoi(argv[2])));
+  if ((argc == 3 || argc == 4) && std::string(argv[1]) == "--serve") {
+    return RunServeMode(static_cast<uint16_t>(std::atoi(argv[2])),
+                        argc == 4 ? std::atoi(argv[3]) : 0);
   }
   if (argc == 3 && std::string(argv[1]) == "--connect") {
     const std::string target = argv[2];
@@ -322,7 +332,7 @@ int main(int argc, char** argv) {
   }
   if (argc != 1) {
     std::fprintf(stderr,
-                 "usage: qindb_shell [--serve <port> | --connect "
+                 "usage: qindb_shell [--serve <port> [cache_mb] | --connect "
                  "<host:port>]\n");
     return 1;
   }

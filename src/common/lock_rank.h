@@ -124,6 +124,25 @@ enum class LockRank : int {
   /// Sibling instances: one per env, named `ssd-env(ftl)` /
   /// `ssd-env(native)`.
   kSsdEnv = 40,
+  /// Lock: `VersionIndexRegistry::mu_` — the shard's cold-version map,
+  /// per-version access ticks and scan-pin count.
+  /// Sibling instances: one per shard, named `qindb-registry/sNN`.
+  ///
+  /// Taken briefly from read paths (cold check, access touch) and from
+  /// mutators under kQinDbWrite/kAofManager; nothing is ever acquired
+  /// while holding it.
+  kQinDbVersionRegistry = 42,
+  /// Lock: per-stripe `BlockCache` mutex — one stripe's LRU lists, hash
+  /// map, admission sketch and byte accounting.
+  /// Sibling instances: one per cache stripe per shard, named
+  /// `qindb-cache/sNN/K`; a thread touches exactly one stripe per cache
+  /// operation (the stripe is chosen by the record address), so two stripe
+  /// locks are never nested.
+  ///
+  /// Ranked above kAofManager and kSsdEnv because GC relocation callbacks
+  /// re-key cache entries while holding the AOF lock, and read-path inserts
+  /// run right after a device read.
+  kQinDbBlockCache = 44,
   /// Lock: `Shard::pin_mu_` — the shard's `mem_` pointer swap and
   /// `retired_` list (leaf).
   /// Sibling instances: one per shard, named `qindb-pin/sNN`.

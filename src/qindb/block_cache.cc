@@ -1,0 +1,275 @@
+#include "qindb/block_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace directload::qindb {
+
+namespace {
+
+constexpr size_t kNumStripes = 4;
+
+/// Bookkeeping bytes charged per entry on top of the key/value payload:
+/// two list pointers, the hash-map slot, and the Entry header. An estimate,
+/// deliberately on the high side so the real footprint stays under budget.
+constexpr uint64_t kEntryOverhead = 64;
+
+/// splitmix64 finalizer: cheap, full-avalanche mixing of the packed
+/// address (whose low bits are file offsets with poor entropy).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string StripeName(uint32_t shard_id, size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "qindb-cache/s%02u/%zu", shard_id, index);
+  return buf;
+}
+
+}  // namespace
+
+void BlockCache::FrequencySketch::Init(uint64_t budget_bytes) {
+  // One counter per ~256 budget bytes: enough resolution to rank a working
+  // set several times larger than the cache, at <0.5% of the budget in
+  // sketch overhead.
+  uint64_t want = budget_bytes / 256;
+  want = std::clamp<uint64_t>(want, 256, 1u << 18);
+  uint64_t size = 256;
+  while (size < want) size <<= 1;
+  counters.assign(size, 0);
+  mask = size - 1;
+  observations = 0;
+}
+
+void BlockCache::FrequencySketch::Observe(uint64_t hash) {
+  const uint64_t h2 = (hash >> 32) | (hash << 32);
+  const uint32_t current = Estimate(hash);
+  for (uint64_t i = 0; i < 4; ++i) {
+    uint8_t& c = counters[(hash + i * h2) & mask];
+    // Conservative update: only the minimal counters advance, which keeps
+    // unrelated keys sharing a slot from inflating each other.
+    if (c == current && c < 255) ++c;
+  }
+  if (++observations >= counters.size() * 8) Age();
+}
+
+uint32_t BlockCache::FrequencySketch::Estimate(uint64_t hash) const {
+  const uint64_t h2 = (hash >> 32) | (hash << 32);
+  uint32_t min = 255;
+  for (uint64_t i = 0; i < 4; ++i) {
+    min = std::min<uint32_t>(min, counters[(hash + i * h2) & mask]);
+  }
+  return min;
+}
+
+void BlockCache::FrequencySketch::Age() {
+  // Halving keeps relative order while decaying history, so a key that was
+  // hot an hour ago cannot block today's working set forever.
+  for (uint8_t& c : counters) c >>= 1;
+  observations = 0;
+}
+
+BlockCache::Stripe::Stripe(uint64_t stripe_budget, uint32_t shard_id,
+                           size_t idx)
+    : name_storage(StripeName(shard_id, idx)),
+      mu_(LockRank::kQinDbBlockCache, name_storage.c_str()),
+      budget(stripe_budget),
+      protected_cap(stripe_budget - stripe_budget / 5) {
+  MutexLock lock(&mu_);
+  sketch.Init(stripe_budget);
+}
+
+BlockCache::BlockCache(uint64_t budget_bytes, uint32_t shard_id)
+    : budget_bytes_(budget_bytes) {
+  stripes_.reserve(kNumStripes);
+  for (size_t i = 0; i < kNumStripes; ++i) {
+    stripes_.push_back(
+        std::make_unique<Stripe>(budget_bytes / kNumStripes, shard_id, i));
+  }
+}
+
+BlockCache::Stripe& BlockCache::StripeFor(uint64_t address) {
+  return *stripes_[(Mix64(address) >> 60) & (kNumStripes - 1)];
+}
+
+bool BlockCache::Lookup(uint64_t address, const Slice& key, uint64_t version,
+                        std::string* value) {
+  Stripe& s = StripeFor(address);
+  const uint64_t h = Mix64(address);
+  MutexLock lock(&s.mu_);
+  s.sketch.Observe(h);
+  auto it = s.index.find(address);
+  if (it == s.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  EntryList::iterator node = it->second;
+  if (node->version != version || Slice(node->key) != key) {
+    // Identity mismatch: an invalidation site was missed. Never serve the
+    // bytes; drop the entry and fall through to the device.
+    RemoveLocked(s, node);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (node->is_protected) {
+    s.prot.splice(s.prot.begin(), s.prot, node);
+  } else {
+    // First repeat hit: promote into the protected segment, demoting its
+    // coldest entries back to probation until the cap holds again.
+    s.prot.splice(s.prot.begin(), s.probation, node);
+    node->is_protected = true;
+    s.protected_bytes += node->charge;
+    while (s.protected_bytes > s.protected_cap && s.prot.size() > 1) {
+      EntryList::iterator tail = std::prev(s.prot.end());
+      tail->is_protected = false;
+      s.protected_bytes -= tail->charge;
+      s.probation.splice(s.probation.begin(), s.prot, tail);
+    }
+  }
+  *value = node->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void BlockCache::Insert(uint64_t address, const Slice& key, uint64_t version,
+                        const Slice& value) {
+  Stripe& s = StripeFor(address);
+  const uint64_t h = Mix64(address);
+  const uint64_t charge = key.size() + value.size() + kEntryOverhead;
+  MutexLock lock(&s.mu_);
+  if (s.index.find(address) != s.index.end()) {
+    // Records are immutable once written: the cached bytes are the bytes.
+    return;
+  }
+  if (charge > s.budget) {
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!MakeRoomLocked(s, charge,
+                      static_cast<int64_t>(s.sketch.Estimate(h)))) {
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Entry e;
+  e.address = address;
+  e.version = version;
+  e.key = key.ToString();
+  e.value = value.ToString();
+  e.charge = charge;
+  e.is_protected = false;
+  InsertEntryLocked(s, std::move(e));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BlockCache::Erase(uint64_t address) {
+  Stripe& s = StripeFor(address);
+  MutexLock lock(&s.mu_);
+  auto it = s.index.find(address);
+  if (it != s.index.end()) RemoveLocked(s, it->second);
+}
+
+void BlockCache::Rekey(uint64_t old_address, uint64_t new_address) {
+  if (old_address == new_address) return;
+  Stripe& from = StripeFor(old_address);
+  Stripe& to = StripeFor(new_address);
+  if (&from == &to) {
+    MutexLock lock(&from.mu_);
+    auto it = from.index.find(old_address);
+    if (it == from.index.end()) return;
+    EntryList::iterator node = it->second;
+    from.index.erase(it);
+    // Addresses are never reused, so the new slot must be empty; stay
+    // defensive and drop any impostor rather than leaving two mappings.
+    auto prev = from.index.find(new_address);
+    if (prev != from.index.end()) RemoveLocked(from, prev->second);
+    node->address = new_address;
+    from.index.emplace(new_address, node);
+    return;
+  }
+  // The stripes share a rank, so the two locks are taken one after the
+  // other, never nested: extract under the old stripe's lock, re-insert
+  // under the new one's.
+  Entry moved;
+  {
+    MutexLock lock(&from.mu_);
+    auto it = from.index.find(old_address);
+    if (it == from.index.end()) return;
+    moved = std::move(*it->second);
+    RemoveLocked(from, it->second);
+  }
+  moved.address = new_address;
+  MutexLock lock(&to.mu_);
+  auto prev = to.index.find(new_address);
+  if (prev != to.index.end()) RemoveLocked(to, prev->second);
+  if (moved.charge > to.budget) return;
+  MakeRoomLocked(to, moved.charge, -1);  // freq < 0: plain eviction, no duel.
+  InsertEntryLocked(to, std::move(moved));
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  out.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Stripe>& s : stripes_) {
+    MutexLock lock(&s->mu_);
+    out.charged_bytes += s->charged;
+    out.entries += s->index.size();
+  }
+  return out;
+}
+
+bool BlockCache::MakeRoomLocked(Stripe& s, uint64_t incoming,
+                                int64_t candidate_freq) {
+  while (s.charged + incoming > s.budget) {
+    EntryList& victims = s.probation.empty() ? s.prot : s.probation;
+    if (victims.empty()) return true;  // Nothing cached; caller bounded size.
+    EntryList::iterator victim = std::prev(victims.end());
+    if (candidate_freq >= 0) {
+      // TinyLFU duel: the newcomer must beat the victim's frequency, or a
+      // one-touch scan would churn the whole segment through the cache.
+      const int64_t victim_freq = s.sketch.Estimate(Mix64(victim->address));
+      if (victim_freq >= candidate_freq) return false;
+    }
+    evicted_bytes_.fetch_add(victim->charge, std::memory_order_relaxed);
+    RemoveLocked(s, victim);
+  }
+  return true;
+}
+
+void BlockCache::RemoveLocked(Stripe& s, EntryList::iterator it) {
+  s.index.erase(it->address);
+  s.charged -= it->charge;
+  if (it->is_protected) {
+    s.protected_bytes -= it->charge;
+    s.prot.erase(it);
+  } else {
+    s.probation.erase(it);
+  }
+}
+
+void BlockCache::InsertEntryLocked(Stripe& s, Entry&& entry) {
+  const uint64_t charge = entry.charge;
+  const bool into_protected = entry.is_protected;
+  EntryList& list = into_protected ? s.prot : s.probation;
+  list.push_front(std::move(entry));
+  s.index.emplace(list.begin()->address, list.begin());
+  s.charged += charge;
+  if (into_protected) {
+    s.protected_bytes += charge;
+    while (s.protected_bytes > s.protected_cap && s.prot.size() > 1) {
+      EntryList::iterator tail = std::prev(s.prot.end());
+      tail->is_protected = false;
+      s.protected_bytes -= tail->charge;
+      s.probation.splice(s.probation.begin(), s.prot, tail);
+    }
+  }
+}
+
+}  // namespace directload::qindb

@@ -1,0 +1,161 @@
+#ifndef DIRECTLOAD_QINDB_BLOCK_CACHE_H_
+#define DIRECTLOAD_QINDB_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/thread_annotations.h"
+
+namespace directload::qindb {
+
+/// Memory-budgeted read cache for AOF record values, one instance per shard.
+///
+/// A cache hit serves a `Get` straight from memory — no AofManager lock, no
+/// device command. Entries are keyed by the packed `RecordAddress` the
+/// memtable stores, which makes correctness tractable: the AOF never reuses
+/// an address (segment ids are monotonic), and every read starts from the
+/// entry's *current* address, so a stale mapping is unreachable by
+/// construction. Invalidation (GC relocation, segment erase, supersede,
+/// ingest abort, DropVersion) is still performed eagerly at every site that
+/// kills or moves a record — cached bytes for dead records are wasted
+/// budget, and the defensive key/version check in `Lookup` must never be
+/// the only line of defense.
+///
+/// Structure: N internal stripes (selected by address hash), each an
+/// independently locked segmented LRU — a *probation* list for first-time
+/// admissions and a *protected* list (capped at ~80% of the stripe budget)
+/// that an entry is promoted into on its first repeat hit. Admission under
+/// pressure is TinyLFU-style: every lookup feeds a compact frequency sketch
+/// (4-way count-min of saturating counters, periodically halved), and a
+/// candidate only displaces the probation-LRU victim when the sketch says
+/// it has been touched more often. One-touch scan traffic therefore cannot
+/// wash the hot set out of the protected segment.
+///
+/// Thread safety: every public method locks exactly one stripe mutex
+/// (LockRank::kQinDbBlockCache) and acquires nothing under it, so callers
+/// may invoke the cache while holding any lower-ranked engine lock — the
+/// write mutex, the AOF lock inside GC callbacks, or none at all on the
+/// lock-free read path.
+class BlockCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t admission_rejects = 0;
+    uint64_t evicted_bytes = 0;
+    uint64_t charged_bytes = 0;
+    uint64_t entries = 0;
+  };
+
+  /// `budget_bytes` is this shard's slice of `Options::cache_bytes`;
+  /// `shard_id` only names the stripe locks for the rank checker.
+  BlockCache(uint64_t budget_bytes, uint32_t shard_id);
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns true and fills `*value` when `address` is cached AND the
+  /// cached identity matches the caller's (key, version). A mismatch —
+  /// impossible unless an invalidation site was missed — erases the entry
+  /// and reports a miss rather than ever returning wrong bytes. Every call
+  /// (hit or miss) feeds the admission sketch, so a key that keeps missing
+  /// accumulates the frequency it needs to get admitted.
+  bool Lookup(uint64_t address, const Slice& key, uint64_t version,
+              std::string* value);
+
+  /// Offers a record the read path just fetched from the device. May be
+  /// dropped by the admission filter (budget full and the sketch ranks the
+  /// probation victim higher) or because the entry alone exceeds the
+  /// stripe budget; both count as `admission_rejects`.
+  void Insert(uint64_t address, const Slice& key, uint64_t version,
+              const Slice& value);
+
+  /// Drops the entry for `address`, if cached. Called from every site that
+  /// kills a record: supersede, delete accounting, GC drop, segment erase,
+  /// ingest abort, DropVersion.
+  void Erase(uint64_t address);
+
+  /// Moves a cached entry to a new address (GC relocated the record; the
+  /// bytes are identical). Keeps the entry's LRU position and segment.
+  void Rekey(uint64_t old_address, uint64_t new_address);
+
+  /// Point-in-time counter snapshot (monotonic counters plus current
+  /// charge). Cheap enough for a stats endpoint: atomics plus one brief
+  /// lock per stripe for the charge/entry totals.
+  Stats stats() const;
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    uint64_t address = 0;
+    uint64_t version = 0;
+    std::string key;
+    std::string value;
+    uint64_t charge = 0;
+    bool is_protected = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  /// 4-way count-min sketch of access frequencies with saturating 8-bit
+  /// counters. After `kAgeSamplePeriod × size` observations every counter
+  /// is halved, so frequency estimates decay and yesterday's hot keys can
+  /// be displaced. All methods require the owning stripe's lock.
+  struct FrequencySketch {
+    std::vector<uint8_t> counters;  // Power-of-two size.
+    uint64_t mask = 0;
+    uint64_t observations = 0;
+
+    void Init(uint64_t budget_bytes);
+    void Observe(uint64_t hash);
+    uint32_t Estimate(uint64_t hash) const;
+    void Age();
+  };
+
+  struct Stripe {
+    Stripe(uint64_t budget, uint32_t shard_id, size_t index);
+
+    const std::string name_storage;
+    Mutex mu_;
+    const uint64_t budget;
+    const uint64_t protected_cap;  // ~80% of budget.
+
+    EntryList probation GUARDED_BY(mu_);
+    EntryList prot GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, EntryList::iterator> index GUARDED_BY(mu_);
+    uint64_t charged GUARDED_BY(mu_) = 0;
+    uint64_t protected_bytes GUARDED_BY(mu_) = 0;
+    FrequencySketch sketch GUARDED_BY(mu_);
+  };
+
+  Stripe& StripeFor(uint64_t address);
+
+  /// Evicts from the probation tail (protected tail once probation is
+  /// empty) until `incoming` more bytes fit. When `candidate_freq` is
+  /// non-negative the TinyLFU duel applies: returns false (reject the
+  /// candidate, evict nothing further) if the next victim's estimated
+  /// frequency is at least the candidate's. REQUIRES(s.mu_).
+  bool MakeRoomLocked(Stripe& s, uint64_t incoming, int64_t candidate_freq)
+      REQUIRES(s.mu_);
+  void RemoveLocked(Stripe& s, EntryList::iterator it) REQUIRES(s.mu_);
+  void InsertEntryLocked(Stripe& s, Entry&& entry) REQUIRES(s.mu_);
+
+  const uint64_t budget_bytes_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> evicted_bytes_{0};
+};
+
+}  // namespace directload::qindb
+
+#endif  // DIRECTLOAD_QINDB_BLOCK_CACHE_H_

@@ -43,6 +43,21 @@ struct QinDbOptions {
   /// drive GC manually (benchmarks that isolate GC cost do this).
   bool auto_gc = true;
 
+  /// Byte budget for the AOF block cache, split evenly across shards. Cache
+  /// hits serve `Get` values straight from memory without touching the
+  /// device; a TinyLFU admission filter keeps one-touch scans from washing
+  /// out the hot set. Zero (the default) disables the cache entirely — the
+  /// read path then has no cache branches beyond one null check.
+  uint64_t cache_bytes = 0;
+
+  /// Byte budget for resident memtable index memory, split evenly across
+  /// shards. When a shard's index arena exceeds its slice, cold versions
+  /// (least recently read, and only when provably safe — no deleted
+  /// entries, no dedup chains through them) unload to version metadata and
+  /// re-materialize on first access by replaying their AOF records. Zero
+  /// (the default) keeps every version resident forever.
+  uint64_t index_memory_bytes = 0;
+
   /// Group commit. When on, concurrent writers enqueue their batches and
   /// the first thread into the shard's write mutex becomes the leader: it
   /// drains the queue up to the budgets below and commits the whole group
@@ -96,6 +111,34 @@ struct ShardStatsSnapshot {
   uint64_t live_entries = 0;
   size_t segments = 0;
   bool degraded = false;
+
+  // Block cache (all zero when the cache is disabled).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_admission_rejects = 0;
+  uint64_t cache_evicted_bytes = 0;
+  uint64_t cache_charged_bytes = 0;
+
+  // Version-index registry (all zero when lazy indexes are disabled).
+  uint64_t index_loads = 0;
+  uint64_t index_unloads = 0;
+  uint64_t resident_versions = 0;
+  uint64_t cold_versions = 0;
+};
+
+/// Facade-level sum of the per-shard snapshots (see QinDb::TotalStats).
+struct EngineCacheTotals {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_admission_rejects = 0;
+  uint64_t cache_evicted_bytes = 0;
+  uint64_t cache_charged_bytes = 0;
+  uint64_t index_loads = 0;
+  uint64_t index_unloads = 0;
+  uint64_t resident_versions = 0;
+  uint64_t cold_versions = 0;
 };
 
 }  // namespace directload::qindb

@@ -176,6 +176,10 @@ Result<std::unique_ptr<QinDb>> QinDb::Open(ssd::SsdEnv* env,
     shard_options.aof.file_prefix =
         num_shards == 1 ? "" : ShardFilePrefix(shard_id);
     shard_options.aof.shared_gc_stats = &db->gc_stats_;
+    // The memory budgets are engine-wide; each shard governs its slice.
+    shard_options.cache_bytes = db->options_.cache_bytes / num_shards;
+    shard_options.index_memory_bytes =
+        db->options_.index_memory_bytes / num_shards;
     Result<std::unique_ptr<Shard>> shard = Shard::Open(
         env, shard_options, shard_id, &db->stats_, &db->reads_in_flight_);
     if (shard.ok()) {
@@ -214,6 +218,24 @@ bool QinDb::degraded() const {
     if (shard->degraded()) return true;
   }
   return false;
+}
+
+EngineCacheTotals QinDb::CacheTotals() const {
+  EngineCacheTotals out;
+  for (const auto& shard : shards_) {
+    const ShardStatsSnapshot s = shard->StatsSnapshot();
+    out.cache_hits += s.cache_hits;
+    out.cache_misses += s.cache_misses;
+    out.cache_inserts += s.cache_inserts;
+    out.cache_admission_rejects += s.cache_admission_rejects;
+    out.cache_evicted_bytes += s.cache_evicted_bytes;
+    out.cache_charged_bytes += s.cache_charged_bytes;
+    out.index_loads += s.index_loads;
+    out.index_unloads += s.index_unloads;
+    out.resident_versions += s.resident_versions;
+    out.cold_versions += s.cold_versions;
+  }
+  return out;
 }
 
 Status QinDb::Put(const Slice& key, uint64_t version, const Slice& value,

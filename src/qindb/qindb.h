@@ -255,6 +255,10 @@ class QinDb {
     return shards_[shard]->StatsSnapshot();
   }
 
+  /// Engine-wide cache and registry counters: the per-shard snapshots
+  /// summed (the stats endpoint's one-line view of the read path).
+  EngineCacheTotals CacheTotals() const;
+
   const QinDbStats& stats() const { return stats_; }
   const aof::GcStats& gc_stats() const { return gc_stats_; }
 

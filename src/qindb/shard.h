@@ -16,7 +16,9 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "memtable/mem_index.h"
+#include "qindb/block_cache.h"
 #include "qindb/options.h"
+#include "qindb/version_registry.h"
 #include "qindb/write_batch.h"
 #include "ssd/env.h"
 
@@ -181,6 +183,9 @@ class Shard {
     Shard* shard_;
     uint64_t version_;
     std::shared_ptr<const MemIndex> index_;  // Keeps entries alive across GC.
+    /// Blocks version unloads for the scanner's lifetime: its iterator
+    /// walks the live index, and a purge mid-scan would hide rows.
+    std::shared_ptr<void> scan_pin_;
     MemIndex::Iterator it_;
     MemEntry* current_ = nullptr;
     bool valid_ = false;
@@ -241,6 +246,27 @@ class Shard {
   Status MaybeGcLocked() REQUIRES(write_mutex_);
   Status CollectVictimsLocked() REQUIRES(write_mutex_);
   Status CheckpointLocked() REQUIRES(write_mutex_);
+
+  // --- Lazy version indexes (registry_; no-ops when disabled) -----------
+
+  /// Re-materializes `version` if it is cold: replays its records from the
+  /// AOF back into the live index, then marks it resident. Idempotent.
+  Status EnsureVersionResidentLocked(uint64_t version)
+      REQUIRES(write_mutex_);
+  Status EnsureVersionResident(uint64_t version) EXCLUDES(write_mutex_);
+  /// Materializes every cold version (GetLatest, scans, scrub, checkpoint
+  /// — anything whose answer spans versions).
+  Status EnsureAllResidentLocked() REQUIRES(write_mutex_);
+  Status EnsureAllResident() EXCLUDES(write_mutex_);
+  /// The replay itself (no registry bookkeeping): scans segments >=
+  /// meta.min_segment and applies `version`'s records in log order.
+  Status MaterializeVersionLocked(uint64_t version,
+                                  const VersionIndexRegistry::ColdVersion&
+                                      meta) REQUIRES(write_mutex_);
+  /// Unloads cold versions while the index arena exceeds the registry
+  /// budget and provably-safe candidates exist. Runs at mutation
+  /// boundaries (commit tail, checkpoint tail, materialize tail).
+  void MaybeUnloadIndexLocked() REQUIRES(write_mutex_);
 
   // Legacy single-append mutation bodies (group_commit off). Shared by the
   // public entry points and the ungrouped WriteBatch path.
@@ -308,6 +334,16 @@ class Shard {
   // synchronized (LockRank::kAofManager), so a GUARDED_BY here would be
   // wrong, not just noisy.
   std::unique_ptr<aof::AofManager> aof_;  // dl-lint: ignore(guarded-by-coverage)
+
+  /// AOF record cache (null when Options::cache_bytes is 0). Internally
+  /// synchronized (LockRank::kQinDbBlockCache); reached from the lock-free
+  /// read path and from invalidation sites under write_mutex_ / the AOF
+  /// lock alike.
+  std::unique_ptr<BlockCache> cache_;  // dl-lint: ignore(guarded-by-coverage)
+
+  /// Lazy-index bookkeeping (disabled when Options::index_memory_bytes is
+  /// 0). Internally synchronized (LockRank::kQinDbVersionRegistry).
+  VersionIndexRegistry registry_;  // dl-lint: ignore(guarded-by-coverage)
 
   /// Facade-owned aggregates shared by all shards.
   QinDbStats* const stats_;

@@ -1,0 +1,113 @@
+#include "qindb/version_registry.h"
+
+#include <cstdio>
+
+namespace directload::qindb {
+
+namespace {
+
+std::string RegistryLockName(uint32_t shard_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "qindb-registry/s%02u", shard_id);
+  return buf;
+}
+
+}  // namespace
+
+VersionIndexRegistry::VersionIndexRegistry(uint64_t budget_bytes,
+                                           uint32_t shard_id)
+    : budget_bytes_(budget_bytes),
+      lock_name_(RegistryLockName(shard_id)),
+      mu_(LockRank::kQinDbVersionRegistry, lock_name_.c_str()) {}
+
+bool VersionIndexRegistry::IsCold(uint64_t version) const {
+  MutexLock lock(&mu_);
+  return cold_.find(version) != cold_.end();
+}
+
+bool VersionIndexRegistry::PeekCold(uint64_t version,
+                                    ColdVersion* meta) const {
+  MutexLock lock(&mu_);
+  auto it = cold_.find(version);
+  if (it == cold_.end()) return false;
+  *meta = it->second;
+  return true;
+}
+
+bool VersionIndexRegistry::IsColdLive(uint64_t version,
+                                      uint64_t packed) const {
+  MutexLock lock(&mu_);
+  auto it = cold_.find(version);
+  if (it == cold_.end()) return false;
+  return it->second.live_addresses.count(packed) != 0;
+}
+
+void VersionIndexRegistry::RekeyCold(uint64_t version, uint64_t old_packed,
+                                     uint64_t new_packed) {
+  MutexLock lock(&mu_);
+  auto it = cold_.find(version);
+  if (it == cold_.end()) return;
+  if (it->second.live_addresses.erase(old_packed) != 0) {
+    it->second.live_addresses.insert(new_packed);
+  }
+}
+
+std::map<uint64_t, VersionIndexRegistry::ColdVersion>
+VersionIndexRegistry::ColdSnapshot() const {
+  MutexLock lock(&mu_);
+  return cold_;
+}
+
+void VersionIndexRegistry::MarkCold(uint64_t version,
+                                    const ColdVersion& meta) {
+  MutexLock lock(&mu_);
+  if (cold_.emplace(version, meta).second) {
+    cold_count_.fetch_add(1, std::memory_order_relaxed);
+    unloads_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void VersionIndexRegistry::MarkResident(uint64_t version) {
+  MutexLock lock(&mu_);
+  if (cold_.erase(version) != 0) {
+    cold_count_.fetch_sub(1, std::memory_order_relaxed);
+    loads_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void VersionIndexRegistry::Forget(uint64_t version) {
+  MutexLock lock(&mu_);
+  if (cold_.erase(version) != 0) {
+    cold_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  access_tick_.erase(version);
+}
+
+void VersionIndexRegistry::Touch(uint64_t version) {
+  MutexLock lock(&mu_);
+  access_tick_[version] = ++tick_;
+}
+
+uint64_t VersionIndexRegistry::TickOf(uint64_t version) const {
+  MutexLock lock(&mu_);
+  auto it = access_tick_.find(version);
+  return it == access_tick_.end() ? 0 : it->second;
+}
+
+std::shared_ptr<void> VersionIndexRegistry::AcquireScanPin() {
+  scan_pins_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic<uint64_t>* pins = &scan_pins_;
+  // The token's only job is to decrement on destruction of the last copy.
+  return std::shared_ptr<void>(
+      nullptr, [pins](void*) { pins->fetch_sub(1, std::memory_order_relaxed); });
+}
+
+VersionIndexRegistry::Stats VersionIndexRegistry::stats() const {
+  Stats out;
+  out.loads = loads_.load(std::memory_order_relaxed);
+  out.unloads = unloads_.load(std::memory_order_relaxed);
+  out.cold_versions = cold_count_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace directload::qindb

@@ -1,0 +1,146 @@
+#ifndef DIRECTLOAD_QINDB_VERSION_REGISTRY_H_
+#define DIRECTLOAD_QINDB_VERSION_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/thread_annotations.h"
+
+namespace directload::qindb {
+
+/// Bookkeeping for lazy version indexes, one instance per shard.
+///
+/// When `Options::index_memory_bytes` is set, a shard whose resident index
+/// arena outgrows its slice *unloads* cold versions: their index entries are
+/// purged from the memtable and the version shrinks to the metadata held
+/// here — an entry count, the lowest AOF segment that can hold its
+/// records, and the packed address of each pair's live record. The first
+/// access that needs the version *materializes* it by replaying exactly
+/// those records from the AOF back into the index.
+///
+/// This class only tracks state (what is cold, how recently each version
+/// was read, whether scanners pin the residency set); the actual
+/// unload/materialize machinery lives in Shard, which owns the index and
+/// the AOF. Split this way, the registry can be consulted from lock-free
+/// read paths with one brief leaf-lock acquisition and no knowledge of the
+/// shard's locking story.
+///
+/// Unload safety is the shard's responsibility and deliberately
+/// conservative — a version only unloads when replay provably reconstructs
+/// the exact index state: no deleted entries (deletion state lives only in
+/// memory unless tombstones were logged), no dedup entries in it or in any
+/// newer version (a traceback chain must never descend into a cold
+/// version), no open scanners (their iterators walk the live index), and
+/// no open ingest sessions.
+class VersionIndexRegistry {
+ public:
+  struct ColdVersion {
+    uint64_t entry_count = 0;
+    /// Lowest AOF segment id holding any of the version's records, taken
+    /// from the entries' addresses at unload time. GC only ever relocates
+    /// records into *newer* segments, so the bound stays valid without
+    /// updates for the whole time the version is cold.
+    uint32_t min_segment = 0;
+    /// The packed record address of each cold pair's winning (live) copy —
+    /// exactly the addresses the purged entries pointed at. This is what
+    /// makes the replay unambiguous: superseded duplicates of a pair may
+    /// appear in any scan order once GC has relocated copies across
+    /// passes, so "last record wins" cannot be trusted; membership here
+    /// can. At ~8 bytes a pair (versus a full arena-backed index entry)
+    /// the set is the "lightweight metadata" a cold version shrinks to.
+    /// GC keeps precisely these records (classify), rewrites members on
+    /// relocation (RekeyCold), and never erases one while the version
+    /// stays cold.
+    std::unordered_set<uint64_t> live_addresses;
+  };
+
+  struct Stats {
+    uint64_t loads = 0;
+    uint64_t unloads = 0;
+    uint64_t cold_versions = 0;
+  };
+
+  /// `budget_bytes` is this shard's slice of `Options::index_memory_bytes`;
+  /// zero disables lazy indexes (nothing ever unloads, every query below
+  /// is a constant). `shard_id` names the lock for the rank checker.
+  VersionIndexRegistry(uint64_t budget_bytes, uint32_t shard_id);
+  VersionIndexRegistry(const VersionIndexRegistry&) = delete;
+  VersionIndexRegistry& operator=(const VersionIndexRegistry&) = delete;
+
+  bool enabled() const { return budget_bytes_ > 0; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+  /// Fast read-path gate: one relaxed load, true while any version is
+  /// cold. All the slow-path questions hide behind it.
+  bool AnyCold() const {
+    return cold_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  bool IsCold(uint64_t version) const;
+  bool PeekCold(uint64_t version, ColdVersion* meta) const;
+
+  /// True when `packed` is the live record address of one of `version`'s
+  /// cold pairs. Called from the GC classify callback (with the AOF
+  /// manager's lock held — this lock ranks above it for that reason).
+  bool IsColdLive(uint64_t version, uint64_t packed) const;
+
+  /// Follows a GC relocation of a cold live record (the relocate
+  /// callback): the pair's winning copy now lives at `new_packed`.
+  void RekeyCold(uint64_t version, uint64_t old_packed, uint64_t new_packed);
+
+  /// Copy of the cold map (materialize-all loops, VersionCounts).
+  std::map<uint64_t, ColdVersion> ColdSnapshot() const;
+
+  /// Moves `version` from resident to cold. The caller (Shard) has already
+  /// purged its entries from the index.
+  void MarkCold(uint64_t version, const ColdVersion& meta);
+
+  /// Marks a cold version resident again after a successful materialize
+  /// and counts the load. A failed replay leaves the version cold so the
+  /// next access retries (MemIndex::Insert is idempotent, so a partial
+  /// replay re-runs safely).
+  void MarkResident(uint64_t version);
+
+  /// Forgets a version entirely (DropVersion of a cold version).
+  void Forget(uint64_t version);
+
+  /// Records a read access for LRU ordering of unload candidates.
+  void Touch(uint64_t version);
+
+  /// Access tick of `version`; 0 when it was never touched (making
+  /// never-read versions the coldest of all).
+  uint64_t TickOf(uint64_t version) const;
+
+  /// While any pin is alive, no version may unload: scanners hold raw
+  /// iterators into the live index. The token is a plain shared_ptr so a
+  /// scanner's copy semantics keep the pin alive exactly as long as any
+  /// clone of it.
+  std::shared_ptr<void> AcquireScanPin();
+  bool ScanPinned() const {
+    return scan_pins_.load(std::memory_order_relaxed) != 0;
+  }
+
+  Stats stats() const;
+
+ private:
+  const uint64_t budget_bytes_;
+  const std::string lock_name_;
+  mutable Mutex mu_;
+
+  std::map<uint64_t, ColdVersion> cold_ GUARDED_BY(mu_);
+  std::map<uint64_t, uint64_t> access_tick_ GUARDED_BY(mu_);
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+
+  std::atomic<uint64_t> cold_count_{0};
+  std::atomic<uint64_t> scan_pins_{0};
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> unloads_{0};
+};
+
+}  // namespace directload::qindb
+
+#endif  // DIRECTLOAD_QINDB_VERSION_REGISTRY_H_

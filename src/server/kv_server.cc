@@ -654,6 +654,38 @@ std::string KvServer::StatsText() {
                 (unsigned long long)cluster_->TotalUserBytesIngested(),
                 (unsigned long long)cluster_->TotalDiskBytes());
   out += line;
+  // Read-path memory governors, summed across every local node's engine.
+  qindb::EngineCacheTotals cache;
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->node(n)->db() == nullptr) continue;
+    const qindb::EngineCacheTotals t = cluster_->node(n)->db()->CacheTotals();
+    cache.cache_hits += t.cache_hits;
+    cache.cache_misses += t.cache_misses;
+    cache.cache_inserts += t.cache_inserts;
+    cache.cache_admission_rejects += t.cache_admission_rejects;
+    cache.cache_evicted_bytes += t.cache_evicted_bytes;
+    cache.cache_charged_bytes += t.cache_charged_bytes;
+    cache.index_loads += t.index_loads;
+    cache.index_unloads += t.index_unloads;
+    cache.resident_versions += t.resident_versions;
+    cache.cold_versions += t.cold_versions;
+  }
+  std::snprintf(line, sizeof(line),
+                "cache: hits=%llu misses=%llu inserts=%llu "
+                "admission_rejects=%llu evicted_bytes=%llu "
+                "charged_bytes=%llu index_loads=%llu index_unloads=%llu "
+                "resident_versions=%llu cold_versions=%llu\n",
+                (unsigned long long)cache.cache_hits,
+                (unsigned long long)cache.cache_misses,
+                (unsigned long long)cache.cache_inserts,
+                (unsigned long long)cache.cache_admission_rejects,
+                (unsigned long long)cache.cache_evicted_bytes,
+                (unsigned long long)cache.cache_charged_bytes,
+                (unsigned long long)cache.index_loads,
+                (unsigned long long)cache.index_unloads,
+                (unsigned long long)cache.resident_versions,
+                (unsigned long long)cache.cold_versions);
+  out += line;
   return out;
 }
 

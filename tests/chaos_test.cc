@@ -456,6 +456,10 @@ void RunSchedule(uint64_t seed, uint32_t num_shards,
   // be structurally silent for the whole schedule. It also pulls the
   // checkpoint-load path into every mid-storm recovery.
   cluster_options.engine.checkpoint_interval_bytes = 8 << 10;
+  // Block cache on every engine: the staleness invariants (supersede/GC/
+  // drop must evict or re-key) now ride every storm, and the acked-write
+  // check below would catch a stale cached value as a torn write.
+  cluster_options.engine.cache_bytes = 1 << 20;
   cluster_options.seed = seed;
   mint::MintCluster cluster(cluster_options);
   ASSERT_TRUE(cluster.Start().ok());
@@ -740,6 +744,7 @@ void RunBulkSchedule(uint64_t seed, uint32_t num_shards,
   cluster_options.node_geometry = SmallGeometry();
   cluster_options.engine.num_shards = num_shards;
   cluster_options.engine.aof.segment_bytes = 16 << 10;
+  cluster_options.engine.cache_bytes = 1 << 20;
   cluster_options.seed = seed;
   mint::MintCluster cluster(cluster_options);
   ASSERT_TRUE(cluster.Start().ok());
